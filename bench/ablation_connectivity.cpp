@@ -1,0 +1,50 @@
+// Ablation: cellular coverage.
+//
+// §V-C assumes users are "connected to the broker sporadically through a
+// cellular connection"; the §V-D3 Markov model pins the connected fraction
+// at 50%. This ablation sweeps the stationary coverage from 10% to 90% at
+// a fixed budget, showing how RichNote degrades under poor connectivity
+// compared with UTIL: delivery ratio and delay should track coverage for
+// both, with RichNote holding its delivery-ratio lead because any
+// connected round suffices to flush metadata presentations.
+//
+// Usage: ablation_connectivity [users=200] [seed=1] [trees=30] [budget=10] [csv=...]
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) try {
+    using namespace richnote;
+    const auto opts = bench::parse_options(argc, argv, {"budget"});
+    const config cfg = config::from_args(argc, argv);
+    const double budget = cfg.get_double("budget", 10.0);
+    const auto setup = bench::build_setup(opts);
+
+    bench::figure_output out({"coverage", "scheduler", "delivery_ratio", "delay(min)",
+                              "total_utility"});
+    for (double coverage : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+        for (auto kind : {core::scheduler_kind::richnote, core::scheduler_kind::util}) {
+            core::experiment_params params;
+            params.kind = kind;
+            params.fixed_level = 3;
+            params.weekly_budget_mb = budget;
+            params.cellular_coverage = coverage;
+            params.seed = opts.run_seed;
+            const auto r = core::run_experiment(*setup, params);
+            out.add_row({format_double(coverage, 2), r.scheduler_name,
+                         format_double(r.delivery_ratio, 3),
+                         format_double(r.mean_delay_min, 1),
+                         format_double(r.total_utility, 1)});
+        }
+    }
+    out.emit("Ablation: stationary cellular coverage sweep (budget " +
+                 format_double(budget, 0) + " MB; paper fixes 0.50)",
+             opts.csv_path);
+    std::cout << "expected: delays shrink and delivery grows with coverage for both "
+                 "schedulers;\nRichNote keeps near-100% delivery down to sparse "
+                 "connectivity.\n";
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}

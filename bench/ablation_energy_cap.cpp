@@ -1,0 +1,64 @@
+// Ablation: the Lyapunov energy virtual queue under a tight energy budget.
+//
+// With the paper's kappa (3 KJ/h) the IMC'09 radio constants leave the
+// energy constraint slack; the Fig. 4(c) claim — RichNote "strives to
+// control energy consumption and keep it below the specified threshold"
+// while UTIL spikes — is clearest when kappa binds. This ablation shrinks
+// kappa to a few joules per round and compares RichNote's total energy
+// (which the P(t) virtual queue must cap near kappa * rounds) against the
+// baselines, which ignore energy entirely.
+//
+// Usage: ablation_energy_cap [users=200] [seed=1] [trees=30] [budget=50]
+//        [kappa=4] [csv=...]    (kappa in joules per round)
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) try {
+    using namespace richnote;
+    const auto opts = bench::parse_options(argc, argv, {"budget", "kappa"});
+    const config cfg = config::from_args(argc, argv);
+    const double budget = cfg.get_double("budget", 50.0);
+    const double kappa = cfg.get_double("kappa", 4.0);
+    const auto setup = bench::build_setup(opts);
+
+    const double rounds = 169.0;
+    const double users = static_cast<double>(setup->world().user_count());
+    const double envelope_kj = kappa * rounds * users / 1000.0;
+
+    bench::figure_output out({"method", "energy(KJ)", "within_envelope?",
+                              "delivery_ratio", "total_utility"});
+    // RichNote with the tight kappa.
+    core::experiment_params params;
+    params.kind = core::scheduler_kind::richnote;
+    params.weekly_budget_mb = budget;
+    params.lyapunov.kappa = kappa;
+    params.lyapunov.initial_energy_credit = kappa;
+    params.energy_policy.kappa_joules_per_round = kappa;
+    params.seed = opts.run_seed;
+    const auto rn = core::run_experiment(*setup, params);
+    out.add_row({"RichNote(kappa=" + format_double(kappa, 0) + "J/rnd)",
+                 format_double(rn.energy_kj, 1),
+                 rn.energy_kj <= envelope_kj * 1.10 ? "yes" : "NO",
+                 format_double(rn.delivery_ratio, 3),
+                 format_double(rn.total_utility, 1)});
+
+    for (auto kind : {core::scheduler_kind::fifo, core::scheduler_kind::util}) {
+        const auto r = bench::run_cell(*setup, kind, 3, budget, opts);
+        out.add_row({r.scheduler_name, format_double(r.energy_kj, 1),
+                     r.energy_kj <= envelope_kj * 1.10 ? "yes" : "NO",
+                     format_double(r.delivery_ratio, 3),
+                     format_double(r.total_utility, 1)});
+    }
+    out.emit("Ablation: tight per-round energy budget (envelope " +
+                 format_double(envelope_kj, 1) + " KJ for the population, budget " +
+                 format_double(budget, 0) + " MB)",
+             opts.csv_path);
+    std::cout << "expected: RichNote's virtual energy queue keeps it inside the envelope; "
+                 "the baselines\nignore energy and may exceed it (Fig. 4(c)'s shape, made "
+                 "binding).\n";
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}

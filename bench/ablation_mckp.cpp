@@ -1,0 +1,104 @@
+// Ablation: MCKP heuristic quality and the content-utility signal.
+//
+// Part 1 — greedy vs exact: on random knapsack instances shaped like the
+// scheduler's (six-level concave audio menus, varying content utility),
+// compare Algorithm 1's greedy (paper-faithful stop-at-first-infeasible),
+// the skip_infeasible extension, the fractional upper bound, and the exact
+// DP. The §IV argument predicts a gap of at most one upgrade's utility.
+//
+// Part 2 — oracle vs learned vs constant content utility: rerun the full
+// experiment with each utility signal to quantify how much of RichNote's
+// win comes from the classifier (DESIGN.md ablation list).
+//
+// Usage: ablation_mckp [users=120] [seed=1] [trees=30] [budget=20]
+//        [instances=200] [csv=...]
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/mckp.hpp"
+#include "core/presentation.hpp"
+
+namespace {
+
+using namespace richnote;
+
+void run_greedy_vs_exact(std::uint64_t seed, int instances) {
+    const core::audio_preview_generator generator{
+        core::audio_preview_generator::params{}};
+    const auto levels = generator.generate(276.0);
+
+    rng gen(seed);
+    running_stats gap_pct, frac_gap_pct;
+    int greedy_optimal = 0;
+    for (int trial = 0; trial < instances; ++trial) {
+        std::vector<core::mckp_item> items;
+        const std::size_t n = 3 + gen.index(8);
+        for (std::size_t i = 0; i < n; ++i)
+            items.push_back(core::make_mckp_item(levels, gen.uniform(0.05, 1.0)));
+        // Budgets around a few items' worth of previews; coarse sizes for
+        // a tractable DP (resolution 10 KB).
+        const double budget = gen.uniform(2e5, 3e6);
+        core::mckp_options skip;
+        skip.skip_infeasible = true;
+        const auto greedy = core::select_presentations(items, budget, skip);
+        const auto exact = core::mckp_exact(items, budget, 10'000.0);
+        if (exact.total_utility <= 0) continue;
+        const double gap =
+            100.0 * (exact.total_utility - greedy.total_utility) / exact.total_utility;
+        gap_pct.add(std::max(0.0, gap));
+        frac_gap_pct.add(100.0 *
+                         std::max(0.0, greedy.fractional_bound - greedy.total_utility) /
+                         std::max(greedy.total_utility, 1e-9));
+        if (gap <= 1e-9) ++greedy_optimal;
+    }
+
+    bench::figure_output out({"metric", "value"});
+    out.add_row({"instances", std::to_string(gap_pct.count())});
+    out.add_row({"greedy == DP-exact", std::to_string(greedy_optimal) + " / " +
+                                           std::to_string(gap_pct.count())});
+    out.add_row({"mean gap vs exact (%)", format_double(gap_pct.mean(), 3)});
+    out.add_row({"max gap vs exact (%)", format_double(gap_pct.max(), 3)});
+    out.add_row({"mean fractional-bound slack (%)", format_double(frac_gap_pct.mean(), 3)});
+    out.emit("Ablation 1: greedy MCKP vs exact DP on audio-menu instances",
+             std::nullopt);
+}
+
+void run_utility_signals(const bench::bench_options& opts, double budget) {
+    bench::figure_output out(
+        {"content-utility signal", "total_utility", "recall", "precision"});
+    for (const bool oracle : {false, true}) {
+        auto setup_opts = opts.setup;
+        setup_opts.oracle_utility = oracle;
+        const core::experiment_setup setup(setup_opts);
+        core::experiment_params params;
+        params.kind = core::scheduler_kind::richnote;
+        params.weekly_budget_mb = budget;
+        params.seed = opts.run_seed;
+        const auto r = core::run_experiment(setup, params);
+        out.add_row({oracle ? "oracle (latent click prob.)" : "learned random forest",
+                     format_double(r.total_utility, 1), format_double(r.recall, 3),
+                     format_double(r.precision, 3)});
+    }
+    out.emit("Ablation 2: learned vs oracle content utility (budget " +
+                 format_double(budget, 0) + " MB)",
+             std::nullopt);
+}
+
+} // namespace
+
+int main(int argc, char** argv) try {
+    auto opts = bench::parse_options(argc, argv, {"budget", "instances"});
+    opts.setup.workload.user_count =
+        std::min<std::size_t>(opts.setup.workload.user_count, 120); // two setups built
+    const config cfg = config::from_args(argc, argv);
+    const double budget = cfg.get_double("budget", 20.0);
+    const int instances = static_cast<int>(cfg.get_int("instances", 200));
+
+    run_greedy_vs_exact(opts.setup.seed, instances);
+    run_utility_signals(opts, budget);
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}

@@ -1,0 +1,49 @@
+// Ablation: per-topic round cadence (§II).
+//
+// Spotify's hybrid engine serves friend feeds in real time and album/
+// playlist updates in batch; RichNote's round model is pitched as the
+// middle ground, with round duration "proportional to the frequency of the
+// feed". This ablation keeps friend feeds on the 1-hour cadence and admits
+// the batch topics (album releases, playlist updates) only every k-th
+// round, measuring what the slower cadence costs: batch items queue longer
+// (higher mean delay), while utility and delivery are barely affected —
+// the paper's argument for batching the infrequent topics.
+//
+// Usage: ablation_topic_rounds [users=200] [seed=1] [trees=30] [budget=10] [csv=...]
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) try {
+    using namespace richnote;
+    const auto opts = bench::parse_options(argc, argv, {"budget"});
+    const config cfg = config::from_args(argc, argv);
+    const double budget = cfg.get_double("budget", 10.0);
+    const auto setup = bench::build_setup(opts);
+
+    bench::figure_output out({"batch cadence", "delay(min)", "delivery_ratio",
+                              "total_utility", "recall"});
+    for (std::uint32_t multiplier : {1u, 4u, 12u, 24u}) {
+        core::experiment_params params;
+        params.kind = core::scheduler_kind::richnote;
+        params.weekly_budget_mb = budget;
+        params.batch_topic_round_multiplier = multiplier;
+        params.seed = opts.run_seed;
+        const auto r = core::run_experiment(*setup, params);
+        const std::string label =
+            multiplier == 1 ? "every round (paper)" : "every " + std::to_string(multiplier) + "h";
+        out.add_row({label, format_double(r.mean_delay_min, 1),
+                     format_double(r.delivery_ratio, 3),
+                     format_double(r.total_utility, 1), format_double(r.recall, 3)});
+    }
+    out.emit("Ablation: album/playlist admission cadence (budget " +
+                 format_double(budget, 0) + " MB)",
+             opts.csv_path);
+    std::cout << "expected: mean delay grows with the batch cadence (batch topics wait "
+                 "for their\nround) while delivery and utility stay ~flat — batching "
+                 "the infrequent topics is cheap.\n";
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}

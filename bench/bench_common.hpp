@@ -1,0 +1,115 @@
+// Shared plumbing for the figure-reproduction harnesses in bench/.
+//
+// Every harness accepts `key=value` arguments (users=..., seed=...,
+// trees=..., csv=out.csv) so the paper-scale experiment (10k users) can be
+// approached on bigger machines while the default stays laptop-sized. One
+// experiment_setup (workload + trained forest) is shared across all sweep
+// points of a figure, like the paper replays one trace for every method.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+namespace richnote::bench {
+
+/// The §V-D1 sweep: weekly data budget from 1 MB to 100 MB.
+inline const std::vector<double> default_budgets_mb = {1, 2, 5, 10, 20, 50, 100};
+
+struct bench_options {
+    core::experiment_setup::options setup;
+    std::vector<double> budgets_mb = default_budgets_mb;
+    std::optional<std::string> csv_path;
+    std::uint64_t run_seed = 5;
+};
+
+/// Parses the common command-line keys; `extra_keys` are tool-specific.
+inline bench_options parse_options(int argc, char** argv,
+                                   std::vector<std::string> extra_keys = {}) {
+    const config cfg = config::from_args(argc, argv);
+    std::vector<std::string> allowed = {"users", "seed", "trees", "csv", "budgets"};
+    allowed.insert(allowed.end(), extra_keys.begin(), extra_keys.end());
+    cfg.restrict_to(allowed);
+
+    bench_options opts;
+    opts.setup.workload.user_count = static_cast<std::size_t>(cfg.get_int("users", 200));
+    opts.setup.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    opts.setup.forest.tree_count = static_cast<std::size_t>(cfg.get_int("trees", 30));
+    if (cfg.has("csv")) opts.csv_path = cfg.get_string("csv", "");
+    if (cfg.has("budgets")) {
+        // budgets=1,5,20 style override.
+        opts.budgets_mb.clear();
+        const std::string list = cfg.get_string("budgets", "");
+        std::size_t pos = 0;
+        while (pos < list.size()) {
+            const std::size_t comma = list.find(',', pos);
+            const std::string token = list.substr(pos, comma - pos);
+            opts.budgets_mb.push_back(std::stod(token));
+            if (comma == std::string::npos) break;
+            pos = comma + 1;
+        }
+    }
+    return opts;
+}
+
+/// Builds the shared setup and echoes trace statistics.
+inline std::unique_ptr<core::experiment_setup> build_setup(const bench_options& opts) {
+    std::cerr << "[setup] generating workload: " << opts.setup.workload.user_count
+              << " users, 1 week, seed " << opts.setup.seed << " ...\n";
+    auto setup = std::make_unique<core::experiment_setup>(opts.setup);
+    const auto& trace = setup->world().notifications();
+    std::cerr << "[setup] " << trace.total_count << " notifications ("
+              << trace.attended_count << " attended, " << trace.clicked_count
+              << " clicked); forest: " << opts.setup.forest.tree_count << " trees\n";
+    return setup;
+}
+
+/// Runs one (scheduler, budget) cell of a figure.
+inline core::experiment_result run_cell(const core::experiment_setup& setup,
+                                        core::scheduler_kind kind, core::level_t level,
+                                        double budget_mb, const bench_options& opts,
+                                        bool wifi = false) {
+    core::experiment_params params;
+    params.kind = kind;
+    params.fixed_level = level;
+    params.weekly_budget_mb = budget_mb;
+    params.wifi_enabled = wifi;
+    params.seed = opts.run_seed;
+    return core::run_experiment(setup, params);
+}
+
+/// Accumulates a figure's series and renders them as an aligned table on
+/// stdout plus, when requested, a machine-readable CSV.
+class figure_output {
+public:
+    explicit figure_output(std::vector<std::string> headers)
+        : headers_(std::move(headers)) {}
+
+    void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+    void emit(const std::string& title, const std::optional<std::string>& csv_path) const {
+        std::cout << "\n== " << title << " ==\n";
+        table t(headers_);
+        for (const auto& row : rows_) t.add_row(row);
+        std::cout << t;
+        if (!csv_path) return;
+        std::ofstream out(*csv_path);
+        csv_writer writer(out, headers_);
+        for (const auto& row : rows_) writer.write_row(row);
+        std::cerr << "[csv] wrote " << rows_.size() << " rows to " << *csv_path << '\n';
+    }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace richnote::bench

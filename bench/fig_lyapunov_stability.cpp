@@ -1,0 +1,74 @@
+// §V-D5 companion: direct trajectory evidence for the Lyapunov stability
+// claims. The paper infers stability from aggregates ("more delivered data
+// with more leftover bandwidth ... lower queuing delays"); this harness
+// samples Q(t) and P(t) round by round for representative users and prints
+// the trajectory statistics: RichNote's Q stays bounded while FIFO's grows
+// with backlog at low budget, and P(t) oscillates around kappa.
+//
+// Usage: fig_lyapunov_stability [users=200] [seed=1] [trees=30] [budget=2]
+//        [csv=trajectory.csv]
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+
+int main(int argc, char** argv) try {
+    using namespace richnote;
+    const auto opts = bench::parse_options(argc, argv, {"budget"});
+    const config cfg = config::from_args(argc, argv);
+    const double budget = cfg.get_double("budget", 2.0);
+    const auto setup = bench::build_setup(opts);
+
+    // Watch the five heaviest users (their queues are the most stressed).
+    std::vector<std::pair<std::size_t, std::uint32_t>> loads;
+    for (std::uint32_t u = 0; u < setup->world().user_count(); ++u)
+        loads.emplace_back(setup->world().notifications().per_user[u].size(), u);
+    std::sort(loads.rbegin(), loads.rend());
+    std::vector<std::uint32_t> watched;
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, loads.size()); ++i)
+        watched.push_back(loads[i].second);
+
+    bench::figure_output out({"scheduler", "user", "items", "max Q(t)", "mean Q(t)",
+                              "final Q(t)", "mean P(t) (J)"});
+    for (auto kind : {core::scheduler_kind::richnote, core::scheduler_kind::fifo}) {
+        core::experiment_params params;
+        params.kind = kind;
+        params.fixed_level = 3;
+        params.weekly_budget_mb = budget;
+        params.telemetry_users = watched;
+        params.seed = opts.run_seed;
+        const auto r = core::run_experiment(*setup, params);
+
+        for (std::uint32_t u : watched) {
+            const auto& series = r.trajectories->of(u);
+            running_stats q_bytes, p_credit;
+            for (const auto& s : series) {
+                q_bytes.add(s.queue_bytes);
+                p_credit.add(s.energy_credit);
+            }
+            out.add_row({r.scheduler_name, std::to_string(u),
+                         std::to_string(setup->world().notifications().per_user[u].size()),
+                         format_bytes(q_bytes.max()), format_bytes(q_bytes.mean()),
+                         format_bytes(series.empty() ? 0.0 : series.back().queue_bytes),
+                         format_double(p_credit.mean(), 1)});
+        }
+
+        if (opts.csv_path && kind == core::scheduler_kind::richnote) {
+            std::ofstream csv(*opts.csv_path);
+            r.trajectories->write_csv(csv);
+            std::cerr << "[csv] wrote RichNote trajectories to " << *opts.csv_path
+                      << '\n';
+        }
+    }
+    out.emit("Sec. V-D5 companion: Q(t)/P(t) trajectories at a tight budget (" +
+                 format_double(budget, 0) + " MB/week)",
+             std::nullopt);
+    std::cout << "expected: RichNote's Q(t) drains every connected round (bounded, "
+                 "small mean and\nfinal values); FIFO's backlog persists for the whole "
+                 "week at this budget. P(t)\noscillates near kappa = 3000 J.\n";
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}

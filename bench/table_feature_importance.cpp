@@ -1,0 +1,49 @@
+// Feature-importance table backing §V-A's feature-space narrative:
+// "intuitively, a notification from a friend or favorite artist has a
+// higher utility to the user", plus track/album/artist popularity and the
+// timestamp features. Permutation importance on the trained content-
+// utility forest shows which features actually carry the click signal in
+// the (synthetic) trace.
+//
+// Usage: table_feature_importance [users=200] [seed=1] [trees=30] [csv=...]
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/utility.hpp"
+#include "ml/metrics.hpp"
+
+int main(int argc, char** argv) try {
+    using namespace richnote;
+    const auto opts = bench::parse_options(argc, argv);
+
+    const trace::workload world(opts.setup.workload, opts.setup.seed);
+    const ml::dataset data = core::make_training_set(world.notifications());
+    const auto [train, test] = data.train_test_split(0.3, opts.setup.seed);
+    std::cerr << "[setup] " << train.size() << " training rows, " << test.size()
+              << " held-out rows\n";
+
+    ml::random_forest forest;
+    ml::forest_params params;
+    params.tree_count = opts.setup.forest.tree_count;
+    forest.fit(train, params, opts.setup.seed ^ 0x77ULL);
+
+    const auto importance = ml::permutation_importance(test, forest, opts.setup.seed, 5);
+    const double held_out_accuracy =
+        ml::evaluate(test, [&](std::span<const double> row) { return forest.predict(row); })
+            .accuracy();
+
+    bench::figure_output out({"feature", "accuracy drop when permuted"});
+    const auto& names = trace::notification_features::names();
+    for (std::size_t f = 0; f < names.size(); ++f) {
+        out.add_row({names[f], format_double(importance[f], 4)});
+    }
+    out.emit("Sec. V-A companion: permutation feature importance (held-out accuracy " +
+                 format_double(held_out_accuracy, 3) + ")",
+             opts.csv_path);
+    std::cout << "expected: social_tie and track/artist popularity dominate, matching "
+                 "the paper's\nfeature intuition; weekday/daytime contribute weakly.\n";
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}

@@ -1,0 +1,87 @@
+// §V-C scalability companion: "while we run simulations using 10K users,
+// our solution can potentially scale to a much larger user base using a
+// backend parallel platform since our solution can work in rounds and
+// independently for each user."
+//
+// The experiment runner implements exactly that: users are sharded across
+// worker threads, each broker owns its randomness, and metrics are
+// per-user. This harness (1) verifies bit-identical results across worker
+// counts, (2) reports the per-shard load balance (items and bytes) the
+// contiguous sharding produces, and (3) times the runs (informative only on
+// multi-core machines).
+//
+// Usage: table_parallel_shards [users=200] [seed=1] [trees=30] [budget=10] [csv=...]
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+
+int main(int argc, char** argv) try {
+    using namespace richnote;
+    const auto opts = bench::parse_options(argc, argv, {"budget"});
+    const config cfg = config::from_args(argc, argv);
+    const double budget = cfg.get_double("budget", 10.0);
+    const auto setup = bench::build_setup(opts);
+    const std::size_t users = setup->world().user_count();
+
+    // (1) + (3): identical results, measured wall time per worker count.
+    bench::figure_output runs({"workers", "wall(ms)", "total_utility",
+                               "delivered_MB", "identical_to_1_worker?"});
+    double reference_utility = 0.0;
+    double reference_mb = 0.0;
+    for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+        core::experiment_params params;
+        params.kind = core::scheduler_kind::richnote;
+        params.weekly_budget_mb = budget;
+        params.worker_threads = workers;
+        params.seed = opts.run_seed;
+        const auto start = std::chrono::steady_clock::now();
+        const auto r = core::run_experiment(*setup, params);
+        const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+        if (workers == 1) {
+            reference_utility = r.total_utility;
+            reference_mb = r.delivered_mb;
+        }
+        const bool identical =
+            r.total_utility == reference_utility && r.delivered_mb == reference_mb;
+        runs.add_row({std::to_string(workers), std::to_string(wall),
+                      format_double(r.total_utility, 1),
+                      format_double(r.delivered_mb, 1), identical ? "yes" : "NO"});
+    }
+    runs.emit("Sec. V-C parallelism: worker-count sweep (budget " +
+                  format_double(budget, 0) + " MB)",
+              opts.csv_path);
+
+    // (2) Shard load balance for the contiguous partitioning at 4 workers.
+    const std::size_t workers = 4;
+    bench::figure_output shards({"shard", "users", "items", "full-menu bytes"});
+    running_stats per_shard_items;
+    for (std::size_t w = 0; w < workers; ++w) {
+        const std::size_t lo = users * w / workers;
+        const std::size_t hi = users * (w + 1) / workers;
+        std::size_t items = 0;
+        double bytes = 0.0;
+        for (std::size_t u = lo; u < hi; ++u) {
+            const auto& stream = setup->world().notifications().per_user[u];
+            items += stream.size();
+            bytes += static_cast<double>(stream.size()) * 2.1e6; // six-level menu
+        }
+        per_shard_items.add(static_cast<double>(items));
+        shards.add_row({std::to_string(w), std::to_string(hi - lo),
+                        std::to_string(items), format_bytes(bytes)});
+    }
+    shards.emit("Contiguous shard load balance (4 shards)", std::nullopt);
+    std::cout << "item-load imbalance (max/mean): "
+              << format_double(per_shard_items.max() /
+                                   std::max(per_shard_items.mean(), 1.0),
+                               3)
+              << "  (independent per-user rounds keep any sharding correct; balance "
+                 "only affects speed)\n";
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}

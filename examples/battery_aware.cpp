@@ -1,0 +1,122 @@
+// Energy-aware scheduling: watching the Lyapunov virtual energy queue work.
+//
+// This example pins everything except energy: one user, always-on cellular,
+// generous data budget, steady arrivals — and a *tight* per-round energy
+// allowance kappa. It traces Q(t), P(t) and per-round energy spending for
+// RichNote, then reruns the same tape with kappa relaxed, showing how the
+// (P(t) - kappa) * rho(i, j) term and the delivery gate throttle radio
+// usage when energy is scarce (the mechanism behind Fig. 4(c)).
+//
+// Usage: battery_aware [seed=1] [rounds=48] [kappa=6]   (kappa in J/round)
+#include <iostream>
+#include <memory>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/presentation.hpp"
+#include "core/scheduler.hpp"
+#include "energy/model.hpp"
+
+namespace {
+
+using namespace richnote;
+
+struct run_summary {
+    double delivered = 0;
+    double energy = 0;
+    double utility = 0;
+};
+
+run_summary run(double kappa, int rounds, std::uint64_t seed, bool narrate) {
+    const core::audio_preview_generator generator{
+        core::audio_preview_generator::params{}};
+    const energy::energy_model energy;
+
+    core::richnote_scheduler::params params;
+    params.lyapunov.kappa = kappa;
+    params.lyapunov.initial_energy_credit = kappa;
+    core::richnote_scheduler scheduler(params, energy);
+
+    rng gen(seed);
+    std::uint64_t next_id = 0;
+    run_summary summary;
+    table trace({"round", "P(t) J", "Q(t) KB", "delivered", "round energy J"});
+
+    for (int round = 0; round < rounds; ++round) {
+        // Two arrivals per round, random utility.
+        for (int k = 0; k < 2; ++k) {
+            core::sched_item item;
+            item.note.id = next_id++;
+            item.note.recipient = 0;
+            item.note.created_at = round * sim::hours;
+            item.content_utility = gen.uniform(0.2, 1.0);
+            item.presentations = generator.generate(276.0);
+            item.arrived_at = item.note.created_at;
+            scheduler.enqueue(std::move(item));
+        }
+
+        core::round_context ctx;
+        ctx.now = round * sim::hours;
+        ctx.data_budget_bytes = 2e6; // generous: energy is the binding budget
+        ctx.network = sim::net_state::cell;
+        ctx.metered = true;
+        ctx.link_capacity_bytes = 1e9;
+        ctx.energy_replenishment = kappa; // e(t) = kappa while battery is fine
+
+        int delivered_this_round = 0;
+        double energy_this_round = 0;
+        for (const auto& d : scheduler.plan(ctx)) {
+            if (!scheduler.allow_delivery(d.rho_joules)) break;
+            scheduler.on_delivered(d.item_id, d.rho_joules);
+            ++delivered_this_round;
+            energy_this_round += d.rho_joules;
+            summary.utility += d.utility;
+        }
+        summary.delivered += delivered_this_round;
+        summary.energy += energy_this_round;
+        if (narrate && (round < 8 || round % 12 == 0)) {
+            trace.add_row({std::to_string(round),
+                           format_double(scheduler.controller().energy_credit(), 1),
+                           format_double(scheduler.controller().queue_backlog() / 1000, 0),
+                           std::to_string(delivered_this_round),
+                           format_double(energy_this_round, 1)});
+        }
+    }
+    if (narrate) std::cout << trace;
+    return summary;
+}
+
+} // namespace
+
+int main(int argc, char** argv) try {
+    const config cfg = config::from_args(argc, argv);
+    cfg.restrict_to({"seed", "rounds", "kappa"});
+    const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    const auto rounds = static_cast<int>(cfg.get_int("rounds", 48));
+    const double tight_kappa = cfg.get_double("kappa", 6.0);
+
+    std::cout << "Tight energy budget (kappa = " << tight_kappa << " J/round):\n";
+    const auto tight = run(tight_kappa, rounds, seed, /*narrate=*/true);
+
+    std::cout << "\nRelaxed energy budget (kappa = 3000 J/round):\n";
+    const auto relaxed = run(3000.0, rounds, seed, /*narrate=*/false);
+
+    table compare({"kappa (J/round)", "delivered", "total energy (J)", "utility"});
+    compare.add_row({format_double(tight_kappa, 0), format_double(tight.delivered, 0),
+                     format_double(tight.energy, 1), format_double(tight.utility, 1)});
+    compare.add_row({"3000", format_double(relaxed.delivered, 0),
+                     format_double(relaxed.energy, 1), format_double(relaxed.utility, 1)});
+    std::cout << '\n' << compare;
+
+    const double envelope = tight_kappa * rounds;
+    std::cout << "\ntight-run energy " << format_double(tight.energy, 1)
+              << " J vs kappa envelope " << format_double(envelope, 1)
+              << " J — the delivery gate fires only between items, so each round may\n"
+                 "overshoot by at most one item's rho, but the virtual queue still cut "
+              << format_double(100.0 * (1.0 - tight.energy / relaxed.energy), 0)
+              << "% of the unconstrained spending.\n";
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}

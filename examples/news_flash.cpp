@@ -1,0 +1,121 @@
+// RichNote beyond audio: a breaking-news service with image/video
+// presentations.
+//
+// §III-B: "Different generators may exist for different content types,
+// which are developed by the content providers." This example implements a
+// custom presentation_generator for news items (headline -> thumbnail ->
+// photo -> video clip), a custom content-utility model (editorial priority
+// x topic affinity), and drives the RichNote scheduler directly through
+// its public interface — no Spotify-specific machinery involved. It shows
+// the library is a general notification-scheduling toolkit, not a
+// single-workload harness.
+//
+// Usage: news_flash [seed=1] [budget_kb_per_round=300] [rounds=24]
+#include <iostream>
+#include <memory>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/presentation.hpp"
+#include "core/scheduler.hpp"
+#include "energy/model.hpp"
+
+namespace {
+
+using namespace richnote;
+
+/// News presentations: four fixed levels with diminishing returns.
+class news_generator final : public core::presentation_generator {
+public:
+    core::presentation_set generate(double /*full_duration_sec*/) const override {
+        std::vector<core::presentation> levels;
+        levels.push_back({"headline", 300.0, 0.15, 0.0});
+        levels.push_back({"headline+thumb", 15'000.0, 0.45, 0.0});
+        levels.push_back({"headline+photo", 120'000.0, 0.75, 0.0});
+        levels.push_back({"headline+clip", 900'000.0, 1.0, 10.0});
+        return core::presentation_set(std::move(levels));
+    }
+};
+
+struct news_item {
+    const char* slug;
+    double editorial_priority; ///< how big the story is, [0,1]
+    double topic_affinity;     ///< how much this user cares, [0,1]
+};
+
+} // namespace
+
+int main(int argc, char** argv) try {
+    const config cfg = config::from_args(argc, argv);
+    cfg.restrict_to({"seed", "budget_kb_per_round", "rounds"});
+    const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    const double theta = cfg.get_double("budget_kb_per_round", 300.0) * 1000.0;
+    const auto rounds = static_cast<int>(cfg.get_int("rounds", 24));
+
+    const news_generator generator;
+    const energy::energy_model energy;
+
+    core::richnote_scheduler::params params;
+    core::richnote_scheduler scheduler(params, energy);
+
+    // A day of breaking news for one reader.
+    const std::vector<news_item> stories = {
+        {"earthquake-recap", 0.9, 0.3},   {"local-team-wins", 0.5, 0.9},
+        {"market-dip", 0.6, 0.2},         {"transit-strike", 0.7, 0.8},
+        {"celebrity-gossip", 0.3, 0.1},   {"weather-warning", 0.8, 0.7},
+        {"tech-keynote", 0.4, 0.95},      {"city-council", 0.2, 0.4},
+    };
+
+    rng gen(seed);
+    std::vector<news_item> pending = stories;
+    std::uint64_t next_id = 0;
+    double budget = 0.0;
+
+    table log({"round", "delivered", "level", "size", "U(i,j)"});
+    double total_utility = 0.0;
+    for (int round = 0; round < rounds; ++round) {
+        // A couple of new stories arrive at random rounds.
+        while (!pending.empty() && gen.bernoulli(0.35)) {
+            const news_item story = pending.back();
+            pending.pop_back();
+            core::sched_item item;
+            item.note.id = next_id++;
+            item.note.recipient = 0;
+            item.note.created_at = round * sim::hours;
+            item.content_utility = story.editorial_priority * story.topic_affinity;
+            item.presentations = generator.generate(0.0);
+            item.arrived_at = item.note.created_at;
+            scheduler.enqueue(std::move(item));
+        }
+
+        budget += theta;
+        core::round_context ctx;
+        ctx.now = round * sim::hours;
+        ctx.data_budget_bytes = budget;
+        ctx.network = sim::net_state::cell;
+        ctx.metered = true;
+        ctx.link_capacity_bytes = 1e9;
+        ctx.energy_replenishment = 3000.0;
+
+        for (const auto& d : scheduler.plan(ctx)) {
+            budget -= d.size_bytes;
+            total_utility += d.utility;
+            scheduler.on_delivered(d.item_id, d.rho_joules);
+            log.add_row({std::to_string(round), std::to_string(d.item_id),
+                         std::to_string(d.level), format_bytes(d.size_bytes),
+                         format_double(d.utility, 3)});
+        }
+    }
+
+    std::cout << "News-flash delivery log (budget " << format_bytes(theta)
+              << "/round):\n"
+              << log << "total utility: " << format_double(total_utility, 2)
+              << ", still queued: " << scheduler.queue_size() << '\n';
+    std::cout << "\nNote how big stories the reader cares about get the video clip\n"
+                 "while low-affinity items ship as bare headlines.\n";
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite and every figure/table
+# harness, and records the outputs the repo's EXPERIMENTS.md is based on.
+#
+# Usage: scripts/reproduce.sh [users]   (default 200; the paper used 10k)
+set -u
+cd "$(dirname "$0")/.."
+USERS="${1:-200}"
+
+cmake -B build -G Ninja || exit 1
+cmake --build build || exit 1
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "===== $name =====" | tee -a bench_output.txt
+  if [ "$name" = "micro_algorithms" ]; then
+    # google-benchmark binary: takes --benchmark_* flags, not key=value.
+    "$b" --benchmark_min_time=0.05 2>/dev/null | tee -a bench_output.txt
+  else
+    "$b" users="$USERS" 2>/dev/null | tee -a bench_output.txt
+  fi
+  echo | tee -a bench_output.txt
+done
+echo "done: test_output.txt, bench_output.txt"

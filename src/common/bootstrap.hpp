@@ -1,0 +1,67 @@
+// Nonparametric bootstrap confidence intervals.
+//
+// The paper's presentation-utility surveys are "limited in scale" (80
+// respondents; §V-B closes by noting a crowdsourced survey "can give better
+// results"). The bootstrap quantifies exactly how limited: resample the
+// respondents with replacement, refit the statistic, and report percentile
+// intervals. Used by bench/fig2b_duration_fit to put error bars on the
+// Eq. 8 coefficients.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace richnote {
+
+struct bootstrap_result {
+    double estimate = 0.0; ///< statistic on the original sample
+    double lo = 0.0;       ///< lower percentile bound
+    double hi = 0.0;       ///< upper percentile bound
+    double stderr_boot = 0.0; ///< bootstrap standard error
+    std::size_t resamples = 0;
+};
+
+/// `statistic` receives a multiset of sample indices (with repetitions) in
+/// [0, sample_size) and returns the statistic of that resample. `confidence`
+/// in (0, 1) selects the percentile interval (e.g. 0.95).
+inline bootstrap_result bootstrap_ci(
+    std::size_t sample_size, std::size_t resamples, double confidence, std::uint64_t seed,
+    const std::function<double(const std::vector<std::size_t>&)>& statistic) {
+    RICHNOTE_REQUIRE(sample_size > 0, "bootstrap needs a non-empty sample");
+    RICHNOTE_REQUIRE(resamples >= 10, "need at least 10 resamples");
+    RICHNOTE_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+    RICHNOTE_REQUIRE(statistic != nullptr, "bootstrap needs a statistic");
+
+    std::vector<std::size_t> identity(sample_size);
+    std::iota(identity.begin(), identity.end(), std::size_t{0});
+
+    bootstrap_result result;
+    result.estimate = statistic(identity);
+    result.resamples = resamples;
+
+    rng gen(seed);
+    std::vector<double> values;
+    values.reserve(resamples);
+    std::vector<std::size_t> draw(sample_size);
+    running_stats spread;
+    for (std::size_t b = 0; b < resamples; ++b) {
+        for (auto& index : draw) index = gen.index(sample_size);
+        const double value = statistic(draw);
+        values.push_back(value);
+        spread.add(value);
+    }
+    const double alpha = (1.0 - confidence) / 2.0;
+    result.lo = percentile(values, alpha);
+    result.hi = percentile(std::move(values), 1.0 - alpha);
+    result.stderr_boot = spread.stddev();
+    return result;
+}
+
+} // namespace richnote

@@ -1,0 +1,72 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace richnote {
+
+config config::from_args(int argc, const char* const* argv) {
+    config cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string token = argv[i];
+        const auto eq = token.find('=');
+        RICHNOTE_REQUIRE(eq != std::string::npos && eq > 0,
+                         "expected key=value argument, got: " + token);
+        cfg.set(token.substr(0, eq), token.substr(eq + 1));
+    }
+    return cfg;
+}
+
+void config::set(const std::string& key, std::string value) {
+    auto [it, inserted] = values_.insert_or_assign(key, std::move(value));
+    (void)it;
+    if (inserted) order_.push_back(key);
+}
+
+bool config::has(const std::string& key) const noexcept { return values_.count(key) > 0; }
+
+std::string config::get_string(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t config::get_int(const std::string& key, std::int64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const std::int64_t parsed = std::strtoll(it->second.c_str(), &end, 10);
+    RICHNOTE_REQUIRE(end && *end == '\0' && !it->second.empty(),
+                     "config key '" + key + "' is not an integer: " + it->second);
+    return parsed;
+}
+
+double config::get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const double parsed = std::strtod(it->second.c_str(), &end);
+    RICHNOTE_REQUIRE(end && *end == '\0' && !it->second.empty(),
+                     "config key '" + key + "' is not a number: " + it->second);
+    return parsed;
+}
+
+bool config::get_bool(const std::string& key, bool fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::string& v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+    RICHNOTE_REQUIRE(false, "config key '" + key + "' is not a boolean: " + v);
+    return fallback; // unreachable
+}
+
+void config::restrict_to(const std::vector<std::string>& allowed) const {
+    for (const auto& key : order_) {
+        const bool ok = std::find(allowed.begin(), allowed.end(), key) != allowed.end();
+        RICHNOTE_REQUIRE(ok, "unknown config key: " + key);
+    }
+}
+
+} // namespace richnote

@@ -1,0 +1,46 @@
+// Tiny key=value configuration parsing for examples and figure harnesses.
+//
+// Accepts command-line tokens of the form `key=value` (e.g. `users=500
+// rounds=336 seed=7`) so every bench/example can be rescaled without
+// recompiling. Unknown keys are rejected when a schema is provided, catching
+// typos in sweep scripts early.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace richnote {
+
+class config {
+public:
+    config() = default;
+
+    /// Parses argv-style `key=value` tokens; throws precondition_error on a
+    /// token without '='.
+    static config from_args(int argc, const char* const* argv);
+
+    void set(const std::string& key, std::string value);
+
+    bool has(const std::string& key) const noexcept;
+
+    /// Typed getters with defaults; throw precondition_error on parse failure.
+    std::string get_string(const std::string& key, const std::string& fallback) const;
+    std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+    double get_double(const std::string& key, double fallback) const;
+    bool get_bool(const std::string& key, bool fallback) const;
+
+    /// All keys in insertion order (for echoing the effective config).
+    const std::vector<std::string>& keys() const noexcept { return order_; }
+
+    /// Throws if any present key is not in `allowed` — typo protection.
+    void restrict_to(const std::vector<std::string>& allowed) const;
+
+private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> order_;
+};
+
+} // namespace richnote

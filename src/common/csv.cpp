@@ -1,0 +1,45 @@
+#include "common/csv.hpp"
+
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace richnote {
+
+std::string csv_escape(const std::string& field) {
+    if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"') out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+csv_writer::csv_writer(std::ostream& out, std::vector<std::string> headers)
+    : out_(&out), columns_(headers.size()) {
+    RICHNOTE_REQUIRE(columns_ > 0, "csv needs at least one column");
+    write_row(headers);
+    rows_ = 0; // header does not count as a data row
+}
+
+void csv_writer::write_row(const std::vector<std::string>& cells) {
+    RICHNOTE_REQUIRE(cells.size() == columns_, "csv row width must match header width");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) *out_ << ',';
+        *out_ << csv_escape(cells[i]);
+    }
+    *out_ << '\n';
+    ++rows_;
+}
+
+void csv_writer::write_row(const std::vector<double>& cells, int precision) {
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (double c : cells) formatted.push_back(format_double(c, precision));
+    write_row(formatted);
+}
+
+} // namespace richnote

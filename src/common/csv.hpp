@@ -1,0 +1,30 @@
+// Minimal CSV emission (RFC-4180-style quoting) so experiment harnesses can
+// dump machine-readable series alongside the human-readable tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace richnote {
+
+class csv_writer {
+public:
+    /// Writes to the given stream (not owned); emits the header immediately.
+    csv_writer(std::ostream& out, std::vector<std::string> headers);
+
+    void write_row(const std::vector<std::string>& cells);
+    void write_row(const std::vector<double>& cells, int precision = 6);
+
+    std::size_t rows_written() const noexcept { return rows_; }
+
+private:
+    std::ostream* out_;
+    std::size_t columns_;
+    std::size_t rows_ = 0;
+};
+
+/// Quotes a CSV field if it contains commas, quotes or newlines.
+std::string csv_escape(const std::string& field);
+
+} // namespace richnote

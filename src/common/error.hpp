@@ -1,0 +1,59 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// RICHNOTE_REQUIRE is always on (it guards API preconditions and throws
+// std::invalid_argument / std::logic_error so misuse is observable in release
+// builds). RICHNOTE_ASSERT compiles away in NDEBUG builds and guards internal
+// invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace richnote {
+
+/// Thrown when an API precondition is violated.
+class precondition_error : public std::invalid_argument {
+public:
+    using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is found broken (a library bug).
+class invariant_error : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file, int line,
+                                            const std::string& msg) {
+    std::ostringstream os;
+    os << "precondition failed: " << expr << " at " << file << ':' << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw precondition_error(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file, int line,
+                                         const std::string& msg) {
+    std::ostringstream os;
+    os << "invariant violated: " << expr << " at " << file << ':' << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw invariant_error(os.str());
+}
+} // namespace detail
+
+} // namespace richnote
+
+/// Check a caller-facing precondition; throws richnote::precondition_error.
+#define RICHNOTE_REQUIRE(expr, msg)                                                    \
+    do {                                                                               \
+        if (!(expr)) ::richnote::detail::throw_precondition(#expr, __FILE__, __LINE__, \
+                                                            (msg));                    \
+    } while (false)
+
+/// Check an internal invariant; throws richnote::invariant_error.
+#define RICHNOTE_CHECK(expr, msg)                                                   \
+    do {                                                                            \
+        if (!(expr)) ::richnote::detail::throw_invariant(#expr, __FILE__, __LINE__, \
+                                                         (msg));                    \
+    } while (false)

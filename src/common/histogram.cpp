@@ -1,0 +1,60 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace richnote {
+
+histogram::histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
+    RICHNOTE_REQUIRE(bins > 0, "histogram needs at least one bin");
+    RICHNOTE_REQUIRE(hi > lo, "histogram range must be non-empty");
+}
+
+void histogram::add(double value, double weight) noexcept {
+    auto bin = static_cast<std::ptrdiff_t>((value - lo_) / width_);
+    bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    counts_[static_cast<std::size_t>(bin)] += weight;
+    total_ += weight;
+}
+
+double histogram::bin_lo(std::size_t bin) const noexcept {
+    return lo_ + width_ * static_cast<double>(bin);
+}
+
+double histogram::bin_hi(std::size_t bin) const noexcept {
+    return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double histogram::fraction(std::size_t bin) const noexcept {
+    return total_ > 0.0 ? counts_[bin] / total_ : 0.0;
+}
+
+std::vector<double> histogram::cdf() const {
+    std::vector<double> out(counts_.size(), 0.0);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        acc += counts_[i];
+        out[i] = total_ > 0.0 ? acc / total_ : 0.0;
+    }
+    return out;
+}
+
+void categorical_histogram::add(const std::string& key, double weight) {
+    auto [it, inserted] = counts_.try_emplace(key, 0.0);
+    if (inserted) order_.push_back(key);
+    it->second += weight;
+    total_ += weight;
+}
+
+double categorical_histogram::count(const std::string& key) const noexcept {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0.0 : it->second;
+}
+
+double categorical_histogram::fraction(const std::string& key) const noexcept {
+    return total_ > 0.0 ? count(key) / total_ : 0.0;
+}
+
+} // namespace richnote

@@ -1,0 +1,54 @@
+// Fixed-width and categorical histograms for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace richnote {
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so totals are preserved.
+class histogram {
+public:
+    histogram(double lo, double hi, std::size_t bins);
+
+    void add(double value, double weight = 1.0) noexcept;
+
+    std::size_t bin_count() const noexcept { return counts_.size(); }
+    double bin_lo(std::size_t bin) const noexcept;
+    double bin_hi(std::size_t bin) const noexcept;
+    double count(std::size_t bin) const noexcept { return counts_[bin]; }
+    double total() const noexcept { return total_; }
+
+    /// Fraction of total mass in the bin; 0 when empty.
+    double fraction(std::size_t bin) const noexcept;
+
+    /// Empirical CDF evaluated at bin upper edges.
+    std::vector<double> cdf() const;
+
+private:
+    double lo_;
+    double width_;
+    std::vector<double> counts_;
+    double total_ = 0.0;
+};
+
+/// Histogram over string categories, preserving insertion order of keys.
+class categorical_histogram {
+public:
+    void add(const std::string& key, double weight = 1.0);
+
+    double count(const std::string& key) const noexcept;
+    double total() const noexcept { return total_; }
+    double fraction(const std::string& key) const noexcept;
+    const std::vector<std::string>& keys() const noexcept { return order_; }
+
+private:
+    std::map<std::string, double> counts_;
+    std::vector<std::string> order_;
+    double total_ = 0.0;
+};
+
+} // namespace richnote

@@ -1,0 +1,138 @@
+#include "common/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace richnote {
+
+namespace {
+
+void require_paired(const std::vector<double>& x, const std::vector<double>& y) {
+    RICHNOTE_REQUIRE(x.size() == y.size(), "regression needs paired samples");
+    RICHNOTE_REQUIRE(x.size() >= 2, "regression needs at least two points");
+}
+
+} // namespace
+
+double r_squared(const std::vector<double>& observed, const std::vector<double>& predicted) {
+    RICHNOTE_REQUIRE(observed.size() == predicted.size(), "r_squared needs paired samples");
+    const double y_bar = mean(observed);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        const double res = observed[i] - predicted[i];
+        const double dev = observed[i] - y_bar;
+        ss_res += res * res;
+        ss_tot += dev * dev;
+    }
+    if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+double rmse(const std::vector<double>& observed, const std::vector<double>& predicted) {
+    RICHNOTE_REQUIRE(observed.size() == predicted.size(), "rmse needs paired samples");
+    RICHNOTE_REQUIRE(!observed.empty(), "rmse of an empty sample");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        const double res = observed[i] - predicted[i];
+        acc += res * res;
+    }
+    return std::sqrt(acc / static_cast<double>(observed.size()));
+}
+
+linear_fit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+    require_paired(x, y);
+    const double mx = mean(x);
+    const double my = mean(y);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sxy += (x[i] - mx) * (y[i] - my);
+        sxx += (x[i] - mx) * (x[i] - mx);
+    }
+    RICHNOTE_REQUIRE(sxx > 0.0, "predictor is constant; slope undefined");
+    linear_fit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    std::vector<double> predicted(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) predicted[i] = fit.intercept + fit.slope * x[i];
+    fit.r_squared = r_squared(y, predicted);
+    fit.rmse = rmse(y, predicted);
+    return fit;
+}
+
+linear_fit fit_log_law(const std::vector<double>& d, const std::vector<double>& util) {
+    require_paired(d, util);
+    std::vector<double> log_d(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        RICHNOTE_REQUIRE(d[i] >= 0.0, "duration must be non-negative");
+        log_d[i] = std::log(1.0 + d[i]);
+    }
+    linear_fit fit = fit_linear(log_d, util);
+    // Report goodness-of-fit against the raw durations (identical numbers,
+    // but recomputed on the transformed model for clarity).
+    std::vector<double> predicted(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i)
+        predicted[i] = fit.intercept + fit.slope * std::log(1.0 + d[i]);
+    fit.r_squared = r_squared(util, predicted);
+    fit.rmse = rmse(util, predicted);
+    return fit;
+}
+
+double power_fit::evaluate(double d) const {
+    const double frac = 1.0 - d / horizon;
+    if (frac <= 0.0) return 0.0;
+    return scale * std::pow(frac, exponent);
+}
+
+power_fit fit_power_law(const std::vector<double>& d, const std::vector<double>& util,
+                        double horizon_hi, std::size_t grid_steps) {
+    require_paired(d, util);
+    RICHNOTE_REQUIRE(grid_steps >= 2, "need at least two grid steps");
+    double d_max = 0.0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        RICHNOTE_REQUIRE(util[i] > 0.0, "power-law fit needs strictly positive utilities");
+        d_max = std::max(d_max, d[i]);
+    }
+    RICHNOTE_REQUIRE(horizon_hi > d_max, "horizon upper bound must exceed max duration");
+
+    // For fixed D: log(util) = log(a) + b * log(1 - d/D) is linear. Scan D.
+    power_fit best;
+    double best_rmse = std::numeric_limits<double>::infinity();
+    std::vector<double> log_u(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) log_u[i] = std::log(util[i]);
+
+    const double lo = d_max * 1.0001; // D must strictly exceed every duration
+    for (std::size_t step = 0; step <= grid_steps; ++step) {
+        const double horizon =
+            lo + (horizon_hi - lo) * static_cast<double>(step) / static_cast<double>(grid_steps);
+        std::vector<double> log_frac(d.size());
+        for (std::size_t i = 0; i < d.size(); ++i) log_frac[i] = std::log(1.0 - d[i] / horizon);
+        linear_fit lin;
+        try {
+            lin = fit_linear(log_frac, log_u);
+        } catch (const precondition_error&) {
+            continue; // degenerate (all durations equal) — skip this horizon
+        }
+        power_fit candidate;
+        candidate.scale = std::exp(lin.intercept);
+        candidate.exponent = lin.slope;
+        candidate.horizon = horizon;
+        std::vector<double> predicted(d.size());
+        for (std::size_t i = 0; i < d.size(); ++i) predicted[i] = candidate.evaluate(d[i]);
+        candidate.rmse = rmse(util, predicted);
+        candidate.r_squared = r_squared(util, predicted);
+        if (candidate.rmse < best_rmse) {
+            best_rmse = candidate.rmse;
+            best = candidate;
+        }
+    }
+    RICHNOTE_CHECK(std::isfinite(best_rmse), "power-law grid search found no valid horizon");
+    return best;
+}
+
+} // namespace richnote

@@ -1,0 +1,51 @@
+// Regression fits used by the presentation-utility survey analysis (§V-B).
+//
+// The paper fits two candidate duration-utility families to the survey CDF:
+//   logarithmic:  util(d) = a + b * log(1 + d)            (Equation 8)
+//   polynomial:   util(d) = a * (1 - d/D)^b               (Equation 9)
+// and selects the better fit (logarithmic, in the paper). We reproduce both
+// via ordinary least squares (the polynomial family is fit by grid search
+// over D combined with log-linearization).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace richnote {
+
+/// Result of a simple (one predictor) least-squares fit y = a + b * f(x).
+struct linear_fit {
+    double intercept = 0.0; ///< a
+    double slope = 0.0;     ///< b
+    double r_squared = 0.0; ///< coefficient of determination on the fit data
+    double rmse = 0.0;      ///< root-mean-square error on the fit data
+};
+
+/// OLS fit of y = a + b*x. Requires >= 2 points with non-constant x.
+linear_fit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fit of the paper's logarithmic family util(d) = a + b*log(1+d).
+linear_fit fit_log_law(const std::vector<double>& d, const std::vector<double>& util);
+
+/// Result of fitting util(d) = a * (1 - d/D)^b.
+struct power_fit {
+    double scale = 0.0;     ///< a
+    double exponent = 0.0;  ///< b
+    double horizon = 0.0;   ///< D
+    double r_squared = 0.0;
+    double rmse = 0.0;
+
+    double evaluate(double d) const;
+};
+
+/// Fit of the paper's polynomial family by grid search over horizon D in
+/// (max(d), d_hi] combined with log-linearization. Requires util > 0.
+power_fit fit_power_law(const std::vector<double>& d, const std::vector<double>& util,
+                        double horizon_hi, std::size_t grid_steps = 200);
+
+/// R^2 of arbitrary predictions against observations.
+double r_squared(const std::vector<double>& observed, const std::vector<double>& predicted);
+/// RMSE of arbitrary predictions against observations.
+double rmse(const std::vector<double>& observed, const std::vector<double>& predicted);
+
+} // namespace richnote

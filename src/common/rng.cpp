@@ -1,0 +1,125 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace richnote {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t value) noexcept {
+    std::uint64_t state = value;
+    return splitmix64(state);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+} // namespace
+
+rng::rng(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& lane : state_) lane = splitmix64(s);
+}
+
+rng::result_type rng::operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+rng rng::split() noexcept { return rng((*this)() ^ 0xd1b54a32d192ed03ULL); }
+
+double rng::uniform() noexcept {
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)()); // full 64-bit range
+    // Lemire-style rejection-free-ish bounded draw with rejection of the
+    // biased tail; unbiased and fast for any span.
+    const std::uint64_t threshold = -span % span;
+    for (;;) {
+        const std::uint64_t r = (*this)();
+        const __uint128_t m = static_cast<__uint128_t>(r) * span;
+        if (static_cast<std::uint64_t>(m) >= threshold)
+            return lo + static_cast<std::int64_t>(m >> 64);
+    }
+}
+
+bool rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+double rng::normal() noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u = 0, v = 0, s = 0;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_normal_ = v * factor;
+    has_cached_normal_ = true;
+    return u * factor;
+}
+
+double rng::normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+double rng::exponential(double rate) noexcept {
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -std::log(1.0 - uniform()) / rate;
+}
+
+std::uint32_t rng::poisson(double mean) noexcept {
+    if (mean <= 0.0) return 0;
+    if (mean < 30.0) {
+        // Knuth's product-of-uniforms method.
+        const double limit = std::exp(-mean);
+        std::uint32_t count = 0;
+        double product = uniform();
+        while (product > limit) {
+            ++count;
+            product *= uniform();
+        }
+        return count;
+    }
+    // Normal approximation with continuity correction for large means.
+    const double sample = normal(mean, std::sqrt(mean));
+    return sample <= 0.0 ? 0u : static_cast<std::uint32_t>(sample + 0.5);
+}
+
+std::size_t rng::index(std::size_t size) noexcept {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+std::size_t rng::weighted_index(const std::vector<double>& weights) noexcept {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return weights.size();
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        target -= weights[i];
+        if (target < 0.0) return i;
+    }
+    return weights.size() - 1; // floating-point slack lands on the last item
+}
+
+} // namespace richnote

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library takes an explicit seed (or an
+// rng&) so that simulations, trace generation and model training are fully
+// reproducible. The generator is xoshiro256** (Blackman & Vigna), seeded via
+// splitmix64; it satisfies std::uniform_random_bit_generator so it composes
+// with <random> distributions, but we also provide the handful of
+// distributions the library needs directly, with stable cross-platform
+// output (libstdc++ / libc++ distributions are not bit-identical).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace richnote {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless 64-bit mix of a value (one splitmix64 round).
+std::uint64_t mix64(std::uint64_t value) noexcept;
+
+/// xoshiro256** generator with explicit seeding and handy distributions.
+class rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the four lanes from `seed` via splitmix64.
+    explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+    /// Next raw 64-bit output.
+    result_type operator()() noexcept;
+
+    /// Creates an independent child stream (useful to give each simulated
+    /// user / component its own generator without correlated sequences).
+    rng split() noexcept;
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept;
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept;
+    /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+    /// Bernoulli trial with success probability p (clamped to [0,1]).
+    bool bernoulli(double p) noexcept;
+    /// Standard normal via Marsaglia polar method.
+    double normal() noexcept;
+    /// Normal with the given mean / stddev.
+    double normal(double mean, double stddev) noexcept;
+    /// Exponential with the given rate (mean 1/rate); rate must be > 0.
+    double exponential(double rate) noexcept;
+    /// Poisson-distributed count with the given mean (>= 0).
+    std::uint32_t poisson(double mean) noexcept;
+
+    /// Uniformly random index into a container of the given size (> 0).
+    std::size_t index(std::size_t size) noexcept;
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& items) noexcept {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            using std::swap;
+            swap(items[i - 1], items[index(i)]);
+        }
+    }
+
+    /// Sample an index according to (unnormalized, non-negative) weights.
+    /// Returns weights.size() if the total weight is zero.
+    std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+private:
+    std::array<std::uint64_t, 4> state_;
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+} // namespace richnote

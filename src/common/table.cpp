@@ -1,0 +1,71 @@
+#include "common/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace richnote {
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    RICHNOTE_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void table::add_row(std::vector<std::string> cells) {
+    RICHNOTE_REQUIRE(cells.size() == headers_.size(), "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void table::add_numeric_row(const std::vector<double>& cells, int precision) {
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (double c : cells) formatted.push_back(format_double(c, precision));
+    add_row(std::move(formatted));
+}
+
+std::string table::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c])) << cells[c];
+        }
+        os << " |\n";
+    };
+    emit_row(headers_);
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        os << std::string(widths[c] + 2, '-') << '|';
+    }
+    os << '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const table& t) { return os << t.render(); }
+
+std::string format_double(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string format_bytes(double bytes) {
+    static constexpr const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+    int unit = 0;
+    while (bytes >= 1000.0 && unit < 4) {
+        bytes /= 1000.0;
+        ++unit;
+    }
+    std::ostringstream os;
+    const int precision = unit == 0 ? 0 : bytes < 10 ? 2 : 1;
+    os << std::fixed << std::setprecision(precision) << bytes << units[unit];
+    return os.str();
+}
+
+} // namespace richnote

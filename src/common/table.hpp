@@ -1,0 +1,41 @@
+// ASCII table rendering for benchmark / experiment output. The figure
+// harnesses in bench/ print the same rows & series the paper reports; this
+// keeps their formatting uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace richnote {
+
+class table {
+public:
+    explicit table(std::vector<std::string> headers);
+
+    /// Adds a row; must have exactly as many cells as there are headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: formats doubles with the given precision.
+    void add_numeric_row(const std::vector<double>& cells, int precision = 4);
+
+    std::size_t rows() const noexcept { return rows_.size(); }
+    std::size_t columns() const noexcept { return headers_.size(); }
+
+    /// Renders with aligned columns, a header rule and outer padding.
+    std::string render() const;
+
+    friend std::ostream& operator<<(std::ostream& os, const table& t);
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table rows).
+std::string format_double(double value, int precision = 4);
+
+/// Formats a byte count with binary-ish units (B / KB / MB / GB, decimal).
+std::string format_bytes(double bytes);
+
+} // namespace richnote

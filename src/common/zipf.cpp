@@ -1,0 +1,35 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace richnote {
+
+zipf_distribution::zipf_distribution(std::size_t n, double exponent)
+    : exponent_(exponent), cdf_(n) {
+    RICHNOTE_REQUIRE(n > 0, "zipf needs at least one rank");
+    RICHNOTE_REQUIRE(exponent >= 0.0, "zipf exponent must be non-negative");
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        acc += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+        cdf_[k] = acc;
+    }
+    for (auto& c : cdf_) c /= acc;
+    cdf_.back() = 1.0; // guard against rounding drift at the tail
+}
+
+std::size_t zipf_distribution::sample(rng& gen) const noexcept {
+    const double u = gen.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double zipf_distribution::pmf(std::size_t rank) const noexcept {
+    if (rank >= cdf_.size()) return 0.0;
+    const double lo = rank == 0 ? 0.0 : cdf_[rank - 1];
+    return cdf_[rank] - lo;
+}
+
+} // namespace richnote

@@ -1,0 +1,32 @@
+// Zipf-distributed sampling for heavy-tailed popularity (music catalog,
+// artist follow counts). Precomputes the CDF once; each draw is a binary
+// search, so sampling is O(log n).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace richnote {
+
+class zipf_distribution {
+public:
+    /// Ranks 1..n with P(rank k) proportional to 1 / k^exponent.
+    zipf_distribution(std::size_t n, double exponent);
+
+    /// Draws a 0-based rank (0 = most popular).
+    std::size_t sample(rng& gen) const noexcept;
+
+    /// Probability mass of the 0-based rank.
+    double pmf(std::size_t rank) const noexcept;
+
+    std::size_t size() const noexcept { return cdf_.size(); }
+    double exponent() const noexcept { return exponent_; }
+
+private:
+    double exponent_;
+    std::vector<double> cdf_;
+};
+
+} // namespace richnote

@@ -1,0 +1,137 @@
+#include "core/broker.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace richnote::core {
+
+using richnote::sim::net_state;
+using richnote::sim::sim_time;
+
+broker::broker(trace::user_id user, broker_params params, std::unique_ptr<scheduler> sched,
+               const presentation_generator& generator, const content_utility_model& utility,
+               const energy::energy_model& energy,
+               richnote::sim::markov_network_model network,
+               std::unique_ptr<richnote::sim::battery_source> battery,
+               const trace::catalog& catalog, metrics_recorder& metrics,
+               std::uint64_t env_seed)
+    : user_(user),
+      params_(params),
+      scheduler_(std::move(sched)),
+      generator_(&generator),
+      utility_(&utility),
+      energy_(&energy),
+      network_(std::move(network)),
+      battery_(std::move(battery)),
+      catalog_(&catalog),
+      metrics_(&metrics),
+      env_rng_(env_seed) {
+    RICHNOTE_REQUIRE(scheduler_ != nullptr, "broker needs a scheduler");
+    RICHNOTE_REQUIRE(battery_ != nullptr, "broker needs a battery source");
+    RICHNOTE_REQUIRE(params_.budget_per_round_bytes >= 0, "theta must be non-negative");
+    RICHNOTE_REQUIRE(params_.round > 0, "round length must be positive");
+    RICHNOTE_REQUIRE(params_.transfer_failure_prob >= 0.0 &&
+                         params_.transfer_failure_prob <= 1.0,
+                     "failure probability must be in [0,1]");
+}
+
+std::vector<trace::notification> broker::take_feedback() {
+    std::vector<trace::notification> out;
+    out.swap(pending_feedback_);
+    return out;
+}
+
+void broker::admit(const trace::notification& n) {
+    RICHNOTE_REQUIRE(n.recipient == user_, "notification for a different user");
+    metrics_->on_arrival(n);
+
+    sched_item item;
+    item.note = n;
+    item.content_utility = utility_->content_utility(n);
+    const double full_duration = catalog_->track_at(n.track).duration_sec;
+    item.presentations = generator_->generate(full_duration);
+    item.arrived_at = n.created_at;
+    scheduler_->enqueue(std::move(item));
+}
+
+void broker::run_round(sim_time now) {
+    // 1. Environment evolves (driven by this broker's private stream).
+    const net_state state = network_.step(env_rng_);
+    battery_->step(now, params_.round, 0.0);
+
+    // 3. Budget replenishment with capped rollover.
+    data_budget_ = std::min(data_budget_ + params_.budget_per_round_bytes,
+                            params_.budget_per_round_bytes *
+                                std::max(1.0, params_.rollover_rounds));
+    const double replenishment = params_.energy_policy.replenishment(*battery_);
+
+    const richnote::sim::link_profile link = richnote::sim::default_link_profile(state);
+    round_context ctx;
+    ctx.now = now;
+    ctx.data_budget_bytes = data_budget_;
+    ctx.network = state;
+    ctx.metered = link.metered;
+    ctx.link_capacity_bytes = link.bytes_per_second * params_.round;
+    ctx.energy_replenishment = replenishment;
+
+    // 4. Plan and deliver.
+    const std::vector<planned_delivery> plan = scheduler_->plan(ctx);
+    if (plan.empty()) return;
+
+    double sent_bytes = 0.0;
+    std::size_t sent_items = 0;
+    std::vector<const planned_delivery*> sent;
+    sent.reserve(plan.size());
+    for (const planned_delivery& d : plan) {
+        if (!link.connected) break;
+        if (sent_bytes + d.size_bytes > ctx.link_capacity_bytes) break;
+        if (ctx.metered && d.size_bytes > data_budget_) break;
+        // Energy-gated items are skipped, not head-of-line blocking: a rich
+        // presentation whose rho exceeds the remaining credit must not
+        // starve the cheap metadata deliveries behind it in the plan.
+        if (!scheduler_->allow_delivery(d.rho_joules)) continue;
+
+        sent.push_back(&d);
+        sent_bytes += d.size_bytes;
+        ++sent_items;
+        if (ctx.metered) data_budget_ -= d.size_bytes;
+
+        if (params_.transfer_failure_prob > 0.0 &&
+            env_rng_.bernoulli(params_.transfer_failure_prob)) {
+            // Mid-flight drop: bytes and radio energy are gone, but the
+            // item is NOT delivered and stays queued for a later retry.
+            ++failed_transfers_;
+            metrics_->on_session_overhead(user_, d.rho_joules);
+            battery_->drain(d.rho_joules);
+            continue;
+        }
+
+        // Delivery timestamp: when the last byte of this item crosses the
+        // link, assuming back-to-back transmission from the round start.
+        const sim_time when = now + sent_bytes / link.bytes_per_second;
+        metrics_->on_delivery(d, when, d.rho_joules, ctx.metered);
+        battery_->drain(d.rho_joules);
+        scheduler_->on_delivered(d.item_id, d.rho_joules);
+        // Engagement feedback becomes observable once the user sees the
+        // notification; unattended deliveries produce no signal.
+        if (d.note.attended) pending_feedback_.push_back(d.note);
+    }
+
+    if (sent_items > 0) {
+        // The per-item rho estimates amortize the radio session overhead
+        // over an assumed batch; account the difference between the actual
+        // session cost and what was already charged per item.
+        const double actual = energy_->session_joules(state, sent_bytes, sent_items);
+        double charged = 0.0;
+        for (const planned_delivery* d : sent) charged += d->rho_joules;
+        const double overhead = actual - charged;
+        if (overhead > 0.0) {
+            metrics_->on_session_overhead(user_, overhead);
+            battery_->drain(overhead);
+            scheduler_->on_session_overhead(overhead);
+        }
+    }
+}
+
+} // namespace richnote::core

@@ -1,0 +1,103 @@
+// Per-user broker: the Figure 1 workflow.
+//
+// Each user is served by one broker that owns the user's scheduler, data-
+// budget account, battery and network models. Every round the broker:
+//   1. steps the network Markov chain and the battery;
+//   2. admits trace arrivals into the scheduling queue (incoming queue ->
+//      presentation generation -> utility assignment, §IV);
+//   3. replenishes the data budget by theta with rollover (Algorithm 2
+//      step 2) and computes e(t) from the battery policy;
+//   4. asks the scheduler for a delivery plan and pushes it through the
+//      link, deducting data budget and energy per delivery (step 3) and
+//      timestamping each delivery by the bytes already sent this round.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+#include "core/metrics.hpp"
+#include "core/presentation.hpp"
+#include "core/scheduler.hpp"
+#include "core/utility.hpp"
+#include "energy/model.hpp"
+#include "sim/battery.hpp"
+#include "sim/battery_trace.hpp"
+#include "sim/network.hpp"
+#include "sim/time.hpp"
+#include "trace/notification.hpp"
+
+namespace richnote::core {
+
+struct broker_params {
+    double budget_per_round_bytes = 0.0; ///< theta (Algorithm 2 step 2)
+    richnote::sim::sim_time round = richnote::sim::default_round;
+    richnote::sim::energy_budget_policy energy_policy;
+    /// Cap on how much unused budget may roll over, expressed in rounds of
+    /// theta; 0 disables rollover entirely. The paper lets budget "roll
+    /// over in the next round if not used"; the default allows a full
+    /// week of accumulation (168 one-hour rounds), so even an 800 KB fixed
+    /// presentation can eventually be afforded at a 1 MB/week budget.
+    double rollover_rounds = 168.0;
+    /// Probability an individual transfer fails mid-flight (cellular drop).
+    /// A failed transfer wastes its bytes (budget) and radio energy but the
+    /// item STAYS in the scheduling queue and is retried in a later round.
+    /// 0 = the paper's lossless setting.
+    double transfer_failure_prob = 0.0;
+};
+
+class broker {
+public:
+    /// `env_seed` seeds this broker's private environment randomness (the
+    /// network Markov transitions). Each broker owning its own stream makes
+    /// users fully independent — the property §V-C leans on for backend
+    /// parallelism — so results are identical no matter how users are
+    /// sharded across worker threads.
+    broker(trace::user_id user, broker_params params, std::unique_ptr<scheduler> sched,
+           const presentation_generator& generator, const content_utility_model& utility,
+           const energy::energy_model& energy, richnote::sim::markov_network_model network,
+           std::unique_ptr<richnote::sim::battery_source> battery,
+           const trace::catalog& catalog, metrics_recorder& metrics,
+           std::uint64_t env_seed);
+
+    /// Admit one trace notification (called in timestamp order).
+    void admit(const trace::notification& n);
+
+    /// Execute one round starting at `now` (steps 1–4 above).
+    void run_round(richnote::sim::sim_time now);
+
+    const scheduler& sched() const noexcept { return *scheduler_; }
+
+    /// Transfers that failed mid-flight so far (see transfer_failure_prob).
+    std::uint64_t failed_transfers() const noexcept { return failed_transfers_; }
+
+    /// Drains the engagement feedback observed since the last call: copies
+    /// of delivered notifications the user attended (clicked or hovered).
+    /// This is what an online learner may legitimately train on — feedback
+    /// exists only for content that was actually delivered.
+    std::vector<trace::notification> take_feedback();
+    double data_budget() const noexcept { return data_budget_; }
+    richnote::sim::net_state network_state() const noexcept { return network_.state(); }
+    const richnote::sim::battery_source& battery() const noexcept { return *battery_; }
+    trace::user_id user() const noexcept { return user_; }
+
+private:
+    trace::user_id user_;
+    broker_params params_;
+    std::unique_ptr<scheduler> scheduler_;
+    const presentation_generator* generator_;
+    const content_utility_model* utility_;
+    const energy::energy_model* energy_;
+    richnote::sim::markov_network_model network_;
+    std::unique_ptr<richnote::sim::battery_source> battery_;
+    const trace::catalog* catalog_;
+    metrics_recorder* metrics_;
+    richnote::rng env_rng_;
+    double data_budget_ = 0.0;
+    std::uint64_t failed_transfers_ = 0;
+    std::vector<trace::notification> pending_feedback_;
+};
+
+} // namespace richnote::core

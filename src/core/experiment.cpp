@@ -1,0 +1,303 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace richnote::core {
+
+using richnote::sim::sim_time;
+
+const char* to_string(scheduler_kind kind) noexcept {
+    switch (kind) {
+        case scheduler_kind::richnote: return "RichNote";
+        case scheduler_kind::fifo: return "FIFO";
+        case scheduler_kind::util: return "UTIL";
+        case scheduler_kind::direct: return "Direct";
+    }
+    return "?";
+}
+
+experiment_setup::experiment_setup(const options& opts) : opts_(opts) {
+    world_ = std::make_unique<trace::workload>(opts.workload, opts.seed);
+
+    if (opts.oracle_utility) {
+        model_ = std::make_shared<oracle_content_utility>(world_->clicks());
+    } else if (!opts.model_file.empty()) {
+        auto forest = std::make_shared<ml::random_forest>();
+        forest->load_file(opts.model_file);
+        model_ = std::make_shared<forest_content_utility>(std::move(forest));
+    } else {
+        ml::dataset full = make_training_set(world_->notifications());
+        RICHNOTE_REQUIRE(!full.empty(), "trace produced no attended notifications");
+        if (opts.max_training_rows > 0 && full.size() > opts.max_training_rows) {
+            // Deterministic subsample keeps forest training tractable on
+            // large traces without changing the learned signal much.
+            const auto [train, rest] = full.train_test_split(
+                1.0 - static_cast<double>(opts.max_training_rows) /
+                          static_cast<double>(full.size()),
+                opts.seed ^ 0xf0f0f0f0ULL);
+            (void)rest;
+            full = train;
+        }
+        auto forest = std::make_shared<ml::random_forest>();
+        if (opts.calibrate_utility) {
+            // Hold out 25% of the rows for calibration; train on the rest.
+            const auto [train, held_out] =
+                full.train_test_split(0.25, opts.seed ^ 0x5151ULL);
+            forest->fit(train, opts.forest, opts.seed ^ 0xabcdef12ULL);
+            std::vector<double> scores;
+            std::vector<int> labels;
+            scores.reserve(held_out.size());
+            for (std::size_t r = 0; r < held_out.size(); ++r) {
+                scores.push_back(forest->predict_proba(held_out.row(r)));
+                labels.push_back(held_out.label(r));
+            }
+            ml::platt_calibrator calibrator;
+            calibrator.fit(scores, labels);
+            model_ = std::make_shared<calibrated_content_utility>(
+                std::make_shared<forest_content_utility>(std::move(forest)),
+                std::move(calibrator));
+        } else {
+            forest->fit(full, opts.forest, opts.seed ^ 0xabcdef12ULL);
+            model_ = std::make_shared<forest_content_utility>(std::move(forest));
+        }
+    }
+    cached_ = std::make_unique<cached_content_utility>(world_->notifications(), *model_);
+}
+
+std::vector<std::uint64_t> experiment_setup::default_category_edges() const {
+    // Quartile-ish edges over the per-user arrived counts.
+    std::vector<double> counts;
+    counts.reserve(world_->user_count());
+    for (const auto& stream : world_->notifications().per_user)
+        counts.push_back(static_cast<double>(stream.size()));
+    std::sort(counts.begin(), counts.end());
+    auto at = [&](double q) {
+        return static_cast<std::uint64_t>(
+            counts[static_cast<std::size_t>(q * static_cast<double>(counts.size() - 1))]);
+    };
+    std::vector<std::uint64_t> edges = {at(0.25), at(0.5), at(0.75)};
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    return edges;
+}
+
+experiment_result run_experiment(const experiment_setup& setup,
+                                 const experiment_params& params) {
+    RICHNOTE_REQUIRE(params.weekly_budget_mb > 0, "budget must be positive");
+    const trace::workload& world = setup.world();
+
+    const audio_preview_generator generator(params.presentation);
+    const energy::energy_model energy;
+
+    // theta: the per-round slice of the weekly budget (§V-C "budget per
+    // week" with 1-hour rounds).
+    const double rounds_per_week = richnote::sim::weeks / params.round;
+    const double theta = params.weekly_budget_mb * 1e6 / rounds_per_week;
+
+    const std::size_t max_level = params.presentation.preview_durations_sec.size() + 1;
+    metrics_recorder metrics(world.user_count(), max_level);
+
+    // Online-learning mode replaces the offline-trained utility model with
+    // a cold-start learner fed from delivery feedback at round boundaries.
+    std::unique_ptr<online_content_utility> online_model;
+    if (params.online_learning) {
+        auto online_params = params.online;
+        online_params.seed ^= params.seed;
+        online_model = std::make_unique<online_content_utility>(online_params);
+    }
+    const content_utility_model& utility_model =
+        online_model ? static_cast<const content_utility_model&>(*online_model)
+                     : setup.utility();
+
+    // Build one broker per user.
+    std::vector<broker> brokers;
+    brokers.reserve(world.user_count());
+    for (trace::user_id u = 0; u < world.user_count(); ++u) {
+        std::unique_ptr<scheduler> sched;
+        switch (params.kind) {
+            case scheduler_kind::richnote: {
+                richnote_scheduler::params rp;
+                rp.lyapunov = params.lyapunov;
+                rp.mckp = params.mckp;
+                rp.min_content_utility = params.min_content_utility;
+                rp.utility_half_life_sec = params.utility_half_life_sec;
+                rp.wifi_deferral_min_utility = params.wifi_deferral_min_utility;
+                rp.wifi_deferral_max_wait_sec = params.wifi_deferral_max_wait_sec;
+                sched = std::make_unique<richnote_scheduler>(rp, energy);
+                break;
+            }
+            case scheduler_kind::fifo:
+                sched = std::make_unique<fifo_scheduler>(params.fixed_level, energy);
+                break;
+            case scheduler_kind::util:
+                sched = std::make_unique<util_scheduler>(params.fixed_level, energy);
+                break;
+            case scheduler_kind::direct: {
+                direct_scheduler::params dp;
+                dp.kappa_joules_per_round = params.lyapunov.kappa;
+                dp.mckp = params.mckp;
+                sched = std::make_unique<direct_scheduler>(dp, energy);
+                break;
+            }
+        }
+
+        broker_params bp;
+        bp.budget_per_round_bytes = theta;
+        bp.round = params.round;
+        bp.energy_policy = params.energy_policy;
+        bp.rollover_rounds = params.rollover_rounds;
+        bp.transfer_failure_prob = params.transfer_failure_prob;
+
+        auto network =
+            params.wifi_enabled
+                ? richnote::sim::markov_network_model::with_wifi()
+                : richnote::sim::markov_network_model::cellular_with_coverage(
+                      params.cellular_coverage);
+        // Per-user seeds derived by hashing (run seed, user id): broker
+        // construction and stepping never touch shared randomness, the
+        // precondition for the sharded round loop below.
+        const std::uint64_t user_seed = richnote::mix64(params.seed ^ (0x9e37ULL + u));
+        richnote::rng battery_gen(richnote::mix64(user_seed ^ 0xbeefULL));
+        std::unique_ptr<richnote::sim::battery_source> battery;
+        if (params.battery_traces) {
+            // Paper mode: replay a timestamped battery-status trace per user
+            // (here synthesized once, then treated as an exogenous recording).
+            battery = std::make_unique<richnote::sim::traced_battery>(
+                richnote::sim::battery_trace::synthesize(
+                    params.battery, world.params().horizon + params.round, params.round,
+                    battery_gen));
+        } else {
+            battery =
+                std::make_unique<richnote::sim::battery_model>(params.battery, battery_gen);
+        }
+
+        brokers.emplace_back(u, bp, std::move(sched), generator, utility_model, energy,
+                             std::move(network), std::move(battery), world.catalog(),
+                             metrics, user_seed);
+    }
+
+    // Replay: periodic rounds on the event simulator; each tick admits the
+    // arrivals whose timestamps have passed, then runs every broker's round.
+    const sim_time horizon = world.params().horizon;
+    const auto total_rounds =
+        static_cast<std::uint64_t>(std::ceil(horizon / params.round)) + 1;
+
+    RICHNOTE_REQUIRE(params.batch_topic_round_multiplier >= 1,
+                     "topic round multiplier must be >= 1");
+    // Per-topic admission cadence (§II): split each user's stream into the
+    // fast (friend-feed) and batch (album/playlist) indices once.
+    std::vector<std::vector<std::size_t>> fast_index(world.user_count());
+    std::vector<std::vector<std::size_t>> batch_index(world.user_count());
+    for (trace::user_id u = 0; u < world.user_count(); ++u) {
+        const auto& stream = world.notifications().per_user[u];
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            (stream[i].type == trace::notification_type::friend_feed ? fast_index
+                                                                     : batch_index)[u]
+                .push_back(i);
+        }
+    }
+
+    RICHNOTE_REQUIRE(params.worker_threads >= 1, "need at least one worker thread");
+    auto trajectories = std::make_shared<telemetry>(params.telemetry_users);
+    std::vector<std::size_t> fast_cursor(world.user_count(), 0);
+    std::vector<std::size_t> batch_cursor(world.user_count(), 0);
+    richnote::sim::simulator sim;
+    std::uint64_t rounds_run = 0;
+    sim.schedule_periodic(0.0, params.round, [&](std::uint64_t tick) {
+        const sim_time now = sim.now();
+        const bool batch_tick = tick % params.batch_topic_round_multiplier == 0 ||
+                                tick + 1 >= total_rounds; // final tick flushes
+
+        // One user's admissions + round; touches only user-u state.
+        auto run_user = [&](trace::user_id u) {
+            const auto& stream = world.notifications().per_user[u];
+            auto admit_due = [&](const std::vector<std::size_t>& index,
+                                 std::size_t& cursor) {
+                while (cursor < index.size() &&
+                       stream[index[cursor]].created_at <= now) {
+                    brokers[u].admit(stream[index[cursor]]);
+                    ++cursor;
+                }
+            };
+            admit_due(fast_index[u], fast_cursor[u]);
+            if (batch_tick) admit_due(batch_index[u], batch_cursor[u]);
+            brokers[u].run_round(now);
+            if (trajectories->enabled() && trajectories->watches(u)) {
+                round_sample sample;
+                sample.round = tick;
+                sample.user = u;
+                sample.queue_items = static_cast<double>(brokers[u].sched().queue_size());
+                sample.queue_bytes = brokers[u].sched().queue_bytes();
+                sample.energy_credit = brokers[u].sched().energy_credit_joules();
+                sample.data_budget = brokers[u].data_budget();
+                sample.battery_level = brokers[u].battery().level();
+                sample.network = brokers[u].network_state();
+                sample.delivered_so_far = metrics.user(u).delivered;
+                trajectories->record(sample);
+            }
+        };
+
+        const std::size_t workers =
+            std::min<std::size_t>(params.worker_threads, world.user_count());
+        if (workers <= 1) {
+            for (trace::user_id u = 0; u < world.user_count(); ++u) run_user(u);
+        } else {
+            // §V-C backend parallelism: shard users contiguously; each user
+            // is owned by exactly one worker for the whole round.
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            const std::size_t n = world.user_count();
+            for (std::size_t w = 0; w < workers; ++w) {
+                const auto lo = static_cast<trace::user_id>(n * w / workers);
+                const auto hi = static_cast<trace::user_id>(n * (w + 1) / workers);
+                pool.emplace_back([&, lo, hi] {
+                    for (trace::user_id u = lo; u < hi; ++u) run_user(u);
+                });
+            }
+            for (auto& t : pool) t.join();
+        }
+        if (online_model) {
+            // Drain this round's engagement feedback and refit when due —
+            // single-threaded, between the sharded sections.
+            for (auto& b : brokers) {
+                for (const auto& n : b.take_feedback()) online_model->observe(n);
+            }
+            online_model->on_round_end();
+        }
+        ++rounds_run;
+        if (tick + 1 >= total_rounds) sim.stop();
+    });
+    sim.run();
+
+    // Aggregate.
+    experiment_result r;
+    r.scheduler_name = to_string(params.kind);
+    if (params.kind == scheduler_kind::fifo || params.kind == scheduler_kind::util) {
+        r.scheduler_name += "(L" + std::to_string(params.fixed_level) + ")";
+    }
+    r.weekly_budget_mb = params.weekly_budget_mb;
+    r.delivery_ratio = metrics.delivery_ratio();
+    r.delivered_mb = metrics.total_bytes_delivered() / 1e6;
+    r.metered_mb = metrics.total_metered_bytes() / 1e6;
+    r.recall = metrics.recall();
+    r.precision = metrics.precision();
+    r.total_utility = metrics.total_utility();
+    r.utility_clicked = metrics.total_utility_clicked();
+    r.avg_utility = metrics.average_utility_per_delivery();
+    r.energy_kj = metrics.total_energy_joules() / 1000.0;
+    r.mean_delay_min = metrics.mean_queuing_delay_sec() / 60.0;
+    r.level_mix = metrics.level_mix();
+    r.user_categories = metrics.utility_by_user_category(setup.default_category_edges());
+    r.rounds_run = rounds_run;
+    r.trajectories = std::move(trajectories);
+    double queue_total = 0.0;
+    for (const auto& b : brokers) queue_total += static_cast<double>(b.sched().queue_size());
+    r.final_queue_items = queue_total / static_cast<double>(brokers.size());
+    return r;
+}
+
+} // namespace richnote::core

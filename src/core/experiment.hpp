@@ -1,0 +1,156 @@
+// Trace-driven experiment runner (§V-C setup).
+//
+// Replays a generated workload through per-user brokers on the discrete-
+// event simulator and aggregates the §V-C metrics. One `experiment_setup`
+// (workload + trained content-utility model) is built once and reused
+// across every sweep point of a figure, exactly like the paper runs all
+// schedulers over the same trace.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/broker.hpp"
+#include "core/telemetry.hpp"
+#include "core/metrics.hpp"
+#include "core/presentation.hpp"
+#include "core/scheduler.hpp"
+#include "core/utility.hpp"
+#include "ml/random_forest.hpp"
+#include "trace/generator.hpp"
+
+namespace richnote::core {
+
+enum class scheduler_kind {
+    richnote, ///< Algorithm 2 (Lyapunov + MCKP)
+    fifo,     ///< fixed level, delivery-timestamp order
+    util,     ///< fixed level, highest utility first
+    direct    ///< Eq. 2 solved per round with a hard energy budget (ablation)
+};
+
+const char* to_string(scheduler_kind kind) noexcept;
+
+struct experiment_params {
+    scheduler_kind kind = scheduler_kind::richnote;
+    /// Baselines' fixed presentation level (1 = metadata only, 2 = +5 s,
+    /// 3 = +10 s, ... per §V-C). Ignored by RichNote.
+    level_t fixed_level = 3;
+    double weekly_budget_mb = 20.0; ///< the §V-C "budget per week"
+    bool wifi_enabled = false;      ///< Fig. 5(c): add WIFI to the Markov model
+    /// Stationary cellular-coverage fraction for the CELL/OFF chain
+    /// (ignored when wifi_enabled); 0.5 is the paper's §V-D3 setting.
+    double cellular_coverage = 0.5;
+
+    lyapunov_params lyapunov;       ///< V = 1000, kappa = 3 KJ/h (§V-C)
+    mckp_options mckp;
+    /// RichNote precision knob: decline items with U_c below this (§V-D1).
+    double min_content_utility = 0.0;
+    /// RichNote aging factor: content-utility half-life in seconds; 0 = off.
+    double utility_half_life_sec = 0.0;
+    /// RichNote WiFi-deferral threshold on U_c (0 = off) and wait budget.
+    double wifi_deferral_min_utility = 0.0;
+    double wifi_deferral_max_wait_sec = 6.0 * 3600.0;
+    /// Online learning (extension): ignore the setup's offline-trained
+    /// model and learn U_c during the run from feedback on delivered
+    /// notifications (cold start at online.prior).
+    bool online_learning = false;
+    online_content_utility::params online;
+    /// §II per-topic cadence: friend feeds enter the scheduler every round,
+    /// while album-release and playlist-update notifications are admitted
+    /// only every k-th round ("friend feeds can be delivered every few
+    /// minutes whereas notifications related to artist and playlists can be
+    /// delivered in every few hours"). 1 = uniform cadence (paper's §V
+    /// setting).
+    std::uint32_t batch_topic_round_multiplier = 1;
+    richnote::sim::battery_params battery;
+    /// §V-C battery input mode: false = closed-loop battery_model; true =
+    /// replay a per-user timestamped battery-status trace (the paper's
+    /// input, synthesized here), under which download load does NOT feed
+    /// back into the recorded levels.
+    bool battery_traces = false;
+    richnote::sim::energy_budget_policy energy_policy;
+    audio_preview_generator::params presentation;
+    double rollover_rounds = 168.0;
+    /// Mid-flight transfer loss probability (broker retry path); 0 = paper.
+    double transfer_failure_prob = 0.0;
+    richnote::sim::sim_time round = richnote::sim::default_round;
+    std::uint64_t seed = 42; ///< per-run env randomness (network/battery)
+    /// Users whose per-round control state (Q, P, B, battery, network) is
+    /// sampled into experiment_result::trajectories (§V-D5 stability
+    /// evidence). Empty = telemetry off.
+    std::vector<std::uint32_t> telemetry_users;
+    /// Worker threads for the per-round user loop. Users are independent
+    /// (§V-C: "our solution can work in rounds and independently for each
+    /// user"), every broker owns its randomness, and metrics are per-user,
+    /// so results are bit-identical for ANY thread count. 1 = sequential.
+    std::size_t worker_threads = 1;
+};
+
+struct experiment_result {
+    std::string scheduler_name;
+    double weekly_budget_mb = 0.0;
+
+    double delivery_ratio = 0.0;   ///< Fig. 3(a)
+    double delivered_mb = 0.0;     ///< Fig. 3(b)
+    double metered_mb = 0.0;
+    double recall = 0.0;           ///< Fig. 3(c)
+    double precision = 0.0;        ///< Fig. 3(d)
+    double total_utility = 0.0;    ///< Fig. 4(a)
+    double utility_clicked = 0.0;  ///< Fig. 4(b)
+    double avg_utility = 0.0;      ///< per delivered notification
+    double energy_kj = 0.0;        ///< Fig. 4(c)
+    double mean_delay_min = 0.0;   ///< Fig. 4(d)
+    std::vector<double> level_mix; ///< Figs. 5(b)/(c); [0] = undelivered
+    std::vector<metrics_recorder::user_category_row> user_categories; ///< Fig. 5(d)
+
+    std::uint64_t rounds_run = 0;
+    double final_queue_items = 0.0; ///< mean scheduling-queue length at end
+
+    /// Per-round control-state samples for experiment_params::telemetry_users.
+    std::shared_ptr<telemetry> trajectories;
+};
+
+/// Workload + trained utility model, shared across sweep points.
+class experiment_setup {
+public:
+    struct options {
+        trace::workload_params workload;
+        ml::forest_params forest;
+        /// Training rows are subsampled to this cap (0 = no cap) to keep
+        /// forest training time reasonable at large trace scales.
+        std::size_t max_training_rows = 20'000;
+        /// Use the ground-truth click probability instead of the learned
+        /// forest (ablation).
+        bool oracle_utility = false;
+        /// Load a previously saved forest (ml::random_forest::save_file)
+        /// instead of training one; empty = train on the trace.
+        std::string model_file;
+        /// Platt-calibrate the learned scores on a held-out slice of the
+        /// attended notifications before using them as U_c (extension; the
+        /// paper uses raw confidences).
+        bool calibrate_utility = false;
+        std::uint64_t seed = 1;
+    };
+
+    explicit experiment_setup(const options& opts);
+
+    const trace::workload& world() const noexcept { return *world_; }
+    const content_utility_model& utility() const noexcept { return *cached_; }
+    const options& opts() const noexcept { return opts_; }
+
+    /// Default Fig. 5(d) bucket edges scaled to this trace's item counts.
+    std::vector<std::uint64_t> default_category_edges() const;
+
+private:
+    options opts_;
+    std::unique_ptr<trace::workload> world_;
+    std::shared_ptr<content_utility_model> model_;
+    std::unique_ptr<cached_content_utility> cached_;
+};
+
+/// Runs one scheduler over the whole trace and aggregates metrics.
+experiment_result run_experiment(const experiment_setup& setup,
+                                 const experiment_params& params);
+
+} // namespace richnote::core

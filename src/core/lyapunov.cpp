@@ -1,0 +1,42 @@
+#include "core/lyapunov.hpp"
+
+#include <algorithm>
+
+namespace richnote::core {
+
+lyapunov_controller::lyapunov_controller(lyapunov_params params) : params_(params) {
+    RICHNOTE_REQUIRE(params.v > 0, "Lyapunov V must be positive");
+    RICHNOTE_REQUIRE(params.kappa >= 0, "kappa must be non-negative");
+    RICHNOTE_REQUIRE(params.initial_energy_credit >= 0,
+                     "initial energy credit must be non-negative");
+    RICHNOTE_REQUIRE(params.queue_unit_bytes > 0, "queue unit must be positive");
+    RICHNOTE_REQUIRE(params.energy_unit_joules >= 0, "energy unit must be non-negative");
+    if (params_.energy_unit_joules == 0.0) {
+        params_.energy_unit_joules = params_.kappa > 0 ? params_.kappa : 1.0;
+    }
+    p_ = params.initial_energy_credit;
+}
+
+double lyapunov_controller::lyapunov_value() const noexcept {
+    const double dp = p_ - params_.kappa;
+    return 0.5 * (q_ * q_ + dp * dp);
+}
+
+void lyapunov_controller::on_enqueue(double bytes) {
+    RICHNOTE_REQUIRE(bytes >= 0, "enqueued bytes must be non-negative");
+    q_ += bytes;
+}
+
+void lyapunov_controller::on_departure(double item_total_size, double energy_spent) {
+    RICHNOTE_REQUIRE(item_total_size >= 0 && energy_spent >= 0,
+                     "departure amounts must be non-negative");
+    q_ = std::max(0.0, q_ - item_total_size);
+    p_ = std::max(0.0, p_ - energy_spent);
+}
+
+void lyapunov_controller::on_round(double replenishment_joules) {
+    RICHNOTE_REQUIRE(replenishment_joules >= 0, "replenishment must be non-negative");
+    if (p_ <= params_.kappa) p_ += replenishment_joules;
+}
+
+} // namespace richnote::core

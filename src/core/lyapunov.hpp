@@ -1,0 +1,79 @@
+// Lyapunov drift-plus-penalty controller (§IV).
+//
+// Two queues: the real scheduling-queue backlog Q(t) (bytes of pending
+// presentations) and the virtual energy queue P(t) that tracks how much
+// energy may be spent, targeted at kappa. Minimizing the drift of
+//   L(t) = 1/2 (Q(t)^2 + (P(t) - kappa)^2)
+// minus V * U_t yields, per round, an MCKP over the adjusted utility
+//   U_a(i, j) = Q(t) * s(i) + (P(t) - kappa) * rho(i, j) + V * U(i, j)
+// (Eq. 7), where s(i) is the total byte size of ALL presentations of item i
+// (delivering an item drops every presentation of it from Q). V trades
+// utility against queue backlog; kappa is the per-round energy allowance
+// (3 KJ/h in §V-C).
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace richnote::core {
+
+struct lyapunov_params {
+    double v = 1000.0;            ///< control knob V (§V-C)
+    double kappa = 3000.0;        ///< energy target per round, J (§V-C)
+    double initial_energy_credit = 3000.0; ///< P(0)
+    /// Unit scales applied inside the adjusted utility. The drift terms
+    /// Q(t)*s(i) and (P(t)-kappa)*rho(i,j) are homogeneous of degree 2 in
+    /// the byte / joule units, while V*U(i,j) is unit-free; the paper's
+    /// V = 1000 only balances the three terms when queue sizes are measured
+    /// in megabytes and energy in units of kappa (with raw bytes, Q*s alone
+    /// reaches ~1e15 and V becomes irrelevant). queue_unit_bytes defaults
+    /// to 1 MB; energy_unit_joules = 0 means "auto": use kappa itself (the
+    /// natural scale of the virtual energy queue), falling back to 1 J when
+    /// kappa is 0. Set both to 1 for raw-unit behaviour.
+    double queue_unit_bytes = 1e6;
+    double energy_unit_joules = 0.0;
+};
+
+class lyapunov_controller {
+public:
+    explicit lyapunov_controller(lyapunov_params params = {});
+
+    double queue_backlog() const noexcept { return q_; }     ///< Q(t), bytes
+    double energy_credit() const noexcept { return p_; }     ///< P(t), joules
+    const lyapunov_params& params() const noexcept { return params_; }
+
+    /// Eq. 7 adjusted utility for delivering an item at some level (j >= 1):
+    /// `item_total_size` is s(i) (all presentations), `rho` the level's
+    /// estimated energy, `utility` the level's U(i, j). Level 0 has adjusted
+    /// utility 0 by definition.
+    double adjusted_utility(double item_total_size, double rho, double utility) const noexcept {
+        const double qs = (q_ / params_.queue_unit_bytes) *
+                          (item_total_size / params_.queue_unit_bytes);
+        const double pe = ((p_ - params_.kappa) / params_.energy_unit_joules) *
+                          (rho / params_.energy_unit_joules);
+        return qs + pe + params_.v * utility;
+    }
+
+    /// Lyapunov function L(t) (reporting / stability tests).
+    double lyapunov_value() const noexcept;
+
+    /// New content arrived: nu(t) bytes join the scheduling queue.
+    void on_enqueue(double bytes);
+
+    /// An item left the scheduling queue (delivered or dropped): its s(i)
+    /// bytes leave Q; `energy_spent` joules leave P. Both floor at 0
+    /// (the [.]^+ in Eqs. 4–5).
+    void on_departure(double item_total_size, double energy_spent);
+
+    /// Round boundary (Algorithm 2 step 2): add e(t) to P only when
+    /// P(t) <= kappa, so the credit never runs far beyond the target.
+    void on_round(double replenishment_joules);
+
+private:
+    lyapunov_params params_;
+    double q_ = 0.0;
+    double p_ = 0.0;
+};
+
+} // namespace richnote::core

@@ -1,0 +1,359 @@
+#include "core/mckp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/indexed_heap.hpp"
+
+namespace richnote::core {
+
+namespace {
+
+void validate_items(const std::vector<mckp_item>& items) {
+    for (const mckp_item& item : items) {
+        RICHNOTE_REQUIRE(item.sizes.size() == item.utilities.size(),
+                         "mckp item sizes/utilities length mismatch");
+        for (std::size_t j = 0; j < item.sizes.size(); ++j) {
+            RICHNOTE_REQUIRE(item.sizes[j] > 0, "mckp sizes must be positive");
+            if (j > 0)
+                RICHNOTE_REQUIRE(item.sizes[j] > item.sizes[j - 1],
+                                 "mckp sizes must strictly increase");
+        }
+    }
+}
+
+double level_size(const mckp_item& item, level_t j) noexcept {
+    return j == 0 ? 0.0 : item.sizes[j - 1];
+}
+
+double level_utility(const mckp_item& item, level_t j) noexcept {
+    return j == 0 ? 0.0 : item.utilities[j - 1];
+}
+
+/// Gradient of upgrading item from level j to j+1; -inf when already max.
+double gradient(const mckp_item& item, level_t j) noexcept {
+    if (j >= item.level_count()) return -std::numeric_limits<double>::infinity();
+    const double size_gain = level_size(item, j + 1) - level_size(item, j);
+    const double utility_gain = level_utility(item, j + 1) - level_utility(item, j);
+    return utility_gain / size_gain;
+}
+
+} // namespace
+
+mckp_item make_mckp_item(const presentation_set& presentations, double content_utility) {
+    mckp_item item;
+    item.sizes.reserve(presentations.level_count());
+    item.utilities.reserve(presentations.level_count());
+    for (level_t j = 1; j <= presentations.level_count(); ++j) {
+        item.sizes.push_back(presentations.size(j));
+        item.utilities.push_back(content_utility * presentations.utility(j));
+    }
+    return item;
+}
+
+mckp_solution select_presentations(const std::vector<mckp_item>& items, double budget,
+                                   const mckp_options& options) {
+    RICHNOTE_REQUIRE(budget >= 0, "budget must be non-negative");
+    validate_items(items);
+
+    mckp_solution solution;
+    solution.levels.assign(items.size(), 0);
+    if (items.empty()) return solution;
+
+    // O(n) heap build with each item's initial (level 0 -> 1) gradient.
+    // Upgrades with non-positive utility gain are never worth taking (they
+    // can only lower the objective), so such items are left out.
+    indexed_heap<double> heap(items.size());
+    std::vector<std::pair<std::size_t, double>> initial;
+    initial.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const double g = gradient(items[i], 0);
+        if (g > 0) initial.emplace_back(i, g);
+    }
+    heap.build(initial);
+
+    while (!heap.empty()) {
+        const std::size_t i = heap.top_id();
+        const level_t current = solution.levels[i];
+        const double size_gain = level_size(items[i], current + 1) - level_size(items[i], current);
+        if (solution.total_size + size_gain > budget) {
+            solution.budget_exhausted = true;
+            // Fractional relaxation would take the prorated remainder of
+            // exactly this upgrade (it has the best gradient among the
+            // rest); record the bound before deciding how to continue.
+            const double leftover = budget - solution.total_size;
+            const double utility_gain =
+                level_utility(items[i], current + 1) - level_utility(items[i], current);
+            solution.fractional_bound = std::max(
+                solution.fractional_bound,
+                solution.total_utility + utility_gain * (leftover / size_gain));
+            if (!options.skip_infeasible) break; // Algorithm 1: done <- true
+            heap.pop();                          // extension: try other items
+            continue;
+        }
+        // Take the upgrade.
+        solution.levels[i] = current + 1;
+        solution.total_size += size_gain;
+        solution.total_utility +=
+            level_utility(items[i], current + 1) - level_utility(items[i], current);
+        ++solution.upgrades;
+        const double next = gradient(items[i], current + 1);
+        if (next > 0) {
+            heap.update(i, next);
+        } else {
+            heap.pop();
+        }
+    }
+
+    solution.fractional_bound = std::max(solution.fractional_bound, solution.total_utility);
+    return solution;
+}
+
+namespace {
+
+void validate_items_2d(const std::vector<mckp_item_2d>& items) {
+    for (const mckp_item_2d& item : items) {
+        RICHNOTE_REQUIRE(item.sizes.size() == item.utilities.size() &&
+                             item.sizes.size() == item.energies.size(),
+                         "2d mckp item field lengths mismatch");
+        for (std::size_t j = 0; j < item.sizes.size(); ++j) {
+            RICHNOTE_REQUIRE(item.sizes[j] > 0, "mckp sizes must be positive");
+            RICHNOTE_REQUIRE(item.energies[j] >= 0, "mckp energies must be non-negative");
+            if (j > 0) {
+                RICHNOTE_REQUIRE(item.sizes[j] > item.sizes[j - 1],
+                                 "mckp sizes must strictly increase");
+                RICHNOTE_REQUIRE(item.energies[j] >= item.energies[j - 1],
+                                 "mckp energies must be non-decreasing");
+            }
+        }
+    }
+}
+
+double level_size_2d(const mckp_item_2d& item, level_t j) noexcept {
+    return j == 0 ? 0.0 : item.sizes[j - 1];
+}
+
+double level_energy_2d(const mckp_item_2d& item, level_t j) noexcept {
+    return j == 0 ? 0.0 : item.energies[j - 1];
+}
+
+double level_utility_2d(const mckp_item_2d& item, level_t j) noexcept {
+    return j == 0 ? 0.0 : item.utilities[j - 1];
+}
+
+} // namespace
+
+mckp_solution select_presentations_2d(const std::vector<mckp_item_2d>& items,
+                                      double data_budget, double energy_budget,
+                                      const mckp_options& options) {
+    RICHNOTE_REQUIRE(data_budget >= 0 && energy_budget >= 0,
+                     "budgets must be non-negative");
+    validate_items_2d(items);
+
+    mckp_solution solution;
+    solution.levels.assign(items.size(), 0);
+    if (items.empty()) return solution;
+
+    // Normalized combined weight of an upgrade; guards against a zero
+    // budget (in which case any positive demand on that resource is
+    // infinite weight, i.e. the upgrade is never attractive).
+    auto combined_weight = [&](double size_gain, double energy_gain) {
+        double weight = 0.0;
+        if (size_gain > 0) {
+            if (data_budget <= 0) return std::numeric_limits<double>::infinity();
+            weight += size_gain / data_budget;
+        }
+        if (energy_gain > 0) {
+            if (energy_budget <= 0) return std::numeric_limits<double>::infinity();
+            weight += energy_gain / energy_budget;
+        }
+        return weight;
+    };
+
+    auto gradient_2d = [&](const mckp_item_2d& item, level_t j) {
+        if (j >= item.level_count()) return -std::numeric_limits<double>::infinity();
+        const double utility_gain = level_utility_2d(item, j + 1) - level_utility_2d(item, j);
+        if (utility_gain <= 0) return -std::numeric_limits<double>::infinity();
+        const double weight = combined_weight(
+            level_size_2d(item, j + 1) - level_size_2d(item, j),
+            level_energy_2d(item, j + 1) - level_energy_2d(item, j));
+        if (std::isinf(weight)) return -std::numeric_limits<double>::infinity();
+        if (weight == 0.0) return std::numeric_limits<double>::max();
+        return utility_gain / weight;
+    };
+
+    indexed_heap<double> heap(items.size());
+    std::vector<std::pair<std::size_t, double>> initial;
+    initial.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const double g = gradient_2d(items[i], 0);
+        if (g > 0) initial.emplace_back(i, g);
+    }
+    heap.build(initial);
+
+    double total_energy = 0.0;
+    while (!heap.empty()) {
+        const std::size_t i = heap.top_id();
+        const level_t current = solution.levels[i];
+        const double size_gain =
+            level_size_2d(items[i], current + 1) - level_size_2d(items[i], current);
+        const double energy_gain =
+            level_energy_2d(items[i], current + 1) - level_energy_2d(items[i], current);
+        if (solution.total_size + size_gain > data_budget ||
+            total_energy + energy_gain > energy_budget) {
+            solution.budget_exhausted = true;
+            if (!options.skip_infeasible) break;
+            heap.pop();
+            continue;
+        }
+        solution.levels[i] = current + 1;
+        solution.total_size += size_gain;
+        total_energy += energy_gain;
+        solution.total_utility +=
+            level_utility_2d(items[i], current + 1) - level_utility_2d(items[i], current);
+        ++solution.upgrades;
+        const double next = gradient_2d(items[i], current + 1);
+        if (next > 0) {
+            heap.update(i, next);
+        } else {
+            heap.pop();
+        }
+    }
+    solution.fractional_bound = solution.total_utility; // not tracked for 2d
+    return solution;
+}
+
+mckp_solution mckp_exact_2d(const std::vector<mckp_item_2d>& items, double data_budget,
+                            double energy_budget, double size_resolution,
+                            double energy_resolution) {
+    RICHNOTE_REQUIRE(data_budget >= 0 && energy_budget >= 0,
+                     "budgets must be non-negative");
+    RICHNOTE_REQUIRE(size_resolution > 0 && energy_resolution > 0,
+                     "resolutions must be positive");
+    validate_items_2d(items);
+
+    const auto cap_b = static_cast<std::size_t>(data_budget / size_resolution);
+    const auto cap_e = static_cast<std::size_t>(energy_budget / energy_resolution);
+    constexpr double neg_inf = -std::numeric_limits<double>::infinity();
+    const std::size_t width = cap_e + 1;
+
+    // dp[b * width + e]: best utility with at most b size units and e
+    // energy units; per-item choice table for reconstruction.
+    std::vector<double> dp((cap_b + 1) * width, 0.0);
+    std::vector<std::vector<std::uint32_t>> choice(
+        items.size(), std::vector<std::uint32_t>((cap_b + 1) * width, 0));
+
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        std::vector<double> next((cap_b + 1) * width, neg_inf);
+        for (std::size_t b = 0; b <= cap_b; ++b) {
+            for (std::size_t e = 0; e <= cap_e; ++e) {
+                const std::size_t cell = b * width + e;
+                next[cell] = dp[cell];
+                choice[i][cell] = 0;
+                for (std::size_t j = 0; j < items[i].level_count(); ++j) {
+                    const auto ub = static_cast<std::size_t>(
+                        std::ceil(items[i].sizes[j] / size_resolution));
+                    const auto ue = static_cast<std::size_t>(
+                        std::ceil(items[i].energies[j] / energy_resolution));
+                    if (ub > b || ue > e) continue;
+                    const double candidate =
+                        dp[(b - ub) * width + (e - ue)] + items[i].utilities[j];
+                    if (candidate > next[cell]) {
+                        next[cell] = candidate;
+                        choice[i][cell] = static_cast<std::uint32_t>(j + 1);
+                    }
+                }
+            }
+        }
+        dp = std::move(next);
+    }
+
+    std::size_t best_b = 0;
+    std::size_t best_e = 0;
+    for (std::size_t b = 0; b <= cap_b; ++b)
+        for (std::size_t e = 0; e <= cap_e; ++e)
+            if (dp[b * width + e] > dp[best_b * width + best_e]) {
+                best_b = b;
+                best_e = e;
+            }
+
+    mckp_solution solution;
+    solution.levels.assign(items.size(), 0);
+    std::size_t b = best_b;
+    std::size_t e = best_e;
+    for (std::size_t i = items.size(); i-- > 0;) {
+        const level_t j = choice[i][b * width + e];
+        solution.levels[i] = j;
+        if (j > 0) {
+            b -= static_cast<std::size_t>(
+                std::ceil(items[i].sizes[j - 1] / size_resolution));
+            e -= static_cast<std::size_t>(
+                std::ceil(items[i].energies[j - 1] / energy_resolution));
+            solution.total_size += items[i].sizes[j - 1];
+            solution.total_utility += items[i].utilities[j - 1];
+            ++solution.upgrades;
+        }
+    }
+    solution.fractional_bound = solution.total_utility;
+    return solution;
+}
+
+mckp_solution mckp_exact(const std::vector<mckp_item>& items, double budget,
+                         double resolution) {
+    RICHNOTE_REQUIRE(budget >= 0, "budget must be non-negative");
+    RICHNOTE_REQUIRE(resolution > 0, "resolution must be positive");
+    validate_items(items);
+
+    const auto capacity = static_cast<std::size_t>(budget / resolution);
+    constexpr double neg_inf = -std::numeric_limits<double>::infinity();
+
+    // dp[c] = best utility using at most c resolution units; choice tracking
+    // per item for reconstruction.
+    std::vector<double> dp(capacity + 1, 0.0);
+    std::vector<std::vector<std::uint32_t>> choice(
+        items.size(), std::vector<std::uint32_t>(capacity + 1, 0));
+
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        std::vector<double> next(capacity + 1, neg_inf);
+        for (std::size_t c = 0; c <= capacity; ++c) {
+            // Level 0 is always available.
+            next[c] = dp[c];
+            choice[i][c] = 0;
+            for (std::size_t j = 0; j < items[i].level_count(); ++j) {
+                const auto units =
+                    static_cast<std::size_t>(std::ceil(items[i].sizes[j] / resolution));
+                if (units > c) continue;
+                const double candidate = dp[c - units] + items[i].utilities[j];
+                if (candidate > next[c]) {
+                    next[c] = candidate;
+                    choice[i][c] = static_cast<std::uint32_t>(j + 1);
+                }
+            }
+        }
+        dp = std::move(next);
+    }
+
+    mckp_solution solution;
+    solution.levels.assign(items.size(), 0);
+    std::size_t c = capacity;
+    for (std::size_t c2 = 0; c2 <= capacity; ++c2)
+        if (dp[c2] > dp[c]) c = c2;
+    for (std::size_t i = items.size(); i-- > 0;) {
+        const level_t j = choice[i][c];
+        solution.levels[i] = j;
+        if (j > 0) {
+            const auto units =
+                static_cast<std::size_t>(std::ceil(items[i].sizes[j - 1] / resolution));
+            c -= units;
+            solution.total_size += items[i].sizes[j - 1];
+            solution.total_utility += items[i].utilities[j - 1];
+            ++solution.upgrades;
+        }
+    }
+    solution.fractional_bound = solution.total_utility;
+    return solution;
+}
+
+} // namespace richnote::core

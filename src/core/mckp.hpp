@@ -1,0 +1,101 @@
+// Multi-Choice Knapsack selection (§III-C, §IV Algorithm 1).
+//
+// Each item offers levels 0..k of strictly increasing size; level 0 is
+// free. SelectPresentations starts every item at level 0 and repeatedly
+// applies the upgrade with the largest utility-size gradient
+//   grad(i, j) = (U(i, j+1) - U(i, j)) / (s(i, j+1) - s(i, j))
+// until the budget is exhausted (the greedy for fractional MCKP of Sinha &
+// Zoltners [4], restricted to integral upgrades). A max-heap keyed by each
+// item's current gradient gives the paper's O(n + k log n) bound: O(n)
+// Floyd build plus O(log n) per upgrade.
+//
+// The utilities passed in may already be Lyapunov-adjusted (U_a of Eq. 7);
+// the solver is agnostic. An exact pseudo-polynomial DP is provided for
+// validating the heuristic's optimality gap on small instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/presentation.hpp"
+
+namespace richnote::core {
+
+/// One item's level menu. sizes[j] / utilities[j] describe level j+1;
+/// level 0 (not sent) is implicit with size 0 and utility 0. Sizes must
+/// strictly increase; utilities may be arbitrary (adjusted utilities can
+/// make an upgrade unattractive, which the solver simply never takes).
+struct mckp_item {
+    std::vector<double> sizes;
+    std::vector<double> utilities;
+
+    std::size_t level_count() const noexcept { return sizes.size(); }
+};
+
+struct mckp_options {
+    /// Paper-faithful Algorithm 1 stops at the first upgrade that no longer
+    /// fits ("done <- true"). With skip_infeasible, the solver instead
+    /// removes that item and keeps trying cheaper upgrades of others — an
+    /// extension ablated in bench/ablation_mckp.
+    bool skip_infeasible = false;
+};
+
+struct mckp_solution {
+    std::vector<level_t> levels; ///< chosen level per item (0 = not sent)
+    double total_size = 0.0;
+    double total_utility = 0.0;
+    std::size_t upgrades = 0;       ///< number of upgrade steps taken
+    bool budget_exhausted = false;  ///< stopped because an upgrade didn't fit
+
+    /// Upper bound from the fractional relaxation: the integral value plus
+    /// the prorated utility of the first upgrade that did not fit (0 when
+    /// everything fit). The greedy integral solution is within this gap of
+    /// the fractional optimum (§IV).
+    double fractional_bound = 0.0;
+};
+
+/// Algorithm 1. Validates per-item size monotonicity; `budget` >= 0.
+mckp_solution select_presentations(const std::vector<mckp_item>& items, double budget,
+                                   const mckp_options& options = {});
+
+/// Exact 0/1 MCKP via DP over discretized sizes (test oracle; O(n * k *
+/// budget/resolution) time). Sizes are rounded UP to the resolution, so the
+/// result is a feasible lower bound on the true optimum.
+mckp_solution mckp_exact(const std::vector<mckp_item>& items, double budget,
+                         double resolution);
+
+/// One item's level menu for the two-constraint problem of §III-C (Eq. 2):
+/// each level j has a byte size s(i,j) AND an energy weight rho(i,j).
+/// Sizes must strictly increase with the level; energies must be
+/// non-decreasing (a richer presentation never costs less energy).
+struct mckp_item_2d {
+    std::vector<double> sizes;
+    std::vector<double> energies;
+    std::vector<double> utilities;
+
+    std::size_t level_count() const noexcept { return sizes.size(); }
+};
+
+/// Greedy heuristic for the two-weight MCKP (Eq. 2a-2c): upgrades are
+/// ranked by utility gain per unit of *normalized* combined weight,
+///   grad(i,j) = dU / (ds / data_budget + drho / energy_budget),
+/// the standard scalarization for multi-constraint knapsacks — each
+/// resource is consumed in proportion to how scarce it is. An upgrade that
+/// would violate EITHER budget ends the loop (Algorithm 1 semantics) or is
+/// skipped under options.skip_infeasible. A zero energy_budget with all-
+/// zero energies degrades to the single-constraint solver's behaviour.
+mckp_solution select_presentations_2d(const std::vector<mckp_item_2d>& items,
+                                      double data_budget, double energy_budget,
+                                      const mckp_options& options = {});
+
+/// Exact DP for the two-weight MCKP over both discretized axes (test
+/// oracle; O(n * k * (B/res_b) * (E/res_e)) — keep instances tiny).
+mckp_solution mckp_exact_2d(const std::vector<mckp_item_2d>& items, double data_budget,
+                            double energy_budget, double size_resolution,
+                            double energy_resolution);
+
+/// Builds an mckp_item from a presentation set and the item's content
+/// utility (utilities become U(i,j) = U_c * U_p(j), Eq. 1).
+mckp_item make_mckp_item(const presentation_set& presentations, double content_utility);
+
+} // namespace richnote::core

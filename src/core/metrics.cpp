@@ -1,0 +1,204 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace richnote::core {
+
+double user_metrics::delivery_ratio() const noexcept {
+    return arrived ? static_cast<double>(delivered) / static_cast<double>(arrived) : 0.0;
+}
+
+double user_metrics::precision() const noexcept {
+    return delivered
+               ? static_cast<double>(delivered_before_click) / static_cast<double>(delivered)
+               : 0.0;
+}
+
+double user_metrics::recall() const noexcept {
+    return clicked_total
+               ? static_cast<double>(delivered_clicked) / static_cast<double>(clicked_total)
+               : 0.0;
+}
+
+metrics_recorder::metrics_recorder(std::size_t user_count, std::size_t max_level)
+    : users_(user_count), max_level_(max_level) {
+    RICHNOTE_REQUIRE(user_count > 0, "metrics need at least one user");
+    RICHNOTE_REQUIRE(max_level >= 1, "metrics need at least one presentation level");
+    for (auto& u : users_) u.level_counts.assign(max_level + 1, 0);
+}
+
+void metrics_recorder::on_arrival(const trace::notification& n) {
+    RICHNOTE_REQUIRE(n.recipient < users_.size(), "recipient out of range");
+    user_metrics& u = users_[n.recipient];
+    ++u.arrived;
+    if (n.clicked) ++u.clicked_total;
+}
+
+void metrics_recorder::on_delivery(const planned_delivery& d, richnote::sim::sim_time when,
+                                   double energy_joules, bool metered) {
+    RICHNOTE_REQUIRE(d.note.recipient < users_.size(), "recipient out of range");
+    RICHNOTE_REQUIRE(d.level >= 1 && d.level <= max_level_,
+                     "delivery level out of range");
+    user_metrics& u = users_[d.note.recipient];
+    ++u.delivered;
+    u.bytes_delivered += d.size_bytes;
+    if (metered) u.metered_bytes_delivered += d.size_bytes;
+    u.utility_delivered += d.utility;
+    u.energy_joules += energy_joules;
+    u.queuing_delay_sec.add(when - d.note.created_at);
+    if (d.note.clicked) {
+        u.utility_clicked += d.utility;
+        ++u.delivered_clicked;
+        // "precision as the fraction of delivered notifications (before the
+        // recorded click time in the Spotify trace) that are clicked on".
+        if (when <= d.note.clicked_at) ++u.delivered_before_click;
+    }
+    ++u.level_counts[d.level];
+}
+
+void metrics_recorder::on_session_overhead(trace::user_id user, double energy_joules) {
+    RICHNOTE_REQUIRE(user < users_.size(), "user out of range");
+    users_[user].energy_joules += energy_joules;
+}
+
+const user_metrics& metrics_recorder::user(std::size_t u) const {
+    RICHNOTE_REQUIRE(u < users_.size(), "user out of range");
+    return users_[u];
+}
+
+double metrics_recorder::total_arrived() const noexcept {
+    double total = 0;
+    for (const auto& u : users_) total += static_cast<double>(u.arrived);
+    return total;
+}
+
+double metrics_recorder::total_delivered() const noexcept {
+    double total = 0;
+    for (const auto& u : users_) total += static_cast<double>(u.delivered);
+    return total;
+}
+
+double metrics_recorder::delivery_ratio() const noexcept {
+    const double arrived = total_arrived();
+    return arrived > 0 ? total_delivered() / arrived : 0.0;
+}
+
+double metrics_recorder::total_bytes_delivered() const noexcept {
+    double total = 0;
+    for (const auto& u : users_) total += u.bytes_delivered;
+    return total;
+}
+
+double metrics_recorder::total_metered_bytes() const noexcept {
+    double total = 0;
+    for (const auto& u : users_) total += u.metered_bytes_delivered;
+    return total;
+}
+
+double metrics_recorder::recall() const noexcept {
+    double clicked = 0;
+    double hit = 0;
+    for (const auto& u : users_) {
+        clicked += static_cast<double>(u.clicked_total);
+        hit += static_cast<double>(u.delivered_clicked);
+    }
+    return clicked > 0 ? hit / clicked : 0.0;
+}
+
+double metrics_recorder::precision() const noexcept {
+    double delivered = 0;
+    double hit = 0;
+    for (const auto& u : users_) {
+        delivered += static_cast<double>(u.delivered);
+        hit += static_cast<double>(u.delivered_before_click);
+    }
+    return delivered > 0 ? hit / delivered : 0.0;
+}
+
+double metrics_recorder::total_utility() const noexcept {
+    double total = 0;
+    for (const auto& u : users_) total += u.utility_delivered;
+    return total;
+}
+
+double metrics_recorder::total_utility_clicked() const noexcept {
+    double total = 0;
+    for (const auto& u : users_) total += u.utility_clicked;
+    return total;
+}
+
+double metrics_recorder::average_utility_per_delivery() const noexcept {
+    const double delivered = total_delivered();
+    return delivered > 0 ? total_utility() / delivered : 0.0;
+}
+
+double metrics_recorder::total_energy_joules() const noexcept {
+    double total = 0;
+    for (const auto& u : users_) total += u.energy_joules;
+    return total;
+}
+
+double metrics_recorder::mean_queuing_delay_sec() const noexcept {
+    richnote::running_stats all;
+    for (const auto& u : users_) all.merge(u.queuing_delay_sec);
+    return all.mean();
+}
+
+std::vector<double> metrics_recorder::level_mix() const {
+    std::vector<double> mix(max_level_ + 1, 0.0);
+    const double arrived = total_arrived();
+    if (arrived <= 0) return mix;
+    double delivered = 0;
+    for (const auto& u : users_) {
+        for (std::size_t level = 1; level <= max_level_; ++level) {
+            mix[level] += static_cast<double>(u.level_counts[level]) / arrived;
+            delivered += static_cast<double>(u.level_counts[level]);
+        }
+    }
+    mix[0] = 1.0 - delivered / arrived; // slot 0: the never-delivered
+                                        // fraction ("simply the missing
+                                        // fraction in each stack").
+    return mix;
+}
+
+std::vector<metrics_recorder::user_category_row> metrics_recorder::utility_by_user_category(
+    const std::vector<std::uint64_t>& edges) const {
+    RICHNOTE_REQUIRE(!edges.empty(), "need at least one category edge");
+    RICHNOTE_REQUIRE(std::is_sorted(edges.begin(), edges.end()), "edges must be sorted");
+
+    std::vector<richnote::running_stats> buckets(edges.size() + 1);
+    for (const auto& u : users_) {
+        std::size_t bucket = edges.size();
+        for (std::size_t b = 0; b < edges.size(); ++b) {
+            if (u.arrived <= edges[b]) {
+                bucket = b;
+                break;
+            }
+        }
+        buckets[bucket].add(u.utility_delivered);
+    }
+
+    std::vector<user_category_row> rows;
+    std::uint64_t lo = 0;
+    for (std::size_t b = 0; b <= edges.size(); ++b) {
+        user_category_row row;
+        std::ostringstream label;
+        if (b < edges.size()) {
+            label << lo << "-" << edges[b];
+            lo = edges[b] + 1;
+        } else {
+            label << ">" << edges.back();
+        }
+        row.label = label.str();
+        row.users = buckets[b].count();
+        row.mean_utility = buckets[b].mean();
+        row.stddev_utility = buckets[b].stddev();
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace richnote::core

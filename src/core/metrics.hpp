@@ -1,0 +1,101 @@
+// Experiment metrics (§V-C): delivery ratio, precision/recall against the
+// trace's recorded clicks, delivered utility (overall and among clicked
+// items), download energy and queuing delay, plus the presentation-level
+// mix behind Figs. 5(b)/5(c) and the per-user aggregation behind Fig. 5(d).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/scheduler.hpp"
+#include "sim/time.hpp"
+#include "trace/notification.hpp"
+
+namespace richnote::core {
+
+/// Per-user tallies; aggregated across users for reporting.
+struct user_metrics {
+    std::uint64_t arrived = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t clicked_total = 0;      ///< clicked in the trace (recall denom.)
+    std::uint64_t delivered_clicked = 0;  ///< clicked items that were delivered
+    std::uint64_t delivered_before_click = 0; ///< ... before the recorded click time
+    double bytes_delivered = 0.0;
+    double metered_bytes_delivered = 0.0; ///< bytes charged to the data budget
+    double utility_delivered = 0.0;       ///< sum of U(i, eta(i)) over deliveries
+    double utility_clicked = 0.0;         ///< same, restricted to clicked items
+    double energy_joules = 0.0;
+    richnote::running_stats queuing_delay_sec;
+    std::vector<std::uint64_t> level_counts; ///< deliveries per level (index 0 unused)
+
+    double delivery_ratio() const noexcept;
+    /// §V-C: "the fraction of delivered notifications (before the recorded
+    /// click time in the Spotify trace) that are clicked on by the users".
+    double precision() const noexcept; ///< delivered_before_click / delivered
+    /// §V-C: "the fraction of total clicked notifications that are
+    /// delivered to the users" (no before-click qualifier).
+    double recall() const noexcept;    ///< delivered_clicked / clicked_total
+};
+
+/// All mutating calls touch only the recipient user's slot, so the
+/// recorder is safe under user-sharded parallelism (each user driven by
+/// exactly one worker thread); aggregates are computed after the run.
+class metrics_recorder {
+public:
+    explicit metrics_recorder(std::size_t user_count, std::size_t max_level);
+
+    /// A notification arrived at the broker.
+    void on_arrival(const trace::notification& n);
+
+    /// A planned entry was actually delivered at `when`; `energy_joules`
+    /// is its share of the round's radio energy; `metered` says whether the
+    /// bytes were charged against the cellular data budget.
+    void on_delivery(const planned_delivery& d, richnote::sim::sim_time when,
+                     double energy_joules, bool metered);
+
+    /// Extra radio-session energy not attributable to a single item.
+    void on_session_overhead(trace::user_id user, double energy_joules);
+
+    const user_metrics& user(std::size_t u) const;
+    std::size_t user_count() const noexcept { return users_.size(); }
+    std::size_t max_level() const noexcept { return max_level_; }
+
+    // ----- aggregates across users (each the mean/sum the paper plots) ----
+    double total_arrived() const noexcept;
+    double total_delivered() const noexcept;
+    double delivery_ratio() const noexcept;      ///< Fig. 3(a)
+    double total_bytes_delivered() const noexcept; ///< Fig. 3(b)
+    double total_metered_bytes() const noexcept;
+    double recall() const noexcept;              ///< Fig. 3(c)
+    double precision() const noexcept;           ///< Fig. 3(d)
+    double total_utility() const noexcept;       ///< Fig. 4(a)
+    double total_utility_clicked() const noexcept; ///< Fig. 4(b)
+    double average_utility_per_delivery() const noexcept;
+    double total_energy_joules() const noexcept; ///< Fig. 4(c)
+    double mean_queuing_delay_sec() const noexcept; ///< Fig. 4(d)
+
+    /// Fraction of deliveries at each level 1..max (Figs. 5(b)/(c));
+    /// index 0 counts items never delivered ("missing fraction").
+    std::vector<double> level_mix() const;
+
+    /// Fig. 5(d): bucket users by arrived-item count (edges are bucket upper
+    /// bounds; the last is open-ended) and report mean/stddev of per-user
+    /// delivered utility per bucket.
+    struct user_category_row {
+        std::string label;
+        std::size_t users = 0;
+        double mean_utility = 0.0;
+        double stddev_utility = 0.0;
+    };
+    std::vector<user_category_row> utility_by_user_category(
+        const std::vector<std::uint64_t>& edges) const;
+
+private:
+    std::vector<user_metrics> users_;
+    std::size_t max_level_;
+};
+
+} // namespace richnote::core

@@ -1,0 +1,187 @@
+#include "core/presentation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace richnote::core {
+
+presentation_set::presentation_set(std::vector<presentation> levels)
+    : levels_(std::move(levels)) {
+    RICHNOTE_REQUIRE(!levels_.empty(), "presentation set needs at least one level");
+    for (std::size_t j = 0; j < levels_.size(); ++j) {
+        RICHNOTE_REQUIRE(levels_[j].size_bytes > 0, "presentation sizes must be positive");
+        RICHNOTE_REQUIRE(levels_[j].utility > 0, "presentation utilities must be positive");
+        if (j > 0) {
+            RICHNOTE_REQUIRE(levels_[j].size_bytes > levels_[j - 1].size_bytes,
+                             "presentation sizes must strictly increase");
+            RICHNOTE_REQUIRE(levels_[j].utility > levels_[j - 1].utility,
+                             "presentation utilities must strictly increase");
+        }
+        total_size_ += levels_[j].size_bytes;
+    }
+}
+
+double presentation_set::size(level_t j) const {
+    if (j == 0) return 0.0;
+    RICHNOTE_REQUIRE(j <= levels_.size(), "presentation level out of range");
+    return levels_[j - 1].size_bytes;
+}
+
+double presentation_set::utility(level_t j) const {
+    if (j == 0) return 0.0;
+    RICHNOTE_REQUIRE(j <= levels_.size(), "presentation level out of range");
+    return levels_[j - 1].utility;
+}
+
+const presentation& presentation_set::at(level_t j) const {
+    RICHNOTE_REQUIRE(j >= 1 && j <= levels_.size(), "presentation level out of range");
+    return levels_[j - 1];
+}
+
+std::vector<presentation_candidate> pareto_prune(
+    std::vector<presentation_candidate> candidates) {
+    // Sort by size ascending, breaking ties by utility descending: then a
+    // single sweep keeping a running max utility retains exactly the
+    // non-dominated set.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const presentation_candidate& a, const presentation_candidate& b) {
+                  if (a.size_bytes != b.size_bytes) return a.size_bytes < b.size_bytes;
+                  return a.utility > b.utility;
+              });
+    std::vector<presentation_candidate> useful;
+    double best_utility = 0.0;
+    for (auto& c : candidates) {
+        if (c.utility > best_utility) {
+            best_utility = c.utility;
+            useful.push_back(std::move(c));
+        }
+    }
+    return useful;
+}
+
+audio_preview_generator::audio_preview_generator(params p) : params_(std::move(p)) {
+    RICHNOTE_REQUIRE(params_.metadata_bytes > 0, "metadata size must be positive");
+    RICHNOTE_REQUIRE(params_.metadata_utility_fraction > 0 &&
+                         params_.metadata_utility_fraction < 1,
+                     "metadata utility fraction must be in (0,1)");
+    RICHNOTE_REQUIRE(params_.bitrate_kbps > 0, "bitrate must be positive");
+    RICHNOTE_REQUIRE(!params_.preview_durations_sec.empty(),
+                     "generator needs at least one preview duration");
+    std::sort(params_.preview_durations_sec.begin(), params_.preview_durations_sec.end());
+    RICHNOTE_REQUIRE(params_.preview_durations_sec.front() > 0,
+                     "preview durations must be positive");
+    max_raw_utility_ = raw_duration_utility(params_.preview_durations_sec.back());
+    RICHNOTE_REQUIRE(max_raw_utility_ > 0,
+                     "duration-utility law must be positive at the longest preview");
+}
+
+double audio_preview_generator::raw_duration_utility(double duration_sec) const noexcept {
+    const double u =
+        params_.duration_log_a + params_.duration_log_b * std::log(1.0 + duration_sec);
+    return std::max(0.0, u);
+}
+
+double audio_preview_generator::preview_size_bytes(double duration_sec) const noexcept {
+    // kbps -> bytes/sec = kbps * 1000 / 8; at 160 kbps this is the paper's
+    // d * 20 KB ("assuming no audio compression is used").
+    return params_.metadata_bytes + duration_sec * params_.bitrate_kbps * 1000.0 / 8.0;
+}
+
+double audio_preview_generator::preview_utility(double duration_sec) const noexcept {
+    const double media_fraction = 1.0 - params_.metadata_utility_fraction;
+    const double normalized = raw_duration_utility(duration_sec) / max_raw_utility_;
+    return params_.metadata_utility_fraction + media_fraction * std::min(1.0, normalized);
+}
+
+presentation_set audio_preview_generator::generate(double full_duration_sec) const {
+    std::vector<presentation_candidate> candidates;
+    candidates.push_back(presentation_candidate{"meta", params_.metadata_bytes,
+                                                params_.metadata_utility_fraction, 0.0});
+    for (double d : params_.preview_durations_sec) {
+        // A preview can never exceed the track itself.
+        const double duration =
+            full_duration_sec > 0 ? std::min(d, full_duration_sec) : d;
+        candidates.push_back(presentation_candidate{
+            "meta+" + std::to_string(static_cast<int>(duration)) + "s",
+            preview_size_bytes(duration), preview_utility(duration), duration});
+    }
+    // Clipping can create duplicate or dominated candidates; prune restores
+    // the strict ordering presentation_set requires.
+    std::vector<presentation_candidate> useful = pareto_prune(std::move(candidates));
+    std::vector<presentation> levels;
+    levels.reserve(useful.size());
+    for (auto& c : useful)
+        levels.push_back(presentation{std::move(c.label), c.size_bytes, c.utility,
+                                      c.preview_sec});
+    return presentation_set(std::move(levels));
+}
+
+layered_video_generator::layered_video_generator(params p) : params_(std::move(p)) {
+    RICHNOTE_REQUIRE(params_.metadata_bytes > 0, "metadata size must be positive");
+    RICHNOTE_REQUIRE(params_.metadata_utility_fraction > 0 &&
+                         params_.metadata_utility_fraction < 1,
+                     "metadata utility fraction must be in (0,1)");
+    RICHNOTE_REQUIRE(!params_.clip_durations_sec.empty(), "need at least one duration");
+    RICHNOTE_REQUIRE(!params_.layers.empty(), "need at least one quality layer");
+    std::sort(params_.clip_durations_sec.begin(), params_.clip_durations_sec.end());
+    RICHNOTE_REQUIRE(params_.clip_durations_sec.front() > 0,
+                     "clip durations must be positive");
+    for (std::size_t l = 0; l < params_.layers.size(); ++l) {
+        RICHNOTE_REQUIRE(params_.layers[l].bitrate_kbps > 0 &&
+                             params_.layers[l].quality > 0 &&
+                             params_.layers[l].quality <= 1,
+                         "layer bitrate/quality out of range");
+        if (l > 0) {
+            RICHNOTE_REQUIRE(params_.layers[l].bitrate_kbps >
+                                     params_.layers[l - 1].bitrate_kbps &&
+                                 params_.layers[l].quality > params_.layers[l - 1].quality,
+                             "layers must strictly increase in bitrate and quality");
+        }
+    }
+    max_raw_utility_ = raw_duration_utility(params_.clip_durations_sec.back());
+    RICHNOTE_REQUIRE(max_raw_utility_ > 0,
+                     "duration-utility law must be positive at the longest clip");
+}
+
+double layered_video_generator::raw_duration_utility(double duration_sec) const noexcept {
+    return std::max(0.0, params_.duration_log_a +
+                             params_.duration_log_b * std::log(1.0 + duration_sec));
+}
+
+double layered_video_generator::clip_size_bytes(double duration_sec,
+                                                double bitrate_kbps) const noexcept {
+    return params_.metadata_bytes + duration_sec * bitrate_kbps * 1000.0 / 8.0;
+}
+
+double layered_video_generator::clip_utility(double duration_sec,
+                                             double quality) const noexcept {
+    const double media_fraction = 1.0 - params_.metadata_utility_fraction;
+    const double duration_part =
+        std::min(1.0, raw_duration_utility(duration_sec) / max_raw_utility_);
+    return params_.metadata_utility_fraction + media_fraction * duration_part * quality;
+}
+
+presentation_set layered_video_generator::generate(double full_duration_sec) const {
+    std::vector<presentation_candidate> candidates;
+    candidates.push_back(presentation_candidate{"meta", params_.metadata_bytes,
+                                                params_.metadata_utility_fraction, 0.0});
+    for (double d : params_.clip_durations_sec) {
+        const double duration =
+            full_duration_sec > 0 ? std::min(d, full_duration_sec) : d;
+        for (const layer& l : params_.layers) {
+            candidates.push_back(presentation_candidate{
+                l.name + "/" + std::to_string(static_cast<int>(duration)) + "s",
+                clip_size_bytes(duration, l.bitrate_kbps),
+                clip_utility(duration, l.quality), duration});
+        }
+    }
+    std::vector<presentation_candidate> useful = pareto_prune(std::move(candidates));
+    std::vector<presentation> levels;
+    levels.reserve(useful.size());
+    for (auto& c : useful)
+        levels.push_back(
+            presentation{std::move(c.label), c.size_bytes, c.utility, c.preview_sec});
+    return presentation_set(std::move(levels));
+}
+
+} // namespace richnote::core

@@ -1,0 +1,179 @@
+// Presentation levels (§III-B) and their generators.
+//
+// A content item can be notified at levels 1..k of strictly increasing size
+// and utility; level 0 means "not sent" (zero size, zero utility). Levels
+// are produced by an application-specific generator — the paper's Spotify
+// instantiation (§V-C) uses metadata-only plus 5/10/20/30/40-second audio
+// previews at 160 kbps. Candidate presentations that are dominated by a
+// smaller-or-equal, higher-utility alternative are Pareto-pruned, exactly
+// the "useful presentations" filter of Fig. 2(a).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace richnote::core {
+
+/// Presentation level index; 0 = not sent.
+using level_t = std::uint32_t;
+
+/// One deliverable presentation of a content item.
+struct presentation {
+    std::string label;          ///< e.g. "meta", "meta+10s"
+    double size_bytes = 0.0;    ///< s(i, j)
+    double utility = 0.0;       ///< U_p(i, j) in [0, 1]
+    double preview_sec = 0.0;   ///< media sample duration (0 = metadata only)
+};
+
+/// The ordered levels 1..k of one item (level 0 is implicit).
+class presentation_set {
+public:
+    presentation_set() = default;
+
+    /// Validates strict ordering: sizes and utilities strictly increase
+    /// with the level (§III-B: "strictly ordered in their sizes and
+    /// utility").
+    explicit presentation_set(std::vector<presentation> levels);
+
+    /// Number of real levels k (not counting level 0).
+    std::size_t level_count() const noexcept { return levels_.size(); }
+    bool empty() const noexcept { return levels_.empty(); }
+
+    /// Size of level j; j = 0 returns 0.
+    double size(level_t j) const;
+    /// Presentation utility of level j; j = 0 returns 0.
+    double utility(level_t j) const;
+    /// The full presentation record of level j >= 1.
+    const presentation& at(level_t j) const;
+
+    /// Sum over all levels of s(i, j) — the paper's s(i), used by the
+    /// Lyapunov queue update (all presentations of a delivered item drop
+    /// from the scheduling queue together).
+    double total_size() const noexcept { return total_size_; }
+
+    const std::vector<presentation>& levels() const noexcept { return levels_; }
+
+private:
+    std::vector<presentation> levels_;
+    double total_size_ = 0.0;
+};
+
+/// A candidate before pruning (e.g. one surveyed (rate, duration) combo).
+struct presentation_candidate {
+    std::string label;
+    double size_bytes = 0.0;
+    double utility = 0.0;
+    double preview_sec = 0.0;
+};
+
+/// Keeps only Pareto-"useful" candidates: drops any candidate for which
+/// another has size <= and utility >=, with at least one strict (Fig. 2(a):
+/// "B is not a useful presentation given A"). Equal-size-equal-utility
+/// duplicates keep the first occurrence. The result is sorted by size and
+/// has strictly increasing utility, ready for presentation_set.
+std::vector<presentation_candidate> pareto_prune(std::vector<presentation_candidate> candidates);
+
+/// Generator interface (§III-B: "a certain 'generator' exists that produces
+/// these presentations at different level of details ... different
+/// generators may exist for different content types").
+class presentation_generator {
+public:
+    virtual ~presentation_generator() = default;
+
+    /// Levels for an item whose full media lasts `full_duration_sec`.
+    virtual presentation_set generate(double full_duration_sec) const = 0;
+};
+
+/// The paper's Spotify audio generator (§V-C): metadata (200 B, ~1% of the
+/// presentation utility) plus previews of the configured durations at a
+/// fixed bitrate (160 kbps -> d-second preview = d * 20 KB). Preview
+/// durations longer than the track itself are clipped to the track length.
+class audio_preview_generator final : public presentation_generator {
+public:
+    struct params {
+        double metadata_bytes = 200.0;         ///< §V-C, from [2]
+        double metadata_utility_fraction = 0.01; ///< "about 1% ... due to metadata"
+        double bitrate_kbps = 160.0;           ///< Spotify default bitrate
+        std::vector<double> preview_durations_sec = {5, 10, 20, 30, 40};
+        // Duration-utility law (Eq. 8 defaults): util(d) = a + b*log(1+d),
+        // normalized so the longest configured preview has utility 1.
+        double duration_log_a = -0.397;
+        double duration_log_b = 0.352;
+    };
+
+    explicit audio_preview_generator(params p);
+
+    presentation_set generate(double full_duration_sec) const override;
+
+    /// Size in bytes of a d-second preview plus metadata.
+    double preview_size_bytes(double duration_sec) const noexcept;
+
+    /// Normalized presentation utility of a d-second preview (metadata
+    /// fraction + duration law), in [0, 1].
+    double preview_utility(double duration_sec) const noexcept;
+
+    const params& parameters() const noexcept { return params_; }
+
+private:
+    double raw_duration_utility(double duration_sec) const noexcept;
+
+    params params_;
+    double max_raw_utility_ = 1.0; ///< normalizer: raw utility at max duration
+};
+
+/// Layered-video generator (§III-A: "video samples can also be presented in
+/// combinations of duration and quality"; the related-work discussion
+/// points at H.264/SVC-style layered encodings). Candidates form the
+/// Cartesian product of clip durations and cumulative quality layers
+/// (base + enhancement layers, each adding bitrate); dominated combinations
+/// are Pareto-pruned exactly as in Fig. 2(a), and the survivors become the
+/// item's presentation levels.
+class layered_video_generator final : public presentation_generator {
+public:
+    struct layer {
+        std::string name;          ///< e.g. "240p", "480p"
+        double bitrate_kbps = 0.0; ///< CUMULATIVE bitrate up to this layer
+        double quality = 0.0;      ///< saturating quality factor in (0, 1]
+    };
+
+    struct params {
+        double metadata_bytes = 400.0; ///< title, thumbnail URL, caption
+        double metadata_utility_fraction = 0.02;
+        std::vector<double> clip_durations_sec = {3, 6, 12, 24};
+        std::vector<layer> layers = {
+            {"240p", 400.0, 0.45},
+            {"480p", 1'200.0, 0.75},
+            {"720p", 2'800.0, 1.0},
+        };
+        // Duration-utility law, same logarithmic family as audio (Eq. 8
+        // shape), normalized at the longest configured clip.
+        double duration_log_a = -0.30;
+        double duration_log_b = 0.40;
+    };
+
+    explicit layered_video_generator(params p);
+
+    /// Levels for a video whose full length is `full_duration_sec`
+    /// (<= 0 means "do not clip").
+    presentation_set generate(double full_duration_sec) const override;
+
+    /// Size of a clip at a cumulative layer bitrate, metadata included.
+    double clip_size_bytes(double duration_sec, double bitrate_kbps) const noexcept;
+
+    /// Normalized utility of (duration, quality) on top of the metadata
+    /// fraction; in (0, 1].
+    double clip_utility(double duration_sec, double quality) const noexcept;
+
+    const params& parameters() const noexcept { return params_; }
+
+private:
+    double raw_duration_utility(double duration_sec) const noexcept;
+
+    params params_;
+    double max_raw_utility_ = 1.0;
+};
+
+} // namespace richnote::core

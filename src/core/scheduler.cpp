@@ -1,0 +1,324 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace richnote::core {
+
+using richnote::sim::net_state;
+
+// ---------------------------------------------------------------- base ----
+
+void queue_scheduler_base::enqueue(sched_item item) {
+    RICHNOTE_REQUIRE(!item.presentations.empty(), "item needs at least one presentation");
+    RICHNOTE_REQUIRE(index_.find(item.note.id) == index_.end(),
+                     "item already in the scheduling queue");
+    queued_bytes_ += item.presentations.total_size();
+    index_[item.note.id] = queue_.size();
+    queue_.push_back(std::move(item));
+    on_enqueued(queue_.back());
+}
+
+void queue_scheduler_base::on_delivered(std::uint64_t item_id, double energy_spent) {
+    const auto it = index_.find(item_id);
+    RICHNOTE_REQUIRE(it != index_.end(), "delivered item not in the scheduling queue");
+    remove_at(it->second, energy_spent);
+}
+
+void queue_scheduler_base::remove_at(std::size_t pos, double energy_spent) {
+    on_departed(queue_[pos], energy_spent);
+    queued_bytes_ -= queue_[pos].presentations.total_size();
+    index_.erase(queue_[pos].note.id);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pos));
+    // Later items shifted left by one; fix their cached positions.
+    for (auto& [id, position] : index_) {
+        if (position > pos) --position;
+    }
+}
+
+std::size_t queue_scheduler_base::expire_older_than(richnote::sim::sim_time cutoff) {
+    std::size_t expired = 0;
+    for (std::size_t pos = 0; pos < queue_.size();) {
+        if (queue_[pos].arrived_at < cutoff) {
+            remove_at(pos, 0.0);
+            ++expired;
+        } else {
+            ++pos;
+        }
+    }
+    return expired;
+}
+
+// ----------------------------------------------------------- richnote ----
+
+richnote_scheduler::richnote_scheduler(params p, const energy::energy_model& energy)
+    : params_(p), energy_(&energy), controller_(p.lyapunov) {}
+
+void richnote_scheduler::enqueue(sched_item item) {
+    if (item.content_utility < params_.min_content_utility) {
+        ++dropped_low_utility_; // declined: traded away for precision
+        return;
+    }
+    queue_scheduler_base::enqueue(std::move(item));
+}
+
+void richnote_scheduler::on_enqueued(const sched_item& item) {
+    controller_.on_enqueue(item.presentations.total_size());
+}
+
+void richnote_scheduler::on_departed(const sched_item& item, double energy_spent) {
+    controller_.on_departure(item.presentations.total_size(), energy_spent);
+}
+
+void richnote_scheduler::on_session_overhead(double joules) {
+    controller_.on_departure(0.0, joules);
+}
+
+bool richnote_scheduler::allow_delivery(double rho_joules) const noexcept {
+    // Conservative gate: deliver only when the energy credit covers the
+    // item's estimated cost. (Deducting on delivery and merely requiring
+    // P > 0 would overshoot the energy envelope by up to one item's rho
+    // per round — material when kappa is small relative to a rich
+    // presentation's download energy.)
+    return controller_.energy_credit() >= rho_joules;
+}
+
+std::vector<planned_delivery> richnote_scheduler::plan(const round_context& ctx) {
+    // Algorithm 2 step 2: replenish the energy credit at the round boundary.
+    controller_.on_round(ctx.energy_replenishment);
+
+    // Bounded staleness (extension): expire items past the age limit.
+    if (params_.max_queue_age_sec > 0) {
+        expired_items_ += expire_older_than(ctx.now - params_.max_queue_age_sec);
+    }
+
+    if (queue_.empty() || !richnote::sim::default_link_profile(ctx.network).connected)
+        return {};
+
+    // Effective budget: the metered data budget on cellular, the link
+    // capacity on unmetered wifi (wifi "allows more data to deliver",
+    // §V-D3) — and never more than the link can move either way.
+    const double budget = ctx.metered
+                              ? std::min(ctx.data_budget_bytes, ctx.link_capacity_bytes)
+                              : ctx.link_capacity_bytes;
+    if (budget <= 0.0) return {};
+
+    // Effective content utility after aging (§III-A's aging factor).
+    auto aged_content_utility = [&](const sched_item& item) {
+        if (params_.utility_half_life_sec <= 0) return item.content_utility;
+        const double age = std::max(0.0, ctx.now - item.arrived_at);
+        return item.content_utility * std::exp2(-age / params_.utility_half_life_sec);
+    };
+
+    // WiFi deferral: on a metered link, high-value items may be withheld
+    // (empty menu -> level 0 -> stays queued) while their wait budget lasts.
+    auto deferred = [&](const sched_item& item) {
+        if (params_.wifi_deferral_min_utility <= 0.0 || !ctx.metered) return false;
+        if (item.content_utility < params_.wifi_deferral_min_utility) return false;
+        return ctx.now - item.arrived_at < params_.wifi_deferral_max_wait_sec;
+    };
+
+    // Build the MCKP instance with Lyapunov-adjusted utilities (Eq. 7).
+    std::vector<mckp_item> instance;
+    instance.reserve(queue_.size());
+    std::vector<std::vector<double>> rho_cache(queue_.size());
+    std::vector<double> aged_uc(queue_.size());
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const sched_item& item = queue_[i];
+        aged_uc[i] = aged_content_utility(item);
+        if (deferred(item)) {
+            ++deferred_item_rounds_;
+            instance.push_back(mckp_item{}); // empty menu: forced level 0
+            continue;
+        }
+        mckp_item m;
+        const std::size_t k = item.presentations.level_count();
+        m.sizes.reserve(k);
+        m.utilities.reserve(k);
+        rho_cache[i].reserve(k);
+        for (level_t j = 1; j <= k; ++j) {
+            const double size = item.presentations.size(j);
+            const double rho = energy_->estimate_rho(ctx.network, size,
+                                                     params_.expected_batch_items);
+            rho_cache[i].push_back(rho);
+            m.sizes.push_back(size);
+            m.utilities.push_back(controller_.adjusted_utility(
+                item.presentations.total_size(), rho,
+                aged_uc[i] * item.presentations.utility(j)));
+        }
+        instance.push_back(std::move(m));
+    }
+
+    const mckp_solution solution = select_presentations(instance, budget, params_.mckp);
+
+    // Materialize the plan and sort by descending TRUE utility (Algorithm 2
+    // step 1: "sort them in descending order of their utility values").
+    std::vector<planned_delivery> plan;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const level_t level = solution.levels[i];
+        if (level == 0) continue;
+        const sched_item& item = queue_[i];
+        planned_delivery d;
+        d.item_id = item.note.id;
+        d.level = level;
+        d.size_bytes = item.presentations.size(level);
+        // The utility actually realized at delivery time reflects aging.
+        d.utility = aged_uc[i] * item.presentations.utility(level);
+        d.rho_joules = rho_cache[i][level - 1];
+        d.item_total_size = item.presentations.total_size();
+        d.note = item.note;
+        plan.push_back(std::move(d));
+    }
+    std::sort(plan.begin(), plan.end(), [](const planned_delivery& a, const planned_delivery& b) {
+        if (a.utility != b.utility) return a.utility > b.utility;
+        return a.item_id < b.item_id;
+    });
+    return plan;
+}
+
+// ------------------------------------------------------------- direct ----
+
+direct_scheduler::direct_scheduler(params p, const energy::energy_model& energy)
+    : params_(p), energy_(&energy), energy_credit_(p.kappa_joules_per_round) {
+    RICHNOTE_REQUIRE(p.kappa_joules_per_round >= 0, "kappa must be non-negative");
+    RICHNOTE_REQUIRE(p.energy_accrual_rounds >= 1, "accrual cap must be >= 1 round");
+}
+
+void direct_scheduler::on_departed(const sched_item& item, double energy_spent) {
+    (void)item;
+    energy_credit_ = std::max(0.0, energy_credit_ - energy_spent);
+}
+
+void direct_scheduler::on_session_overhead(double joules) {
+    energy_credit_ = std::max(0.0, energy_credit_ - joules);
+}
+
+bool direct_scheduler::allow_delivery(double rho_joules) const noexcept {
+    return energy_credit_ >= rho_joules;
+}
+
+std::vector<planned_delivery> direct_scheduler::plan(const round_context& ctx) {
+    // Accrue this round's energy budget, banked up to the cap.
+    energy_credit_ = std::min(energy_credit_ + params_.kappa_joules_per_round,
+                              params_.kappa_joules_per_round * params_.energy_accrual_rounds);
+
+    if (queue_.empty() || !richnote::sim::default_link_profile(ctx.network).connected)
+        return {};
+    const double budget = ctx.metered
+                              ? std::min(ctx.data_budget_bytes, ctx.link_capacity_bytes)
+                              : ctx.link_capacity_bytes;
+    if (budget <= 0.0) return {};
+
+    std::vector<mckp_item_2d> instance;
+    instance.reserve(queue_.size());
+    for (const sched_item& item : queue_) {
+        mckp_item_2d m;
+        const std::size_t k = item.presentations.level_count();
+        m.sizes.reserve(k);
+        m.energies.reserve(k);
+        m.utilities.reserve(k);
+        for (level_t j = 1; j <= k; ++j) {
+            const double size = item.presentations.size(j);
+            m.sizes.push_back(size);
+            m.energies.push_back(
+                energy_->estimate_rho(ctx.network, size, params_.expected_batch_items));
+            m.utilities.push_back(item.utility(j));
+        }
+        instance.push_back(std::move(m));
+    }
+
+    const mckp_solution solution =
+        select_presentations_2d(instance, budget, energy_credit_, params_.mckp);
+
+    std::vector<planned_delivery> plan;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const level_t level = solution.levels[i];
+        if (level == 0) continue;
+        const sched_item& item = queue_[i];
+        planned_delivery d;
+        d.item_id = item.note.id;
+        d.level = level;
+        d.size_bytes = item.presentations.size(level);
+        d.utility = item.utility(level);
+        d.rho_joules = instance[i].energies[level - 1];
+        d.item_total_size = item.presentations.total_size();
+        d.note = item.note;
+        plan.push_back(std::move(d));
+    }
+    std::sort(plan.begin(), plan.end(), [](const planned_delivery& a, const planned_delivery& b) {
+        if (a.utility != b.utility) return a.utility > b.utility;
+        return a.item_id < b.item_id;
+    });
+    return plan;
+}
+
+// ---------------------------------------------------------- baselines ----
+
+fixed_level_scheduler::fixed_level_scheduler(level_t fixed_level,
+                                             const energy::energy_model& energy)
+    : fixed_level_(fixed_level), energy_(&energy) {
+    RICHNOTE_REQUIRE(fixed_level >= 1, "baselines deliver at a fixed level >= 1");
+}
+
+std::vector<planned_delivery> fixed_level_scheduler::plan(const round_context& ctx) {
+    if (queue_.empty() || !richnote::sim::default_link_profile(ctx.network).connected)
+        return {};
+    const double budget = ctx.metered
+                              ? std::min(ctx.data_budget_bytes, ctx.link_capacity_bytes)
+                              : ctx.link_capacity_bytes;
+    if (budget <= 0.0) return {};
+
+    std::vector<planned_delivery> plan;
+    double planned_bytes = 0.0;
+    for (std::size_t pos : delivery_order()) {
+        const sched_item& item = queue_[pos];
+        const auto level = static_cast<level_t>(
+            std::min<std::size_t>(fixed_level_, item.presentations.level_count()));
+        const double size = item.presentations.size(level);
+        if (planned_bytes + size > budget) {
+            if (head_of_line_blocking()) break;
+            continue;
+        }
+        planned_delivery d;
+        d.item_id = item.note.id;
+        d.level = level;
+        d.size_bytes = size;
+        d.utility = item.utility(level);
+        d.rho_joules = energy_->estimate_rho(ctx.network, size);
+        d.item_total_size = item.presentations.total_size();
+        d.note = item.note;
+        planned_bytes += size;
+        plan.push_back(std::move(d));
+    }
+    return plan;
+}
+
+std::vector<std::size_t> fifo_scheduler::delivery_order() const {
+    // queue_ is insertion-ordered and insertions arrive in timestamp order,
+    // so identity order IS delivery-timestamp order.
+    std::vector<std::size_t> order(queue_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    return order;
+}
+
+std::vector<std::size_t> util_scheduler::delivery_order() const {
+    std::vector<std::size_t> order(queue_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    const level_t level = fixed_level();
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const auto level_a = static_cast<level_t>(
+            std::min<std::size_t>(level, queue_[a].presentations.level_count()));
+        const auto level_b = static_cast<level_t>(
+            std::min<std::size_t>(level, queue_[b].presentations.level_count()));
+        const double ua = queue_[a].utility(level_a);
+        const double ub = queue_[b].utility(level_b);
+        if (ua != ub) return ua > ub;
+        return queue_[a].note.id < queue_[b].note.id;
+    });
+    return order;
+}
+
+} // namespace richnote::core

@@ -1,0 +1,289 @@
+// Notification schedulers (§IV Algorithm 2 and the §V-C baselines).
+//
+// A scheduler owns one user's scheduling queue. Each round the broker calls
+// plan() with the round context (available data budget, network state,
+// energy replenishment); the scheduler returns an ordered delivery plan.
+// The broker then delivers as many planned entries as the network / budget /
+// energy allow and reports each success via on_delivered(); planned entries
+// that did not make it stay in the scheduling queue for the next round
+// (Algorithm 2 step 1 clears and rebuilds the delivery queue each round).
+//
+// Three implementations:
+//  - richnote_scheduler: Lyapunov-adjusted utilities + MCKP greedy, adaptive
+//    presentation levels (the paper's contribution);
+//  - fifo_scheduler: delivery-timestamp order at a FIXED presentation level
+//    ("the widely used technique in industry ... real-time mode");
+//  - util_scheduler: descending utility at a FIXED level ("batch mode").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/lyapunov.hpp"
+#include "core/mckp.hpp"
+#include "core/presentation.hpp"
+#include "energy/model.hpp"
+#include "sim/network.hpp"
+#include "sim/time.hpp"
+#include "trace/notification.hpp"
+
+namespace richnote::core {
+
+/// One queued content item, with its generated presentations and content
+/// utility already attached (Figure 1's "incoming queue -> scheduling
+/// queue" step).
+struct sched_item {
+    trace::notification note;
+    double content_utility = 0.0; ///< U_c(i) in [0, 1]
+    presentation_set presentations;
+    richnote::sim::sim_time arrived_at = 0; ///< arrival at the broker
+
+    /// Eq. 1 combined utility of level j.
+    double utility(level_t j) const { return content_utility * presentations.utility(j); }
+};
+
+/// Everything a scheduler may react to at a round boundary.
+struct round_context {
+    richnote::sim::sim_time now = 0;
+    double data_budget_bytes = 0.0;  ///< B(t): accumulated metered budget
+    richnote::sim::net_state network = richnote::sim::net_state::cell;
+    bool metered = true;             ///< false on wifi: budget is not charged
+    double link_capacity_bytes = 0.0; ///< max bytes the link can move this round
+    double energy_replenishment = 0.0; ///< e(t) from the battery policy
+};
+
+/// One entry of the per-round delivery plan, in delivery order.
+struct planned_delivery {
+    std::uint64_t item_id = 0;
+    level_t level = 0;             ///< chosen presentation level (>= 1)
+    double size_bytes = 0.0;       ///< s(i, level)
+    double utility = 0.0;          ///< true U(i, level) (Eq. 1), for metrics
+    double rho_joules = 0.0;       ///< estimated download energy
+    double item_total_size = 0.0;  ///< s(i): all levels (Lyapunov accounting)
+    trace::notification note;      ///< copy for metrics bookkeeping
+};
+
+class scheduler {
+public:
+    virtual ~scheduler() = default;
+
+    virtual const char* name() const noexcept = 0;
+
+    /// New content enters the scheduling queue.
+    virtual void enqueue(sched_item item) = 0;
+
+    /// Build this round's delivery plan (does not mutate the queue).
+    virtual std::vector<planned_delivery> plan(const round_context& ctx) = 0;
+
+    /// The broker delivered this item; drop it from the scheduling queue.
+    /// `energy_spent` is the actual (estimated) energy charged to it.
+    virtual void on_delivered(std::uint64_t item_id, double energy_spent) = 0;
+
+    virtual std::size_t queue_size() const noexcept = 0;
+
+    /// Bytes of pending presentations in the scheduling queue (sum of s(i)).
+    virtual double queue_bytes() const noexcept = 0;
+
+    /// May the broker deliver one more item costing `rho` joules this
+    /// round? Baselines always say yes; RichNote gates on its energy
+    /// credit P(t).
+    virtual bool allow_delivery(double rho_joules) const noexcept {
+        (void)rho_joules;
+        return true;
+    }
+
+    /// Radio-session energy beyond the per-item rho estimates (ramp/tail
+    /// not attributable to a single item). RichNote charges it against the
+    /// energy virtual queue so P(t) tracks the true spend; baselines
+    /// ignore it.
+    virtual void on_session_overhead(double joules) { (void)joules; }
+
+    /// Remaining energy credit P(t) for telemetry; 0 for policies that do
+    /// not track energy (the fixed-level baselines).
+    virtual double energy_credit_joules() const noexcept { return 0.0; }
+};
+
+/// Shared queue plumbing for all three schedulers.
+class queue_scheduler_base : public scheduler {
+public:
+    void enqueue(sched_item item) override;
+    void on_delivered(std::uint64_t item_id, double energy_spent) override;
+    std::size_t queue_size() const noexcept override { return queue_.size(); }
+    double queue_bytes() const noexcept override { return queued_bytes_; }
+
+    /// Drops every queued item that arrived before `cutoff` (bounded
+    /// staleness). Departure hooks fire with zero energy. Returns the
+    /// number of items expired.
+    std::size_t expire_older_than(richnote::sim::sim_time cutoff);
+
+protected:
+    /// Hooks for subclasses that track queue state (Lyapunov).
+    virtual void on_enqueued(const sched_item& item) { (void)item; }
+    virtual void on_departed(const sched_item& item, double energy_spent) {
+        (void)item;
+        (void)energy_spent;
+    }
+
+    /// Insertion-ordered (= arrival-ordered) queue with O(log n) id lookup.
+    std::vector<sched_item> queue_;
+    std::map<std::uint64_t, std::size_t> index_; ///< id -> position in queue_
+    double queued_bytes_ = 0.0;
+
+private:
+    void remove_at(std::size_t pos, double energy_spent);
+};
+
+/// The paper's scheduler: Lyapunov-adjusted MCKP selection (Algorithm 2).
+class richnote_scheduler final : public queue_scheduler_base {
+public:
+    struct params {
+        lyapunov_params lyapunov;
+        mckp_options mckp;
+        /// Expected items per delivery batch for the rho estimate.
+        double expected_batch_items = 8.0;
+        /// Precision knob (§V-D1: "it is possible to achieve higher
+        /// precision using RichNote by only delivering notifications with
+        /// higher utility value"): items whose content utility U_c falls
+        /// below this threshold are declined at enqueue time — never
+        /// delivered, trading recall for precision. 0 disables the filter.
+        double min_content_utility = 0.0;
+        /// Aging factor (§III-A: content utility "may also depend on the
+        /// recency of the content"): the effective content utility of a
+        /// queued item decays as U_c * 2^(-age / half_life), so stale items
+        /// lose priority for upgrades and eventually for delivery itself.
+        /// 0 disables aging (the paper's evaluation setting).
+        double utility_half_life_sec = 0.0;
+        /// Bounded staleness: queued items older than this are expired at
+        /// the next round boundary instead of lingering forever (an
+        /// extension; the paper never drops). 0 disables expiry.
+        double max_queue_age_sec = 0.0;
+        /// WiFi deferral (extension in the spirit of the paper's prefetch
+        /// citation [14]): on METERED links, items with content utility at
+        /// or above this threshold are withheld — kept queued in the hope
+        /// of an unmetered WiFi round where they can ship at a rich level
+        /// for free — for at most wifi_deferral_max_wait_sec, after which
+        /// they compete on cellular as usual. 0 disables deferral.
+        double wifi_deferral_min_utility = 0.0;
+        double wifi_deferral_max_wait_sec = 6.0 * 3600.0;
+    };
+
+    richnote_scheduler(params p, const energy::energy_model& energy);
+
+    const char* name() const noexcept override { return "RichNote"; }
+    void enqueue(sched_item item) override;
+    std::vector<planned_delivery> plan(const round_context& ctx) override;
+    bool allow_delivery(double rho_joules) const noexcept override;
+    void on_session_overhead(double joules) override;
+
+    const lyapunov_controller& controller() const noexcept { return controller_; }
+
+    double energy_credit_joules() const noexcept override {
+        return controller_.energy_credit();
+    }
+
+    /// Items declined by the min_content_utility filter.
+    std::uint64_t dropped_low_utility() const noexcept { return dropped_low_utility_; }
+
+    /// Items dropped by the max_queue_age expiry.
+    std::uint64_t expired_items() const noexcept { return expired_items_; }
+
+    /// Item-rounds spent waiting for WiFi under the deferral policy.
+    std::uint64_t deferred_item_rounds() const noexcept { return deferred_item_rounds_; }
+
+protected:
+    void on_enqueued(const sched_item& item) override;
+    void on_departed(const sched_item& item, double energy_spent) override;
+
+private:
+    params params_;
+    const energy::energy_model* energy_;
+    lyapunov_controller controller_;
+    std::uint64_t dropped_low_utility_ = 0;
+    std::uint64_t expired_items_ = 0;
+    std::uint64_t deferred_item_rounds_ = 0;
+};
+
+/// The §III-C formulation solved directly, WITHOUT the Lyapunov
+/// transformation: each round maximizes Eq. 1 utility subject to the data
+/// budget (Eq. 2b) AND a hard per-round energy budget (Eq. 2c) via the
+/// two-weight MCKP greedy. Energy credit accrues kappa per round (capped at
+/// `energy_accrual_rounds` * kappa) and is spent on delivery. This is the
+/// design the paper replaces with Lyapunov control; keeping it lets
+/// bench/ablation_direct ablate that choice.
+class direct_scheduler final : public queue_scheduler_base {
+public:
+    struct params {
+        double kappa_joules_per_round = 3000.0; ///< Eq. 2c budget E(t) accrual
+        double energy_accrual_rounds = 24.0;    ///< cap on banked energy credit
+        mckp_options mckp;
+        double expected_batch_items = 8.0;
+    };
+
+    direct_scheduler(params p, const energy::energy_model& energy);
+
+    const char* name() const noexcept override { return "Direct"; }
+    std::vector<planned_delivery> plan(const round_context& ctx) override;
+    bool allow_delivery(double rho_joules) const noexcept override;
+    void on_session_overhead(double joules) override;
+
+    double energy_credit() const noexcept { return energy_credit_; }
+    double energy_credit_joules() const noexcept override { return energy_credit_; }
+
+protected:
+    void on_departed(const sched_item& item, double energy_spent) override;
+
+private:
+    params params_;
+    const energy::energy_model* energy_;
+    double energy_credit_ = 0.0;
+};
+
+/// Baseline plumbing: fixed presentation level, differing only in order.
+class fixed_level_scheduler : public queue_scheduler_base {
+public:
+    /// `fixed_level` indexes the generated presentation set (1 = metadata
+    /// only, 2 = +5 s, ... per §V-C); items with fewer levels clamp to
+    /// their maximum.
+    fixed_level_scheduler(level_t fixed_level, const energy::energy_model& energy);
+
+    std::vector<planned_delivery> plan(const round_context& ctx) override;
+
+    level_t fixed_level() const noexcept { return fixed_level_; }
+
+protected:
+    /// Queue positions in delivery order for this policy.
+    virtual std::vector<std::size_t> delivery_order() const = 0;
+    /// Whether an item that does not fit blocks the rest (FIFO) or is
+    /// skipped (UTIL).
+    virtual bool head_of_line_blocking() const noexcept = 0;
+
+private:
+    level_t fixed_level_;
+    const energy::energy_model* energy_;
+};
+
+/// FIFO baseline: delivery-timestamp order, head-of-line blocking.
+class fifo_scheduler final : public fixed_level_scheduler {
+public:
+    using fixed_level_scheduler::fixed_level_scheduler;
+    const char* name() const noexcept override { return "FIFO"; }
+
+protected:
+    std::vector<std::size_t> delivery_order() const override;
+    bool head_of_line_blocking() const noexcept override { return true; }
+};
+
+/// UTIL baseline: highest utility first, skipping items that do not fit.
+class util_scheduler final : public fixed_level_scheduler {
+public:
+    using fixed_level_scheduler::fixed_level_scheduler;
+    const char* name() const noexcept override { return "UTIL"; }
+
+protected:
+    std::vector<std::size_t> delivery_order() const override;
+    bool head_of_line_blocking() const noexcept override { return false; }
+};
+
+} // namespace richnote::core

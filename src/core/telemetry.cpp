@@ -1,0 +1,54 @@
+#include "core/telemetry.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace richnote::core {
+
+telemetry::telemetry(std::vector<std::uint32_t> users) : users_(std::move(users)) {
+    std::sort(users_.begin(), users_.end());
+    users_.erase(std::unique(users_.begin(), users_.end()), users_.end());
+    slots_.resize(users_.size());
+}
+
+bool telemetry::watches(std::uint32_t user) const noexcept {
+    return std::binary_search(users_.begin(), users_.end(), user);
+}
+
+void telemetry::record(const round_sample& sample) {
+    const auto it = std::lower_bound(users_.begin(), users_.end(), sample.user);
+    if (it == users_.end() || *it != sample.user) return;
+    slots_[static_cast<std::size_t>(it - users_.begin())].push_back(sample);
+}
+
+std::vector<round_sample> telemetry::samples() const {
+    std::vector<round_sample> all;
+    for (const auto& slot : slots_) all.insert(all.end(), slot.begin(), slot.end());
+    return all;
+}
+
+const std::vector<round_sample>& telemetry::of(std::uint32_t user) const {
+    const auto it = std::lower_bound(users_.begin(), users_.end(), user);
+    RICHNOTE_REQUIRE(it != users_.end() && *it == user, "user is not watched");
+    return slots_[static_cast<std::size_t>(it - users_.begin())];
+}
+
+void telemetry::write_csv(std::ostream& out) const {
+    out << "round,user,queue_items,queue_bytes,energy_credit,data_budget,battery_level,"
+           "network,delivered_so_far\n";
+    for (const round_sample& s : samples()) {
+        out << s.round << ',' << s.user << ',' << s.queue_items << ',' << s.queue_bytes
+            << ',' << s.energy_credit << ',' << s.data_budget << ',' << s.battery_level
+            << ',' << to_string(s.network) << ',' << s.delivered_so_far << '\n';
+    }
+}
+
+double telemetry::max_queue_bytes(std::uint32_t user) const {
+    double best = 0.0;
+    for (const round_sample& s : of(user)) best = std::max(best, s.queue_bytes);
+    return best;
+}
+
+} // namespace richnote::core

@@ -1,0 +1,63 @@
+// Round-level telemetry: per-round samples of the control state the
+// Lyapunov analysis reasons about — Q(t) (scheduling-queue backlog), P(t)
+// (energy credit), B(t) (data budget), battery level and network state —
+// for a chosen set of users. §V-D5 argues stability from aggregate
+// side-effects; sampling the trajectories shows it directly (Q bounded,
+// P oscillating around kappa).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/time.hpp"
+
+namespace richnote::core {
+
+/// One user's control state at one round boundary (sampled after the
+/// round's deliveries).
+struct round_sample {
+    std::uint64_t round = 0;
+    std::uint32_t user = 0;
+    double queue_items = 0.0;       ///< scheduling-queue length
+    double queue_bytes = 0.0;       ///< Q(t) in bytes (sum of s(i))
+    double energy_credit = 0.0;     ///< P(t) in joules (RichNote/Direct only)
+    double data_budget = 0.0;       ///< B(t) in bytes
+    double battery_level = 0.0;     ///< state of charge [0, 1]
+    richnote::sim::net_state network = richnote::sim::net_state::off;
+    std::uint64_t delivered_so_far = 0;
+};
+
+/// Collects samples for a fixed set of users. Thread-safe under user
+/// sharding: each user's row vector is only appended by the worker that
+/// owns the user (samples are bucketed per user, merged on read).
+class telemetry {
+public:
+    telemetry() = default;
+    explicit telemetry(std::vector<std::uint32_t> users);
+
+    bool enabled() const noexcept { return !slots_.empty(); }
+    bool watches(std::uint32_t user) const noexcept;
+
+    /// Record one sample (no-op if the user is not watched).
+    void record(const round_sample& sample);
+
+    /// All samples ordered by (user, round).
+    std::vector<round_sample> samples() const;
+
+    /// Samples of one user ordered by round; empty if not watched.
+    const std::vector<round_sample>& of(std::uint32_t user) const;
+
+    /// Writes samples as CSV (header + one row per sample).
+    void write_csv(std::ostream& out) const;
+
+    /// Largest Q(t) in bytes seen for the user (stability check).
+    double max_queue_bytes(std::uint32_t user) const;
+
+private:
+    std::vector<std::uint32_t> users_;
+    std::vector<std::vector<round_sample>> slots_; ///< parallel to users_
+};
+
+} // namespace richnote::core

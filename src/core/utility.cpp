@@ -1,0 +1,110 @@
+#include "core/utility.hpp"
+
+#include "common/error.hpp"
+
+namespace richnote::core {
+
+constant_content_utility::constant_content_utility(double value) : value_(value) {
+    RICHNOTE_REQUIRE(value >= 0.0 && value <= 1.0, "content utility must be in [0,1]");
+}
+
+forest_content_utility::forest_content_utility(
+    std::shared_ptr<const ml::random_forest> forest)
+    : forest_(std::move(forest)) {
+    RICHNOTE_REQUIRE(forest_ != nullptr && forest_->trained(),
+                     "forest_content_utility needs a trained forest");
+}
+
+double forest_content_utility::content_utility(const trace::notification& n) const {
+    const auto features = n.features.to_array();
+    return forest_->predict_proba(features);
+}
+
+ml::dataset make_training_set(const trace::notification_trace& trace) {
+    std::vector<std::string> names(trace::notification_features::names().begin(),
+                                   trace::notification_features::names().end());
+    ml::dataset data(std::move(names));
+    for (const auto& stream : trace.per_user) {
+        for (const auto& n : stream) {
+            if (!n.attended) continue; // the paper's mouse-activity filter
+            const auto features = n.features.to_array();
+            data.add_row(features, n.clicked ? 1 : 0);
+        }
+    }
+    return data;
+}
+
+std::shared_ptr<forest_content_utility> train_content_utility(
+    const trace::notification_trace& trace, const ml::forest_params& params,
+    std::uint64_t seed) {
+    const ml::dataset data = make_training_set(trace);
+    RICHNOTE_REQUIRE(!data.empty(), "trace has no attended notifications to train on");
+    auto forest = std::make_shared<ml::random_forest>();
+    forest->fit(data, params, seed);
+    return std::make_shared<forest_content_utility>(std::move(forest));
+}
+
+calibrated_content_utility::calibrated_content_utility(
+    std::shared_ptr<const content_utility_model> base, ml::platt_calibrator calibrator)
+    : base_(std::move(base)), calibrator_(std::move(calibrator)) {
+    RICHNOTE_REQUIRE(base_ != nullptr, "calibrated model needs a base model");
+    RICHNOTE_REQUIRE(calibrator_.fitted(), "calibrator must be fitted");
+}
+
+double calibrated_content_utility::content_utility(const trace::notification& n) const {
+    return calibrator_.calibrate(base_->content_utility(n));
+}
+
+online_content_utility::online_content_utility(params p)
+    : params_(std::move(p)),
+      data_(std::vector<std::string>(trace::notification_features::names().begin(),
+                                     trace::notification_features::names().end())) {
+    RICHNOTE_REQUIRE(params_.prior >= 0.0 && params_.prior <= 1.0,
+                     "prior must be in [0,1]");
+    RICHNOTE_REQUIRE(params_.retrain_every >= 1, "retrain_every must be >= 1");
+}
+
+double online_content_utility::content_utility(const trace::notification& n) const {
+    if (!forest_.trained()) return params_.prior;
+    const auto features = n.features.to_array();
+    return forest_.predict_proba(features);
+}
+
+void online_content_utility::observe(const trace::notification& n) {
+    RICHNOTE_REQUIRE(n.attended, "feedback only exists for attended notifications");
+    const auto features = n.features.to_array();
+    data_.add_row(features, n.clicked ? 1 : 0);
+}
+
+bool online_content_utility::on_round_end() {
+    ++rounds_since_fit_;
+    if (rounds_since_fit_ < params_.retrain_every) return false;
+    if (data_.size() < params_.min_rows || data_.size() == rows_at_last_fit_)
+        return false;
+    const double positives = data_.positive_fraction();
+    if (positives == 0.0 || positives == 1.0) return false; // one class only
+    forest_.fit(data_, params_.forest,
+                params_.seed + refits_); // fresh bootstrap stream per refit
+    rounds_since_fit_ = 0;
+    rows_at_last_fit_ = data_.size();
+    ++refits_;
+    return true;
+}
+
+cached_content_utility::cached_content_utility(const trace::notification_trace& trace,
+                                               const content_utility_model& model) {
+    by_id_.assign(trace.total_count, 0.0);
+    for (const auto& stream : trace.per_user) {
+        for (const auto& n : stream) {
+            RICHNOTE_REQUIRE(n.id < by_id_.size(), "notification ids must be dense");
+            by_id_[n.id] = model.content_utility(n);
+        }
+    }
+}
+
+double cached_content_utility::content_utility(const trace::notification& n) const {
+    RICHNOTE_REQUIRE(n.id < by_id_.size(), "notification id outside the cached trace");
+    return by_id_[n.id];
+}
+
+} // namespace richnote::core

@@ -1,0 +1,213 @@
+#include "ml/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace richnote::ml {
+
+namespace {
+
+double stable_sigmoid(double z) noexcept {
+    if (z >= 0) return 1.0 / (1.0 + std::exp(-z));
+    const double e = std::exp(z);
+    return e / (1.0 + e);
+}
+
+void require_paired(const std::vector<double>& p, const std::vector<int>& y) {
+    RICHNOTE_REQUIRE(p.size() == y.size(), "scores/labels length mismatch");
+    RICHNOTE_REQUIRE(!p.empty(), "need at least one sample");
+    for (int label : y) RICHNOTE_REQUIRE(label == 0 || label == 1, "labels must be 0/1");
+}
+
+} // namespace
+
+void platt_calibrator::fit(const std::vector<double>& scores,
+                           const std::vector<int>& labels) {
+    require_paired(scores, labels);
+    double positives = 0;
+    for (int y : labels) positives += y;
+    const double negatives = static_cast<double>(labels.size()) - positives;
+    RICHNOTE_REQUIRE(positives > 0 && negatives > 0,
+                     "calibration needs both classes present");
+
+    // Platt's smoothed targets keep the likelihood bounded on separable data.
+    const double target_pos = (positives + 1.0) / (positives + 2.0);
+    const double target_neg = 1.0 / (negatives + 2.0);
+
+    // Newton-Raphson on the 2-parameter logistic log-likelihood.
+    double a = 0.0;
+    double b = std::log((negatives + 1.0) / (positives + 1.0));
+    for (int iteration = 0; iteration < 100; ++iteration) {
+        double g_a = 0, g_b = 0;          // gradient
+        double h_aa = 1e-12, h_ab = 0, h_bb = 1e-12; // Hessian (ridge-stabilized)
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+            const double t = labels[i] == 1 ? target_pos : target_neg;
+            const double p = stable_sigmoid(a * scores[i] + b);
+            const double d = p - t;
+            g_a += d * scores[i];
+            g_b += d;
+            const double w = std::max(p * (1.0 - p), 1e-12);
+            h_aa += w * scores[i] * scores[i];
+            h_ab += w * scores[i];
+            h_bb += w;
+        }
+        const double det = h_aa * h_bb - h_ab * h_ab;
+        if (std::abs(det) < 1e-18) break;
+        const double step_a = (h_bb * g_a - h_ab * g_b) / det;
+        const double step_b = (h_aa * g_b - h_ab * g_a) / det;
+        a -= step_a;
+        b -= step_b;
+        if (std::abs(step_a) < 1e-10 && std::abs(step_b) < 1e-10) break;
+    }
+    a_ = a;
+    b_ = b;
+    fitted_ = true;
+}
+
+double platt_calibrator::calibrate(double score) const {
+    RICHNOTE_REQUIRE(fitted_, "calibrator has not been fitted");
+    return stable_sigmoid(a_ * score + b_);
+}
+
+void isotonic_calibrator::fit(const std::vector<double>& scores,
+                              const std::vector<int>& labels) {
+    require_paired(scores, labels);
+
+    // Sort samples by score.
+    std::vector<std::size_t> order(scores.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+    // Pool adjacent violators: maintain a stack of blocks with their mean.
+    struct block {
+        double sum;
+        double count;
+        double min_x;
+        double max_x;
+    };
+    std::vector<block> blocks;
+    blocks.reserve(scores.size());
+    for (std::size_t i : order) {
+        blocks.push_back(block{static_cast<double>(labels[i]), 1.0, scores[i], scores[i]});
+        while (blocks.size() >= 2) {
+            const block& last = blocks[blocks.size() - 1];
+            const block& prev = blocks[blocks.size() - 2];
+            if (prev.sum / prev.count <= last.sum / last.count + 1e-15) break;
+            // Violation: merge.
+            block merged{prev.sum + last.sum, prev.count + last.count, prev.min_x,
+                         last.max_x};
+            blocks.pop_back();
+            blocks.back() = merged;
+        }
+    }
+
+    // Compact runs of blocks with equal means (PAV leaves already-monotone
+    // points as singleton blocks); the interpolated function is unchanged
+    // but lookups shrink to one knot per distinct level boundary.
+    std::vector<block> compacted;
+    for (const block& b : blocks) {
+        if (!compacted.empty() &&
+            std::abs(compacted.back().sum / compacted.back().count - b.sum / b.count) <
+                1e-12) {
+            compacted.back().sum += b.sum;
+            compacted.back().count += b.count;
+            compacted.back().max_x = b.max_x;
+        } else {
+            compacted.push_back(b);
+        }
+    }
+
+    knots_x_.clear();
+    knots_y_.clear();
+    for (const block& b : compacted) {
+        const double y = b.sum / b.count;
+        // Represent each block by its score midpoint; collapse duplicates.
+        const double x = 0.5 * (b.min_x + b.max_x);
+        if (!knots_x_.empty() && x <= knots_x_.back()) {
+            knots_y_.back() = y; // same position: keep the later (higher) value
+            continue;
+        }
+        knots_x_.push_back(x);
+        knots_y_.push_back(y);
+    }
+    RICHNOTE_CHECK(!knots_x_.empty(), "PAV produced no blocks");
+}
+
+double isotonic_calibrator::calibrate(double score) const {
+    RICHNOTE_REQUIRE(fitted(), "calibrator has not been fitted");
+    if (score <= knots_x_.front()) return knots_y_.front();
+    if (score >= knots_x_.back()) return knots_y_.back();
+    const auto it = std::upper_bound(knots_x_.begin(), knots_x_.end(), score);
+    const auto hi = static_cast<std::size_t>(it - knots_x_.begin());
+    const std::size_t lo = hi - 1;
+    const double span = knots_x_[hi] - knots_x_[lo];
+    const double t = span > 0 ? (score - knots_x_[lo]) / span : 0.0;
+    return knots_y_[lo] + t * (knots_y_[hi] - knots_y_[lo]);
+}
+
+double brier_score(const std::vector<double>& probabilities,
+                   const std::vector<int>& labels) {
+    require_paired(probabilities, labels);
+    double acc = 0;
+    for (std::size_t i = 0; i < probabilities.size(); ++i) {
+        const double d = probabilities[i] - labels[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(probabilities.size());
+}
+
+double log_loss(const std::vector<double>& probabilities, const std::vector<int>& labels) {
+    require_paired(probabilities, labels);
+    double acc = 0;
+    for (std::size_t i = 0; i < probabilities.size(); ++i) {
+        const double p = std::clamp(probabilities[i], 1e-12, 1.0 - 1e-12);
+        acc -= labels[i] == 1 ? std::log(p) : std::log(1.0 - p);
+    }
+    return acc / static_cast<double>(probabilities.size());
+}
+
+std::vector<reliability_bin> reliability_diagram(const std::vector<double>& probabilities,
+                                                 const std::vector<int>& labels,
+                                                 std::size_t bins) {
+    require_paired(probabilities, labels);
+    RICHNOTE_REQUIRE(bins >= 1, "need at least one bin");
+    std::vector<double> sum_p(bins, 0.0);
+    std::vector<double> sum_y(bins, 0.0);
+    std::vector<std::size_t> count(bins, 0);
+    for (std::size_t i = 0; i < probabilities.size(); ++i) {
+        RICHNOTE_REQUIRE(probabilities[i] >= 0.0 && probabilities[i] <= 1.0,
+                         "probabilities must be in [0,1]");
+        auto bin = static_cast<std::size_t>(probabilities[i] * static_cast<double>(bins));
+        bin = std::min(bin, bins - 1);
+        sum_p[bin] += probabilities[i];
+        sum_y[bin] += labels[i];
+        ++count[bin];
+    }
+    std::vector<reliability_bin> out;
+    for (std::size_t b = 0; b < bins; ++b) {
+        if (count[b] == 0) continue;
+        reliability_bin rb;
+        rb.mean_predicted = sum_p[b] / static_cast<double>(count[b]);
+        rb.empirical_rate = sum_y[b] / static_cast<double>(count[b]);
+        rb.count = count[b];
+        out.push_back(rb);
+    }
+    return out;
+}
+
+double expected_calibration_error(const std::vector<double>& probabilities,
+                                  const std::vector<int>& labels, std::size_t bins) {
+    const auto diagram = reliability_diagram(probabilities, labels, bins);
+    const double total = static_cast<double>(probabilities.size());
+    double ece = 0;
+    for (const auto& bin : diagram) {
+        ece += (static_cast<double>(bin.count) / total) *
+               std::abs(bin.mean_predicted - bin.empirical_rate);
+    }
+    return ece;
+}
+
+} // namespace richnote::ml

@@ -1,0 +1,86 @@
+// Probability calibration for classifier scores.
+//
+// The paper uses the Random Forest's confidence directly as the content
+// utility U_c(i) (§V-A) — i.e. it treats the score as a probability.
+// Forest vote fractions are typically mis-calibrated (squeezed toward 0.5),
+// which distorts every downstream U(i,j) = U_c * U_p product. This module
+// provides Platt scaling — fit p = sigmoid(a * score + b) on held-out data
+// by maximum likelihood — plus the standard calibration diagnostics
+// (Brier score, log-loss, reliability diagram) used to quantify the gain.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace richnote::ml {
+
+/// Two-parameter sigmoid map fit by Newton-Raphson on the regularized
+/// log-likelihood (Platt 1999, including the +1/+2 target smoothing that
+/// keeps the fit well-posed on separable data).
+class platt_calibrator {
+public:
+    platt_calibrator() = default;
+
+    /// Fits on (raw score, 0/1 label) pairs; needs both classes present.
+    void fit(const std::vector<double>& scores, const std::vector<int>& labels);
+
+    /// Calibrated probability for a raw score.
+    double calibrate(double score) const;
+
+    bool fitted() const noexcept { return fitted_; }
+    double slope() const noexcept { return a_; }
+    double intercept() const noexcept { return b_; }
+
+private:
+    double a_ = 1.0;
+    double b_ = 0.0;
+    bool fitted_ = false;
+};
+
+/// Isotonic-regression calibrator: the pool-adjacent-violators (PAV)
+/// algorithm fits the best monotone step function from scores to empirical
+/// positive rates. Nonparametric — unlike Platt it assumes no sigmoid
+/// shape — at the cost of needing more calibration data. Between knots the
+/// map is linearly interpolated; outside the fitted range it clamps.
+class isotonic_calibrator {
+public:
+    isotonic_calibrator() = default;
+
+    void fit(const std::vector<double>& scores, const std::vector<int>& labels);
+
+    double calibrate(double score) const;
+
+    bool fitted() const noexcept { return !knots_x_.empty(); }
+    std::size_t knot_count() const noexcept { return knots_x_.size(); }
+
+private:
+    std::vector<double> knots_x_; ///< score positions (strictly increasing)
+    std::vector<double> knots_y_; ///< calibrated values (non-decreasing)
+};
+
+/// Mean squared error of probabilities against 0/1 outcomes; lower is
+/// better; 0.25 is the score of a constant 0.5 prediction.
+double brier_score(const std::vector<double>& probabilities,
+                   const std::vector<int>& labels);
+
+/// Mean negative log-likelihood with probabilities clamped away from {0,1}.
+double log_loss(const std::vector<double>& probabilities, const std::vector<int>& labels);
+
+/// One bin of a reliability diagram.
+struct reliability_bin {
+    double mean_predicted = 0.0;  ///< average predicted probability in bin
+    double empirical_rate = 0.0;  ///< observed positive fraction in bin
+    std::size_t count = 0;
+};
+
+/// Equal-width bins over [0, 1]; empty bins are omitted. A calibrated
+/// model has mean_predicted ~= empirical_rate in every bin.
+std::vector<reliability_bin> reliability_diagram(const std::vector<double>& probabilities,
+                                                 const std::vector<int>& labels,
+                                                 std::size_t bins = 10);
+
+/// Expected calibration error: bin-count-weighted |predicted - empirical|.
+double expected_calibration_error(const std::vector<double>& probabilities,
+                                  const std::vector<int>& labels, std::size_t bins = 10);
+
+} // namespace richnote::ml

@@ -1,0 +1,53 @@
+#include "ml/dataset.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace richnote::ml {
+
+dataset::dataset(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names)) {
+    RICHNOTE_REQUIRE(!feature_names_.empty(), "dataset needs at least one feature");
+}
+
+void dataset::add_row(std::span<const double> features, int label) {
+    RICHNOTE_REQUIRE(features.size() == feature_names_.size(),
+                     "row width must match feature count");
+    RICHNOTE_REQUIRE(label == 0 || label == 1, "labels must be 0/1");
+    data_.insert(data_.end(), features.begin(), features.end());
+    labels_.push_back(label);
+}
+
+double dataset::positive_fraction() const noexcept {
+    if (labels_.empty()) return 0.0;
+    const auto positives = std::accumulate(labels_.begin(), labels_.end(), 0);
+    return static_cast<double>(positives) / static_cast<double>(labels_.size());
+}
+
+dataset dataset::subset(const std::vector<std::size_t>& rows) const {
+    dataset out(feature_names_);
+    for (std::size_t r : rows) {
+        RICHNOTE_REQUIRE(r < size(), "subset row out of range");
+        out.add_row(row(r), labels_[r]);
+    }
+    return out;
+}
+
+std::pair<dataset, dataset> dataset::train_test_split(double test_fraction,
+                                                      std::uint64_t seed) const {
+    RICHNOTE_REQUIRE(test_fraction > 0.0 && test_fraction < 1.0,
+                     "test fraction must be in (0,1)");
+    std::vector<std::size_t> order(size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    richnote::rng gen(seed);
+    gen.shuffle(order);
+    const auto test_count = static_cast<std::size_t>(
+        static_cast<double>(size()) * test_fraction);
+    const std::vector<std::size_t> test_rows(order.begin(), order.begin() + test_count);
+    const std::vector<std::size_t> train_rows(order.begin() + test_count, order.end());
+    return {subset(train_rows), subset(test_rows)};
+}
+
+} // namespace richnote::ml

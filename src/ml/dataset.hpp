@@ -1,0 +1,57 @@
+// Dense binary-classification dataset: row-major feature matrix + 0/1 labels.
+//
+// Substrate for the content-utility learner (§V-A). Kept generic (no
+// dependency on trace/), so the ml library is reusable; the adapter that
+// turns labeled notifications into rows lives in core/content_utility.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace richnote::ml {
+
+class dataset {
+public:
+    dataset() = default;
+    explicit dataset(std::vector<std::string> feature_names);
+
+    std::size_t feature_count() const noexcept { return feature_names_.size(); }
+    std::size_t size() const noexcept { return labels_.size(); }
+    bool empty() const noexcept { return labels_.empty(); }
+
+    const std::vector<std::string>& feature_names() const noexcept { return feature_names_; }
+
+    /// Appends a row; `features.size()` must equal feature_count().
+    void add_row(std::span<const double> features, int label);
+
+    /// Feature `f` of row `r`.
+    double at(std::size_t row, std::size_t feature) const noexcept {
+        return data_[row * feature_names_.size() + feature];
+    }
+
+    std::span<const double> row(std::size_t r) const noexcept {
+        return {data_.data() + r * feature_names_.size(), feature_names_.size()};
+    }
+
+    int label(std::size_t row) const noexcept { return labels_[row]; }
+
+    /// Fraction of rows with label 1.
+    double positive_fraction() const noexcept;
+
+    /// Row indices selected by `keep` (new dataset with copied rows).
+    dataset subset(const std::vector<std::size_t>& rows) const;
+
+    /// Deterministic shuffled split into (train, test) with the given
+    /// test fraction.
+    std::pair<dataset, dataset> train_test_split(double test_fraction,
+                                                 std::uint64_t seed) const;
+
+private:
+    std::vector<std::string> feature_names_;
+    std::vector<double> data_;
+    std::vector<int> labels_;
+};
+
+} // namespace richnote::ml

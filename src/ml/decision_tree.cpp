@@ -1,0 +1,216 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace richnote::ml {
+
+double gini_impurity(double negatives, double positives) noexcept {
+    const double total = negatives + positives;
+    if (total <= 0.0) return 0.0;
+    const double p = positives / total;
+    return 2.0 * p * (1.0 - p);
+}
+
+double entropy_impurity(double negatives, double positives) noexcept {
+    const double total = negatives + positives;
+    if (total <= 0.0) return 0.0;
+    const double p = positives / total;
+    double bits = 0.0;
+    if (p > 0.0) bits -= p * std::log2(p);
+    if (p < 1.0) bits -= (1.0 - p) * std::log2(1.0 - p);
+    return bits;
+}
+
+namespace {
+
+struct split_candidate {
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double weighted_impurity = std::numeric_limits<double>::infinity();
+    bool found = false;
+};
+
+double impurity_of(split_criterion criterion, double negatives, double positives) {
+    return criterion == split_criterion::entropy ? entropy_impurity(negatives, positives)
+                                                 : gini_impurity(negatives, positives);
+}
+
+/// Best threshold for one feature via sort-and-scan; O(n log n).
+void scan_feature(const dataset& data, const std::vector<std::size_t>& rows,
+                  std::size_t feature, std::size_t min_samples_leaf,
+                  split_criterion criterion, split_candidate& best) {
+    // Pair (value, label) sorted by value.
+    std::vector<std::pair<double, int>> points;
+    points.reserve(rows.size());
+    for (std::size_t r : rows) points.emplace_back(data.at(r, feature), data.label(r));
+    std::sort(points.begin(), points.end());
+
+    const double total = static_cast<double>(points.size());
+    double total_pos = 0.0;
+    for (const auto& [value, label] : points) total_pos += label;
+
+    double left_count = 0.0;
+    double left_pos = 0.0;
+    for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+        left_count += 1.0;
+        left_pos += points[i].second;
+        // Split only between distinct values.
+        if (points[i].first == points[i + 1].first) continue;
+        const double right_count = total - left_count;
+        if (left_count < static_cast<double>(min_samples_leaf) ||
+            right_count < static_cast<double>(min_samples_leaf))
+            continue;
+        const double right_pos = total_pos - left_pos;
+        const double impurity =
+            (left_count / total) *
+                impurity_of(criterion, left_count - left_pos, left_pos) +
+            (right_count / total) *
+                impurity_of(criterion, right_count - right_pos, right_pos);
+        if (impurity < best.weighted_impurity) {
+            best.weighted_impurity = impurity;
+            best.feature = feature;
+            best.threshold = 0.5 * (points[i].first + points[i + 1].first);
+            best.found = true;
+        }
+    }
+}
+
+} // namespace
+
+void decision_tree::fit(const dataset& data, const std::vector<std::size_t>& rows,
+                        const tree_params& params, richnote::rng& gen) {
+    RICHNOTE_REQUIRE(!rows.empty(), "cannot fit a tree on zero rows");
+    RICHNOTE_REQUIRE(data.feature_count() > 0, "dataset has no features");
+    nodes_.clear();
+    std::vector<std::size_t> mutable_rows = rows;
+    build(data, mutable_rows, params, 0, gen);
+}
+
+void decision_tree::fit(const dataset& data, const tree_params& params, richnote::rng& gen) {
+    std::vector<std::size_t> rows(data.size());
+    std::iota(rows.begin(), rows.end(), std::size_t{0});
+    fit(data, rows, params, gen);
+}
+
+std::int32_t decision_tree::build(const dataset& data, std::vector<std::size_t>& rows,
+                                  const tree_params& params, std::size_t depth,
+                                  richnote::rng& gen) {
+    double positives = 0.0;
+    for (std::size_t r : rows) positives += data.label(r);
+    const double probability = positives / static_cast<double>(rows.size());
+
+    const auto node_index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(node{0, 0.0, -1, -1, probability});
+
+    const bool pure = positives == 0.0 || positives == static_cast<double>(rows.size());
+    if (pure || depth >= params.max_depth || rows.size() < params.min_samples_split)
+        return node_index;
+
+    // Choose the feature pool for this node.
+    std::vector<std::size_t> features(data.feature_count());
+    std::iota(features.begin(), features.end(), std::size_t{0});
+    if (params.features_per_split > 0 && params.features_per_split < features.size()) {
+        gen.shuffle(features);
+        features.resize(params.features_per_split);
+    }
+
+    split_candidate best;
+    const double parent_impurity = impurity_of(
+        params.criterion, static_cast<double>(rows.size()) - positives, positives);
+    for (std::size_t f : features)
+        scan_feature(data, rows, f, params.min_samples_leaf, params.criterion, best);
+    if (!best.found || best.weighted_impurity >= parent_impurity) return node_index;
+
+    std::vector<std::size_t> left_rows;
+    std::vector<std::size_t> right_rows;
+    left_rows.reserve(rows.size());
+    right_rows.reserve(rows.size());
+    for (std::size_t r : rows) {
+        (data.at(r, best.feature) <= best.threshold ? left_rows : right_rows).push_back(r);
+    }
+    RICHNOTE_CHECK(!left_rows.empty() && !right_rows.empty(), "degenerate split");
+
+    rows.clear();
+    rows.shrink_to_fit(); // free before recursing; children own their rows
+
+    const std::int32_t left = build(data, left_rows, params, depth + 1, gen);
+    const std::int32_t right = build(data, right_rows, params, depth + 1, gen);
+    nodes_[node_index].feature = static_cast<std::uint32_t>(best.feature);
+    nodes_[node_index].threshold = best.threshold;
+    nodes_[node_index].left = left;
+    nodes_[node_index].right = right;
+    return node_index;
+}
+
+double decision_tree::predict_proba(std::span<const double> features) const {
+    RICHNOTE_REQUIRE(trained(), "predict on an untrained tree");
+    std::int32_t index = 0;
+    for (;;) {
+        const node& n = nodes_[static_cast<std::size_t>(index)];
+        if (n.left < 0) return n.probability;
+        RICHNOTE_REQUIRE(n.feature < features.size(), "feature vector too short");
+        index = features[n.feature] <= n.threshold ? n.left : n.right;
+    }
+}
+
+int decision_tree::predict(std::span<const double> features) const {
+    return predict_proba(features) >= 0.5 ? 1 : 0;
+}
+
+void decision_tree::save(std::ostream& out) const {
+    RICHNOTE_REQUIRE(trained(), "cannot save an untrained tree");
+    out << "tree " << nodes_.size() << '\n';
+    out.precision(17);
+    for (const node& n : nodes_) {
+        out << n.feature << ' ' << n.threshold << ' ' << n.left << ' ' << n.right << ' '
+            << n.probability << '\n';
+    }
+}
+
+void decision_tree::load(std::istream& in) {
+    std::string tag;
+    std::size_t count = 0;
+    in >> tag >> count;
+    RICHNOTE_REQUIRE(in.good() && tag == "tree" && count > 0, "malformed tree header");
+    nodes_.clear();
+    nodes_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        node n;
+        in >> n.feature >> n.threshold >> n.left >> n.right >> n.probability;
+        RICHNOTE_REQUIRE(!in.fail(), "malformed tree node");
+        const auto limit = static_cast<std::int32_t>(count);
+        RICHNOTE_REQUIRE(n.left < limit && n.right < limit, "tree child out of range");
+        RICHNOTE_REQUIRE((n.left < 0) == (n.right < 0), "half-leaf tree node");
+        RICHNOTE_REQUIRE(n.probability >= 0.0 && n.probability <= 1.0,
+                         "leaf probability out of range");
+        nodes_.push_back(n);
+    }
+}
+
+std::size_t decision_tree::depth() const noexcept {
+    if (nodes_.empty()) return 0;
+    // Iterative depth over the explicit node array.
+    std::vector<std::pair<std::int32_t, std::size_t>> stack{{0, 1}};
+    std::size_t best = 0;
+    while (!stack.empty()) {
+        const auto [index, depth] = stack.back();
+        stack.pop_back();
+        best = std::max(best, depth);
+        const node& n = nodes_[static_cast<std::size_t>(index)];
+        if (n.left >= 0) {
+            stack.emplace_back(n.left, depth + 1);
+            stack.emplace_back(n.right, depth + 1);
+        }
+    }
+    return best;
+}
+
+} // namespace richnote::ml

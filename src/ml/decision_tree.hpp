@@ -1,0 +1,77 @@
+// CART binary-classification decision tree (Gini impurity), the base
+// learner of the Random Forest (§V-A / Breiman [7]).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/dataset.hpp"
+
+namespace richnote::ml {
+
+/// Impurity criterion for split selection.
+enum class split_criterion : std::uint8_t { gini = 0, entropy = 1 };
+
+struct tree_params {
+    std::size_t max_depth = 12;
+    std::size_t min_samples_leaf = 2;
+    std::size_t min_samples_split = 4;
+    /// Features examined per split; 0 = all (plain CART). Random Forest
+    /// passes ~sqrt(feature_count).
+    std::size_t features_per_split = 0;
+    split_criterion criterion = split_criterion::gini;
+};
+
+class decision_tree {
+public:
+    decision_tree() = default;
+
+    /// Fits on `rows` of `data` (indices may repeat — bootstrap sampling).
+    /// `gen` drives the per-node feature subsampling.
+    void fit(const dataset& data, const std::vector<std::size_t>& rows,
+             const tree_params& params, richnote::rng& gen);
+
+    /// Convenience: fit on every row.
+    void fit(const dataset& data, const tree_params& params, richnote::rng& gen);
+
+    /// P(label = 1 | features).
+    double predict_proba(std::span<const double> features) const;
+
+    /// Hard 0/1 prediction at the 0.5 threshold.
+    int predict(std::span<const double> features) const;
+
+    bool trained() const noexcept { return !nodes_.empty(); }
+    std::size_t node_count() const noexcept { return nodes_.size(); }
+    std::size_t depth() const noexcept;
+
+    /// Writes the node array as one text line per node (see ml/serialize).
+    void save(std::ostream& out) const;
+    /// Rebuilds a tree saved by save(); validates structural integrity.
+    void load(std::istream& in);
+
+private:
+    struct node {
+        // Internal: feature/threshold; children indices. Leaf: probability.
+        std::uint32_t feature = 0;
+        double threshold = 0.0;
+        std::int32_t left = -1;  ///< -1 marks a leaf
+        std::int32_t right = -1;
+        double probability = 0.0; ///< P(label=1) among training rows here
+    };
+
+    std::int32_t build(const dataset& data, std::vector<std::size_t>& rows,
+                       const tree_params& params, std::size_t depth, richnote::rng& gen);
+
+    std::vector<node> nodes_;
+};
+
+/// Gini impurity of a (negatives, positives) count pair.
+double gini_impurity(double negatives, double positives) noexcept;
+
+/// Shannon entropy (bits) of a (negatives, positives) count pair.
+double entropy_impurity(double negatives, double positives) noexcept;
+
+} // namespace richnote::ml

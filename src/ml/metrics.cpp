@@ -1,0 +1,164 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace richnote::ml {
+
+void confusion_matrix::add(int actual, int predicted) noexcept {
+    if (actual == 1) {
+        predicted == 1 ? ++true_positive : ++false_negative;
+    } else {
+        predicted == 1 ? ++false_positive : ++true_negative;
+    }
+}
+
+double confusion_matrix::accuracy() const noexcept {
+    const auto n = total();
+    if (n == 0) return 0.0;
+    return static_cast<double>(true_positive + true_negative) / static_cast<double>(n);
+}
+
+double confusion_matrix::precision() const noexcept {
+    const auto predicted_positive = true_positive + false_positive;
+    if (predicted_positive == 0) return 0.0;
+    return static_cast<double>(true_positive) / static_cast<double>(predicted_positive);
+}
+
+double confusion_matrix::recall() const noexcept {
+    const auto actual_positive = true_positive + false_negative;
+    if (actual_positive == 0) return 0.0;
+    return static_cast<double>(true_positive) / static_cast<double>(actual_positive);
+}
+
+double confusion_matrix::f1() const noexcept {
+    const double p = precision();
+    const double r = recall();
+    if (p + r == 0.0) return 0.0;
+    return 2.0 * p * r / (p + r);
+}
+
+confusion_matrix evaluate(const dataset& data,
+                          const std::function<int(std::span<const double>)>& model) {
+    confusion_matrix cm;
+    for (std::size_t r = 0; r < data.size(); ++r) cm.add(data.label(r), model(data.row(r)));
+    return cm;
+}
+
+double auc(const dataset& data,
+           const std::function<double(std::span<const double>)>& scorer) {
+    std::vector<std::pair<double, int>> scored;
+    scored.reserve(data.size());
+    for (std::size_t r = 0; r < data.size(); ++r)
+        scored.emplace_back(scorer(data.row(r)), data.label(r));
+    std::sort(scored.begin(), scored.end());
+
+    // Rank-sum (Mann-Whitney) formulation with tie handling via mid-ranks.
+    double rank_sum_positive = 0.0;
+    std::size_t positives = 0;
+    std::size_t i = 0;
+    while (i < scored.size()) {
+        std::size_t j = i;
+        while (j < scored.size() && scored[j].first == scored[i].first) ++j;
+        const double mid_rank = 0.5 * static_cast<double>(i + 1 + j); // 1-based mid rank
+        for (std::size_t k = i; k < j; ++k) {
+            if (scored[k].second == 1) {
+                rank_sum_positive += mid_rank;
+                ++positives;
+            }
+        }
+        i = j;
+    }
+    const std::size_t negatives = scored.size() - positives;
+    if (positives == 0 || negatives == 0) return 0.5;
+    const double u = rank_sum_positive -
+                     static_cast<double>(positives) * (static_cast<double>(positives) + 1) / 2.0;
+    return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+double cross_validation_result::mean_accuracy() const noexcept {
+    if (folds.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& f : folds) sum += f.accuracy();
+    return sum / static_cast<double>(folds.size());
+}
+
+double cross_validation_result::mean_precision() const noexcept {
+    if (folds.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& f : folds) sum += f.precision();
+    return sum / static_cast<double>(folds.size());
+}
+
+double cross_validation_result::mean_recall() const noexcept {
+    if (folds.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& f : folds) sum += f.recall();
+    return sum / static_cast<double>(folds.size());
+}
+
+cross_validation_result cross_validate_forest(const dataset& data, const forest_params& params,
+                                              std::size_t folds, std::uint64_t seed) {
+    RICHNOTE_REQUIRE(folds >= 2, "cross-validation needs at least two folds");
+    RICHNOTE_REQUIRE(data.size() >= folds, "fewer rows than folds");
+
+    std::vector<std::size_t> order(data.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    richnote::rng gen(seed);
+    gen.shuffle(order);
+
+    cross_validation_result result;
+    for (std::size_t fold = 0; fold < folds; ++fold) {
+        std::vector<std::size_t> train_rows;
+        std::vector<std::size_t> test_rows;
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            (i % folds == fold ? test_rows : train_rows).push_back(order[i]);
+        }
+        const dataset train = data.subset(train_rows);
+        const dataset test = data.subset(test_rows);
+        random_forest forest;
+        forest.fit(train, params, gen());
+        result.folds.push_back(evaluate(
+            test, [&forest](std::span<const double> row) { return forest.predict(row); }));
+    }
+    return result;
+}
+
+std::vector<double> permutation_importance(const dataset& data, const random_forest& model,
+                                           std::uint64_t seed, std::size_t repeats) {
+    RICHNOTE_REQUIRE(!data.empty(), "cannot compute importance on an empty dataset");
+    RICHNOTE_REQUIRE(model.trained(), "model must be trained");
+    RICHNOTE_REQUIRE(repeats >= 1, "need at least one repeat");
+
+    const double baseline =
+        evaluate(data, [&](std::span<const double> row) { return model.predict(row); })
+            .accuracy();
+
+    richnote::rng gen(seed);
+    std::vector<double> importance(data.feature_count(), 0.0);
+    std::vector<double> row_buffer(data.feature_count());
+    std::vector<std::size_t> permutation(data.size());
+
+    for (std::size_t f = 0; f < data.feature_count(); ++f) {
+        double drop_sum = 0.0;
+        for (std::size_t rep = 0; rep < repeats; ++rep) {
+            std::iota(permutation.begin(), permutation.end(), std::size_t{0});
+            gen.shuffle(permutation);
+            confusion_matrix cm;
+            for (std::size_t r = 0; r < data.size(); ++r) {
+                const auto row = data.row(r);
+                std::copy(row.begin(), row.end(), row_buffer.begin());
+                row_buffer[f] = data.at(permutation[r], f);
+                cm.add(data.label(r), model.predict(row_buffer));
+            }
+            drop_sum += baseline - cm.accuracy();
+        }
+        importance[f] = drop_sum / static_cast<double>(repeats);
+    }
+    return importance;
+}
+
+} // namespace richnote::ml

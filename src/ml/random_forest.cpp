@@ -1,0 +1,111 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace richnote::ml {
+
+void random_forest::fit(const dataset& data, const forest_params& params, std::uint64_t seed) {
+    RICHNOTE_REQUIRE(params.tree_count > 0, "forest needs at least one tree");
+    RICHNOTE_REQUIRE(!data.empty(), "cannot fit a forest on an empty dataset");
+
+    tree_params per_tree = params.tree;
+    if (per_tree.features_per_split == 0) {
+        per_tree.features_per_split = static_cast<std::size_t>(
+            std::ceil(std::sqrt(static_cast<double>(data.feature_count()))));
+    }
+
+    trees_.assign(params.tree_count, decision_tree{});
+    richnote::rng gen(seed);
+
+    // Out-of-bag bookkeeping: per row, sum of probabilities from trees that
+    // did not see it, and how many such trees there were.
+    std::vector<double> oob_sum;
+    std::vector<std::uint32_t> oob_votes;
+    if (params.compute_oob) {
+        oob_sum.assign(data.size(), 0.0);
+        oob_votes.assign(data.size(), 0);
+    }
+
+    std::vector<std::size_t> sample(data.size());
+    std::vector<std::uint8_t> in_bag(data.size());
+    for (decision_tree& tree : trees_) {
+        richnote::rng tree_gen = gen.split();
+        std::fill(in_bag.begin(), in_bag.end(), std::uint8_t{0});
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            const std::size_t r = tree_gen.index(data.size());
+            sample[i] = r;
+            in_bag[r] = 1;
+        }
+        tree.fit(data, sample, per_tree, tree_gen);
+        if (params.compute_oob) {
+            for (std::size_t r = 0; r < data.size(); ++r) {
+                if (in_bag[r]) continue;
+                oob_sum[r] += tree.predict_proba(data.row(r));
+                ++oob_votes[r];
+            }
+        }
+    }
+
+    if (params.compute_oob) {
+        std::size_t scored = 0;
+        std::size_t correct = 0;
+        for (std::size_t r = 0; r < data.size(); ++r) {
+            if (oob_votes[r] == 0) continue;
+            ++scored;
+            const int predicted = oob_sum[r] / oob_votes[r] >= 0.5 ? 1 : 0;
+            if (predicted == data.label(r)) ++correct;
+        }
+        if (scored > 0)
+            oob_accuracy_ = static_cast<double>(correct) / static_cast<double>(scored);
+    }
+}
+
+double random_forest::predict_proba(std::span<const double> features) const {
+    RICHNOTE_REQUIRE(trained(), "predict on an untrained forest");
+    double sum = 0.0;
+    for (const decision_tree& tree : trees_) sum += tree.predict_proba(features);
+    return sum / static_cast<double>(trees_.size());
+}
+
+int random_forest::predict(std::span<const double> features) const {
+    return predict_proba(features) >= 0.5 ? 1 : 0;
+}
+
+void random_forest::save(std::ostream& out) const {
+    RICHNOTE_REQUIRE(trained(), "cannot save an untrained forest");
+    out << "richnote_forest v1\n" << "trees " << trees_.size() << '\n';
+    for (const decision_tree& tree : trees_) tree.save(out);
+    RICHNOTE_REQUIRE(out.good(), "write failure while saving forest");
+}
+
+void random_forest::load(std::istream& in) {
+    std::string magic, version, tag;
+    std::size_t count = 0;
+    in >> magic >> version >> tag >> count;
+    RICHNOTE_REQUIRE(in.good() && magic == "richnote_forest" && version == "v1" &&
+                         tag == "trees" && count > 0,
+                     "malformed forest header");
+    std::vector<decision_tree> trees(count);
+    for (decision_tree& tree : trees) tree.load(in);
+    trees_ = std::move(trees);
+    oob_accuracy_.reset(); // not persisted
+}
+
+void random_forest::save_file(const std::string& path) const {
+    std::ofstream out(path);
+    RICHNOTE_REQUIRE(out.good(), "cannot open model file for writing: " + path);
+    save(out);
+}
+
+void random_forest::load_file(const std::string& path) {
+    std::ifstream in(path);
+    RICHNOTE_REQUIRE(in.good(), "cannot open model file for reading: " + path);
+    load(in);
+}
+
+} // namespace richnote::ml

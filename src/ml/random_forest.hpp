@@ -1,0 +1,55 @@
+// Random Forest classifier (Breiman 2001), the content-utility learner the
+// paper trains in Weka (§V-A): bootstrap-bagged CART trees with per-node
+// feature subsampling; predict_proba averages tree probabilities, which is
+// the confidence score U_c(i) consumes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace richnote::ml {
+
+struct forest_params {
+    std::size_t tree_count = 50;
+    tree_params tree; ///< features_per_split 0 means "auto" = ceil(sqrt(F))
+    bool compute_oob = false; ///< track out-of-bag accuracy during fit
+};
+
+class random_forest {
+public:
+    random_forest() = default;
+
+    void fit(const dataset& data, const forest_params& params, std::uint64_t seed);
+
+    /// P(label = 1): mean of tree probabilities.
+    double predict_proba(std::span<const double> features) const;
+
+    /// Hard 0/1 prediction at the 0.5 threshold.
+    int predict(std::span<const double> features) const;
+
+    std::size_t tree_count() const noexcept { return trees_.size(); }
+    bool trained() const noexcept { return !trees_.empty(); }
+
+    /// Out-of-bag accuracy if requested at fit time.
+    std::optional<double> oob_accuracy() const noexcept { return oob_accuracy_; }
+
+    /// Plain-text model persistence: a versioned header followed by each
+    /// tree's node table. Trained models round-trip exactly (save -> load
+    /// reproduces identical predictions), so the §V-A classifier can be
+    /// trained once and shipped with an application.
+    void save(std::ostream& out) const;
+    void load(std::istream& in);
+    void save_file(const std::string& path) const;
+    void load_file(const std::string& path);
+
+private:
+    std::vector<decision_tree> trees_;
+    std::optional<double> oob_accuracy_;
+};
+
+} // namespace richnote::ml

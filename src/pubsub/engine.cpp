@@ -1,0 +1,116 @@
+#include "pubsub/engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace richnote::pubsub {
+
+const char* to_string(topic_kind kind) noexcept {
+    switch (kind) {
+        case topic_kind::user_feed: return "user_feed";
+        case topic_kind::artist: return "artist";
+        case topic_kind::playlist: return "playlist";
+    }
+    return "?";
+}
+
+topic_id user_feed_topic(std::uint32_t user) noexcept {
+    return topic_id{topic_kind::user_feed, user};
+}
+
+topic_id artist_topic(std::uint32_t artist) noexcept {
+    return topic_id{topic_kind::artist, artist};
+}
+
+topic_id playlist_topic(std::uint32_t playlist) noexcept {
+    return topic_id{topic_kind::playlist, playlist};
+}
+
+bool engine::subscribe(subscriber_id subscriber, topic_id topic, double affinity,
+                       content_filter filter) {
+    RICHNOTE_REQUIRE(affinity > 0.0 && affinity <= 1.0, "affinity must be in (0,1]");
+    auto& entries = topics_[topic];
+    const auto it = std::find_if(
+        entries.begin(), entries.end(),
+        [subscriber](const subscription_entry& e) { return e.subscriber == subscriber; });
+    if (it != entries.end()) {
+        it->affinity = affinity;
+        it->filter = filter;
+        return false;
+    }
+    entries.push_back(subscription_entry{subscriber, affinity, filter});
+    ++subscriptions_;
+    return true;
+}
+
+bool engine::unsubscribe(subscriber_id subscriber, topic_id topic) {
+    const auto topic_it = topics_.find(topic);
+    if (topic_it == topics_.end()) return false;
+    auto& entries = topic_it->second;
+    const auto it = std::find_if(
+        entries.begin(), entries.end(),
+        [subscriber](const subscription_entry& e) { return e.subscriber == subscriber; });
+    if (it == entries.end()) return false;
+    entries.erase(it); // preserves subscription order of the rest
+    --subscriptions_;
+    if (entries.empty()) topics_.erase(topic_it);
+    return true;
+}
+
+std::size_t engine::unsubscribe_all(subscriber_id subscriber) {
+    std::size_t removed = 0;
+    for (auto it = topics_.begin(); it != topics_.end();) {
+        auto& entries = it->second;
+        const auto match = std::find_if(
+            entries.begin(), entries.end(),
+            [subscriber](const subscription_entry& e) { return e.subscriber == subscriber; });
+        if (match != entries.end()) {
+            entries.erase(match);
+            --subscriptions_;
+            ++removed;
+        }
+        it = entries.empty() ? topics_.erase(it) : std::next(it);
+    }
+    return removed;
+}
+
+bool engine::is_subscribed(subscriber_id subscriber, topic_id topic) const noexcept {
+    return affinity(subscriber, topic) > 0.0;
+}
+
+double engine::affinity(subscriber_id subscriber, topic_id topic) const noexcept {
+    const auto topic_it = topics_.find(topic);
+    if (topic_it == topics_.end()) return 0.0;
+    for (const auto& e : topic_it->second) {
+        if (e.subscriber == subscriber) return e.affinity;
+    }
+    return 0.0;
+}
+
+std::size_t engine::subscriber_count(topic_id topic) const noexcept {
+    const auto it = topics_.find(topic);
+    return it == topics_.end() ? 0 : it->second.size();
+}
+
+std::uint64_t engine::publish(const publication& pub, const sink& deliver) {
+    RICHNOTE_REQUIRE(deliver != nullptr, "publish needs a delivery sink");
+    ++publications_;
+    const auto it = topics_.find(pub.topic);
+    if (it == topics_.end()) return 0;
+    std::uint64_t count = 0;
+    for (const auto& e : it->second) {
+        if (pub.topic.kind == topic_kind::user_feed && e.subscriber == pub.publisher)
+            continue; // no self-notification on one's own feed
+        if (!e.filter.passes(pub)) {
+            ++filtered_;
+            continue;
+        }
+        deliver(e.subscriber, e.affinity, pub);
+        ++count;
+    }
+    deliveries_ += count;
+    return count;
+}
+
+} // namespace richnote::pubsub

@@ -1,0 +1,108 @@
+#include "sim/battery_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace richnote::sim {
+
+battery_trace::battery_trace(std::vector<battery_sample> samples)
+    : samples_(std::move(samples)) {
+    RICHNOTE_REQUIRE(!samples_.empty(), "battery trace needs at least one sample");
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        RICHNOTE_REQUIRE(samples_[i].level >= 0.0 && samples_[i].level <= 1.0,
+                         "battery level must be in [0,1]");
+        if (i > 0)
+            RICHNOTE_REQUIRE(samples_[i - 1].at <= samples_[i].at,
+                             "battery samples must be time-sorted");
+    }
+}
+
+namespace {
+const battery_sample& sample_at(const std::vector<battery_sample>& samples, sim_time t) {
+    // Last sample with at <= t; the first sample before its own timestamp.
+    const auto it = std::upper_bound(
+        samples.begin(), samples.end(), t,
+        [](sim_time value, const battery_sample& s) { return value < s.at; });
+    if (it == samples.begin()) return samples.front();
+    return *(it - 1);
+}
+} // namespace
+
+double battery_trace::level_at(sim_time t) const noexcept {
+    return sample_at(samples_, t).level;
+}
+
+bool battery_trace::charging_at(sim_time t) const noexcept {
+    return sample_at(samples_, t).charging;
+}
+
+battery_trace battery_trace::synthesize(const battery_params& params, sim_time horizon,
+                                        sim_time step, richnote::rng& gen) {
+    RICHNOTE_REQUIRE(horizon > 0 && step > 0, "horizon and step must be positive");
+    battery_model model(params, gen);
+    std::vector<battery_sample> samples;
+    samples.reserve(static_cast<std::size_t>(horizon / step) + 1);
+    for (sim_time t = 0; t <= horizon; t += step) {
+        model.step(t, step, 0.0);
+        samples.push_back(battery_sample{t, model.level(), model.charging()});
+    }
+    return battery_trace(std::move(samples));
+}
+
+void battery_trace::write_csv(std::ostream& out) const {
+    out << "at,level,charging\n";
+    out.precision(17);
+    for (const battery_sample& s : samples_) {
+        out << s.at << ',' << s.level << ',' << (s.charging ? 1 : 0) << '\n';
+    }
+}
+
+battery_trace battery_trace::read_csv(std::istream& in) {
+    std::string line;
+    RICHNOTE_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty battery trace");
+    RICHNOTE_REQUIRE(line == "at,level,charging", "battery trace header mismatch");
+    std::vector<battery_sample> samples;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        std::istringstream row(line);
+        battery_sample s;
+        char comma1 = 0, comma2 = 0;
+        int charging = 0;
+        row >> s.at >> comma1 >> s.level >> comma2 >> charging;
+        RICHNOTE_REQUIRE(!row.fail() && comma1 == ',' && comma2 == ',' &&
+                             (charging == 0 || charging == 1),
+                         "malformed battery trace row: " + line);
+        s.charging = charging == 1;
+        samples.push_back(s);
+    }
+    return battery_trace(std::move(samples));
+}
+
+void battery_trace::save(const std::string& path) const {
+    std::ofstream out(path);
+    RICHNOTE_REQUIRE(out.good(), "cannot open battery trace for writing: " + path);
+    write_csv(out);
+    RICHNOTE_REQUIRE(out.good(), "write failure on battery trace: " + path);
+}
+
+battery_trace battery_trace::load(const std::string& path) {
+    std::ifstream in(path);
+    RICHNOTE_REQUIRE(in.good(), "cannot open battery trace for reading: " + path);
+    return read_csv(in);
+}
+
+traced_battery::traced_battery(battery_trace trace) : trace_(std::move(trace)) {}
+
+double traced_battery::level() const noexcept { return trace_.level_at(now_); }
+
+bool traced_battery::charging() const noexcept { return trace_.charging_at(now_); }
+
+void traced_battery::step(sim_time t, sim_time dt, double extra_joules) noexcept {
+    (void)extra_joules; // exogenous recording: load is already in the trace
+    now_ = t + dt;
+}
+
+} // namespace richnote::sim

@@ -1,0 +1,68 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace richnote::sim {
+
+std::size_t event_queue::acquire_slot() {
+    if (!free_slots_.empty()) {
+        const std::size_t slot = free_slots_.back();
+        free_slots_.pop_back();
+        return slot;
+    }
+    slots_.emplace_back();
+    heap_.reserve_ids(slots_.size());
+    return slots_.size() - 1;
+}
+
+event_handle event_queue::schedule(sim_time when, callback fn) {
+    RICHNOTE_REQUIRE(fn != nullptr, "cannot schedule a null callback");
+    const std::size_t slot = acquire_slot();
+    slot_data& data = slots_[slot];
+    data.fn = std::move(fn);
+    data.when = when;
+    ++data.generation;
+    heap_.push(slot, key{when, next_seq_++});
+    return event_handle{slot, data.generation};
+}
+
+bool event_queue::pending(event_handle handle) const noexcept {
+    return handle.valid() && handle.slot < slots_.size() &&
+           slots_[handle.slot].generation == handle.generation && heap_.contains(handle.slot);
+}
+
+bool event_queue::cancel(event_handle handle) noexcept {
+    if (!pending(handle)) return false;
+    heap_.erase(handle.slot);
+    slots_[handle.slot].fn = nullptr;
+    free_slots_.push_back(handle.slot);
+    return true;
+}
+
+sim_time event_queue::next_time() const {
+    RICHNOTE_REQUIRE(!heap_.empty(), "next_time on an empty event queue");
+    return slots_[heap_.top_id()].when;
+}
+
+std::pair<sim_time, event_queue::callback> event_queue::pop() {
+    RICHNOTE_REQUIRE(!heap_.empty(), "pop on an empty event queue");
+    const std::size_t slot = heap_.pop();
+    slot_data& data = slots_[slot];
+    std::pair<sim_time, callback> out{data.when, std::move(data.fn)};
+    data.fn = nullptr;
+    free_slots_.push_back(slot);
+    return out;
+}
+
+void event_queue::clear() noexcept {
+    heap_.clear();
+    free_slots_.clear();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        slots_[i].fn = nullptr;
+        free_slots_.push_back(i);
+    }
+}
+
+} // namespace richnote::sim

@@ -1,0 +1,77 @@
+// Priority queue of timed events with stable FIFO ordering among ties and
+// O(log n) cancellation, built on the shared indexed binary heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/indexed_heap.hpp"
+#include "sim/time.hpp"
+
+namespace richnote::sim {
+
+/// Handle to a scheduled event; valid until the event fires or is cancelled.
+struct event_handle {
+    std::size_t slot = static_cast<std::size_t>(-1);
+    std::uint64_t generation = 0;
+
+    bool valid() const noexcept { return slot != static_cast<std::size_t>(-1); }
+};
+
+class event_queue {
+public:
+    using callback = std::function<void()>;
+
+    event_queue() = default;
+
+    std::size_t size() const noexcept { return heap_.size(); }
+    bool empty() const noexcept { return heap_.empty(); }
+
+    /// Schedules `fn` at absolute time `when`. Events at equal times fire in
+    /// scheduling order.
+    event_handle schedule(sim_time when, callback fn);
+
+    /// Cancels a pending event; returns false if it already fired or was
+    /// cancelled (safe to call with stale handles).
+    bool cancel(event_handle handle) noexcept;
+
+    /// True if the handle refers to a still-pending event.
+    bool pending(event_handle handle) const noexcept;
+
+    /// Time of the earliest pending event; queue must be non-empty.
+    sim_time next_time() const;
+
+    /// Removes the earliest event and returns its callback and time.
+    std::pair<sim_time, callback> pop();
+
+    void clear() noexcept;
+
+private:
+    struct key {
+        sim_time when;
+        std::uint64_t seq;
+
+        /// Min-ordering: earlier time first, then lower sequence. The heap
+        /// treats "less" as lower priority, so invert.
+        bool operator<(const key& other) const noexcept {
+            if (when != other.when) return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    struct slot_data {
+        callback fn;
+        std::uint64_t generation = 0;
+        sim_time when = 0;
+    };
+
+    indexed_heap<key> heap_;
+    std::vector<slot_data> slots_;
+    std::vector<std::size_t> free_slots_;
+    std::uint64_t next_seq_ = 0;
+
+    std::size_t acquire_slot();
+};
+
+} // namespace richnote::sim

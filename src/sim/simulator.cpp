@@ -1,0 +1,77 @@
+#include "sim/simulator.hpp"
+
+#include "common/error.hpp"
+
+namespace richnote::sim {
+
+event_handle simulator::schedule_at(sim_time when, callback fn) {
+    RICHNOTE_REQUIRE(when >= now_, "cannot schedule in the past");
+    return queue_.schedule(when, std::move(fn));
+}
+
+event_handle simulator::schedule_in(sim_time delay, callback fn) {
+    RICHNOTE_REQUIRE(delay >= 0, "delay must be non-negative");
+    return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+std::uint64_t simulator::schedule_periodic(sim_time start, sim_time period,
+                                           periodic_callback fn) {
+    RICHNOTE_REQUIRE(start >= now_, "cannot schedule in the past");
+    RICHNOTE_REQUIRE(period > 0, "period must be positive");
+    RICHNOTE_REQUIRE(fn != nullptr, "cannot schedule a null callback");
+    const std::uint64_t series_id = series_.size();
+    series_.push_back(periodic_series{std::move(fn), period, 0, false, {}});
+    arm_periodic(series_id, start);
+    return series_id;
+}
+
+void simulator::arm_periodic(std::uint64_t series_id, sim_time when) {
+    periodic_series& series = series_[series_id];
+    series.next = queue_.schedule(when, [this, series_id] {
+        periodic_series& s = series_[series_id];
+        if (s.cancelled) return;
+        const std::uint64_t tick = s.tick++;
+        // Re-arm before invoking so the callback can cancel the series.
+        arm_periodic(series_id, now_ + s.period);
+        s.fn(tick);
+    });
+}
+
+void simulator::cancel_periodic(std::uint64_t series_id) noexcept {
+    if (series_id >= series_.size()) return;
+    periodic_series& series = series_[series_id];
+    series.cancelled = true;
+    queue_.cancel(series.next);
+}
+
+std::uint64_t simulator::run_until(sim_time until) {
+    RICHNOTE_REQUIRE(until >= now_, "cannot run backwards");
+    std::uint64_t executed = 0;
+    stopping_ = false;
+    while (!queue_.empty() && !stopping_) {
+        const sim_time next = queue_.next_time();
+        if (next > until) break;
+        auto [when, fn] = queue_.pop();
+        now_ = when;
+        fn();
+        ++executed;
+        ++executed_;
+    }
+    if (now_ < until && !stopping_) now_ = until;
+    return executed;
+}
+
+std::uint64_t simulator::run() {
+    std::uint64_t executed = 0;
+    stopping_ = false;
+    while (!queue_.empty() && !stopping_) {
+        auto [when, fn] = queue_.pop();
+        now_ = when;
+        fn();
+        ++executed;
+        ++executed_;
+    }
+    return executed;
+}
+
+} // namespace richnote::sim

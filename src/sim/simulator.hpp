@@ -1,0 +1,78 @@
+// Discrete-event simulation engine.
+//
+// The paper evaluates RichNote on "a custom event-based simulator written in
+// Java" [6]; this is the C++ equivalent substrate. Single-threaded,
+// deterministic: the run loop pops events in (time, scheduling-order) order
+// and advances a virtual clock. Periodic tasks (rounds) are supported
+// directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace richnote::sim {
+
+class simulator {
+public:
+    using callback = std::function<void()>;
+    /// Periodic callback; receives the tick index (0-based).
+    using periodic_callback = std::function<void(std::uint64_t tick)>;
+
+    simulator() = default;
+
+    /// Current simulated time. Starts at 0.
+    sim_time now() const noexcept { return now_; }
+
+    /// Number of events executed so far.
+    std::uint64_t events_executed() const noexcept { return executed_; }
+
+    /// Schedules at an absolute time, which must be >= now().
+    event_handle schedule_at(sim_time when, callback fn);
+
+    /// Schedules after a non-negative delay from now().
+    event_handle schedule_in(sim_time delay, callback fn);
+
+    /// Schedules `fn(tick)` at start, start+period, start+2*period, ...
+    /// Returns a handle to the *first* occurrence; cancel_periodic stops the
+    /// whole series.
+    std::uint64_t schedule_periodic(sim_time start, sim_time period, periodic_callback fn);
+
+    /// Stops a periodic series created by schedule_periodic.
+    void cancel_periodic(std::uint64_t series_id) noexcept;
+
+    bool cancel(event_handle handle) noexcept { return queue_.cancel(handle); }
+
+    /// Runs until the queue is empty or `until` is passed (events at exactly
+    /// `until` still execute). Returns the number of events executed.
+    std::uint64_t run_until(sim_time until);
+
+    /// Runs until the queue drains completely.
+    std::uint64_t run();
+
+    /// Requests the run loop to return after the current event.
+    void stop() noexcept { stopping_ = true; }
+
+    bool idle() const noexcept { return queue_.empty(); }
+
+private:
+    struct periodic_series {
+        periodic_callback fn;
+        sim_time period = 0;
+        std::uint64_t tick = 0;
+        bool cancelled = false;
+        event_handle next;
+    };
+
+    void arm_periodic(std::uint64_t series_id, sim_time when);
+
+    event_queue queue_;
+    sim_time now_ = 0;
+    std::uint64_t executed_ = 0;
+    bool stopping_ = false;
+    std::vector<periodic_series> series_;
+};
+
+} // namespace richnote::sim

@@ -1,0 +1,149 @@
+#include "trace/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/zipf.hpp"
+
+namespace richnote::trace {
+
+const char* to_string(genre g) noexcept {
+    switch (g) {
+        case genre::pop: return "pop";
+        case genre::rock: return "rock";
+        case genre::hiphop: return "hiphop";
+        case genre::electronic: return "electronic";
+        case genre::jazz: return "jazz";
+        case genre::classical: return "classical";
+        case genre::count: break;
+    }
+    return "?";
+}
+
+namespace {
+
+/// Maps a Zipf rank to the 1–100 popularity scale: rank 0 maps near 100,
+/// the tail decays toward 1 (log-rank interpolation keeps a realistic
+/// spread instead of collapsing everything to 1).
+double rank_to_popularity(std::size_t rank, std::size_t count) {
+    if (count <= 1) return 100.0;
+    const double x = std::log(1.0 + static_cast<double>(rank)) /
+                     std::log(1.0 + static_cast<double>(count - 1));
+    return 100.0 - 99.0 * x;
+}
+
+std::vector<double> popularity_cdf(const std::vector<double>& weights) {
+    std::vector<double> cdf(weights.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        cdf[i] = acc;
+    }
+    RICHNOTE_CHECK(acc > 0.0, "popularity weights must be positive");
+    for (auto& c : cdf) c /= acc;
+    cdf.back() = 1.0;
+    return cdf;
+}
+
+std::size_t sample_cdf(const std::vector<double>& cdf, richnote::rng& gen) {
+    const double u = gen.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<std::size_t>(it - cdf.begin());
+}
+
+} // namespace
+
+catalog::catalog(const catalog_params& params, richnote::rng& gen) {
+    RICHNOTE_REQUIRE(params.artist_count > 0, "catalog needs at least one artist");
+    RICHNOTE_REQUIRE(params.min_albums_per_artist >= 1 &&
+                         params.max_albums_per_artist >= params.min_albums_per_artist,
+                     "invalid albums-per-artist range");
+    RICHNOTE_REQUIRE(params.min_tracks_per_album >= 1 &&
+                         params.max_tracks_per_album >= params.min_tracks_per_album,
+                     "invalid tracks-per-album range");
+    RICHNOTE_REQUIRE(params.mean_track_duration_sec > 0, "track duration must be positive");
+
+    // Artists: popularity by Zipf rank, shuffled genre assignment.
+    artists_.reserve(params.artist_count);
+    for (std::size_t rank = 0; rank < params.artist_count; ++rank) {
+        artist a;
+        a.id = static_cast<artist_id>(rank);
+        a.main_genre = static_cast<genre>(gen.index(genre_count));
+        a.popularity = rank_to_popularity(rank, params.artist_count);
+        artists_.push_back(a);
+    }
+
+    // Albums and tracks, popularity correlated with the parent level.
+    artist_tracks_.resize(params.artist_count);
+    for (const artist& a : artists_) {
+        const auto albums = static_cast<std::size_t>(gen.uniform_int(
+            static_cast<std::int64_t>(params.min_albums_per_artist),
+            static_cast<std::int64_t>(params.max_albums_per_artist)));
+        for (std::size_t bi = 0; bi < albums; ++bi) {
+            album b;
+            b.id = static_cast<album_id>(albums_.size());
+            b.by = a.id;
+            b.popularity = std::clamp(a.popularity * gen.uniform(0.6, 1.1), 1.0, 100.0);
+            b.first_track = static_cast<std::uint32_t>(tracks_.size());
+            const auto n_tracks = static_cast<std::size_t>(gen.uniform_int(
+                static_cast<std::int64_t>(params.min_tracks_per_album),
+                static_cast<std::int64_t>(params.max_tracks_per_album)));
+            b.track_count = static_cast<std::uint32_t>(n_tracks);
+            for (std::size_t ti = 0; ti < n_tracks; ++ti) {
+                track t;
+                t.id = static_cast<track_id>(tracks_.size());
+                t.on = b.id;
+                t.by = a.id;
+                t.track_genre = a.main_genre;
+                t.popularity = std::clamp(b.popularity * gen.uniform(0.5, 1.2), 1.0, 100.0);
+                t.duration_sec = std::max(
+                    30.0, gen.normal(params.mean_track_duration_sec,
+                                     params.track_duration_jitter_sec));
+                tracks_.push_back(t);
+                artist_tracks_[a.id].push_back(t.id);
+            }
+            albums_.push_back(b);
+        }
+    }
+
+    std::vector<double> track_weights(tracks_.size());
+    for (std::size_t i = 0; i < tracks_.size(); ++i) track_weights[i] = tracks_[i].popularity;
+    track_popularity_cdf_ = popularity_cdf(track_weights);
+
+    std::vector<double> artist_weights(artists_.size());
+    for (std::size_t i = 0; i < artists_.size(); ++i) artist_weights[i] = artists_[i].popularity;
+    artist_popularity_cdf_ = popularity_cdf(artist_weights);
+}
+
+const artist& catalog::artist_at(artist_id id) const {
+    RICHNOTE_REQUIRE(id < artists_.size(), "artist id out of range");
+    return artists_[id];
+}
+
+const album& catalog::album_at(album_id id) const {
+    RICHNOTE_REQUIRE(id < albums_.size(), "album id out of range");
+    return albums_[id];
+}
+
+const track& catalog::track_at(track_id id) const {
+    RICHNOTE_REQUIRE(id < tracks_.size(), "track id out of range");
+    return tracks_[id];
+}
+
+track_id catalog::sample_track_by_popularity(richnote::rng& gen) const noexcept {
+    return static_cast<track_id>(sample_cdf(track_popularity_cdf_, gen));
+}
+
+artist_id catalog::sample_artist_by_popularity(richnote::rng& gen) const noexcept {
+    return static_cast<artist_id>(sample_cdf(artist_popularity_cdf_, gen));
+}
+
+track_id catalog::sample_track_of_artist(artist_id id, richnote::rng& gen) const {
+    RICHNOTE_REQUIRE(id < artist_tracks_.size(), "artist id out of range");
+    const auto& tracks = artist_tracks_[id];
+    RICHNOTE_CHECK(!tracks.empty(), "artist with no tracks");
+    return tracks[gen.index(tracks.size())];
+}
+
+} // namespace richnote::trace

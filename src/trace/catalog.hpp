@@ -1,0 +1,108 @@
+// Synthetic music catalog: artists, albums and tracks with Zipf-distributed
+// popularity.
+//
+// Substitutes for the Spotify public-API metadata the paper joins against
+// its notification logs (§V-A): "Popularity of the music track, album and
+// artist ... a normalized score between 1 and 100 obtained via Spotify
+// public APIs based on their streaming frequencies." The generator produces
+// the same normalized 1–100 popularity semantics with a heavy-tailed
+// (Zipf) rank distribution, and track durations near the paper's observed
+// 276-second average (§V-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace richnote::trace {
+
+using artist_id = std::uint32_t;
+using album_id = std::uint32_t;
+using track_id = std::uint32_t;
+
+enum class genre : std::uint8_t {
+    pop = 0,
+    rock,
+    hiphop,
+    electronic,
+    jazz,
+    classical,
+    count // sentinel
+};
+
+inline constexpr std::size_t genre_count = static_cast<std::size_t>(genre::count);
+
+const char* to_string(genre g) noexcept;
+
+struct artist {
+    artist_id id = 0;
+    genre main_genre = genre::pop;
+    double popularity = 0.0; ///< normalized 1–100
+};
+
+struct album {
+    album_id id = 0;
+    artist_id by = 0;
+    double popularity = 0.0; ///< 1–100, correlated with the artist's
+    std::uint32_t first_track = 0;
+    std::uint32_t track_count = 0;
+};
+
+struct track {
+    track_id id = 0;
+    album_id on = 0;
+    artist_id by = 0;
+    genre track_genre = genre::pop;
+    double popularity = 0.0;   ///< 1–100, correlated with the album's
+    double duration_sec = 0.0; ///< full track length
+};
+
+struct catalog_params {
+    std::size_t artist_count = 1'000;
+    std::size_t min_albums_per_artist = 1;
+    std::size_t max_albums_per_artist = 4;
+    std::size_t min_tracks_per_album = 6;
+    std::size_t max_tracks_per_album = 14;
+    double popularity_zipf_exponent = 1.0; ///< artist rank-popularity skew
+    double mean_track_duration_sec = 276.0; ///< paper §V-B average
+    double track_duration_jitter_sec = 60.0;
+};
+
+/// Immutable generated catalog with O(1) id lookups.
+class catalog {
+public:
+    catalog(const catalog_params& params, richnote::rng& gen);
+
+    std::size_t artist_count() const noexcept { return artists_.size(); }
+    std::size_t album_count() const noexcept { return albums_.size(); }
+    std::size_t track_count() const noexcept { return tracks_.size(); }
+
+    const artist& artist_at(artist_id id) const;
+    const album& album_at(album_id id) const;
+    const track& track_at(track_id id) const;
+
+    const std::vector<track>& tracks() const noexcept { return tracks_; }
+    const std::vector<artist>& artists() const noexcept { return artists_; }
+
+    /// Samples a track with probability proportional to its popularity
+    /// (what a "streaming" event picks).
+    track_id sample_track_by_popularity(richnote::rng& gen) const noexcept;
+
+    /// Samples an artist by popularity (what a "follow" picks).
+    artist_id sample_artist_by_popularity(richnote::rng& gen) const noexcept;
+
+    /// A uniformly random track of the given artist.
+    track_id sample_track_of_artist(artist_id id, richnote::rng& gen) const;
+
+private:
+    std::vector<artist> artists_;
+    std::vector<album> albums_;
+    std::vector<track> tracks_;
+    std::vector<double> track_popularity_cdf_;
+    std::vector<double> artist_popularity_cdf_;
+    std::vector<std::vector<track_id>> artist_tracks_;
+};
+
+} // namespace richnote::trace

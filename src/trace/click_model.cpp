@@ -1,0 +1,58 @@
+#include "trace/click_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace richnote::trace {
+
+double sigmoid(double z) noexcept {
+    if (z >= 0) {
+        const double e = std::exp(-z);
+        return 1.0 / (1.0 + e);
+    }
+    const double e = std::exp(z);
+    return e / (1.0 + e);
+}
+
+click_model::click_model(const click_model_params& params, std::size_t user_count,
+                         richnote::rng& gen)
+    : params_(params) {
+    RICHNOTE_REQUIRE(user_count > 0, "click model needs at least one user");
+    user_bias_.reserve(user_count);
+    for (std::size_t i = 0; i < user_count; ++i)
+        user_bias_.push_back(gen.normal(0.0, params.user_bias_stddev));
+}
+
+double click_model::click_probability(user_id user, const notification_features& f) const {
+    RICHNOTE_REQUIRE(user < user_bias_.size(), "user id out of range");
+    const double z = params_.intercept + user_bias_[user] +
+                     params_.weight_social_tie * f.social_tie +
+                     params_.weight_track_popularity * (f.track_popularity / 100.0) +
+                     params_.weight_album_popularity * (f.album_popularity / 100.0) +
+                     params_.weight_artist_popularity * (f.artist_popularity / 100.0) +
+                     params_.weight_weekend * (f.weekend ? 1.0 : 0.0) +
+                     params_.weight_daytime * (f.daytime ? 1.0 : 0.0);
+    return sigmoid(z);
+}
+
+void click_model::label(notification& n, richnote::rng& gen) const {
+    const double attention = richnote::sim::is_daytime(n.created_at)
+                                 ? params_.attention_daytime
+                                 : params_.attention_nighttime;
+    n.attended = gen.bernoulli(attention);
+    n.clicked = false;
+    n.clicked_at = 0;
+    if (!n.attended) return;
+
+    // Latent noise makes the label stochastic around the logistic mean, so
+    // even the Bayes-optimal classifier cannot reach perfect accuracy.
+    const double z_mean = std::log(click_probability(n.recipient, n.features) /
+                                   (1.0 - click_probability(n.recipient, n.features)));
+    const double z = z_mean + gen.normal(0.0, params_.noise_stddev);
+    n.clicked = gen.bernoulli(sigmoid(z));
+    if (n.clicked)
+        n.clicked_at = n.created_at + gen.exponential(1.0 / params_.mean_click_delay_sec);
+}
+
+} // namespace richnote::trace

@@ -1,0 +1,245 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace richnote::trace {
+
+using richnote::sim::sim_time;
+
+workload::workload(const workload_params& params, std::uint64_t seed) : params_(params) {
+    RICHNOTE_REQUIRE(params.user_count >= 2, "workload needs at least two users");
+    RICHNOTE_REQUIRE(params.horizon > 0, "horizon must be positive");
+    RICHNOTE_REQUIRE(params.notify_probability >= 0 && params.notify_probability <= 1,
+                     "notify_probability must be a probability");
+
+    richnote::rng gen(seed);
+    richnote::rng catalog_gen = gen.split();
+    richnote::rng graph_gen = gen.split();
+    richnote::rng clicks_gen = gen.split();
+    richnote::rng users_gen = gen.split();
+    richnote::rng events_gen = gen.split();
+    richnote::rng label_gen = gen.split();
+
+    catalog_ = std::make_unique<trace::catalog>(params.catalog, catalog_gen);
+
+    social_graph_params graph_params = params.graph;
+    graph_params.user_count = params.user_count;
+    graph_ = std::make_unique<trace::social_graph>(graph_params, graph_gen);
+
+    clicks_ = std::make_unique<trace::click_model>(params.clicks, params.user_count, clicks_gen);
+
+    build_users(users_gen);
+    trace_.per_user.resize(params.user_count);
+    generate_friend_feeds(events_gen);
+    generate_album_releases(events_gen);
+    generate_playlist_updates(events_gen);
+    finalize(label_gen);
+}
+
+void workload::build_users(richnote::rng& gen) {
+    users_.resize(params_.user_count);
+
+    // Playlists with heavy-tailed popularity.
+    playlists_.resize(params_.playlist_count);
+    for (std::size_t p = 0; p < params_.playlist_count; ++p) {
+        playlists_[p].id = static_cast<playlist_id>(p);
+        playlists_[p].popularity =
+            std::clamp(100.0 * std::pow(gen.uniform(), 2.0), 1.0, 100.0);
+    }
+
+    for (user_id u = 0; u < params_.user_count; ++u) {
+        user_profile& profile = users_[u];
+        profile.id = u;
+        // Log-normal activity: median listens/day scaled so the mean matches
+        // mean_listens_per_day (mean of lognormal = exp(mu + sigma^2/2)).
+        const double sigma = params_.activity_lognormal_sigma;
+        const double mu = std::log(params_.mean_listens_per_day) - sigma * sigma / 2.0;
+        profile.listens_per_day = std::exp(gen.normal(mu, sigma));
+
+        const auto artist_follows = gen.poisson(params_.mean_followed_artists);
+        for (std::uint32_t k = 0; k < artist_follows; ++k) {
+            const artist_id a = catalog_->sample_artist_by_popularity(gen);
+            const bool already =
+                std::any_of(profile.followed_artists.begin(), profile.followed_artists.end(),
+                            [a](const subscription& s) { return s.target == a; });
+            if (already) continue;
+            // Following is deliberate — affinity skews high.
+            const double affinity = gen.uniform(0.4, 1.0);
+            profile.followed_artists.push_back({a, affinity});
+            engine_.subscribe(u, richnote::pubsub::artist_topic(a), affinity);
+        }
+
+        if (!playlists_.empty()) {
+            const auto playlist_follows = gen.poisson(params_.mean_followed_playlists);
+            for (std::uint32_t k = 0; k < playlist_follows; ++k) {
+                const auto p = static_cast<playlist_id>(gen.index(playlists_.size()));
+                const bool already = std::any_of(
+                    profile.followed_playlists.begin(), profile.followed_playlists.end(),
+                    [p](const subscription& s) { return s.target == p; });
+                if (already) continue;
+                // Playlist interest is shallower than artist fandom.
+                const double affinity = gen.uniform(0.15, 0.7);
+                profile.followed_playlists.push_back({p, affinity});
+                engine_.subscribe(u, richnote::pubsub::playlist_topic(p), affinity);
+            }
+        }
+    }
+
+    // Friend-feed topics (§II): every user follows each friend's feed with
+    // their own tie strength toward that friend, so a publication on the
+    // friend's feed reaches them with the recipient-side tie as affinity.
+    for (const user_profile& profile : users_) {
+        for (const friendship& f : graph_->friends_of(profile.id)) {
+            engine_.subscribe(profile.id,
+                              richnote::pubsub::user_feed_topic(f.friend_user),
+                              f.tie_strength);
+        }
+    }
+}
+
+sim_time workload::sample_diurnal_time(sim_time day_start, richnote::rng& gen) const {
+    // Piecewise-constant density over the 24 hours; sample a band by weight,
+    // then uniformly within it.
+    const double night_w = params_.night_activity * 8.0;   // 00–08
+    const double day_w = params_.day_activity * 10.0;      // 08–18
+    const double evening_w = params_.evening_activity * 6.0; // 18–24
+    const double total = night_w + day_w + evening_w;
+    const double u = gen.uniform() * total;
+    double hour = 0.0;
+    if (u < night_w) {
+        hour = 8.0 * (u / night_w);
+    } else if (u < night_w + day_w) {
+        hour = 8.0 + 10.0 * ((u - night_w) / day_w);
+    } else {
+        hour = 18.0 + 6.0 * ((u - night_w - day_w) / evening_w);
+    }
+    return day_start + hour * richnote::sim::hours;
+}
+
+notification_features workload::make_features(track_id track, double tie, sim_time when) const {
+    const auto& t = catalog_->track_at(track);
+    notification_features f;
+    f.social_tie = tie;
+    f.track_popularity = t.popularity;
+    f.album_popularity = catalog_->album_at(t.on).popularity;
+    f.artist_popularity = catalog_->artist_at(t.by).popularity;
+    f.weekend = richnote::sim::is_weekend(when);
+    f.daytime = richnote::sim::is_daytime(when);
+    return f;
+}
+
+void workload::generate_friend_feeds(richnote::rng& gen) {
+    const auto total_days =
+        static_cast<std::size_t>(std::ceil(params_.horizon / richnote::sim::days));
+    // Not every listen becomes a notification for every follower; the
+    // notify_probability thinning models Spotify's feed sampling.
+    const auto sink = [&](richnote::pubsub::engine::subscriber_id subscriber,
+                          double affinity, const richnote::pubsub::publication& pub) {
+        if (!gen.bernoulli(params_.notify_probability)) return;
+        notification n;
+        n.recipient = subscriber;
+        n.type = notification_type::friend_feed;
+        n.track = pub.track;
+        n.created_at = pub.at;
+        // Affinity IS the recipient-side tie toward the listener.
+        n.features = make_features(pub.track, affinity, pub.at);
+        trace_.per_user[subscriber].push_back(n);
+    };
+    for (const user_profile& listener : users_) {
+        for (std::size_t day = 0; day < total_days; ++day) {
+            const sim_time day_start = static_cast<double>(day) * richnote::sim::days;
+            const auto listens = gen.poisson(listener.listens_per_day);
+            for (std::uint32_t k = 0; k < listens; ++k) {
+                const sim_time when = sample_diurnal_time(day_start, gen);
+                if (when >= params_.horizon) continue;
+                richnote::pubsub::publication pub;
+                pub.topic = richnote::pubsub::user_feed_topic(listener.id);
+                pub.track = catalog_->sample_track_by_popularity(gen);
+                pub.at = when;
+                pub.publisher = listener.id;
+                pub.popularity = catalog_->track_at(pub.track).popularity;
+                pub.genre = static_cast<std::uint8_t>(
+                    catalog_->track_at(pub.track).track_genre);
+                engine_.publish(pub, sink);
+            }
+        }
+    }
+}
+
+void workload::generate_album_releases(richnote::rng& gen) {
+    const double weeks_in_horizon = params_.horizon / richnote::sim::weeks;
+    const auto sink = [&](richnote::pubsub::engine::subscriber_id subscriber,
+                          double affinity, const richnote::pubsub::publication& pub) {
+        notification n;
+        n.recipient = subscriber;
+        n.type = notification_type::album_release;
+        n.track = pub.track;
+        n.created_at = pub.at;
+        n.features = make_features(pub.track, affinity, pub.at);
+        trace_.per_user[subscriber].push_back(n);
+    };
+    for (const artist& a : catalog_->artists()) {
+        const auto releases =
+            gen.poisson(params_.album_releases_per_artist_per_week * weeks_in_horizon);
+        for (std::uint32_t r = 0; r < releases; ++r) {
+            richnote::pubsub::publication pub;
+            pub.topic = richnote::pubsub::artist_topic(a.id);
+            pub.track = catalog_->sample_track_of_artist(a.id, gen);
+            pub.at = gen.uniform(0.0, params_.horizon);
+            pub.popularity = catalog_->track_at(pub.track).popularity;
+            pub.genre =
+                static_cast<std::uint8_t>(catalog_->track_at(pub.track).track_genre);
+            engine_.publish(pub, sink);
+        }
+    }
+}
+
+void workload::generate_playlist_updates(richnote::rng& gen) {
+    const double weeks_in_horizon = params_.horizon / richnote::sim::weeks;
+    const auto sink = [&](richnote::pubsub::engine::subscriber_id subscriber,
+                          double affinity, const richnote::pubsub::publication& pub) {
+        notification n;
+        n.recipient = subscriber;
+        n.type = notification_type::playlist_update;
+        n.track = pub.track;
+        n.created_at = pub.at;
+        n.features = make_features(pub.track, affinity, pub.at);
+        trace_.per_user[subscriber].push_back(n);
+    };
+    for (const playlist& p : playlists_) {
+        const auto updates =
+            gen.poisson(params_.playlist_updates_per_week * weeks_in_horizon);
+        for (std::uint32_t k = 0; k < updates; ++k) {
+            richnote::pubsub::publication pub;
+            pub.topic = richnote::pubsub::playlist_topic(p.id);
+            pub.track = catalog_->sample_track_by_popularity(gen);
+            pub.at = gen.uniform(0.0, params_.horizon);
+            pub.popularity = catalog_->track_at(pub.track).popularity;
+            pub.genre =
+                static_cast<std::uint8_t>(catalog_->track_at(pub.track).track_genre);
+            engine_.publish(pub, sink);
+        }
+    }
+}
+
+void workload::finalize(richnote::rng& gen) {
+    std::uint64_t next_id = 0;
+    for (auto& stream : trace_.per_user) {
+        std::sort(stream.begin(), stream.end(),
+                  [](const notification& a, const notification& b) {
+                      return a.created_at < b.created_at;
+                  });
+        for (notification& n : stream) {
+            n.id = next_id++;
+            clicks_->label(n, gen);
+            ++trace_.total_count;
+            if (n.attended) ++trace_.attended_count;
+            if (n.clicked) ++trace_.clicked_count;
+        }
+    }
+}
+
+} // namespace richnote::trace

@@ -1,0 +1,28 @@
+#include "trace/notification.hpp"
+
+namespace richnote::trace {
+
+const char* to_string(notification_type type) noexcept {
+    switch (type) {
+        case notification_type::friend_feed: return "friend_feed";
+        case notification_type::album_release: return "album_release";
+        case notification_type::playlist_update: return "playlist_update";
+    }
+    return "?";
+}
+
+const std::array<std::string, notification_features::dimension>& notification_features::names() {
+    static const std::array<std::string, dimension> names = {
+        "social_tie",        "track_popularity", "album_popularity",
+        "artist_popularity", "weekend",          "daytime"};
+    return names;
+}
+
+std::vector<notification> notification_trace::flatten() const {
+    std::vector<notification> all;
+    all.reserve(total_count);
+    for (const auto& stream : per_user) all.insert(all.end(), stream.begin(), stream.end());
+    return all;
+}
+
+} // namespace richnote::trace

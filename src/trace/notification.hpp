@@ -1,0 +1,75 @@
+// Notification records and the feature space used for content-utility
+// learning (§V-A).
+//
+// A trace is, per user, a time-ordered stream of notifications with ground-
+// truth engagement labels ("clicked" vs "hovered" among attended
+// notifications), mirroring the de-identified Spotify logs of notifications
+// plus mouse activity the paper trains on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "trace/catalog.hpp"
+#include "trace/social_graph.hpp"
+
+namespace richnote::trace {
+
+/// Spotify's three topic classes (§II): friends listening to tracks, new
+/// album releases, updates to followed playlists.
+enum class notification_type : std::uint8_t { friend_feed = 0, album_release, playlist_update };
+
+const char* to_string(notification_type type) noexcept;
+
+/// The classifier feature vector (§V-A): social tie between sender and
+/// recipient, track/album/artist popularity, and timestamp-derived
+/// weekday/weekend and day/night indicators.
+struct notification_features {
+    double social_tie = 0.0;        ///< (0,1]; 0 = no relationship
+    double track_popularity = 0.0;  ///< 1–100
+    double album_popularity = 0.0;  ///< 1–100
+    double artist_popularity = 0.0; ///< 1–100
+    bool weekend = false;
+    bool daytime = false;
+
+    static constexpr std::size_t dimension = 6;
+
+    std::array<double, dimension> to_array() const noexcept {
+        return {social_tie,        track_popularity, album_popularity,
+                artist_popularity, weekend ? 1.0 : 0.0, daytime ? 1.0 : 0.0};
+    }
+
+    static const std::array<std::string, dimension>& names();
+};
+
+struct notification {
+    std::uint64_t id = 0;
+    user_id recipient = 0;
+    notification_type type = notification_type::friend_feed;
+    track_id track = 0;
+    richnote::sim::sim_time created_at = 0;
+    notification_features features;
+
+    // Ground-truth engagement (the "mouse activity" columns of the trace).
+    bool attended = false; ///< user gave the notification any attention
+    bool clicked = false;  ///< attended and clicked (vs merely hovered)
+    richnote::sim::sim_time clicked_at = 0; ///< valid only when clicked
+};
+
+/// Per-user, time-ordered notification streams plus the shared catalog view.
+struct notification_trace {
+    std::vector<std::vector<notification>> per_user; ///< indexed by user id
+    std::uint64_t total_count = 0;
+    std::uint64_t attended_count = 0;
+    std::uint64_t clicked_count = 0;
+
+    std::size_t user_count() const noexcept { return per_user.size(); }
+
+    /// All notifications flattened (copy) — training-set assembly.
+    std::vector<notification> flatten() const;
+};
+
+} // namespace richnote::trace

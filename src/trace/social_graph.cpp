@@ -1,0 +1,91 @@
+#include "trace/social_graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace richnote::trace {
+
+social_graph::social_graph(const social_graph_params& params, richnote::rng& gen) {
+    RICHNOTE_REQUIRE(params.user_count >= 2, "social graph needs at least two users");
+    RICHNOTE_REQUIRE(params.attachment_edges >= 1, "attachment_edges must be >= 1");
+    RICHNOTE_REQUIRE(params.tie_decay > 0 && params.tie_decay <= 1, "tie_decay must be in (0,1]");
+
+    adjacency_.resize(params.user_count);
+
+    // Barabási–Albert: each new node attaches to m existing nodes picked
+    // proportionally to degree. `endpoints` holds one entry per half-edge,
+    // so a uniform draw from it IS the preferential-attachment draw.
+    std::vector<user_id> endpoints;
+    const std::size_t m = std::min(params.attachment_edges, params.user_count - 1);
+
+    // Seed clique over the first m+1 users.
+    for (user_id a = 0; a <= m; ++a) {
+        for (user_id b = a + 1; b <= m; ++b) {
+            adjacency_[a].push_back({b, 0.0});
+            adjacency_[b].push_back({a, 0.0});
+            endpoints.push_back(a);
+            endpoints.push_back(b);
+            ++edge_count_;
+        }
+    }
+
+    for (user_id node = static_cast<user_id>(m + 1); node < params.user_count; ++node) {
+        std::vector<user_id> chosen;
+        while (chosen.size() < m) {
+            const user_id target = endpoints[gen.index(endpoints.size())];
+            if (target == node ||
+                std::find(chosen.begin(), chosen.end(), target) != chosen.end())
+                continue;
+            chosen.push_back(target);
+        }
+        for (user_id target : chosen) {
+            adjacency_[node].push_back({target, 0.0});
+            adjacency_[target].push_back({node, 0.0});
+            endpoints.push_back(node);
+            endpoints.push_back(target);
+            ++edge_count_;
+        }
+    }
+
+    // Tie strengths: shuffle each adjacency list, then decay by rank so each
+    // user has a few strong ties and a long tail of weak ones. Ties are
+    // directional (how much *I* care about *them*), matching the paper's
+    // sender→recipient tie feature.
+    for (auto& friends : adjacency_) {
+        gen.shuffle(friends);
+        double strength = 1.0;
+        for (auto& f : friends) {
+            f.tie_strength = std::max(params.min_tie, strength);
+            strength *= params.tie_decay;
+        }
+        std::sort(friends.begin(), friends.end(),
+                  [](const friendship& a, const friendship& b) {
+                      if (a.tie_strength != b.tie_strength)
+                          return a.tie_strength > b.tie_strength;
+                      return a.friend_user < b.friend_user;
+                  });
+    }
+}
+
+const std::vector<friendship>& social_graph::friends_of(user_id user) const {
+    RICHNOTE_REQUIRE(user < adjacency_.size(), "user id out of range");
+    return adjacency_[user];
+}
+
+double social_graph::tie(user_id user, user_id other) const {
+    for (const auto& f : friends_of(user)) {
+        if (f.friend_user == other) return f.tie_strength;
+    }
+    return 0.0;
+}
+
+std::size_t social_graph::degree(user_id user) const { return friends_of(user).size(); }
+
+std::size_t social_graph::max_degree() const noexcept {
+    std::size_t best = 0;
+    for (const auto& friends : adjacency_) best = std::max(best, friends.size());
+    return best;
+}
+
+} // namespace richnote::trace

@@ -1,0 +1,55 @@
+// Synthetic social graph over the user population.
+//
+// Substitutes for "the Spotify de-identified social graph [1]" the paper
+// joins with mouse activity (§V-A) to compute the social-tie feature. The
+// generator uses Barabási–Albert preferential attachment (heavy-tailed
+// degree, like real follower graphs) and assigns each directed tie a
+// strength in (0, 1] that decays with the friend's attachment rank — close
+// friends first, acquaintances later.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace richnote::trace {
+
+using user_id = std::uint32_t;
+
+struct friendship {
+    user_id friend_user = 0;
+    double tie_strength = 0.0; ///< in (0, 1]; 1 = closest friend
+};
+
+struct social_graph_params {
+    std::size_t user_count = 1'000;
+    std::size_t attachment_edges = 4;  ///< BA parameter m (edges per new node)
+    double tie_decay = 0.8;            ///< per-rank multiplicative tie decay
+    double min_tie = 0.05;             ///< floor so ties stay positive
+};
+
+class social_graph {
+public:
+    social_graph(const social_graph_params& params, richnote::rng& gen);
+
+    std::size_t user_count() const noexcept { return adjacency_.size(); }
+    std::size_t edge_count() const noexcept { return edge_count_; }
+
+    /// Friends of `user`, strongest tie first.
+    const std::vector<friendship>& friends_of(user_id user) const;
+
+    /// Tie strength between the two users; 0 if not friends.
+    double tie(user_id user, user_id other) const;
+
+    std::size_t degree(user_id user) const;
+
+    /// Maximum degree across users (reporting / tests).
+    std::size_t max_degree() const noexcept;
+
+private:
+    std::vector<std::vector<friendship>> adjacency_;
+    std::size_t edge_count_ = 0;
+};
+
+} // namespace richnote::trace

@@ -1,0 +1,103 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace richnote::trace {
+
+trace_stats analyze(const notification_trace& trace) {
+    trace_stats stats;
+    stats.users = trace.per_user.size();
+
+    std::vector<double> per_user_counts;
+    richnote::running_stats tie;
+    richnote::running_stats popularity;
+    richnote::sim::sim_time first = 0;
+    richnote::sim::sim_time last = 0;
+    bool any = false;
+
+    for (const auto& stream : trace.per_user) {
+        if (!stream.empty()) {
+            ++stats.active_users;
+            per_user_counts.push_back(static_cast<double>(stream.size()));
+        }
+        for (const notification& n : stream) {
+            ++stats.total;
+            stats.attended += n.attended;
+            stats.clicked += n.clicked;
+            ++stats.by_type[static_cast<std::size_t>(n.type)];
+            const auto hour = static_cast<std::size_t>(
+                richnote::sim::hour_of_day(n.created_at));
+            stats.hourly_fraction[std::min<std::size_t>(hour, 23)] += 1.0;
+            if (richnote::sim::is_weekend(n.created_at)) stats.weekend_fraction += 1.0;
+            tie.add(n.features.social_tie);
+            popularity.add(n.features.track_popularity);
+            if (!any) {
+                first = last = n.created_at;
+                any = true;
+            } else {
+                first = std::min(first, n.created_at);
+                last = std::max(last, n.created_at);
+            }
+        }
+    }
+
+    if (stats.total > 0) {
+        const double total = static_cast<double>(stats.total);
+        for (auto& f : stats.hourly_fraction) f /= total;
+        stats.weekend_fraction /= total;
+        stats.attention_rate = static_cast<double>(stats.attended) / total;
+        stats.span = last - first;
+    }
+    if (stats.attended > 0) {
+        stats.click_through_rate =
+            static_cast<double>(stats.clicked) / static_cast<double>(stats.attended);
+    }
+    if (!per_user_counts.empty()) {
+        stats.items_per_user_mean = richnote::mean(per_user_counts);
+        stats.items_per_user_p50 = richnote::percentile(per_user_counts, 0.5);
+        stats.items_per_user_p90 = richnote::percentile(per_user_counts, 0.9);
+        stats.items_per_user_max = *std::max_element(per_user_counts.begin(),
+                                                     per_user_counts.end());
+    }
+    stats.social_tie_mean = tie.mean();
+    stats.track_popularity_mean = popularity.mean();
+    return stats;
+}
+
+std::vector<user_id> heaviest_users(const notification_trace& trace, std::size_t count) {
+    RICHNOTE_REQUIRE(count > 0, "need at least one user");
+    std::vector<std::pair<std::size_t, user_id>> loads;
+    loads.reserve(trace.per_user.size());
+    for (user_id u = 0; u < trace.per_user.size(); ++u)
+        loads.emplace_back(trace.per_user[u].size(), u);
+    std::sort(loads.begin(), loads.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second; // stable tie-break by id
+    });
+    std::vector<user_id> out;
+    out.reserve(std::min(count, loads.size()));
+    for (std::size_t i = 0; i < loads.size() && i < count; ++i)
+        out.push_back(loads[i].second);
+    return out;
+}
+
+notification_trace restrict_to_users(const notification_trace& trace,
+                                     const std::vector<user_id>& users) {
+    notification_trace out;
+    out.per_user.resize(trace.per_user.size());
+    for (user_id u : users) {
+        RICHNOTE_REQUIRE(u < trace.per_user.size(), "user id out of range");
+        out.per_user[u] = trace.per_user[u];
+        for (const notification& n : out.per_user[u]) {
+            ++out.total_count;
+            if (n.attended) ++out.attended_count;
+            if (n.clicked) ++out.clicked_count;
+        }
+    }
+    return out;
+}
+
+} // namespace richnote::trace

@@ -1,0 +1,69 @@
+// Descriptive statistics over a notification trace.
+//
+// The paper characterizes its input ("top 10k users with maximum number of
+// delivered notifications", friend feeds "frequent and large in number
+// compared to other publications", diurnal mouse activity). This module
+// computes the same characterization for any trace — generated or imported
+// — so a user can check that their data has the shape the scheduler's
+// defaults assume (and `richnote inspect` can print it).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/notification.hpp"
+
+namespace richnote::trace {
+
+struct trace_stats {
+    // Volume.
+    std::uint64_t total = 0;
+    std::uint64_t attended = 0;
+    std::uint64_t clicked = 0;
+    std::size_t users = 0;
+    std::size_t active_users = 0; ///< users with at least one notification
+
+    // Per-user load distribution (over active users).
+    double items_per_user_mean = 0.0;
+    double items_per_user_p50 = 0.0;
+    double items_per_user_p90 = 0.0;
+    double items_per_user_max = 0.0;
+
+    // Topic mix (§II: friend feeds dominate).
+    std::array<std::uint64_t, 3> by_type{}; ///< indexed by notification_type
+
+    // Engagement.
+    double attention_rate = 0.0;     ///< attended / total
+    double click_through_rate = 0.0; ///< clicked / attended
+
+    // Temporal shape.
+    std::array<double, 24> hourly_fraction{}; ///< arrival share per hour-of-day
+    double weekend_fraction = 0.0;
+    richnote::sim::sim_time span = 0.0; ///< last minus first timestamp
+
+    // Feature ranges (sanity for imported traces).
+    double social_tie_mean = 0.0;
+    double track_popularity_mean = 0.0;
+
+    double type_fraction(notification_type type) const noexcept {
+        return total == 0 ? 0.0
+                          : static_cast<double>(by_type[static_cast<std::size_t>(type)]) /
+                                static_cast<double>(total);
+    }
+};
+
+/// Single pass plus one percentile sort over per-user counts.
+trace_stats analyze(const notification_trace& trace);
+
+/// Ids of the `count` users with the most notifications, descending (the
+/// paper's "top 10k users" selection).
+std::vector<user_id> heaviest_users(const notification_trace& trace, std::size_t count);
+
+/// A copy of the trace restricted to the given users (other users' streams
+/// become empty; ids and labels are preserved). Mirrors the paper's
+/// focus-on-heavy-users preprocessing.
+notification_trace restrict_to_users(const notification_trace& trace,
+                                     const std::vector<user_id>& users);
+
+} // namespace richnote::trace

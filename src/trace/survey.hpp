@@ -1,0 +1,73 @@
+// Synthetic user surveys for presentation utility (§V-B).
+//
+// The paper derives presentation utility from two subjective surveys we
+// cannot re-run: (1) ratings of 20 audio presentations spanning 4 sampling
+// rates x 5 durations, which yielded six Pareto-"useful" presentations with
+// scores between 0.3 and 3.3; and (2) an 80-user stop-duration study whose
+// duration CDF was fit with the logarithmic and polynomial families of
+// Eqs. 8–9. This module simulates both studies from a latent
+// diminishing-returns satisfaction law with per-respondent noise, so the
+// downstream fitting pipeline (common/regression) runs on survey-shaped
+// data exactly as the paper's did.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace richnote::trace {
+
+/// One of the 20 rated audio presentations of survey (1).
+struct rated_presentation {
+    double sample_rate_khz = 0.0;
+    double duration_sec = 0.0;
+    double size_bytes = 0.0;  ///< uncompressed mono PCM at the given rate
+    double mean_score = 0.0;  ///< mean respondent rating on the 0–5 scale
+};
+
+struct survey_params {
+    std::size_t respondents = 80; ///< paper: "a survey among 80 users"
+    std::vector<double> sample_rates_khz = {8.0, 16.0, 32.0, 44.0};
+    std::vector<double> durations_sec = {5.0, 10.0, 20.0, 30.0, 40.0};
+
+    // Latent satisfaction law parameters (ground truth the survey "measures").
+    double median_stop_duration_sec = 12.0; ///< lognormal median of survey (2)
+    double stop_duration_sigma = 0.9;       ///< lognormal shape
+    double rating_noise_stddev = 1.2;       ///< per-respondent rating noise
+    double max_rating = 5.0;
+};
+
+/// Simulated results of both §V-B surveys.
+class survey {
+public:
+    survey(const survey_params& params, std::uint64_t seed);
+
+    /// Survey (1): the 4x5 rated presentations, row-major by (rate, duration).
+    const std::vector<rated_presentation>& ratings() const noexcept { return ratings_; }
+
+    /// Survey (2): each respondent's stop duration ("stop at the point when
+    /// ... the duration was barely enough for a good notification").
+    const std::vector<double>& stop_durations() const noexcept { return stop_durations_; }
+
+    /// Empirical CDF of stop durations at the given grid points — this is
+    /// the paper's util(d) ("CDF of duration is translated into utility").
+    std::vector<double> duration_utility(const std::vector<double>& grid) const;
+
+    const survey_params& params() const noexcept { return params_; }
+
+    /// Latent (noise-free) satisfaction of a (rate, duration) presentation
+    /// on the 0–5 scale — the ground truth the ratings scatter around.
+    double latent_score(double rate_khz, double duration_sec) const noexcept;
+
+private:
+    survey_params params_;
+    std::vector<rated_presentation> ratings_;
+    std::vector<double> stop_durations_;
+};
+
+/// Size in bytes of an uncompressed mono 16-bit PCM sample of the given
+/// rate and duration (what survey (1) presentations weigh).
+double pcm_size_bytes(double rate_khz, double duration_sec) noexcept;
+
+} // namespace richnote::trace

@@ -1,0 +1,158 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace richnote::trace {
+
+namespace {
+
+const std::vector<std::string>& schema() {
+    static const std::vector<std::string> columns = {
+        "id",          "recipient",        "type",
+        "track",       "created_at",       "social_tie",
+        "track_popularity", "album_popularity", "artist_popularity",
+        "weekend",     "daytime",          "attended",
+        "clicked",     "clicked_at"};
+    return columns;
+}
+
+notification_type parse_type(const std::string& token) {
+    if (token == "friend_feed") return notification_type::friend_feed;
+    if (token == "album_release") return notification_type::album_release;
+    if (token == "playlist_update") return notification_type::playlist_update;
+    RICHNOTE_REQUIRE(false, "unknown notification type: " + token);
+    return notification_type::friend_feed; // unreachable
+}
+
+bool parse_bool(const std::string& token, const char* field) {
+    if (token == "1") return true;
+    if (token == "0") return false;
+    RICHNOTE_REQUIRE(false, std::string("boolean field '") + field + "' must be 0/1, got " +
+                                token);
+    return false; // unreachable
+}
+
+double parse_double(const std::string& token, const char* field) {
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    RICHNOTE_REQUIRE(end && *end == '\0' && !token.empty(),
+                     std::string("field '") + field + "' is not a number: " + token);
+    return value;
+}
+
+std::uint64_t parse_u64(const std::string& token, const char* field) {
+    char* end = nullptr;
+    const auto value = std::strtoull(token.c_str(), &end, 10);
+    RICHNOTE_REQUIRE(end && *end == '\0' && !token.empty(),
+                     std::string("field '") + field + "' is not an integer: " + token);
+    return value;
+}
+
+std::vector<std::string> split_row(const std::string& line) {
+    // The schema contains no quoted fields, so a plain comma split is exact.
+    std::vector<std::string> cells;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t comma = line.find(',', pos);
+        cells.push_back(line.substr(pos, comma - pos));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+    }
+    return cells;
+}
+
+} // namespace
+
+std::size_t write_trace_csv(std::ostream& out, const notification_trace& trace) {
+    richnote::csv_writer writer(out, schema());
+    for (const auto& stream : trace.per_user) {
+        for (const notification& n : stream) {
+            std::ostringstream created, clicked_at, tie, tpop, apop, arpop;
+            created.precision(17);
+            created << n.created_at;
+            clicked_at.precision(17);
+            clicked_at << n.clicked_at;
+            tie.precision(17);
+            tie << n.features.social_tie;
+            tpop.precision(17);
+            tpop << n.features.track_popularity;
+            apop.precision(17);
+            apop << n.features.album_popularity;
+            arpop.precision(17);
+            arpop << n.features.artist_popularity;
+            writer.write_row(std::vector<std::string>{
+                std::to_string(n.id), std::to_string(n.recipient), to_string(n.type),
+                std::to_string(n.track), created.str(), tie.str(), tpop.str(),
+                apop.str(), arpop.str(), n.features.weekend ? "1" : "0",
+                n.features.daytime ? "1" : "0", n.attended ? "1" : "0",
+                n.clicked ? "1" : "0", clicked_at.str()});
+        }
+    }
+    return writer.rows_written();
+}
+
+notification_trace read_trace_csv(std::istream& in, std::size_t user_count) {
+    RICHNOTE_REQUIRE(user_count > 0, "user_count must be positive");
+    std::string line;
+    RICHNOTE_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty trace file");
+    {
+        const auto header = split_row(line);
+        RICHNOTE_REQUIRE(header == schema(), "trace header does not match the schema");
+    }
+
+    notification_trace trace;
+    trace.per_user.resize(user_count);
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        const auto cells = split_row(line);
+        RICHNOTE_REQUIRE(cells.size() == schema().size(),
+                         "trace row has wrong number of fields");
+        notification n;
+        n.id = parse_u64(cells[0], "id");
+        const auto recipient = parse_u64(cells[1], "recipient");
+        RICHNOTE_REQUIRE(recipient < user_count, "recipient out of range");
+        n.recipient = static_cast<user_id>(recipient);
+        n.type = parse_type(cells[2]);
+        n.track = static_cast<track_id>(parse_u64(cells[3], "track"));
+        n.created_at = parse_double(cells[4], "created_at");
+        n.features.social_tie = parse_double(cells[5], "social_tie");
+        n.features.track_popularity = parse_double(cells[6], "track_popularity");
+        n.features.album_popularity = parse_double(cells[7], "album_popularity");
+        n.features.artist_popularity = parse_double(cells[8], "artist_popularity");
+        n.features.weekend = parse_bool(cells[9], "weekend");
+        n.features.daytime = parse_bool(cells[10], "daytime");
+        n.attended = parse_bool(cells[11], "attended");
+        n.clicked = parse_bool(cells[12], "clicked");
+        n.clicked_at = parse_double(cells[13], "clicked_at");
+        RICHNOTE_REQUIRE(!n.clicked || n.attended, "clicked implies attended");
+
+        auto& stream = trace.per_user[n.recipient];
+        RICHNOTE_REQUIRE(stream.empty() || stream.back().created_at <= n.created_at,
+                         "per-user rows must be time-ordered");
+        stream.push_back(n);
+        ++trace.total_count;
+        if (n.attended) ++trace.attended_count;
+        if (n.clicked) ++trace.clicked_count;
+    }
+    return trace;
+}
+
+std::size_t save_trace(const std::string& path, const notification_trace& trace) {
+    std::ofstream out(path);
+    RICHNOTE_REQUIRE(out.good(), "cannot open trace file for writing: " + path);
+    const std::size_t rows = write_trace_csv(out, trace);
+    RICHNOTE_REQUIRE(out.good(), "write failure on trace file: " + path);
+    return rows;
+}
+
+notification_trace load_trace(const std::string& path, std::size_t user_count) {
+    std::ifstream in(path);
+    RICHNOTE_REQUIRE(in.good(), "cannot open trace file for reading: " + path);
+    return read_trace_csv(in, user_count);
+}
+
+} // namespace richnote::trace

@@ -1,0 +1,37 @@
+// Notification-trace serialization.
+//
+// The paper's pipeline starts from log files of notifications plus mouse
+// activity; this module gives the library the same boundary. A generated
+// (or externally produced) trace round-trips through a simple CSV schema —
+// one row per notification — so experiments can run against recorded data
+// instead of the synthetic generator, and synthetic traces can be exported
+// for offline analysis.
+//
+// Schema (header enforced on read):
+//   id,recipient,type,track,created_at,social_tie,track_popularity,
+//   album_popularity,artist_popularity,weekend,daytime,attended,clicked,
+//   clicked_at
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/notification.hpp"
+
+namespace richnote::trace {
+
+/// Writes the trace as CSV (all users interleaved, ordered by user then
+/// time). Returns the number of data rows written.
+std::size_t write_trace_csv(std::ostream& out, const notification_trace& trace);
+
+/// Parses a trace written by write_trace_csv (or produced externally with
+/// the same schema). `user_count` sizes per_user; rows referencing users
+/// >= user_count are rejected. Rows must be in non-decreasing created_at
+/// order per user. Throws precondition_error on any malformed content.
+notification_trace read_trace_csv(std::istream& in, std::size_t user_count);
+
+/// Convenience file wrappers; throw precondition_error on I/O failure.
+std::size_t save_trace(const std::string& path, const notification_trace& trace);
+notification_trace load_trace(const std::string& path, std::size_t user_count);
+
+} // namespace richnote::trace

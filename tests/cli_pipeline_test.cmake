@@ -1,0 +1,15 @@
+# Drives generate -> train -> simulate -> sweep through the CLI and fails on
+# any non-zero exit.
+file(MAKE_DIRECTORY ${WORK_DIR})
+function(run_step)
+  execute_process(COMMAND ${ARGN} WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "step failed (${code}): ${ARGN}\n${out}\n${err}")
+  endif()
+endfunction()
+run_step(${RICHNOTE} generate users=30 seed=2 out=trace.csv)
+run_step(${RICHNOTE} train trace=trace.csv users=30 trees=8 out=model.forest)
+run_step(${RICHNOTE} simulate users=30 seed=2 model=model.forest budget_mb=5 trees=8)
+run_step(${RICHNOTE} simulate users=30 seed=2 scheduler=direct budget_mb=5 trees=8)
+run_step(${RICHNOTE} sweep users=30 seed=2 budgets=2,10 trees=8)

@@ -1,0 +1,95 @@
+#include "common/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using richnote::bootstrap_ci;
+using richnote::rng;
+
+std::vector<double> normal_sample(std::size_t n, double mean, double sd,
+                                  std::uint64_t seed) {
+    rng gen(seed);
+    std::vector<double> values(n);
+    for (auto& v : values) v = gen.normal(mean, sd);
+    return values;
+}
+
+double mean_of(const std::vector<double>& data, const std::vector<std::size_t>& index) {
+    double sum = 0;
+    for (std::size_t i : index) sum += data[i];
+    return sum / static_cast<double>(index.size());
+}
+
+TEST(bootstrap, estimate_is_the_plain_statistic) {
+    const auto data = normal_sample(200, 5.0, 1.0, 3);
+    const auto result = bootstrap_ci(data.size(), 200, 0.95, 1,
+                                     [&](const auto& idx) { return mean_of(data, idx); });
+    double direct = 0;
+    for (double v : data) direct += v;
+    direct /= static_cast<double>(data.size());
+    EXPECT_DOUBLE_EQ(result.estimate, direct);
+}
+
+TEST(bootstrap, interval_brackets_the_truth_and_the_estimate) {
+    const auto data = normal_sample(400, 10.0, 2.0, 7);
+    const auto result = bootstrap_ci(data.size(), 500, 0.95, 2,
+                                     [&](const auto& idx) { return mean_of(data, idx); });
+    EXPECT_LT(result.lo, result.hi);
+    EXPECT_GE(result.estimate, result.lo - 1e-9);
+    EXPECT_LE(result.estimate, result.hi + 1e-9);
+    EXPECT_GT(result.hi, 10.0 - 0.5);
+    EXPECT_LT(result.lo, 10.0 + 0.5);
+}
+
+TEST(bootstrap, stderr_matches_theory_for_the_mean) {
+    // SE of the mean is sd / sqrt(n); the bootstrap should come close.
+    const std::size_t n = 500;
+    const auto data = normal_sample(n, 0.0, 3.0, 11);
+    const auto result = bootstrap_ci(n, 800, 0.95, 3,
+                                     [&](const auto& idx) { return mean_of(data, idx); });
+    const double theory = 3.0 / std::sqrt(static_cast<double>(n));
+    EXPECT_NEAR(result.stderr_boot, theory, theory * 0.3);
+}
+
+TEST(bootstrap, interval_narrows_with_sample_size) {
+    const auto small = normal_sample(50, 0.0, 1.0, 13);
+    const auto large = normal_sample(5000, 0.0, 1.0, 13);
+    const auto rs = bootstrap_ci(small.size(), 300, 0.95, 4,
+                                 [&](const auto& idx) { return mean_of(small, idx); });
+    const auto rl = bootstrap_ci(large.size(), 300, 0.95, 4,
+                                 [&](const auto& idx) { return mean_of(large, idx); });
+    EXPECT_LT(rl.hi - rl.lo, rs.hi - rs.lo);
+}
+
+TEST(bootstrap, deterministic_under_seed) {
+    const auto data = normal_sample(100, 1.0, 1.0, 17);
+    auto stat = [&](const auto& idx) { return mean_of(data, idx); };
+    const auto a = bootstrap_ci(data.size(), 100, 0.9, 5, stat);
+    const auto b = bootstrap_ci(data.size(), 100, 0.9, 5, stat);
+    EXPECT_DOUBLE_EQ(a.lo, b.lo);
+    EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(bootstrap, wider_confidence_gives_wider_interval) {
+    const auto data = normal_sample(200, 0.0, 1.0, 19);
+    auto stat = [&](const auto& idx) { return mean_of(data, idx); };
+    const auto narrow = bootstrap_ci(data.size(), 400, 0.5, 6, stat);
+    const auto wide = bootstrap_ci(data.size(), 400, 0.99, 6, stat);
+    EXPECT_GT(wide.hi - wide.lo, narrow.hi - narrow.lo);
+}
+
+TEST(bootstrap, rejects_bad_arguments) {
+    auto stat = [](const std::vector<std::size_t>&) { return 0.0; };
+    EXPECT_THROW(bootstrap_ci(0, 100, 0.95, 1, stat), richnote::precondition_error);
+    EXPECT_THROW(bootstrap_ci(10, 5, 0.95, 1, stat), richnote::precondition_error);
+    EXPECT_THROW(bootstrap_ci(10, 100, 1.0, 1, stat), richnote::precondition_error);
+    EXPECT_THROW(bootstrap_ci(10, 100, 0.95, 1, nullptr), richnote::precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace {
+
+using richnote::categorical_histogram;
+using richnote::histogram;
+
+TEST(histogram, bins_partition_the_range) {
+    histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.bin_count(), 5u);
+    EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(histogram, values_land_in_their_bins) {
+    histogram h(0.0, 10.0, 5);
+    h.add(1.0);
+    h.add(9.9);
+    h.add(5.0);
+    EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(2), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+    EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(histogram, out_of_range_clamps_to_edges) {
+    histogram h(0.0, 10.0, 5);
+    h.add(-3.0);
+    h.add(42.0);
+    EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+    EXPECT_DOUBLE_EQ(h.total(), 2.0);
+}
+
+TEST(histogram, weights_accumulate) {
+    histogram h(0.0, 1.0, 2);
+    h.add(0.2, 2.5);
+    h.add(0.7, 0.5);
+    EXPECT_DOUBLE_EQ(h.count(0), 2.5);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 2.5 / 3.0);
+}
+
+TEST(histogram, fraction_of_empty_histogram_is_zero) {
+    histogram h(0.0, 1.0, 3);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+}
+
+TEST(histogram, cdf_is_monotone_and_ends_at_one) {
+    histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i) h.add(i % 10 + 0.5);
+    const auto cdf = h.cdf();
+    for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+    EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+}
+
+TEST(histogram, rejects_bad_construction) {
+    EXPECT_THROW(histogram(0.0, 1.0, 0), richnote::precondition_error);
+    EXPECT_THROW(histogram(1.0, 1.0, 3), richnote::precondition_error);
+    EXPECT_THROW(histogram(2.0, 1.0, 3), richnote::precondition_error);
+}
+
+TEST(categorical_histogram, counts_and_fractions) {
+    categorical_histogram h;
+    h.add("cell");
+    h.add("wifi", 3.0);
+    h.add("cell");
+    EXPECT_DOUBLE_EQ(h.count("cell"), 2.0);
+    EXPECT_DOUBLE_EQ(h.count("wifi"), 3.0);
+    EXPECT_DOUBLE_EQ(h.count("off"), 0.0);
+    EXPECT_DOUBLE_EQ(h.fraction("wifi"), 0.6);
+}
+
+TEST(categorical_histogram, preserves_insertion_order_of_keys) {
+    categorical_histogram h;
+    h.add("zebra");
+    h.add("apple");
+    h.add("zebra");
+    ASSERT_EQ(h.keys().size(), 2u);
+    EXPECT_EQ(h.keys()[0], "zebra");
+    EXPECT_EQ(h.keys()[1], "apple");
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+#include "common/indexed_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using richnote::indexed_heap;
+
+TEST(indexed_heap, pop_order_is_descending_priority) {
+    indexed_heap<double> heap(5);
+    heap.push(0, 1.0);
+    heap.push(1, 5.0);
+    heap.push(2, 3.0);
+    heap.push(3, 4.0);
+    heap.push(4, 2.0);
+    std::vector<std::size_t> order;
+    while (!heap.empty()) order.push_back(heap.pop());
+    EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 2, 4, 0}));
+}
+
+TEST(indexed_heap, top_reports_id_and_priority) {
+    indexed_heap<int> heap(3);
+    heap.push(2, 10);
+    heap.push(0, 20);
+    EXPECT_EQ(heap.top_id(), 0u);
+    EXPECT_EQ(heap.top_priority(), 20);
+    EXPECT_EQ(heap.priority_of(2), 10);
+}
+
+TEST(indexed_heap, update_moves_element_both_directions) {
+    indexed_heap<double> heap(3);
+    heap.push(0, 1.0);
+    heap.push(1, 2.0);
+    heap.push(2, 3.0);
+    heap.update(0, 10.0); // up
+    EXPECT_EQ(heap.top_id(), 0u);
+    heap.update(0, 0.5); // down
+    EXPECT_EQ(heap.top_id(), 2u);
+    EXPECT_TRUE(heap.validate());
+}
+
+TEST(indexed_heap, erase_middle_keeps_heap_valid) {
+    indexed_heap<int> heap(10);
+    for (std::size_t i = 0; i < 10; ++i) heap.push(i, static_cast<int>(i * 7 % 10));
+    heap.erase(4);
+    heap.erase(9);
+    EXPECT_FALSE(heap.contains(4));
+    EXPECT_EQ(heap.size(), 8u);
+    EXPECT_TRUE(heap.validate());
+}
+
+TEST(indexed_heap, build_is_equivalent_to_pushes) {
+    std::vector<std::pair<std::size_t, int>> items;
+    for (std::size_t i = 0; i < 50; ++i) items.emplace_back(i, static_cast<int>(i * 13 % 17));
+    indexed_heap<int> built(50);
+    built.build(items);
+    indexed_heap<int> pushed(50);
+    for (const auto& [id, p] : items) pushed.push(id, p);
+    EXPECT_TRUE(built.validate());
+    while (!built.empty()) {
+        EXPECT_EQ(built.top_priority(), pushed.top_priority());
+        built.pop();
+        pushed.pop();
+    }
+    EXPECT_TRUE(pushed.empty());
+}
+
+TEST(indexed_heap, rejects_duplicate_ids_and_out_of_range) {
+    indexed_heap<int> heap(2);
+    heap.push(0, 1);
+    EXPECT_THROW(heap.push(0, 2), richnote::precondition_error);
+    EXPECT_THROW(heap.push(5, 1), richnote::precondition_error);
+    EXPECT_THROW(heap.update(1, 3), richnote::precondition_error);
+    EXPECT_THROW(heap.erase(1), richnote::precondition_error);
+}
+
+TEST(indexed_heap, empty_heap_operations_throw) {
+    indexed_heap<int> heap(1);
+    EXPECT_THROW(heap.top_id(), richnote::precondition_error);
+    EXPECT_THROW(heap.pop(), richnote::precondition_error);
+}
+
+TEST(indexed_heap, reserve_ids_grows_capacity) {
+    indexed_heap<int> heap(1);
+    heap.reserve_ids(10);
+    heap.push(9, 42);
+    EXPECT_EQ(heap.top_id(), 9u);
+}
+
+TEST(indexed_heap, clear_empties_and_allows_reuse) {
+    indexed_heap<int> heap(3);
+    heap.push(0, 1);
+    heap.push(1, 2);
+    heap.clear();
+    EXPECT_TRUE(heap.empty());
+    EXPECT_FALSE(heap.contains(0));
+    heap.push(0, 5);
+    EXPECT_EQ(heap.top_id(), 0u);
+}
+
+/// Randomized differential test against std::priority_queue: interleave
+/// pushes, pops and updates; after updates settle, pop order must match a
+/// reference rebuilt from the surviving (id, priority) pairs.
+TEST(indexed_heap, randomized_differential_against_reference) {
+    richnote::rng gen(123);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 200;
+        indexed_heap<double> heap(n);
+        std::vector<double> priority(n, 0.0);
+        std::vector<bool> present(n, false);
+
+        for (int op = 0; op < 1000; ++op) {
+            const std::size_t id = gen.index(n);
+            const double p = gen.uniform();
+            if (!present[id]) {
+                heap.push(id, p);
+                priority[id] = p;
+                present[id] = true;
+            } else if (gen.bernoulli(0.5)) {
+                heap.update(id, p);
+                priority[id] = p;
+            } else {
+                heap.erase(id);
+                present[id] = false;
+            }
+        }
+        ASSERT_TRUE(heap.validate());
+
+        std::vector<double> expected;
+        for (std::size_t id = 0; id < n; ++id)
+            if (present[id]) expected.push_back(priority[id]);
+        std::sort(expected.begin(), expected.end(), std::greater<>());
+
+        std::vector<double> actual;
+        while (!heap.empty()) {
+            actual.push_back(heap.top_priority());
+            heap.pop();
+        }
+        EXPECT_EQ(actual, expected);
+    }
+}
+
+} // namespace

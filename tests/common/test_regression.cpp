@@ -1,0 +1,124 @@
+#include "common/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using richnote::fit_linear;
+using richnote::fit_log_law;
+using richnote::fit_power_law;
+
+TEST(fit_linear, recovers_exact_line) {
+    const std::vector<double> x = {0, 1, 2, 3, 4};
+    std::vector<double> y;
+    for (double xi : x) y.push_back(2.5 - 0.7 * xi);
+    const auto fit = fit_linear(x, y);
+    EXPECT_NEAR(fit.intercept, 2.5, 1e-12);
+    EXPECT_NEAR(fit.slope, -0.7, 1e-12);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+    EXPECT_NEAR(fit.rmse, 0.0, 1e-12);
+}
+
+TEST(fit_linear, tolerates_noise) {
+    richnote::rng gen(3);
+    std::vector<double> x, y;
+    for (int i = 0; i < 2000; ++i) {
+        const double xi = gen.uniform(0, 10);
+        x.push_back(xi);
+        y.push_back(1.0 + 3.0 * xi + gen.normal(0, 0.5));
+    }
+    const auto fit = fit_linear(x, y);
+    EXPECT_NEAR(fit.intercept, 1.0, 0.1);
+    EXPECT_NEAR(fit.slope, 3.0, 0.02);
+    EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(fit_linear, rejects_degenerate_input) {
+    EXPECT_THROW(fit_linear({1.0}, {2.0}), richnote::precondition_error);
+    EXPECT_THROW(fit_linear({1, 1, 1}, {1, 2, 3}), richnote::precondition_error);
+    EXPECT_THROW(fit_linear({1, 2}, {1, 2, 3}), richnote::precondition_error);
+}
+
+// The paper's Eq. 8: util(d) = -0.397 + 0.352 * log(1 + d). Sampling that
+// law must recover the published coefficients.
+TEST(fit_log_law, recovers_paper_equation_8) {
+    const std::vector<double> d = {5, 10, 20, 30, 40};
+    std::vector<double> util;
+    for (double di : d) util.push_back(-0.397 + 0.352 * std::log(1.0 + di));
+    const auto fit = fit_log_law(d, util);
+    EXPECT_NEAR(fit.intercept, -0.397, 1e-9);
+    EXPECT_NEAR(fit.slope, 0.352, 1e-9);
+    EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(fit_log_law, rejects_negative_durations) {
+    EXPECT_THROW(fit_log_law({-1.0, 2.0}, {0.1, 0.2}), richnote::precondition_error);
+}
+
+// The paper's Eq. 9: util(d) = 0.253 * (1 - d/40)^2.087. The grid-search
+// fit must recover all three constants when D=40 lies inside the grid.
+TEST(fit_power_law, recovers_paper_equation_9) {
+    const std::vector<double> d = {5, 10, 20, 30, 39};
+    std::vector<double> util;
+    for (double di : d) util.push_back(0.253 * std::pow(1.0 - di / 40.0, 2.087));
+    const auto fit = fit_power_law(d, util, 60.0, 2000);
+    EXPECT_NEAR(fit.horizon, 40.0, 0.2);
+    EXPECT_NEAR(fit.scale, 0.253, 0.01);
+    EXPECT_NEAR(fit.exponent, 2.087, 0.1);
+    EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(fit_power_law, evaluate_is_zero_beyond_horizon) {
+    richnote::power_fit fit;
+    fit.scale = 1.0;
+    fit.exponent = 2.0;
+    fit.horizon = 40.0;
+    EXPECT_DOUBLE_EQ(fit.evaluate(40.0), 0.0);
+    EXPECT_DOUBLE_EQ(fit.evaluate(50.0), 0.0);
+    EXPECT_GT(fit.evaluate(10.0), 0.0);
+}
+
+TEST(fit_power_law, rejects_nonpositive_utilities) {
+    EXPECT_THROW(fit_power_law({1, 2}, {0.0, 0.5}, 10.0), richnote::precondition_error);
+}
+
+TEST(fit_power_law, rejects_horizon_below_max_duration) {
+    EXPECT_THROW(fit_power_law({1, 20}, {0.5, 0.1}, 15.0), richnote::precondition_error);
+}
+
+TEST(goodness_of_fit, r_squared_bounds) {
+    const std::vector<double> y = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(richnote::r_squared(y, y), 1.0);
+    const std::vector<double> mean_pred = {2.5, 2.5, 2.5, 2.5};
+    EXPECT_NEAR(richnote::r_squared(y, mean_pred), 0.0, 1e-12);
+}
+
+TEST(goodness_of_fit, rmse_known_value) {
+    EXPECT_DOUBLE_EQ(richnote::rmse({0.0, 0.0}, {3.0, 4.0}),
+                     std::sqrt((9.0 + 16.0) / 2.0));
+    EXPECT_THROW(richnote::rmse({}, {}), richnote::precondition_error);
+}
+
+// Model selection as in §V-B: on data generated from the log law, the
+// logarithmic family must fit better than the polynomial family.
+TEST(model_selection, log_law_wins_on_log_data) {
+    richnote::rng gen(11);
+    std::vector<double> d, util;
+    for (int i = 0; i < 200; ++i) {
+        const double di = gen.uniform(1.0, 40.0);
+        d.push_back(di);
+        util.push_back(std::max(0.01, -0.397 + 0.352 * std::log(1.0 + di) +
+                                          gen.normal(0, 0.01)));
+    }
+    const auto log_fit = fit_log_law(d, util);
+    const auto poly_fit = fit_power_law(d, util, 80.0, 200);
+    EXPECT_LT(log_fit.rmse, poly_fit.rmse);
+}
+
+} // namespace

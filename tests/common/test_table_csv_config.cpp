@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using richnote::config;
+using richnote::csv_escape;
+using richnote::csv_writer;
+using richnote::format_bytes;
+using richnote::format_double;
+using richnote::table;
+
+TEST(table, renders_header_rule_and_rows) {
+    table t({"a", "bb"});
+    t.add_row({"x", "y"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| a |"), std::string::npos);
+    EXPECT_NE(out.find("|---|"), std::string::npos);
+    EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+TEST(table, aligns_columns_to_widest_cell) {
+    table t({"col"});
+    t.add_row({"longer-cell"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("|         col |"), std::string::npos);
+}
+
+TEST(table, numeric_rows_use_precision) {
+    table t({"v"});
+    t.add_numeric_row({1.23456}, 2);
+    EXPECT_NE(t.render().find("1.23"), std::string::npos);
+}
+
+TEST(table, rejects_mismatched_row_width) {
+    table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), richnote::precondition_error);
+    EXPECT_THROW(table({}), richnote::precondition_error);
+}
+
+TEST(format_helpers, format_double_fixed_precision) {
+    EXPECT_EQ(format_double(3.14159, 2), "3.14");
+    EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(format_helpers, format_bytes_units) {
+    EXPECT_EQ(format_bytes(512), "512B");
+    EXPECT_EQ(format_bytes(20'000), "20.0KB");
+    EXPECT_EQ(format_bytes(1.5e6), "1.50MB");
+    EXPECT_EQ(format_bytes(2.5e9), "2.50GB");
+}
+
+TEST(csv, escapes_only_when_needed) {
+    EXPECT_EQ(csv_escape("plain"), "plain");
+    EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(csv, writes_header_and_rows) {
+    std::ostringstream os;
+    csv_writer w(os, {"x", "y"});
+    w.write_row(std::vector<std::string>{"1", "two,三"});
+    w.write_row(std::vector<double>{1.5, 2.0}, 1);
+    EXPECT_EQ(os.str(), "x,y\n1,\"two,三\"\n1.5,2.0\n");
+    EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(csv, rejects_width_mismatch) {
+    std::ostringstream os;
+    csv_writer w(os, {"x"});
+    EXPECT_THROW(w.write_row(std::vector<std::string>{"a", "b"}),
+                 richnote::precondition_error);
+}
+
+TEST(config, parses_key_value_arguments) {
+    const char* argv[] = {"prog", "users=10", "rate=2.5", "name=test", "flag=true"};
+    const config cfg = config::from_args(5, argv);
+    EXPECT_EQ(cfg.get_int("users", 0), 10);
+    EXPECT_DOUBLE_EQ(cfg.get_double("rate", 0.0), 2.5);
+    EXPECT_EQ(cfg.get_string("name", ""), "test");
+    EXPECT_TRUE(cfg.get_bool("flag", false));
+}
+
+TEST(config, fallbacks_apply_when_missing) {
+    const config cfg;
+    EXPECT_EQ(cfg.get_int("absent", 7), 7);
+    EXPECT_FALSE(cfg.has("absent"));
+}
+
+TEST(config, rejects_malformed_tokens_and_values) {
+    const char* bad[] = {"prog", "noequals"};
+    EXPECT_THROW(config::from_args(2, bad), richnote::precondition_error);
+
+    config cfg;
+    cfg.set("n", "abc");
+    EXPECT_THROW(cfg.get_int("n", 0), richnote::precondition_error);
+    cfg.set("b", "maybe");
+    EXPECT_THROW(cfg.get_bool("b", false), richnote::precondition_error);
+}
+
+TEST(config, restrict_to_catches_typos) {
+    config cfg;
+    cfg.set("users", "5");
+    EXPECT_NO_THROW(cfg.restrict_to({"users", "seed"}));
+    cfg.set("usrs", "5");
+    EXPECT_THROW(cfg.restrict_to({"users", "seed"}), richnote::precondition_error);
+}
+
+TEST(config, last_set_wins_and_order_is_preserved) {
+    config cfg;
+    cfg.set("a", "1");
+    cfg.set("b", "2");
+    cfg.set("a", "3");
+    EXPECT_EQ(cfg.get_int("a", 0), 3);
+    ASSERT_EQ(cfg.keys().size(), 2u);
+    EXPECT_EQ(cfg.keys()[0], "a");
+}
+
+} // namespace

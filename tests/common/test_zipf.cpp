@@ -1,0 +1,69 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using richnote::zipf_distribution;
+
+TEST(zipf, pmf_sums_to_one) {
+    zipf_distribution z(100, 1.2);
+    double total = 0;
+    for (std::size_t k = 0; k < z.size(); ++k) total += z.pmf(k);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(zipf, pmf_is_monotone_decreasing) {
+    zipf_distribution z(50, 0.9);
+    for (std::size_t k = 1; k < z.size(); ++k) EXPECT_LE(z.pmf(k), z.pmf(k - 1));
+}
+
+TEST(zipf, pmf_out_of_range_is_zero) {
+    zipf_distribution z(10, 1.0);
+    EXPECT_DOUBLE_EQ(z.pmf(10), 0.0);
+    EXPECT_DOUBLE_EQ(z.pmf(1000), 0.0);
+}
+
+TEST(zipf, exponent_zero_is_uniform) {
+    zipf_distribution z(4, 0.0);
+    for (std::size_t k = 0; k < 4; ++k) EXPECT_NEAR(z.pmf(k), 0.25, 1e-12);
+}
+
+TEST(zipf, ratio_of_first_two_masses_matches_exponent) {
+    zipf_distribution z(1000, 2.0);
+    EXPECT_NEAR(z.pmf(0) / z.pmf(1), 4.0, 1e-9); // (2/1)^2
+}
+
+TEST(zipf, samples_match_pmf) {
+    zipf_distribution z(10, 1.0);
+    richnote::rng gen(5);
+    std::vector<int> counts(10, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) ++counts[z.sample(gen)];
+    for (std::size_t k = 0; k < 10; ++k)
+        EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.pmf(k), 0.01);
+}
+
+TEST(zipf, sample_is_always_in_range) {
+    zipf_distribution z(7, 1.5);
+    richnote::rng gen(1);
+    for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(gen), 7u);
+}
+
+TEST(zipf, single_rank_always_sampled) {
+    zipf_distribution z(1, 1.0);
+    richnote::rng gen(2);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(gen), 0u);
+}
+
+TEST(zipf, rejects_bad_parameters) {
+    EXPECT_THROW(zipf_distribution(0, 1.0), richnote::precondition_error);
+    EXPECT_THROW(zipf_distribution(5, -0.1), richnote::precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+// Parameterized end-to-end invariants: for EVERY scheduler at EVERY budget,
+// aggregate metrics must satisfy basic sanity relations, plus the
+// transfer-failure injection behaviours.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/experiment.hpp"
+
+namespace {
+
+using richnote::core::experiment_params;
+using richnote::core::experiment_setup;
+using richnote::core::run_experiment;
+using richnote::core::scheduler_kind;
+
+const experiment_setup& shared_setup() {
+    static const experiment_setup setup([] {
+        experiment_setup::options opts;
+        opts.workload.user_count = 30;
+        opts.workload.catalog.artist_count = 50;
+        opts.workload.playlist_count = 10;
+        opts.forest.tree_count = 6;
+        opts.seed = 77;
+        return opts;
+    }());
+    return setup;
+}
+
+class experiment_invariants
+    : public ::testing::TestWithParam<std::tuple<scheduler_kind, double>> {};
+
+TEST_P(experiment_invariants, aggregates_are_internally_consistent) {
+    const auto [kind, budget] = GetParam();
+    experiment_params params;
+    params.kind = kind;
+    params.fixed_level = 3;
+    params.weekly_budget_mb = budget;
+    params.seed = 3;
+    const auto r = run_experiment(shared_setup(), params);
+
+    EXPECT_GE(r.delivery_ratio, 0.0);
+    EXPECT_LE(r.delivery_ratio, 1.0);
+    EXPECT_GE(r.recall, 0.0);
+    EXPECT_LE(r.recall, 1.0);
+    EXPECT_GE(r.precision, 0.0);
+    EXPECT_LE(r.precision, 1.0);
+    // Precision counts before-click deliveries, recall any delivery of a
+    // clicked item, so recall-weight >= precision-weight relations hold
+    // element-wise; at the aggregate level both are within [0,1] above.
+    EXPECT_GE(r.delivered_mb, 0.0);
+    EXPECT_GE(r.delivered_mb, r.metered_mb - 1e-9); // metered subset of total
+    EXPECT_GE(r.total_utility, 0.0);
+    EXPECT_GE(r.total_utility, r.utility_clicked - 1e-9); // clicked subset
+    EXPECT_GE(r.avg_utility, 0.0);
+    EXPECT_LE(r.avg_utility, 1.0); // U = U_c * U_p, both in [0,1]
+    EXPECT_GE(r.energy_kj, 0.0);
+    EXPECT_GE(r.mean_delay_min, 0.0);
+    EXPECT_EQ(r.rounds_run, 169u);
+
+    // Level mix is a distribution over {undelivered, levels 1..6}.
+    double mix_total = 0.0;
+    for (double f : r.level_mix) {
+        EXPECT_GE(f, -1e-12);
+        mix_total += f;
+    }
+    EXPECT_NEAR(mix_total, 1.0, 1e-9);
+    // Delivery ratio is exactly 1 - undelivered fraction.
+    EXPECT_NEAR(r.delivery_ratio, 1.0 - r.level_mix[0], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    kinds_and_budgets, experiment_invariants,
+    ::testing::Combine(::testing::Values(scheduler_kind::richnote, scheduler_kind::fifo,
+                                         scheduler_kind::util, scheduler_kind::direct),
+                       ::testing::Values(1.0, 10.0, 100.0)),
+    [](const ::testing::TestParamInfo<std::tuple<scheduler_kind, double>>& info) {
+        return std::string(to_string(std::get<0>(info.param))) + "_mb" +
+               std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+// --------------------------------------------------- transfer failures ----
+
+TEST(transfer_failures, lossless_by_default) {
+    experiment_params params;
+    params.weekly_budget_mb = 10.0;
+    params.seed = 5;
+    const auto clean = run_experiment(shared_setup(), params);
+    params.transfer_failure_prob = 0.0;
+    const auto explicit_zero = run_experiment(shared_setup(), params);
+    EXPECT_DOUBLE_EQ(clean.total_utility, explicit_zero.total_utility);
+}
+
+TEST(transfer_failures, loss_reduces_but_does_not_break_delivery) {
+    experiment_params params;
+    params.weekly_budget_mb = 10.0;
+    params.seed = 5;
+    const auto clean = run_experiment(shared_setup(), params);
+
+    params.transfer_failure_prob = 0.3;
+    const auto lossy = run_experiment(shared_setup(), params);
+    // Retries recover most items eventually, but the wasted budget and the
+    // tail of unlucky retries cost some delivery and some utility.
+    EXPECT_LT(lossy.total_utility, clean.total_utility);
+    EXPECT_LE(lossy.delivery_ratio, clean.delivery_ratio + 1e-9);
+    EXPECT_GT(lossy.delivery_ratio, 0.5); // the retry path works
+}
+
+TEST(transfer_failures, certain_loss_delivers_nothing_but_burns_energy) {
+    experiment_params params;
+    params.weekly_budget_mb = 10.0;
+    params.transfer_failure_prob = 1.0;
+    params.seed = 5;
+    const auto r = run_experiment(shared_setup(), params);
+    EXPECT_DOUBLE_EQ(r.delivery_ratio, 0.0);
+    EXPECT_GT(r.energy_kj, 0.0); // failed attempts still spent radio energy
+}
+
+TEST(transfer_failures, rejects_invalid_probability) {
+    experiment_params params;
+    params.weekly_budget_mb = 10.0;
+    params.transfer_failure_prob = 1.5;
+    EXPECT_THROW(run_experiment(shared_setup(), params), richnote::precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+#include "core/lyapunov.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using richnote::core::lyapunov_controller;
+using richnote::core::lyapunov_params;
+
+lyapunov_params raw_units() {
+    lyapunov_params p;
+    p.queue_unit_bytes = 1.0;
+    p.energy_unit_joules = 1.0;
+    return p;
+}
+
+TEST(lyapunov, initial_state) {
+    lyapunov_controller c;
+    EXPECT_DOUBLE_EQ(c.queue_backlog(), 0.0);
+    EXPECT_DOUBLE_EQ(c.energy_credit(), 3000.0);
+}
+
+TEST(lyapunov, enqueue_grows_backlog) {
+    lyapunov_controller c;
+    c.on_enqueue(100.0);
+    c.on_enqueue(50.0);
+    EXPECT_DOUBLE_EQ(c.queue_backlog(), 150.0);
+}
+
+TEST(lyapunov, departure_shrinks_backlog_and_credit) {
+    lyapunov_controller c;
+    c.on_enqueue(500.0);
+    c.on_departure(200.0, 1000.0);
+    EXPECT_DOUBLE_EQ(c.queue_backlog(), 300.0);
+    EXPECT_DOUBLE_EQ(c.energy_credit(), 2000.0);
+}
+
+TEST(lyapunov, queues_floor_at_zero) {
+    // The [.]^+ operator of Eqs. 4-5.
+    lyapunov_controller c;
+    c.on_enqueue(100.0);
+    c.on_departure(1e9, 1e9);
+    EXPECT_DOUBLE_EQ(c.queue_backlog(), 0.0);
+    EXPECT_DOUBLE_EQ(c.energy_credit(), 0.0);
+}
+
+TEST(lyapunov, replenishment_is_gated_by_kappa) {
+    // Algorithm 2 step 2: "add e(t) to P(t) if P(t) <= kappa".
+    lyapunov_params p;
+    p.kappa = 3000.0;
+    p.initial_energy_credit = 3000.0;
+    lyapunov_controller c(p);
+    c.on_round(500.0); // P == kappa: still allowed to add
+    EXPECT_DOUBLE_EQ(c.energy_credit(), 3500.0);
+    c.on_round(500.0); // P > kappa now: no replenishment
+    EXPECT_DOUBLE_EQ(c.energy_credit(), 3500.0);
+    c.on_departure(0.0, 1000.0);
+    c.on_round(500.0); // back below kappa
+    EXPECT_DOUBLE_EQ(c.energy_credit(), 3000.0);
+}
+
+TEST(lyapunov, adjusted_utility_matches_equation_7) {
+    lyapunov_params p = raw_units();
+    p.v = 100.0;
+    p.kappa = 10.0;
+    p.initial_energy_credit = 25.0;
+    lyapunov_controller c(p);
+    c.on_enqueue(7.0);
+    // U_a = Q*s + (P - kappa)*rho + V*U = 7*3 + (25-10)*2 + 100*0.5 = 101.
+    EXPECT_DOUBLE_EQ(c.adjusted_utility(3.0, 2.0, 0.5), 101.0);
+}
+
+TEST(lyapunov, adjusted_utility_penalizes_energy_when_credit_is_low) {
+    lyapunov_params p = raw_units();
+    p.v = 1.0;
+    p.kappa = 100.0;
+    p.initial_energy_credit = 0.0;
+    lyapunov_controller c(p);
+    // P - kappa = -100: energy-hungry presentations score lower.
+    EXPECT_LT(c.adjusted_utility(0.0, 10.0, 0.5), c.adjusted_utility(0.0, 1.0, 0.5));
+}
+
+TEST(lyapunov, adjusted_utility_rewards_backlogged_items) {
+    lyapunov_params p = raw_units();
+    lyapunov_controller c(p);
+    c.on_enqueue(1000.0);
+    // Bigger item_total_size -> bigger queue-drain reward.
+    EXPECT_GT(c.adjusted_utility(100.0, 0.0, 0.1), c.adjusted_utility(1.0, 0.0, 0.1));
+}
+
+TEST(lyapunov, unit_scaling_divides_quadratic_terms) {
+    lyapunov_params scaled;
+    scaled.v = 1.0;
+    scaled.kappa = 0.0;
+    scaled.initial_energy_credit = 0.0;
+    scaled.queue_unit_bytes = 10.0;
+    scaled.energy_unit_joules = 100.0;
+    lyapunov_controller c(scaled);
+    c.on_enqueue(100.0);
+    c.on_departure(0.0, 0.0);
+    c.on_round(200.0);
+    // qs = (100/10)*(50/10) = 50; pe = (200/100)*(300/100) = 6; V*U = 1.
+    EXPECT_DOUBLE_EQ(c.adjusted_utility(50.0, 300.0, 1.0), 50.0 + 6.0 + 1.0);
+}
+
+TEST(lyapunov, lyapunov_function_value) {
+    lyapunov_params p = raw_units();
+    p.kappa = 10.0;
+    p.initial_energy_credit = 4.0;
+    lyapunov_controller c(p);
+    c.on_enqueue(3.0);
+    // L = 1/2 (Q^2 + (P-kappa)^2) = 1/2 (9 + 36) = 22.5.
+    EXPECT_DOUBLE_EQ(c.lyapunov_value(), 22.5);
+}
+
+TEST(lyapunov, rejects_invalid_parameters_and_inputs) {
+    lyapunov_params p;
+    p.v = 0.0;
+    EXPECT_THROW(lyapunov_controller{p}, richnote::precondition_error);
+    p = lyapunov_params{};
+    p.kappa = -1.0;
+    EXPECT_THROW(lyapunov_controller{p}, richnote::precondition_error);
+
+    lyapunov_controller c;
+    EXPECT_THROW(c.on_enqueue(-1.0), richnote::precondition_error);
+    EXPECT_THROW(c.on_departure(-1.0, 0.0), richnote::precondition_error);
+    EXPECT_THROW(c.on_round(-1.0), richnote::precondition_error);
+}
+
+/// Stability property (the point of the framework): with arrivals bounded
+/// below the service capacity, simulating the queue updates keeps Q(t)
+/// bounded instead of drifting to infinity.
+TEST(lyapunov, queue_stays_bounded_under_subcritical_load) {
+    richnote::rng gen(3);
+    lyapunov_controller c;
+    double max_q = 0.0;
+    for (int round = 0; round < 5000; ++round) {
+        c.on_enqueue(gen.uniform(0, 100));          // nu(t) <= 100
+        c.on_departure(std::min(c.queue_backlog(), 80.0), 0.0); // serve up to 80
+        // E[nu] = 50 < 80: subcritical.
+        max_q = std::max(max_q, c.queue_backlog());
+    }
+    EXPECT_LT(max_q, 500.0);
+}
+
+/// P(t) oscillates around kappa when replenishment and spending balance.
+TEST(lyapunov, energy_credit_tracks_kappa) {
+    richnote::rng gen(5);
+    lyapunov_params p;
+    p.kappa = 1000.0;
+    p.initial_energy_credit = 0.0;
+    lyapunov_controller c(p);
+    for (int round = 0; round < 1000; ++round) {
+        c.on_round(300.0);
+        c.on_departure(0.0, gen.uniform(0, 400.0));
+    }
+    EXPECT_GT(c.energy_credit(), 0.0);
+    EXPECT_LT(c.energy_credit(), 2.0 * p.kappa);
+}
+
+} // namespace

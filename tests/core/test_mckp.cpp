@@ -1,0 +1,241 @@
+#include "core/mckp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/presentation.hpp"
+
+namespace {
+
+using richnote::rng;
+using richnote::core::mckp_exact;
+using richnote::core::mckp_item;
+using richnote::core::mckp_options;
+using richnote::core::mckp_solution;
+using richnote::core::select_presentations;
+
+mckp_item simple_item(double content_utility = 1.0) {
+    // Concave (diminishing-returns) menu like the audio generator's.
+    mckp_item item;
+    item.sizes = {10, 110, 210, 410};
+    item.utilities = {0.01 * content_utility, 0.26 * content_utility,
+                      0.5 * content_utility, 0.75 * content_utility};
+    return item;
+}
+
+TEST(mckp, zero_budget_selects_nothing) {
+    const auto solution = select_presentations({simple_item()}, 0.0);
+    EXPECT_EQ(solution.levels[0], 0u);
+    EXPECT_DOUBLE_EQ(solution.total_utility, 0.0);
+    EXPECT_TRUE(solution.budget_exhausted);
+}
+
+TEST(mckp, generous_budget_selects_max_levels) {
+    const auto solution = select_presentations({simple_item(), simple_item()}, 1e9);
+    EXPECT_EQ(solution.levels[0], 4u);
+    EXPECT_EQ(solution.levels[1], 4u);
+    EXPECT_FALSE(solution.budget_exhausted);
+    EXPECT_DOUBLE_EQ(solution.total_utility, 1.5);
+    EXPECT_DOUBLE_EQ(solution.fractional_bound, solution.total_utility);
+}
+
+TEST(mckp, empty_instance_is_fine) {
+    const auto solution = select_presentations({}, 100.0);
+    EXPECT_TRUE(solution.levels.empty());
+    EXPECT_DOUBLE_EQ(solution.total_utility, 0.0);
+}
+
+TEST(mckp, respects_budget_exactly) {
+    rng gen(3);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<mckp_item> items;
+        for (int i = 0; i < 10; ++i) items.push_back(simple_item(gen.uniform(0.1, 1.0)));
+        const double budget = gen.uniform(0, 2000);
+        const auto solution = select_presentations(items, budget);
+        EXPECT_LE(solution.total_size, budget + 1e-9);
+    }
+}
+
+TEST(mckp, upgrades_highest_gradient_first) {
+    // Two items; the second is twice as useful, so its upgrades dominate
+    // the gradient heap. With budget 130 the greedy takes item 2's meta
+    // (10) and 5 s upgrade (110 more -> 120), then stops when item 2's
+    // next upgrade (100 more) does not fit — Algorithm 1's done <- true
+    // fires before item 1's cheaper meta is ever considered.
+    std::vector<mckp_item> items = {simple_item(0.5), simple_item(1.0)};
+    const auto solution = select_presentations(items, 130.0);
+    EXPECT_EQ(solution.levels[0], 0u);
+    EXPECT_EQ(solution.levels[1], 2u);
+    EXPECT_TRUE(solution.budget_exhausted);
+
+    // The skip_infeasible extension keeps going and picks up item 1's meta.
+    mckp_options skip;
+    skip.skip_infeasible = true;
+    const auto relaxed = select_presentations(items, 130.0, skip);
+    EXPECT_EQ(relaxed.levels[0], 1u);
+    EXPECT_EQ(relaxed.levels[1], 2u);
+}
+
+TEST(mckp, stops_at_first_infeasible_upgrade_by_default) {
+    // Algorithm 1 sets done <- true as soon as the best upgrade does not
+    // fit, even if a later (smaller) upgrade would.
+    mckp_item big; // best gradient but large step at level 2
+    big.sizes = {10, 1000};
+    big.utilities = {0.1, 100.0};
+    mckp_item small;
+    small.sizes = {5, 20};
+    small.utilities = {0.01, 0.02};
+    // After big's level-1 upgrade, big's huge level-2 gradient tops the
+    // heap but its 990-byte step does not fit in 100; the default stops
+    // immediately, before small's meta is even considered.
+    const auto stop = select_presentations({big, small}, 100.0);
+    EXPECT_EQ(stop.levels[0], 1u);
+    EXPECT_EQ(stop.levels[1], 0u);
+    EXPECT_TRUE(stop.budget_exhausted);
+
+    mckp_options skip;
+    skip.skip_infeasible = true;
+    const auto cont = select_presentations({big, small}, 100.0, skip);
+    EXPECT_EQ(cont.levels[1], 2u); // the small upgrade is still taken
+    EXPECT_GE(cont.total_utility, stop.total_utility);
+}
+
+TEST(mckp, never_takes_negative_gradient_upgrades) {
+    // Lyapunov-adjusted utilities can decrease with level; such upgrades
+    // must never be taken even with infinite budget.
+    mckp_item item;
+    item.sizes = {10, 20};
+    item.utilities = {0.5, 0.1};
+    const auto solution = select_presentations({item}, 1e9);
+    EXPECT_EQ(solution.levels[0], 1u);
+    EXPECT_DOUBLE_EQ(solution.total_utility, 0.5);
+}
+
+TEST(mckp, items_with_nonpositive_first_utility_stay_unsent) {
+    mckp_item bad;
+    bad.sizes = {10};
+    bad.utilities = {-0.5};
+    mckp_item good;
+    good.sizes = {10};
+    good.utilities = {0.5};
+    const auto solution = select_presentations({bad, good}, 1e9);
+    EXPECT_EQ(solution.levels[0], 0u);
+    EXPECT_EQ(solution.levels[1], 1u);
+}
+
+TEST(mckp, fractional_bound_dominates_integral_value) {
+    rng gen(7);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<mckp_item> items;
+        const int n = 1 + static_cast<int>(gen.index(8));
+        for (int i = 0; i < n; ++i) items.push_back(simple_item(gen.uniform(0.1, 1.0)));
+        const double budget = gen.uniform(0, 1500);
+        const auto solution = select_presentations(items, budget);
+        EXPECT_GE(solution.fractional_bound, solution.total_utility - 1e-12);
+    }
+}
+
+/// On concave menus the greedy is within the last skipped upgrade of the
+/// exact optimum; verify against the DP oracle on random small instances.
+TEST(mckp, greedy_is_near_exact_on_concave_instances) {
+    rng gen(11);
+    for (int trial = 0; trial < 40; ++trial) {
+        std::vector<mckp_item> items;
+        const int n = 2 + static_cast<int>(gen.index(5));
+        for (int i = 0; i < n; ++i) items.push_back(simple_item(gen.uniform(0.1, 1.0)));
+        const double budget = gen.uniform(100, 1200);
+        mckp_options skip;
+        skip.skip_infeasible = true;
+        const auto greedy = select_presentations(items, budget, skip);
+        const auto exact = mckp_exact(items, budget, 1.0);
+        EXPECT_LE(exact.total_size, budget + 1e-9);
+        EXPECT_LE(greedy.total_utility, exact.total_utility + 1e-9);
+        // §IV: the gap is at most the utility of one presentation upgrade —
+        // bounded here by the largest per-item utility (0.75 * U_c <= 0.75).
+        EXPECT_GE(greedy.total_utility, exact.total_utility - 0.75);
+    }
+}
+
+TEST(mckp_exact_dp, solves_a_known_instance_optimally) {
+    // Item A: levels (size 4, util 3) / (size 7, util 5).
+    // Item B: levels (size 5, util 4).
+    // Budget 9: best is A@1 + B@1 = 7 utility (size 9).
+    mckp_item a;
+    a.sizes = {4, 7};
+    a.utilities = {3, 5};
+    mckp_item b;
+    b.sizes = {5};
+    b.utilities = {4};
+    const auto solution = mckp_exact({a, b}, 9.0, 1.0);
+    EXPECT_DOUBLE_EQ(solution.total_utility, 7.0);
+    EXPECT_EQ(solution.levels[0], 1u);
+    EXPECT_EQ(solution.levels[1], 1u);
+}
+
+TEST(mckp_exact_dp, beats_or_matches_greedy_on_non_concave_menus) {
+    // Non-concave utilities where greedy's myopia can cost it.
+    rng gen(13);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<mckp_item> items;
+        const int n = 2 + static_cast<int>(gen.index(4));
+        for (int i = 0; i < n; ++i) {
+            mckp_item item;
+            double size = 0;
+            double util = 0;
+            const int levels = 1 + static_cast<int>(gen.index(4));
+            for (int j = 0; j < levels; ++j) {
+                size += 1.0 + std::floor(gen.uniform(1, 20));
+                util += gen.uniform(0.01, 1.0);
+                item.sizes.push_back(size);
+                item.utilities.push_back(util);
+            }
+            items.push_back(std::move(item));
+        }
+        const double budget = std::floor(gen.uniform(5, 60));
+        mckp_options skip;
+        skip.skip_infeasible = true;
+        const auto greedy = select_presentations(items, budget, skip);
+        const auto exact = mckp_exact(items, budget, 1.0);
+        EXPECT_GE(exact.total_utility, greedy.total_utility - 1e-9);
+    }
+}
+
+TEST(mckp, make_mckp_item_applies_equation_1) {
+    using richnote::core::make_mckp_item;
+    using richnote::core::presentation;
+    using richnote::core::presentation_set;
+    const presentation_set set({presentation{"meta", 200, 0.01, 0},
+                                presentation{"meta+5s", 100'200, 0.26, 5}});
+    const auto item = make_mckp_item(set, 0.5);
+    ASSERT_EQ(item.level_count(), 2u);
+    EXPECT_DOUBLE_EQ(item.sizes[0], 200.0);
+    EXPECT_DOUBLE_EQ(item.utilities[0], 0.5 * 0.01);
+    EXPECT_DOUBLE_EQ(item.utilities[1], 0.5 * 0.26);
+}
+
+TEST(mckp, rejects_malformed_items) {
+    mckp_item bad;
+    bad.sizes = {10, 5}; // not increasing
+    bad.utilities = {0.1, 0.2};
+    EXPECT_THROW(select_presentations({bad}, 100.0), richnote::precondition_error);
+    mckp_item mismatch;
+    mismatch.sizes = {10};
+    mismatch.utilities = {0.1, 0.2};
+    EXPECT_THROW(select_presentations({mismatch}, 100.0), richnote::precondition_error);
+    EXPECT_THROW(select_presentations({simple_item()}, -1.0), richnote::precondition_error);
+    EXPECT_THROW(mckp_exact({simple_item()}, 10.0, 0.0), richnote::precondition_error);
+}
+
+/// The paper's complexity claim: runtime scales near O(n + k log n). We
+/// cannot time reliably in a unit test, but we can check the upgrade count
+/// is exactly bounded by the total number of levels.
+TEST(mckp, upgrade_count_is_bounded_by_total_levels) {
+    std::vector<mckp_item> items(100, simple_item());
+    const auto solution = select_presentations(items, 1e12);
+    EXPECT_EQ(solution.upgrades, 400u);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/mckp.hpp"
+
+namespace {
+
+using richnote::rng;
+using richnote::core::mckp_exact_2d;
+using richnote::core::mckp_item_2d;
+using richnote::core::mckp_options;
+using richnote::core::select_presentations_2d;
+
+mckp_item_2d audio_item_2d(double content_utility) {
+    // Six-level audio menu with energy proportional to size plus a fixed
+    // overhead share, like the scheduler builds.
+    mckp_item_2d item;
+    const std::vector<double> sizes = {200,     100'200, 200'200,
+                                       400'200, 600'200, 800'200};
+    for (double s : sizes) {
+        item.sizes.push_back(s);
+        item.energies.push_back(2.0 + 0.025 * s / 1024.0);
+    }
+    item.utilities = {0.01, 0.26, 0.50, 0.74, 0.89, 1.0};
+    for (auto& u : item.utilities) u *= content_utility;
+    return item;
+}
+
+TEST(mckp_2d, generous_budgets_select_max_levels) {
+    const auto solution =
+        select_presentations_2d({audio_item_2d(0.5), audio_item_2d(1.0)}, 1e9, 1e9);
+    EXPECT_EQ(solution.levels[0], 6u);
+    EXPECT_EQ(solution.levels[1], 6u);
+    EXPECT_FALSE(solution.budget_exhausted);
+}
+
+TEST(mckp_2d, zero_budgets_select_nothing) {
+    const auto solution = select_presentations_2d({audio_item_2d(1.0)}, 0.0, 0.0);
+    EXPECT_EQ(solution.levels[0], 0u);
+}
+
+TEST(mckp_2d, data_budget_binds_like_1d) {
+    // With unlimited energy, the 2d solver must respect the data budget.
+    rng gen(3);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<mckp_item_2d> items;
+        for (int i = 0; i < 8; ++i) items.push_back(audio_item_2d(gen.uniform(0.1, 1.0)));
+        const double budget = gen.uniform(1e5, 3e6);
+        const auto solution = select_presentations_2d(items, budget, 1e12);
+        EXPECT_LE(solution.total_size, budget + 1e-6);
+    }
+}
+
+TEST(mckp_2d, energy_budget_binds) {
+    // Unlimited data, tight energy: total energy of the selection must fit.
+    rng gen(5);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<mckp_item_2d> items;
+        for (int i = 0; i < 8; ++i) items.push_back(audio_item_2d(gen.uniform(0.1, 1.0)));
+        const double energy_budget = gen.uniform(5.0, 60.0);
+        const auto solution = select_presentations_2d(items, 1e12, energy_budget);
+        double total_energy = 0.0;
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (solution.levels[i] > 0)
+                total_energy += items[i].energies[solution.levels[i] - 1];
+        }
+        EXPECT_LE(total_energy, energy_budget + 1e-9);
+    }
+}
+
+TEST(mckp_2d, scarcer_resource_dominates_ranking) {
+    // Two items: equal utility, one cheap in energy but big in bytes, the
+    // other the reverse. With energy scarce, the energy-cheap item must win.
+    mckp_item_2d byte_heavy;
+    byte_heavy.sizes = {1000.0};
+    byte_heavy.energies = {1.0};
+    byte_heavy.utilities = {0.5};
+    mckp_item_2d energy_heavy;
+    energy_heavy.sizes = {10.0};
+    energy_heavy.energies = {100.0};
+    energy_heavy.utilities = {0.5};
+    // Budgets: bytes plentiful (1e6), energy only 50 (fits byte_heavy only).
+    const auto solution =
+        select_presentations_2d({byte_heavy, energy_heavy}, 1e6, 50.0);
+    EXPECT_EQ(solution.levels[0], 1u);
+    EXPECT_EQ(solution.levels[1], 0u);
+}
+
+TEST(mckp_2d, skip_infeasible_keeps_searching) {
+    mckp_item_2d big;
+    big.sizes = {1000.0};
+    big.energies = {0.0};
+    big.utilities = {10.0};
+    mckp_item_2d small;
+    small.sizes = {10.0};
+    small.energies = {0.0};
+    small.utilities = {0.01};
+    const auto stop = select_presentations_2d({big, small}, 100.0, 1e9);
+    EXPECT_EQ(stop.upgrades, 0u); // big tops the heap, does not fit, stop
+    mckp_options skip;
+    skip.skip_infeasible = true;
+    const auto cont = select_presentations_2d({big, small}, 100.0, 1e9, skip);
+    EXPECT_EQ(cont.levels[1], 1u);
+}
+
+TEST(mckp_2d, greedy_close_to_exact_dp) {
+    rng gen(7);
+    for (int trial = 0; trial < 25; ++trial) {
+        std::vector<mckp_item_2d> items;
+        const int n = 2 + static_cast<int>(gen.index(4));
+        for (int i = 0; i < n; ++i) items.push_back(audio_item_2d(gen.uniform(0.2, 1.0)));
+        const double data_budget = gen.uniform(2e5, 2e6);
+        const double energy_budget = gen.uniform(10.0, 80.0);
+        mckp_options skip;
+        skip.skip_infeasible = true;
+        const auto greedy =
+            select_presentations_2d(items, data_budget, energy_budget, skip);
+        const auto exact =
+            mckp_exact_2d(items, data_budget, energy_budget, 25'000.0, 2.0);
+        // DP rounds weights up, so its value lower-bounds the continuous
+        // optimum; greedy must not be wildly below it.
+        EXPECT_GE(greedy.total_utility, exact.total_utility - 1.0);
+    }
+}
+
+TEST(mckp_2d_exact, solves_known_instance) {
+    mckp_item_2d a;
+    a.sizes = {4.0, 7.0};
+    a.energies = {1.0, 5.0};
+    a.utilities = {3.0, 5.0};
+    mckp_item_2d b;
+    b.sizes = {5.0};
+    b.energies = {2.0};
+    b.utilities = {4.0};
+    // Data budget 9, energy budget 3: a@1 (4,1) + b@1 (5,2) = utility 7.
+    const auto solution = mckp_exact_2d({a, b}, 9.0, 3.0, 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(solution.total_utility, 7.0);
+    EXPECT_EQ(solution.levels[0], 1u);
+    EXPECT_EQ(solution.levels[1], 1u);
+    // Tighter energy (2): only one of the two fits; best is b (utility 4).
+    const auto tight = mckp_exact_2d({a, b}, 9.0, 2.0, 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(tight.total_utility, 4.0);
+}
+
+TEST(mckp_2d, rejects_malformed_items) {
+    mckp_item_2d mismatch;
+    mismatch.sizes = {10.0};
+    mismatch.energies = {1.0, 2.0};
+    mismatch.utilities = {0.1};
+    EXPECT_THROW(select_presentations_2d({mismatch}, 10.0, 10.0),
+                 richnote::precondition_error);
+    mckp_item_2d decreasing_energy;
+    decreasing_energy.sizes = {10.0, 20.0};
+    decreasing_energy.energies = {5.0, 1.0};
+    decreasing_energy.utilities = {0.1, 0.2};
+    EXPECT_THROW(select_presentations_2d({decreasing_energy}, 10.0, 10.0),
+                 richnote::precondition_error);
+    EXPECT_THROW(select_presentations_2d({}, -1.0, 0.0), richnote::precondition_error);
+    EXPECT_THROW(mckp_exact_2d({}, 1.0, 1.0, 0.0, 1.0), richnote::precondition_error);
+}
+
+TEST(mckp_2d, zero_energy_budget_with_free_levels_still_works) {
+    mckp_item_2d free_energy;
+    free_energy.sizes = {10.0};
+    free_energy.energies = {0.0};
+    free_energy.utilities = {0.5};
+    const auto solution = select_presentations_2d({free_energy}, 100.0, 0.0);
+    EXPECT_EQ(solution.levels[0], 1u);
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace {
+
+using richnote::core::metrics_recorder;
+using richnote::core::planned_delivery;
+using richnote::trace::notification;
+
+notification make_note(std::uint64_t id, richnote::trace::user_id user, bool clicked,
+                       double created_at = 0.0, double clicked_at = 1e9) {
+    notification n;
+    n.id = id;
+    n.recipient = user;
+    n.created_at = created_at;
+    n.attended = clicked;
+    n.clicked = clicked;
+    n.clicked_at = clicked_at;
+    return n;
+}
+
+planned_delivery make_delivery(const notification& n, richnote::core::level_t level,
+                               double size, double utility) {
+    planned_delivery d;
+    d.item_id = n.id;
+    d.level = level;
+    d.size_bytes = size;
+    d.utility = utility;
+    d.note = n;
+    return d;
+}
+
+TEST(metrics, arrivals_count_totals_and_clicks) {
+    metrics_recorder m(2, 6);
+    m.on_arrival(make_note(0, 0, true));
+    m.on_arrival(make_note(1, 0, false));
+    m.on_arrival(make_note(2, 1, true));
+    EXPECT_DOUBLE_EQ(m.total_arrived(), 3.0);
+    EXPECT_EQ(m.user(0).arrived, 2u);
+    EXPECT_EQ(m.user(0).clicked_total, 1u);
+    EXPECT_EQ(m.user(1).clicked_total, 1u);
+}
+
+TEST(metrics, delivery_ratio_and_bytes) {
+    metrics_recorder m(1, 6);
+    const auto n0 = make_note(0, 0, false);
+    const auto n1 = make_note(1, 0, false);
+    m.on_arrival(n0);
+    m.on_arrival(n1);
+    m.on_delivery(make_delivery(n0, 2, 1000.0, 0.3), 10.0, 5.0, true);
+    EXPECT_DOUBLE_EQ(m.delivery_ratio(), 0.5);
+    EXPECT_DOUBLE_EQ(m.total_bytes_delivered(), 1000.0);
+    EXPECT_DOUBLE_EQ(m.total_metered_bytes(), 1000.0);
+    EXPECT_DOUBLE_EQ(m.total_utility(), 0.3);
+    EXPECT_DOUBLE_EQ(m.total_energy_joules(), 5.0);
+}
+
+TEST(metrics, unmetered_bytes_are_separated) {
+    metrics_recorder m(1, 6);
+    const auto n = make_note(0, 0, false);
+    m.on_arrival(n);
+    m.on_delivery(make_delivery(n, 1, 500.0, 0.1), 1.0, 1.0, false);
+    EXPECT_DOUBLE_EQ(m.total_bytes_delivered(), 500.0);
+    EXPECT_DOUBLE_EQ(m.total_metered_bytes(), 0.0);
+}
+
+TEST(metrics, precision_requires_delivery_before_click) {
+    metrics_recorder m(1, 6);
+    const auto early = make_note(0, 0, true, 0.0, 100.0);
+    const auto late = make_note(1, 0, true, 0.0, 100.0);
+    m.on_arrival(early);
+    m.on_arrival(late);
+    m.on_delivery(make_delivery(early, 1, 10, 0.1), 50.0, 0.0, true);  // before click
+    m.on_delivery(make_delivery(late, 1, 10, 0.1), 200.0, 0.0, true);  // after click
+    EXPECT_DOUBLE_EQ(m.precision(), 0.5); // one of two deliveries before click
+    EXPECT_DOUBLE_EQ(m.recall(), 1.0);    // both clicked items delivered
+}
+
+TEST(metrics, recall_counts_clicked_deliveries_regardless_of_time) {
+    metrics_recorder m(1, 6);
+    const auto clicked = make_note(0, 0, true, 0.0, 10.0);
+    const auto unclicked = make_note(1, 0, false);
+    m.on_arrival(clicked);
+    m.on_arrival(unclicked);
+    m.on_delivery(make_delivery(clicked, 1, 10, 0.2), 50.0, 0.0, true); // after click
+    EXPECT_DOUBLE_EQ(m.recall(), 1.0);
+    EXPECT_DOUBLE_EQ(m.precision(), 0.0);
+    EXPECT_DOUBLE_EQ(m.total_utility_clicked(), 0.2);
+}
+
+TEST(metrics, queuing_delay_statistics) {
+    metrics_recorder m(1, 6);
+    const auto n0 = make_note(0, 0, false, 100.0);
+    const auto n1 = make_note(1, 0, false, 100.0);
+    m.on_arrival(n0);
+    m.on_arrival(n1);
+    m.on_delivery(make_delivery(n0, 1, 10, 0.1), 160.0, 0.0, true); // 60 s
+    m.on_delivery(make_delivery(n1, 1, 10, 0.1), 280.0, 0.0, true); // 180 s
+    EXPECT_DOUBLE_EQ(m.mean_queuing_delay_sec(), 120.0);
+}
+
+TEST(metrics, level_mix_fractions_sum_to_one) {
+    metrics_recorder m(1, 6);
+    std::vector<notification> notes;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        notes.push_back(make_note(i, 0, false));
+        m.on_arrival(notes.back());
+    }
+    m.on_delivery(make_delivery(notes[0], 1, 10, 0.1), 1.0, 0.0, true);
+    m.on_delivery(make_delivery(notes[1], 6, 10, 0.1), 1.0, 0.0, true);
+    m.on_delivery(make_delivery(notes[2], 6, 10, 0.1), 1.0, 0.0, true);
+    const auto mix = m.level_mix();
+    ASSERT_EQ(mix.size(), 7u);
+    EXPECT_DOUBLE_EQ(mix[0], 0.25); // one undelivered
+    EXPECT_DOUBLE_EQ(mix[1], 0.25);
+    EXPECT_DOUBLE_EQ(mix[6], 0.5);
+    double total = 0;
+    for (double f : mix) total += f;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(metrics, session_overhead_adds_energy_only) {
+    metrics_recorder m(1, 6);
+    m.on_session_overhead(0, 12.5);
+    EXPECT_DOUBLE_EQ(m.total_energy_joules(), 12.5);
+    EXPECT_DOUBLE_EQ(m.total_bytes_delivered(), 0.0);
+}
+
+TEST(metrics, user_categories_bucket_by_arrivals) {
+    metrics_recorder m(4, 6);
+    // Users 0..3 receive 1, 1, 3, 5 arrivals respectively.
+    std::uint64_t id = 0;
+    const std::vector<int> arrivals = {1, 1, 3, 5};
+    for (richnote::trace::user_id u = 0; u < 4; ++u) {
+        for (int k = 0; k < arrivals[u]; ++k) {
+            const auto n = make_note(id++, u, false);
+            m.on_arrival(n);
+            m.on_delivery(make_delivery(n, 1, 10, 1.0), 1.0, 0.0, true);
+        }
+    }
+    const auto rows = m.utility_by_user_category({1, 3});
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].users, 2u); // <=1 arrival
+    EXPECT_EQ(rows[1].users, 1u); // 2..3
+    EXPECT_EQ(rows[2].users, 1u); // >3
+    EXPECT_DOUBLE_EQ(rows[0].mean_utility, 1.0);
+    EXPECT_DOUBLE_EQ(rows[2].mean_utility, 5.0);
+    EXPECT_EQ(rows[2].label, ">3");
+}
+
+TEST(metrics, average_utility_per_delivery) {
+    metrics_recorder m(1, 6);
+    const auto n0 = make_note(0, 0, false);
+    const auto n1 = make_note(1, 0, false);
+    m.on_arrival(n0);
+    m.on_arrival(n1);
+    m.on_delivery(make_delivery(n0, 1, 10, 0.2), 1.0, 0.0, true);
+    m.on_delivery(make_delivery(n1, 1, 10, 0.6), 1.0, 0.0, true);
+    EXPECT_DOUBLE_EQ(m.average_utility_per_delivery(), 0.4);
+}
+
+TEST(metrics, empty_recorder_returns_zeroes) {
+    metrics_recorder m(2, 6);
+    EXPECT_DOUBLE_EQ(m.delivery_ratio(), 0.0);
+    EXPECT_DOUBLE_EQ(m.precision(), 0.0);
+    EXPECT_DOUBLE_EQ(m.recall(), 0.0);
+    EXPECT_DOUBLE_EQ(m.mean_queuing_delay_sec(), 0.0);
+    EXPECT_DOUBLE_EQ(m.average_utility_per_delivery(), 0.0);
+}
+
+TEST(metrics, rejects_bad_construction_and_ranges) {
+    EXPECT_THROW(metrics_recorder(0, 6), richnote::precondition_error);
+    EXPECT_THROW(metrics_recorder(1, 0), richnote::precondition_error);
+    metrics_recorder m(1, 6);
+    EXPECT_THROW(m.on_arrival(make_note(0, 5, false)), richnote::precondition_error);
+    const auto n = make_note(0, 0, false);
+    EXPECT_THROW(m.on_delivery(make_delivery(n, 7, 10, 0.1), 1.0, 0.0, true),
+                 richnote::precondition_error);
+    EXPECT_THROW(m.utility_by_user_category({}), richnote::precondition_error);
+    EXPECT_THROW(m.utility_by_user_category({5, 2}), richnote::precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,414 @@
+// Parameterized property suites over the scheduler implementations:
+// invariants that must hold for EVERY policy at EVERY budget, plus the
+// direct (Eq. 2) scheduler and the precision-knob behaviours.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/presentation.hpp"
+#include "core/scheduler.hpp"
+#include "energy/model.hpp"
+
+namespace {
+
+using richnote::core::audio_preview_generator;
+using richnote::core::direct_scheduler;
+using richnote::core::fifo_scheduler;
+using richnote::core::planned_delivery;
+using richnote::core::richnote_scheduler;
+using richnote::core::round_context;
+using richnote::core::sched_item;
+using richnote::core::scheduler;
+using richnote::core::util_scheduler;
+using richnote::sim::net_state;
+
+const richnote::energy::energy_model g_energy;
+
+sched_item make_item(std::uint64_t id, double content_utility) {
+    static const audio_preview_generator generator{audio_preview_generator::params{}};
+    sched_item item;
+    item.note.id = id;
+    item.note.recipient = 0;
+    item.content_utility = content_utility;
+    item.presentations = generator.generate(276.0);
+    return item;
+}
+
+round_context cell_ctx(double budget) {
+    round_context ctx;
+    ctx.data_budget_bytes = budget;
+    ctx.network = net_state::cell;
+    ctx.metered = true;
+    ctx.link_capacity_bytes = 1e12;
+    ctx.energy_replenishment = 3000.0;
+    return ctx;
+}
+
+enum class policy { richnote, fifo, util, direct };
+
+std::unique_ptr<scheduler> make_scheduler(policy p) {
+    switch (p) {
+        case policy::richnote:
+            return std::make_unique<richnote_scheduler>(richnote_scheduler::params{},
+                                                        g_energy);
+        case policy::fifo: return std::make_unique<fifo_scheduler>(3, g_energy);
+        case policy::util: return std::make_unique<util_scheduler>(3, g_energy);
+        case policy::direct:
+            return std::make_unique<direct_scheduler>(direct_scheduler::params{},
+                                                      g_energy);
+    }
+    return nullptr;
+}
+
+const char* policy_name(policy p) {
+    switch (p) {
+        case policy::richnote: return "richnote";
+        case policy::fifo: return "fifo";
+        case policy::util: return "util";
+        case policy::direct: return "direct";
+    }
+    return "?";
+}
+
+/// (policy, budget bytes) sweep.
+class scheduler_plan_properties
+    : public ::testing::TestWithParam<std::tuple<policy, double>> {};
+
+TEST_P(scheduler_plan_properties, plan_invariants_hold) {
+    const auto [p, budget] = GetParam();
+    auto sched = make_scheduler(p);
+    richnote::rng gen(42);
+    for (std::uint64_t id = 0; id < 30; ++id)
+        sched->enqueue(make_item(id, gen.uniform(0.05, 1.0)));
+
+    const auto plan = sched->plan(cell_ctx(budget));
+
+    double total_bytes = 0.0;
+    std::set<std::uint64_t> ids;
+    for (const planned_delivery& d : plan) {
+        // Level 1..6, size matches the generated menu, positive true
+        // utility, non-negative energy estimate.
+        EXPECT_GE(d.level, 1u);
+        EXPECT_LE(d.level, 6u);
+        EXPECT_GT(d.size_bytes, 0.0);
+        EXPECT_GT(d.utility, 0.0);
+        EXPECT_GE(d.rho_joules, 0.0);
+        EXPECT_GT(d.item_total_size, 0.0);
+        total_bytes += d.size_bytes;
+        EXPECT_TRUE(ids.insert(d.item_id).second) << "duplicate item in plan";
+    }
+    EXPECT_LE(total_bytes, budget + 1e-6)
+        << policy_name(p) << " plan exceeds the data budget";
+    // Planning must not mutate the queue.
+    EXPECT_EQ(sched->queue_size(), 30u);
+}
+
+TEST_P(scheduler_plan_properties, delivering_the_whole_plan_empties_its_items) {
+    const auto [p, budget] = GetParam();
+    auto sched = make_scheduler(p);
+    richnote::rng gen(7);
+    for (std::uint64_t id = 0; id < 20; ++id)
+        sched->enqueue(make_item(id, gen.uniform(0.05, 1.0)));
+    const auto plan = sched->plan(cell_ctx(budget));
+    for (const auto& d : plan) sched->on_delivered(d.item_id, d.rho_joules);
+    EXPECT_EQ(sched->queue_size(), 20u - plan.size());
+}
+
+TEST_P(scheduler_plan_properties, bigger_budget_never_plans_fewer_bytes) {
+    const auto [p, budget] = GetParam();
+    auto a = make_scheduler(p);
+    auto b = make_scheduler(p);
+    richnote::rng gen(11);
+    for (std::uint64_t id = 0; id < 25; ++id) {
+        const double u = gen.uniform(0.05, 1.0);
+        a->enqueue(make_item(id, u));
+        b->enqueue(make_item(id, u));
+    }
+    auto bytes_of = [](const std::vector<planned_delivery>& plan) {
+        double total = 0;
+        for (const auto& d : plan) total += d.size_bytes;
+        return total;
+    };
+    const double small = bytes_of(a->plan(cell_ctx(budget)));
+    const double large = bytes_of(b->plan(cell_ctx(budget * 2.0)));
+    EXPECT_GE(large, small - 1e-6) << policy_name(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    policies_and_budgets, scheduler_plan_properties,
+    ::testing::Combine(::testing::Values(policy::richnote, policy::fifo, policy::util,
+                                         policy::direct),
+                       ::testing::Values(5e4, 5e5, 5e6, 5e7)),
+    [](const ::testing::TestParamInfo<std::tuple<policy, double>>& info) {
+        return std::string(policy_name(std::get<0>(info.param))) + "_budget" +
+               std::to_string(static_cast<long long>(std::get<1>(info.param)));
+    });
+
+// ------------------------------------------------------------- direct ----
+
+TEST(direct_scheduler_test, slack_energy_matches_richnote_selection) {
+    // With energy slack and per-item energy proportional to size (huge
+    // batch amortization removes the fixed overhead share), both designs
+    // reduce to the same utility-per-byte greedy: identical level choices.
+    direct_scheduler::params dp;
+    dp.expected_batch_items = 1e9;
+    direct_scheduler direct(dp, g_energy);
+    richnote_scheduler::params rp;
+    rp.expected_batch_items = 1e9;
+    richnote_scheduler lyapunov(rp, g_energy);
+
+    richnote::rng gen(3);
+    for (std::uint64_t id = 0; id < 15; ++id) {
+        const double u = gen.uniform(0.05, 1.0);
+        direct.enqueue(make_item(id, u));
+        lyapunov.enqueue(make_item(id, u));
+    }
+    const auto pd = direct.plan(cell_ctx(1e6));
+    const auto pl = lyapunov.plan(cell_ctx(1e6));
+    ASSERT_EQ(pd.size(), pl.size());
+    for (std::size_t i = 0; i < pd.size(); ++i) {
+        EXPECT_EQ(pd[i].item_id, pl[i].item_id);
+        EXPECT_EQ(pd[i].level, pl[i].level);
+    }
+}
+
+TEST(direct_scheduler_test, energy_budget_caps_selection) {
+    direct_scheduler::params p;
+    p.kappa_joules_per_round = 5.0; // ~ one metadata + small preview
+    p.energy_accrual_rounds = 1.0;
+    direct_scheduler sched(p, g_energy);
+    for (std::uint64_t id = 0; id < 10; ++id) sched.enqueue(make_item(id, 0.9));
+    const auto plan = sched.plan(cell_ctx(1e9));
+    double rho_total = 0;
+    for (const auto& d : plan) rho_total += d.rho_joules;
+    EXPECT_LE(rho_total, 5.0 + 1e-9);
+}
+
+TEST(direct_scheduler_test, credit_accrues_and_is_spent) {
+    direct_scheduler::params p;
+    p.kappa_joules_per_round = 10.0;
+    p.energy_accrual_rounds = 3.0;
+    direct_scheduler sched(p, g_energy);
+    // Three empty rounds bank credit up to the cap.
+    for (int r = 0; r < 5; ++r) (void)sched.plan(cell_ctx(1e6));
+    EXPECT_DOUBLE_EQ(sched.energy_credit(), 30.0);
+    sched.enqueue(make_item(1, 0.9));
+    const auto plan = sched.plan(cell_ctx(1e9));
+    ASSERT_FALSE(plan.empty());
+    EXPECT_TRUE(sched.allow_delivery(plan[0].rho_joules));
+    sched.on_delivered(plan[0].item_id, plan[0].rho_joules);
+    EXPECT_LT(sched.energy_credit(), 30.0);
+}
+
+TEST(direct_scheduler_test, session_overhead_charges_credit) {
+    direct_scheduler::params p;
+    p.kappa_joules_per_round = 10.0;
+    direct_scheduler sched(p, g_energy);
+    const double before = sched.energy_credit();
+    sched.on_session_overhead(4.0);
+    EXPECT_DOUBLE_EQ(sched.energy_credit(), before - 4.0);
+}
+
+TEST(direct_scheduler_test, rejects_bad_params) {
+    direct_scheduler::params p;
+    p.kappa_joules_per_round = -1.0;
+    EXPECT_THROW(direct_scheduler(p, g_energy), richnote::precondition_error);
+    p = direct_scheduler::params{};
+    p.energy_accrual_rounds = 0.5;
+    EXPECT_THROW(direct_scheduler(p, g_energy), richnote::precondition_error);
+}
+
+// ----------------------------------------------------- precision knob ----
+
+TEST(precision_knob, declines_low_utility_items_at_enqueue) {
+    richnote_scheduler::params p;
+    p.min_content_utility = 0.5;
+    richnote_scheduler sched(p, g_energy);
+    sched.enqueue(make_item(1, 0.4)); // declined
+    sched.enqueue(make_item(2, 0.6)); // accepted
+    sched.enqueue(make_item(3, 0.5)); // boundary: accepted (>=)
+    EXPECT_EQ(sched.queue_size(), 2u);
+    EXPECT_EQ(sched.dropped_low_utility(), 1u);
+    // The declined item never appears in a plan.
+    for (const auto& d : sched.plan(cell_ctx(1e9))) EXPECT_NE(d.item_id, 1u);
+}
+
+TEST(precision_knob, zero_threshold_accepts_everything) {
+    richnote_scheduler::params p;
+    richnote_scheduler sched(p, g_energy);
+    sched.enqueue(make_item(1, 0.0));
+    EXPECT_EQ(sched.queue_size(), 1u);
+    EXPECT_EQ(sched.dropped_low_utility(), 0u);
+}
+
+TEST(precision_knob, declined_items_do_not_touch_the_lyapunov_queue) {
+    richnote_scheduler::params p;
+    p.min_content_utility = 0.9;
+    richnote_scheduler sched(p, g_energy);
+    sched.enqueue(make_item(1, 0.1));
+    EXPECT_DOUBLE_EQ(sched.controller().queue_backlog(), 0.0);
+}
+
+// ------------------------------------------------------------- aging ----
+
+sched_item make_item_at(std::uint64_t id, double content_utility, double arrived_at) {
+    sched_item item = make_item(id, content_utility);
+    item.note.created_at = arrived_at;
+    item.arrived_at = arrived_at;
+    return item;
+}
+
+TEST(aging, delivered_utility_halves_after_one_half_life) {
+    richnote_scheduler::params p;
+    p.utility_half_life_sec = 3600.0;
+    richnote_scheduler sched(p, g_energy);
+    sched.enqueue(make_item_at(1, 0.8, 0.0));
+
+    round_context ctx = cell_ctx(1e9);
+    ctx.now = 3600.0; // exactly one half-life after arrival
+    const auto plan = sched.plan(ctx);
+    ASSERT_EQ(plan.size(), 1u);
+    // Level 6 presentation utility is 1.0, so U = aged U_c = 0.4.
+    EXPECT_EQ(plan[0].level, 6u);
+    EXPECT_NEAR(plan[0].utility, 0.4, 1e-9);
+}
+
+TEST(aging, zero_half_life_disables_decay) {
+    richnote_scheduler::params p; // default: aging off
+    richnote_scheduler sched(p, g_energy);
+    sched.enqueue(make_item_at(1, 0.8, 0.0));
+    round_context ctx = cell_ctx(1e9);
+    ctx.now = 1e6;
+    const auto plan = sched.plan(ctx);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_NEAR(plan[0].utility, 0.8, 1e-9);
+}
+
+TEST(aging, stale_items_lose_upgrade_priority_to_fresh_ones) {
+    richnote_scheduler::params p;
+    p.utility_half_life_sec = 1800.0;
+    richnote_scheduler sched(p, g_energy);
+    // Stale strong item vs fresh weaker item: after two half-lives the
+    // stale one's effective utility (0.9 -> 0.225) trails the fresh 0.5.
+    sched.enqueue(make_item_at(1, 0.9, 0.0));
+    sched.enqueue(make_item_at(2, 0.5, 3600.0));
+
+    round_context ctx = cell_ctx(101'000.0); // metas + one 5 s upgrade
+    ctx.now = 3600.0;
+    const auto plan = sched.plan(ctx);
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_EQ(plan[0].item_id, 2u); // fresh item leads the plan
+    EXPECT_GT(plan[0].level, plan[1].level); // ... and got the upgrade
+}
+
+// ------------------------------------------------------------- expiry ----
+
+TEST(expiry, old_items_are_dropped_at_plan_time) {
+    richnote_scheduler::params p;
+    p.max_queue_age_sec = 3600.0;
+    richnote_scheduler sched(p, g_energy);
+    sched.enqueue(make_item_at(1, 0.5, 0.0));      // will be 2 h old
+    sched.enqueue(make_item_at(2, 0.5, 6000.0));   // fresh enough
+    round_context ctx = cell_ctx(1e9);
+    ctx.now = 7200.0;
+    const auto plan = sched.plan(ctx);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].item_id, 2u);
+    EXPECT_EQ(sched.expired_items(), 1u);
+    EXPECT_EQ(sched.queue_size(), 1u);
+}
+
+TEST(expiry, disabled_by_default) {
+    richnote_scheduler sched(richnote_scheduler::params{}, g_energy);
+    sched.enqueue(make_item_at(1, 0.5, 0.0));
+    round_context ctx = cell_ctx(1e9);
+    ctx.now = 1e9;
+    EXPECT_EQ(sched.plan(ctx).size(), 1u);
+    EXPECT_EQ(sched.expired_items(), 0u);
+}
+
+TEST(expiry, updates_the_lyapunov_backlog) {
+    richnote_scheduler::params p;
+    p.max_queue_age_sec = 10.0;
+    richnote_scheduler sched(p, g_energy);
+    sched.enqueue(make_item_at(1, 0.5, 0.0));
+    EXPECT_GT(sched.controller().queue_backlog(), 0.0);
+    round_context ctx = cell_ctx(1e9);
+    ctx.now = 100.0;
+    (void)sched.plan(ctx);
+    EXPECT_DOUBLE_EQ(sched.controller().queue_backlog(), 0.0);
+    EXPECT_DOUBLE_EQ(sched.queue_bytes(), 0.0);
+}
+
+TEST(expiry, base_helper_expires_in_any_scheduler) {
+    fifo_scheduler sched(3, g_energy);
+    sched.enqueue(make_item_at(1, 0.5, 0.0));
+    sched.enqueue(make_item_at(2, 0.5, 50.0));
+    sched.enqueue(make_item_at(3, 0.5, 100.0));
+    EXPECT_EQ(sched.expire_older_than(60.0), 2u);
+    EXPECT_EQ(sched.queue_size(), 1u);
+    const auto plan = sched.plan(cell_ctx(1e9));
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].item_id, 3u);
+}
+
+// ------------------------------------------------------ wifi deferral ----
+
+TEST(wifi_deferral, withholds_high_value_items_on_metered_links) {
+    richnote_scheduler::params p;
+    p.wifi_deferral_min_utility = 0.5;
+    p.wifi_deferral_max_wait_sec = 2.0 * 3600.0;
+    richnote_scheduler sched(p, g_energy);
+    sched.enqueue(make_item_at(1, 0.9, 0.0)); // deferred
+    sched.enqueue(make_item_at(2, 0.2, 0.0)); // below threshold: flows
+
+    round_context cell = cell_ctx(1e9);
+    cell.now = 0.0;
+    const auto plan = sched.plan(cell);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].item_id, 2u);
+    EXPECT_EQ(sched.queue_size(), 2u); // the deferred item stays queued
+    EXPECT_GT(sched.deferred_item_rounds(), 0u);
+}
+
+TEST(wifi_deferral, deferred_items_ship_on_unmetered_links) {
+    richnote_scheduler::params p;
+    p.wifi_deferral_min_utility = 0.5;
+    richnote_scheduler sched(p, g_energy);
+    sched.enqueue(make_item_at(1, 0.9, 0.0));
+    round_context wifi = cell_ctx(100.0); // tiny metered budget, irrelevant
+    wifi.network = net_state::wifi;
+    wifi.metered = false;
+    wifi.link_capacity_bytes = 1e9;
+    const auto plan = sched.plan(wifi);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].item_id, 1u);
+    EXPECT_EQ(plan[0].level, 6u); // rich, and free
+}
+
+TEST(wifi_deferral, wait_budget_releases_items_back_to_cellular) {
+    richnote_scheduler::params p;
+    p.wifi_deferral_min_utility = 0.5;
+    p.wifi_deferral_max_wait_sec = 3600.0;
+    richnote_scheduler sched(p, g_energy);
+    sched.enqueue(make_item_at(1, 0.9, 0.0));
+    round_context cell = cell_ctx(1e9);
+    cell.now = 0.0;
+    EXPECT_TRUE(sched.plan(cell).empty()); // still waiting
+    cell.now = 3600.0;                     // wait budget exhausted
+    const auto plan = sched.plan(cell);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].item_id, 1u);
+}
+
+TEST(wifi_deferral, disabled_by_default) {
+    richnote_scheduler sched(richnote_scheduler::params{}, g_energy);
+    sched.enqueue(make_item_at(1, 0.99, 0.0));
+    EXPECT_EQ(sched.plan(cell_ctx(1e9)).size(), 1u);
+    EXPECT_EQ(sched.deferred_item_rounds(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+#include "core/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/experiment.hpp"
+
+namespace {
+
+using richnote::core::round_sample;
+using richnote::core::telemetry;
+
+round_sample sample_for(std::uint32_t user, std::uint64_t round, double q_bytes = 0.0) {
+    round_sample s;
+    s.user = user;
+    s.round = round;
+    s.queue_bytes = q_bytes;
+    return s;
+}
+
+TEST(telemetry_unit, disabled_by_default) {
+    const telemetry t;
+    EXPECT_FALSE(t.enabled());
+    EXPECT_FALSE(t.watches(0));
+}
+
+TEST(telemetry_unit, records_only_watched_users) {
+    telemetry t({3, 7});
+    EXPECT_TRUE(t.enabled());
+    EXPECT_TRUE(t.watches(3));
+    EXPECT_FALSE(t.watches(4));
+    t.record(sample_for(3, 0));
+    t.record(sample_for(4, 0)); // silently ignored
+    t.record(sample_for(7, 0));
+    t.record(sample_for(3, 1));
+    EXPECT_EQ(t.samples().size(), 3u);
+    EXPECT_EQ(t.of(3).size(), 2u);
+    EXPECT_EQ(t.of(7).size(), 1u);
+}
+
+TEST(telemetry_unit, duplicate_watch_list_entries_collapse) {
+    telemetry t({5, 5, 5});
+    t.record(sample_for(5, 0));
+    EXPECT_EQ(t.samples().size(), 1u);
+}
+
+TEST(telemetry_unit, of_unwatched_user_throws) {
+    telemetry t({1});
+    EXPECT_THROW(t.of(2), richnote::precondition_error);
+}
+
+TEST(telemetry_unit, max_queue_bytes) {
+    telemetry t({1});
+    t.record(sample_for(1, 0, 100.0));
+    t.record(sample_for(1, 1, 900.0));
+    t.record(sample_for(1, 2, 300.0));
+    EXPECT_DOUBLE_EQ(t.max_queue_bytes(1), 900.0);
+}
+
+TEST(telemetry_unit, csv_has_header_and_rows) {
+    telemetry t({2});
+    t.record(sample_for(2, 0, 42.0));
+    std::ostringstream os;
+    t.write_csv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("round,user,queue_items"), std::string::npos);
+    EXPECT_NE(out.find("0,2,"), std::string::npos);
+}
+
+// ----------------------------- experiment integration --------------------
+
+TEST(telemetry_experiment, samples_every_round_for_watched_users) {
+    richnote::core::experiment_setup::options opts;
+    opts.workload.user_count = 20;
+    opts.workload.catalog.artist_count = 40;
+    opts.workload.playlist_count = 8;
+    opts.forest.tree_count = 5;
+    opts.seed = 13;
+    const richnote::core::experiment_setup setup(opts);
+
+    richnote::core::experiment_params params;
+    params.kind = richnote::core::scheduler_kind::richnote;
+    params.weekly_budget_mb = 5.0;
+    params.telemetry_users = {0, 7};
+    params.seed = 3;
+    const auto r = run_experiment(setup, params);
+
+    ASSERT_TRUE(r.trajectories != nullptr);
+    ASSERT_TRUE(r.trajectories->enabled());
+    EXPECT_EQ(r.trajectories->of(0).size(), r.rounds_run);
+    EXPECT_EQ(r.trajectories->of(7).size(), r.rounds_run);
+
+    // P(t) stays within the gated band [0, kappa + e] and the delivered
+    // counter is monotone.
+    std::uint64_t previous_delivered = 0;
+    for (const auto& s : r.trajectories->of(0)) {
+        EXPECT_GE(s.energy_credit, 0.0);
+        EXPECT_LE(s.energy_credit, 2.0 * 3000.0 + 1e-9);
+        EXPECT_GE(s.battery_level, 0.0);
+        EXPECT_LE(s.battery_level, 1.0);
+        EXPECT_GE(s.delivered_so_far, previous_delivered);
+        previous_delivered = s.delivered_so_far;
+    }
+}
+
+TEST(telemetry_experiment, baselines_report_zero_energy_credit) {
+    richnote::core::experiment_setup::options opts;
+    opts.workload.user_count = 10;
+    opts.workload.catalog.artist_count = 30;
+    opts.workload.playlist_count = 5;
+    opts.workload.horizon = richnote::sim::days;
+    opts.forest.tree_count = 3;
+    const richnote::core::experiment_setup setup(opts);
+
+    richnote::core::experiment_params params;
+    params.kind = richnote::core::scheduler_kind::fifo;
+    params.weekly_budget_mb = 5.0;
+    params.telemetry_users = {1};
+    const auto r = run_experiment(setup, params);
+    for (const auto& s : r.trajectories->of(1)) EXPECT_DOUBLE_EQ(s.energy_credit, 0.0);
+}
+
+TEST(telemetry_experiment, disabled_when_no_users_requested) {
+    richnote::core::experiment_setup::options opts;
+    opts.workload.user_count = 10;
+    opts.workload.catalog.artist_count = 30;
+    opts.workload.playlist_count = 5;
+    opts.workload.horizon = richnote::sim::days;
+    opts.forest.tree_count = 3;
+    const richnote::core::experiment_setup setup(opts);
+    richnote::core::experiment_params params;
+    params.weekly_budget_mb = 5.0;
+    const auto r = run_experiment(setup, params);
+    ASSERT_TRUE(r.trajectories != nullptr);
+    EXPECT_FALSE(r.trajectories->enabled());
+    EXPECT_TRUE(r.trajectories->samples().empty());
+}
+
+} // namespace

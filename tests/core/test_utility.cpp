@@ -1,0 +1,118 @@
+#include "core/utility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using richnote::core::cached_content_utility;
+using richnote::core::combined_utility;
+using richnote::core::constant_content_utility;
+using richnote::core::forest_content_utility;
+using richnote::core::make_training_set;
+using richnote::core::oracle_content_utility;
+using richnote::core::train_content_utility;
+
+richnote::trace::workload_params tiny_world() {
+    richnote::trace::workload_params p;
+    p.user_count = 40;
+    p.catalog.artist_count = 60;
+    p.playlist_count = 10;
+    p.horizon = 3.0 * richnote::sim::days;
+    return p;
+}
+
+TEST(combined, equation_1_is_a_product) {
+    EXPECT_DOUBLE_EQ(combined_utility(0.5, 0.4), 0.2);
+    EXPECT_DOUBLE_EQ(combined_utility(0.0, 1.0), 0.0);
+}
+
+TEST(constant_model, returns_its_value_and_validates_range) {
+    const constant_content_utility model(0.7);
+    EXPECT_DOUBLE_EQ(model.content_utility({}), 0.7);
+    EXPECT_THROW(constant_content_utility{1.5}, richnote::precondition_error);
+    EXPECT_THROW(constant_content_utility{-0.1}, richnote::precondition_error);
+}
+
+TEST(training_set, filters_unattended_notifications) {
+    const richnote::trace::workload world(tiny_world(), 3);
+    const auto data = make_training_set(world.notifications());
+    // §V-A: "First we filter out notifications without corresponding mouse
+    // activity" — rows equal attended count, positives equal clicks.
+    EXPECT_EQ(data.size(), world.notifications().attended_count);
+    EXPECT_NEAR(data.positive_fraction() *
+                    static_cast<double>(world.notifications().attended_count),
+                static_cast<double>(world.notifications().clicked_count), 0.5);
+    EXPECT_EQ(data.feature_count(), richnote::trace::notification_features::dimension);
+}
+
+TEST(oracle_model, returns_latent_click_probability) {
+    const richnote::trace::workload world(tiny_world(), 5);
+    const oracle_content_utility oracle(world.clicks());
+    const auto& stream = world.notifications().per_user[0];
+    ASSERT_FALSE(stream.empty());
+    const auto& n = stream.front();
+    EXPECT_DOUBLE_EQ(oracle.content_utility(n),
+                     world.clicks().click_probability(n.recipient, n.features));
+}
+
+TEST(forest_model, utilities_are_probabilities) {
+    const richnote::trace::workload world(tiny_world(), 7);
+    richnote::ml::forest_params params;
+    params.tree_count = 10;
+    const auto model = train_content_utility(world.notifications(), params, 1);
+    for (const auto& stream : world.notifications().per_user) {
+        for (const auto& n : stream) {
+            const double u = model->content_utility(n);
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0);
+        }
+    }
+}
+
+TEST(forest_model, correlates_with_oracle) {
+    const richnote::trace::workload world(tiny_world(), 9);
+    richnote::ml::forest_params params;
+    params.tree_count = 20;
+    const auto learned = train_content_utility(world.notifications(), params, 2);
+    const oracle_content_utility oracle(world.clicks());
+
+    std::vector<double> predicted, truth;
+    for (const auto& stream : world.notifications().per_user) {
+        for (const auto& n : stream) {
+            predicted.push_back(learned->content_utility(n));
+            truth.push_back(oracle.content_utility(n));
+        }
+    }
+    EXPECT_GT(richnote::pearson(predicted, truth), 0.3);
+}
+
+TEST(forest_model, rejects_untrained_forest) {
+    EXPECT_THROW(forest_content_utility{nullptr}, richnote::precondition_error);
+    EXPECT_THROW(forest_content_utility{std::make_shared<richnote::ml::random_forest>()},
+                 richnote::precondition_error);
+}
+
+TEST(cached_model, matches_wrapped_model_for_every_notification) {
+    const richnote::trace::workload world(tiny_world(), 11);
+    const constant_content_utility base(0.42);
+    const cached_content_utility cached(world.notifications(), base);
+    EXPECT_EQ(cached.size(), world.notifications().total_count);
+    for (const auto& stream : world.notifications().per_user)
+        for (const auto& n : stream)
+            EXPECT_DOUBLE_EQ(cached.content_utility(n), 0.42);
+}
+
+TEST(cached_model, rejects_foreign_notifications) {
+    const richnote::trace::workload world(tiny_world(), 13);
+    const constant_content_utility base(0.5);
+    const cached_content_utility cached(world.notifications(), base);
+    richnote::trace::notification foreign;
+    foreign.id = world.notifications().total_count + 10;
+    EXPECT_THROW(cached.content_utility(foreign), richnote::precondition_error);
+}
+
+} // namespace

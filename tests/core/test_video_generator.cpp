@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/mckp.hpp"
+#include "core/presentation.hpp"
+
+namespace {
+
+using richnote::core::layered_video_generator;
+using richnote::core::level_t;
+
+layered_video_generator default_generator() {
+    return layered_video_generator(layered_video_generator::params{});
+}
+
+TEST(video_generator, produces_a_valid_presentation_set) {
+    const auto set = default_generator().generate(120.0);
+    ASSERT_GE(set.level_count(), 2u);
+    for (level_t j = 2; j <= set.level_count(); ++j) {
+        EXPECT_GT(set.size(j), set.size(j - 1));
+        EXPECT_GT(set.utility(j), set.utility(j - 1));
+    }
+}
+
+TEST(video_generator, first_level_is_metadata) {
+    const auto set = default_generator().generate(120.0);
+    EXPECT_EQ(set.at(1).label, "meta");
+    EXPECT_DOUBLE_EQ(set.size(1), 400.0);
+    EXPECT_DOUBLE_EQ(set.utility(1), 0.02);
+}
+
+TEST(video_generator, dominated_quality_duration_combos_are_pruned) {
+    // 4 durations x 3 layers + meta = 13 candidates; the Pareto frontier
+    // must be strictly smaller (high-bitrate short clips are dominated by
+    // low-bitrate longer ones at similar sizes).
+    const auto set = default_generator().generate(0.0);
+    EXPECT_LT(set.level_count(), 13u);
+}
+
+TEST(video_generator, clip_size_arithmetic) {
+    const auto gen = default_generator();
+    // 6 s at 1200 kbps = 6 * 1200 * 1000 / 8 = 900 KB + 400 B metadata.
+    EXPECT_DOUBLE_EQ(gen.clip_size_bytes(6.0, 1200.0), 400.0 + 900'000.0);
+}
+
+TEST(video_generator, utility_monotone_in_duration_and_quality) {
+    const auto gen = default_generator();
+    EXPECT_LT(gen.clip_utility(3.0, 0.75), gen.clip_utility(12.0, 0.75));
+    EXPECT_LT(gen.clip_utility(12.0, 0.45), gen.clip_utility(12.0, 1.0));
+    EXPECT_LE(gen.clip_utility(24.0, 1.0), 1.0);
+}
+
+TEST(video_generator, short_videos_clip_durations) {
+    const auto set = default_generator().generate(5.0);
+    for (level_t j = 1; j <= set.level_count(); ++j)
+        EXPECT_LE(set.at(j).preview_sec, 5.0);
+}
+
+TEST(video_generator, top_level_is_best_quality_longest_clip) {
+    const auto set = default_generator().generate(0.0);
+    const auto& top = set.at(static_cast<level_t>(set.level_count()));
+    EXPECT_EQ(top.label, "720p/24s");
+    EXPECT_DOUBLE_EQ(top.utility, 1.0);
+}
+
+TEST(video_generator, rejects_invalid_params) {
+    layered_video_generator::params p;
+    p.layers.clear();
+    EXPECT_THROW(layered_video_generator{p}, richnote::precondition_error);
+
+    p = layered_video_generator::params{};
+    p.layers[1].bitrate_kbps = p.layers[0].bitrate_kbps; // not increasing
+    EXPECT_THROW(layered_video_generator{p}, richnote::precondition_error);
+
+    p = layered_video_generator::params{};
+    p.layers[2].quality = 1.5;
+    EXPECT_THROW(layered_video_generator{p}, richnote::precondition_error);
+
+    p = layered_video_generator::params{};
+    p.clip_durations_sec = {-1.0};
+    EXPECT_THROW(layered_video_generator{p}, richnote::precondition_error);
+}
+
+TEST(video_generator, feeds_the_scheduler_like_any_generator) {
+    // The generator interface contract: the output drops straight into an
+    // mckp item and the greedy can select over it.
+    const auto set = default_generator().generate(60.0);
+    const auto item = richnote::core::make_mckp_item(set, 0.8);
+    const auto solution = richnote::core::select_presentations({item}, 1e9);
+    EXPECT_EQ(solution.levels[0], set.level_count());
+}
+
+} // namespace

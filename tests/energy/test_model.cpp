@@ -1,0 +1,123 @@
+#include "energy/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using richnote::energy::default_profile;
+using richnote::energy::energy_model;
+using richnote::energy::radio_profile;
+using richnote::sim::net_state;
+
+TEST(energy_profiles, imc09_structure) {
+    const auto cell = default_profile(net_state::cell);
+    EXPECT_GT(cell.ramp_joules, 0.0);
+    EXPECT_GT(cell.joules_per_kb, 0.0);
+    EXPECT_GT(cell.tail_joules, 0.0);
+    EXPECT_GT(cell.tail_window_sec, 0.0);
+
+    const auto wifi = default_profile(net_state::wifi);
+    // WiFi: cheaper per byte, negligible tail compared to 3G.
+    EXPECT_LT(wifi.joules_per_kb, cell.joules_per_kb);
+    EXPECT_LT(wifi.tail_joules, cell.tail_joules);
+
+    const auto off = default_profile(net_state::off);
+    EXPECT_DOUBLE_EQ(off.ramp_joules, 0.0);
+    EXPECT_DOUBLE_EQ(off.joules_per_kb, 0.0);
+}
+
+TEST(energy_model, isolated_transfer_decomposes) {
+    const energy_model model;
+    const auto p = default_profile(net_state::cell);
+    const double bytes = 1024.0 * 100.0; // 100 KB
+    EXPECT_DOUBLE_EQ(model.isolated_transfer_joules(net_state::cell, bytes),
+                     p.ramp_joules + 100.0 * p.joules_per_kb + p.tail_joules);
+}
+
+TEST(energy_model, off_and_empty_transfers_are_free) {
+    const energy_model model;
+    EXPECT_DOUBLE_EQ(model.isolated_transfer_joules(net_state::off, 1e6), 0.0);
+    EXPECT_DOUBLE_EQ(model.isolated_transfer_joules(net_state::cell, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(model.session_joules(net_state::cell, 1e6, 0), 0.0);
+    EXPECT_DOUBLE_EQ(model.estimate_rho(net_state::off, 1e6), 0.0);
+}
+
+TEST(energy_model, batching_amortizes_ramp_and_tail) {
+    // The point of back-to-back delivery: N items in one session cost one
+    // ramp + one tail, strictly less than N isolated transfers.
+    const energy_model model;
+    const double item_bytes = 200'000.0;
+    const double batched = model.session_joules(net_state::cell, 5 * item_bytes, 5);
+    const double isolated =
+        5.0 * model.isolated_transfer_joules(net_state::cell, item_bytes);
+    EXPECT_LT(batched, isolated);
+    // The per-byte part is identical; the saving is exactly 4 ramps+tails.
+    const auto p = default_profile(net_state::cell);
+    EXPECT_NEAR(isolated - batched, 4.0 * (p.ramp_joules + p.tail_joules), 1e-9);
+}
+
+TEST(energy_model, rho_estimate_is_marginal_plus_amortized_overhead) {
+    const energy_model model;
+    const auto p = default_profile(net_state::cell);
+    const double bytes = 102'400.0; // 100 KB
+    const double rho = model.estimate_rho(net_state::cell, bytes, 8.0);
+    EXPECT_DOUBLE_EQ(rho, (p.ramp_joules + p.tail_joules) / 8.0 + 100.0 * p.joules_per_kb);
+    // Larger expected batches shrink the overhead share.
+    EXPECT_LT(model.estimate_rho(net_state::cell, bytes, 100.0), rho);
+}
+
+TEST(energy_model, rho_is_monotone_in_bytes) {
+    const energy_model model;
+    double previous = 0.0;
+    for (double kb = 1; kb <= 1024; kb *= 2) {
+        const double rho = model.estimate_rho(net_state::cell, kb * 1024.0);
+        EXPECT_GT(rho, previous);
+        previous = rho;
+    }
+}
+
+TEST(energy_model, wifi_transfers_are_cheaper_at_scale) {
+    const energy_model model;
+    const double mb = 1024.0 * 1024.0;
+    EXPECT_LT(model.session_joules(net_state::wifi, 10 * mb, 10),
+              model.session_joules(net_state::cell, 10 * mb, 10));
+}
+
+TEST(energy_model, custom_profiles_are_honoured) {
+    radio_profile cheap_cell{1.0, 0.001, 2.0, 5.0};
+    radio_profile fast_wifi{0.5, 0.0001, 0.1, 0.5};
+    const energy_model model(cheap_cell, fast_wifi);
+    EXPECT_DOUBLE_EQ(model.profile(net_state::cell).ramp_joules, 1.0);
+    EXPECT_DOUBLE_EQ(model.profile(net_state::wifi).joules_per_kb, 0.0001);
+    EXPECT_DOUBLE_EQ(model.isolated_transfer_joules(net_state::cell, 1024.0),
+                     1.0 + 0.001 + 2.0);
+}
+
+/// Parameterized consistency sweep: for any byte size and batch size, the
+/// session cost must lie between the pure per-byte cost and the sum of
+/// isolated transfers.
+class energy_bounds
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(energy_bounds, session_cost_is_bracketed) {
+    const auto [item_bytes, batch] = GetParam();
+    const energy_model model;
+    for (net_state state : {net_state::cell, net_state::wifi}) {
+        const double total_bytes = item_bytes * static_cast<double>(batch);
+        const double session = model.session_joules(state, total_bytes, batch);
+        const double per_byte_only =
+            default_profile(state).joules_per_kb * total_bytes / 1024.0;
+        const double isolated_sum =
+            static_cast<double>(batch) * model.isolated_transfer_joules(state, item_bytes);
+        EXPECT_GE(session, per_byte_only);
+        EXPECT_LE(session, isolated_sum + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    sizes_and_batches, energy_bounds,
+    ::testing::Combine(::testing::Values(200.0, 20'000.0, 200'000.0, 2'000'000.0),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{32})));
+
+} // namespace

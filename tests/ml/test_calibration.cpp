@@ -1,0 +1,235 @@
+#include "ml/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/random_forest.hpp"
+
+namespace {
+
+using richnote::rng;
+using richnote::ml::brier_score;
+using richnote::ml::expected_calibration_error;
+using richnote::ml::log_loss;
+using richnote::ml::platt_calibrator;
+using richnote::ml::reliability_diagram;
+
+/// Scores whose true positive-rate is sigmoid(2*s - 1): a known
+/// mis-calibration the fitter must invert.
+void make_miscalibrated(int n, std::uint64_t seed, std::vector<double>& scores,
+                        std::vector<int>& labels) {
+    rng gen(seed);
+    for (int i = 0; i < n; ++i) {
+        const double s = gen.uniform();
+        const double p_true = 1.0 / (1.0 + std::exp(-(2.0 * s - 1.0)));
+        scores.push_back(s);
+        labels.push_back(gen.bernoulli(p_true) ? 1 : 0);
+    }
+}
+
+TEST(platt, recovers_the_latent_link_function) {
+    std::vector<double> scores;
+    std::vector<int> labels;
+    make_miscalibrated(20000, 3, scores, labels);
+    platt_calibrator cal;
+    cal.fit(scores, labels);
+    EXPECT_NEAR(cal.slope(), 2.0, 0.15);
+    EXPECT_NEAR(cal.intercept(), -1.0, 0.1);
+    EXPECT_NEAR(cal.calibrate(0.5), 0.5, 0.02);
+}
+
+TEST(platt, calibration_reduces_brier_and_log_loss) {
+    std::vector<double> scores;
+    std::vector<int> labels;
+    make_miscalibrated(20000, 5, scores, labels);
+    platt_calibrator cal;
+    cal.fit(scores, labels);
+    std::vector<double> calibrated;
+    calibrated.reserve(scores.size());
+    for (double s : scores) calibrated.push_back(cal.calibrate(s));
+    EXPECT_LT(brier_score(calibrated, labels), brier_score(scores, labels));
+    EXPECT_LT(log_loss(calibrated, labels), log_loss(scores, labels));
+    EXPECT_LT(expected_calibration_error(calibrated, labels),
+              expected_calibration_error(scores, labels));
+}
+
+TEST(platt, is_monotone_in_the_score) {
+    std::vector<double> scores;
+    std::vector<int> labels;
+    make_miscalibrated(2000, 7, scores, labels);
+    platt_calibrator cal;
+    cal.fit(scores, labels);
+    double previous = -1.0;
+    for (double s = 0.0; s <= 1.0; s += 0.05) {
+        const double p = cal.calibrate(s);
+        EXPECT_GT(p, previous);
+        previous = p;
+    }
+}
+
+TEST(platt, rejects_degenerate_input) {
+    platt_calibrator cal;
+    EXPECT_THROW(cal.fit({}, {}), richnote::precondition_error);
+    EXPECT_THROW(cal.fit({0.5, 0.6}, {1, 1}), richnote::precondition_error); // one class
+    EXPECT_THROW(cal.fit({0.5}, {2}), richnote::precondition_error);
+    EXPECT_THROW(cal.calibrate(0.5), richnote::precondition_error); // unfitted
+}
+
+TEST(metrics_calibration, brier_known_values) {
+    EXPECT_DOUBLE_EQ(brier_score({1.0, 0.0}, {1, 0}), 0.0);
+    EXPECT_DOUBLE_EQ(brier_score({0.5, 0.5}, {1, 0}), 0.25);
+    EXPECT_DOUBLE_EQ(brier_score({0.0}, {1}), 1.0);
+}
+
+TEST(metrics_calibration, log_loss_is_clamped_and_ordered) {
+    // Perfect predictions: ~0; confident wrong predictions: large but finite.
+    EXPECT_NEAR(log_loss({1.0, 0.0}, {1, 0}), 0.0, 1e-9);
+    const double wrong = log_loss({0.0}, {1});
+    EXPECT_GT(wrong, 10.0);
+    EXPECT_TRUE(std::isfinite(wrong));
+    EXPECT_LT(log_loss({0.9}, {1}), log_loss({0.6}, {1}));
+}
+
+TEST(metrics_calibration, reliability_diagram_bins_correctly) {
+    // 100 samples at p=0.25 with 25% positives: one bin, well calibrated.
+    std::vector<double> probs(100, 0.25);
+    std::vector<int> labels(100, 0);
+    for (int i = 0; i < 25; ++i) labels[static_cast<std::size_t>(i)] = 1;
+    const auto diagram = reliability_diagram(probs, labels, 10);
+    ASSERT_EQ(diagram.size(), 1u);
+    EXPECT_DOUBLE_EQ(diagram[0].mean_predicted, 0.25);
+    EXPECT_DOUBLE_EQ(diagram[0].empirical_rate, 0.25);
+    EXPECT_EQ(diagram[0].count, 100u);
+    EXPECT_NEAR(expected_calibration_error(probs, labels), 0.0, 1e-12);
+}
+
+TEST(metrics_calibration, probability_one_lands_in_last_bin) {
+    const auto diagram = reliability_diagram({1.0}, {1}, 10);
+    ASSERT_EQ(diagram.size(), 1u);
+    EXPECT_EQ(diagram[0].count, 1u);
+}
+
+TEST(metrics_calibration, rejects_out_of_range_probabilities) {
+    EXPECT_THROW(reliability_diagram({1.5}, {1}), richnote::precondition_error);
+}
+
+using richnote::ml::isotonic_calibrator;
+
+TEST(isotonic, fits_a_monotone_map_through_noisy_data) {
+    std::vector<double> scores;
+    std::vector<int> labels;
+    make_miscalibrated(20000, 21, scores, labels);
+    isotonic_calibrator cal;
+    cal.fit(scores, labels);
+    ASSERT_TRUE(cal.fitted());
+    // Monotone by construction.
+    double previous = -1.0;
+    for (double s2 = 0.0; s2 <= 1.0; s2 += 0.02) {
+        const double p = cal.calibrate(s2);
+        EXPECT_GE(p, previous - 1e-12);
+        previous = p;
+    }
+    // Recovers the latent link near the middle.
+    EXPECT_NEAR(cal.calibrate(0.5), 0.5, 0.05);
+}
+
+TEST(isotonic, reduces_calibration_error_like_platt) {
+    std::vector<double> scores;
+    std::vector<int> labels;
+    make_miscalibrated(20000, 23, scores, labels);
+    isotonic_calibrator cal;
+    cal.fit(scores, labels);
+    std::vector<double> calibrated;
+    for (double s2 : scores) calibrated.push_back(cal.calibrate(s2));
+    EXPECT_LT(brier_score(calibrated, labels), brier_score(scores, labels));
+    EXPECT_LT(expected_calibration_error(calibrated, labels),
+              expected_calibration_error(scores, labels));
+}
+
+TEST(isotonic, perfectly_separated_data_pools_to_a_step) {
+    // Scores < 0.5 all negative, >= 0.5 all positive: two pools.
+    std::vector<double> scores;
+    std::vector<int> labels;
+    for (int i = 0; i < 50; ++i) {
+        scores.push_back(0.1 + 0.001 * i);
+        labels.push_back(0);
+        scores.push_back(0.7 + 0.001 * i);
+        labels.push_back(1);
+    }
+    isotonic_calibrator cal;
+    cal.fit(scores, labels);
+    EXPECT_DOUBLE_EQ(cal.calibrate(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(cal.calibrate(1.0), 1.0);
+    EXPECT_LE(cal.knot_count(), 2u);
+}
+
+TEST(isotonic, constant_labels_fit_a_flat_function) {
+    isotonic_calibrator cal;
+    cal.fit({0.1, 0.5, 0.9}, {1, 1, 1});
+    EXPECT_DOUBLE_EQ(cal.calibrate(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cal.calibrate(0.5), 1.0);
+}
+
+TEST(isotonic, clamps_outside_the_fitted_range) {
+    isotonic_calibrator cal;
+    cal.fit({0.3, 0.4, 0.6, 0.7}, {0, 0, 1, 1});
+    EXPECT_DOUBLE_EQ(cal.calibrate(-5.0), cal.calibrate(0.3));
+    EXPECT_DOUBLE_EQ(cal.calibrate(5.0), cal.calibrate(0.7));
+}
+
+TEST(isotonic, rejects_degenerate_input) {
+    isotonic_calibrator cal;
+    EXPECT_THROW(cal.fit({}, {}), richnote::precondition_error);
+    EXPECT_THROW(cal.calibrate(0.5), richnote::precondition_error);
+    EXPECT_THROW(cal.fit({0.5}, {2}), richnote::precondition_error);
+}
+
+/// End-to-end: calibrating a forest's vote fractions on held-out data
+/// improves (or at least does not worsen) the Brier score on fresh data.
+TEST(platt, improves_forest_calibration_end_to_end) {
+    rng gen(11);
+    auto make_split = [&](int n, richnote::ml::dataset& d) {
+        for (int i = 0; i < n; ++i) {
+            const std::array<double, 2> row = {gen.uniform(-1, 1), gen.uniform(-1, 1)};
+            const double z = 1.5 * row[0] - row[1] + gen.normal(0, 1.0);
+            d.add_row(row, z > 0 ? 1 : 0);
+        }
+    };
+    richnote::ml::dataset train({"a", "b"});
+    richnote::ml::dataset held_out({"a", "b"});
+    richnote::ml::dataset test({"a", "b"});
+    make_split(3000, train);
+    make_split(1500, held_out);
+    make_split(1500, test);
+
+    richnote::ml::random_forest forest;
+    richnote::ml::forest_params params;
+    params.tree_count = 20;
+    forest.fit(train, params, 3);
+
+    auto scores_of = [&](const richnote::ml::dataset& d, std::vector<double>& scores,
+                         std::vector<int>& labels) {
+        for (std::size_t r = 0; r < d.size(); ++r) {
+            scores.push_back(forest.predict_proba(d.row(r)));
+            labels.push_back(d.label(r));
+        }
+    };
+    std::vector<double> cal_scores, test_scores;
+    std::vector<int> cal_labels, test_labels;
+    scores_of(held_out, cal_scores, cal_labels);
+    scores_of(test, test_scores, test_labels);
+
+    platt_calibrator cal;
+    cal.fit(cal_scores, cal_labels);
+    std::vector<double> calibrated;
+    for (double s : test_scores) calibrated.push_back(cal.calibrate(s));
+
+    EXPECT_LE(brier_score(calibrated, test_labels),
+              brier_score(test_scores, test_labels) + 0.005);
+}
+
+} // namespace

@@ -1,0 +1,69 @@
+#include "ml/decision_tree.hpp"
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace {
+
+using richnote::rng;
+using richnote::ml::dataset;
+using richnote::ml::decision_tree;
+using richnote::ml::entropy_impurity;
+using richnote::ml::split_criterion;
+using richnote::ml::tree_params;
+
+TEST(entropy, known_values) {
+    EXPECT_DOUBLE_EQ(entropy_impurity(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(entropy_impurity(10, 0), 0.0);
+    EXPECT_DOUBLE_EQ(entropy_impurity(0, 10), 0.0);
+    EXPECT_DOUBLE_EQ(entropy_impurity(5, 5), 1.0); // one bit at 50/50
+    // Entropy of p = 0.25.
+    const double expected = -(0.25 * std::log2(0.25) + 0.75 * std::log2(0.75));
+    EXPECT_NEAR(entropy_impurity(3, 1), expected, 1e-12);
+}
+
+TEST(entropy, is_symmetric_and_maximal_at_half) {
+    EXPECT_DOUBLE_EQ(entropy_impurity(3, 7), entropy_impurity(7, 3));
+    EXPECT_GT(entropy_impurity(5, 5), entropy_impurity(2, 8));
+}
+
+dataset threshold_data(int n, std::uint64_t seed) {
+    dataset d({"x"});
+    rng gen(seed);
+    for (int i = 0; i < n; ++i) {
+        const double x = gen.uniform(0, 1);
+        d.add_row(std::array{x}, x > 0.4 ? 1 : 0);
+    }
+    return d;
+}
+
+TEST(entropy_criterion, learns_the_same_simple_concept_as_gini) {
+    const dataset d = threshold_data(600, 3);
+    for (const auto criterion : {split_criterion::gini, split_criterion::entropy}) {
+        tree_params p;
+        p.criterion = criterion;
+        decision_tree tree;
+        rng gen(1);
+        tree.fit(d, p, gen);
+        EXPECT_EQ(tree.predict(std::array{0.1}), 0);
+        EXPECT_EQ(tree.predict(std::array{0.9}), 1);
+    }
+}
+
+TEST(entropy_criterion, forest_accepts_the_criterion) {
+    richnote::ml::random_forest forest;
+    richnote::ml::forest_params p;
+    p.tree_count = 8;
+    p.tree.criterion = split_criterion::entropy;
+    const dataset d = threshold_data(400, 5);
+    forest.fit(d, p, 2);
+    EXPECT_GT(forest.predict_proba(std::array{0.95}), 0.8);
+    EXPECT_LT(forest.predict_proba(std::array{0.05}), 0.2);
+}
+
+} // namespace

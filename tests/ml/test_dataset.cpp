@@ -1,0 +1,99 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace {
+
+using richnote::ml::dataset;
+
+dataset make_dataset() {
+    dataset d({"x", "y"});
+    d.add_row(std::array{1.0, 2.0}, 0);
+    d.add_row(std::array{3.0, 4.0}, 1);
+    d.add_row(std::array{5.0, 6.0}, 1);
+    return d;
+}
+
+TEST(dataset, stores_rows_and_labels) {
+    const dataset d = make_dataset();
+    EXPECT_EQ(d.size(), 3u);
+    EXPECT_EQ(d.feature_count(), 2u);
+    EXPECT_DOUBLE_EQ(d.at(1, 0), 3.0);
+    EXPECT_DOUBLE_EQ(d.at(2, 1), 6.0);
+    EXPECT_EQ(d.label(0), 0);
+    EXPECT_EQ(d.label(2), 1);
+}
+
+TEST(dataset, row_view_matches_at) {
+    const dataset d = make_dataset();
+    const auto row = d.row(1);
+    ASSERT_EQ(row.size(), 2u);
+    EXPECT_DOUBLE_EQ(row[0], 3.0);
+    EXPECT_DOUBLE_EQ(row[1], 4.0);
+}
+
+TEST(dataset, positive_fraction) {
+    const dataset d = make_dataset();
+    EXPECT_NEAR(d.positive_fraction(), 2.0 / 3.0, 1e-12);
+    dataset empty({"x"});
+    EXPECT_DOUBLE_EQ(empty.positive_fraction(), 0.0);
+}
+
+TEST(dataset, subset_copies_selected_rows) {
+    const dataset d = make_dataset();
+    const dataset s = d.subset({2, 0});
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.at(0, 0), 5.0);
+    EXPECT_EQ(s.label(1), 0);
+}
+
+TEST(dataset, subset_rejects_out_of_range) {
+    const dataset d = make_dataset();
+    EXPECT_THROW(d.subset({3}), richnote::precondition_error);
+}
+
+TEST(dataset, train_test_split_partitions_rows) {
+    dataset d({"x"});
+    for (int i = 0; i < 100; ++i) d.add_row(std::array{static_cast<double>(i)}, i % 2);
+    const auto [train, test] = d.train_test_split(0.25, 7);
+    EXPECT_EQ(test.size(), 25u);
+    EXPECT_EQ(train.size(), 75u);
+
+    // Every original value appears exactly once across the two parts.
+    std::vector<int> seen(100, 0);
+    for (std::size_t r = 0; r < train.size(); ++r)
+        ++seen[static_cast<std::size_t>(train.at(r, 0))];
+    for (std::size_t r = 0; r < test.size(); ++r)
+        ++seen[static_cast<std::size_t>(test.at(r, 0))];
+    for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(dataset, train_test_split_is_deterministic) {
+    dataset d({"x"});
+    for (int i = 0; i < 50; ++i) d.add_row(std::array{static_cast<double>(i)}, 0);
+    const auto [a_train, a_test] = d.train_test_split(0.2, 3);
+    const auto [b_train, b_test] = d.train_test_split(0.2, 3);
+    for (std::size_t r = 0; r < a_test.size(); ++r)
+        EXPECT_DOUBLE_EQ(a_test.at(r, 0), b_test.at(r, 0));
+    (void)a_train;
+    (void)b_train;
+}
+
+TEST(dataset, rejects_bad_rows) {
+    dataset d({"x", "y"});
+    EXPECT_THROW(d.add_row(std::array{1.0}, 0), richnote::precondition_error);
+    EXPECT_THROW(d.add_row(std::array{1.0, 2.0}, 2), richnote::precondition_error);
+}
+
+TEST(dataset, rejects_bad_construction_and_split_fraction) {
+    EXPECT_THROW(dataset(std::vector<std::string>{}), richnote::precondition_error);
+    const dataset d = make_dataset();
+    EXPECT_THROW(d.train_test_split(0.0, 1), richnote::precondition_error);
+    EXPECT_THROW(d.train_test_split(1.0, 1), richnote::precondition_error);
+}
+
+} // namespace

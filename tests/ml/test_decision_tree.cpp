@@ -1,0 +1,150 @@
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using richnote::rng;
+using richnote::ml::dataset;
+using richnote::ml::decision_tree;
+using richnote::ml::gini_impurity;
+using richnote::ml::tree_params;
+
+TEST(gini, known_values) {
+    EXPECT_DOUBLE_EQ(gini_impurity(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(gini_impurity(10, 0), 0.0);
+    EXPECT_DOUBLE_EQ(gini_impurity(0, 10), 0.0);
+    EXPECT_DOUBLE_EQ(gini_impurity(5, 5), 0.5);
+    EXPECT_NEAR(gini_impurity(9, 1), 2.0 * 0.1 * 0.9, 1e-12);
+}
+
+dataset threshold_data(double threshold, int n, std::uint64_t seed) {
+    dataset d({"x"});
+    rng gen(seed);
+    for (int i = 0; i < n; ++i) {
+        const double x = gen.uniform(0, 1);
+        d.add_row(std::array{x}, x > threshold ? 1 : 0);
+    }
+    return d;
+}
+
+TEST(decision_tree, learns_a_simple_threshold_exactly) {
+    const dataset d = threshold_data(0.5, 500, 3);
+    decision_tree tree;
+    rng gen(1);
+    tree.fit(d, tree_params{}, gen);
+    EXPECT_EQ(tree.predict(std::array{0.1}), 0);
+    EXPECT_EQ(tree.predict(std::array{0.9}), 1);
+    EXPECT_LT(tree.predict_proba(std::array{0.2}), 0.05);
+    EXPECT_GT(tree.predict_proba(std::array{0.8}), 0.95);
+}
+
+TEST(decision_tree, learns_an_axis_aligned_quadrant) {
+    dataset d({"x", "y"});
+    rng data_gen(5);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = data_gen.uniform(0, 1);
+        const double y = data_gen.uniform(0, 1);
+        d.add_row(std::array{x, y}, (x > 0.5 && y > 0.5) ? 1 : 0);
+    }
+    decision_tree tree;
+    rng gen(1);
+    tree.fit(d, tree_params{}, gen);
+    EXPECT_EQ(tree.predict(std::array{0.8, 0.8}), 1);
+    EXPECT_EQ(tree.predict(std::array{0.8, 0.2}), 0);
+    EXPECT_EQ(tree.predict(std::array{0.2, 0.8}), 0);
+}
+
+TEST(decision_tree, pure_node_needs_no_split) {
+    dataset d({"x"});
+    for (int i = 0; i < 10; ++i) d.add_row(std::array{static_cast<double>(i)}, 1);
+    decision_tree tree;
+    rng gen(1);
+    tree.fit(d, tree_params{}, gen);
+    EXPECT_EQ(tree.node_count(), 1u);
+    EXPECT_DOUBLE_EQ(tree.predict_proba(std::array{3.0}), 1.0);
+}
+
+TEST(decision_tree, max_depth_limits_tree) {
+    const dataset d = threshold_data(0.5, 1000, 7);
+    tree_params p;
+    p.max_depth = 1;
+    decision_tree tree;
+    rng gen(1);
+    tree.fit(d, p, gen);
+    EXPECT_LE(tree.depth(), 2u); // root + one level of children
+}
+
+TEST(decision_tree, max_depth_zero_gives_a_stump_prior) {
+    const dataset d = threshold_data(0.3, 200, 9);
+    tree_params p;
+    p.max_depth = 0;
+    decision_tree tree;
+    rng gen(1);
+    tree.fit(d, p, gen);
+    EXPECT_EQ(tree.node_count(), 1u);
+    // Leaf probability equals the positive fraction.
+    EXPECT_NEAR(tree.predict_proba(std::array{0.5}), d.positive_fraction(), 1e-12);
+}
+
+TEST(decision_tree, min_samples_split_is_respected) {
+    const dataset d = threshold_data(0.5, 20, 11);
+    tree_params p;
+    p.min_samples_split = 100; // larger than the dataset: no split possible
+    decision_tree tree;
+    rng gen(1);
+    tree.fit(d, p, gen);
+    EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(decision_tree, probabilities_are_in_unit_interval) {
+    const dataset d = threshold_data(0.4, 300, 13);
+    decision_tree tree;
+    rng gen(1);
+    tree.fit(d, tree_params{}, gen);
+    rng probe(2);
+    for (int i = 0; i < 200; ++i) {
+        const double p = tree.predict_proba(std::array{probe.uniform(-1.0, 2.0)});
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(decision_tree, duplicate_rows_from_bootstrap_are_accepted) {
+    const dataset d = threshold_data(0.5, 50, 15);
+    decision_tree tree;
+    rng gen(1);
+    const std::vector<std::size_t> rows = {0, 0, 1, 1, 2, 2, 3, 3};
+    tree.fit(d, rows, tree_params{}, gen);
+    EXPECT_TRUE(tree.trained());
+}
+
+TEST(decision_tree, untrained_predict_throws) {
+    const decision_tree tree;
+    EXPECT_THROW(tree.predict(std::array{1.0}), richnote::precondition_error);
+}
+
+TEST(decision_tree, fit_on_empty_rows_throws) {
+    const dataset d = threshold_data(0.5, 10, 17);
+    decision_tree tree;
+    rng gen(1);
+    EXPECT_THROW(tree.fit(d, std::vector<std::size_t>{}, tree_params{}, gen),
+                 richnote::precondition_error);
+}
+
+TEST(decision_tree, constant_features_produce_a_leaf) {
+    dataset d({"x"});
+    for (int i = 0; i < 20; ++i) d.add_row(std::array{1.0}, i % 2);
+    decision_tree tree;
+    rng gen(1);
+    tree.fit(d, tree_params{}, gen);
+    EXPECT_EQ(tree.node_count(), 1u);
+    EXPECT_NEAR(tree.predict_proba(std::array{1.0}), 0.5, 1e-12);
+}
+
+} // namespace

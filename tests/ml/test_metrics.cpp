@@ -1,0 +1,149 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using richnote::rng;
+using richnote::ml::auc;
+using richnote::ml::confusion_matrix;
+using richnote::ml::cross_validate_forest;
+using richnote::ml::dataset;
+using richnote::ml::evaluate;
+using richnote::ml::forest_params;
+
+TEST(confusion_matrix, counts_all_four_cells) {
+    confusion_matrix cm;
+    cm.add(1, 1); // TP
+    cm.add(1, 0); // FN
+    cm.add(0, 1); // FP
+    cm.add(0, 0); // TN
+    EXPECT_EQ(cm.true_positive, 1u);
+    EXPECT_EQ(cm.false_negative, 1u);
+    EXPECT_EQ(cm.false_positive, 1u);
+    EXPECT_EQ(cm.true_negative, 1u);
+    EXPECT_EQ(cm.total(), 4u);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.5);
+    EXPECT_DOUBLE_EQ(cm.precision(), 0.5);
+    EXPECT_DOUBLE_EQ(cm.recall(), 0.5);
+    EXPECT_DOUBLE_EQ(cm.f1(), 0.5);
+}
+
+TEST(confusion_matrix, degenerate_cases_are_zero_not_nan) {
+    confusion_matrix cm;
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(cm.precision(), 0.0);
+    EXPECT_DOUBLE_EQ(cm.recall(), 0.0);
+    EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+    cm.add(0, 0);
+    EXPECT_DOUBLE_EQ(cm.precision(), 0.0); // no predicted positives
+    EXPECT_DOUBLE_EQ(cm.recall(), 0.0);    // no actual positives
+}
+
+TEST(confusion_matrix, perfect_classifier) {
+    confusion_matrix cm;
+    for (int i = 0; i < 10; ++i) cm.add(i % 2, i % 2);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(cm.f1(), 1.0);
+}
+
+dataset tiny_data() {
+    dataset d({"x"});
+    d.add_row(std::array{0.1}, 0);
+    d.add_row(std::array{0.2}, 0);
+    d.add_row(std::array{0.8}, 1);
+    d.add_row(std::array{0.9}, 1);
+    return d;
+}
+
+TEST(evaluate_fn, applies_model_row_by_row) {
+    const dataset d = tiny_data();
+    const auto cm = evaluate(d, [](std::span<const double> row) {
+        return row[0] > 0.5 ? 1 : 0;
+    });
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+}
+
+TEST(auc_fn, perfect_ranking_is_one) {
+    const dataset d = tiny_data();
+    EXPECT_DOUBLE_EQ(auc(d, [](std::span<const double> row) { return row[0]; }), 1.0);
+}
+
+TEST(auc_fn, inverted_ranking_is_zero) {
+    const dataset d = tiny_data();
+    EXPECT_DOUBLE_EQ(auc(d, [](std::span<const double> row) { return -row[0]; }), 0.0);
+}
+
+TEST(auc_fn, constant_scores_are_half) {
+    const dataset d = tiny_data();
+    EXPECT_DOUBLE_EQ(auc(d, [](std::span<const double>) { return 0.5; }), 0.5);
+}
+
+TEST(auc_fn, single_class_is_half) {
+    dataset d({"x"});
+    d.add_row(std::array{0.1}, 1);
+    d.add_row(std::array{0.9}, 1);
+    EXPECT_DOUBLE_EQ(auc(d, [](std::span<const double> row) { return row[0]; }), 0.5);
+}
+
+dataset separable_data(int n, std::uint64_t seed) {
+    dataset d({"a", "b"});
+    rng gen(seed);
+    for (int i = 0; i < n; ++i) {
+        const double a = gen.uniform(-1, 1);
+        const double b = gen.uniform(-1, 1);
+        d.add_row(std::array{a, b}, a + b > 0 ? 1 : 0);
+    }
+    return d;
+}
+
+TEST(cross_validation, produces_one_matrix_per_fold) {
+    const dataset d = separable_data(500, 1);
+    forest_params p;
+    p.tree_count = 10;
+    const auto result = cross_validate_forest(d, p, 5, 42);
+    EXPECT_EQ(result.folds.size(), 5u);
+    std::uint64_t total = 0;
+    for (const auto& f : result.folds) total += f.total();
+    EXPECT_EQ(total, 500u); // every row tested exactly once
+}
+
+TEST(cross_validation, accuracy_is_high_on_separable_data) {
+    const dataset d = separable_data(1000, 3);
+    forest_params p;
+    p.tree_count = 15;
+    const auto result = cross_validate_forest(d, p, 5, 7);
+    EXPECT_GT(result.mean_accuracy(), 0.9);
+    EXPECT_GT(result.mean_precision(), 0.85);
+    EXPECT_GT(result.mean_recall(), 0.85);
+}
+
+TEST(cross_validation, is_deterministic_under_seed) {
+    const dataset d = separable_data(300, 5);
+    forest_params p;
+    p.tree_count = 5;
+    const auto a = cross_validate_forest(d, p, 3, 11);
+    const auto b = cross_validate_forest(d, p, 3, 11);
+    EXPECT_DOUBLE_EQ(a.mean_accuracy(), b.mean_accuracy());
+}
+
+TEST(cross_validation, rejects_bad_fold_counts) {
+    const dataset d = separable_data(10, 7);
+    forest_params p;
+    EXPECT_THROW(cross_validate_forest(d, p, 1, 1), richnote::precondition_error);
+    EXPECT_THROW(cross_validate_forest(d, p, 11, 1), richnote::precondition_error);
+}
+
+TEST(cross_validation_result, empty_result_is_zero) {
+    const richnote::ml::cross_validation_result empty;
+    EXPECT_DOUBLE_EQ(empty.mean_accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.mean_precision(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.mean_recall(), 0.0);
+}
+
+} // namespace

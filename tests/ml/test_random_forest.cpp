@@ -1,0 +1,156 @@
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using richnote::rng;
+using richnote::ml::dataset;
+using richnote::ml::forest_params;
+using richnote::ml::random_forest;
+
+/// Noisy logistic data in the spirit of the click trace: label depends on a
+/// weighted sum of two features through a sigmoid.
+dataset logistic_data(int n, std::uint64_t seed, double noise = 0.5) {
+    dataset d({"a", "b"});
+    rng gen(seed);
+    for (int i = 0; i < n; ++i) {
+        const double a = gen.uniform(-1, 1);
+        const double b = gen.uniform(-1, 1);
+        const double z = 3.0 * a - 2.0 * b + gen.normal(0, noise);
+        d.add_row(std::array{a, b}, z > 0 ? 1 : 0);
+    }
+    return d;
+}
+
+TEST(random_forest, beats_chance_on_logistic_data) {
+    const dataset train = logistic_data(3000, 1);
+    const dataset test = logistic_data(1000, 2);
+    random_forest forest;
+    forest_params p;
+    p.tree_count = 25;
+    forest.fit(train, p, 7);
+    int correct = 0;
+    for (std::size_t r = 0; r < test.size(); ++r)
+        correct += forest.predict(test.row(r)) == test.label(r);
+    EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.size()), 0.85);
+}
+
+TEST(random_forest, probabilities_are_averaged_tree_outputs) {
+    const dataset train = logistic_data(500, 3);
+    random_forest forest;
+    forest_params p;
+    p.tree_count = 10;
+    forest.fit(train, p, 1);
+    const double proba = forest.predict_proba(std::array{0.9, -0.9});
+    EXPECT_GE(proba, 0.0);
+    EXPECT_LE(proba, 1.0);
+    EXPECT_GT(proba, 0.5); // strongly positive region
+    EXPECT_EQ(forest.predict(std::array{0.9, -0.9}), 1);
+}
+
+TEST(random_forest, is_deterministic_under_seed) {
+    const dataset train = logistic_data(800, 5);
+    random_forest a, b;
+    forest_params p;
+    p.tree_count = 8;
+    a.fit(train, p, 99);
+    b.fit(train, p, 99);
+    rng probe(1);
+    for (int i = 0; i < 100; ++i) {
+        const std::array<double, 2> x = {probe.uniform(-1, 1), probe.uniform(-1, 1)};
+        EXPECT_DOUBLE_EQ(a.predict_proba(x), b.predict_proba(x));
+    }
+}
+
+TEST(random_forest, different_seeds_give_different_forests) {
+    const dataset train = logistic_data(800, 5);
+    random_forest a, b;
+    forest_params p;
+    p.tree_count = 8;
+    a.fit(train, p, 1);
+    b.fit(train, p, 2);
+    bool any_difference = false;
+    rng probe(1);
+    for (int i = 0; i < 100 && !any_difference; ++i) {
+        const std::array<double, 2> x = {probe.uniform(-1, 1), probe.uniform(-1, 1)};
+        any_difference = std::abs(a.predict_proba(x) - b.predict_proba(x)) > 1e-12;
+    }
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(random_forest, oob_accuracy_tracks_test_accuracy) {
+    const dataset train = logistic_data(2000, 7);
+    const dataset test = logistic_data(1000, 8);
+    random_forest forest;
+    forest_params p;
+    p.tree_count = 30;
+    p.compute_oob = true;
+    forest.fit(train, p, 3);
+    ASSERT_TRUE(forest.oob_accuracy().has_value());
+    int correct = 0;
+    for (std::size_t r = 0; r < test.size(); ++r)
+        correct += forest.predict(test.row(r)) == test.label(r);
+    const double test_acc = static_cast<double>(correct) / static_cast<double>(test.size());
+    EXPECT_NEAR(*forest.oob_accuracy(), test_acc, 0.06);
+}
+
+TEST(random_forest, oob_absent_when_not_requested) {
+    const dataset train = logistic_data(200, 9);
+    random_forest forest;
+    forest_params p;
+    p.tree_count = 5;
+    forest.fit(train, p, 1);
+    EXPECT_FALSE(forest.oob_accuracy().has_value());
+}
+
+TEST(random_forest, more_trees_reduce_variance) {
+    const dataset train = logistic_data(1500, 11, /*noise=*/1.5);
+    const dataset test = logistic_data(600, 12, /*noise=*/1.5);
+
+    auto test_accuracy = [&](std::size_t trees, std::uint64_t seed) {
+        random_forest forest;
+        forest_params p;
+        p.tree_count = trees;
+        forest.fit(train, p, seed);
+        int correct = 0;
+        for (std::size_t r = 0; r < test.size(); ++r)
+            correct += forest.predict(test.row(r)) == test.label(r);
+        return static_cast<double>(correct) / static_cast<double>(test.size());
+    };
+
+    // Accuracy spread across seeds should shrink with the ensemble size.
+    auto spread = [&](std::size_t trees) {
+        double lo = 1.0, hi = 0.0;
+        for (std::uint64_t seed = 0; seed < 5; ++seed) {
+            const double acc = test_accuracy(trees, seed);
+            lo = std::min(lo, acc);
+            hi = std::max(hi, acc);
+        }
+        return hi - lo;
+    };
+    EXPECT_LE(spread(40), spread(1) + 0.02);
+}
+
+TEST(random_forest, rejects_empty_dataset_and_zero_trees) {
+    random_forest forest;
+    dataset empty({"x"});
+    EXPECT_THROW(forest.fit(empty, forest_params{}, 1), richnote::precondition_error);
+    const dataset train = logistic_data(50, 13);
+    forest_params p;
+    p.tree_count = 0;
+    EXPECT_THROW(forest.fit(train, p, 1), richnote::precondition_error);
+}
+
+TEST(random_forest, untrained_predict_throws) {
+    const random_forest forest;
+    EXPECT_THROW(forest.predict(std::array{0.0, 0.0}), richnote::precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/random_forest.hpp"
+
+namespace {
+
+using richnote::rng;
+using richnote::ml::dataset;
+using richnote::ml::forest_params;
+using richnote::ml::random_forest;
+
+dataset training_data(int n, std::uint64_t seed) {
+    dataset d({"a", "b", "c"});
+    rng gen(seed);
+    for (int i = 0; i < n; ++i) {
+        const std::array<double, 3> row = {gen.uniform(-1, 1), gen.uniform(-1, 1),
+                                           gen.uniform(-1, 1)};
+        d.add_row(row, 2.0 * row[0] - row[1] + 0.5 * row[2] > 0 ? 1 : 0);
+    }
+    return d;
+}
+
+random_forest trained_forest(std::uint64_t seed = 1) {
+    random_forest forest;
+    forest_params p;
+    p.tree_count = 12;
+    forest.fit(training_data(800, seed), p, seed);
+    return forest;
+}
+
+TEST(forest_serialization, round_trip_reproduces_predictions_exactly) {
+    const random_forest original = trained_forest();
+    std::stringstream buffer;
+    original.save(buffer);
+
+    random_forest loaded;
+    loaded.load(buffer);
+    EXPECT_EQ(loaded.tree_count(), original.tree_count());
+
+    rng probe(9);
+    for (int i = 0; i < 500; ++i) {
+        const std::array<double, 3> x = {probe.uniform(-2, 2), probe.uniform(-2, 2),
+                                         probe.uniform(-2, 2)};
+        EXPECT_DOUBLE_EQ(original.predict_proba(x), loaded.predict_proba(x));
+    }
+}
+
+TEST(forest_serialization, file_round_trip) {
+    const random_forest original = trained_forest(7);
+    const std::string path = ::testing::TempDir() + "richnote_forest_test.model";
+    original.save_file(path);
+    random_forest loaded;
+    loaded.load_file(path);
+    const std::array<double, 3> x = {0.3, -0.2, 0.8};
+    EXPECT_DOUBLE_EQ(original.predict_proba(x), loaded.predict_proba(x));
+    std::remove(path.c_str());
+}
+
+TEST(forest_serialization, load_replaces_existing_model) {
+    random_forest a = trained_forest(1);
+    const random_forest b = trained_forest(2);
+    std::stringstream buffer;
+    b.save(buffer);
+    a.load(buffer);
+    const std::array<double, 3> x = {0.1, 0.5, -0.9};
+    EXPECT_DOUBLE_EQ(a.predict_proba(x), b.predict_proba(x));
+}
+
+TEST(forest_serialization, oob_accuracy_is_not_persisted) {
+    random_forest forest;
+    forest_params p;
+    p.tree_count = 5;
+    p.compute_oob = true;
+    forest.fit(training_data(300, 3), p, 3);
+    ASSERT_TRUE(forest.oob_accuracy().has_value());
+    std::stringstream buffer;
+    forest.save(buffer);
+    forest.load(buffer);
+    EXPECT_FALSE(forest.oob_accuracy().has_value());
+}
+
+TEST(forest_serialization, rejects_garbage) {
+    random_forest forest;
+    std::stringstream wrong_magic("not_a_forest v1 trees 1\n");
+    EXPECT_THROW(forest.load(wrong_magic), richnote::precondition_error);
+    std::stringstream wrong_version("richnote_forest v9 trees 1\n");
+    EXPECT_THROW(forest.load(wrong_version), richnote::precondition_error);
+    std::stringstream zero_trees("richnote_forest v1 trees 0\n");
+    EXPECT_THROW(forest.load(zero_trees), richnote::precondition_error);
+    std::stringstream truncated("richnote_forest v1 trees 1\ntree 2\n0 0.5 1 -1 0.5\n");
+    EXPECT_THROW(forest.load(truncated), richnote::precondition_error);
+    std::stringstream bad_child("richnote_forest v1 trees 1\ntree 1\n0 0.5 5 6 0.5\n");
+    EXPECT_THROW(forest.load(bad_child), richnote::precondition_error);
+    std::stringstream bad_proba("richnote_forest v1 trees 1\ntree 1\n0 0.5 -1 -1 1.5\n");
+    EXPECT_THROW(forest.load(bad_proba), richnote::precondition_error);
+}
+
+TEST(forest_serialization, untrained_save_throws) {
+    const random_forest forest;
+    std::stringstream buffer;
+    EXPECT_THROW(forest.save(buffer), richnote::precondition_error);
+}
+
+TEST(forest_serialization, missing_file_throws) {
+    random_forest forest;
+    EXPECT_THROW(forest.load_file("/nonexistent/model"), richnote::precondition_error);
+    const random_forest trained = trained_forest();
+    EXPECT_THROW(trained.save_file("/nonexistent/dir/model"),
+                 richnote::precondition_error);
+}
+
+} // namespace

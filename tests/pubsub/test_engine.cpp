@@ -1,0 +1,282 @@
+#include "pubsub/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using richnote::pubsub::artist_topic;
+using richnote::pubsub::engine;
+using richnote::pubsub::playlist_topic;
+using richnote::pubsub::publication;
+using richnote::pubsub::topic_id;
+using richnote::pubsub::topic_kind;
+using richnote::pubsub::user_feed_topic;
+
+TEST(topics, kinds_do_not_collide) {
+    // Same key, different kinds: distinct topics.
+    EXPECT_NE(user_feed_topic(7), artist_topic(7));
+    EXPECT_NE(artist_topic(7), playlist_topic(7));
+    EXPECT_EQ(user_feed_topic(7), user_feed_topic(7));
+}
+
+TEST(topics, kind_names) {
+    EXPECT_STREQ(to_string(topic_kind::user_feed), "user_feed");
+    EXPECT_STREQ(to_string(topic_kind::artist), "artist");
+    EXPECT_STREQ(to_string(topic_kind::playlist), "playlist");
+}
+
+TEST(engine_test, subscribe_and_query) {
+    engine e;
+    EXPECT_TRUE(e.subscribe(1, artist_topic(5), 0.8));
+    EXPECT_TRUE(e.is_subscribed(1, artist_topic(5)));
+    EXPECT_DOUBLE_EQ(e.affinity(1, artist_topic(5)), 0.8);
+    EXPECT_FALSE(e.is_subscribed(2, artist_topic(5)));
+    EXPECT_DOUBLE_EQ(e.affinity(1, artist_topic(6)), 0.0);
+    EXPECT_EQ(e.subscriber_count(artist_topic(5)), 1u);
+    EXPECT_EQ(e.topic_count(), 1u);
+    EXPECT_EQ(e.subscription_count(), 1u);
+}
+
+TEST(engine_test, resubscribe_updates_affinity_in_place) {
+    engine e;
+    EXPECT_TRUE(e.subscribe(1, artist_topic(5), 0.3));
+    EXPECT_FALSE(e.subscribe(1, artist_topic(5), 0.9));
+    EXPECT_DOUBLE_EQ(e.affinity(1, artist_topic(5)), 0.9);
+    EXPECT_EQ(e.subscription_count(), 1u);
+}
+
+TEST(engine_test, unsubscribe_removes_and_cleans_up) {
+    engine e;
+    e.subscribe(1, playlist_topic(2), 0.5);
+    e.subscribe(3, playlist_topic(2), 0.4);
+    EXPECT_TRUE(e.unsubscribe(1, playlist_topic(2)));
+    EXPECT_FALSE(e.unsubscribe(1, playlist_topic(2)));
+    EXPECT_FALSE(e.is_subscribed(1, playlist_topic(2)));
+    EXPECT_EQ(e.subscriber_count(playlist_topic(2)), 1u);
+    EXPECT_TRUE(e.unsubscribe(3, playlist_topic(2)));
+    EXPECT_EQ(e.topic_count(), 0u); // empty topics are garbage-collected
+}
+
+TEST(engine_test, publish_fans_out_in_subscription_order) {
+    engine e;
+    e.subscribe(5, artist_topic(1), 0.5);
+    e.subscribe(2, artist_topic(1), 0.7);
+    e.subscribe(9, artist_topic(1), 0.2);
+
+    std::vector<std::uint32_t> order;
+    std::vector<double> affinities;
+    publication pub;
+    pub.topic = artist_topic(1);
+    pub.track = 42;
+    pub.at = 100.0;
+    const auto delivered = e.publish(pub, [&](std::uint32_t sub, double affinity,
+                                              const publication& p) {
+        order.push_back(sub);
+        affinities.push_back(affinity);
+        EXPECT_EQ(p.track, 42u);
+        EXPECT_DOUBLE_EQ(p.at, 100.0);
+    });
+    EXPECT_EQ(delivered, 3u);
+    EXPECT_EQ(order, (std::vector<std::uint32_t>{5, 2, 9}));
+    EXPECT_EQ(affinities, (std::vector<double>{0.5, 0.7, 0.2}));
+}
+
+TEST(engine_test, publish_to_unknown_topic_is_a_noop) {
+    engine e;
+    int calls = 0;
+    publication pub;
+    pub.topic = artist_topic(99);
+    EXPECT_EQ(e.publish(pub, [&](auto, auto, const auto&) { ++calls; }), 0u);
+    EXPECT_EQ(calls, 0);
+    EXPECT_EQ(e.publications(), 1u);
+    EXPECT_EQ(e.deliveries(), 0u);
+}
+
+TEST(engine_test, publisher_is_skipped_on_their_own_feed) {
+    engine e;
+    e.subscribe(1, user_feed_topic(1), 0.9); // pathological self-follow
+    e.subscribe(2, user_feed_topic(1), 0.5);
+    publication pub;
+    pub.topic = user_feed_topic(1);
+    pub.publisher = 1;
+    std::vector<std::uint32_t> receivers;
+    e.publish(pub, [&](std::uint32_t sub, double, const publication&) {
+        receivers.push_back(sub);
+    });
+    EXPECT_EQ(receivers, (std::vector<std::uint32_t>{2}));
+}
+
+TEST(engine_test, publisher_is_not_skipped_on_other_topic_kinds) {
+    engine e;
+    e.subscribe(1, artist_topic(1), 0.9);
+    publication pub;
+    pub.topic = artist_topic(1);
+    pub.publisher = 1; // meaningless for artist topics; must not skip
+    int calls = 0;
+    e.publish(pub, [&](auto, auto, const auto&) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(engine_test, statistics_accumulate) {
+    engine e;
+    e.subscribe(1, artist_topic(1), 0.5);
+    e.subscribe(2, artist_topic(1), 0.5);
+    publication pub;
+    pub.topic = artist_topic(1);
+    for (int i = 0; i < 3; ++i) e.publish(pub, [](auto, auto, const auto&) {});
+    EXPECT_EQ(e.publications(), 3u);
+    EXPECT_EQ(e.deliveries(), 6u);
+}
+
+TEST(engine_test, rejects_invalid_input) {
+    engine e;
+    EXPECT_THROW(e.subscribe(1, artist_topic(1), 0.0), richnote::precondition_error);
+    EXPECT_THROW(e.subscribe(1, artist_topic(1), 1.5), richnote::precondition_error);
+    e.subscribe(1, artist_topic(1), 0.5);
+    publication pub;
+    pub.topic = artist_topic(1);
+    EXPECT_THROW(e.publish(pub, nullptr), richnote::precondition_error);
+}
+
+TEST(engine_test, unsubscribe_all_removes_every_subscription) {
+    engine e;
+    e.subscribe(1, artist_topic(1), 0.5);
+    e.subscribe(1, playlist_topic(2), 0.5);
+    e.subscribe(1, user_feed_topic(3), 0.5);
+    e.subscribe(2, artist_topic(1), 0.5);
+    EXPECT_EQ(e.unsubscribe_all(1), 3u);
+    EXPECT_EQ(e.subscription_count(), 1u);
+    EXPECT_FALSE(e.is_subscribed(1, artist_topic(1)));
+    EXPECT_TRUE(e.is_subscribed(2, artist_topic(1)));
+    // Emptied topics are garbage-collected.
+    EXPECT_EQ(e.topic_count(), 1u);
+    EXPECT_EQ(e.unsubscribe_all(1), 0u); // idempotent
+}
+
+// ---------------------------------------------------- content filters ----
+
+TEST(content_filter_test, default_filter_passes_everything) {
+    const richnote::pubsub::content_filter any;
+    publication pub;
+    pub.popularity = 0.0;
+    pub.genre = 31;
+    EXPECT_TRUE(any.passes(pub));
+}
+
+TEST(content_filter_test, min_popularity_gates_deliveries) {
+    engine e;
+    richnote::pubsub::content_filter picky;
+    picky.min_popularity = 50.0;
+    e.subscribe(1, artist_topic(1), 0.5, picky);
+    e.subscribe(2, artist_topic(1), 0.5); // unfiltered
+
+    publication obscure;
+    obscure.topic = artist_topic(1);
+    obscure.popularity = 10.0;
+    std::vector<std::uint32_t> receivers;
+    e.publish(obscure, [&](std::uint32_t sub, double, const publication&) {
+        receivers.push_back(sub);
+    });
+    EXPECT_EQ(receivers, (std::vector<std::uint32_t>{2}));
+    EXPECT_EQ(e.filtered(), 1u);
+
+    publication hit;
+    hit.topic = artist_topic(1);
+    hit.popularity = 90.0;
+    receivers.clear();
+    e.publish(hit, [&](std::uint32_t sub, double, const publication&) {
+        receivers.push_back(sub);
+    });
+    EXPECT_EQ(receivers, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(content_filter_test, genre_mask_selects_genres) {
+    engine e;
+    richnote::pubsub::content_filter jazz_only;
+    jazz_only.genre_mask = 1u << 4; // genre index 4
+    e.subscribe(1, playlist_topic(0), 0.5, jazz_only);
+
+    publication pop;
+    pop.topic = playlist_topic(0);
+    pop.genre = 0;
+    int calls = 0;
+    e.publish(pop, [&](auto, auto, const auto&) { ++calls; });
+    EXPECT_EQ(calls, 0);
+
+    publication jazz;
+    jazz.topic = playlist_topic(0);
+    jazz.genre = 4;
+    e.publish(jazz, [&](auto, auto, const auto&) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(content_filter_test, resubscribe_replaces_the_filter) {
+    engine e;
+    richnote::pubsub::content_filter picky;
+    picky.min_popularity = 99.0;
+    e.subscribe(1, artist_topic(1), 0.5, picky);
+    e.subscribe(1, artist_topic(1), 0.5); // back to pass-everything
+    publication pub;
+    pub.topic = artist_topic(1);
+    pub.popularity = 1.0;
+    int calls = 0;
+    e.publish(pub, [&](auto, auto, const auto&) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(content_filter_test, workload_publications_carry_attributes) {
+    richnote::trace::workload_params p;
+    p.user_count = 20;
+    p.catalog.artist_count = 30;
+    p.playlist_count = 5;
+    p.horizon = richnote::sim::days;
+    const richnote::trace::workload world(p, 3);
+    // The generator uses pass-everything filters, so nothing is filtered...
+    EXPECT_EQ(world.pubsub().filtered(), 0u);
+    // ...and every notification's track attributes were available to
+    // filters (spot-check one against the catalog).
+    for (const auto& stream : world.notifications().per_user) {
+        for (const auto& n : stream) {
+            EXPECT_GE(world.catalog().track_at(n.track).popularity, 1.0);
+        }
+    }
+}
+
+// ------------------------- integration with the workload generator -------
+
+TEST(engine_workload, generator_builds_its_subscriptions_in_the_engine) {
+    richnote::trace::workload_params p;
+    p.user_count = 40;
+    p.catalog.artist_count = 50;
+    p.playlist_count = 10;
+    p.horizon = richnote::sim::days;
+    const richnote::trace::workload world(p, 11);
+    const auto& e = world.pubsub();
+
+    // Every friendship edge appears as a feed subscription (both ways).
+    std::uint64_t expected_feed_subs = 0;
+    for (richnote::trace::user_id u = 0; u < world.user_count(); ++u)
+        expected_feed_subs += world.graph().friends_of(u).size();
+    std::uint64_t expected_other = 0;
+    for (const auto& profile : world.users())
+        expected_other += profile.followed_artists.size() + profile.followed_playlists.size();
+    EXPECT_EQ(e.subscription_count(), expected_feed_subs + expected_other);
+
+    // The trace notifications are exactly the engine's thinned deliveries:
+    // every notification corresponds to a delivery, so deliveries >= trace.
+    EXPECT_GE(e.deliveries(), world.notifications().total_count);
+    EXPECT_GT(e.publications(), 0u);
+
+    // Spot-check: a friend-feed subscription's affinity equals the tie.
+    const auto& friends = world.graph().friends_of(0);
+    ASSERT_FALSE(friends.empty());
+    EXPECT_DOUBLE_EQ(e.affinity(0, user_feed_topic(friends[0].friend_user)),
+                     friends[0].tie_strength);
+}
+
+} // namespace

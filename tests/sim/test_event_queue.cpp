@@ -1,0 +1,102 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace {
+
+using richnote::sim::event_handle;
+using richnote::sim::event_queue;
+
+TEST(event_queue, pops_in_time_order) {
+    event_queue q;
+    std::vector<int> fired;
+    q.schedule(3.0, [&] { fired.push_back(3); });
+    q.schedule(1.0, [&] { fired.push_back(1); });
+    q.schedule(2.0, [&] { fired.push_back(2); });
+    while (!q.empty()) q.pop().second();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(event_queue, equal_times_fire_in_scheduling_order) {
+    event_queue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 10; ++i) q.schedule(5.0, [&fired, i] { fired.push_back(i); });
+    while (!q.empty()) q.pop().second();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(event_queue, pop_returns_event_time) {
+    event_queue q;
+    q.schedule(7.5, [] {});
+    EXPECT_DOUBLE_EQ(q.next_time(), 7.5);
+    const auto [when, fn] = q.pop();
+    EXPECT_DOUBLE_EQ(when, 7.5);
+    EXPECT_TRUE(fn != nullptr);
+}
+
+TEST(event_queue, cancel_removes_pending_event) {
+    event_queue q;
+    bool fired = false;
+    const event_handle h = q.schedule(1.0, [&] { fired = true; });
+    EXPECT_TRUE(q.pending(h));
+    EXPECT_TRUE(q.cancel(h));
+    EXPECT_FALSE(q.pending(h));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(fired);
+}
+
+TEST(event_queue, cancel_is_idempotent_and_safe_on_stale_handles) {
+    event_queue q;
+    const event_handle h = q.schedule(1.0, [] {});
+    EXPECT_TRUE(q.cancel(h));
+    EXPECT_FALSE(q.cancel(h));
+    EXPECT_FALSE(q.cancel(event_handle{}));
+
+    // Slot reuse must invalidate the old handle via the generation counter.
+    const event_handle h2 = q.schedule(2.0, [] {});
+    EXPECT_FALSE(q.pending(h));
+    EXPECT_TRUE(q.pending(h2));
+    EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(event_queue, fired_event_handle_is_stale) {
+    event_queue q;
+    const event_handle h = q.schedule(1.0, [] {});
+    q.pop().second();
+    EXPECT_FALSE(q.pending(h));
+    EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(event_queue, slot_reuse_keeps_ordering) {
+    event_queue q;
+    std::vector<int> fired;
+    const auto h = q.schedule(1.0, [&] { fired.push_back(-1); });
+    q.cancel(h);
+    q.schedule(2.0, [&] { fired.push_back(2); });
+    q.schedule(1.5, [&] { fired.push_back(1); });
+    while (!q.empty()) q.pop().second();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(event_queue, clear_empties_everything) {
+    event_queue q;
+    for (int i = 0; i < 5; ++i) q.schedule(i, [] {});
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    q.schedule(1.0, [] {});
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(event_queue, rejects_null_callbacks_and_empty_pops) {
+    event_queue q;
+    EXPECT_THROW(q.schedule(1.0, nullptr), richnote::precondition_error);
+    EXPECT_THROW(q.pop(), richnote::precondition_error);
+    EXPECT_THROW(q.next_time(), richnote::precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using richnote::sim::simulator;
+namespace t = richnote::sim;
+
+TEST(simulator, clock_advances_with_events) {
+    simulator sim;
+    std::vector<double> times;
+    sim.schedule_at(2.0, [&] { times.push_back(sim.now()); });
+    sim.schedule_at(1.0, [&] { times.push_back(sim.now()); });
+    sim.run();
+    EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+    EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+    EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(simulator, schedule_in_is_relative_to_now) {
+    simulator sim;
+    double fired_at = -1;
+    sim.schedule_at(5.0, [&] {
+        sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(simulator, run_until_stops_at_deadline_and_advances_clock) {
+    simulator sim;
+    int fired = 0;
+    sim.schedule_at(1.0, [&] { ++fired; });
+    sim.schedule_at(10.0, [&] { ++fired; });
+    const auto executed = sim.run_until(5.0);
+    EXPECT_EQ(executed, 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(simulator, events_exactly_at_deadline_fire) {
+    simulator sim;
+    int fired = 0;
+    sim.schedule_at(5.0, [&] { ++fired; });
+    sim.run_until(5.0);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(simulator, rejects_scheduling_in_the_past) {
+    simulator sim;
+    sim.schedule_at(3.0, [] {});
+    sim.run();
+    EXPECT_THROW(sim.schedule_at(1.0, [] {}), richnote::precondition_error);
+    EXPECT_THROW(sim.schedule_in(-1.0, [] {}), richnote::precondition_error);
+    EXPECT_THROW(sim.run_until(1.0), richnote::precondition_error);
+}
+
+TEST(simulator, periodic_fires_with_tick_indices) {
+    simulator sim;
+    std::vector<std::uint64_t> ticks;
+    std::vector<double> times;
+    sim.schedule_periodic(1.0, 2.0, [&](std::uint64_t tick) {
+        ticks.push_back(tick);
+        times.push_back(sim.now());
+        if (tick == 3) sim.stop();
+    });
+    sim.run();
+    EXPECT_EQ(ticks, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+    EXPECT_EQ(times, (std::vector<double>{1.0, 3.0, 5.0, 7.0}));
+}
+
+TEST(simulator, cancel_periodic_stops_the_series) {
+    simulator sim;
+    int fired = 0;
+    const auto series = sim.schedule_periodic(0.0, 1.0, [&](std::uint64_t) { ++fired; });
+    sim.schedule_at(2.5, [&] { sim.cancel_periodic(series); });
+    sim.run_until(10.0);
+    EXPECT_EQ(fired, 3); // t = 0, 1, 2
+    EXPECT_TRUE(sim.idle());
+}
+
+TEST(simulator, periodic_callback_can_cancel_its_own_series) {
+    simulator sim;
+    std::uint64_t series = 0;
+    int fired = 0;
+    series = sim.schedule_periodic(0.0, 1.0, [&](std::uint64_t tick) {
+        ++fired;
+        if (tick == 1) sim.cancel_periodic(series);
+    });
+    sim.run_until(10.0);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(simulator, cancel_of_single_events_works) {
+    simulator sim;
+    bool fired = false;
+    const auto h = sim.schedule_at(1.0, [&] { fired = true; });
+    EXPECT_TRUE(sim.cancel(h));
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(simulator, periodic_rejects_bad_parameters) {
+    simulator sim;
+    EXPECT_THROW(sim.schedule_periodic(0.0, 0.0, [](std::uint64_t) {}),
+                 richnote::precondition_error);
+    EXPECT_THROW(sim.schedule_periodic(0.0, 1.0, nullptr), richnote::precondition_error);
+}
+
+TEST(time_helpers, hour_of_day_wraps) {
+    EXPECT_DOUBLE_EQ(t::hour_of_day(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(t::hour_of_day(3.0 * t::hours), 3.0);
+    EXPECT_DOUBLE_EQ(t::hour_of_day(27.0 * t::hours), 3.0);
+}
+
+TEST(time_helpers, weekend_starts_on_day_five) {
+    EXPECT_FALSE(t::is_weekend(0.0));              // Monday
+    EXPECT_FALSE(t::is_weekend(4.0 * t::days));    // Friday
+    EXPECT_TRUE(t::is_weekend(5.0 * t::days));     // Saturday
+    EXPECT_TRUE(t::is_weekend(6.5 * t::days));     // Sunday
+    EXPECT_FALSE(t::is_weekend(7.0 * t::days));    // next Monday
+}
+
+TEST(time_helpers, daytime_window) {
+    EXPECT_FALSE(t::is_daytime(7.0 * t::hours));
+    EXPECT_TRUE(t::is_daytime(8.0 * t::hours));
+    EXPECT_TRUE(t::is_daytime(21.9 * t::hours));
+    EXPECT_FALSE(t::is_daytime(22.0 * t::hours));
+}
+
+} // namespace

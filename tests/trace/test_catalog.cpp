@@ -1,0 +1,134 @@
+#include "trace/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using richnote::rng;
+using richnote::trace::catalog;
+using richnote::trace::catalog_params;
+
+catalog make_small_catalog(std::uint64_t seed = 1) {
+    catalog_params p;
+    p.artist_count = 50;
+    rng gen(seed);
+    return catalog(p, gen);
+}
+
+TEST(catalog, respects_structural_parameters) {
+    catalog_params p;
+    p.artist_count = 20;
+    p.min_albums_per_artist = 2;
+    p.max_albums_per_artist = 2;
+    p.min_tracks_per_album = 5;
+    p.max_tracks_per_album = 5;
+    rng gen(3);
+    catalog c(p, gen);
+    EXPECT_EQ(c.artist_count(), 20u);
+    EXPECT_EQ(c.album_count(), 40u);
+    EXPECT_EQ(c.track_count(), 200u);
+}
+
+TEST(catalog, ids_are_dense_and_cross_referenced) {
+    const catalog c = make_small_catalog();
+    for (std::size_t t = 0; t < c.track_count(); ++t) {
+        const auto& track = c.track_at(static_cast<richnote::trace::track_id>(t));
+        EXPECT_EQ(track.id, t);
+        const auto& album = c.album_at(track.on);
+        EXPECT_EQ(album.by, track.by);
+        EXPECT_GE(track.id, album.first_track);
+        EXPECT_LT(track.id, album.first_track + album.track_count);
+    }
+}
+
+TEST(catalog, popularity_is_in_paper_range) {
+    const catalog c = make_small_catalog();
+    for (const auto& a : c.artists()) {
+        EXPECT_GE(a.popularity, 1.0);
+        EXPECT_LE(a.popularity, 100.0);
+    }
+    for (const auto& t : c.tracks()) {
+        EXPECT_GE(t.popularity, 1.0);
+        EXPECT_LE(t.popularity, 100.0);
+    }
+}
+
+TEST(catalog, artist_popularity_decreases_with_rank) {
+    const catalog c = make_small_catalog();
+    for (std::size_t a = 1; a < c.artist_count(); ++a) {
+        EXPECT_LE(c.artist_at(static_cast<richnote::trace::artist_id>(a)).popularity,
+                  c.artist_at(static_cast<richnote::trace::artist_id>(a - 1)).popularity);
+    }
+}
+
+TEST(catalog, track_durations_are_plausible) {
+    const catalog c = make_small_catalog();
+    double total = 0;
+    for (const auto& t : c.tracks()) {
+        EXPECT_GE(t.duration_sec, 30.0);
+        total += t.duration_sec;
+    }
+    const double mean = total / static_cast<double>(c.track_count());
+    EXPECT_NEAR(mean, 276.0, 25.0); // §V-B: average track duration 276 s
+}
+
+TEST(catalog, popularity_sampling_prefers_popular_tracks) {
+    const catalog c = make_small_catalog();
+    rng gen(7);
+    double popular_sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        popular_sum += c.track_at(c.sample_track_by_popularity(gen)).popularity;
+    double uniform_sum = 0;
+    for (const auto& t : c.tracks()) uniform_sum += t.popularity;
+    const double uniform_mean = uniform_sum / static_cast<double>(c.track_count());
+    EXPECT_GT(popular_sum / n, uniform_mean * 1.1);
+}
+
+TEST(catalog, sample_track_of_artist_belongs_to_artist) {
+    const catalog c = make_small_catalog();
+    rng gen(9);
+    for (int i = 0; i < 500; ++i) {
+        const auto artist = c.sample_artist_by_popularity(gen);
+        const auto track = c.sample_track_of_artist(artist, gen);
+        EXPECT_EQ(c.track_at(track).by, artist);
+    }
+}
+
+TEST(catalog, same_seed_is_reproducible) {
+    const catalog a = make_small_catalog(42);
+    const catalog b = make_small_catalog(42);
+    ASSERT_EQ(a.track_count(), b.track_count());
+    for (std::size_t t = 0; t < a.track_count(); ++t) {
+        const auto id = static_cast<richnote::trace::track_id>(t);
+        EXPECT_DOUBLE_EQ(a.track_at(id).popularity, b.track_at(id).popularity);
+        EXPECT_DOUBLE_EQ(a.track_at(id).duration_sec, b.track_at(id).duration_sec);
+    }
+}
+
+TEST(catalog, rejects_invalid_parameters) {
+    rng gen(1);
+    catalog_params p;
+    p.artist_count = 0;
+    EXPECT_THROW(catalog(p, gen), richnote::precondition_error);
+    p = catalog_params{};
+    p.min_albums_per_artist = 3;
+    p.max_albums_per_artist = 2;
+    EXPECT_THROW(catalog(p, gen), richnote::precondition_error);
+    p = catalog_params{};
+    p.mean_track_duration_sec = -1;
+    EXPECT_THROW(catalog(p, gen), richnote::precondition_error);
+}
+
+TEST(catalog, lookup_rejects_out_of_range_ids) {
+    const catalog c = make_small_catalog();
+    EXPECT_THROW(c.track_at(static_cast<richnote::trace::track_id>(c.track_count())),
+                 richnote::precondition_error);
+    EXPECT_THROW(c.artist_at(static_cast<richnote::trace::artist_id>(c.artist_count())),
+                 richnote::precondition_error);
+}
+
+} // namespace

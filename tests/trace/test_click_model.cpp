@@ -1,0 +1,177 @@
+#include "trace/click_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using richnote::rng;
+using richnote::trace::click_model;
+using richnote::trace::click_model_params;
+using richnote::trace::notification;
+using richnote::trace::notification_features;
+using richnote::trace::sigmoid;
+
+click_model make_model(std::size_t users = 10, std::uint64_t seed = 1) {
+    rng gen(seed);
+    return click_model(click_model_params{}, users, gen);
+}
+
+notification_features mid_features() {
+    notification_features f;
+    f.social_tie = 0.5;
+    f.track_popularity = 50;
+    f.album_popularity = 50;
+    f.artist_popularity = 50;
+    f.weekend = false;
+    f.daytime = true;
+    return f;
+}
+
+TEST(sigmoid_fn, known_values_and_symmetry) {
+    EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+    EXPECT_NEAR(sigmoid(10.0), 1.0, 1e-4);
+    EXPECT_NEAR(sigmoid(-10.0), 0.0, 1e-4);
+    EXPECT_NEAR(sigmoid(2.0) + sigmoid(-2.0), 1.0, 1e-12);
+}
+
+TEST(sigmoid_fn, extreme_inputs_do_not_overflow) {
+    EXPECT_DOUBLE_EQ(sigmoid(1000.0), 1.0);
+    EXPECT_DOUBLE_EQ(sigmoid(-1000.0), 0.0);
+}
+
+TEST(click_model, probability_is_a_probability) {
+    const auto model = make_model();
+    notification_features f = mid_features();
+    for (double tie : {0.0, 0.3, 1.0}) {
+        f.social_tie = tie;
+        const double p = model.click_probability(0, f);
+        EXPECT_GT(p, 0.0);
+        EXPECT_LT(p, 1.0);
+    }
+}
+
+TEST(click_model, stronger_tie_raises_probability) {
+    const auto model = make_model();
+    notification_features lo = mid_features();
+    notification_features hi = mid_features();
+    lo.social_tie = 0.1;
+    hi.social_tie = 0.9;
+    EXPECT_GT(model.click_probability(3, hi), model.click_probability(3, lo));
+}
+
+TEST(click_model, popularity_raises_probability) {
+    const auto model = make_model();
+    notification_features lo = mid_features();
+    notification_features hi = mid_features();
+    lo.track_popularity = 5;
+    hi.track_popularity = 95;
+    EXPECT_GT(model.click_probability(0, hi), model.click_probability(0, lo));
+}
+
+TEST(click_model, daytime_and_weekend_raise_probability) {
+    const auto model = make_model();
+    notification_features base = mid_features();
+    base.daytime = false;
+    base.weekend = false;
+    notification_features day = base;
+    day.daytime = true;
+    notification_features weekend = base;
+    weekend.weekend = true;
+    EXPECT_GT(model.click_probability(0, day), model.click_probability(0, base));
+    EXPECT_GT(model.click_probability(0, weekend), model.click_probability(0, base));
+}
+
+TEST(click_model, user_biases_differ) {
+    const auto model = make_model(50, 9);
+    const auto f = mid_features();
+    bool found_difference = false;
+    const double p0 = model.click_probability(0, f);
+    for (richnote::trace::user_id u = 1; u < 50; ++u) {
+        if (std::abs(model.click_probability(u, f) - p0) > 1e-9) {
+            found_difference = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found_difference);
+}
+
+TEST(click_model, label_click_implies_attended_and_future_click_time) {
+    const auto model = make_model();
+    rng gen(5);
+    int clicked = 0, attended = 0;
+    for (int i = 0; i < 5000; ++i) {
+        notification n;
+        n.recipient = 0;
+        n.created_at = 12.0 * richnote::sim::hours;
+        n.features = mid_features();
+        model.label(n, gen);
+        if (n.clicked) {
+            EXPECT_TRUE(n.attended);
+            EXPECT_GT(n.clicked_at, n.created_at);
+            ++clicked;
+        }
+        if (n.attended) ++attended;
+    }
+    EXPECT_GT(attended, 0);
+    EXPECT_GT(clicked, 0);
+    EXPECT_LT(clicked, attended + 1);
+}
+
+TEST(click_model, attention_is_lower_at_night) {
+    const auto model = make_model();
+    rng gen(7);
+    int day_attended = 0, night_attended = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        notification day;
+        day.recipient = 0;
+        day.created_at = 12.0 * richnote::sim::hours;
+        day.features = mid_features();
+        model.label(day, gen);
+        day_attended += day.attended;
+
+        notification night;
+        night.recipient = 0;
+        night.created_at = 3.0 * richnote::sim::hours;
+        night.features = mid_features();
+        model.label(night, gen);
+        night_attended += night.attended;
+    }
+    EXPECT_NEAR(static_cast<double>(day_attended) / n, 0.55, 0.02);
+    EXPECT_NEAR(static_cast<double>(night_attended) / n, 0.20, 0.02);
+}
+
+TEST(click_model, click_frequency_tracks_latent_probability) {
+    click_model_params params;
+    params.noise_stddev = 0.0;
+    params.user_bias_stddev = 0.0;
+    rng gen(11);
+    click_model model(params, 1, gen);
+    const auto f = mid_features();
+    const double p = model.click_probability(0, f);
+    rng label_gen(13);
+    int clicked = 0, attended = 0;
+    for (int i = 0; i < 50000; ++i) {
+        notification n;
+        n.recipient = 0;
+        n.created_at = 12.0 * richnote::sim::hours;
+        n.features = f;
+        model.label(n, label_gen);
+        if (n.attended) {
+            ++attended;
+            clicked += n.clicked;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(clicked) / attended, p, 0.02);
+}
+
+TEST(click_model, rejects_out_of_range_user) {
+    const auto model = make_model(5);
+    EXPECT_THROW(model.click_probability(5, mid_features()), richnote::precondition_error);
+}
+
+} // namespace

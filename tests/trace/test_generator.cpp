@@ -1,0 +1,201 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using richnote::trace::notification_type;
+using richnote::trace::workload;
+using richnote::trace::workload_params;
+namespace t = richnote::sim;
+
+workload_params small_params() {
+    workload_params p;
+    p.user_count = 60;
+    p.catalog.artist_count = 100;
+    p.playlist_count = 20;
+    return p;
+}
+
+class generator_test : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() { world_ = new workload(small_params(), 5); }
+    static void TearDownTestSuite() {
+        delete world_;
+        world_ = nullptr;
+    }
+    static workload* world_;
+};
+
+workload* generator_test::world_ = nullptr;
+
+TEST_F(generator_test, streams_are_time_sorted) {
+    for (const auto& stream : world_->notifications().per_user) {
+        for (std::size_t i = 1; i < stream.size(); ++i)
+            EXPECT_LE(stream[i - 1].created_at, stream[i].created_at);
+    }
+}
+
+TEST_F(generator_test, ids_are_dense_and_unique) {
+    std::set<std::uint64_t> ids;
+    for (const auto& stream : world_->notifications().per_user)
+        for (const auto& n : stream) ids.insert(n.id);
+    EXPECT_EQ(ids.size(), world_->notifications().total_count);
+    if (!ids.empty()) {
+        EXPECT_EQ(*ids.begin(), 0u);
+        EXPECT_EQ(*ids.rbegin(), world_->notifications().total_count - 1);
+    }
+}
+
+TEST_F(generator_test, counters_match_contents) {
+    std::uint64_t total = 0, attended = 0, clicked = 0;
+    for (const auto& stream : world_->notifications().per_user) {
+        for (const auto& n : stream) {
+            ++total;
+            attended += n.attended;
+            clicked += n.clicked;
+        }
+    }
+    EXPECT_EQ(total, world_->notifications().total_count);
+    EXPECT_EQ(attended, world_->notifications().attended_count);
+    EXPECT_EQ(clicked, world_->notifications().clicked_count);
+    EXPECT_LE(clicked, attended);
+    EXPECT_LE(attended, total);
+    EXPECT_GT(total, 0u);
+}
+
+TEST_F(generator_test, timestamps_are_within_horizon) {
+    for (const auto& stream : world_->notifications().per_user) {
+        for (const auto& n : stream) {
+            EXPECT_GE(n.created_at, 0.0);
+            EXPECT_LT(n.created_at, world_->params().horizon);
+        }
+    }
+}
+
+TEST_F(generator_test, recipients_match_stream_index) {
+    const auto& per_user = world_->notifications().per_user;
+    for (std::size_t u = 0; u < per_user.size(); ++u)
+        for (const auto& n : per_user[u]) EXPECT_EQ(n.recipient, u);
+}
+
+TEST_F(generator_test, features_are_consistent_with_catalog) {
+    const auto& catalog = world_->catalog();
+    for (const auto& stream : world_->notifications().per_user) {
+        for (const auto& n : stream) {
+            const auto& track = catalog.track_at(n.track);
+            EXPECT_DOUBLE_EQ(n.features.track_popularity, track.popularity);
+            EXPECT_DOUBLE_EQ(n.features.artist_popularity,
+                             catalog.artist_at(track.by).popularity);
+            EXPECT_DOUBLE_EQ(n.features.album_popularity,
+                             catalog.album_at(track.on).popularity);
+            EXPECT_EQ(n.features.weekend, t::is_weekend(n.created_at));
+            EXPECT_EQ(n.features.daytime, t::is_daytime(n.created_at));
+            EXPECT_GT(n.features.social_tie, 0.0);
+            EXPECT_LE(n.features.social_tie, 1.0);
+        }
+    }
+}
+
+TEST_F(generator_test, friend_feed_tie_matches_social_graph_range) {
+    // Friend-feed ties come from the recipient's adjacency, so they must
+    // appear among the recipient's friendship tie strengths.
+    const auto& graph = world_->graph();
+    for (const auto& stream : world_->notifications().per_user) {
+        for (const auto& n : stream) {
+            if (n.type != notification_type::friend_feed) continue;
+            bool found = false;
+            for (const auto& f : graph.friends_of(n.recipient)) {
+                if (std::abs(f.tie_strength - n.features.social_tie) < 1e-12) {
+                    found = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(found);
+        }
+    }
+}
+
+TEST_F(generator_test, all_three_topic_classes_appear) {
+    std::set<notification_type> seen;
+    for (const auto& stream : world_->notifications().per_user)
+        for (const auto& n : stream) seen.insert(n.type);
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST_F(generator_test, friend_feeds_dominate_volume) {
+    // §II: friend feeds are "frequent and large in number compared to other
+    // publications".
+    std::uint64_t feeds = 0, others = 0;
+    for (const auto& stream : world_->notifications().per_user) {
+        for (const auto& n : stream) {
+            (n.type == notification_type::friend_feed ? feeds : others) += 1;
+        }
+    }
+    EXPECT_GT(feeds, others);
+}
+
+TEST_F(generator_test, flatten_preserves_count) {
+    const auto all = world_->notifications().flatten();
+    EXPECT_EQ(all.size(), world_->notifications().total_count);
+}
+
+TEST_F(generator_test, mean_load_is_in_target_band) {
+    // DESIGN.md: defaults target roughly 60-90 notifications per user-week,
+    // keeping the 1-100 MB budget sweep in the adaptive regime.
+    const double per_user = static_cast<double>(world_->notifications().total_count) /
+                            static_cast<double>(world_->user_count());
+    EXPECT_GT(per_user, 30.0);
+    EXPECT_LT(per_user, 160.0);
+}
+
+TEST(generator, is_deterministic_under_seed) {
+    const workload a(small_params(), 99);
+    const workload b(small_params(), 99);
+    ASSERT_EQ(a.notifications().total_count, b.notifications().total_count);
+    for (std::size_t u = 0; u < a.user_count(); ++u) {
+        const auto& sa = a.notifications().per_user[u];
+        const auto& sb = b.notifications().per_user[u];
+        ASSERT_EQ(sa.size(), sb.size());
+        for (std::size_t i = 0; i < sa.size(); ++i) {
+            EXPECT_EQ(sa[i].id, sb[i].id);
+            EXPECT_EQ(sa[i].track, sb[i].track);
+            EXPECT_DOUBLE_EQ(sa[i].created_at, sb[i].created_at);
+            EXPECT_EQ(sa[i].clicked, sb[i].clicked);
+        }
+    }
+}
+
+TEST(generator, different_seeds_differ) {
+    const workload a(small_params(), 1);
+    const workload b(small_params(), 2);
+    EXPECT_NE(a.notifications().total_count, b.notifications().total_count);
+}
+
+TEST(generator, shorter_horizon_means_fewer_notifications) {
+    workload_params p = small_params();
+    p.horizon = 2.0 * t::days;
+    const workload short_world(p, 7);
+    const workload week_world(small_params(), 7);
+    EXPECT_LT(short_world.notifications().total_count,
+              week_world.notifications().total_count);
+}
+
+TEST(generator, rejects_invalid_parameters) {
+    workload_params p = small_params();
+    p.user_count = 1;
+    EXPECT_THROW(workload(p, 1), richnote::precondition_error);
+    p = small_params();
+    p.horizon = 0;
+    EXPECT_THROW(workload(p, 1), richnote::precondition_error);
+    p = small_params();
+    p.notify_probability = 1.5;
+    EXPECT_THROW(workload(p, 1), richnote::precondition_error);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+#include "trace/social_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using richnote::rng;
+using richnote::trace::social_graph;
+using richnote::trace::social_graph_params;
+
+social_graph make_graph(std::size_t users = 300, std::size_t m = 4, std::uint64_t seed = 1) {
+    social_graph_params p;
+    p.user_count = users;
+    p.attachment_edges = m;
+    rng gen(seed);
+    return social_graph(p, gen);
+}
+
+TEST(social_graph, every_user_has_at_least_m_friends) {
+    const auto g = make_graph(200, 3);
+    for (richnote::trace::user_id u = 0; u < 200; ++u) EXPECT_GE(g.degree(u), 3u);
+}
+
+TEST(social_graph, edges_are_symmetric) {
+    const auto g = make_graph(150, 4, 7);
+    for (richnote::trace::user_id u = 0; u < 150; ++u) {
+        for (const auto& f : g.friends_of(u)) {
+            EXPECT_GT(g.tie(f.friend_user, u), 0.0)
+                << "edge " << u << "->" << f.friend_user << " missing reverse";
+        }
+    }
+}
+
+TEST(social_graph, tie_strengths_are_in_unit_interval_and_sorted) {
+    const auto g = make_graph();
+    for (richnote::trace::user_id u = 0; u < g.user_count(); ++u) {
+        const auto& friends = g.friends_of(u);
+        for (std::size_t i = 0; i < friends.size(); ++i) {
+            EXPECT_GT(friends[i].tie_strength, 0.0);
+            EXPECT_LE(friends[i].tie_strength, 1.0);
+            if (i > 0) {
+                EXPECT_LE(friends[i].tie_strength, friends[i - 1].tie_strength);
+            }
+        }
+    }
+}
+
+TEST(social_graph, strongest_tie_is_one) {
+    const auto g = make_graph();
+    for (richnote::trace::user_id u = 0; u < g.user_count(); ++u) {
+        EXPECT_DOUBLE_EQ(g.friends_of(u).front().tie_strength, 1.0);
+    }
+}
+
+TEST(social_graph, tie_of_strangers_is_zero) {
+    const auto g = make_graph(50, 2, 3);
+    // Find some non-adjacent pair.
+    for (richnote::trace::user_id v = 1; v < 50; ++v) {
+        if (g.tie(0, v) == 0.0) {
+            SUCCEED();
+            return;
+        }
+    }
+    FAIL() << "graph with m=2 should not be complete";
+}
+
+TEST(social_graph, preferential_attachment_creates_hubs) {
+    const auto g = make_graph(1000, 2, 11);
+    // BA graphs have heavy-tailed degree: the hub should be much larger
+    // than the minimum degree m.
+    EXPECT_GE(g.max_degree(), 5u * 2u);
+}
+
+TEST(social_graph, edge_count_matches_handshake_sum) {
+    const auto g = make_graph(120, 3, 13);
+    std::size_t degree_sum = 0;
+    for (richnote::trace::user_id u = 0; u < 120; ++u) degree_sum += g.degree(u);
+    EXPECT_EQ(degree_sum, 2 * g.edge_count());
+}
+
+TEST(social_graph, deterministic_under_seed) {
+    const auto a = make_graph(100, 3, 21);
+    const auto b = make_graph(100, 3, 21);
+    for (richnote::trace::user_id u = 0; u < 100; ++u) {
+        ASSERT_EQ(a.degree(u), b.degree(u));
+        for (std::size_t i = 0; i < a.friends_of(u).size(); ++i) {
+            EXPECT_EQ(a.friends_of(u)[i].friend_user, b.friends_of(u)[i].friend_user);
+            EXPECT_DOUBLE_EQ(a.friends_of(u)[i].tie_strength,
+                             b.friends_of(u)[i].tie_strength);
+        }
+    }
+}
+
+TEST(social_graph, rejects_invalid_parameters) {
+    rng gen(1);
+    social_graph_params p;
+    p.user_count = 1;
+    EXPECT_THROW(social_graph(p, gen), richnote::precondition_error);
+    p = social_graph_params{};
+    p.attachment_edges = 0;
+    EXPECT_THROW(social_graph(p, gen), richnote::precondition_error);
+    p = social_graph_params{};
+    p.tie_decay = 1.5;
+    EXPECT_THROW(social_graph(p, gen), richnote::precondition_error);
+}
+
+TEST(social_graph, out_of_range_user_throws) {
+    const auto g = make_graph(50);
+    EXPECT_THROW(g.friends_of(50), richnote::precondition_error);
+}
+
+} // namespace

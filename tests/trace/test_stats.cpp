@@ -1,0 +1,133 @@
+#include "trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using richnote::trace::analyze;
+using richnote::trace::heaviest_users;
+using richnote::trace::notification;
+using richnote::trace::notification_trace;
+using richnote::trace::notification_type;
+using richnote::trace::restrict_to_users;
+
+notification make_note(std::uint32_t user, double created_at, notification_type type,
+                       bool attended, bool clicked) {
+    notification n;
+    n.recipient = user;
+    n.created_at = created_at;
+    n.type = type;
+    n.attended = attended;
+    n.clicked = clicked;
+    n.features.social_tie = 0.5;
+    n.features.track_popularity = 40.0;
+    return n;
+}
+
+notification_trace tiny_trace() {
+    notification_trace t;
+    t.per_user.resize(3);
+    auto add = [&](const notification& n) {
+        t.per_user[n.recipient].push_back(n);
+        ++t.total_count;
+        if (n.attended) ++t.attended_count;
+        if (n.clicked) ++t.clicked_count;
+    };
+    using nt = notification_type;
+    add(make_note(0, 1.0 * 3600, nt::friend_feed, true, true));
+    add(make_note(0, 10.0 * 3600, nt::friend_feed, true, false));
+    add(make_note(0, 20.0 * 3600, nt::album_release, false, false));
+    add(make_note(2, 5.0 * 3600, nt::playlist_update, true, true));
+    return t;
+}
+
+TEST(trace_stats, counts_and_rates) {
+    const auto stats = analyze(tiny_trace());
+    EXPECT_EQ(stats.total, 4u);
+    EXPECT_EQ(stats.attended, 3u);
+    EXPECT_EQ(stats.clicked, 2u);
+    EXPECT_EQ(stats.users, 3u);
+    EXPECT_EQ(stats.active_users, 2u); // user 1 has nothing
+    EXPECT_DOUBLE_EQ(stats.attention_rate, 0.75);
+    EXPECT_NEAR(stats.click_through_rate, 2.0 / 3.0, 1e-12);
+}
+
+TEST(trace_stats, per_user_distribution_over_active_users) {
+    const auto stats = analyze(tiny_trace());
+    EXPECT_DOUBLE_EQ(stats.items_per_user_mean, 2.0); // (3 + 1) / 2 active
+    EXPECT_DOUBLE_EQ(stats.items_per_user_max, 3.0);
+}
+
+TEST(trace_stats, type_mix_and_fractions) {
+    const auto stats = analyze(tiny_trace());
+    EXPECT_DOUBLE_EQ(stats.type_fraction(notification_type::friend_feed), 0.5);
+    EXPECT_DOUBLE_EQ(stats.type_fraction(notification_type::album_release), 0.25);
+    EXPECT_DOUBLE_EQ(stats.type_fraction(notification_type::playlist_update), 0.25);
+}
+
+TEST(trace_stats, temporal_shape) {
+    const auto stats = analyze(tiny_trace());
+    // Timestamps at hours 1, 10, 20, 5 on day 0 (Monday): no weekend.
+    EXPECT_DOUBLE_EQ(stats.weekend_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(stats.hourly_fraction[1], 0.25);
+    EXPECT_DOUBLE_EQ(stats.hourly_fraction[10], 0.25);
+    EXPECT_DOUBLE_EQ(stats.span, 19.0 * 3600.0);
+    double total = 0;
+    for (double f : stats.hourly_fraction) total += f;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(trace_stats, empty_trace_is_all_zero) {
+    notification_trace empty;
+    empty.per_user.resize(2);
+    const auto stats = analyze(empty);
+    EXPECT_EQ(stats.total, 0u);
+    EXPECT_EQ(stats.active_users, 0u);
+    EXPECT_DOUBLE_EQ(stats.attention_rate, 0.0);
+    EXPECT_DOUBLE_EQ(stats.items_per_user_mean, 0.0);
+}
+
+TEST(heaviest_users_fn, orders_by_load_with_id_tiebreak) {
+    const auto trace = tiny_trace();
+    const auto top = heaviest_users(trace, 2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0], 0u); // 3 items
+    EXPECT_EQ(top[1], 2u); // 1 item (user 1 has 0, loses tie-break ordering)
+    EXPECT_THROW(heaviest_users(trace, 0), richnote::precondition_error);
+}
+
+TEST(restrict_to_users_fn, keeps_only_selected_streams) {
+    const auto trace = tiny_trace();
+    const auto restricted = restrict_to_users(trace, {2});
+    EXPECT_EQ(restricted.total_count, 1u);
+    EXPECT_EQ(restricted.clicked_count, 1u);
+    EXPECT_TRUE(restricted.per_user[0].empty());
+    EXPECT_EQ(restricted.per_user[2].size(), 1u);
+    EXPECT_THROW(restrict_to_users(trace, {9}), richnote::precondition_error);
+}
+
+TEST(trace_stats, generated_workload_has_the_paper_shape) {
+    richnote::trace::workload_params p;
+    p.user_count = 50;
+    p.catalog.artist_count = 60;
+    p.playlist_count = 10;
+    const richnote::trace::workload world(p, 5);
+    const auto stats = analyze(world.notifications());
+
+    // §II: friend feeds dominate the other topic classes.
+    EXPECT_GT(stats.type_fraction(notification_type::friend_feed), 0.5);
+    // Diurnal listening: evenings busier than pre-dawn.
+    EXPECT_GT(stats.hourly_fraction[20], stats.hourly_fraction[3]);
+    // Weekend share near 2/7 (uniform weekday mix).
+    EXPECT_NEAR(stats.weekend_fraction, 2.0 / 7.0, 0.06);
+    // The paper's selection step works on this trace: top users carry more.
+    const auto top = heaviest_users(world.notifications(), 5);
+    const auto restricted = restrict_to_users(world.notifications(), top);
+    EXPECT_GT(static_cast<double>(restricted.total_count),
+              0.15 * static_cast<double>(stats.total));
+}
+
+} // namespace

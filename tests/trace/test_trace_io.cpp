@@ -1,0 +1,137 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using richnote::trace::notification_trace;
+using richnote::trace::read_trace_csv;
+using richnote::trace::workload;
+using richnote::trace::workload_params;
+using richnote::trace::write_trace_csv;
+
+workload small_world(std::uint64_t seed = 3) {
+    workload_params p;
+    p.user_count = 25;
+    p.catalog.artist_count = 40;
+    p.playlist_count = 8;
+    p.horizon = 2.0 * richnote::sim::days;
+    return workload(p, seed);
+}
+
+TEST(trace_io, round_trip_preserves_everything) {
+    const workload world = small_world();
+    const notification_trace& original = world.notifications();
+
+    std::stringstream buffer;
+    const std::size_t rows = write_trace_csv(buffer, original);
+    EXPECT_EQ(rows, original.total_count);
+
+    const notification_trace loaded = read_trace_csv(buffer, original.user_count());
+    ASSERT_EQ(loaded.total_count, original.total_count);
+    EXPECT_EQ(loaded.attended_count, original.attended_count);
+    EXPECT_EQ(loaded.clicked_count, original.clicked_count);
+    ASSERT_EQ(loaded.per_user.size(), original.per_user.size());
+    for (std::size_t u = 0; u < original.per_user.size(); ++u) {
+        const auto& a = original.per_user[u];
+        const auto& b = loaded.per_user[u];
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].id, b[i].id);
+            EXPECT_EQ(a[i].recipient, b[i].recipient);
+            EXPECT_EQ(a[i].type, b[i].type);
+            EXPECT_EQ(a[i].track, b[i].track);
+            EXPECT_DOUBLE_EQ(a[i].created_at, b[i].created_at);
+            EXPECT_DOUBLE_EQ(a[i].features.social_tie, b[i].features.social_tie);
+            EXPECT_DOUBLE_EQ(a[i].features.track_popularity,
+                             b[i].features.track_popularity);
+            EXPECT_EQ(a[i].features.weekend, b[i].features.weekend);
+            EXPECT_EQ(a[i].features.daytime, b[i].features.daytime);
+            EXPECT_EQ(a[i].attended, b[i].attended);
+            EXPECT_EQ(a[i].clicked, b[i].clicked);
+            EXPECT_DOUBLE_EQ(a[i].clicked_at, b[i].clicked_at);
+        }
+    }
+}
+
+TEST(trace_io, empty_trace_round_trips) {
+    notification_trace empty;
+    empty.per_user.resize(3);
+    std::stringstream buffer;
+    EXPECT_EQ(write_trace_csv(buffer, empty), 0u);
+    const notification_trace loaded = read_trace_csv(buffer, 3);
+    EXPECT_EQ(loaded.total_count, 0u);
+    EXPECT_EQ(loaded.per_user.size(), 3u);
+}
+
+TEST(trace_io, rejects_wrong_header) {
+    std::stringstream buffer("id,oops\n");
+    EXPECT_THROW(read_trace_csv(buffer, 2), richnote::precondition_error);
+}
+
+TEST(trace_io, rejects_empty_file) {
+    std::stringstream buffer;
+    EXPECT_THROW(read_trace_csv(buffer, 2), richnote::precondition_error);
+}
+
+std::string header_line() {
+    return "id,recipient,type,track,created_at,social_tie,track_popularity,"
+           "album_popularity,artist_popularity,weekend,daytime,attended,clicked,"
+           "clicked_at\n";
+}
+
+TEST(trace_io, rejects_out_of_range_recipient) {
+    std::stringstream buffer(header_line() +
+                             "0,7,friend_feed,1,10,0.5,50,50,50,0,1,1,0,0\n");
+    EXPECT_THROW(read_trace_csv(buffer, 2), richnote::precondition_error);
+}
+
+TEST(trace_io, rejects_unknown_type_and_bad_booleans) {
+    std::stringstream bad_type(header_line() +
+                               "0,0,spam,1,10,0.5,50,50,50,0,1,1,0,0\n");
+    EXPECT_THROW(read_trace_csv(bad_type, 2), richnote::precondition_error);
+    std::stringstream bad_bool(header_line() +
+                               "0,0,friend_feed,1,10,0.5,50,50,50,maybe,1,1,0,0\n");
+    EXPECT_THROW(read_trace_csv(bad_bool, 2), richnote::precondition_error);
+}
+
+TEST(trace_io, rejects_clicked_without_attended) {
+    std::stringstream buffer(header_line() +
+                             "0,0,friend_feed,1,10,0.5,50,50,50,0,1,0,1,20\n");
+    EXPECT_THROW(read_trace_csv(buffer, 2), richnote::precondition_error);
+}
+
+TEST(trace_io, rejects_time_disorder_within_a_user) {
+    std::stringstream buffer(header_line() +
+                             "0,0,friend_feed,1,10,0.5,50,50,50,0,1,0,0,0\n"
+                             "1,0,friend_feed,1,5,0.5,50,50,50,0,1,0,0,0\n");
+    EXPECT_THROW(read_trace_csv(buffer, 2), richnote::precondition_error);
+}
+
+TEST(trace_io, rejects_short_rows) {
+    std::stringstream buffer(header_line() + "0,0,friend_feed\n");
+    EXPECT_THROW(read_trace_csv(buffer, 2), richnote::precondition_error);
+}
+
+TEST(trace_io, file_helpers_round_trip) {
+    const workload world = small_world(9);
+    const std::string path = ::testing::TempDir() + "richnote_trace_io_test.csv";
+    const std::size_t rows = richnote::trace::save_trace(path, world.notifications());
+    EXPECT_EQ(rows, world.notifications().total_count);
+    const auto loaded =
+        richnote::trace::load_trace(path, world.notifications().user_count());
+    EXPECT_EQ(loaded.total_count, world.notifications().total_count);
+    std::remove(path.c_str());
+}
+
+TEST(trace_io, missing_file_throws) {
+    EXPECT_THROW(richnote::trace::load_trace("/nonexistent/nowhere.csv", 2),
+                 richnote::precondition_error);
+}
+
+} // namespace

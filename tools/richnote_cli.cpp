@@ -1,0 +1,248 @@
+// richnote — command-line front end to the library.
+//
+// Subcommands mirror the paper's pipeline so the whole system is drivable
+// without writing C++:
+//
+//   richnote generate users=200 seed=1 out=trace.csv
+//       Generate a synthetic Spotify-like workload and export it.
+//   richnote train trace=trace.csv users=200 trees=30 out=model.forest
+//       Build the §V-A training set from an exported trace, train the
+//       Random Forest, report 5-fold CV, and save the model.
+//   richnote simulate users=200 seed=1 scheduler=richnote budget_mb=10
+//             [model=model.forest] [fixed_level=3] [wifi=true]
+//       Run the trace-driven evaluation for one scheduler/budget and print
+//       the §V-C metrics (the model defaults to training on the fly).
+//   richnote sweep users=200 seed=1 budgets=1,5,20,100 [csv=out.csv]
+//       The Fig. 3/4 budget sweep across RichNote/FIFO/UTIL in one table.
+//
+// All arguments are key=value; `richnote help` prints this text.
+#include <iostream>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "ml/metrics.hpp"
+#include "trace/generator.hpp"
+#include "trace/stats.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace richnote;
+
+void print_usage() {
+    std::cout <<
+        R"(richnote — adaptive rich-notification scheduling (ICDCS'16 reproduction)
+
+subcommands:
+  generate users=200 seed=1 out=trace.csv
+  train    trace=trace.csv users=200 trees=30 folds=5 out=model.forest
+  simulate users=200 seed=1 scheduler=richnote|fifo|util|direct
+           budget_mb=10 [fixed_level=3] [wifi=false] [model=model.forest]
+  sweep    users=200 seed=1 budgets=1,5,20,100
+  inspect  trace=trace.csv users=200 [top=10]
+  help
+)";
+}
+
+trace::workload_params workload_params_from(const config& cfg) {
+    trace::workload_params p;
+    p.user_count = static_cast<std::size_t>(cfg.get_int("users", 200));
+    return p;
+}
+
+int cmd_generate(const config& cfg) {
+    cfg.restrict_to({"users", "seed", "out"});
+    const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    const std::string out = cfg.get_string("out", "trace.csv");
+    const trace::workload world(workload_params_from(cfg), seed);
+    const auto rows = trace::save_trace(out, world.notifications());
+    std::cout << "wrote " << rows << " notifications for " << world.user_count()
+              << " users to " << out << "\n  attended: "
+              << world.notifications().attended_count
+              << ", clicked: " << world.notifications().clicked_count
+              << "\n  pub/sub: " << world.pubsub().topic_count() << " topics, "
+              << world.pubsub().subscription_count() << " subscriptions, "
+              << world.pubsub().publications() << " publications\n";
+    return 0;
+}
+
+int cmd_train(const config& cfg) {
+    cfg.restrict_to({"trace", "users", "trees", "folds", "seed", "out"});
+    const std::string trace_path = cfg.get_string("trace", "trace.csv");
+    const auto users = static_cast<std::size_t>(cfg.get_int("users", 200));
+    const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    const std::string out = cfg.get_string("out", "model.forest");
+
+    const auto trace = trace::load_trace(trace_path, users);
+    const ml::dataset data = core::make_training_set(trace);
+    std::cout << "training set: " << data.size() << " attended notifications ("
+              << format_double(100.0 * data.positive_fraction(), 1) << "% clicked)\n";
+
+    ml::forest_params params;
+    params.tree_count = static_cast<std::size_t>(cfg.get_int("trees", 30));
+    const auto folds = static_cast<std::size_t>(cfg.get_int("folds", 5));
+    const auto cv = ml::cross_validate_forest(data, params, folds, seed);
+    std::cout << folds << "-fold CV: accuracy " << format_double(cv.mean_accuracy(), 3)
+              << ", precision " << format_double(cv.mean_precision(), 3)
+              << "  (paper: 0.689 / 0.700)\n";
+
+    ml::random_forest forest;
+    forest.fit(data, params, seed);
+    forest.save_file(out);
+    std::cout << "saved " << forest.tree_count() << "-tree model to " << out << '\n';
+    return 0;
+}
+
+core::scheduler_kind parse_kind(const std::string& name) {
+    if (name == "richnote") return core::scheduler_kind::richnote;
+    if (name == "fifo") return core::scheduler_kind::fifo;
+    if (name == "util") return core::scheduler_kind::util;
+    if (name == "direct") return core::scheduler_kind::direct;
+    RICHNOTE_REQUIRE(false, "unknown scheduler: " + name);
+    return core::scheduler_kind::richnote; // unreachable
+}
+
+int cmd_simulate(const config& cfg) {
+    cfg.restrict_to({"users", "seed", "scheduler", "budget_mb", "fixed_level", "wifi",
+                     "model", "trees"});
+    core::experiment_setup::options opts;
+    opts.workload = workload_params_from(cfg);
+    opts.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    opts.forest.tree_count = static_cast<std::size_t>(cfg.get_int("trees", 30));
+    opts.model_file = cfg.get_string("model", "");
+    const core::experiment_setup setup(opts);
+
+    core::experiment_params params;
+    params.kind = parse_kind(cfg.get_string("scheduler", "richnote"));
+    params.fixed_level = static_cast<core::level_t>(cfg.get_int("fixed_level", 3));
+    params.weekly_budget_mb = cfg.get_double("budget_mb", 10.0);
+    params.wifi_enabled = cfg.get_bool("wifi", false);
+    params.seed = opts.seed;
+    const auto r = core::run_experiment(setup, params);
+
+    table t({"metric", "value"});
+    t.add_row({"scheduler", r.scheduler_name});
+    t.add_row({"weekly budget (MB)", format_double(r.weekly_budget_mb, 1)});
+    t.add_row({"delivery ratio", format_double(r.delivery_ratio, 4)});
+    t.add_row({"delivered (MB)", format_double(r.delivered_mb, 1)});
+    t.add_row({"metered (MB)", format_double(r.metered_mb, 1)});
+    t.add_row({"recall", format_double(r.recall, 4)});
+    t.add_row({"precision", format_double(r.precision, 4)});
+    t.add_row({"total utility", format_double(r.total_utility, 1)});
+    t.add_row({"avg utility / delivery", format_double(r.avg_utility, 4)});
+    t.add_row({"energy (KJ)", format_double(r.energy_kj, 1)});
+    t.add_row({"mean queuing delay (min)", format_double(r.mean_delay_min, 1)});
+    std::cout << t;
+    return 0;
+}
+
+int cmd_inspect(const config& cfg) {
+    cfg.restrict_to({"trace", "users", "top"});
+    const std::string trace_path = cfg.get_string("trace", "trace.csv");
+    const auto users = static_cast<std::size_t>(cfg.get_int("users", 200));
+    const auto top = static_cast<std::size_t>(cfg.get_int("top", 10));
+
+    const auto trace = trace::load_trace(trace_path, users);
+    const auto stats = trace::analyze(trace);
+
+    table t({"statistic", "value"});
+    t.add_row({"notifications", std::to_string(stats.total)});
+    t.add_row({"users (active/total)", std::to_string(stats.active_users) + " / " +
+                                           std::to_string(stats.users)});
+    t.add_row({"items/user mean | p50 | p90 | max",
+               format_double(stats.items_per_user_mean, 1) + " | " +
+                   format_double(stats.items_per_user_p50, 0) + " | " +
+                   format_double(stats.items_per_user_p90, 0) + " | " +
+                   format_double(stats.items_per_user_max, 0)});
+    t.add_row({"friend_feed share",
+               format_double(stats.type_fraction(trace::notification_type::friend_feed), 3)});
+    t.add_row({"album_release share",
+               format_double(stats.type_fraction(trace::notification_type::album_release), 3)});
+    t.add_row({"playlist_update share",
+               format_double(stats.type_fraction(trace::notification_type::playlist_update), 3)});
+    t.add_row({"attention rate", format_double(stats.attention_rate, 3)});
+    t.add_row({"click-through (of attended)", format_double(stats.click_through_rate, 3)});
+    t.add_row({"weekend share", format_double(stats.weekend_fraction, 3)});
+    t.add_row({"trace span (days)", format_double(stats.span / sim::days, 2)});
+    t.add_row({"mean social tie", format_double(stats.social_tie_mean, 3)});
+    t.add_row({"mean track popularity", format_double(stats.track_popularity_mean, 1)});
+    std::cout << t;
+
+    std::cout << "\ntop " << top << " users by load:";
+    for (const auto u : trace::heaviest_users(trace, top)) {
+        std::cout << ' ' << u << '(' << trace.per_user[u].size() << ')';
+    }
+    std::cout << "\n\nhourly arrival shares (00..23):\n";
+    for (std::size_t h = 0; h < 24; ++h) {
+        std::cout << format_double(stats.hourly_fraction[h], 3)
+                  << (h % 8 == 7 ? '\n' : ' ');
+    }
+    return 0;
+}
+
+int cmd_sweep(const config& cfg) {
+    cfg.restrict_to({"users", "seed", "budgets", "trees", "csv"});
+    core::experiment_setup::options opts;
+    opts.workload = workload_params_from(cfg);
+    opts.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    opts.forest.tree_count = static_cast<std::size_t>(cfg.get_int("trees", 30));
+    const core::experiment_setup setup(opts);
+
+    std::vector<double> budgets = {1, 5, 20, 100};
+    if (cfg.has("budgets")) {
+        budgets.clear();
+        const std::string list = cfg.get_string("budgets", "");
+        std::size_t pos = 0;
+        while (pos < list.size()) {
+            const std::size_t comma = list.find(',', pos);
+            budgets.push_back(std::stod(list.substr(pos, comma - pos)));
+            if (comma == std::string::npos) break;
+            pos = comma + 1;
+        }
+    }
+
+    table t({"budget(MB)", "scheduler", "delivery%", "recall", "precision", "utility",
+             "delay(min)"});
+    for (double budget : budgets) {
+        for (auto kind : {core::scheduler_kind::richnote, core::scheduler_kind::fifo,
+                          core::scheduler_kind::util}) {
+            core::experiment_params params;
+            params.kind = kind;
+            params.fixed_level = 3;
+            params.weekly_budget_mb = budget;
+            params.seed = opts.seed;
+            const auto r = core::run_experiment(setup, params);
+            t.add_row({format_double(budget, 0), r.scheduler_name,
+                       format_double(100.0 * r.delivery_ratio, 1),
+                       format_double(r.recall, 3), format_double(r.precision, 3),
+                       format_double(r.total_utility, 1),
+                       format_double(r.mean_delay_min, 1)});
+        }
+    }
+    std::cout << t;
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) try {
+    if (argc < 2 || std::string(argv[1]) == "help" || std::string(argv[1]) == "--help") {
+        print_usage();
+        return argc < 2 ? 1 : 0;
+    }
+    const std::string command = argv[1];
+    const config cfg = config::from_args(argc - 1, argv + 1);
+    if (command == "generate") return cmd_generate(cfg);
+    if (command == "train") return cmd_train(cfg);
+    if (command == "simulate") return cmd_simulate(cfg);
+    if (command == "sweep") return cmd_sweep(cfg);
+    if (command == "inspect") return cmd_inspect(cfg);
+    std::cerr << "unknown subcommand: " << command << "\n\n";
+    print_usage();
+    return 1;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}
