@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_connectivity.dir/ablation_connectivity.cpp.o"
+  "CMakeFiles/ablation_connectivity.dir/ablation_connectivity.cpp.o.d"
+  "ablation_connectivity"
+  "ablation_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

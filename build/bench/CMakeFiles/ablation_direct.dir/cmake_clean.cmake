@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_direct.dir/ablation_direct.cpp.o"
+  "CMakeFiles/ablation_direct.dir/ablation_direct.cpp.o.d"
+  "ablation_direct"
+  "ablation_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_energy_cap.dir/ablation_energy_cap.cpp.o"
+  "CMakeFiles/ablation_energy_cap.dir/ablation_energy_cap.cpp.o.d"
+  "ablation_energy_cap"
+  "ablation_energy_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_energy_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lyapunov_v.dir/ablation_lyapunov_v.cpp.o"
+  "CMakeFiles/ablation_lyapunov_v.dir/ablation_lyapunov_v.cpp.o.d"
+  "ablation_lyapunov_v"
+  "ablation_lyapunov_v.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lyapunov_v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

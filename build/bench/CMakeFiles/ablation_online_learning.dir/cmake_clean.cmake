@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_online_learning.dir/ablation_online_learning.cpp.o"
+  "CMakeFiles/ablation_online_learning.dir/ablation_online_learning.cpp.o.d"
+  "ablation_online_learning"
+  "ablation_online_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_online_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_precision_knob.dir/ablation_precision_knob.cpp.o"
+  "CMakeFiles/ablation_precision_knob.dir/ablation_precision_knob.cpp.o.d"
+  "ablation_precision_knob"
+  "ablation_precision_knob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_precision_knob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

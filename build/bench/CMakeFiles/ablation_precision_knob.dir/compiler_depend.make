@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_precision_knob.
+# This may be replaced when dependencies are built.

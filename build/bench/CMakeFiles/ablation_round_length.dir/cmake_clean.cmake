@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_round_length.dir/ablation_round_length.cpp.o"
+  "CMakeFiles/ablation_round_length.dir/ablation_round_length.cpp.o.d"
+  "ablation_round_length"
+  "ablation_round_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_round_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_topic_rounds.dir/ablation_topic_rounds.cpp.o"
+  "CMakeFiles/ablation_topic_rounds.dir/ablation_topic_rounds.cpp.o.d"
+  "ablation_topic_rounds"
+  "ablation_topic_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_topic_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wifi_deferral.dir/ablation_wifi_deferral.cpp.o"
+  "CMakeFiles/ablation_wifi_deferral.dir/ablation_wifi_deferral.cpp.o.d"
+  "ablation_wifi_deferral"
+  "ablation_wifi_deferral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wifi_deferral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

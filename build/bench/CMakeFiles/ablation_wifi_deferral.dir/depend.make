@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_wifi_deferral.
+# This may be replaced when dependencies are built.

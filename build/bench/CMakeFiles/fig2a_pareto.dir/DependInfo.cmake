@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2a_pareto.cpp" "bench/CMakeFiles/fig2a_pareto.dir/fig2a_pareto.cpp.o" "gcc" "bench/CMakeFiles/fig2a_pareto.dir/fig2a_pareto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/richnote_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/richnote_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/richnote_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/richnote_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/richnote_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/richnote_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/richnote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

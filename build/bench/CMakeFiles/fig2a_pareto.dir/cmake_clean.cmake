@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_pareto.dir/fig2a_pareto.cpp.o"
+  "CMakeFiles/fig2a_pareto.dir/fig2a_pareto.cpp.o.d"
+  "fig2a_pareto"
+  "fig2a_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

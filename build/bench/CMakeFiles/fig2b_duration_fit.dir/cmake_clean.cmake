@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_duration_fit.dir/fig2b_duration_fit.cpp.o"
+  "CMakeFiles/fig2b_duration_fit.dir/fig2b_duration_fit.cpp.o.d"
+  "fig2b_duration_fit"
+  "fig2b_duration_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_duration_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

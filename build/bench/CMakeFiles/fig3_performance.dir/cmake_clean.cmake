@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_performance.dir/fig3_performance.cpp.o"
+  "CMakeFiles/fig3_performance.dir/fig3_performance.cpp.o.d"
+  "fig3_performance"
+  "fig3_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

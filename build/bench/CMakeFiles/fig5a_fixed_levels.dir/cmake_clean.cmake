@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_fixed_levels.dir/fig5a_fixed_levels.cpp.o"
+  "CMakeFiles/fig5a_fixed_levels.dir/fig5a_fixed_levels.cpp.o.d"
+  "fig5a_fixed_levels"
+  "fig5a_fixed_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_fixed_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

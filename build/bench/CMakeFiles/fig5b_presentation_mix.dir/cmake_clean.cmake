@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_presentation_mix.dir/fig5b_presentation_mix.cpp.o"
+  "CMakeFiles/fig5b_presentation_mix.dir/fig5b_presentation_mix.cpp.o.d"
+  "fig5b_presentation_mix"
+  "fig5b_presentation_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_presentation_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

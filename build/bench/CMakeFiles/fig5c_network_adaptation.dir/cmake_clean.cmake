@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_network_adaptation.dir/fig5c_network_adaptation.cpp.o"
+  "CMakeFiles/fig5c_network_adaptation.dir/fig5c_network_adaptation.cpp.o.d"
+  "fig5c_network_adaptation"
+  "fig5c_network_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_network_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

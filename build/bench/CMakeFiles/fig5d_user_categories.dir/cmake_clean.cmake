@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5d_user_categories.dir/fig5d_user_categories.cpp.o"
+  "CMakeFiles/fig5d_user_categories.dir/fig5d_user_categories.cpp.o.d"
+  "fig5d_user_categories"
+  "fig5d_user_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5d_user_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

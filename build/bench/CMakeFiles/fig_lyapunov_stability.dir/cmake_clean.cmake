@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_lyapunov_stability.dir/fig_lyapunov_stability.cpp.o"
+  "CMakeFiles/fig_lyapunov_stability.dir/fig_lyapunov_stability.cpp.o.d"
+  "fig_lyapunov_stability"
+  "fig_lyapunov_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_lyapunov_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

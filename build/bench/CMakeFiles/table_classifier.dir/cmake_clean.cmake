@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_classifier.dir/table_classifier.cpp.o"
+  "CMakeFiles/table_classifier.dir/table_classifier.cpp.o.d"
+  "table_classifier"
+  "table_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_feature_importance.dir/table_feature_importance.cpp.o"
+  "CMakeFiles/table_feature_importance.dir/table_feature_importance.cpp.o.d"
+  "table_feature_importance"
+  "table_feature_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_feature_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

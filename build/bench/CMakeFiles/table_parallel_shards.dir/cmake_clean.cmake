@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_parallel_shards.dir/table_parallel_shards.cpp.o"
+  "CMakeFiles/table_parallel_shards.dir/table_parallel_shards.cpp.o.d"
+  "table_parallel_shards"
+  "table_parallel_shards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_parallel_shards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

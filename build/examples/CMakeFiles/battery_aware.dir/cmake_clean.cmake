@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_aware.dir/battery_aware.cpp.o"
+  "CMakeFiles/battery_aware.dir/battery_aware.cpp.o.d"
+  "battery_aware"
+  "battery_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

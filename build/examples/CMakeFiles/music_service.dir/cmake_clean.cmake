@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_service.dir/music_service.cpp.o"
+  "CMakeFiles/music_service.dir/music_service.cpp.o.d"
+  "music_service"
+  "music_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

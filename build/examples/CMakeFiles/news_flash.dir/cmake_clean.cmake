@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_flash.dir/news_flash.cpp.o"
+  "CMakeFiles/news_flash.dir/news_flash.cpp.o.d"
+  "news_flash"
+  "news_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

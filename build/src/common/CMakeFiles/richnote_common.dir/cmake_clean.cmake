@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/richnote_common.dir/config.cpp.o"
+  "CMakeFiles/richnote_common.dir/config.cpp.o.d"
+  "CMakeFiles/richnote_common.dir/csv.cpp.o"
+  "CMakeFiles/richnote_common.dir/csv.cpp.o.d"
+  "CMakeFiles/richnote_common.dir/histogram.cpp.o"
+  "CMakeFiles/richnote_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/richnote_common.dir/regression.cpp.o"
+  "CMakeFiles/richnote_common.dir/regression.cpp.o.d"
+  "CMakeFiles/richnote_common.dir/rng.cpp.o"
+  "CMakeFiles/richnote_common.dir/rng.cpp.o.d"
+  "CMakeFiles/richnote_common.dir/stats.cpp.o"
+  "CMakeFiles/richnote_common.dir/stats.cpp.o.d"
+  "CMakeFiles/richnote_common.dir/table.cpp.o"
+  "CMakeFiles/richnote_common.dir/table.cpp.o.d"
+  "CMakeFiles/richnote_common.dir/zipf.cpp.o"
+  "CMakeFiles/richnote_common.dir/zipf.cpp.o.d"
+  "librichnote_common.a"
+  "librichnote_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/richnote_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/broker.cpp" "src/core/CMakeFiles/richnote_core.dir/broker.cpp.o" "gcc" "src/core/CMakeFiles/richnote_core.dir/broker.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/richnote_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/richnote_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/lyapunov.cpp" "src/core/CMakeFiles/richnote_core.dir/lyapunov.cpp.o" "gcc" "src/core/CMakeFiles/richnote_core.dir/lyapunov.cpp.o.d"
+  "/root/repo/src/core/mckp.cpp" "src/core/CMakeFiles/richnote_core.dir/mckp.cpp.o" "gcc" "src/core/CMakeFiles/richnote_core.dir/mckp.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/richnote_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/richnote_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/presentation.cpp" "src/core/CMakeFiles/richnote_core.dir/presentation.cpp.o" "gcc" "src/core/CMakeFiles/richnote_core.dir/presentation.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/richnote_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/richnote_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/telemetry.cpp" "src/core/CMakeFiles/richnote_core.dir/telemetry.cpp.o" "gcc" "src/core/CMakeFiles/richnote_core.dir/telemetry.cpp.o.d"
+  "/root/repo/src/core/utility.cpp" "src/core/CMakeFiles/richnote_core.dir/utility.cpp.o" "gcc" "src/core/CMakeFiles/richnote_core.dir/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/richnote_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/richnote_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/richnote_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/richnote_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/richnote_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/richnote_pubsub.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/richnote_core.dir/broker.cpp.o"
+  "CMakeFiles/richnote_core.dir/broker.cpp.o.d"
+  "CMakeFiles/richnote_core.dir/experiment.cpp.o"
+  "CMakeFiles/richnote_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/richnote_core.dir/lyapunov.cpp.o"
+  "CMakeFiles/richnote_core.dir/lyapunov.cpp.o.d"
+  "CMakeFiles/richnote_core.dir/mckp.cpp.o"
+  "CMakeFiles/richnote_core.dir/mckp.cpp.o.d"
+  "CMakeFiles/richnote_core.dir/metrics.cpp.o"
+  "CMakeFiles/richnote_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/richnote_core.dir/presentation.cpp.o"
+  "CMakeFiles/richnote_core.dir/presentation.cpp.o.d"
+  "CMakeFiles/richnote_core.dir/scheduler.cpp.o"
+  "CMakeFiles/richnote_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/richnote_core.dir/telemetry.cpp.o"
+  "CMakeFiles/richnote_core.dir/telemetry.cpp.o.d"
+  "CMakeFiles/richnote_core.dir/utility.cpp.o"
+  "CMakeFiles/richnote_core.dir/utility.cpp.o.d"
+  "librichnote_core.a"
+  "librichnote_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/richnote_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

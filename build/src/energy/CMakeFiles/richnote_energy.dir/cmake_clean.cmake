@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/richnote_energy.dir/model.cpp.o"
+  "CMakeFiles/richnote_energy.dir/model.cpp.o.d"
+  "librichnote_energy.a"
+  "librichnote_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/richnote_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

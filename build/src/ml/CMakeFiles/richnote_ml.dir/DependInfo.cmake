@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/calibration.cpp" "src/ml/CMakeFiles/richnote_ml.dir/calibration.cpp.o" "gcc" "src/ml/CMakeFiles/richnote_ml.dir/calibration.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/richnote_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/richnote_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/richnote_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/richnote_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/richnote_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/richnote_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/richnote_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/richnote_ml.dir/random_forest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/richnote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

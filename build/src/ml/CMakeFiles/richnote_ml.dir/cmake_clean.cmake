@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/richnote_ml.dir/calibration.cpp.o"
+  "CMakeFiles/richnote_ml.dir/calibration.cpp.o.d"
+  "CMakeFiles/richnote_ml.dir/dataset.cpp.o"
+  "CMakeFiles/richnote_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/richnote_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/richnote_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/richnote_ml.dir/metrics.cpp.o"
+  "CMakeFiles/richnote_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/richnote_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/richnote_ml.dir/random_forest.cpp.o.d"
+  "librichnote_ml.a"
+  "librichnote_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/richnote_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

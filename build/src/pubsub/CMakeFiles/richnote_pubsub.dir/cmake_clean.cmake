@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/richnote_pubsub.dir/engine.cpp.o"
+  "CMakeFiles/richnote_pubsub.dir/engine.cpp.o.d"
+  "librichnote_pubsub.a"
+  "librichnote_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/richnote_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

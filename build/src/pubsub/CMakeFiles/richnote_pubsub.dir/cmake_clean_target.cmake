@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librichnote_pubsub.a"
+)

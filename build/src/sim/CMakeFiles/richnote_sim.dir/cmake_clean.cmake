@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/richnote_sim.dir/battery.cpp.o"
+  "CMakeFiles/richnote_sim.dir/battery.cpp.o.d"
+  "CMakeFiles/richnote_sim.dir/battery_trace.cpp.o"
+  "CMakeFiles/richnote_sim.dir/battery_trace.cpp.o.d"
+  "CMakeFiles/richnote_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/richnote_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/richnote_sim.dir/network.cpp.o"
+  "CMakeFiles/richnote_sim.dir/network.cpp.o.d"
+  "CMakeFiles/richnote_sim.dir/simulator.cpp.o"
+  "CMakeFiles/richnote_sim.dir/simulator.cpp.o.d"
+  "librichnote_sim.a"
+  "librichnote_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/richnote_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/catalog.cpp" "src/trace/CMakeFiles/richnote_trace.dir/catalog.cpp.o" "gcc" "src/trace/CMakeFiles/richnote_trace.dir/catalog.cpp.o.d"
+  "/root/repo/src/trace/click_model.cpp" "src/trace/CMakeFiles/richnote_trace.dir/click_model.cpp.o" "gcc" "src/trace/CMakeFiles/richnote_trace.dir/click_model.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/richnote_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/richnote_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/notification.cpp" "src/trace/CMakeFiles/richnote_trace.dir/notification.cpp.o" "gcc" "src/trace/CMakeFiles/richnote_trace.dir/notification.cpp.o.d"
+  "/root/repo/src/trace/social_graph.cpp" "src/trace/CMakeFiles/richnote_trace.dir/social_graph.cpp.o" "gcc" "src/trace/CMakeFiles/richnote_trace.dir/social_graph.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/trace/CMakeFiles/richnote_trace.dir/stats.cpp.o" "gcc" "src/trace/CMakeFiles/richnote_trace.dir/stats.cpp.o.d"
+  "/root/repo/src/trace/survey.cpp" "src/trace/CMakeFiles/richnote_trace.dir/survey.cpp.o" "gcc" "src/trace/CMakeFiles/richnote_trace.dir/survey.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/richnote_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/richnote_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/richnote_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/richnote_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/richnote_pubsub.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/richnote_trace.dir/catalog.cpp.o"
+  "CMakeFiles/richnote_trace.dir/catalog.cpp.o.d"
+  "CMakeFiles/richnote_trace.dir/click_model.cpp.o"
+  "CMakeFiles/richnote_trace.dir/click_model.cpp.o.d"
+  "CMakeFiles/richnote_trace.dir/generator.cpp.o"
+  "CMakeFiles/richnote_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/richnote_trace.dir/notification.cpp.o"
+  "CMakeFiles/richnote_trace.dir/notification.cpp.o.d"
+  "CMakeFiles/richnote_trace.dir/social_graph.cpp.o"
+  "CMakeFiles/richnote_trace.dir/social_graph.cpp.o.d"
+  "CMakeFiles/richnote_trace.dir/stats.cpp.o"
+  "CMakeFiles/richnote_trace.dir/stats.cpp.o.d"
+  "CMakeFiles/richnote_trace.dir/survey.cpp.o"
+  "CMakeFiles/richnote_trace.dir/survey.cpp.o.d"
+  "CMakeFiles/richnote_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/richnote_trace.dir/trace_io.cpp.o.d"
+  "librichnote_trace.a"
+  "librichnote_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/richnote_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_bootstrap.cpp" "tests/CMakeFiles/test_common.dir/common/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/common/test_histogram.cpp" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o.d"
+  "/root/repo/tests/common/test_indexed_heap.cpp" "tests/CMakeFiles/test_common.dir/common/test_indexed_heap.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_indexed_heap.cpp.o.d"
+  "/root/repo/tests/common/test_regression.cpp" "tests/CMakeFiles/test_common.dir/common/test_regression.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_regression.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table_csv_config.cpp" "tests/CMakeFiles/test_common.dir/common/test_table_csv_config.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table_csv_config.cpp.o.d"
+  "/root/repo/tests/common/test_zipf.cpp" "tests/CMakeFiles/test_common.dir/common/test_zipf.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/richnote_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/richnote_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/richnote_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/richnote_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/richnote_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/richnote_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/richnote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

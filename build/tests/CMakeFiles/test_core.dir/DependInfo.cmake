@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_broker.cpp" "tests/CMakeFiles/test_core.dir/core/test_broker.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_broker.cpp.o.d"
+  "/root/repo/tests/core/test_failure_injection.cpp" "tests/CMakeFiles/test_core.dir/core/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/core/test_lyapunov.cpp" "tests/CMakeFiles/test_core.dir/core/test_lyapunov.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_lyapunov.cpp.o.d"
+  "/root/repo/tests/core/test_mckp.cpp" "tests/CMakeFiles/test_core.dir/core/test_mckp.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mckp.cpp.o.d"
+  "/root/repo/tests/core/test_mckp_2d.cpp" "tests/CMakeFiles/test_core.dir/core/test_mckp_2d.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mckp_2d.cpp.o.d"
+  "/root/repo/tests/core/test_mckp_properties.cpp" "tests/CMakeFiles/test_core.dir/core/test_mckp_properties.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mckp_properties.cpp.o.d"
+  "/root/repo/tests/core/test_metrics_recorder.cpp" "tests/CMakeFiles/test_core.dir/core/test_metrics_recorder.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_metrics_recorder.cpp.o.d"
+  "/root/repo/tests/core/test_presentation.cpp" "tests/CMakeFiles/test_core.dir/core/test_presentation.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_presentation.cpp.o.d"
+  "/root/repo/tests/core/test_scheduler.cpp" "tests/CMakeFiles/test_core.dir/core/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scheduler.cpp.o.d"
+  "/root/repo/tests/core/test_scheduler_properties.cpp" "tests/CMakeFiles/test_core.dir/core/test_scheduler_properties.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scheduler_properties.cpp.o.d"
+  "/root/repo/tests/core/test_utility.cpp" "tests/CMakeFiles/test_core.dir/core/test_utility.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_utility.cpp.o.d"
+  "/root/repo/tests/core/test_video_generator.cpp" "tests/CMakeFiles/test_core.dir/core/test_video_generator.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_video_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/richnote_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/richnote_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/richnote_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/richnote_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/richnote_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/richnote_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/richnote_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

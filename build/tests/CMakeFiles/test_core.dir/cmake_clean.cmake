@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_broker.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_broker.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_failure_injection.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_lyapunov.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_lyapunov.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mckp.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mckp.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mckp_2d.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mckp_2d.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mckp_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mckp_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_metrics_recorder.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_metrics_recorder.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_presentation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_presentation.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scheduler.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scheduler_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scheduler_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_utility.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_utility.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_video_generator.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_video_generator.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/core/test_experiment.cpp.o"
+  "CMakeFiles/test_integration.dir/core/test_experiment.cpp.o.d"
+  "CMakeFiles/test_integration.dir/core/test_experiment_properties.cpp.o"
+  "CMakeFiles/test_integration.dir/core/test_experiment_properties.cpp.o.d"
+  "CMakeFiles/test_integration.dir/core/test_online_learning.cpp.o"
+  "CMakeFiles/test_integration.dir/core/test_online_learning.cpp.o.d"
+  "CMakeFiles/test_integration.dir/core/test_telemetry.cpp.o"
+  "CMakeFiles/test_integration.dir/core/test_telemetry.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

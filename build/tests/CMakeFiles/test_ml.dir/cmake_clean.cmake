@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/test_calibration.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_calibration.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_criterion.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_criterion.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_dataset.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_dataset.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_decision_tree.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_decision_tree.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_metrics.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_metrics.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_random_forest.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_random_forest.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_serialization.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_serialization.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/test_catalog.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_catalog.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_click_model.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_click_model.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_generator.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_generator.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_social_graph.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_social_graph.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_stats.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_stats.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_survey.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_survey.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/test_trace_io.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/richnote.dir/richnote_cli.cpp.o"
+  "CMakeFiles/richnote.dir/richnote_cli.cpp.o.d"
+  "richnote"
+  "richnote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/richnote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
