@@ -1,0 +1,75 @@
+// Fault-tolerance companion figure: delivered utility and delivery ratio
+// versus fault intensity for RichNote and the fixed-level baselines.
+//
+// Intensity x scales a reference chaos schedule — blackout windows, flaky
+// partial transfers, duplicated and reordered arrivals, battery brownouts
+// and broker crash-restarts all at once (faults::fault_plan_params::scaled).
+// The fault schedule is a pure function of (fault seed, user, round), so
+// every scheduler faces the *same* faults at each x, and a run is
+// reproducible regardless of worker sharding. The resilient pipeline
+// (byte-level resume, retry budget with backoff, idempotent admission,
+// checkpointed crash recovery) is what keeps the curves from collapsing.
+//
+// Usage: fig_fault_tolerance [users=200] [seed=1] [trees=30] [budget=10]
+//        [fault_seed=7] [csv=fault_tolerance.csv]
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) try {
+    using namespace richnote;
+    const auto opts = bench::parse_options(argc, argv, {"budget", "fault_seed"});
+    const config cfg = config::from_args(argc, argv);
+    const double budget = cfg.get_double("budget", 10.0);
+    const auto fault_seed = static_cast<std::uint64_t>(cfg.get_int("fault_seed", 7));
+    const auto setup = bench::build_setup(opts);
+
+    // Reference schedule at intensity 1: every fault kind active.
+    faults::fault_plan_params reference;
+    reference.seed = fault_seed;
+    reference.blackout_prob = 0.05;
+    reference.partial_transfer_prob = 0.10;
+    reference.duplicate_prob = 0.05;
+    reference.reorder_prob = 0.05;
+    reference.brownout_prob = 0.03;
+    reference.crash_restart_prob = 0.02;
+
+    const std::vector<double> intensities = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+    bench::figure_output out({"scheduler", "intensity", "utility", "delivery ratio",
+                              "retries", "dead-lettered", "dup suppressed",
+                              "crash restarts", "resumed MB"});
+    for (auto kind : {core::scheduler_kind::richnote, core::scheduler_kind::fifo,
+                      core::scheduler_kind::util}) {
+        for (const double x : intensities) {
+            core::experiment_params params;
+            params.kind = kind;
+            params.fixed_level = 3;
+            params.weekly_budget_mb = budget;
+            params.seed = opts.run_seed;
+            params.faults = reference.scaled(x);
+            params.retry.max_attempts = 8;
+            const auto r = core::run_experiment(*setup, params);
+
+            out.add_row({r.scheduler_name, format_double(x, 2),
+                         format_double(r.total_utility, 1),
+                         format_double(r.delivery_ratio, 4),
+                         std::to_string(r.faults.transfer_retries),
+                         std::to_string(r.faults.dead_lettered),
+                         std::to_string(r.faults.duplicates_suppressed),
+                         std::to_string(r.faults.crash_restarts),
+                         format_double(r.faults.resumed_bytes / 1e6, 2)});
+        }
+    }
+    out.emit("Fault tolerance: utility vs injected fault intensity (" +
+                 format_double(budget, 0) + " MB/week)",
+             opts.csv_path);
+    std::cout << "expected: utility degrades gracefully with intensity instead of "
+                 "collapsing;\nresumed bytes grow with the partial-transfer rate, and "
+                 "crash restarts leave the\ncurves smooth (checkpoint recovery is "
+                 "lossless).\n";
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}

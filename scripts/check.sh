@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Correctness gate: configure, build and run the full test suite — the same
+# sequence CI and reviewers use. Run before every push.
+#
+# Usage: scripts/check.sh [--sanitize]
+#   --sanitize   separate build-asan/ tree with -DRICHNOTE_SANITIZE=ON
+#                (AddressSanitizer + UBSan). This is how the chaos soak
+#                (tests/core/test_chaos_soak.cpp) is meant to be exercised:
+#                hundreds of fault-injected rounds with every allocation
+#                and integer op checked.
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+if [ "${1:-}" = "--sanitize" ]; then
+  BUILD_DIR=build-asan
+  cmake -B "$BUILD_DIR" -S . -DRICHNOTE_SANITIZE=ON
+else
+  cmake -B "$BUILD_DIR" -S .
+fi
+
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -10,10 +10,18 @@
 //   4. asks the scheduler for a delivery plan and pushes it through the
 //      link, deducting data budget and energy per delivery (step 3) and
 //      timestamping each delivery by the bytes already sent this round.
+//
+// Resilience (DESIGN.md "Fault model & recovery"): admission is idempotent
+// (replayed publishes are suppressed by id), interrupted transfers charge
+// only the bytes actually moved and resume from a per-item high-water mark,
+// and the full mutable state can be checkpointed and restored to survive
+// injected crash-restart events bit-for-bit.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -23,6 +31,7 @@
 #include "core/scheduler.hpp"
 #include "core/utility.hpp"
 #include "energy/model.hpp"
+#include "faults/fault_plan.hpp"
 #include "sim/battery.hpp"
 #include "sim/battery_trace.hpp"
 #include "sim/network.hpp"
@@ -42,10 +51,37 @@ struct broker_params {
     /// presentation can eventually be afforded at a 1 MB/week budget.
     double rollover_rounds = 168.0;
     /// Probability an individual transfer fails mid-flight (cellular drop).
-    /// A failed transfer wastes its bytes (budget) and radio energy but the
-    /// item STAYS in the scheduling queue and is retried in a later round.
-    /// 0 = the paper's lossless setting.
+    /// The item STAYS in the scheduling queue and is retried in a later
+    /// round. 0 = the paper's lossless setting.
     double transfer_failure_prob = 0.0;
+    /// If true, a failed transfer burns the item's full byte size and radio
+    /// energy (the historical all-or-nothing accounting). The default
+    /// charges only the bytes that actually moved before the cut and lets
+    /// the next attempt resume from the high-water mark.
+    bool legacy_failure_accounting = false;
+    /// Optional deterministic fault plan (blackouts, partial transfers,
+    /// brownouts, ...). Not owned; nullptr = no injected faults.
+    const richnote::faults::fault_plan* faults = nullptr;
+};
+
+/// Snapshot of everything a broker mutates over time. Move-only (owns a
+/// cloned battery). Same-seed restore + replay is bit-identical to an
+/// uninterrupted run: every randomness consumer (env_rng, network chain)
+/// is captured by value.
+struct broker_checkpoint {
+    std::uint64_t round_index = 0;
+    double data_budget = 0.0;
+    std::uint64_t failed_transfers = 0;
+    std::uint64_t duplicates_suppressed = 0;
+    std::uint64_t crash_restarts = 0;
+    std::unordered_set<std::uint64_t> seen_ids;
+    std::map<std::uint64_t, double> partial_progress;
+    std::vector<trace::notification> pending_feedback;
+    richnote::rng env_rng{0};
+    richnote::sim::markov_network_model network =
+        richnote::sim::markov_network_model::fixed(richnote::sim::net_state::off);
+    std::unique_ptr<richnote::sim::battery_source> battery;
+    scheduler::checkpoint_state sched;
 };
 
 class broker {
@@ -62,7 +98,10 @@ public:
            const trace::catalog& catalog, metrics_recorder& metrics,
            std::uint64_t env_seed);
 
-    /// Admit one trace notification (called in timestamp order).
+    /// Admit one trace notification (called in timestamp order). Admission
+    /// is idempotent: a notification id seen before is suppressed and
+    /// counted, so an at-least-once upstream (or an injected duplicate
+    /// arrival) cannot double-deliver.
     void admit(const trace::notification& n);
 
     /// Execute one round starting at `now` (steps 1–4 above).
@@ -72,6 +111,31 @@ public:
 
     /// Transfers that failed mid-flight so far (see transfer_failure_prob).
     std::uint64_t failed_transfers() const noexcept { return failed_transfers_; }
+
+    /// Replayed publishes suppressed by idempotent admission.
+    std::uint64_t duplicates_suppressed() const noexcept { return duplicates_suppressed_; }
+
+    /// Crash-restart events survived (checkpoint + restore round trips).
+    std::uint64_t crash_restarts() const noexcept { return crash_restarts_; }
+
+    /// Per-item byte high-water marks of interrupted, not-yet-complete
+    /// transfers (item id -> bytes already moved).
+    const std::map<std::uint64_t, double>& partial_progress() const noexcept {
+        return partial_progress_;
+    }
+
+    /// Snapshot the full mutable state (deep copy; the live broker is
+    /// untouched).
+    broker_checkpoint checkpoint() const;
+
+    /// Replace the mutable state with `cp` (taken from this broker earlier).
+    void restore(const broker_checkpoint& cp);
+
+    /// Simulate a broker crash immediately followed by recovery from its
+    /// own durable checkpoint: snapshot, restore, count. Because the
+    /// checkpoint is lossless this must not perturb subsequent rounds —
+    /// the property tests/core/test_broker_resilience.cpp pins down.
+    void crash_restart();
 
     /// Drains the engagement feedback observed since the last call: copies
     /// of delivered notifications the user attended (clicked or hovered).
@@ -96,7 +160,12 @@ private:
     metrics_recorder* metrics_;
     richnote::rng env_rng_;
     double data_budget_ = 0.0;
+    std::uint64_t round_index_ = 0; ///< rounds executed; indexes fault queries
     std::uint64_t failed_transfers_ = 0;
+    std::uint64_t duplicates_suppressed_ = 0;
+    std::uint64_t crash_restarts_ = 0;
+    std::unordered_set<std::uint64_t> seen_ids_;          ///< idempotent admission
+    std::map<std::uint64_t, double> partial_progress_;    ///< resume high-water marks
     std::vector<trace::notification> pending_feedback_;
 };
 

@@ -113,6 +113,13 @@ experiment_result run_experiment(const experiment_setup& setup,
         online_model ? static_cast<const content_utility_model&>(*online_model)
                      : setup.utility();
 
+    // Deterministic fault schedule shared (read-only) by every broker; an
+    // all-zero plan is inert and the brokers get no pointer at all, so the
+    // default run takes exactly the historical code paths.
+    const richnote::faults::fault_plan fault_schedule(params.faults);
+    const richnote::faults::fault_plan* fplan =
+        fault_schedule.enabled() ? &fault_schedule : nullptr;
+
     // Build one broker per user.
     std::vector<broker> brokers;
     brokers.reserve(world.user_count());
@@ -145,12 +152,16 @@ experiment_result run_experiment(const experiment_setup& setup,
             }
         }
 
+        sched->set_retry_policy(params.retry);
+
         broker_params bp;
         bp.budget_per_round_bytes = theta;
         bp.round = params.round;
         bp.energy_policy = params.energy_policy;
         bp.rollover_rounds = params.rollover_rounds;
         bp.transfer_failure_prob = params.transfer_failure_prob;
+        bp.legacy_failure_accounting = params.legacy_failure_accounting;
+        bp.faults = fplan;
 
         auto network =
             params.wifi_enabled
@@ -215,16 +226,32 @@ experiment_result run_experiment(const experiment_setup& setup,
         // One user's admissions + round; touches only user-u state.
         auto run_user = [&](trace::user_id u) {
             const auto& stream = world.notifications().per_user[u];
-            auto admit_due = [&](const std::vector<std::size_t>& index,
-                                 std::size_t& cursor) {
+            auto collect_due = [&](const std::vector<std::size_t>& index,
+                                   std::size_t& cursor, std::vector<std::size_t>& due) {
                 while (cursor < index.size() &&
                        stream[index[cursor]].created_at <= now) {
-                    brokers[u].admit(stream[index[cursor]]);
+                    due.push_back(index[cursor]);
                     ++cursor;
                 }
             };
-            admit_due(fast_index[u], fast_cursor[u]);
-            if (batch_tick) admit_due(batch_index[u], batch_cursor[u]);
+            std::vector<std::size_t> due;
+            collect_due(fast_index[u], fast_cursor[u], due);
+            if (batch_tick) collect_due(batch_index[u], batch_cursor[u], due);
+            if (fplan != nullptr && due.size() > 1 && fplan->reorder_arrivals(u, tick)) {
+                // Pub/sub delivered this round's batch out of timestamp
+                // order; the permutation is a pure function of (seed, user,
+                // round), so sharding cannot change it.
+                richnote::rng scramble(fplan->reorder_seed(u, tick));
+                scramble.shuffle(due);
+            }
+            for (const std::size_t i : due) {
+                brokers[u].admit(stream[i]);
+                if (fplan != nullptr && fplan->duplicate_arrival(u, stream[i].id)) {
+                    // At-least-once replay of the publish; idempotent
+                    // admission must suppress it.
+                    brokers[u].admit(stream[i]);
+                }
+            }
             brokers[u].run_round(now);
             if (trajectories->enabled() && trajectories->watches(u)) {
                 round_sample sample;
@@ -237,6 +264,10 @@ experiment_result run_experiment(const experiment_setup& setup,
                 sample.battery_level = brokers[u].battery().level();
                 sample.network = brokers[u].network_state();
                 sample.delivered_so_far = metrics.user(u).delivered;
+                sample.faults_so_far = metrics.user(u).faults_injected;
+                sample.retries_so_far = metrics.user(u).transfer_retries;
+                sample.dead_letters_so_far = metrics.user(u).dead_lettered;
+                sample.crash_restarts_so_far = metrics.user(u).crash_restarts;
                 trajectories->record(sample);
             }
         };
@@ -293,6 +324,7 @@ experiment_result run_experiment(const experiment_setup& setup,
     r.level_mix = metrics.level_mix();
     r.user_categories = metrics.utility_by_user_category(setup.default_category_edges());
     r.rounds_run = rounds_run;
+    r.faults = metrics.fault_summary();
     r.trajectories = std::move(trajectories);
     double queue_total = 0.0;
     for (const auto& b : brokers) queue_total += static_cast<double>(b.sched().queue_size());

@@ -13,6 +13,7 @@
 
 #include "core/broker.hpp"
 #include "core/telemetry.hpp"
+#include "faults/fault_plan.hpp"
 #include "core/metrics.hpp"
 #include "core/presentation.hpp"
 #include "core/scheduler.hpp"
@@ -74,6 +75,18 @@ struct experiment_params {
     double rollover_rounds = 168.0;
     /// Mid-flight transfer loss probability (broker retry path); 0 = paper.
     double transfer_failure_prob = 0.0;
+    /// Historical all-or-nothing accounting for failed transfers (full byte
+    /// size + radio energy burned, nothing resumable); default charges only
+    /// the bytes actually moved. Incompatible with a fault plan.
+    bool legacy_failure_accounting = false;
+    /// Deterministic fault-injection schedule (blackouts, partial
+    /// transfers, duplicated/reordered arrivals, brownouts, crash-restart).
+    /// All-zero probabilities (the default) = no faults, the paper setting.
+    richnote::faults::fault_plan_params faults;
+    /// Per-item retry budget + exponential backoff for transfers that cut
+    /// mid-flight. Defaults reproduce pre-fault behaviour (retry forever,
+    /// immediately).
+    retry_policy retry;
     richnote::sim::sim_time round = richnote::sim::default_round;
     std::uint64_t seed = 42; ///< per-run env randomness (network/battery)
     /// Users whose per-round control state (Q, P, B, battery, network) is
@@ -106,6 +119,9 @@ struct experiment_result {
 
     std::uint64_t rounds_run = 0;
     double final_queue_items = 0.0; ///< mean scheduling-queue length at end
+
+    /// Fault/recovery tallies over the run (all zero without a fault plan).
+    metrics_recorder::fault_totals faults;
 
     /// Per-round control-state samples for experiment_params::telemetry_users.
     std::shared_ptr<telemetry> trajectories;

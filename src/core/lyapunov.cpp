@@ -34,6 +34,13 @@ void lyapunov_controller::on_departure(double item_total_size, double energy_spe
     p_ = std::max(0.0, p_ - energy_spent);
 }
 
+void lyapunov_controller::restore(const lyapunov_state& state) {
+    RICHNOTE_REQUIRE(state.queue_backlog >= 0 && state.energy_credit >= 0,
+                     "restored queue state must be non-negative");
+    q_ = state.queue_backlog;
+    p_ = state.energy_credit;
+}
+
 void lyapunov_controller::on_round(double replenishment_joules) {
     RICHNOTE_REQUIRE(replenishment_joules >= 0, "replenishment must be non-negative");
     if (p_ <= params_.kappa) p_ += replenishment_joules;

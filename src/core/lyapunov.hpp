@@ -35,6 +35,13 @@ struct lyapunov_params {
     double energy_unit_joules = 0.0;
 };
 
+/// Serializable controller state for crash-restart recovery: Q(t) and P(t)
+/// are the only mutable state the controller owns.
+struct lyapunov_state {
+    double queue_backlog = 0.0; ///< Q(t), bytes
+    double energy_credit = 0.0; ///< P(t), joules
+};
+
 class lyapunov_controller {
 public:
     explicit lyapunov_controller(lyapunov_params params = {});
@@ -69,6 +76,12 @@ public:
     /// Round boundary (Algorithm 2 step 2): add e(t) to P only when
     /// P(t) <= kappa, so the credit never runs far beyond the target.
     void on_round(double replenishment_joules);
+
+    /// Snapshot of the virtual queues for crash-restart recovery.
+    lyapunov_state checkpoint() const noexcept { return {q_, p_}; }
+
+    /// Restores a snapshot taken by checkpoint() (amounts must be >= 0).
+    void restore(const lyapunov_state& state);
 
 private:
     lyapunov_params params_;

@@ -38,14 +38,15 @@ void metrics_recorder::on_arrival(const trace::notification& n) {
 }
 
 void metrics_recorder::on_delivery(const planned_delivery& d, richnote::sim::sim_time when,
-                                   double energy_joules, bool metered) {
+                                   double energy_joules, bool metered, double bytes_moved) {
     RICHNOTE_REQUIRE(d.note.recipient < users_.size(), "recipient out of range");
     RICHNOTE_REQUIRE(d.level >= 1 && d.level <= max_level_,
                      "delivery level out of range");
+    if (bytes_moved < 0.0) bytes_moved = d.size_bytes;
     user_metrics& u = users_[d.note.recipient];
     ++u.delivered;
-    u.bytes_delivered += d.size_bytes;
-    if (metered) u.metered_bytes_delivered += d.size_bytes;
+    u.bytes_delivered += bytes_moved;
+    if (metered) u.metered_bytes_delivered += bytes_moved;
     u.utility_delivered += d.utility;
     u.energy_joules += energy_joules;
     u.queuing_delay_sec.add(when - d.note.created_at);
@@ -62,6 +63,40 @@ void metrics_recorder::on_delivery(const planned_delivery& d, richnote::sim::sim
 void metrics_recorder::on_session_overhead(trace::user_id user, double energy_joules) {
     RICHNOTE_REQUIRE(user < users_.size(), "user out of range");
     users_[user].energy_joules += energy_joules;
+}
+
+void metrics_recorder::on_fault(trace::user_id user) {
+    RICHNOTE_REQUIRE(user < users_.size(), "user out of range");
+    ++users_[user].faults_injected;
+}
+
+void metrics_recorder::on_transfer_interrupted(trace::user_id user, double bytes_moved) {
+    RICHNOTE_REQUIRE(user < users_.size(), "user out of range");
+    RICHNOTE_REQUIRE(bytes_moved >= 0.0, "negative partial byte count");
+    user_metrics& u = users_[user];
+    ++u.transfer_retries;
+    u.partial_bytes += bytes_moved;
+}
+
+void metrics_recorder::on_dead_letter(trace::user_id user) {
+    RICHNOTE_REQUIRE(user < users_.size(), "user out of range");
+    ++users_[user].dead_lettered;
+}
+
+void metrics_recorder::on_duplicate_suppressed(trace::user_id user) {
+    RICHNOTE_REQUIRE(user < users_.size(), "user out of range");
+    ++users_[user].duplicates_suppressed;
+}
+
+void metrics_recorder::on_crash_restart(trace::user_id user) {
+    RICHNOTE_REQUIRE(user < users_.size(), "user out of range");
+    ++users_[user].crash_restarts;
+}
+
+void metrics_recorder::on_resume(trace::user_id user, double bytes) {
+    RICHNOTE_REQUIRE(user < users_.size(), "user out of range");
+    RICHNOTE_REQUIRE(bytes >= 0.0, "negative resumed byte count");
+    users_[user].resumed_bytes += bytes;
 }
 
 const user_metrics& metrics_recorder::user(std::size_t u) const {
@@ -162,6 +197,20 @@ std::vector<double> metrics_recorder::level_mix() const {
                                         // fraction ("simply the missing
                                         // fraction in each stack").
     return mix;
+}
+
+metrics_recorder::fault_totals metrics_recorder::fault_summary() const noexcept {
+    fault_totals t;
+    for (const auto& u : users_) {
+        t.faults_injected += u.faults_injected;
+        t.transfer_retries += u.transfer_retries;
+        t.dead_lettered += u.dead_lettered;
+        t.duplicates_suppressed += u.duplicates_suppressed;
+        t.crash_restarts += u.crash_restarts;
+        t.partial_bytes += u.partial_bytes;
+        t.resumed_bytes += u.resumed_bytes;
+    }
+    return t;
 }
 
 std::vector<metrics_recorder::user_category_row> metrics_recorder::utility_by_user_category(

@@ -31,6 +31,15 @@ struct user_metrics {
     richnote::running_stats queuing_delay_sec;
     std::vector<std::uint64_t> level_counts; ///< deliveries per level (index 0 unused)
 
+    // ----- fault / recovery tallies (resilient delivery pipeline) -----
+    std::uint64_t faults_injected = 0;       ///< blackout/brownout rounds hit
+    std::uint64_t transfer_retries = 0;      ///< transfers cut mid-flight, item retried
+    std::uint64_t dead_lettered = 0;         ///< items dropped after the retry budget
+    std::uint64_t duplicates_suppressed = 0; ///< replayed publishes deduplicated
+    std::uint64_t crash_restarts = 0;        ///< broker crash-restart events survived
+    double partial_bytes = 0.0;              ///< bytes landed in interrupted attempts
+    double resumed_bytes = 0.0;              ///< bytes salvaged via high-water resume
+
     double delivery_ratio() const noexcept;
     /// §V-C: "the fraction of delivered notifications (before the recorded
     /// click time in the Spotify trace) that are clicked on by the users".
@@ -52,12 +61,38 @@ public:
 
     /// A planned entry was actually delivered at `when`; `energy_joules`
     /// is its share of the round's radio energy; `metered` says whether the
-    /// bytes were charged against the cellular data budget.
+    /// bytes were charged against the cellular data budget. `bytes_moved`
+    /// is how many bytes actually crossed the link in the completing
+    /// attempt — less than d.size_bytes when a partial transfer resumed
+    /// from its high-water mark; negative (the default) means the full
+    /// planned size.
     void on_delivery(const planned_delivery& d, richnote::sim::sim_time when,
-                     double energy_joules, bool metered);
+                     double energy_joules, bool metered, double bytes_moved = -1.0);
 
     /// Extra radio-session energy not attributable to a single item.
     void on_session_overhead(trace::user_id user, double energy_joules);
+
+    // ----- fault / recovery events (surfaced from the broker) -----
+
+    /// An injected environment fault (blackout / brownout) hit this round.
+    void on_fault(trace::user_id user);
+
+    /// A transfer was cut mid-flight after moving `bytes_moved` bytes; the
+    /// item stays queued for retry.
+    void on_transfer_interrupted(trace::user_id user, double bytes_moved);
+
+    /// An item exhausted its retry budget and was dead-lettered.
+    void on_dead_letter(trace::user_id user);
+
+    /// A replayed publish (duplicate notification id) was suppressed.
+    void on_duplicate_suppressed(trace::user_id user);
+
+    /// The user's broker crashed and restarted from its checkpoint.
+    void on_crash_restart(trace::user_id user);
+
+    /// A completing transfer salvaged `bytes` previously moved by
+    /// interrupted attempts (resume from the high-water mark).
+    void on_resume(trace::user_id user, double bytes);
 
     const user_metrics& user(std::size_t u) const;
     std::size_t user_count() const noexcept { return users_.size(); }
@@ -92,6 +127,18 @@ public:
     };
     std::vector<user_category_row> utility_by_user_category(
         const std::vector<std::uint64_t>& edges) const;
+
+    /// Fault / recovery tallies summed across users.
+    struct fault_totals {
+        std::uint64_t faults_injected = 0;
+        std::uint64_t transfer_retries = 0;
+        std::uint64_t dead_lettered = 0;
+        std::uint64_t duplicates_suppressed = 0;
+        std::uint64_t crash_restarts = 0;
+        double partial_bytes = 0.0;
+        double resumed_bytes = 0.0;
+    };
+    fault_totals fault_summary() const noexcept;
 
 private:
     std::vector<user_metrics> users_;

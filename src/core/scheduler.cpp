@@ -52,6 +52,53 @@ std::size_t queue_scheduler_base::expire_older_than(richnote::sim::sim_time cuto
     return expired;
 }
 
+bool queue_scheduler_base::on_transfer_failed(std::uint64_t item_id,
+                                              richnote::sim::sim_time now) {
+    const auto it = index_.find(item_id);
+    RICHNOTE_REQUIRE(it != index_.end(), "failed item not in the scheduling queue");
+    sched_item& item = queue_[it->second];
+    ++item.failed_attempts;
+    if (retry_.max_attempts > 0 && item.failed_attempts >= retry_.max_attempts) {
+        // Retry budget spent: dead-letter the item so it cannot head-of-
+        // line-block FIFO (or pin Q(t)) forever.
+        remove_at(it->second, 0.0);
+        ++dead_lettered_;
+        return true;
+    }
+    ++retries_;
+    if (retry_.backoff_base_sec > 0.0) {
+        // Exponential backoff: base * 2^(failures-1), capped.
+        const int doublings =
+            static_cast<int>(std::min<std::uint32_t>(item.failed_attempts - 1, 40));
+        const double delay =
+            std::min(retry_.backoff_cap_sec, std::ldexp(retry_.backoff_base_sec, doublings));
+        item.retry_not_before = now + delay;
+    }
+    return false;
+}
+
+scheduler::checkpoint_state queue_scheduler_base::checkpoint() const {
+    checkpoint_state state;
+    state.items = queue_;
+    state.retries = retries_;
+    state.dead_lettered = dead_lettered_;
+    return state;
+}
+
+void queue_scheduler_base::restore(const checkpoint_state& state) {
+    // Rebuild the queue directly, without the enqueue hooks: subclasses
+    // restore their derived state (e.g. the Lyapunov queues) explicitly.
+    queue_ = state.items;
+    index_.clear();
+    queued_bytes_ = 0.0;
+    for (std::size_t pos = 0; pos < queue_.size(); ++pos) {
+        index_[queue_[pos].note.id] = pos;
+        queued_bytes_ += queue_[pos].presentations.total_size();
+    }
+    retries_ = state.retries;
+    dead_lettered_ = state.dead_lettered;
+}
+
 // ----------------------------------------------------------- richnote ----
 
 richnote_scheduler::richnote_scheduler(params p, const energy::energy_model& energy)
@@ -129,6 +176,10 @@ std::vector<planned_delivery> richnote_scheduler::plan(const round_context& ctx)
     for (std::size_t i = 0; i < queue_.size(); ++i) {
         const sched_item& item = queue_[i];
         aged_uc[i] = aged_content_utility(item);
+        if (!retry_eligible(item, ctx.now)) {
+            instance.push_back(mckp_item{}); // backing off: forced level 0
+            continue;
+        }
         if (deferred(item)) {
             ++deferred_item_rounds_;
             instance.push_back(mckp_item{}); // empty menu: forced level 0
@@ -179,6 +230,23 @@ std::vector<planned_delivery> richnote_scheduler::plan(const round_context& ctx)
     return plan;
 }
 
+scheduler::checkpoint_state richnote_scheduler::checkpoint() const {
+    checkpoint_state state = queue_scheduler_base::checkpoint();
+    state.lyapunov = controller_.checkpoint();
+    state.dropped_low_utility = dropped_low_utility_;
+    state.expired_items = expired_items_;
+    state.deferred_item_rounds = deferred_item_rounds_;
+    return state;
+}
+
+void richnote_scheduler::restore(const checkpoint_state& state) {
+    queue_scheduler_base::restore(state);
+    controller_.restore(state.lyapunov);
+    dropped_low_utility_ = state.dropped_low_utility;
+    expired_items_ = state.expired_items;
+    deferred_item_rounds_ = state.deferred_item_rounds;
+}
+
 // ------------------------------------------------------------- direct ----
 
 direct_scheduler::direct_scheduler(params p, const energy::energy_model& energy)
@@ -215,6 +283,10 @@ std::vector<planned_delivery> direct_scheduler::plan(const round_context& ctx) {
     std::vector<mckp_item_2d> instance;
     instance.reserve(queue_.size());
     for (const sched_item& item : queue_) {
+        if (!retry_eligible(item, ctx.now)) {
+            instance.push_back(mckp_item_2d{}); // backing off: forced level 0
+            continue;
+        }
         mckp_item_2d m;
         const std::size_t k = item.presentations.level_count();
         m.sizes.reserve(k);
@@ -255,6 +327,17 @@ std::vector<planned_delivery> direct_scheduler::plan(const round_context& ctx) {
     return plan;
 }
 
+scheduler::checkpoint_state direct_scheduler::checkpoint() const {
+    checkpoint_state state = queue_scheduler_base::checkpoint();
+    state.energy_credit = energy_credit_;
+    return state;
+}
+
+void direct_scheduler::restore(const checkpoint_state& state) {
+    queue_scheduler_base::restore(state);
+    energy_credit_ = state.energy_credit;
+}
+
 // ---------------------------------------------------------- baselines ----
 
 fixed_level_scheduler::fixed_level_scheduler(level_t fixed_level,
@@ -275,6 +358,10 @@ std::vector<planned_delivery> fixed_level_scheduler::plan(const round_context& c
     double planned_bytes = 0.0;
     for (std::size_t pos : delivery_order()) {
         const sched_item& item = queue_[pos];
+        // Backing-off items are skipped, not head-of-line blocking — even
+        // under FIFO: the whole point of the backoff is that a flaky item
+        // must not starve the queue behind it between its retries.
+        if (!retry_eligible(item, ctx.now)) continue;
         const auto level = static_cast<level_t>(
             std::min<std::size_t>(fixed_level_, item.presentations.level_count()));
         const double size = item.presentations.size(level);

@@ -39,9 +39,29 @@ struct sched_item {
     double content_utility = 0.0; ///< U_c(i) in [0, 1]
     presentation_set presentations;
     richnote::sim::sim_time arrived_at = 0; ///< arrival at the broker
+    /// Retry bookkeeping (resilient delivery): how many transfers of this
+    /// item were cut mid-flight, and until when the item backs off before
+    /// the next attempt. Both travel with the item, so expiry, delivery and
+    /// checkpoint/restore handle them for free.
+    std::uint32_t failed_attempts = 0;
+    richnote::sim::sim_time retry_not_before = 0;
 
     /// Eq. 1 combined utility of level j.
     double utility(level_t j) const { return content_utility * presentations.utility(j); }
+};
+
+/// Per-item retry budget for transfers that cut mid-flight. The defaults
+/// reproduce the pre-fault behaviour: retry immediately, forever.
+struct retry_policy {
+    /// Failed attempts before the item is dead-lettered (dropped with a
+    /// counter) so a poisoned item cannot head-of-line-block FIFO forever;
+    /// 0 = unlimited retries.
+    std::uint32_t max_attempts = 0;
+    /// First backoff delay after a failure; doubles with every further
+    /// failure of the item (exponential backoff). 0 = retry next round.
+    double backoff_base_sec = 0.0;
+    /// Ceiling on the backoff delay.
+    double backoff_cap_sec = 24.0 * 3600.0;
 };
 
 /// Everything a scheduler may react to at a round boundary.
@@ -103,6 +123,38 @@ public:
     /// Remaining energy credit P(t) for telemetry; 0 for policies that do
     /// not track energy (the fixed-level baselines).
     virtual double energy_credit_joules() const noexcept { return 0.0; }
+
+    // ----- resilient delivery (fault tolerance) -----
+
+    /// Installs the per-item retry budget (defaults: retry forever,
+    /// immediately — the pre-fault behaviour).
+    virtual void set_retry_policy(const retry_policy& policy) { (void)policy; }
+
+    /// The broker's transfer of this item was cut mid-flight: bump its
+    /// retry state (backoff) or dead-letter it when the budget is spent.
+    /// Returns true when the item was dead-lettered (left the queue).
+    virtual bool on_transfer_failed(std::uint64_t item_id, richnote::sim::sim_time now) {
+        (void)item_id;
+        (void)now;
+        return false;
+    }
+
+    /// Serializable scheduler state for crash-restart recovery. One struct
+    /// covers every implementation; fields irrelevant to a policy stay at
+    /// their defaults.
+    struct checkpoint_state {
+        std::vector<sched_item> items; ///< scheduling queue in insertion order
+        std::uint64_t retries = 0;
+        std::uint64_t dead_lettered = 0;
+        lyapunov_state lyapunov;       ///< richnote_scheduler only
+        double energy_credit = 0.0;    ///< direct_scheduler only
+        std::uint64_t dropped_low_utility = 0;
+        std::uint64_t expired_items = 0;
+        std::uint64_t deferred_item_rounds = 0;
+    };
+
+    virtual checkpoint_state checkpoint() const = 0;
+    virtual void restore(const checkpoint_state& state) = 0;
 };
 
 /// Shared queue plumbing for all three schedulers.
@@ -114,11 +166,32 @@ public:
     double queue_bytes() const noexcept override { return queued_bytes_; }
 
     /// Drops every queued item that arrived before `cutoff` (bounded
-    /// staleness). Departure hooks fire with zero energy. Returns the
+    /// staleness). Departure hooks fire with zero energy; the items'
+    /// retry/backoff bookkeeping leaves the queue with them. Returns the
     /// number of items expired.
     std::size_t expire_older_than(richnote::sim::sim_time cutoff);
 
+    void set_retry_policy(const retry_policy& policy) override { retry_ = policy; }
+    bool on_transfer_failed(std::uint64_t item_id, richnote::sim::sim_time now) override;
+
+    /// Transfers observed failing so far whose item stayed queued for retry.
+    std::uint64_t retries() const noexcept { return retries_; }
+
+    /// Items dropped after exhausting retry_policy::max_attempts.
+    std::uint64_t dead_lettered() const noexcept { return dead_lettered_; }
+
+    /// Read-only view of the scheduling queue (consistency checks / tests).
+    const std::vector<sched_item>& queued_items() const noexcept { return queue_; }
+
+    checkpoint_state checkpoint() const override;
+    void restore(const checkpoint_state& state) override;
+
 protected:
+    /// Is the item allowed to be planned at `now` (not backing off)?
+    bool retry_eligible(const sched_item& item, richnote::sim::sim_time now) const noexcept {
+        return item.retry_not_before <= now;
+    }
+
     /// Hooks for subclasses that track queue state (Lyapunov).
     virtual void on_enqueued(const sched_item& item) { (void)item; }
     virtual void on_departed(const sched_item& item, double energy_spent) {
@@ -130,6 +203,9 @@ protected:
     std::vector<sched_item> queue_;
     std::map<std::uint64_t, std::size_t> index_; ///< id -> position in queue_
     double queued_bytes_ = 0.0;
+    retry_policy retry_;
+    std::uint64_t retries_ = 0;
+    std::uint64_t dead_lettered_ = 0;
 
 private:
     void remove_at(std::size_t pos, double energy_spent);
@@ -192,6 +268,9 @@ public:
     /// Item-rounds spent waiting for WiFi under the deferral policy.
     std::uint64_t deferred_item_rounds() const noexcept { return deferred_item_rounds_; }
 
+    checkpoint_state checkpoint() const override;
+    void restore(const checkpoint_state& state) override;
+
 protected:
     void on_enqueued(const sched_item& item) override;
     void on_departed(const sched_item& item, double energy_spent) override;
@@ -230,6 +309,9 @@ public:
 
     double energy_credit() const noexcept { return energy_credit_; }
     double energy_credit_joules() const noexcept override { return energy_credit_; }
+
+    checkpoint_state checkpoint() const override;
+    void restore(const checkpoint_state& state) override;
 
 protected:
     void on_departed(const sched_item& item, double energy_spent) override;

@@ -37,11 +37,14 @@ const std::vector<round_sample>& telemetry::of(std::uint32_t user) const {
 
 void telemetry::write_csv(std::ostream& out) const {
     out << "round,user,queue_items,queue_bytes,energy_credit,data_budget,battery_level,"
-           "network,delivered_so_far\n";
+           "network,delivered_so_far,faults_so_far,retries_so_far,dead_letters_so_far,"
+           "crash_restarts_so_far\n";
     for (const round_sample& s : samples()) {
         out << s.round << ',' << s.user << ',' << s.queue_items << ',' << s.queue_bytes
             << ',' << s.energy_credit << ',' << s.data_budget << ',' << s.battery_level
-            << ',' << to_string(s.network) << ',' << s.delivered_so_far << '\n';
+            << ',' << to_string(s.network) << ',' << s.delivered_so_far << ','
+            << s.faults_so_far << ',' << s.retries_so_far << ',' << s.dead_letters_so_far
+            << ',' << s.crash_restarts_so_far << '\n';
     }
 }
 

@@ -1,0 +1,123 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace richnote::faults {
+
+namespace {
+
+// Distinct stream tags so the fault kinds draw independent randomness from
+// the same seed.
+enum stream : std::uint64_t {
+    stream_blackout = 0x1b1ac0ed,
+    stream_partial_fire = 0x2cafe001,
+    stream_partial_frac = 0x2cafe002,
+    stream_duplicate = 0x3d0b1e00,
+    stream_reorder = 0x4e0d3700,
+    stream_brownout = 0x5b0e0e00,
+    stream_crash = 0x6c0a5e00,
+};
+
+std::uint64_t hash3(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                    std::uint64_t b) noexcept {
+    return richnote::mix64(richnote::mix64(richnote::mix64(seed ^ tag) ^ a) ^ b);
+}
+
+/// Uniform double in [0, 1) from a hash value (same mapping as rng::uniform).
+double u01(std::uint64_t h) noexcept {
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool fires(double prob, std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+           std::uint64_t b) noexcept {
+    return prob > 0.0 && u01(hash3(seed, tag, a, b)) < prob;
+}
+
+/// Is `round` covered by a window of `length` rounds whose starts fire with
+/// `prob` per round? Checks the `length` candidate start rounds.
+bool in_window(double prob, std::uint32_t length, std::uint64_t seed, std::uint64_t tag,
+               std::uint64_t user, std::uint64_t round) noexcept {
+    if (prob <= 0.0 || length == 0) return false;
+    const std::uint64_t first = round >= length ? round - length + 1 : 0;
+    for (std::uint64_t start = first; start <= round; ++start) {
+        if (fires(prob, seed, tag, user, start)) return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool fault_plan_params::any() const noexcept {
+    return blackout_prob > 0.0 || partial_transfer_prob > 0.0 || duplicate_prob > 0.0 ||
+           reorder_prob > 0.0 || brownout_prob > 0.0 || crash_restart_prob > 0.0;
+}
+
+fault_plan_params fault_plan_params::scaled(double intensity) const noexcept {
+    fault_plan_params out = *this;
+    auto scale = [intensity](double p) { return std::clamp(p * intensity, 0.0, 1.0); };
+    out.blackout_prob = scale(blackout_prob);
+    out.partial_transfer_prob = scale(partial_transfer_prob);
+    out.duplicate_prob = scale(duplicate_prob);
+    out.reorder_prob = scale(reorder_prob);
+    out.brownout_prob = scale(brownout_prob);
+    out.crash_restart_prob = scale(crash_restart_prob);
+    return out;
+}
+
+fault_plan::fault_plan(fault_plan_params params) : params_(params) {
+    auto check_prob = [](double p, const char* what) {
+        RICHNOTE_REQUIRE(p >= 0.0 && p <= 1.0, std::string(what) + " must be in [0,1]");
+    };
+    check_prob(params_.blackout_prob, "blackout_prob");
+    check_prob(params_.partial_transfer_prob, "partial_transfer_prob");
+    check_prob(params_.duplicate_prob, "duplicate_prob");
+    check_prob(params_.reorder_prob, "reorder_prob");
+    check_prob(params_.brownout_prob, "brownout_prob");
+    check_prob(params_.crash_restart_prob, "crash_restart_prob");
+    RICHNOTE_REQUIRE(params_.min_transfer_fraction >= 0.0 &&
+                         params_.min_transfer_fraction < 1.0,
+                     "min_transfer_fraction must be in [0,1)");
+}
+
+bool fault_plan::blackout(std::uint32_t user, std::uint64_t round) const noexcept {
+    return in_window(params_.blackout_prob, params_.blackout_rounds, params_.seed,
+                     stream_blackout, user, round);
+}
+
+bool fault_plan::brownout(std::uint32_t user, std::uint64_t round) const noexcept {
+    return in_window(params_.brownout_prob, params_.brownout_rounds, params_.seed,
+                     stream_brownout, user, round);
+}
+
+double fault_plan::transfer_fraction(std::uint32_t user, std::uint64_t round,
+                                     std::uint64_t item) const noexcept {
+    // Two independent draws keyed on (user, round, item): does the link cut,
+    // and if so how many of the remaining bytes landed first.
+    const std::uint64_t key = richnote::mix64(round) ^ item;
+    if (!fires(params_.partial_transfer_prob, params_.seed, stream_partial_fire, user, key))
+        return 1.0;
+    const double span = 1.0 - params_.min_transfer_fraction;
+    return params_.min_transfer_fraction +
+           span * u01(hash3(params_.seed, stream_partial_frac, user, key));
+}
+
+bool fault_plan::duplicate_arrival(std::uint32_t user, std::uint64_t note_id) const noexcept {
+    return fires(params_.duplicate_prob, params_.seed, stream_duplicate, user, note_id);
+}
+
+bool fault_plan::reorder_arrivals(std::uint32_t user, std::uint64_t round) const noexcept {
+    return fires(params_.reorder_prob, params_.seed, stream_reorder, user, round);
+}
+
+std::uint64_t fault_plan::reorder_seed(std::uint32_t user, std::uint64_t round) const noexcept {
+    return hash3(params_.seed, stream_reorder ^ 0xffff, user, round);
+}
+
+bool fault_plan::crash_restart(std::uint32_t user, std::uint64_t round) const noexcept {
+    return fires(params_.crash_restart_prob, params_.seed, stream_crash, user, round);
+}
+
+} // namespace richnote::faults

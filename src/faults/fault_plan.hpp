@@ -1,0 +1,100 @@
+// Deterministic fault-injection plan.
+//
+// A fault_plan schedules injectable faults per user and per round: network
+// blackout windows, flaky-link partial transfers (a fraction of the bytes
+// lands before the cut), duplicated and reordered trace arrivals from the
+// pub/sub engine, battery brownouts, and broker crash-restart events.
+//
+// Every query is a PURE function of (seed, fault kind, user, round [, item]):
+// the plan holds no mutable state and draws nothing from a shared stream, so
+// the same seed produces the same fault schedule no matter how users are
+// sharded across worker threads or in which order brokers consult it. That
+// is the determinism guarantee the chaos tests and the fault-tolerance bench
+// lean on: same seed + same fault_plan => identical results.
+#pragma once
+
+#include <cstdint>
+
+namespace richnote::faults {
+
+struct fault_plan_params {
+    std::uint64_t seed = 0;
+
+    /// Per (user, round) probability that a network blackout window STARTS;
+    /// the window then covers `blackout_rounds` consecutive rounds during
+    /// which the user's link is forced down regardless of the Markov state.
+    double blackout_prob = 0.0;
+    std::uint32_t blackout_rounds = 3;
+
+    /// Per-transfer probability that the link cuts mid-flight: a fraction of
+    /// the remaining bytes (uniform in [min_transfer_fraction, 1)) lands
+    /// before the cut and is resumable from the high-water mark.
+    double partial_transfer_prob = 0.0;
+    double min_transfer_fraction = 0.0;
+
+    /// Per-notification probability that the pub/sub engine replays the
+    /// publish, so the broker sees the same notification id twice.
+    double duplicate_prob = 0.0;
+
+    /// Per (user, round) probability that the round's trace arrivals reach
+    /// the broker out of timestamp order.
+    double reorder_prob = 0.0;
+
+    /// Per (user, round) probability that a battery brownout window STARTS:
+    /// for `brownout_rounds` rounds the energy-budget replenishment e(t) is
+    /// forced to zero (the device is too low to grant the radio any budget).
+    double brownout_prob = 0.0;
+    std::uint32_t brownout_rounds = 2;
+
+    /// Per (user, round) probability that the user's broker crashes after
+    /// the round and restarts from its last checkpoint.
+    double crash_restart_prob = 0.0;
+
+    /// True when any fault can ever fire.
+    bool any() const noexcept;
+
+    /// Copy with every probability multiplied by `intensity` (clamped to
+    /// [0, 1]); window lengths and the seed are unchanged. This is the
+    /// single knob the fault-tolerance bench sweeps.
+    fault_plan_params scaled(double intensity) const noexcept;
+};
+
+class fault_plan {
+public:
+    /// Default-constructed plans are inert: no fault ever fires.
+    fault_plan() = default;
+    explicit fault_plan(fault_plan_params params);
+
+    const fault_plan_params& params() const noexcept { return params_; }
+    bool enabled() const noexcept { return params_.any(); }
+
+    /// Is `round` inside a blackout window for `user`?
+    bool blackout(std::uint32_t user, std::uint64_t round) const noexcept;
+
+    /// Is `round` inside a battery-brownout window for `user`?
+    bool brownout(std::uint32_t user, std::uint64_t round) const noexcept;
+
+    /// Fraction of the remaining bytes of `item` that land if the broker
+    /// attempts the transfer in `round`: 1.0 = the transfer completes,
+    /// anything below 1 is a mid-flight cut at that fraction.
+    double transfer_fraction(std::uint32_t user, std::uint64_t round,
+                             std::uint64_t item) const noexcept;
+
+    /// Should the publish of notification `note_id` be replayed to `user`?
+    bool duplicate_arrival(std::uint32_t user, std::uint64_t note_id) const noexcept;
+
+    /// Should the arrivals admitted to `user` in `round` be reordered?
+    bool reorder_arrivals(std::uint32_t user, std::uint64_t round) const noexcept;
+
+    /// Deterministic permutation seed for a reordered batch (feed to an rng).
+    std::uint64_t reorder_seed(std::uint32_t user, std::uint64_t round) const noexcept;
+
+    /// Does the user's broker crash (and restart from its checkpoint)
+    /// immediately before serving `round`?
+    bool crash_restart(std::uint32_t user, std::uint64_t round) const noexcept;
+
+private:
+    fault_plan_params params_;
+};
+
+} // namespace richnote::faults

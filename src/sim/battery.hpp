@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/rng.hpp"
 #include "sim/time.hpp"
@@ -36,6 +37,10 @@ public:
 
     /// Drains energy immediately (no-op for trace replays).
     virtual void drain(double joules) noexcept = 0;
+
+    /// Deep copy, preserving the full mutable state (checkpoint/restore for
+    /// crash-restart recovery).
+    virtual std::unique_ptr<battery_source> clone() const = 0;
 };
 
 struct battery_params {
@@ -66,6 +71,10 @@ public:
 
     /// Drains energy immediately (clamped at empty).
     void drain(double joules) noexcept override;
+
+    std::unique_ptr<battery_source> clone() const override {
+        return std::make_unique<battery_model>(*this);
+    }
 
     const battery_params& params() const noexcept { return params_; }
 

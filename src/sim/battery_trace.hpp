@@ -63,6 +63,10 @@ public:
     void step(sim_time t, sim_time dt, double extra_joules) noexcept override;
     void drain(double joules) noexcept override { (void)joules; }
 
+    std::unique_ptr<battery_source> clone() const override {
+        return std::make_unique<traced_battery>(*this);
+    }
+
     const battery_trace& trace() const noexcept { return trace_; }
 
 private:

@@ -1,0 +1,256 @@
+// Retry budget, exponential backoff and dead-lettering for transfers that
+// cut mid-flight, plus the interaction of expiry with retry state and the
+// queue_bytes() bookkeeping invariant (resilient delivery pipeline).
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/presentation.hpp"
+#include "energy/model.hpp"
+
+namespace {
+
+using richnote::core::audio_preview_generator;
+using richnote::core::fifo_scheduler;
+using richnote::core::retry_policy;
+using richnote::core::richnote_scheduler;
+using richnote::core::round_context;
+using richnote::core::sched_item;
+using richnote::sim::net_state;
+
+const richnote::energy::energy_model g_energy;
+
+sched_item make_item(std::uint64_t id, double content_utility = 0.5,
+                     double created_at = 0.0) {
+    static const audio_preview_generator generator{audio_preview_generator::params{}};
+    sched_item item;
+    item.note.id = id;
+    item.note.recipient = 0;
+    item.note.created_at = created_at;
+    item.content_utility = content_utility;
+    item.presentations = generator.generate(276.0);
+    item.arrived_at = created_at;
+    return item;
+}
+
+round_context cell_ctx(double budget = 1e12) {
+    round_context ctx;
+    ctx.data_budget_bytes = budget;
+    ctx.network = net_state::cell;
+    ctx.metered = true;
+    ctx.link_capacity_bytes = 1e12;
+    ctx.energy_replenishment = 3000.0;
+    return ctx;
+}
+
+double sum_queue_bytes(const richnote::core::queue_scheduler_base& s) {
+    double total = 0.0;
+    for (const auto& item : s.queued_items()) total += item.presentations.total_size();
+    return total;
+}
+
+TEST(retry, default_policy_retries_forever_without_backoff) {
+    fifo_scheduler s(3, g_energy);
+    s.enqueue(make_item(1));
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(s.on_transfer_failed(1, i * 3600.0));
+    }
+    EXPECT_EQ(s.queue_size(), 1u);
+    EXPECT_EQ(s.retries(), 50u);
+    EXPECT_EQ(s.dead_lettered(), 0u);
+    // No backoff configured: the item is planned again immediately.
+    EXPECT_EQ(s.plan(cell_ctx()).size(), 1u);
+}
+
+TEST(retry, exhausted_budget_dead_letters_the_item) {
+    fifo_scheduler s(3, g_energy);
+    retry_policy policy;
+    policy.max_attempts = 3;
+    s.set_retry_policy(policy);
+    s.enqueue(make_item(1));
+
+    EXPECT_FALSE(s.on_transfer_failed(1, 0.0));
+    EXPECT_FALSE(s.on_transfer_failed(1, 3600.0));
+    EXPECT_TRUE(s.on_transfer_failed(1, 7200.0)); // third strike
+    EXPECT_EQ(s.queue_size(), 0u);
+    EXPECT_DOUBLE_EQ(s.queue_bytes(), 0.0);
+    EXPECT_EQ(s.retries(), 2u);
+    EXPECT_EQ(s.dead_lettered(), 1u);
+    // The dead-lettered item left the index too.
+    EXPECT_THROW(s.on_transfer_failed(1, 0.0), richnote::precondition_error);
+}
+
+TEST(retry, dead_letter_unblocks_the_fifo_head) {
+    // A poisoned head item must not head-of-line-block FIFO forever: once
+    // dead-lettered, the next item is planned first.
+    fifo_scheduler s(3, g_energy);
+    retry_policy policy;
+    policy.max_attempts = 1;
+    s.set_retry_policy(policy);
+    s.enqueue(make_item(1, 0.5, 0.0));
+    s.enqueue(make_item(2, 0.5, 1.0));
+
+    auto plan = s.plan(cell_ctx());
+    ASSERT_FALSE(plan.empty());
+    EXPECT_EQ(plan.front().item_id, 1u);
+
+    EXPECT_TRUE(s.on_transfer_failed(1, 0.0)); // first failure dead-letters
+    plan = s.plan(cell_ctx());
+    ASSERT_FALSE(plan.empty());
+    EXPECT_EQ(plan.front().item_id, 2u);
+}
+
+TEST(retry, backoff_doubles_and_caps) {
+    fifo_scheduler s(3, g_energy);
+    retry_policy policy;
+    policy.backoff_base_sec = 100.0;
+    policy.backoff_cap_sec = 350.0;
+    s.set_retry_policy(policy);
+    s.enqueue(make_item(1));
+
+    // Failure at t=0: back off 100 s.
+    EXPECT_FALSE(s.on_transfer_failed(1, 0.0));
+    auto ctx = cell_ctx();
+    ctx.now = 50.0;
+    EXPECT_TRUE(s.plan(ctx).empty()) << "item must be skipped while backing off";
+    ctx.now = 100.0;
+    EXPECT_EQ(s.plan(ctx).size(), 1u);
+
+    // Second failure at t=100: back off 200 s.
+    EXPECT_FALSE(s.on_transfer_failed(1, 100.0));
+    ctx.now = 250.0;
+    EXPECT_TRUE(s.plan(ctx).empty());
+    ctx.now = 300.0;
+    EXPECT_EQ(s.plan(ctx).size(), 1u);
+
+    // Third failure at t=300: 400 s is clipped by the 350 s cap.
+    EXPECT_FALSE(s.on_transfer_failed(1, 300.0));
+    ctx.now = 649.0;
+    EXPECT_TRUE(s.plan(ctx).empty());
+    ctx.now = 650.0;
+    EXPECT_EQ(s.plan(ctx).size(), 1u);
+}
+
+TEST(retry, backoff_skip_does_not_block_other_items_in_richnote) {
+    richnote_scheduler s({}, g_energy);
+    retry_policy policy;
+    policy.backoff_base_sec = 1000.0;
+    s.set_retry_policy(policy);
+    s.enqueue(make_item(1, 0.9));
+    s.enqueue(make_item(2, 0.8));
+    EXPECT_FALSE(s.on_transfer_failed(1, 0.0));
+
+    auto ctx = cell_ctx();
+    ctx.now = 10.0;
+    // The backing-off item gets an empty MCKP menu instead of blocking the
+    // round: whatever is planned, item 1 is not part of it.
+    for (const auto& d : s.plan(ctx)) EXPECT_NE(d.item_id, 1u);
+}
+
+TEST(retry, unknown_item_failure_throws) {
+    fifo_scheduler s(3, g_energy);
+    EXPECT_THROW(s.on_transfer_failed(99, 0.0), richnote::precondition_error);
+}
+
+// --------------------------------------------- expiry x retry state ----
+
+TEST(expiry, expire_drops_backing_off_items_and_their_bookkeeping) {
+    fifo_scheduler s(3, g_energy);
+    retry_policy policy;
+    policy.backoff_base_sec = 1e6; // effectively parked
+    s.set_retry_policy(policy);
+
+    s.enqueue(make_item(1, 0.5, /*created_at=*/0.0));
+    s.enqueue(make_item(2, 0.5, /*created_at=*/5000.0));
+    s.enqueue(make_item(3, 0.5, /*created_at=*/9000.0));
+    // Item 1 accumulates retry state, then ages past the cutoff.
+    EXPECT_FALSE(s.on_transfer_failed(1, 0.0));
+    EXPECT_FALSE(s.on_transfer_failed(2, 0.0));
+
+    EXPECT_EQ(s.expire_older_than(6000.0), 2u);
+    EXPECT_EQ(s.queue_size(), 1u);
+    EXPECT_DOUBLE_EQ(s.queue_bytes(), sum_queue_bytes(s));
+    EXPECT_EQ(s.queued_items().front().note.id, 3u);
+    // Retry counters describe history, not queue contents; they survive.
+    EXPECT_EQ(s.retries(), 2u);
+    // The expired items' ids are free again (fresh enqueue must not throw),
+    // and their retry state went with them.
+    s.enqueue(make_item(1, 0.5, 10000.0));
+    EXPECT_EQ(s.queued_items().back().failed_attempts, 0u);
+    EXPECT_DOUBLE_EQ(s.queue_bytes(), sum_queue_bytes(s));
+}
+
+TEST(expiry, queue_bytes_stays_consistent_through_mixed_churn) {
+    fifo_scheduler s(3, g_energy);
+    retry_policy policy;
+    policy.max_attempts = 2;
+    s.set_retry_policy(policy);
+
+    for (std::uint64_t id = 0; id < 30; ++id)
+        s.enqueue(make_item(id, 0.5, static_cast<double>(id) * 100.0));
+
+    EXPECT_FALSE(s.on_transfer_failed(4, 0.0));
+    EXPECT_TRUE(s.on_transfer_failed(4, 0.0)); // second failure dead-letters
+    s.on_delivered(10, 1.0);
+    EXPECT_EQ(s.expire_older_than(500.0), 4u); // ids 0..3 (4 is already gone)
+    EXPECT_DOUBLE_EQ(s.queue_bytes(), sum_queue_bytes(s));
+
+    EXPECT_FALSE(s.on_transfer_failed(20, 0.0));
+    EXPECT_TRUE(s.on_transfer_failed(20, 0.0));
+    EXPECT_DOUBLE_EQ(s.queue_bytes(), sum_queue_bytes(s));
+    EXPECT_EQ(s.dead_lettered(), 2u);
+}
+
+// ------------------------------------------------- checkpointing ----
+
+TEST(scheduler_checkpoint, round_trips_queue_and_counters) {
+    fifo_scheduler s(3, g_energy);
+    retry_policy policy;
+    policy.max_attempts = 5;
+    policy.backoff_base_sec = 60.0;
+    s.set_retry_policy(policy);
+    s.enqueue(make_item(1, 0.5, 0.0));
+    s.enqueue(make_item(2, 0.7, 100.0));
+    EXPECT_FALSE(s.on_transfer_failed(1, 0.0));
+
+    const auto cp = s.checkpoint();
+
+    // Diverge, then restore.
+    s.on_delivered(2, 3.0);
+    EXPECT_FALSE(s.on_transfer_failed(1, 200.0));
+    s.restore(cp);
+
+    EXPECT_EQ(s.queue_size(), 2u);
+    EXPECT_EQ(s.retries(), 1u);
+    EXPECT_DOUBLE_EQ(s.queue_bytes(), sum_queue_bytes(s));
+    EXPECT_EQ(s.queued_items().front().failed_attempts, 1u);
+    EXPECT_DOUBLE_EQ(s.queued_items().front().retry_not_before, 60.0);
+    // Restored queue behaves identically: id 2 is deliverable again.
+    s.on_delivered(2, 3.0);
+    EXPECT_EQ(s.queue_size(), 1u);
+}
+
+TEST(scheduler_checkpoint, richnote_restores_lyapunov_state) {
+    richnote_scheduler s({}, g_energy);
+    s.enqueue(make_item(1, 0.9));
+    s.enqueue(make_item(2, 0.8));
+    auto ctx = cell_ctx();
+    (void)s.plan(ctx); // replenishes P(t) via plan-side accounting if any
+
+    const auto cp = s.checkpoint();
+    const double q_before = s.controller().queue_backlog();
+    const double p_before = s.controller().energy_credit();
+
+    s.on_delivered(1, 5.0);
+    s.on_session_overhead(10.0);
+    EXPECT_NE(s.controller().queue_backlog(), q_before);
+
+    s.restore(cp);
+    EXPECT_DOUBLE_EQ(s.controller().queue_backlog(), q_before);
+    EXPECT_DOUBLE_EQ(s.controller().energy_credit(), p_before);
+    EXPECT_EQ(s.queue_size(), 2u);
+    EXPECT_DOUBLE_EQ(s.queue_bytes(), sum_queue_bytes(s));
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+#include "faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace {
+
+using richnote::faults::fault_plan;
+using richnote::faults::fault_plan_params;
+
+fault_plan_params chaos_params(std::uint64_t seed = 7) {
+    fault_plan_params p;
+    p.seed = seed;
+    p.blackout_prob = 0.05;
+    p.partial_transfer_prob = 0.2;
+    p.min_transfer_fraction = 0.25;
+    p.duplicate_prob = 0.1;
+    p.reorder_prob = 0.1;
+    p.brownout_prob = 0.05;
+    p.crash_restart_prob = 0.05;
+    return p;
+}
+
+TEST(fault_plan, default_plan_is_inert) {
+    const fault_plan plan;
+    EXPECT_FALSE(plan.enabled());
+    for (std::uint64_t r = 0; r < 200; ++r) {
+        EXPECT_FALSE(plan.blackout(0, r));
+        EXPECT_FALSE(plan.brownout(1, r));
+        EXPECT_FALSE(plan.reorder_arrivals(2, r));
+        EXPECT_FALSE(plan.crash_restart(3, r));
+        EXPECT_DOUBLE_EQ(plan.transfer_fraction(0, r, r), 1.0);
+        EXPECT_FALSE(plan.duplicate_arrival(0, r));
+    }
+}
+
+TEST(fault_plan, queries_are_pure_functions_of_the_seed) {
+    const fault_plan a(chaos_params());
+    const fault_plan b(chaos_params());
+    ASSERT_TRUE(a.enabled());
+    // Same (seed, user, round, item) => same answer, no matter how many
+    // times, in which order, or from which plan instance the query is made.
+    for (std::uint32_t user = 0; user < 8; ++user) {
+        for (std::uint64_t round = 0; round < 300; ++round) {
+            EXPECT_EQ(a.blackout(user, round), b.blackout(user, round));
+            EXPECT_EQ(a.brownout(user, round), b.brownout(user, round));
+            EXPECT_EQ(a.crash_restart(user, round), b.crash_restart(user, round));
+            EXPECT_EQ(a.reorder_arrivals(user, round), b.reorder_arrivals(user, round));
+            EXPECT_EQ(a.reorder_seed(user, round), b.reorder_seed(user, round));
+            EXPECT_DOUBLE_EQ(a.transfer_fraction(user, round, 17),
+                             b.transfer_fraction(user, round, 17));
+        }
+    }
+    // Re-asking does not advance any hidden state.
+    EXPECT_EQ(a.blackout(3, 42), a.blackout(3, 42));
+}
+
+TEST(fault_plan, different_seeds_give_different_schedules) {
+    const fault_plan a(chaos_params(7));
+    const fault_plan b(chaos_params(8));
+    std::size_t differing = 0;
+    for (std::uint64_t round = 0; round < 2000; ++round) {
+        if (a.blackout(0, round) != b.blackout(0, round)) ++differing;
+    }
+    EXPECT_GT(differing, 0u);
+}
+
+TEST(fault_plan, blackout_windows_cover_consecutive_rounds) {
+    // A window of length L covers round r iff a start fired in
+    // (r-L+1 .. r], so the 1-round schedule is a subset of the 3-round
+    // schedule for identical seed/probability, and every struck round under
+    // L=3 has a struck round at most 2 rounds earlier that also starts a
+    // run under L=1.
+    fault_plan_params one = chaos_params();
+    one.blackout_rounds = 1;
+    fault_plan_params three = chaos_params();
+    three.blackout_rounds = 3;
+    const fault_plan short_plan(one);
+    const fault_plan long_plan(three);
+
+    std::size_t short_hits = 0;
+    std::size_t long_hits = 0;
+    for (std::uint64_t round = 0; round < 5000; ++round) {
+        const bool s = short_plan.blackout(4, round);
+        const bool l = long_plan.blackout(4, round);
+        if (s) {
+            ++short_hits;
+            EXPECT_TRUE(l) << "window start at round " << round
+                           << " must also be covered by the longer window";
+            // The start of a run extends through the next two rounds.
+            EXPECT_TRUE(long_plan.blackout(4, round + 1));
+            EXPECT_TRUE(long_plan.blackout(4, round + 2));
+        }
+        if (l) ++long_hits;
+    }
+    EXPECT_GT(short_hits, 0u);
+    EXPECT_GT(long_hits, short_hits);
+    EXPECT_LE(long_hits, 3 * short_hits);
+}
+
+TEST(fault_plan, fire_rates_track_their_probabilities) {
+    fault_plan_params p;
+    p.seed = 11;
+    p.partial_transfer_prob = 0.2;
+    p.duplicate_prob = 0.05;
+    const fault_plan plan(p);
+
+    std::size_t cuts = 0;
+    std::size_t dups = 0;
+    const std::size_t trials = 20000;
+    for (std::size_t i = 0; i < trials; ++i) {
+        if (plan.transfer_fraction(0, i, i * 31 + 1) < 1.0) ++cuts;
+        if (plan.duplicate_arrival(0, i)) ++dups;
+    }
+    EXPECT_NEAR(static_cast<double>(cuts) / trials, 0.2, 0.02);
+    EXPECT_NEAR(static_cast<double>(dups) / trials, 0.05, 0.01);
+}
+
+TEST(fault_plan, transfer_fractions_respect_the_floor) {
+    fault_plan_params p;
+    p.seed = 3;
+    p.partial_transfer_prob = 1.0; // every transfer cuts
+    p.min_transfer_fraction = 0.4;
+    const fault_plan plan(p);
+    double lo = 1.0;
+    double hi = 0.0;
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+        const double f = plan.transfer_fraction(2, i, i);
+        EXPECT_GE(f, 0.4);
+        EXPECT_LT(f, 1.0);
+        lo = std::min(lo, f);
+        hi = std::max(hi, f);
+    }
+    // The draw actually spans the allowed interval.
+    EXPECT_LT(lo, 0.45);
+    EXPECT_GT(hi, 0.95);
+}
+
+TEST(fault_plan, scaled_plan_interpolates_to_inert) {
+    const fault_plan_params base = chaos_params();
+    EXPECT_FALSE(base.scaled(0.0).any());
+    const fault_plan_params half = base.scaled(0.5);
+    EXPECT_DOUBLE_EQ(half.partial_transfer_prob, 0.1);
+    EXPECT_DOUBLE_EQ(half.blackout_prob, 0.025);
+    EXPECT_EQ(half.blackout_rounds, base.blackout_rounds);
+    EXPECT_EQ(half.seed, base.seed);
+    // Scaling clamps instead of overflowing probability space.
+    EXPECT_DOUBLE_EQ(base.scaled(100.0).partial_transfer_prob, 1.0);
+}
+
+TEST(fault_plan, reorder_seeds_differ_across_rounds_and_users) {
+    const fault_plan plan(chaos_params());
+    std::set<std::uint64_t> seeds;
+    for (std::uint32_t user = 0; user < 10; ++user) {
+        for (std::uint64_t round = 0; round < 50; ++round) {
+            seeds.insert(plan.reorder_seed(user, round));
+        }
+    }
+    EXPECT_EQ(seeds.size(), 500u);
+}
+
+TEST(fault_plan, invalid_probabilities_are_rejected) {
+    fault_plan_params p;
+    p.blackout_prob = 1.5;
+    EXPECT_THROW(fault_plan{p}, richnote::precondition_error);
+    fault_plan_params q;
+    q.min_transfer_fraction = 1.0;
+    EXPECT_THROW(fault_plan{q}, richnote::precondition_error);
+}
+
+} // namespace

@@ -40,6 +40,8 @@ subcommands:
   train    trace=trace.csv users=200 trees=30 folds=5 out=model.forest
   simulate users=200 seed=1 scheduler=richnote|fifo|util|direct
            budget_mb=10 [fixed_level=3] [wifi=false] [model=model.forest]
+           [fault_intensity=0..1] [fault_seed=7] [retry_max=8]
+           [retry_backoff_sec=0]
   sweep    users=200 seed=1 budgets=1,5,20,100
   inspect  trace=trace.csv users=200 [top=10]
   help
@@ -106,7 +108,8 @@ core::scheduler_kind parse_kind(const std::string& name) {
 
 int cmd_simulate(const config& cfg) {
     cfg.restrict_to({"users", "seed", "scheduler", "budget_mb", "fixed_level", "wifi",
-                     "model", "trees"});
+                     "model", "trees", "fault_intensity", "fault_seed", "retry_max",
+                     "retry_backoff_sec"});
     core::experiment_setup::options opts;
     opts.workload = workload_params_from(cfg);
     opts.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
@@ -120,6 +123,29 @@ int cmd_simulate(const config& cfg) {
     params.weekly_budget_mb = cfg.get_double("budget_mb", 10.0);
     params.wifi_enabled = cfg.get_bool("wifi", false);
     params.seed = opts.seed;
+
+    // fault_intensity scales a reference chaos schedule (all fault kinds at
+    // once); 0 = off, 1 = the full reference probabilities.
+    const double fault_intensity = cfg.get_double("fault_intensity", 0.0);
+    if (fault_intensity > 0.0) {
+        richnote::faults::fault_plan_params fp;
+        fp.seed = static_cast<std::uint64_t>(cfg.get_int("fault_seed", 7));
+        fp.blackout_prob = 0.05;
+        fp.partial_transfer_prob = 0.10;
+        fp.duplicate_prob = 0.05;
+        fp.reorder_prob = 0.05;
+        fp.brownout_prob = 0.03;
+        fp.crash_restart_prob = 0.02;
+        params.faults = fp.scaled(fault_intensity);
+        params.retry.max_attempts = 8;
+        params.retry.backoff_base_sec = 0.0;
+    }
+    params.retry.max_attempts =
+        static_cast<std::uint32_t>(cfg.get_int("retry_max",
+                                               static_cast<int>(params.retry.max_attempts)));
+    params.retry.backoff_base_sec =
+        cfg.get_double("retry_backoff_sec", params.retry.backoff_base_sec);
+
     const auto r = core::run_experiment(setup, params);
 
     table t({"metric", "value"});
@@ -134,6 +160,15 @@ int cmd_simulate(const config& cfg) {
     t.add_row({"avg utility / delivery", format_double(r.avg_utility, 4)});
     t.add_row({"energy (KJ)", format_double(r.energy_kj, 1)});
     t.add_row({"mean queuing delay (min)", format_double(r.mean_delay_min, 1)});
+    if (fault_intensity > 0.0) {
+        t.add_row({"fault rounds", std::to_string(r.faults.faults_injected)});
+        t.add_row({"transfer retries", std::to_string(r.faults.transfer_retries)});
+        t.add_row({"dead-lettered", std::to_string(r.faults.dead_lettered)});
+        t.add_row({"duplicates suppressed", std::to_string(r.faults.duplicates_suppressed)});
+        t.add_row({"crash restarts", std::to_string(r.faults.crash_restarts)});
+        t.add_row({"partial MB", format_double(r.faults.partial_bytes / 1e6, 2)});
+        t.add_row({"resumed MB", format_double(r.faults.resumed_bytes / 1e6, 2)});
+    }
     std::cout << t;
     return 0;
 }
