@@ -1,7 +1,8 @@
 // Shared plumbing for the figure-reproduction harnesses in bench/.
 //
 // Every harness accepts `key=value` arguments (users=..., seed=...,
-// trees=..., csv=out.csv) so the paper-scale experiment (10k users) can be
+// trees=..., threads=..., csv=out.csv) so the paper-scale experiment (10k
+// users) can be
 // approached on bigger machines while the default stays laptop-sized. One
 // experiment_setup (workload + trained forest) is shared across all sweep
 // points of a figure, like the paper replays one trace for every method.
@@ -29,13 +30,17 @@ struct bench_options {
     std::vector<double> budgets_mb = default_budgets_mb;
     std::optional<std::string> csv_path;
     std::uint64_t run_seed = 5;
+    /// Worker threads for the per-user round loop (threads= key). Results
+    /// are bit-identical for any value; 0 = hardware_concurrency.
+    std::size_t worker_threads = 1;
 };
 
 /// Parses the common command-line keys; `extra_keys` are tool-specific.
 inline bench_options parse_options(int argc, char** argv,
                                    std::vector<std::string> extra_keys = {}) {
     const config cfg = config::from_args(argc, argv);
-    std::vector<std::string> allowed = {"users", "seed", "trees", "csv", "budgets"};
+    std::vector<std::string> allowed = {"users", "seed", "trees", "csv", "budgets",
+                                        "threads"};
     allowed.insert(allowed.end(), extra_keys.begin(), extra_keys.end());
     cfg.restrict_to(allowed);
 
@@ -43,6 +48,7 @@ inline bench_options parse_options(int argc, char** argv,
     opts.setup.workload.user_count = static_cast<std::size_t>(cfg.get_int("users", 200));
     opts.setup.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
     opts.setup.forest.tree_count = static_cast<std::size_t>(cfg.get_int("trees", 30));
+    opts.worker_threads = static_cast<std::size_t>(cfg.get_int("threads", 1));
     if (cfg.has("csv")) opts.csv_path = cfg.get_string("csv", "");
     if (cfg.has("budgets")) {
         // budgets=1,5,20 style override.
@@ -83,6 +89,7 @@ inline core::experiment_result run_cell(const core::experiment_setup& setup,
     params.weekly_budget_mb = budget_mb;
     params.wifi_enabled = wifi;
     params.seed = opts.run_seed;
+    params.worker_threads = opts.worker_threads;
     return core::run_experiment(setup, params);
 }
 

@@ -1,0 +1,172 @@
+// Perf harness for content-utility inference (tracked trajectory:
+// BENCH_perf.json).
+//
+// U_c precomputation and online retraining both score every notification
+// through the forest; this harness measures that kernel three ways on one
+// synthetic dataset:
+//  - forest_item:  random_forest::predict_proba per row (tree objects,
+//                  pointer-chasing node vectors) — the pre-flattening path;
+//  - flat_item:    flat_forest::predict_proba per row (one SoA arena);
+//  - flat_batch:   flat_forest batched predict over the whole matrix
+//                  (trees-outer, rows-inner) — the cached_content_utility
+//                  precompute path.
+// Each scorer runs repeat= passes and reports its best items/sec (best-of-N
+// rides out scheduler noise). The harness also times random_forest::fit
+// sequentially and with fit_threads= threads, and verifies that every path
+// produces bit-identical probabilities before reporting anything.
+//
+// Output is machine-readable JSON on stdout (or json=PATH); scripts/bench.sh
+// folds it into BENCH_perf.json at the repo root.
+//
+// Usage: perf_inference [rows=20000] [trees=50] [seed=1] [repeat=5]
+//                       [fit_threads=0] [json=PATH]
+#include <array>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/flat_forest.hpp"
+#include "ml/random_forest.hpp"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// Click-trace-shaped synthetic data: six features, logistic label.
+richnote::ml::dataset make_data(std::size_t rows, std::uint64_t seed) {
+    richnote::ml::dataset d({"f0", "f1", "f2", "f3", "f4", "f5"});
+    richnote::rng gen(seed);
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::array<double, 6> x{};
+        for (double& f : x) f = gen.uniform(-1, 1);
+        const double z = 2.5 * x[0] - 1.5 * x[1] + x[2] - 0.5 * x[3] + gen.normal(0, 0.6);
+        d.add_row(x, z > 0 ? 1 : 0);
+    }
+    return d;
+}
+
+/// Best wall-clock of `repeat` runs of `body` (checksum defeats DCE).
+template <typename F>
+double best_of(std::size_t repeat, F&& body) {
+    double best = 1e300;
+    for (std::size_t i = 0; i < repeat; ++i) {
+        const auto start = clock_type::now();
+        body();
+        best = std::min(best, seconds_since(start));
+    }
+    return best;
+}
+
+} // namespace
+
+int main(int argc, char** argv) try {
+    using namespace richnote;
+
+    const config cfg = config::from_args(argc, argv);
+    cfg.restrict_to({"rows", "trees", "seed", "repeat", "fit_threads", "json"});
+    const auto rows = static_cast<std::size_t>(cfg.get_int("rows", 20000));
+    const auto trees = static_cast<std::size_t>(cfg.get_int("trees", 50));
+    const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    const auto repeat = static_cast<std::size_t>(cfg.get_int("repeat", 5));
+    const auto fit_threads = static_cast<std::size_t>(cfg.get_int("fit_threads", 0));
+
+    std::cerr << "[perf] generating " << rows << " rows, training " << trees
+              << " trees...\n";
+    const ml::dataset train = make_data(2000, seed);
+    const ml::dataset probe = make_data(rows, seed + 1);
+
+    ml::forest_params params;
+    params.tree_count = trees;
+
+    ml::random_forest forest;
+    params.fit_threads = 1;
+    const double fit_sequential_sec =
+        best_of(repeat, [&] { forest.fit(train, params, seed); });
+
+    ml::random_forest forest_parallel;
+    params.fit_threads = fit_threads;
+    const double fit_parallel_sec =
+        best_of(repeat, [&] { forest_parallel.fit(train, params, seed); });
+
+    const ml::flat_forest flat(forest);
+
+    // Correctness gate: all three scoring paths must agree bit-for-bit, and
+    // the parallel fit must reproduce the sequential forest exactly.
+    std::vector<double> reference(rows);
+    for (std::size_t r = 0; r < rows; ++r)
+        reference[r] = forest.predict_proba(probe.row(r));
+    const std::vector<double> batched = flat.predict_proba(probe);
+    for (std::size_t r = 0; r < rows; ++r) {
+        RICHNOTE_CHECK(flat.predict_proba(probe.row(r)) == reference[r],
+                       "flat single-row prediction diverged from the forest");
+        RICHNOTE_CHECK(batched[r] == reference[r],
+                       "flat batched prediction diverged from the forest");
+        RICHNOTE_CHECK(forest_parallel.predict_proba(probe.row(r)) == reference[r],
+                       "parallel fit diverged from the sequential forest");
+    }
+
+    std::cerr << "[perf] timing scorers (" << repeat << " passes each)...\n";
+    double checksum = 0.0;
+    const double forest_item_sec = best_of(repeat, [&] {
+        double sum = 0.0;
+        for (std::size_t r = 0; r < rows; ++r) sum += forest.predict_proba(probe.row(r));
+        checksum = sum;
+    });
+    const double flat_item_sec = best_of(repeat, [&] {
+        double sum = 0.0;
+        for (std::size_t r = 0; r < rows; ++r) sum += flat.predict_proba(probe.row(r));
+        checksum = sum;
+    });
+    std::vector<double> out(rows);
+    const double flat_batch_sec = best_of(repeat, [&] {
+        flat.predict_proba({probe.row(0).data(), rows * probe.feature_count()}, rows, out);
+        checksum = out[rows - 1];
+    });
+
+    const double n = static_cast<double>(rows);
+    const double forest_rate = n / forest_item_sec;
+    const double flat_item_rate = n / flat_item_sec;
+    const double flat_batch_rate = n / flat_batch_sec;
+
+    std::ostringstream json;
+    json.precision(6);
+    json << std::fixed;
+    json << "{\n"
+         << "  \"bench\": \"perf_inference\",\n"
+         << "  \"schema\": \"richnote-bench-v1\",\n"
+         << "  \"params\": {\"rows\": " << rows << ", \"trees\": " << trees
+         << ", \"seed\": " << seed << ", \"repeat\": " << repeat
+         << ", \"fit_threads\": " << fit_threads << "},\n"
+         << "  \"scoring\": {\"forest_items_per_sec\": " << forest_rate
+         << ", \"flat_items_per_sec\": " << flat_item_rate
+         << ", \"flat_batch_items_per_sec\": " << flat_batch_rate
+         << ", \"flat_batch_speedup\": " << flat_batch_rate / forest_rate
+         << ", \"bit_identical\": true},\n"
+         << "  \"fit\": {\"sequential_sec\": " << fit_sequential_sec
+         << ", \"parallel_sec\": " << fit_parallel_sec
+         << ", \"checksum\": " << checksum << "}\n"
+         << "}\n";
+
+    if (cfg.has("json")) {
+        const std::string path = cfg.get_string("json", "");
+        std::ofstream out_file(path);
+        out_file << json.str();
+        std::cerr << "[perf] wrote " << path << '\n';
+    } else {
+        std::cout << json.str();
+    }
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}

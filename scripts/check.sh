@@ -2,14 +2,34 @@
 # Correctness gate: configure, build and run the full test suite — the same
 # sequence CI and reviewers use. Run before every push.
 #
-# Usage: scripts/check.sh [--sanitize]
+# Usage: scripts/check.sh [--sanitize | --bench]
 #   --sanitize   separate build-asan/ tree with -DRICHNOTE_SANITIZE=ON
 #                (AddressSanitizer + UBSan). This is how the chaos soak
 #                (tests/core/test_chaos_soak.cpp) is meant to be exercised:
 #                hundreds of fault-injected rounds with every allocation
 #                and integer op checked.
+#   --bench      perf smoke: runs scripts/bench.sh --quick (small fixed
+#                sizes) and fails unless the emitted BENCH JSON parses and
+#                carries the expected sections.
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--bench" ]; then
+  out=build-perf/BENCH_quick.json
+  BENCH_OUT="$out" scripts/bench.sh --quick
+  python3 - "$out" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))  # malformed JSON raises here
+for section in ("round_loop", "inference"):
+    if section not in doc:
+        sys.exit(f"BENCH JSON missing section: {section}")
+    if doc[section].get("schema") != "richnote-bench-v1":
+        sys.exit(f"BENCH JSON section {section} has wrong schema tag")
+print(f"[check] {sys.argv[1]} is well-formed")
+EOF
+  exit 0
+fi
 
 BUILD_DIR=build
 if [ "${1:-}" = "--sanitize" ]; then

@@ -57,3 +57,17 @@ namespace detail {
         if (!(expr)) ::richnote::detail::throw_invariant(#expr, __FILE__, __LINE__, \
                                                          (msg));                    \
     } while (false)
+
+/// Run a validation statement in debug builds only. For hot paths whose
+/// inputs are validated upstream: the statement (typically a call into a
+/// RICHNOTE_REQUIRE-based validator) compiles away under NDEBUG.
+#ifdef NDEBUG
+#define RICHNOTE_ASSERT_VALID(stmt) \
+    do {                            \
+    } while (false)
+#else
+#define RICHNOTE_ASSERT_VALID(stmt) \
+    do {                            \
+        stmt;                       \
+    } while (false)
+#endif

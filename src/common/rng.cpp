@@ -16,37 +16,12 @@ std::uint64_t mix64(std::uint64_t value) noexcept {
     return splitmix64(state);
 }
 
-namespace {
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-    return (x << k) | (x >> (64 - k));
-}
-} // namespace
-
 rng::rng(std::uint64_t seed) noexcept {
     std::uint64_t s = seed;
     for (auto& lane : state_) lane = splitmix64(s);
 }
 
-rng::result_type rng::operator()() noexcept {
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-    return result;
-}
-
 rng rng::split() noexcept { return rng((*this)() ^ 0xd1b54a32d192ed03ULL); }
-
-double rng::uniform() noexcept {
-    // 53 high-quality bits -> double in [0, 1).
-    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-double rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
 
 std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
     const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
@@ -61,8 +36,6 @@ std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
             return lo + static_cast<std::int64_t>(m >> 64);
     }
 }
-
-bool rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 double rng::normal() noexcept {
     if (has_cached_normal_) {

@@ -32,21 +32,35 @@ public:
     static constexpr result_type min() noexcept { return 0; }
     static constexpr result_type max() noexcept { return ~result_type{0}; }
 
-    /// Next raw 64-bit output.
-    result_type operator()() noexcept;
+    /// Next raw 64-bit output (xoshiro256**). Inline: this is the base of
+    /// every per-round random draw in the simulator.
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl_(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl_(state_[3], 45);
+        return result;
+    }
 
     /// Creates an independent child stream (useful to give each simulated
     /// user / component its own generator without correlated sequences).
     rng split() noexcept;
 
     /// Uniform double in [0, 1).
-    double uniform() noexcept;
+    double uniform() noexcept {
+        // 53 high-quality bits -> double in [0, 1).
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
     /// Uniform double in [lo, hi).
-    double uniform(double lo, double hi) noexcept;
+    double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
     /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
     std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
     /// Bernoulli trial with success probability p (clamped to [0,1]).
-    bool bernoulli(double p) noexcept;
+    bool bernoulli(double p) noexcept { return uniform() < p; }
     /// Standard normal via Marsaglia polar method.
     double normal() noexcept;
     /// Normal with the given mean / stddev.
@@ -73,6 +87,10 @@ public:
     std::size_t weighted_index(const std::vector<double>& weights) noexcept;
 
 private:
+    static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<std::uint64_t, 4> state_;
     double cached_normal_ = 0.0;
     bool has_cached_normal_ = false;

@@ -36,6 +36,7 @@ broker::broker(trace::user_id user, broker_params params, std::unique_ptr<schedu
                      "failure probability must be in [0,1]");
     RICHNOTE_REQUIRE(!(params_.legacy_failure_accounting && params_.faults != nullptr),
                      "legacy all-or-nothing accounting cannot be combined with a fault plan");
+    if (params_.expected_admissions > 0) seen_ids_.reserve(params_.expected_admissions);
 }
 
 std::vector<trace::notification> broker::take_feedback() {
@@ -59,7 +60,7 @@ void broker::admit(const trace::notification& n) {
     item.note = n;
     item.content_utility = utility_->content_utility(n);
     const double full_duration = catalog_->track_at(n.track).duration_sec;
-    item.presentations = generator_->generate(full_duration);
+    item.presentations = generator_->generate_for_item(n.track, full_duration);
     item.arrived_at = n.created_at;
     scheduler_->enqueue(std::move(item));
 }
@@ -142,8 +143,10 @@ void broker::run_round(sim_time now) {
     ctx.link_capacity_bytes = link.bytes_per_second * params_.round;
     ctx.energy_replenishment = replenishment;
 
-    // 4. Plan and deliver.
-    const std::vector<planned_delivery> plan = scheduler_->plan(ctx);
+    // 4. Plan and deliver. The plan references the scheduler's reused
+    // buffer; it stays valid through delivery (on_delivered /
+    // on_transfer_failed only touch the queue) and is never copied.
+    const std::vector<planned_delivery>& plan = scheduler_->plan(ctx);
     if (plan.empty()) return;
 
     double sent_bytes = 0.0;  ///< bytes actually moved this round

@@ -62,6 +62,10 @@ struct broker_params {
     /// Optional deterministic fault plan (blackouts, partial transfers,
     /// brownouts, ...). Not owned; nullptr = no injected faults.
     const richnote::faults::fault_plan* faults = nullptr;
+    /// Sizing hint: expected total admissions for this user (the stream
+    /// length). Pre-reserves the idempotency set so steady-state admission
+    /// never rehashes. 0 = no hint.
+    std::size_t expected_admissions = 0;
 };
 
 /// Snapshot of everything a broker mutates over time. Move-only (owns a

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <thread>
 
 #include "common/error.hpp"
@@ -90,7 +91,14 @@ experiment_result run_experiment(const experiment_setup& setup,
     RICHNOTE_REQUIRE(params.weekly_budget_mb > 0, "budget must be positive");
     const trace::workload& world = setup.world();
 
-    const audio_preview_generator generator(params.presentation);
+    const audio_preview_generator base_generator(params.presentation);
+    // Pre-generate the presentation set of every distinct track duration:
+    // admission then pays a hash lookup + copy instead of re-running
+    // candidate generation and Pareto pruning per notification.
+    std::vector<double> track_durations;
+    track_durations.reserve(world.catalog().track_count());
+    for (const auto& t : world.catalog().tracks()) track_durations.push_back(t.duration_sec);
+    const memoized_presentation_generator generator(base_generator, track_durations);
     const energy::energy_model energy;
 
     // theta: the per-round slice of the weekly budget (§V-C "budget per
@@ -162,6 +170,7 @@ experiment_result run_experiment(const experiment_setup& setup,
         bp.transfer_failure_prob = params.transfer_failure_prob;
         bp.legacy_failure_accounting = params.legacy_failure_accounting;
         bp.faults = fplan;
+        bp.expected_admissions = world.notifications().per_user[u].size();
 
         auto network =
             params.wifi_enabled
@@ -214,8 +223,26 @@ experiment_result run_experiment(const experiment_setup& setup,
 
     RICHNOTE_REQUIRE(params.worker_threads >= 1, "need at least one worker thread");
     auto trajectories = std::make_shared<telemetry>(params.telemetry_users);
+    const bool telemetry_enabled = trajectories->enabled();
     std::vector<std::size_t> fast_cursor(world.user_count(), 0);
     std::vector<std::size_t> batch_cursor(world.user_count(), 0);
+    // Timestamp of each user's next pending arrival per topic class (+inf
+    // when drained). A steady-state round checks two contiguous doubles per
+    // user instead of chasing the per-user index vectors, which is most of
+    // the admission bookkeeping cost once queues drain.
+    constexpr double never = std::numeric_limits<double>::infinity();
+    std::vector<double> fast_next(world.user_count(), never);
+    std::vector<double> batch_next(world.user_count(), never);
+    for (trace::user_id u = 0; u < world.user_count(); ++u) {
+        const auto& stream = world.notifications().per_user[u];
+        if (!fast_index[u].empty()) fast_next[u] = stream[fast_index[u][0]].created_at;
+        if (!batch_index[u].empty()) batch_next[u] = stream[batch_index[u][0]].created_at;
+    }
+    // Per-user due-arrival buffers, hoisted out of the round loop so a
+    // steady-state tick reuses their capacity instead of allocating one
+    // vector per user per round. Per-user (not per-worker) keeps them
+    // data-race-free under any sharding.
+    std::vector<std::vector<std::size_t>> due_buffer(world.user_count());
     richnote::sim::simulator sim;
     std::uint64_t rounds_run = 0;
     sim.schedule_periodic(0.0, params.round, [&](std::uint64_t tick) {
@@ -225,35 +252,46 @@ experiment_result run_experiment(const experiment_setup& setup,
 
         // One user's admissions + round; touches only user-u state.
         auto run_user = [&](trace::user_id u) {
-            const auto& stream = world.notifications().per_user[u];
-            auto collect_due = [&](const std::vector<std::size_t>& index,
-                                   std::size_t& cursor, std::vector<std::size_t>& due) {
-                while (cursor < index.size() &&
-                       stream[index[cursor]].created_at <= now) {
-                    due.push_back(index[cursor]);
-                    ++cursor;
+            const bool fast_due = fast_next[u] <= now;
+            const bool batch_due = batch_tick && batch_next[u] <= now;
+            if (fast_due || batch_due) {
+                const auto& stream = world.notifications().per_user[u];
+                auto collect_due = [&](const std::vector<std::size_t>& index,
+                                       std::size_t& cursor, std::vector<std::size_t>& due,
+                                       double& next) {
+                    while (cursor < index.size() &&
+                           stream[index[cursor]].created_at <= now) {
+                        due.push_back(index[cursor]);
+                        ++cursor;
+                    }
+                    next = cursor < index.size() ? stream[index[cursor]].created_at
+                                                 : never;
+                };
+                std::vector<std::size_t>& due = due_buffer[u];
+                due.clear();
+                if (fast_due)
+                    collect_due(fast_index[u], fast_cursor[u], due, fast_next[u]);
+                if (batch_due)
+                    collect_due(batch_index[u], batch_cursor[u], due, batch_next[u]);
+                if (fplan != nullptr && due.size() > 1 &&
+                    fplan->reorder_arrivals(u, tick)) {
+                    // Pub/sub delivered this round's batch out of timestamp
+                    // order; the permutation is a pure function of (seed,
+                    // user, round), so sharding cannot change it.
+                    richnote::rng scramble(fplan->reorder_seed(u, tick));
+                    scramble.shuffle(due);
                 }
-            };
-            std::vector<std::size_t> due;
-            collect_due(fast_index[u], fast_cursor[u], due);
-            if (batch_tick) collect_due(batch_index[u], batch_cursor[u], due);
-            if (fplan != nullptr && due.size() > 1 && fplan->reorder_arrivals(u, tick)) {
-                // Pub/sub delivered this round's batch out of timestamp
-                // order; the permutation is a pure function of (seed, user,
-                // round), so sharding cannot change it.
-                richnote::rng scramble(fplan->reorder_seed(u, tick));
-                scramble.shuffle(due);
-            }
-            for (const std::size_t i : due) {
-                brokers[u].admit(stream[i]);
-                if (fplan != nullptr && fplan->duplicate_arrival(u, stream[i].id)) {
-                    // At-least-once replay of the publish; idempotent
-                    // admission must suppress it.
+                for (const std::size_t i : due) {
                     brokers[u].admit(stream[i]);
+                    if (fplan != nullptr && fplan->duplicate_arrival(u, stream[i].id)) {
+                        // At-least-once replay of the publish; idempotent
+                        // admission must suppress it.
+                        brokers[u].admit(stream[i]);
+                    }
                 }
             }
             brokers[u].run_round(now);
-            if (trajectories->enabled() && trajectories->watches(u)) {
+            if (telemetry_enabled && trajectories->watches(u)) {
                 round_sample sample;
                 sample.round = tick;
                 sample.user = u;

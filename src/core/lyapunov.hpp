@@ -62,6 +62,38 @@ public:
         return qs + pe + params_.v * utility;
     }
 
+    /// Snapshot of the Q(t)/P(t)-dependent factors of adjusted_utility(),
+    /// taken once per plan() instead of recomputed per item-level. The
+    /// hoisted divisions are the exact operations adjusted_utility()
+    /// performs, in the same order, so the adjusted values are bit-identical
+    /// to calling it directly — this is a pure hot-path hoist.
+    struct utility_adjuster {
+        double q_scaled = 0.0;        ///< q / queue_unit
+        double p_scaled = 0.0;        ///< (p - kappa) / energy_unit
+        double queue_unit_bytes = 1.0;
+        double energy_unit_joules = 1.0;
+        double v = 0.0;
+
+        /// Per-item factor: reuse across the item's levels.
+        double item_queue_term(double item_total_size) const noexcept {
+            return q_scaled * (item_total_size / queue_unit_bytes);
+        }
+        /// Eq. 7 for one level given the precomputed item term.
+        double level_utility(double item_qs, double rho, double utility) const noexcept {
+            return item_qs + p_scaled * (rho / energy_unit_joules) + v * utility;
+        }
+    };
+
+    utility_adjuster make_adjuster() const noexcept {
+        utility_adjuster a;
+        a.q_scaled = q_ / params_.queue_unit_bytes;
+        a.p_scaled = (p_ - params_.kappa) / params_.energy_unit_joules;
+        a.queue_unit_bytes = params_.queue_unit_bytes;
+        a.energy_unit_joules = params_.energy_unit_joules;
+        a.v = params_.v;
+        return a;
+    }
+
     /// Lyapunov function L(t) (reporting / stability tests).
     double lyapunov_value() const noexcept;
 

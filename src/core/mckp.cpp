@@ -55,18 +55,37 @@ mckp_item make_mckp_item(const presentation_set& presentations, double content_u
 
 mckp_solution select_presentations(const std::vector<mckp_item>& items, double budget,
                                    const mckp_options& options) {
-    RICHNOTE_REQUIRE(budget >= 0, "budget must be non-negative");
     validate_items(items);
+    mckp_scratch scratch;
+    return select_presentations(items, budget, options, scratch);
+}
 
-    mckp_solution solution;
+const mckp_solution& select_presentations(const std::vector<mckp_item>& items,
+                                          double budget, const mckp_options& options,
+                                          mckp_scratch& scratch) {
+    RICHNOTE_REQUIRE(budget >= 0, "budget must be non-negative");
+    // The scratch overload is the per-round hot path; its callers (the
+    // schedulers) build instances from already-validated presentation sets,
+    // so the O(n*k) structural walk is a debug assertion here. The value-
+    // returning overload validates unconditionally for API users.
+    RICHNOTE_ASSERT_VALID(validate_items(items));
+
+    mckp_solution& solution = scratch.solution;
     solution.levels.assign(items.size(), 0);
+    solution.total_size = 0.0;
+    solution.total_utility = 0.0;
+    solution.upgrades = 0;
+    solution.budget_exhausted = false;
+    solution.fractional_bound = 0.0;
     if (items.empty()) return solution;
 
     // O(n) heap build with each item's initial (level 0 -> 1) gradient.
     // Upgrades with non-positive utility gain are never worth taking (they
     // can only lower the objective), so such items are left out.
-    indexed_heap<double> heap(items.size());
-    std::vector<std::pair<std::size_t, double>> initial;
+    indexed_heap<double>& heap = scratch.heap;
+    heap.reserve_ids(items.size());
+    std::vector<std::pair<std::size_t, double>>& initial = scratch.initial;
+    initial.clear();
     initial.reserve(items.size());
     for (std::size_t i = 0; i < items.size(); ++i) {
         const double g = gradient(items[i], 0);
@@ -148,12 +167,28 @@ double level_utility_2d(const mckp_item_2d& item, level_t j) noexcept {
 mckp_solution select_presentations_2d(const std::vector<mckp_item_2d>& items,
                                       double data_budget, double energy_budget,
                                       const mckp_options& options) {
+    validate_items_2d(items);
+    mckp_scratch scratch;
+    return select_presentations_2d(items, data_budget, energy_budget, options, scratch);
+}
+
+const mckp_solution& select_presentations_2d(const std::vector<mckp_item_2d>& items,
+                                             double data_budget, double energy_budget,
+                                             const mckp_options& options,
+                                             mckp_scratch& scratch) {
     RICHNOTE_REQUIRE(data_budget >= 0 && energy_budget >= 0,
                      "budgets must be non-negative");
-    validate_items_2d(items);
+    // Hot path: structural validation is debug-only here (see the 1-D
+    // overload above for the rationale).
+    RICHNOTE_ASSERT_VALID(validate_items_2d(items));
 
-    mckp_solution solution;
+    mckp_solution& solution = scratch.solution;
     solution.levels.assign(items.size(), 0);
+    solution.total_size = 0.0;
+    solution.total_utility = 0.0;
+    solution.upgrades = 0;
+    solution.budget_exhausted = false;
+    solution.fractional_bound = 0.0;
     if (items.empty()) return solution;
 
     // Normalized combined weight of an upgrade; guards against a zero
@@ -184,8 +219,10 @@ mckp_solution select_presentations_2d(const std::vector<mckp_item_2d>& items,
         return utility_gain / weight;
     };
 
-    indexed_heap<double> heap(items.size());
-    std::vector<std::pair<std::size_t, double>> initial;
+    indexed_heap<double>& heap = scratch.heap;
+    heap.reserve_ids(items.size());
+    std::vector<std::pair<std::size_t, double>>& initial = scratch.initial;
+    initial.clear();
     initial.reserve(items.size());
     for (std::size_t i = 0; i < items.size(); ++i) {
         const double g = gradient_2d(items[i], 0);

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/indexed_heap.hpp"
 #include "core/presentation.hpp"
 
 namespace richnote::core {
@@ -54,9 +56,29 @@ struct mckp_solution {
     double fractional_bound = 0.0;
 };
 
+/// Reusable solver state for the per-round hot path. One scratch per
+/// scheduler instance lets select_presentations run without a single heap
+/// allocation in steady state: the gradient heap's storage, the initial
+/// (id, gradient) pairs and the solution's level vector all retain their
+/// capacity across rounds. The scratch is opaque to callers — treat the
+/// solution returned by the scratch-accepting overloads as invalidated by
+/// the next call on the same scratch.
+struct mckp_scratch {
+    indexed_heap<double> heap;
+    std::vector<std::pair<std::size_t, double>> initial;
+    mckp_solution solution;
+};
+
 /// Algorithm 1. Validates per-item size monotonicity; `budget` >= 0.
 mckp_solution select_presentations(const std::vector<mckp_item>& items, double budget,
                                    const mckp_options& options = {});
+
+/// Allocation-free variant of Algorithm 1: solves into `scratch` and
+/// returns a reference to scratch.solution (valid until the next call with
+/// the same scratch). The value-returning overload forwards here.
+const mckp_solution& select_presentations(const std::vector<mckp_item>& items,
+                                          double budget, const mckp_options& options,
+                                          mckp_scratch& scratch);
 
 /// Exact 0/1 MCKP via DP over discretized sizes (test oracle; O(n * k *
 /// budget/resolution) time). Sizes are rounded UP to the resolution, so the
@@ -87,6 +109,12 @@ struct mckp_item_2d {
 mckp_solution select_presentations_2d(const std::vector<mckp_item_2d>& items,
                                       double data_budget, double energy_budget,
                                       const mckp_options& options = {});
+
+/// Allocation-free variant of the two-weight greedy (see mckp_scratch).
+const mckp_solution& select_presentations_2d(const std::vector<mckp_item_2d>& items,
+                                             double data_budget, double energy_budget,
+                                             const mckp_options& options,
+                                             mckp_scratch& scratch);
 
 /// Exact DP for the two-weight MCKP over both discretized axes (test
 /// oracle; O(n * k * (B/res_b) * (E/res_e)) — keep instances tiny).

@@ -5,37 +5,20 @@
 
 namespace richnote::core {
 
-presentation_set::presentation_set(std::vector<presentation> levels)
-    : levels_(std::move(levels)) {
-    RICHNOTE_REQUIRE(!levels_.empty(), "presentation set needs at least one level");
-    for (std::size_t j = 0; j < levels_.size(); ++j) {
-        RICHNOTE_REQUIRE(levels_[j].size_bytes > 0, "presentation sizes must be positive");
-        RICHNOTE_REQUIRE(levels_[j].utility > 0, "presentation utilities must be positive");
+presentation_set::presentation_set(std::vector<presentation> levels) {
+    RICHNOTE_REQUIRE(!levels.empty(), "presentation set needs at least one level");
+    for (std::size_t j = 0; j < levels.size(); ++j) {
+        RICHNOTE_REQUIRE(levels[j].size_bytes > 0, "presentation sizes must be positive");
+        RICHNOTE_REQUIRE(levels[j].utility > 0, "presentation utilities must be positive");
         if (j > 0) {
-            RICHNOTE_REQUIRE(levels_[j].size_bytes > levels_[j - 1].size_bytes,
+            RICHNOTE_REQUIRE(levels[j].size_bytes > levels[j - 1].size_bytes,
                              "presentation sizes must strictly increase");
-            RICHNOTE_REQUIRE(levels_[j].utility > levels_[j - 1].utility,
+            RICHNOTE_REQUIRE(levels[j].utility > levels[j - 1].utility,
                              "presentation utilities must strictly increase");
         }
-        total_size_ += levels_[j].size_bytes;
+        total_size_ += levels[j].size_bytes;
     }
-}
-
-double presentation_set::size(level_t j) const {
-    if (j == 0) return 0.0;
-    RICHNOTE_REQUIRE(j <= levels_.size(), "presentation level out of range");
-    return levels_[j - 1].size_bytes;
-}
-
-double presentation_set::utility(level_t j) const {
-    if (j == 0) return 0.0;
-    RICHNOTE_REQUIRE(j <= levels_.size(), "presentation level out of range");
-    return levels_[j - 1].utility;
-}
-
-const presentation& presentation_set::at(level_t j) const {
-    RICHNOTE_REQUIRE(j >= 1 && j <= levels_.size(), "presentation level out of range");
-    return levels_[j - 1];
+    levels_ = std::make_shared<const std::vector<presentation>>(std::move(levels));
 }
 
 std::vector<presentation_candidate> pareto_prune(
@@ -182,6 +165,24 @@ presentation_set layered_video_generator::generate(double full_duration_sec) con
         levels.push_back(
             presentation{std::move(c.label), c.size_bytes, c.utility, c.preview_sec});
     return presentation_set(std::move(levels));
+}
+
+memoized_presentation_generator::memoized_presentation_generator(
+    const presentation_generator& inner, const std::vector<double>& durations_sec)
+    : inner_(&inner) {
+    cache_.reserve(durations_sec.size());
+    by_ref_.reserve(durations_sec.size());
+    for (const double d : durations_sec) {
+        auto it = cache_.find(d);
+        if (it == cache_.end()) it = cache_.emplace(d, inner.generate(d)).first;
+        by_ref_.push_back(it->second); // shares the level table (refcount bump)
+    }
+}
+
+presentation_set memoized_presentation_generator::generate(double full_duration_sec) const {
+    const auto it = cache_.find(full_duration_sec);
+    if (it != cache_.end()) return it->second;
+    return inner_->generate(full_duration_sec);
 }
 
 } // namespace richnote::core

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
@@ -29,6 +31,13 @@ struct presentation {
 };
 
 /// The ordered levels 1..k of one item (level 0 is implicit).
+///
+/// The level table is immutable once constructed, so it lives behind a
+/// shared_ptr: copying a presentation_set — which admission does for every
+/// notification when the generator memoizes by duration — is a refcount
+/// bump instead of a deep copy of the level vector and its labels. The
+/// shared payload is never mutated, which keeps copies safe across
+/// sharded replay workers.
 class presentation_set {
 public:
     presentation_set() = default;
@@ -39,25 +48,36 @@ public:
     explicit presentation_set(std::vector<presentation> levels);
 
     /// Number of real levels k (not counting level 0).
-    std::size_t level_count() const noexcept { return levels_.size(); }
-    bool empty() const noexcept { return levels_.empty(); }
+    std::size_t level_count() const noexcept { return levels_ ? levels_->size() : 0; }
+    bool empty() const noexcept { return level_count() == 0; }
 
-    /// Size of level j; j = 0 returns 0.
-    double size(level_t j) const;
+    /// Size of level j; j = 0 returns 0. Inline: the schedulers call this
+    /// once per item-level per round (the MCKP instance build).
+    double size(level_t j) const {
+        if (j == 0) return 0.0;
+        RICHNOTE_REQUIRE(levels_ && j <= levels_->size(), "presentation level out of range");
+        return (*levels_)[j - 1].size_bytes;
+    }
     /// Presentation utility of level j; j = 0 returns 0.
-    double utility(level_t j) const;
+    double utility(level_t j) const {
+        if (j == 0) return 0.0;
+        RICHNOTE_REQUIRE(levels_ && j <= levels_->size(), "presentation level out of range");
+        return (*levels_)[j - 1].utility;
+    }
     /// The full presentation record of level j >= 1.
-    const presentation& at(level_t j) const;
+    const presentation& at(level_t j) const {
+        RICHNOTE_REQUIRE(levels_ && j >= 1 && j <= levels_->size(),
+                         "presentation level out of range");
+        return (*levels_)[j - 1];
+    }
 
     /// Sum over all levels of s(i, j) — the paper's s(i), used by the
     /// Lyapunov queue update (all presentations of a delivered item drop
     /// from the scheduling queue together).
     double total_size() const noexcept { return total_size_; }
 
-    const std::vector<presentation>& levels() const noexcept { return levels_; }
-
 private:
-    std::vector<presentation> levels_;
+    std::shared_ptr<const std::vector<presentation>> levels_;
     double total_size_ = 0.0;
 };
 
@@ -85,6 +105,16 @@ public:
 
     /// Levels for an item whose full media lasts `full_duration_sec`.
     virtual presentation_set generate(double full_duration_sec) const = 0;
+
+    /// Levels for catalog item `item_ref` (an opaque dense index, e.g. a
+    /// track id) of the given duration. The default ignores the ref;
+    /// memoizing generators override it with a direct array lookup, which
+    /// is the admission hot path.
+    virtual presentation_set generate_for_item(std::uint32_t item_ref,
+                                               double full_duration_sec) const {
+        (void)item_ref;
+        return generate(full_duration_sec);
+    }
 };
 
 /// The paper's Spotify audio generator (§V-C): metadata (200 B, ~1% of the
@@ -174,6 +204,41 @@ private:
 
     params params_;
     double max_raw_utility_ = 1.0;
+};
+
+/// Memoizing decorator over any generator: the presentation sets for a
+/// known set of media durations (e.g. every distinct track length in a
+/// catalog) are generated once up front, turning the per-admission
+/// generate() call on the hot path into a read-only lookup plus a cheap
+/// copy. Generators are pure functions of the duration, so the memoized
+/// results are identical to generating fresh. Lookups never mutate the
+/// cache, which keeps generate() safe to call concurrently from sharded
+/// replay workers; an unknown duration falls through to the wrapped
+/// generator. The wrapped generator must outlive this object.
+///
+/// durations_sec is indexed by the item ref admission passes to
+/// generate_for_item (track id i -> durations_sec[i]), so that path is a
+/// dense array index; generate(duration) uses a hash lookup over the same
+/// precomputed sets.
+class memoized_presentation_generator final : public presentation_generator {
+public:
+    memoized_presentation_generator(const presentation_generator& inner,
+                                    const std::vector<double>& durations_sec);
+
+    presentation_set generate(double full_duration_sec) const override;
+
+    presentation_set generate_for_item(std::uint32_t item_ref,
+                                       double full_duration_sec) const override {
+        if (item_ref < by_ref_.size()) return by_ref_[item_ref];
+        return generate(full_duration_sec);
+    }
+
+    std::size_t cached_durations() const noexcept { return cache_.size(); }
+
+private:
+    const presentation_generator* inner_;
+    std::unordered_map<double, presentation_set> cache_;
+    std::vector<presentation_set> by_ref_; ///< durations_sec index -> set
 };
 
 } // namespace richnote::core

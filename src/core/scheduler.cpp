@@ -12,31 +12,37 @@ using richnote::sim::net_state;
 
 // ---------------------------------------------------------------- base ----
 
+std::size_t queue_scheduler_base::find_position(std::uint64_t item_id) const noexcept {
+    // Linear scan, on purpose: per-user queues are short (a handful of
+    // items in steady state), so scanning beats maintaining an id->position
+    // hash map — which costs a node allocation per enqueue and a tail
+    // fixup walk per removal — on both time and the zero-allocation goal.
+    for (std::size_t p = 0; p < queue_.size(); ++p)
+        if (queue_[p].note.id == item_id) return p;
+    return queue_.size();
+}
+
 void queue_scheduler_base::enqueue(sched_item item) {
     RICHNOTE_REQUIRE(!item.presentations.empty(), "item needs at least one presentation");
-    RICHNOTE_REQUIRE(index_.find(item.note.id) == index_.end(),
+    RICHNOTE_REQUIRE(find_position(item.note.id) == queue_.size(),
                      "item already in the scheduling queue");
     queued_bytes_ += item.presentations.total_size();
-    index_[item.note.id] = queue_.size();
     queue_.push_back(std::move(item));
+    ++queue_version_;
     on_enqueued(queue_.back());
 }
 
 void queue_scheduler_base::on_delivered(std::uint64_t item_id, double energy_spent) {
-    const auto it = index_.find(item_id);
-    RICHNOTE_REQUIRE(it != index_.end(), "delivered item not in the scheduling queue");
-    remove_at(it->second, energy_spent);
+    const std::size_t pos = find_position(item_id);
+    RICHNOTE_REQUIRE(pos < queue_.size(), "delivered item not in the scheduling queue");
+    remove_at(pos, energy_spent);
 }
 
 void queue_scheduler_base::remove_at(std::size_t pos, double energy_spent) {
     on_departed(queue_[pos], energy_spent);
     queued_bytes_ -= queue_[pos].presentations.total_size();
-    index_.erase(queue_[pos].note.id);
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pos));
-    // Later items shifted left by one; fix their cached positions.
-    for (auto& [id, position] : index_) {
-        if (position > pos) --position;
-    }
+    ++queue_version_;
 }
 
 std::size_t queue_scheduler_base::expire_older_than(richnote::sim::sim_time cutoff) {
@@ -54,14 +60,14 @@ std::size_t queue_scheduler_base::expire_older_than(richnote::sim::sim_time cuto
 
 bool queue_scheduler_base::on_transfer_failed(std::uint64_t item_id,
                                               richnote::sim::sim_time now) {
-    const auto it = index_.find(item_id);
-    RICHNOTE_REQUIRE(it != index_.end(), "failed item not in the scheduling queue");
-    sched_item& item = queue_[it->second];
+    const std::size_t pos = find_position(item_id);
+    RICHNOTE_REQUIRE(pos < queue_.size(), "failed item not in the scheduling queue");
+    sched_item& item = queue_[pos];
     ++item.failed_attempts;
     if (retry_.max_attempts > 0 && item.failed_attempts >= retry_.max_attempts) {
         // Retry budget spent: dead-letter the item so it cannot head-of-
         // line-block FIFO (or pin Q(t)) forever.
-        remove_at(it->second, 0.0);
+        remove_at(pos, 0.0);
         ++dead_lettered_;
         return true;
     }
@@ -89,14 +95,11 @@ void queue_scheduler_base::restore(const checkpoint_state& state) {
     // Rebuild the queue directly, without the enqueue hooks: subclasses
     // restore their derived state (e.g. the Lyapunov queues) explicitly.
     queue_ = state.items;
-    index_.clear();
     queued_bytes_ = 0.0;
-    for (std::size_t pos = 0; pos < queue_.size(); ++pos) {
-        index_[queue_[pos].note.id] = pos;
-        queued_bytes_ += queue_[pos].presentations.total_size();
-    }
+    for (const sched_item& item : queue_) queued_bytes_ += item.presentations.total_size();
     retries_ = state.retries;
     dead_lettered_ = state.dead_lettered;
+    ++queue_version_;
 }
 
 // ----------------------------------------------------------- richnote ----
@@ -133,7 +136,7 @@ bool richnote_scheduler::allow_delivery(double rho_joules) const noexcept {
     return controller_.energy_credit() >= rho_joules;
 }
 
-std::vector<planned_delivery> richnote_scheduler::plan(const round_context& ctx) {
+const std::vector<planned_delivery>& richnote_scheduler::plan(const round_context& ctx) {
     // Algorithm 2 step 2: replenish the energy credit at the round boundary.
     controller_.on_round(ctx.energy_replenishment);
 
@@ -142,8 +145,9 @@ std::vector<planned_delivery> richnote_scheduler::plan(const round_context& ctx)
         expired_items_ += expire_older_than(ctx.now - params_.max_queue_age_sec);
     }
 
+    plan_.clear();
     if (queue_.empty() || !richnote::sim::default_link_profile(ctx.network).connected)
-        return {};
+        return plan_;
 
     // Effective budget: the metered data budget on cellular, the link
     // capacity on unmetered wifi (wifi "allows more data to deliver",
@@ -151,7 +155,7 @@ std::vector<planned_delivery> richnote_scheduler::plan(const round_context& ctx)
     const double budget = ctx.metered
                               ? std::min(ctx.data_budget_bytes, ctx.link_capacity_bytes)
                               : ctx.link_capacity_bytes;
-    if (budget <= 0.0) return {};
+    if (budget <= 0.0) return plan_;
 
     // Effective content utility after aging (§III-A's aging factor).
     auto aged_content_utility = [&](const sched_item& item) {
@@ -168,47 +172,53 @@ std::vector<planned_delivery> richnote_scheduler::plan(const round_context& ctx)
         return ctx.now - item.arrived_at < params_.wifi_deferral_max_wait_sec;
     };
 
-    // Build the MCKP instance with Lyapunov-adjusted utilities (Eq. 7).
-    std::vector<mckp_item> instance;
-    instance.reserve(queue_.size());
-    std::vector<std::vector<double>> rho_cache(queue_.size());
-    std::vector<double> aged_uc(queue_.size());
-    for (std::size_t i = 0; i < queue_.size(); ++i) {
+    // Build the MCKP instance with Lyapunov-adjusted utilities (Eq. 7) into
+    // the grow-only scratch arenas. instance_ keeps one slot per historical
+    // queue-size peak; only the active prefix [0, n) is rewritten, and any
+    // trailing slots present cleared (empty) menus the solver never
+    // upgrades. The per-level rho estimates live flat in rho_flat_ with
+    // rho_offset_[i] marking item i's first level.
+    const std::size_t n = queue_.size();
+    if (instance_.size() < n) instance_.resize(n);
+    rho_offset_.resize(n);
+    aged_uc_.resize(n);
+    rho_flat_.clear();
+    const auto adjuster = controller_.make_adjuster();
+    for (std::size_t i = 0; i < n; ++i) {
         const sched_item& item = queue_[i];
-        aged_uc[i] = aged_content_utility(item);
-        if (!retry_eligible(item, ctx.now)) {
-            instance.push_back(mckp_item{}); // backing off: forced level 0
-            continue;
-        }
+        mckp_item& m = instance_[i];
+        m.sizes.clear();
+        m.utilities.clear();
+        aged_uc_[i] = aged_content_utility(item);
+        rho_offset_[i] = rho_flat_.size();
+        if (!retry_eligible(item, ctx.now)) continue; // backing off: forced level 0
         if (deferred(item)) {
             ++deferred_item_rounds_;
-            instance.push_back(mckp_item{}); // empty menu: forced level 0
-            continue;
+            continue; // empty menu: forced level 0
         }
-        mckp_item m;
+        const double item_qs = adjuster.item_queue_term(item.presentations.total_size());
         const std::size_t k = item.presentations.level_count();
-        m.sizes.reserve(k);
-        m.utilities.reserve(k);
-        rho_cache[i].reserve(k);
         for (level_t j = 1; j <= k; ++j) {
             const double size = item.presentations.size(j);
             const double rho = energy_->estimate_rho(ctx.network, size,
                                                      params_.expected_batch_items);
-            rho_cache[i].push_back(rho);
+            rho_flat_.push_back(rho);
             m.sizes.push_back(size);
-            m.utilities.push_back(controller_.adjusted_utility(
-                item.presentations.total_size(), rho,
-                aged_uc[i] * item.presentations.utility(j)));
+            m.utilities.push_back(adjuster.level_utility(
+                item_qs, rho, aged_uc_[i] * item.presentations.utility(j)));
         }
-        instance.push_back(std::move(m));
+    }
+    for (std::size_t i = n; i < instance_.size(); ++i) {
+        instance_[i].sizes.clear();
+        instance_[i].utilities.clear();
     }
 
-    const mckp_solution solution = select_presentations(instance, budget, params_.mckp);
+    const mckp_solution& solution =
+        select_presentations(instance_, budget, params_.mckp, mckp_scratch_);
 
     // Materialize the plan and sort by descending TRUE utility (Algorithm 2
     // step 1: "sort them in descending order of their utility values").
-    std::vector<planned_delivery> plan;
-    for (std::size_t i = 0; i < queue_.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
         const level_t level = solution.levels[i];
         if (level == 0) continue;
         const sched_item& item = queue_[i];
@@ -217,17 +227,18 @@ std::vector<planned_delivery> richnote_scheduler::plan(const round_context& ctx)
         d.level = level;
         d.size_bytes = item.presentations.size(level);
         // The utility actually realized at delivery time reflects aging.
-        d.utility = aged_uc[i] * item.presentations.utility(level);
-        d.rho_joules = rho_cache[i][level - 1];
+        d.utility = aged_uc_[i] * item.presentations.utility(level);
+        d.rho_joules = rho_flat_[rho_offset_[i] + level - 1];
         d.item_total_size = item.presentations.total_size();
         d.note = item.note;
-        plan.push_back(std::move(d));
+        plan_.push_back(std::move(d));
     }
-    std::sort(plan.begin(), plan.end(), [](const planned_delivery& a, const planned_delivery& b) {
-        if (a.utility != b.utility) return a.utility > b.utility;
-        return a.item_id < b.item_id;
-    });
-    return plan;
+    std::sort(plan_.begin(), plan_.end(),
+              [](const planned_delivery& a, const planned_delivery& b) {
+                  if (a.utility != b.utility) return a.utility > b.utility;
+                  return a.item_id < b.item_id;
+              });
+    return plan_;
 }
 
 scheduler::checkpoint_state richnote_scheduler::checkpoint() const {
@@ -268,30 +279,30 @@ bool direct_scheduler::allow_delivery(double rho_joules) const noexcept {
     return energy_credit_ >= rho_joules;
 }
 
-std::vector<planned_delivery> direct_scheduler::plan(const round_context& ctx) {
+const std::vector<planned_delivery>& direct_scheduler::plan(const round_context& ctx) {
     // Accrue this round's energy budget, banked up to the cap.
     energy_credit_ = std::min(energy_credit_ + params_.kappa_joules_per_round,
                               params_.kappa_joules_per_round * params_.energy_accrual_rounds);
 
+    plan_.clear();
     if (queue_.empty() || !richnote::sim::default_link_profile(ctx.network).connected)
-        return {};
+        return plan_;
     const double budget = ctx.metered
                               ? std::min(ctx.data_budget_bytes, ctx.link_capacity_bytes)
                               : ctx.link_capacity_bytes;
-    if (budget <= 0.0) return {};
+    if (budget <= 0.0) return plan_;
 
-    std::vector<mckp_item_2d> instance;
-    instance.reserve(queue_.size());
-    for (const sched_item& item : queue_) {
-        if (!retry_eligible(item, ctx.now)) {
-            instance.push_back(mckp_item_2d{}); // backing off: forced level 0
-            continue;
-        }
-        mckp_item_2d m;
+    // Grow-only scratch instance (see richnote_scheduler::plan).
+    const std::size_t n = queue_.size();
+    if (instance_.size() < n) instance_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const sched_item& item = queue_[i];
+        mckp_item_2d& m = instance_[i];
+        m.sizes.clear();
+        m.energies.clear();
+        m.utilities.clear();
+        if (!retry_eligible(item, ctx.now)) continue; // backing off: forced level 0
         const std::size_t k = item.presentations.level_count();
-        m.sizes.reserve(k);
-        m.energies.reserve(k);
-        m.utilities.reserve(k);
         for (level_t j = 1; j <= k; ++j) {
             const double size = item.presentations.size(j);
             m.sizes.push_back(size);
@@ -299,14 +310,17 @@ std::vector<planned_delivery> direct_scheduler::plan(const round_context& ctx) {
                 energy_->estimate_rho(ctx.network, size, params_.expected_batch_items));
             m.utilities.push_back(item.utility(j));
         }
-        instance.push_back(std::move(m));
+    }
+    for (std::size_t i = n; i < instance_.size(); ++i) {
+        instance_[i].sizes.clear();
+        instance_[i].energies.clear();
+        instance_[i].utilities.clear();
     }
 
-    const mckp_solution solution =
-        select_presentations_2d(instance, budget, energy_credit_, params_.mckp);
+    const mckp_solution& solution =
+        select_presentations_2d(instance_, budget, energy_credit_, params_.mckp, mckp_scratch_);
 
-    std::vector<planned_delivery> plan;
-    for (std::size_t i = 0; i < queue_.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
         const level_t level = solution.levels[i];
         if (level == 0) continue;
         const sched_item& item = queue_[i];
@@ -315,16 +329,17 @@ std::vector<planned_delivery> direct_scheduler::plan(const round_context& ctx) {
         d.level = level;
         d.size_bytes = item.presentations.size(level);
         d.utility = item.utility(level);
-        d.rho_joules = instance[i].energies[level - 1];
+        d.rho_joules = instance_[i].energies[level - 1];
         d.item_total_size = item.presentations.total_size();
         d.note = item.note;
-        plan.push_back(std::move(d));
+        plan_.push_back(std::move(d));
     }
-    std::sort(plan.begin(), plan.end(), [](const planned_delivery& a, const planned_delivery& b) {
-        if (a.utility != b.utility) return a.utility > b.utility;
-        return a.item_id < b.item_id;
-    });
-    return plan;
+    std::sort(plan_.begin(), plan_.end(),
+              [](const planned_delivery& a, const planned_delivery& b) {
+                  if (a.utility != b.utility) return a.utility > b.utility;
+                  return a.item_id < b.item_id;
+              });
+    return plan_;
 }
 
 scheduler::checkpoint_state direct_scheduler::checkpoint() const {
@@ -346,15 +361,15 @@ fixed_level_scheduler::fixed_level_scheduler(level_t fixed_level,
     RICHNOTE_REQUIRE(fixed_level >= 1, "baselines deliver at a fixed level >= 1");
 }
 
-std::vector<planned_delivery> fixed_level_scheduler::plan(const round_context& ctx) {
+const std::vector<planned_delivery>& fixed_level_scheduler::plan(const round_context& ctx) {
+    plan_.clear();
     if (queue_.empty() || !richnote::sim::default_link_profile(ctx.network).connected)
-        return {};
+        return plan_;
     const double budget = ctx.metered
                               ? std::min(ctx.data_budget_bytes, ctx.link_capacity_bytes)
                               : ctx.link_capacity_bytes;
-    if (budget <= 0.0) return {};
+    if (budget <= 0.0) return plan_;
 
-    std::vector<planned_delivery> plan;
     double planned_bytes = 0.0;
     for (std::size_t pos : delivery_order()) {
         const sched_item& item = queue_[pos];
@@ -378,34 +393,43 @@ std::vector<planned_delivery> fixed_level_scheduler::plan(const round_context& c
         d.item_total_size = item.presentations.total_size();
         d.note = item.note;
         planned_bytes += size;
-        plan.push_back(std::move(d));
+        plan_.push_back(std::move(d));
     }
-    return plan;
+    return plan_;
 }
 
-std::vector<std::size_t> fifo_scheduler::delivery_order() const {
+const std::vector<std::size_t>& fifo_scheduler::delivery_order() {
     // queue_ is insertion-ordered and insertions arrive in timestamp order,
-    // so identity order IS delivery-timestamp order.
-    std::vector<std::size_t> order(queue_.size());
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    return order;
+    // so identity order IS delivery-timestamp order. Rebuilt only when the
+    // queue changed structurally since the last round.
+    if (order_version_ != queue_version_) {
+        order_.resize(queue_.size());
+        std::iota(order_.begin(), order_.end(), std::size_t{0});
+        order_version_ = queue_version_;
+    }
+    return order_;
 }
 
-std::vector<std::size_t> util_scheduler::delivery_order() const {
-    std::vector<std::size_t> order(queue_.size());
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    const level_t level = fixed_level();
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        const auto level_a = static_cast<level_t>(
-            std::min<std::size_t>(level, queue_[a].presentations.level_count()));
-        const auto level_b = static_cast<level_t>(
-            std::min<std::size_t>(level, queue_[b].presentations.level_count()));
-        const double ua = queue_[a].utility(level_a);
-        const double ub = queue_[b].utility(level_b);
-        if (ua != ub) return ua > ub;
-        return queue_[a].note.id < queue_[b].note.id;
-    });
-    return order;
+const std::vector<std::size_t>& util_scheduler::delivery_order() {
+    // Item utilities at a fixed level are time-invariant, so the sorted
+    // order only goes stale when the queue itself changes.
+    if (order_version_ != queue_version_) {
+        order_.resize(queue_.size());
+        std::iota(order_.begin(), order_.end(), std::size_t{0});
+        const level_t level = fixed_level();
+        std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+            const auto level_a = static_cast<level_t>(
+                std::min<std::size_t>(level, queue_[a].presentations.level_count()));
+            const auto level_b = static_cast<level_t>(
+                std::min<std::size_t>(level, queue_[b].presentations.level_count()));
+            const double ua = queue_[a].utility(level_a);
+            const double ub = queue_[b].utility(level_b);
+            if (ua != ub) return ua > ub;
+            return queue_[a].note.id < queue_[b].note.id;
+        });
+        order_version_ = queue_version_;
+    }
+    return order_;
 }
 
 } // namespace richnote::core

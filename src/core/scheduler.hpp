@@ -17,7 +17,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -94,8 +93,13 @@ public:
     /// New content enters the scheduling queue.
     virtual void enqueue(sched_item item) = 0;
 
-    /// Build this round's delivery plan (does not mutate the queue).
-    virtual std::vector<planned_delivery> plan(const round_context& ctx) = 0;
+    /// Build this round's delivery plan (does not mutate the queue). The
+    /// returned reference points at a per-scheduler buffer reused across
+    /// rounds (the zero-allocation hot path); it stays valid while the
+    /// broker delivers — on_delivered()/on_transfer_failed() only touch the
+    /// queue — but is invalidated by the next plan() call. Callers that
+    /// need the plan beyond that must copy it.
+    virtual const std::vector<planned_delivery>& plan(const round_context& ctx) = 0;
 
     /// The broker delivered this item; drop it from the scheduling queue.
     /// `energy_spent` is the actual (estimated) energy charged to it.
@@ -199,15 +203,24 @@ protected:
         (void)energy_spent;
     }
 
-    /// Insertion-ordered (= arrival-ordered) queue with O(log n) id lookup.
+    /// Insertion-ordered (= arrival-ordered) queue. Id lookups linear-scan
+    /// it (see find_position); queues are short, so that beats an id map.
     std::vector<sched_item> queue_;
-    std::map<std::uint64_t, std::size_t> index_; ///< id -> position in queue_
     double queued_bytes_ = 0.0;
     retry_policy retry_;
     std::uint64_t retries_ = 0;
     std::uint64_t dead_lettered_ = 0;
+    /// Bumped on every structural queue change (enqueue / removal /
+    /// restore); lets subclasses cache queue-derived state (delivery
+    /// orders) and refresh it only when stale.
+    std::uint64_t queue_version_ = 0;
+    /// Scratch arena: the delivery plan buffer every plan() implementation
+    /// fills and returns. Reused across rounds, so a steady-state round
+    /// allocates nothing.
+    std::vector<planned_delivery> plan_;
 
 private:
+    std::size_t find_position(std::uint64_t item_id) const noexcept;
     void remove_at(std::size_t pos, double energy_spent);
 };
 
@@ -249,7 +262,7 @@ public:
 
     const char* name() const noexcept override { return "RichNote"; }
     void enqueue(sched_item item) override;
-    std::vector<planned_delivery> plan(const round_context& ctx) override;
+    const std::vector<planned_delivery>& plan(const round_context& ctx) override;
     bool allow_delivery(double rho_joules) const noexcept override;
     void on_session_overhead(double joules) override;
 
@@ -282,6 +295,17 @@ private:
     std::uint64_t dropped_low_utility_ = 0;
     std::uint64_t expired_items_ = 0;
     std::uint64_t deferred_item_rounds_ = 0;
+    /// Per-round scratch arenas (see plan()): the MCKP instance, the flat
+    /// per-item/per-level rho cache (rho_offset_[i] indexes into rho_flat_),
+    /// the aged content utilities, and the MCKP solver's own scratch. All
+    /// grow-only: instance_ keeps one slot per historical queue-size peak,
+    /// with slots beyond the current queue holding cleared (empty) menus
+    /// that the solver treats as inert.
+    std::vector<mckp_item> instance_;
+    std::vector<double> rho_flat_;
+    std::vector<std::size_t> rho_offset_;
+    std::vector<double> aged_uc_;
+    mckp_scratch mckp_scratch_;
 };
 
 /// The §III-C formulation solved directly, WITHOUT the Lyapunov
@@ -303,7 +327,7 @@ public:
     direct_scheduler(params p, const energy::energy_model& energy);
 
     const char* name() const noexcept override { return "Direct"; }
-    std::vector<planned_delivery> plan(const round_context& ctx) override;
+    const std::vector<planned_delivery>& plan(const round_context& ctx) override;
     bool allow_delivery(double rho_joules) const noexcept override;
     void on_session_overhead(double joules) override;
 
@@ -320,6 +344,10 @@ private:
     params params_;
     const energy::energy_model* energy_;
     double energy_credit_ = 0.0;
+    /// Scratch arenas for the two-weight MCKP hot path (see
+    /// richnote_scheduler's instance_ for the grow-only slot discipline).
+    std::vector<mckp_item_2d> instance_;
+    mckp_scratch mckp_scratch_;
 };
 
 /// Baseline plumbing: fixed presentation level, differing only in order.
@@ -330,16 +358,23 @@ public:
     /// their maximum.
     fixed_level_scheduler(level_t fixed_level, const energy::energy_model& energy);
 
-    std::vector<planned_delivery> plan(const round_context& ctx) override;
+    const std::vector<planned_delivery>& plan(const round_context& ctx) override;
 
     level_t fixed_level() const noexcept { return fixed_level_; }
 
 protected:
-    /// Queue positions in delivery order for this policy.
-    virtual std::vector<std::size_t> delivery_order() const = 0;
+    /// Queue positions in delivery order for this policy. Implementations
+    /// return a reference to the cached order_ buffer, rebuilt only when
+    /// the queue changed since the last call (order_version_ tracks
+    /// queue_version_), so steady-state rounds skip the rebuild + sort.
+    virtual const std::vector<std::size_t>& delivery_order() = 0;
     /// Whether an item that does not fit blocks the rest (FIFO) or is
     /// skipped (UTIL).
     virtual bool head_of_line_blocking() const noexcept = 0;
+
+    /// Cached delivery order and the queue version it was built against.
+    std::vector<std::size_t> order_;
+    std::uint64_t order_version_ = ~std::uint64_t{0};
 
 private:
     level_t fixed_level_;
@@ -353,7 +388,7 @@ public:
     const char* name() const noexcept override { return "FIFO"; }
 
 protected:
-    std::vector<std::size_t> delivery_order() const override;
+    const std::vector<std::size_t>& delivery_order() override;
     bool head_of_line_blocking() const noexcept override { return true; }
 };
 
@@ -364,7 +399,7 @@ public:
     const char* name() const noexcept override { return "UTIL"; }
 
 protected:
-    std::vector<std::size_t> delivery_order() const override;
+    const std::vector<std::size_t>& delivery_order() override;
     bool head_of_line_blocking() const noexcept override { return false; }
 };
 

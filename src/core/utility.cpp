@@ -4,6 +4,29 @@
 
 namespace richnote::core {
 
+void content_utility_model::content_utility_batch(
+    std::span<const trace::notification* const> notes, std::span<double> out) const {
+    RICHNOTE_REQUIRE(out.size() == notes.size(), "one output slot per notification");
+    for (std::size_t i = 0; i < notes.size(); ++i)
+        out[i] = content_utility(*notes[i]);
+}
+
+namespace {
+
+/// Row-major feature matrix for a batch of notifications.
+std::vector<double> feature_matrix(std::span<const trace::notification* const> notes) {
+    constexpr std::size_t dim = trace::notification_features::dimension;
+    std::vector<double> matrix;
+    matrix.reserve(notes.size() * dim);
+    for (const trace::notification* n : notes) {
+        const auto features = n->features.to_array();
+        matrix.insert(matrix.end(), features.begin(), features.end());
+    }
+    return matrix;
+}
+
+} // namespace
+
 constant_content_utility::constant_content_utility(double value) : value_(value) {
     RICHNOTE_REQUIRE(value >= 0.0 && value <= 1.0, "content utility must be in [0,1]");
 }
@@ -13,11 +36,20 @@ forest_content_utility::forest_content_utility(
     : forest_(std::move(forest)) {
     RICHNOTE_REQUIRE(forest_ != nullptr && forest_->trained(),
                      "forest_content_utility needs a trained forest");
+    flat_ = ml::flat_forest(*forest_);
 }
 
 double forest_content_utility::content_utility(const trace::notification& n) const {
     const auto features = n.features.to_array();
-    return forest_->predict_proba(features);
+    return flat_.predict_proba(features);
+}
+
+void forest_content_utility::content_utility_batch(
+    std::span<const trace::notification* const> notes, std::span<double> out) const {
+    RICHNOTE_REQUIRE(out.size() == notes.size(), "one output slot per notification");
+    if (notes.empty()) return;
+    const std::vector<double> matrix = feature_matrix(notes);
+    flat_.predict_proba(matrix, notes.size(), out);
 }
 
 ml::dataset make_training_set(const trace::notification_trace& trace) {
@@ -55,6 +87,12 @@ double calibrated_content_utility::content_utility(const trace::notification& n)
     return calibrator_.calibrate(base_->content_utility(n));
 }
 
+void calibrated_content_utility::content_utility_batch(
+    std::span<const trace::notification* const> notes, std::span<double> out) const {
+    base_->content_utility_batch(notes, out);
+    for (double& value : out) value = calibrator_.calibrate(value);
+}
+
 online_content_utility::online_content_utility(params p)
     : params_(std::move(p)),
       data_(std::vector<std::string>(trace::notification_features::names().begin(),
@@ -67,7 +105,7 @@ online_content_utility::online_content_utility(params p)
 double online_content_utility::content_utility(const trace::notification& n) const {
     if (!forest_.trained()) return params_.prior;
     const auto features = n.features.to_array();
-    return forest_.predict_proba(features);
+    return flat_.predict_proba(features);
 }
 
 void online_content_utility::observe(const trace::notification& n) {
@@ -85,6 +123,7 @@ bool online_content_utility::on_round_end() {
     if (positives == 0.0 || positives == 1.0) return false; // one class only
     forest_.fit(data_, params_.forest,
                 params_.seed + refits_); // fresh bootstrap stream per refit
+    flat_ = ml::flat_forest(forest_);
     rounds_since_fit_ = 0;
     rows_at_last_fit_ = data_.size();
     ++refits_;
@@ -94,12 +133,17 @@ bool online_content_utility::on_round_end() {
 cached_content_utility::cached_content_utility(const trace::notification_trace& trace,
                                                const content_utility_model& model) {
     by_id_.assign(trace.total_count, 0.0);
+    std::vector<const trace::notification*> notes;
+    notes.reserve(trace.total_count);
     for (const auto& stream : trace.per_user) {
         for (const auto& n : stream) {
             RICHNOTE_REQUIRE(n.id < by_id_.size(), "notification ids must be dense");
-            by_id_[n.id] = model.content_utility(n);
+            notes.push_back(&n);
         }
     }
+    std::vector<double> scores(notes.size());
+    model.content_utility_batch(notes, scores);
+    for (std::size_t i = 0; i < notes.size(); ++i) by_id_[notes[i]->id] = scores[i];
 }
 
 double cached_content_utility::content_utility(const trace::notification& n) const {

@@ -3,8 +3,10 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "ml/calibration.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/random_forest.hpp"
 #include "trace/click_model.hpp"
 #include "trace/notification.hpp"
@@ -17,6 +19,13 @@ class content_utility_model {
 public:
     virtual ~content_utility_model() = default;
     virtual double content_utility(const trace::notification& n) const = 0;
+
+    /// Scores many notifications at once into `out` (one slot per note).
+    /// The default loops over content_utility(); forest-backed models
+    /// override it with batched flat-forest inference. Results are
+    /// bit-identical to the one-at-a-time path either way.
+    virtual void content_utility_batch(std::span<const trace::notification* const> notes,
+                                       std::span<double> out) const;
 };
 
 /// Fixed utility — degenerate model for tests and micro-benchmarks.
@@ -57,8 +66,15 @@ public:
 
     double content_utility(const trace::notification& n) const override;
 
+    /// Batched flat-forest inference (trees-outer, cache-friendly).
+    void content_utility_batch(std::span<const trace::notification* const> notes,
+                               std::span<double> out) const override;
+
+    const ml::flat_forest& flat() const noexcept { return flat_; }
+
 private:
     std::shared_ptr<const ml::random_forest> forest_;
+    ml::flat_forest flat_; ///< flattened copy of *forest_; serves all scoring
 };
 
 /// Builds the §V-A training set from a trace: one row per *attended*
@@ -80,6 +96,11 @@ public:
                                ml::platt_calibrator calibrator);
 
     double content_utility(const trace::notification& n) const override;
+
+    /// Batched: scores through the base model's batch path, then calibrates
+    /// each value in order.
+    void content_utility_batch(std::span<const trace::notification* const> notes,
+                               std::span<double> out) const override;
 
     const ml::platt_calibrator& calibrator() const noexcept { return calibrator_; }
 
@@ -140,6 +161,7 @@ private:
     params params_;
     ml::dataset data_;
     ml::random_forest forest_;
+    ml::flat_forest flat_; ///< rebuilt after every refit; serves scoring
     std::size_t rounds_since_fit_ = 0;
     std::size_t rows_at_last_fit_ = 0;
     std::size_t refits_ = 0;

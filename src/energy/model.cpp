@@ -20,15 +20,6 @@ radio_profile default_profile(net_state state) noexcept {
     return {};
 }
 
-const radio_profile& energy_model::profile(net_state state) const noexcept {
-    switch (state) {
-        case net_state::cell: return cell_;
-        case net_state::wifi: return wifi_;
-        case net_state::off: return off_;
-    }
-    return off_;
-}
-
 double energy_model::isolated_transfer_joules(net_state state, double bytes) const noexcept {
     if (state == net_state::off || bytes <= 0.0) return 0.0;
     const radio_profile& p = profile(state);
@@ -41,15 +32,6 @@ double energy_model::session_joules(net_state state, double bytes,
     const radio_profile& p = profile(state);
     // One promotion and one tail for the whole back-to-back batch.
     return p.ramp_joules + p.joules_per_kb * (bytes / 1024.0) + p.tail_joules;
-}
-
-double energy_model::estimate_rho(net_state state, double bytes,
-                                  double expected_batch_items) const noexcept {
-    if (state == net_state::off) return 0.0;
-    const radio_profile& p = profile(state);
-    const double overhead = (p.ramp_joules + p.tail_joules) /
-                            std::max(1.0, expected_batch_items);
-    return overhead + p.joules_per_kb * (bytes / 1024.0);
 }
 
 } // namespace richnote::energy

@@ -10,6 +10,7 @@
 // with the IMC'09 measurements as defaults (DESIGN.md §2).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "sim/network.hpp"
@@ -35,7 +36,14 @@ public:
     energy_model() = default;
     energy_model(radio_profile cell, radio_profile wifi) : cell_(cell), wifi_(wifi) {}
 
-    const radio_profile& profile(richnote::sim::net_state state) const noexcept;
+    const radio_profile& profile(richnote::sim::net_state state) const noexcept {
+        switch (state) {
+            case richnote::sim::net_state::cell: return cell_;
+            case richnote::sim::net_state::wifi: return wifi_;
+            case richnote::sim::net_state::off: return off_;
+        }
+        return off_;
+    }
 
     /// Energy of a single isolated transfer: ramp + per-byte + full tail.
     double isolated_transfer_joules(richnote::sim::net_state state,
@@ -50,9 +58,16 @@ public:
     /// Scheduler-facing estimate rho(i, j) (§III-C): the marginal energy of
     /// one item of `bytes` inside a typical delivery batch — the
     /// size-proportional part plus the session overhead amortized over an
-    /// expected batch size.
+    /// expected batch size. Inline: called once per item-level per round
+    /// from the MCKP instance build.
     double estimate_rho(richnote::sim::net_state state, double bytes,
-                        double expected_batch_items = 8.0) const noexcept;
+                        double expected_batch_items = 8.0) const noexcept {
+        if (state == richnote::sim::net_state::off) return 0.0;
+        const radio_profile& p = profile(state);
+        const double overhead =
+            (p.ramp_joules + p.tail_joules) / std::max(1.0, expected_batch_items);
+        return overhead + p.joules_per_kb * (bytes / 1024.0);
+    }
 
 private:
     radio_profile cell_ = default_profile(richnote::sim::net_state::cell);

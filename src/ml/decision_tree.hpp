@@ -27,6 +27,15 @@ struct tree_params {
 
 class decision_tree {
 public:
+    struct node {
+        // Internal: feature/threshold; children indices. Leaf: probability.
+        std::uint32_t feature = 0;
+        double threshold = 0.0;
+        std::int32_t left = -1;  ///< -1 marks a leaf
+        std::int32_t right = -1;
+        double probability = 0.0; ///< P(label=1) among training rows here
+    };
+
     decision_tree() = default;
 
     /// Fits on `rows` of `data` (indices may repeat — bootstrap sampling).
@@ -52,16 +61,11 @@ public:
     /// Rebuilds a tree saved by save(); validates structural integrity.
     void load(std::istream& in);
 
-private:
-    struct node {
-        // Internal: feature/threshold; children indices. Leaf: probability.
-        std::uint32_t feature = 0;
-        double threshold = 0.0;
-        std::int32_t left = -1;  ///< -1 marks a leaf
-        std::int32_t right = -1;
-        double probability = 0.0; ///< P(label=1) among training rows here
-    };
+    /// The explicit node array (root at index 0, child indices tree-local).
+    /// flat_forest reads this to build its contiguous SoA layout.
+    const std::vector<node>& nodes() const noexcept { return nodes_; }
 
+private:
     std::int32_t build(const dataset& data, std::vector<std::size_t>& rows,
                        const tree_params& params, std::size_t depth, richnote::rng& gen);
 

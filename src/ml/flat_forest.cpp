@@ -1,0 +1,96 @@
+#include "ml/flat_forest.hpp"
+
+#include "common/error.hpp"
+#include "ml/random_forest.hpp"
+
+namespace richnote::ml {
+
+flat_forest::flat_forest(const random_forest& forest) {
+    RICHNOTE_REQUIRE(forest.trained(), "cannot flatten an untrained forest");
+
+    std::size_t total_nodes = 0;
+    for (const decision_tree& tree : forest.trees()) total_nodes += tree.node_count();
+    feature_.reserve(total_nodes);
+    threshold_.reserve(total_nodes);
+    left_.reserve(total_nodes);
+    right_.reserve(total_nodes);
+    probability_.reserve(total_nodes);
+    root_.reserve(forest.tree_count());
+
+    for (const decision_tree& tree : forest.trees()) {
+        const auto base = static_cast<std::int32_t>(feature_.size());
+        root_.push_back(static_cast<std::uint32_t>(base));
+        for (const decision_tree::node& n : tree.nodes()) {
+            feature_.push_back(n.feature);
+            threshold_.push_back(n.threshold);
+            // Rebase tree-local child indices to the shared arena; -1 stays
+            // the leaf marker.
+            left_.push_back(n.left < 0 ? -1 : n.left + base);
+            right_.push_back(n.right < 0 ? -1 : n.right + base);
+            probability_.push_back(n.probability);
+            if (n.left >= 0) {
+                const std::size_t needed = static_cast<std::size_t>(n.feature) + 1;
+                if (needed > min_features_) min_features_ = needed;
+            }
+        }
+    }
+}
+
+double flat_forest::walk(std::uint32_t root, const double* features) const noexcept {
+    std::int32_t index = static_cast<std::int32_t>(root);
+    for (;;) {
+        const std::int32_t child = left_[static_cast<std::size_t>(index)];
+        if (child < 0) return probability_[static_cast<std::size_t>(index)];
+        const std::size_t i = static_cast<std::size_t>(index);
+        index = features[feature_[i]] <= threshold_[i] ? child : right_[i];
+    }
+}
+
+double flat_forest::predict_proba(std::span<const double> features) const {
+    RICHNOTE_REQUIRE(trained(), "predict on an untrained flat forest");
+    RICHNOTE_REQUIRE(features.size() >= min_features_, "feature vector too short");
+    double sum = 0.0;
+    for (const std::uint32_t root : root_) sum += walk(root, features.data());
+    return sum / static_cast<double>(root_.size());
+}
+
+int flat_forest::predict(std::span<const double> features) const {
+    return predict_proba(features) >= 0.5 ? 1 : 0;
+}
+
+void flat_forest::predict_proba(std::span<const double> matrix, std::size_t row_count,
+                                std::span<double> out) const {
+    RICHNOTE_REQUIRE(trained(), "predict on an untrained flat forest");
+    RICHNOTE_REQUIRE(out.size() == row_count, "output span must have one slot per row");
+    if (row_count == 0) return;
+    RICHNOTE_REQUIRE(matrix.size() % row_count == 0,
+                     "matrix size must be a multiple of the row count");
+    const std::size_t stride = matrix.size() / row_count;
+    RICHNOTE_REQUIRE(stride >= min_features_, "matrix rows too short for this forest");
+
+    // Trees outer, rows inner: one tree's nodes stay cache-resident across
+    // the whole batch. Each row's sum accumulates in tree order — the same
+    // floating-point order as the one-row path.
+    for (double& slot : out) slot = 0.0;
+    for (const std::uint32_t root : root_) {
+        const double* row = matrix.data();
+        for (std::size_t r = 0; r < row_count; ++r, row += stride)
+            out[r] += walk(root, row);
+    }
+    const double count = static_cast<double>(root_.size());
+    for (double& slot : out) slot /= count;
+}
+
+std::vector<double> flat_forest::predict_proba(const dataset& rows) const {
+    std::vector<double> out(rows.size());
+    if (!rows.empty()) {
+        // dataset stores features row-major and contiguous; the first row's
+        // span starts the matrix.
+        const std::span<const double> matrix{rows.row(0).data(),
+                                             rows.size() * rows.feature_count()};
+        predict_proba(matrix, rows.size(), out);
+    }
+    return out;
+}
+
+} // namespace richnote::ml

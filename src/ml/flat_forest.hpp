@@ -1,0 +1,71 @@
+// Flattened Random Forest for hot-path inference.
+//
+// A trained random_forest stores each tree as its own node vector behind a
+// decision_tree object; scoring walks T separately-allocated arrays per
+// call. flat_forest copies every tree into one contiguous structure-of-
+// arrays layout (feature ids, thresholds, absolute child offsets, leaf
+// probabilities) so a forest walk touches one arena, and adds a batched
+// predict_proba over a row-major feature matrix that loops trees-outer /
+// rows-inner, keeping each tree's nodes cache-hot across the whole batch.
+//
+// Determinism contract: predictions are bit-identical to the source
+// random_forest. The per-tree walks perform the same comparisons on the
+// same values, per-row probabilities accumulate in tree order (the exact
+// floating-point order of random_forest::predict_proba), and the final
+// division by the tree count is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace richnote::ml {
+
+class random_forest;
+
+class flat_forest {
+public:
+    flat_forest() = default;
+
+    /// Flattens a trained forest. The source forest is not retained.
+    explicit flat_forest(const random_forest& forest);
+
+    bool trained() const noexcept { return !root_.empty(); }
+    std::size_t tree_count() const noexcept { return root_.size(); }
+    std::size_t node_count() const noexcept { return feature_.size(); }
+    /// Minimum feature-vector length any walk can touch.
+    std::size_t feature_count() const noexcept { return min_features_; }
+
+    /// P(label = 1): mean of tree probabilities (bit-identical to the
+    /// source random_forest::predict_proba).
+    double predict_proba(std::span<const double> features) const;
+
+    /// Hard 0/1 prediction at the 0.5 threshold.
+    int predict(std::span<const double> features) const;
+
+    /// Batched inference over a row-major matrix of `row_count` rows of
+    /// `feature_count()`-or-more features each (stride = matrix.size() /
+    /// row_count). Writes one probability per row into `out`.
+    void predict_proba(std::span<const double> matrix, std::size_t row_count,
+                       std::span<double> out) const;
+
+    /// Batched inference over a dataset's feature rows.
+    std::vector<double> predict_proba(const dataset& rows) const;
+
+private:
+    // One SoA node table for all trees; tree t's root is root_[t] and child
+    // offsets are absolute indices into these arrays (< 0 marks a leaf).
+    std::vector<std::uint32_t> feature_;
+    std::vector<double> threshold_;
+    std::vector<std::int32_t> left_;
+    std::vector<std::int32_t> right_;
+    std::vector<double> probability_;
+    std::vector<std::uint32_t> root_;
+    std::size_t min_features_ = 0;
+
+    double walk(std::uint32_t root, const double* features) const noexcept;
+};
+
+} // namespace richnote::ml

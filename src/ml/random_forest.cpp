@@ -1,8 +1,11 @@
 #include "ml/random_forest.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <exception>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -20,38 +23,78 @@ void random_forest::fit(const dataset& data, const forest_params& params, std::u
     }
 
     trees_.assign(params.tree_count, decision_tree{});
-    richnote::rng gen(seed);
 
-    // Out-of-bag bookkeeping: per row, sum of probabilities from trees that
-    // did not see it, and how many such trees there were.
-    std::vector<double> oob_sum;
-    std::vector<std::uint32_t> oob_votes;
-    if (params.compute_oob) {
-        oob_sum.assign(data.size(), 0.0);
-        oob_votes.assign(data.size(), 0);
+    // Pre-split one child stream per tree, in tree order. This is the exact
+    // split() sequence the sequential loop used to draw, so every tree sees
+    // the same rng stream no matter how many threads fit the forest — the
+    // fitted trees are bit-identical for any fit_threads value.
+    richnote::rng gen(seed);
+    std::vector<richnote::rng> tree_gens;
+    tree_gens.reserve(params.tree_count);
+    for (std::size_t t = 0; t < params.tree_count; ++t) tree_gens.push_back(gen.split());
+
+    // Per-tree bootstrap membership, kept so out-of-bag accumulation can run
+    // sequentially after all trees are fitted (joins before touching shared
+    // state; accumulation order matches the old interleaved loop).
+    std::vector<std::vector<std::uint8_t>> in_bag;
+    if (params.compute_oob)
+        in_bag.assign(params.tree_count, std::vector<std::uint8_t>(data.size(), 0));
+
+    const auto fit_range = [&](std::size_t begin, std::size_t end) {
+        std::vector<std::size_t> sample(data.size());
+        for (std::size_t t = begin; t < end; ++t) {
+            richnote::rng& tree_gen = tree_gens[t];
+            for (std::size_t i = 0; i < data.size(); ++i) {
+                const std::size_t r = tree_gen.index(data.size());
+                sample[i] = r;
+                if (params.compute_oob) in_bag[t][r] = 1;
+            }
+            trees_[t].fit(data, sample, per_tree, tree_gen);
+        }
+    };
+
+    std::size_t threads = params.fit_threads == 0
+                              ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                              : params.fit_threads;
+    threads = std::min(threads, params.tree_count);
+    if (threads <= 1) {
+        fit_range(0, params.tree_count);
+    } else {
+        // Contiguous chunks; each worker owns its sample buffer and writes
+        // only its own trees_[t] / in_bag[t] slots.
+        std::vector<std::thread> workers;
+        std::vector<std::exception_ptr> errors(threads);
+        const std::size_t per = (params.tree_count + threads - 1) / threads;
+        for (std::size_t w = 0; w < threads; ++w) {
+            const std::size_t begin = w * per;
+            const std::size_t end = std::min(begin + per, params.tree_count);
+            if (begin >= end) break;
+            workers.emplace_back([&, w, begin, end] {
+                try {
+                    fit_range(begin, end);
+                } catch (...) {
+                    errors[w] = std::current_exception();
+                }
+            });
+        }
+        for (std::thread& worker : workers) worker.join();
+        for (const std::exception_ptr& error : errors)
+            if (error) std::rethrow_exception(error);
     }
 
-    std::vector<std::size_t> sample(data.size());
-    std::vector<std::uint8_t> in_bag(data.size());
-    for (decision_tree& tree : trees_) {
-        richnote::rng tree_gen = gen.split();
-        std::fill(in_bag.begin(), in_bag.end(), std::uint8_t{0});
-        for (std::size_t i = 0; i < data.size(); ++i) {
-            const std::size_t r = tree_gen.index(data.size());
-            sample[i] = r;
-            in_bag[r] = 1;
-        }
-        tree.fit(data, sample, per_tree, tree_gen);
-        if (params.compute_oob) {
+    if (params.compute_oob) {
+        // Per row: sum of probabilities from trees that did not see it, and
+        // how many such trees there were. Trees accumulate in fit order, the
+        // same floating-point order as the old interleaved loop.
+        std::vector<double> oob_sum(data.size(), 0.0);
+        std::vector<std::uint32_t> oob_votes(data.size(), 0);
+        for (std::size_t t = 0; t < params.tree_count; ++t) {
             for (std::size_t r = 0; r < data.size(); ++r) {
-                if (in_bag[r]) continue;
-                oob_sum[r] += tree.predict_proba(data.row(r));
+                if (in_bag[t][r]) continue;
+                oob_sum[r] += trees_[t].predict_proba(data.row(r));
                 ++oob_votes[r];
             }
         }
-    }
-
-    if (params.compute_oob) {
         std::size_t scored = 0;
         std::size_t correct = 0;
         for (std::size_t r = 0; r < data.size(); ++r) {

@@ -18,6 +18,10 @@ struct forest_params {
     std::size_t tree_count = 50;
     tree_params tree; ///< features_per_split 0 means "auto" = ceil(sqrt(F))
     bool compute_oob = false; ///< track out-of-bag accuracy during fit
+    /// Threads fitting trees concurrently; 0 = hardware_concurrency, 1 =
+    /// sequential. Trees are independent given their pre-split per-tree rng
+    /// streams, so the fitted forest is bit-identical for any thread count.
+    std::size_t fit_threads = 1;
 };
 
 class random_forest {
@@ -34,6 +38,9 @@ public:
 
     std::size_t tree_count() const noexcept { return trees_.size(); }
     bool trained() const noexcept { return !trees_.empty(); }
+
+    /// The fitted trees, in fit order (flat_forest flattens these).
+    const std::vector<decision_tree>& trees() const noexcept { return trees_; }
 
     /// Out-of-bag accuracy if requested at fit time.
     std::optional<double> oob_accuracy() const noexcept { return oob_accuracy_; }

@@ -77,21 +77,6 @@ markov_network_model markov_network_model::fixed(net_state state) {
     return markov_network_model(m, state);
 }
 
-net_state markov_network_model::step(richnote::rng& gen) noexcept {
-    const auto& row = matrix_[static_cast<std::size_t>(state_)];
-    const double u = gen.uniform();
-    double acc = 0.0;
-    for (std::size_t to = 0; to < net_state_count; ++to) {
-        acc += row[to];
-        if (u < acc) {
-            state_ = static_cast<net_state>(to);
-            return state_;
-        }
-    }
-    state_ = static_cast<net_state>(net_state_count - 1); // rounding slack
-    return state_;
-}
-
 std::array<double, net_state_count> markov_network_model::stationary(
     std::size_t iterations) const noexcept {
     std::array<double, net_state_count> pi{};
@@ -106,18 +91,5 @@ std::array<double, net_state_count> markov_network_model::stationary(
     return pi;
 }
 
-link_profile default_link_profile(net_state state) noexcept {
-    switch (state) {
-        case net_state::off:
-            return link_profile{false, 0.0, true};
-        case net_state::cell:
-            // 3G-class downlink; metered against the data plan.
-            return link_profile{true, 200.0 * 1024.0, true};
-        case net_state::wifi:
-            // Home/office WiFi; not billed against the cellular budget.
-            return link_profile{true, 2.0 * 1024.0 * 1024.0, false};
-    }
-    return {};
-}
 
 } // namespace richnote::sim

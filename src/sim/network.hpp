@@ -57,8 +57,22 @@ public:
 
     net_state state() const noexcept { return state_; }
 
-    /// Advances one round and returns the new state.
-    net_state step(richnote::rng& gen) noexcept;
+    /// Advances one round and returns the new state. Inline: every broker
+    /// steps its chain once per round.
+    net_state step(richnote::rng& gen) noexcept {
+        const auto& row = matrix_[static_cast<std::size_t>(state_)];
+        const double u = gen.uniform();
+        double acc = 0.0;
+        for (std::size_t to = 0; to < net_state_count; ++to) {
+            acc += row[to];
+            if (u < acc) {
+                state_ = static_cast<net_state>(to);
+                return state_;
+            }
+        }
+        state_ = static_cast<net_state>(net_state_count - 1); // rounding slack
+        return state_;
+    }
 
     const net_transition_matrix& matrix() const noexcept { return matrix_; }
 
@@ -71,7 +85,20 @@ private:
 };
 
 /// Default link profiles: OFF carries nothing; CELL is metered at 3G-class
-/// rates; WIFI is unmetered and faster.
-link_profile default_link_profile(net_state state) noexcept;
+/// rates; WIFI is unmetered and faster. Inline: queried at least once per
+/// broker round and again inside every scheduler plan().
+inline link_profile default_link_profile(net_state state) noexcept {
+    switch (state) {
+        case net_state::off:
+            return link_profile{false, 0.0, true};
+        case net_state::cell:
+            // 3G-class downlink; metered against the data plan.
+            return link_profile{true, 200.0 * 1024.0, true};
+        case net_state::wifi:
+            // Home/office WiFi; not billed against the cellular budget.
+            return link_profile{true, 2.0 * 1024.0 * 1024.0, false};
+    }
+    return {};
+}
 
 } // namespace richnote::sim

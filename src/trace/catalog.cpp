@@ -126,11 +126,6 @@ const album& catalog::album_at(album_id id) const {
     return albums_[id];
 }
 
-const track& catalog::track_at(track_id id) const {
-    RICHNOTE_REQUIRE(id < tracks_.size(), "track id out of range");
-    return tracks_[id];
-}
-
 track_id catalog::sample_track_by_popularity(richnote::rng& gen) const noexcept {
     return static_cast<track_id>(sample_cdf(track_popularity_cdf_, gen));
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 
 namespace richnote::trace {
@@ -81,7 +82,11 @@ public:
 
     const artist& artist_at(artist_id id) const;
     const album& album_at(album_id id) const;
-    const track& track_at(track_id id) const;
+    /// Inline: admission resolves every notification's track through here.
+    const track& track_at(track_id id) const {
+        RICHNOTE_REQUIRE(id < tracks_.size(), "track id out of range");
+        return tracks_[id];
+    }
 
     const std::vector<track>& tracks() const noexcept { return tracks_; }
     const std::vector<artist>& artists() const noexcept { return artists_; }

@@ -1,0 +1,111 @@
+// Equivalence suite for the allocation-free MCKP overloads: solving into a
+// reused mckp_scratch must produce exactly the solution the fresh-allocation
+// path returns, on randomized instances, for both solvers and both
+// infeasible-upgrade policies.
+#include "core/mckp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace {
+
+using richnote::rng;
+using namespace richnote::core;
+
+std::vector<mckp_item> random_instance(rng& gen, std::size_t max_items = 12) {
+    std::vector<mckp_item> items(gen.index(max_items + 1));
+    for (mckp_item& item : items) {
+        const std::size_t levels = 1 + gen.index(4);
+        double size = 0.0;
+        for (std::size_t j = 0; j < levels; ++j) {
+            size += gen.uniform(0.5, 20.0);
+            item.sizes.push_back(size);
+            // Adjusted utilities may be negative (Eq. 7); exercise that.
+            item.utilities.push_back(gen.uniform(-2.0, 10.0));
+        }
+    }
+    return items;
+}
+
+std::vector<mckp_item_2d> random_instance_2d(rng& gen, std::size_t max_items = 10) {
+    std::vector<mckp_item_2d> items(gen.index(max_items + 1));
+    for (mckp_item_2d& item : items) {
+        const std::size_t levels = 1 + gen.index(4);
+        double size = 0.0;
+        double energy = 0.0;
+        for (std::size_t j = 0; j < levels; ++j) {
+            size += gen.uniform(0.5, 20.0);
+            energy += gen.uniform(0.0, 5.0);
+            item.sizes.push_back(size);
+            item.energies.push_back(energy);
+            item.utilities.push_back(gen.uniform(-2.0, 10.0));
+        }
+    }
+    return items;
+}
+
+void expect_same(const mckp_solution& fresh, const mckp_solution& scratch) {
+    EXPECT_EQ(scratch.levels, fresh.levels);
+    EXPECT_EQ(scratch.total_size, fresh.total_size);
+    EXPECT_EQ(scratch.total_utility, fresh.total_utility);
+    EXPECT_EQ(scratch.upgrades, fresh.upgrades);
+    EXPECT_EQ(scratch.budget_exhausted, fresh.budget_exhausted);
+    EXPECT_EQ(scratch.fractional_bound, fresh.fractional_bound);
+}
+
+TEST(mckp_scratch, matches_fresh_path_on_randomized_instances) {
+    rng gen(101);
+    mckp_scratch scratch; // deliberately reused across every instance
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto items = random_instance(gen);
+        const double budget = gen.uniform(0.0, 80.0);
+        mckp_options options;
+        options.skip_infeasible = trial % 2 == 1;
+        const mckp_solution fresh = select_presentations(items, budget, options);
+        const mckp_solution& reused =
+            select_presentations(items, budget, options, scratch);
+        expect_same(fresh, reused);
+    }
+}
+
+TEST(mckp_scratch, matches_fresh_path_on_randomized_2d_instances) {
+    rng gen(202);
+    mckp_scratch scratch;
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto items = random_instance_2d(gen);
+        const double data_budget = gen.uniform(0.0, 80.0);
+        const double energy_budget = gen.uniform(0.0, 15.0);
+        mckp_options options;
+        options.skip_infeasible = trial % 2 == 1;
+        const mckp_solution fresh =
+            select_presentations_2d(items, data_budget, energy_budget, options);
+        const mckp_solution& reused =
+            select_presentations_2d(items, data_budget, energy_budget, options, scratch);
+        expect_same(fresh, reused);
+    }
+}
+
+TEST(mckp_scratch, shrinking_instances_do_not_leak_prior_state) {
+    // A big instance followed by a tiny one: stale levels/heap entries from
+    // the big solve must not bleed into the small solution.
+    rng gen(303);
+    mckp_scratch scratch;
+    const auto big = random_instance(gen, 12);
+    select_presentations(big, 50.0, {}, scratch);
+
+    std::vector<mckp_item> tiny(1);
+    tiny[0].sizes = {4.0};
+    tiny[0].utilities = {1.0};
+    const mckp_solution fresh = select_presentations(tiny, 10.0);
+    const mckp_solution& reused = select_presentations(tiny, 10.0, {}, scratch);
+    expect_same(fresh, reused);
+    EXPECT_EQ(reused.levels.size(), 1u);
+
+    const mckp_solution empty_fresh = select_presentations({}, 10.0);
+    const mckp_solution& empty_reused = select_presentations({}, 10.0, {}, scratch);
+    expect_same(empty_fresh, empty_reused);
+    EXPECT_TRUE(empty_reused.levels.empty());
+}
+
+} // namespace

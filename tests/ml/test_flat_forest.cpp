@@ -1,0 +1,142 @@
+#include "ml/flat_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/random_forest.hpp"
+
+namespace {
+
+using richnote::rng;
+using richnote::ml::dataset;
+using richnote::ml::flat_forest;
+using richnote::ml::forest_params;
+using richnote::ml::random_forest;
+
+dataset logistic_data(int n, std::uint64_t seed, double noise = 0.5) {
+    dataset d({"a", "b", "c"});
+    rng gen(seed);
+    for (int i = 0; i < n; ++i) {
+        const double a = gen.uniform(-1, 1);
+        const double b = gen.uniform(-1, 1);
+        const double c = gen.uniform(-1, 1);
+        const double z = 3.0 * a - 2.0 * b + c + gen.normal(0, noise);
+        d.add_row(std::array{a, b, c}, z > 0 ? 1 : 0);
+    }
+    return d;
+}
+
+random_forest trained_forest(std::size_t trees = 15, std::uint64_t seed = 7) {
+    random_forest forest;
+    forest_params p;
+    p.tree_count = trees;
+    forest.fit(logistic_data(600, 11), p, seed);
+    return forest;
+}
+
+TEST(flat_forest, predictions_bit_identical_to_source_forest) {
+    const random_forest forest = trained_forest();
+    const flat_forest flat(forest);
+    EXPECT_EQ(flat.tree_count(), forest.tree_count());
+    const dataset probe = logistic_data(500, 29);
+    for (std::size_t r = 0; r < probe.size(); ++r) {
+        // Exact equality on purpose: the flat walk must perform the same
+        // floating-point operations in the same order.
+        EXPECT_EQ(flat.predict_proba(probe.row(r)), forest.predict_proba(probe.row(r)));
+        EXPECT_EQ(flat.predict(probe.row(r)), forest.predict(probe.row(r)));
+    }
+}
+
+TEST(flat_forest, batched_matches_single_row_exactly) {
+    const flat_forest flat(trained_forest());
+    const dataset probe = logistic_data(300, 31);
+    const std::vector<double> batched = flat.predict_proba(probe);
+    ASSERT_EQ(batched.size(), probe.size());
+    for (std::size_t r = 0; r < probe.size(); ++r)
+        EXPECT_EQ(batched[r], flat.predict_proba(probe.row(r)));
+}
+
+TEST(flat_forest, survives_save_load_round_trip) {
+    const random_forest forest = trained_forest();
+    std::stringstream buffer;
+    forest.save(buffer);
+    random_forest reloaded;
+    reloaded.load(buffer);
+    const flat_forest flat_original(forest);
+    const flat_forest flat_reloaded(reloaded);
+    const dataset probe = logistic_data(200, 37);
+    for (std::size_t r = 0; r < probe.size(); ++r)
+        EXPECT_EQ(flat_reloaded.predict_proba(probe.row(r)),
+                  flat_original.predict_proba(probe.row(r)));
+}
+
+TEST(flat_forest, empty_batch_and_default_state) {
+    const flat_forest empty;
+    EXPECT_FALSE(empty.trained());
+    EXPECT_THROW(empty.predict_proba(std::array{0.0, 0.0, 0.0}),
+                 richnote::precondition_error);
+
+    const flat_forest flat(trained_forest(5));
+    const dataset none({"a", "b", "c"});
+    EXPECT_TRUE(flat.predict_proba(none).empty());
+}
+
+TEST(flat_forest, rejects_malformed_batch_shapes) {
+    const flat_forest flat(trained_forest(5));
+    std::vector<double> matrix(9, 0.0); // 3 rows x 3 features
+    std::vector<double> out(2);         // wrong: 2 slots for 3 rows
+    EXPECT_THROW(flat.predict_proba(matrix, 3, out), richnote::precondition_error);
+    out.resize(4);
+    EXPECT_THROW(flat.predict_proba(matrix, 4, out), richnote::precondition_error);
+}
+
+TEST(random_forest, parallel_fit_is_bit_identical_for_any_thread_count) {
+    const dataset train = logistic_data(400, 13);
+    const dataset probe = logistic_data(200, 17);
+    forest_params p;
+    p.tree_count = 9;
+    p.compute_oob = true;
+
+    random_forest sequential;
+    p.fit_threads = 1;
+    sequential.fit(train, p, 3);
+
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{16},
+                                      std::size_t{0} /* hardware_concurrency */}) {
+        random_forest parallel;
+        p.fit_threads = threads;
+        parallel.fit(train, p, 3);
+        ASSERT_EQ(parallel.tree_count(), sequential.tree_count());
+        ASSERT_TRUE(parallel.oob_accuracy().has_value());
+        EXPECT_EQ(*parallel.oob_accuracy(), *sequential.oob_accuracy())
+            << "threads=" << threads;
+        for (std::size_t r = 0; r < probe.size(); ++r)
+            ASSERT_EQ(parallel.predict_proba(probe.row(r)),
+                      sequential.predict_proba(probe.row(r)))
+                << "threads=" << threads << " row=" << r;
+    }
+}
+
+TEST(random_forest, parallel_fit_with_more_threads_than_trees) {
+    const dataset train = logistic_data(200, 19);
+    forest_params p;
+    p.tree_count = 3;
+    p.fit_threads = 8;
+    random_forest forest;
+    forest.fit(train, p, 5);
+    EXPECT_EQ(forest.tree_count(), 3u);
+
+    p.fit_threads = 1;
+    random_forest reference;
+    reference.fit(train, p, 5);
+    const dataset probe = logistic_data(50, 23);
+    for (std::size_t r = 0; r < probe.size(); ++r)
+        EXPECT_EQ(forest.predict_proba(probe.row(r)),
+                  reference.predict_proba(probe.row(r)));
+}
+
+} // namespace
