@@ -51,6 +51,7 @@ int main(int argc, char** argv) try {
                  "are not directly\ncomparable on total_utility; the interesting columns "
                  "are delay and precision (aging\nfavors fresh items, which are likelier "
                  "to still be clicked after delivery).\n";
+    bench::write_run_manifest(opts, "ablation_aging");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -95,6 +95,7 @@ int main(int argc, char** argv) try {
                 opts.csv_path);
     std::cout << "note: total_utility rows are measured in each run's own U_c units and "
                  "are not\ndirectly comparable; recall/precision are.\n";
+    bench::write_run_manifest(opts, "ablation_calibration");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -43,6 +43,7 @@ int main(int argc, char** argv) try {
     std::cout << "expected: delays shrink and delivery grows with coverage for both "
                  "schedulers;\nRichNote keeps near-100% delivery down to sparse "
                  "connectivity.\n";
+    bench::write_run_manifest(opts, "ablation_connectivity");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -44,6 +44,7 @@ int main(int argc, char** argv) try {
                      format_double(kappa, 0) + " J/round)",
                  kappa == 3000.0 ? opts.csv_path : std::nullopt);
     }
+    bench::write_run_manifest(opts, "ablation_direct");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -57,6 +57,7 @@ int main(int argc, char** argv) try {
     std::cout << "expected: RichNote's virtual energy queue keeps it inside the envelope; "
                  "the baselines\nignore energy and may exceed it (Fig. 4(c)'s shape, made "
                  "binding).\n";
+    bench::write_run_manifest(opts, "ablation_energy_cap");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

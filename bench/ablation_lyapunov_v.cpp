@@ -61,6 +61,7 @@ int main(int argc, char** argv) try {
            "delivering an item both\ndrains Q(t) and earns utility, so the drift and "
            "penalty terms rarely conflict; the\ndata-budget constraint and the energy "
            "gate, not the V mix, bind the decisions.\n";
+    bench::write_run_manifest(opts, "ablation_lyapunov_v");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -97,6 +97,7 @@ int main(int argc, char** argv) try {
 
     run_greedy_vs_exact(opts.setup.seed, instances);
     run_utility_signals(opts, budget);
+    bench::write_run_manifest(opts, "ablation_mckp");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -55,6 +55,7 @@ int main(int argc, char** argv) try {
                  "utility_clicked\n(clicked items are the ground-truth-relevant ones) "
                  "and precision. Online should sit\nbetween the constant prior and the "
                  "offline model.\n";
+    bench::write_run_manifest(opts, "ablation_online_learning");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -40,6 +40,7 @@ int main(int argc, char** argv) try {
     std::cout << "expected: precision rises and recall/delivery fall monotonically with "
                  "the threshold;\nper-delivery utility rises while total utility peaks "
                  "somewhere in between.\n";
+    bench::write_run_manifest(opts, "ablation_precision_knob");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

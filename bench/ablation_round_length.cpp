@@ -56,6 +56,7 @@ int main(int argc, char** argv) try {
     std::cout << "expected: delay scales with the round length (items wait for the next "
                  "boundary);\nenergy rises for short rounds (more radio sessions), "
                  "utility is stable.\n";
+    bench::write_run_manifest(opts, "ablation_round_length");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

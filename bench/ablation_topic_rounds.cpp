@@ -42,6 +42,7 @@ int main(int argc, char** argv) try {
     std::cout << "expected: mean delay grows with the batch cadence (batch topics wait "
                  "for their\nround) while delivery and utility stay ~flat — batching "
                  "the infrequent topics is cheap.\n";
+    bench::write_run_manifest(opts, "ablation_topic_rounds");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

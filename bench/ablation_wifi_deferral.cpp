@@ -54,6 +54,7 @@ int main(int argc, char** argv) try {
              opts.csv_path);
     std::cout << "expected: deferral trades delay for lower metered consumption; "
                  "deferred items ride\nWiFi rounds and ship at richer levels.\n";
+    bench::write_run_manifest(opts, "ablation_wifi_deferral");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -8,6 +8,7 @@
 // points of a figure, like the paper replays one trace for every method.
 #pragma once
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -19,6 +20,7 @@
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "obs/run_manifest.hpp"
 
 namespace richnote::bench {
 
@@ -33,6 +35,10 @@ struct bench_options {
     /// Worker threads for the per-user round loop (threads= key). Results
     /// are bit-identical for any value; 0 = hardware_concurrency.
     std::size_t worker_threads = 1;
+    /// Run-manifest output path (manifest= key); empty = no manifest.
+    std::optional<std::string> manifest_path;
+    /// Wall-clock start, so write_run_manifest records the harness runtime.
+    std::chrono::steady_clock::time_point started = std::chrono::steady_clock::now();
 };
 
 /// Parses the common command-line keys; `extra_keys` are tool-specific.
@@ -40,7 +46,7 @@ inline bench_options parse_options(int argc, char** argv,
                                    std::vector<std::string> extra_keys = {}) {
     const config cfg = config::from_args(argc, argv);
     std::vector<std::string> allowed = {"users", "seed", "trees", "csv", "budgets",
-                                        "threads"};
+                                        "threads", "manifest"};
     allowed.insert(allowed.end(), extra_keys.begin(), extra_keys.end());
     cfg.restrict_to(allowed);
 
@@ -50,6 +56,7 @@ inline bench_options parse_options(int argc, char** argv,
     opts.setup.forest.tree_count = static_cast<std::size_t>(cfg.get_int("trees", 30));
     opts.worker_threads = static_cast<std::size_t>(cfg.get_int("threads", 1));
     if (cfg.has("csv")) opts.csv_path = cfg.get_string("csv", "");
+    if (cfg.has("manifest")) opts.manifest_path = cfg.get_string("manifest", "");
     if (cfg.has("budgets")) {
         // budgets=1,5,20 style override.
         opts.budgets_mb.clear();
@@ -118,5 +125,33 @@ private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
 };
+
+/// Writes the run manifest for a finished harness run (manifest= key): the
+/// effective configuration, the seed pair and the wall time since
+/// bench_options was parsed. No-op when the key was not given.
+inline void write_run_manifest(const bench_options& opts, const std::string& tool,
+                               std::size_t rows_written = 0) {
+    if (!opts.manifest_path) return;
+    obs::run_manifest manifest(tool);
+    manifest.set_seed(opts.setup.seed);
+    manifest.add_config("users", static_cast<std::uint64_t>(opts.setup.workload.user_count));
+    manifest.add_config("trees", static_cast<std::uint64_t>(opts.setup.forest.tree_count));
+    manifest.add_config("threads", static_cast<std::uint64_t>(opts.worker_threads));
+    manifest.add_config("run_seed", opts.run_seed);
+    std::string budgets;
+    for (double b : opts.budgets_mb) {
+        if (!budgets.empty()) budgets += ',';
+        budgets += std::to_string(b);
+    }
+    manifest.add_config("budgets_mb", budgets);
+    if (opts.csv_path) manifest.add_config("csv", *opts.csv_path);
+    const double wall_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - opts.started)
+            .count();
+    manifest.add_timing("wall_sec", wall_sec);
+    manifest.add_timing("rows_written", static_cast<double>(rows_written));
+    manifest.write_file(*opts.manifest_path);
+    std::cerr << "[manifest] wrote " << *opts.manifest_path << '\n';
+}
 
 } // namespace richnote::bench

@@ -45,6 +45,7 @@ int main(int argc, char** argv) try {
     out.emit("Fig. 3(a)-(d): performance metrics vs weekly data budget", opts.csv_path);
     std::cout << "paper shape: RichNote ~100% delivery at all budgets; baselines climb "
                  "with budget;\nRichNote leads recall and precision.\n";
+    bench::write_run_manifest(opts, "fig3_performance");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

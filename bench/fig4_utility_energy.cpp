@@ -48,6 +48,7 @@ int main(int argc, char** argv) try {
               << format_double(kappa_envelope_kj, 0) << " KJ\n"
               << "paper shape: RichNote ~2x utility at generous budgets, steady energy "
                  "within the\nenvelope, lowest queuing delay.\n";
+    bench::write_run_manifest(opts, "fig4_utility_energy");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -40,6 +40,7 @@ int main(int argc, char** argv) try {
     std::cout << "paper shape: crossovers between fixed levels as the budget grows "
                  "(short previews win\nsmall budgets, long previews win large ones); "
                  "RichNote tracks the upper envelope.\n";
+    bench::write_run_manifest(opts, "fig5a_fixed_levels");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -35,6 +35,7 @@ int main(int argc, char** argv) try {
              opts.csv_path);
     std::cout << "paper shape: ~10% media share at 3 MB, rising with budget; 40s share "
                  "grows to dominate.\n";
+    bench::write_run_manifest(opts, "fig5b_presentation_mix");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -36,6 +36,7 @@ int main(int argc, char** argv) try {
              opts.csv_path);
     std::cout << "paper shape: with wifi, richer presentations at the same cellular "
                  "budget (unmetered\nbytes), so media and 40s shares rise.\n";
+    bench::write_run_manifest(opts, "fig5c_network_adaptation");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

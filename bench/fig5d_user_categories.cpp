@@ -31,6 +31,7 @@ int main(int argc, char** argv) try {
              opts.csv_path);
     std::cout << "paper shape: mean utility increases across categories — heavier users "
                  "benefit more.\n";
+    bench::write_run_manifest(opts, "fig5d_user_categories");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

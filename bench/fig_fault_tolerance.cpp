@@ -68,6 +68,7 @@ int main(int argc, char** argv) try {
                  "collapsing;\nresumed bytes grow with the partial-transfer rate, and "
                  "crash restarts leave the\ncurves smooth (checkpoint recovery is "
                  "lossless).\n";
+    bench::write_run_manifest(opts, "fig_fault_tolerance");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -67,6 +67,7 @@ int main(int argc, char** argv) try {
     std::cout << "expected: RichNote's Q(t) drains every connected round (bounded, "
                  "small mean and\nfinal values); FIFO's backlog persists for the whole "
                  "week at this budget. P(t)\noscillates near kappa = 3000 J.\n";
+    bench::write_run_manifest(opts, "fig_lyapunov_stability");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -33,6 +33,7 @@
 #include "common/rng.hpp"
 #include "ml/flat_forest.hpp"
 #include "ml/random_forest.hpp"
+#include "obs/run_manifest.hpp"
 
 namespace {
 
@@ -73,7 +74,8 @@ int main(int argc, char** argv) try {
     using namespace richnote;
 
     const config cfg = config::from_args(argc, argv);
-    cfg.restrict_to({"rows", "trees", "seed", "repeat", "fit_threads", "json"});
+    cfg.restrict_to({"rows", "trees", "seed", "repeat", "fit_threads", "json",
+                     "manifest"});
     const auto rows = static_cast<std::size_t>(cfg.get_int("rows", 20000));
     const auto trees = static_cast<std::size_t>(cfg.get_int("trees", 50));
     const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
@@ -164,6 +166,22 @@ int main(int argc, char** argv) try {
         std::cerr << "[perf] wrote " << path << '\n';
     } else {
         std::cout << json.str();
+    }
+
+    if (cfg.has("manifest")) {
+        richnote::obs::run_manifest manifest("perf_inference");
+        manifest.set_seed(seed);
+        manifest.add_config("rows", static_cast<std::uint64_t>(rows));
+        manifest.add_config("trees", static_cast<std::uint64_t>(trees));
+        manifest.add_config("repeat", static_cast<std::uint64_t>(repeat));
+        manifest.add_config("fit_threads", static_cast<std::uint64_t>(fit_threads));
+        manifest.add_timing("forest_items_per_sec", forest_rate);
+        manifest.add_timing("flat_items_per_sec", flat_item_rate);
+        manifest.add_timing("flat_batch_items_per_sec", flat_batch_rate);
+        manifest.add_timing("fit_sequential_sec", fit_sequential_sec);
+        manifest.add_timing("fit_parallel_sec", fit_parallel_sec);
+        manifest.write_file(cfg.get_string("manifest", ""));
+        std::cerr << "[perf] wrote manifest to " << cfg.get_string("manifest", "") << '\n';
     }
     return 0;
 } catch (const std::exception& e) {

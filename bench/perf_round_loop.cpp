@@ -36,6 +36,9 @@
 #include "core/presentation.hpp"
 #include "core/scheduler.hpp"
 #include "energy/model.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/profile.hpp"
+#include "obs/run_manifest.hpp"
 
 // ---------------------------------------------------------------------------
 // Instrumented allocator hook: every path through global operator new bumps
@@ -114,7 +117,8 @@ int main(int argc, char** argv) try {
 
     const config cfg = config::from_args(argc, argv);
     cfg.restrict_to({"users", "rounds", "seed", "trees", "threads", "budget", "queue",
-                     "plan_iters", "baseline_rounds_per_sec", "json"});
+                     "plan_iters", "baseline_rounds_per_sec", "json", "manifest",
+                     "metrics"});
     const auto users = static_cast<std::size_t>(cfg.get_int("users", 2000));
     const auto rounds = static_cast<std::uint64_t>(cfg.get_int("rounds", 500));
     const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
@@ -230,6 +234,44 @@ int main(int argc, char** argv) try {
         std::cerr << "[perf] wrote " << path << '\n';
     } else {
         std::cout << json.str();
+    }
+
+    if (cfg.has("metrics")) {
+        // Export the run's aggregates plus the kernel's plan-latency
+        // distribution (and, in RICHNOTE_TRACE builds, the profiling slots)
+        // through the obs registry under the canonical names.
+        obs::metrics_registry registry;
+        auto& latency_hist = registry.make_histogram(
+            "richnote.sched.plan_latency_us",
+            {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0});
+        for (double us : latencies_us) latency_hist.observe(us);
+        registry.gauge_set("richnote.bench.rounds_per_sec", rounds_per_sec);
+        registry.gauge_set("richnote.bench.allocs_per_round", allocs_per_round);
+        obs::profile_export(registry);
+        const std::string path = cfg.get_string("metrics", "");
+        std::ofstream out(path);
+        registry.write_json(out);
+        std::cerr << "[perf] wrote metrics to " << path << '\n';
+    }
+
+    if (cfg.has("manifest")) {
+        obs::run_manifest manifest("perf_round_loop");
+        manifest.set_seed(seed);
+        manifest.add_config("users", static_cast<std::uint64_t>(users));
+        manifest.add_config("rounds", rounds);
+        manifest.add_config("trees", static_cast<std::uint64_t>(trees));
+        manifest.add_config("threads", static_cast<std::uint64_t>(threads));
+        manifest.add_config("weekly_budget_mb", budget_mb);
+        manifest.add_config("queue", static_cast<std::uint64_t>(queue_depth));
+        manifest.add_config("plan_iters", static_cast<std::uint64_t>(plan_iters));
+        manifest.add_timing("round_loop_wall_sec", run_wall);
+        manifest.add_timing("rounds_per_sec", rounds_per_sec);
+        manifest.add_timing("user_rounds_per_sec", user_rounds_per_sec);
+        manifest.add_timing("allocs_per_round", allocs_per_round);
+        manifest.add_timing("p50_round_us", pct(latencies_us, 0.50));
+        manifest.add_timing("p99_round_us", pct(latencies_us, 0.99));
+        manifest.write_file(cfg.get_string("manifest", ""));
+        std::cerr << "[perf] wrote manifest to " << cfg.get_string("manifest", "") << '\n';
     }
     return 0;
 } catch (const std::exception& e) {

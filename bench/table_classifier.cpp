@@ -51,6 +51,7 @@ int main(int argc, char** argv) try {
     const double auc = ml::auc(
         data, [&](std::span<const double> row) { return forest.predict_proba(row); });
     std::cout << "training-set AUC: " << format_double(auc, 3) << '\n';
+    bench::write_run_manifest(opts, "table_classifier");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -42,6 +42,7 @@ int main(int argc, char** argv) try {
              opts.csv_path);
     std::cout << "expected: social_tie and track/artist popularity dominate, matching "
                  "the paper's\nfeature intuition; weekday/daytime contribute weakly.\n";
+    bench::write_run_manifest(opts, "table_feature_importance");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

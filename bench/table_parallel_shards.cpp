@@ -80,6 +80,7 @@ int main(int argc, char** argv) try {
                                3)
               << "  (independent per-user rounds keep any sharding correct; balance "
                  "only affects speed)\n";
+    bench::write_run_manifest(opts, "table_parallel_shards");
     return 0;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

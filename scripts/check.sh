@@ -2,17 +2,85 @@
 # Correctness gate: configure, build and run the full test suite — the same
 # sequence CI and reviewers use. Run before every push.
 #
-# Usage: scripts/check.sh [--sanitize | --bench]
+# Usage: scripts/check.sh [--sanitize | --tsan | --bench | --trace]
 #   --sanitize   separate build-asan/ tree with -DRICHNOTE_SANITIZE=ON
 #                (AddressSanitizer + UBSan). This is how the chaos soak
 #                (tests/core/test_chaos_soak.cpp) is meant to be exercised:
 #                hundreds of fault-injected rounds with every allocation
 #                and integer op checked.
+#   --tsan       separate build-tsan/ tree with -DRICHNOTE_TSAN=ON
+#                (ThreadSanitizer). Runs the suites that exercise the
+#                worker-thread paths: parallel forest fitting (test_ml) and
+#                the sharded round loop + trace merge (test_integration).
 #   --bench      perf smoke: runs scripts/bench.sh --quick (small fixed
 #                sizes) and fails unless the emitted BENCH JSON parses and
 #                carries the expected sections.
+#   --trace      observability smoke: runs the CLI twice at the same seed
+#                with trace/metrics/manifest outputs enabled, fails unless
+#                the two NDJSON streams are byte-identical and every line
+#                passes the event-schema validation.
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--trace" ]; then
+  BUILD_DIR=build
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target richnote
+  OUT_DIR="$BUILD_DIR/trace-smoke"
+  mkdir -p "$OUT_DIR"
+  for run in a b; do
+    "$BUILD_DIR/tools/richnote" simulate users=10 seed=3 scheduler=richnote \
+      budget_mb=2 fault_intensity=1 threads=2 \
+      trace="$OUT_DIR/run_$run.ndjson" metrics="$OUT_DIR/metrics_$run.json" \
+      manifest="$OUT_DIR/manifest_$run.json" >/dev/null
+  done
+  cmp "$OUT_DIR/run_a.ndjson" "$OUT_DIR/run_b.ndjson" \
+    || { echo "[check] FAIL: same-seed traces differ" >&2; exit 1; }
+  cmp "$OUT_DIR/metrics_a.json" "$OUT_DIR/metrics_b.json" \
+    || { echo "[check] FAIL: same-seed metrics differ" >&2; exit 1; }
+  python3 - "$OUT_DIR/run_a.ndjson" <<'EOF'
+import json, sys
+
+# Event vocabulary from DESIGN.md §9: required fields per event type.
+REQUIRED = {
+    "plan": {"candidates", "selected", "budget_bytes", "q_bytes", "p_joules",
+             "adjusted_total"},
+    "decision": {"item", "level", "levels", "size_bytes", "term_queue",
+                 "term_energy", "term_value", "adjusted", "utility"},
+    "deliver": {"item", "level", "bytes", "resumed_bytes", "rho_joules",
+                "utility"},
+    "round": {"planned", "sent_items", "sent_bytes", "data_budget", "network"},
+    "fault": {"blackout", "brownout"},
+    "duplicate": {"item"},
+    "transfer_cut": {"item", "moved_bytes", "high_water_bytes", "fraction"},
+    "retry_backoff": {"item", "attempts", "not_before"},
+    "dead_letter": {"item", "attempts"},
+    "crash_restart": set(),
+}
+
+counts = {}
+with open(sys.argv[1]) as stream:
+    for lineno, line in enumerate(stream, 1):
+        event = json.loads(line)  # malformed JSON raises here
+        for field in ("type", "user", "round"):
+            if field not in event:
+                sys.exit(f"line {lineno}: missing field {field!r}")
+        kind = event["type"]
+        if kind not in REQUIRED:
+            sys.exit(f"line {lineno}: unknown event type {kind!r}")
+        missing = REQUIRED[kind] - event.keys()
+        if missing:
+            sys.exit(f"line {lineno}: {kind} event missing {sorted(missing)}")
+        counts[kind] = counts.get(kind, 0) + 1
+for kind in ("plan", "decision", "deliver", "round", "fault"):
+    if counts.get(kind, 0) == 0:
+        sys.exit(f"trace contains no {kind!r} events")
+print(f"[check] trace OK: {sum(counts.values())} events "
+      f"({', '.join(f'{k}={v}' for k, v in sorted(counts.items()))})")
+EOF
+  echo "[check] --trace passed: deterministic and schema-clean"
+  exit 0
+fi
 
 if [ "${1:-}" = "--bench" ]; then
   out=build-perf/BENCH_quick.json
@@ -28,6 +96,15 @@ for section in ("round_loop", "inference"):
         sys.exit(f"BENCH JSON section {section} has wrong schema tag")
 print(f"[check] {sys.argv[1]} is well-formed")
 EOF
+  exit 0
+fi
+
+if [ "${1:-}" = "--tsan" ]; then
+  BUILD_DIR=build-tsan
+  cmake -B "$BUILD_DIR" -S . -DRICHNOTE_TSAN=ON
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target test_ml test_integration
+  "$BUILD_DIR/tests/test_ml"
+  "$BUILD_DIR/tests/test_integration"
   exit 0
 fi
 

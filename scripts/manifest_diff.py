@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Diff two richnote run manifests (richnote-manifest-v1).
+
+Answers the question "why do these two runs differ?" by comparing the
+recorded configuration, seed and build identity, and reporting timing
+deltas separately (timings are expected to vary run-to-run; config is
+not).
+
+Usage: scripts/manifest_diff.py A.json B.json
+Exit status: 0 when config/seed/build/tool all match (timings may still
+differ), 1 when any identity field differs, 2 on usage/parse errors.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as stream:
+            doc = json.load(stream)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    if doc.get("schema") != "richnote-manifest-v1":
+        sys.exit(f"error: {path} is not a richnote-manifest-v1 document")
+    return doc
+
+
+def diff_section(name, left, right, lines):
+    differs = False
+    for key in sorted(set(left) | set(right)):
+        a = left.get(key, "<absent>")
+        b = right.get(key, "<absent>")
+        if a != b:
+            lines.append(f"  {name}.{key}: {a!r} -> {b!r}")
+            differs = True
+    return differs
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    a_path, b_path = argv[1], argv[2]
+    a, b = load(a_path), load(b_path)
+
+    lines = []
+    differs = False
+    for field in ("tool", "seed"):
+        if a.get(field) != b.get(field):
+            lines.append(f"  {field}: {a.get(field)!r} -> {b.get(field)!r}")
+            differs = True
+    differs |= diff_section("build", a.get("build", {}), b.get("build", {}), lines)
+    differs |= diff_section(
+        "config", dict(a.get("config", {})), dict(b.get("config", {})), lines
+    )
+
+    timing_lines = []
+    a_timings = a.get("timings", {})
+    b_timings = b.get("timings", {})
+    for key in sorted(set(a_timings) | set(b_timings)):
+        ta = a_timings.get(key)
+        tb = b_timings.get(key)
+        if ta is None or tb is None:
+            timing_lines.append(f"  timings.{key}: {ta} -> {tb}")
+        elif ta != tb:
+            rel = (tb - ta) / ta * 100.0 if ta else float("inf")
+            timing_lines.append(f"  timings.{key}: {ta:g} -> {tb:g} ({rel:+.1f}%)")
+
+    if differs:
+        print(f"manifests DIFFER ({a_path} -> {b_path}):")
+        print("\n".join(lines))
+    else:
+        print(f"manifests match: same tool, seed, build and config")
+    if timing_lines:
+        print("timing deltas (informational):")
+        print("\n".join(timing_lines))
+    return 1 if differs else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

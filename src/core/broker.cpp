@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace richnote::core {
 
@@ -37,6 +39,7 @@ broker::broker(trace::user_id user, broker_params params, std::unique_ptr<schedu
     RICHNOTE_REQUIRE(!(params_.legacy_failure_accounting && params_.faults != nullptr),
                      "legacy all-or-nothing accounting cannot be combined with a fault plan");
     if (params_.expected_admissions > 0) seen_ids_.reserve(params_.expected_admissions);
+    if (params_.trace != nullptr) scheduler_->bind_trace(params_.trace, user_);
 }
 
 std::vector<trace::notification> broker::take_feedback() {
@@ -52,6 +55,9 @@ void broker::admit(const trace::notification& n) {
         // duplicate arrival) re-publishing an id must not enqueue it twice.
         ++duplicates_suppressed_;
         metrics_->on_duplicate_suppressed(user_);
+        if (params_.trace != nullptr) {
+            params_.trace->event(user_, round_index_, "duplicate").field("item", n.id);
+        }
         return;
     }
     metrics_->on_arrival(n);
@@ -106,13 +112,18 @@ void broker::crash_restart() {
 }
 
 void broker::run_round(sim_time now) {
+    RICHNOTE_PROFILE_SCOPE(obs::profile_slot::broker_round);
     const std::uint64_t round = round_index_++;
     const richnote::faults::fault_plan* faults = params_.faults;
+    richnote::obs::trace_sink* trace = params_.trace;
 
     // Injected crash: the broker dies and comes back from its checkpoint
     // before serving the round. Lossless by construction
     // (test_broker_resilience).
-    if (faults != nullptr && faults->crash_restart(user_, round)) crash_restart();
+    if (faults != nullptr && faults->crash_restart(user_, round)) {
+        crash_restart();
+        if (trace != nullptr) trace->event(user_, round, "crash_restart");
+    }
 
     // 1. Environment evolves (driven by this broker's private stream). The
     // chain always steps — a blackout grounds the radio for the round but
@@ -124,6 +135,11 @@ void broker::run_round(sim_time now) {
     const bool brownout = faults != nullptr && faults->brownout(user_, round);
     if (blackout) metrics_->on_fault(user_);
     if (brownout) metrics_->on_fault(user_);
+    if (trace != nullptr && (blackout || brownout)) {
+        trace->event(user_, round, "fault")
+            .field("blackout", blackout)
+            .field("brownout", brownout);
+    }
     const net_state state = blackout ? net_state::off : chain_state;
 
     // 3. Budget replenishment with capped rollover; a battery brownout
@@ -137,6 +153,7 @@ void broker::run_round(sim_time now) {
     const richnote::sim::link_profile link = richnote::sim::default_link_profile(state);
     round_context ctx;
     ctx.now = now;
+    ctx.round = round;
     ctx.data_budget_bytes = data_budget_;
     ctx.network = state;
     ctx.metered = link.metered;
@@ -217,6 +234,13 @@ void broker::run_round(sim_time now) {
             // actually moved, remember the high-water mark so the next
             // attempt resumes instead of restarting, and let the scheduler
             // apply its retry budget / backoff.
+            if (trace != nullptr) {
+                trace->event(user_, round, "transfer_cut")
+                    .field("item", d.item_id)
+                    .field("moved_bytes", moved)
+                    .field("high_water_bytes", already + moved)
+                    .field("fraction", fraction);
+            }
             partial_progress_[d.item_id] = already + moved;
             ++failed_transfers_;
             metrics_->on_transfer_interrupted(user_, moved);
@@ -237,6 +261,15 @@ void broker::run_round(sim_time now) {
         // Delivery timestamp: when the last byte of this item crosses the
         // link, assuming back-to-back transmission from the round start.
         const sim_time when = now + sent_bytes / link.bytes_per_second;
+        if (trace != nullptr) {
+            trace->event(user_, round, "deliver")
+                .field("item", d.item_id)
+                .field("level", d.level)
+                .field("bytes", moved)
+                .field("resumed_bytes", already)
+                .field("rho_joules", rho_share)
+                .field("utility", d.utility);
+        }
         metrics_->on_delivery(d, when, rho_share, ctx.metered, moved);
         scheduler_->on_delivered(d.item_id, rho_share);
         // Engagement feedback becomes observable once the user sees the
@@ -255,6 +288,15 @@ void broker::run_round(sim_time now) {
             battery_->drain(overhead);
             scheduler_->on_session_overhead(overhead);
         }
+    }
+
+    if (trace != nullptr) {
+        trace->event(user_, round, "round")
+            .field("planned", plan.size())
+            .field("sent_items", sent_items)
+            .field("sent_bytes", sent_bytes)
+            .field("data_budget", data_budget_)
+            .field("network", richnote::sim::to_string(state));
     }
 }
 

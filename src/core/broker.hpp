@@ -66,6 +66,10 @@ struct broker_params {
     /// length). Pre-reserves the idempotency set so steady-state admission
     /// never rehashes. 0 = no hint.
     std::size_t expected_admissions = 0;
+    /// Optional structured trace sink (obs). Not owned; nullptr (the
+    /// default) keeps every emission site to a single null check. The
+    /// broker also binds it to the scheduler for decision-level events.
+    richnote::obs::trace_sink* trace = nullptr;
 };
 
 /// Snapshot of everything a broker mutates over time. Move-only (owns a

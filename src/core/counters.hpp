@@ -1,0 +1,39 @@
+// Shared fault / recovery counter block (DESIGN.md §9).
+//
+// Before the observability layer these seven tallies were duplicated field
+// by field in core/metrics (per-user and summed), core/telemetry (cumulative
+// per-round samples) and the harness reporting code, each copy renaming
+// them slightly. One struct now flows through all three, and the obs
+// metrics_registry export (core::export_metrics) is the single place the
+// names become canonical metric paths.
+//
+// All counts are uint64_t: chaos-soak and long sweep runs overflow 32 bits
+// (a week-scale soak at ~50k retries/sec crosses 2^32 in under a day).
+#pragma once
+
+#include <cstdint>
+
+namespace richnote::core {
+
+struct fault_counters {
+    std::uint64_t faults_injected = 0;       ///< blackout/brownout rounds hit
+    std::uint64_t transfer_retries = 0;      ///< transfers cut mid-flight, item retried
+    std::uint64_t dead_lettered = 0;         ///< items dropped after the retry budget
+    std::uint64_t duplicates_suppressed = 0; ///< replayed publishes deduplicated
+    std::uint64_t crash_restarts = 0;        ///< broker crash-restart events survived
+    double partial_bytes = 0.0;              ///< bytes landed in interrupted attempts
+    double resumed_bytes = 0.0;              ///< bytes salvaged via high-water resume
+
+    fault_counters& accumulate(const fault_counters& other) noexcept {
+        faults_injected += other.faults_injected;
+        transfer_retries += other.transfer_retries;
+        dead_lettered += other.dead_lettered;
+        duplicates_suppressed += other.duplicates_suppressed;
+        crash_restarts += other.crash_restarts;
+        partial_bytes += other.partial_bytes;
+        resumed_bytes += other.resumed_bytes;
+        return *this;
+    }
+};
+
+} // namespace richnote::core

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/simulator.hpp"
 
 namespace richnote::core {
@@ -90,6 +91,9 @@ experiment_result run_experiment(const experiment_setup& setup,
                                  const experiment_params& params) {
     RICHNOTE_REQUIRE(params.weekly_budget_mb > 0, "budget must be positive");
     const trace::workload& world = setup.world();
+    RICHNOTE_REQUIRE(params.trace == nullptr ||
+                         params.trace->user_count() >= world.user_count(),
+                     "trace sink is sized for fewer users than the workload");
 
     const audio_preview_generator base_generator(params.presentation);
     // Pre-generate the presentation set of every distinct track duration:
@@ -171,6 +175,7 @@ experiment_result run_experiment(const experiment_setup& setup,
         bp.legacy_failure_accounting = params.legacy_failure_accounting;
         bp.faults = fplan;
         bp.expected_admissions = world.notifications().per_user[u].size();
+        bp.trace = params.trace;
 
         auto network =
             params.wifi_enabled
@@ -302,10 +307,7 @@ experiment_result run_experiment(const experiment_setup& setup,
                 sample.battery_level = brokers[u].battery().level();
                 sample.network = brokers[u].network_state();
                 sample.delivered_so_far = metrics.user(u).delivered;
-                sample.faults_so_far = metrics.user(u).faults_injected;
-                sample.retries_so_far = metrics.user(u).transfer_retries;
-                sample.dead_letters_so_far = metrics.user(u).dead_lettered;
-                sample.crash_restarts_so_far = metrics.user(u).crash_restarts;
+                sample.faults = metrics.user(u).faults;
                 trajectories->record(sample);
             }
         };
@@ -367,6 +369,7 @@ experiment_result run_experiment(const experiment_setup& setup,
     double queue_total = 0.0;
     for (const auto& b : brokers) queue_total += static_cast<double>(b.sched().queue_size());
     r.final_queue_items = queue_total / static_cast<double>(brokers.size());
+    if (params.registry != nullptr) export_metrics(metrics, *params.registry);
     return r;
 }
 

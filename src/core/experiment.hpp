@@ -98,6 +98,16 @@ struct experiment_params {
     /// user"), every broker owns its randomness, and metrics are per-user,
     /// so results are bit-identical for ANY thread count. 1 = sequential.
     std::size_t worker_threads = 1;
+    /// Optional structured trace sink (obs): per-round, per-decision NDJSON
+    /// events from every broker and scheduler. Must be sized for at least
+    /// the workload's user count. Not owned; nullptr = tracing off. The
+    /// sink buckets per user, so it composes with worker_threads > 1 and
+    /// the merged stream stays byte-identical for a fixed seed.
+    richnote::obs::trace_sink* trace = nullptr;
+    /// Optional metrics registry (obs): the run's aggregates and fault
+    /// counters are exported under the canonical richnote.* names after the
+    /// replay finishes. Not owned; nullptr = off.
+    richnote::obs::metrics_registry* registry = nullptr;
 };
 
 struct experiment_result {

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/indexed_heap.hpp"
+#include "obs/profile.hpp"
 
 namespace richnote::core {
 
@@ -63,6 +64,7 @@ mckp_solution select_presentations(const std::vector<mckp_item>& items, double b
 const mckp_solution& select_presentations(const std::vector<mckp_item>& items,
                                           double budget, const mckp_options& options,
                                           mckp_scratch& scratch) {
+    RICHNOTE_PROFILE_SCOPE(obs::profile_slot::mckp_solve);
     RICHNOTE_REQUIRE(budget >= 0, "budget must be non-negative");
     // The scratch overload is the per-round hot path; its callers (the
     // schedulers) build instances from already-validated presentation sets,

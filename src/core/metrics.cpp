@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace richnote::core {
 
@@ -67,36 +68,36 @@ void metrics_recorder::on_session_overhead(trace::user_id user, double energy_jo
 
 void metrics_recorder::on_fault(trace::user_id user) {
     RICHNOTE_REQUIRE(user < users_.size(), "user out of range");
-    ++users_[user].faults_injected;
+    ++users_[user].faults.faults_injected;
 }
 
 void metrics_recorder::on_transfer_interrupted(trace::user_id user, double bytes_moved) {
     RICHNOTE_REQUIRE(user < users_.size(), "user out of range");
     RICHNOTE_REQUIRE(bytes_moved >= 0.0, "negative partial byte count");
-    user_metrics& u = users_[user];
-    ++u.transfer_retries;
-    u.partial_bytes += bytes_moved;
+    fault_counters& f = users_[user].faults;
+    ++f.transfer_retries;
+    f.partial_bytes += bytes_moved;
 }
 
 void metrics_recorder::on_dead_letter(trace::user_id user) {
     RICHNOTE_REQUIRE(user < users_.size(), "user out of range");
-    ++users_[user].dead_lettered;
+    ++users_[user].faults.dead_lettered;
 }
 
 void metrics_recorder::on_duplicate_suppressed(trace::user_id user) {
     RICHNOTE_REQUIRE(user < users_.size(), "user out of range");
-    ++users_[user].duplicates_suppressed;
+    ++users_[user].faults.duplicates_suppressed;
 }
 
 void metrics_recorder::on_crash_restart(trace::user_id user) {
     RICHNOTE_REQUIRE(user < users_.size(), "user out of range");
-    ++users_[user].crash_restarts;
+    ++users_[user].faults.crash_restarts;
 }
 
 void metrics_recorder::on_resume(trace::user_id user, double bytes) {
     RICHNOTE_REQUIRE(user < users_.size(), "user out of range");
     RICHNOTE_REQUIRE(bytes >= 0.0, "negative resumed byte count");
-    users_[user].resumed_bytes += bytes;
+    users_[user].faults.resumed_bytes += bytes;
 }
 
 const user_metrics& metrics_recorder::user(std::size_t u) const {
@@ -201,15 +202,7 @@ std::vector<double> metrics_recorder::level_mix() const {
 
 metrics_recorder::fault_totals metrics_recorder::fault_summary() const noexcept {
     fault_totals t;
-    for (const auto& u : users_) {
-        t.faults_injected += u.faults_injected;
-        t.transfer_retries += u.transfer_retries;
-        t.dead_lettered += u.dead_lettered;
-        t.duplicates_suppressed += u.duplicates_suppressed;
-        t.crash_restarts += u.crash_restarts;
-        t.partial_bytes += u.partial_bytes;
-        t.resumed_bytes += u.resumed_bytes;
-    }
+    for (const auto& u : users_) t.accumulate(u.faults);
     return t;
 }
 
@@ -248,6 +241,31 @@ std::vector<metrics_recorder::user_category_row> metrics_recorder::utility_by_us
         rows.push_back(std::move(row));
     }
     return rows;
+}
+
+void export_metrics(const metrics_recorder& metrics, richnote::obs::metrics_registry& registry) {
+    registry.count("richnote.delivery.arrived_total",
+                   static_cast<std::uint64_t>(metrics.total_arrived()));
+    registry.count("richnote.delivery.delivered_total",
+                   static_cast<std::uint64_t>(metrics.total_delivered()));
+    registry.gauge_set("richnote.delivery.bytes_total", metrics.total_bytes_delivered());
+    registry.gauge_set("richnote.delivery.metered_bytes_total", metrics.total_metered_bytes());
+    registry.gauge_set("richnote.run.delivery_ratio", metrics.delivery_ratio());
+    registry.gauge_set("richnote.run.precision", metrics.precision());
+    registry.gauge_set("richnote.run.recall", metrics.recall());
+    registry.gauge_set("richnote.run.utility_total", metrics.total_utility());
+    registry.gauge_set("richnote.run.utility_clicked_total", metrics.total_utility_clicked());
+    registry.gauge_set("richnote.run.energy_joules_total", metrics.total_energy_joules());
+    registry.gauge_set("richnote.run.mean_queuing_delay_sec", metrics.mean_queuing_delay_sec());
+
+    const fault_counters f = metrics.fault_summary();
+    registry.count("richnote.faults.injected_total", f.faults_injected);
+    registry.count("richnote.faults.retries_total", f.transfer_retries);
+    registry.count("richnote.faults.dead_letters_total", f.dead_lettered);
+    registry.count("richnote.faults.duplicates_suppressed_total", f.duplicates_suppressed);
+    registry.count("richnote.faults.crash_restarts_total", f.crash_restarts);
+    registry.gauge_set("richnote.faults.partial_bytes_total", f.partial_bytes);
+    registry.gauge_set("richnote.faults.resumed_bytes_total", f.resumed_bytes);
 }
 
 } // namespace richnote::core

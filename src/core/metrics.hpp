@@ -10,9 +10,14 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "core/counters.hpp"
 #include "core/scheduler.hpp"
 #include "sim/time.hpp"
 #include "trace/notification.hpp"
+
+namespace richnote::obs {
+class metrics_registry;
+}
 
 namespace richnote::core {
 
@@ -31,14 +36,9 @@ struct user_metrics {
     richnote::running_stats queuing_delay_sec;
     std::vector<std::uint64_t> level_counts; ///< deliveries per level (index 0 unused)
 
-    // ----- fault / recovery tallies (resilient delivery pipeline) -----
-    std::uint64_t faults_injected = 0;       ///< blackout/brownout rounds hit
-    std::uint64_t transfer_retries = 0;      ///< transfers cut mid-flight, item retried
-    std::uint64_t dead_lettered = 0;         ///< items dropped after the retry budget
-    std::uint64_t duplicates_suppressed = 0; ///< replayed publishes deduplicated
-    std::uint64_t crash_restarts = 0;        ///< broker crash-restart events survived
-    double partial_bytes = 0.0;              ///< bytes landed in interrupted attempts
-    double resumed_bytes = 0.0;              ///< bytes salvaged via high-water resume
+    /// Fault / recovery tallies (resilient delivery pipeline); the shared
+    /// counter block also carried by telemetry samples and fault summaries.
+    fault_counters faults;
 
     double delivery_ratio() const noexcept;
     /// §V-C: "the fraction of delivered notifications (before the recorded
@@ -128,21 +128,19 @@ public:
     std::vector<user_category_row> utility_by_user_category(
         const std::vector<std::uint64_t>& edges) const;
 
-    /// Fault / recovery tallies summed across users.
-    struct fault_totals {
-        std::uint64_t faults_injected = 0;
-        std::uint64_t transfer_retries = 0;
-        std::uint64_t dead_lettered = 0;
-        std::uint64_t duplicates_suppressed = 0;
-        std::uint64_t crash_restarts = 0;
-        double partial_bytes = 0.0;
-        double resumed_bytes = 0.0;
-    };
+    /// Fault / recovery tallies summed across users (the same counter block
+    /// each user carries — see core/counters.hpp).
+    using fault_totals = fault_counters;
     fault_totals fault_summary() const noexcept;
 
 private:
     std::vector<user_metrics> users_;
     std::size_t max_level_;
 };
+
+/// Exports a finished run's aggregates into the obs registry under the
+/// canonical richnote.* metric names (DESIGN.md §9) — the one place the
+/// recorder's tallies and the fault counter block become named series.
+void export_metrics(const metrics_recorder& metrics, richnote::obs::metrics_registry& registry);
 
 } // namespace richnote::core

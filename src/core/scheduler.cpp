@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace richnote::core {
 
@@ -67,6 +69,11 @@ bool queue_scheduler_base::on_transfer_failed(std::uint64_t item_id,
     if (retry_.max_attempts > 0 && item.failed_attempts >= retry_.max_attempts) {
         // Retry budget spent: dead-letter the item so it cannot head-of-
         // line-block FIFO (or pin Q(t)) forever.
+        if (trace_ != nullptr) {
+            trace_->event(trace_user_, trace_round_, "dead_letter")
+                .field("item", item.note.id)
+                .field("attempts", item.failed_attempts);
+        }
         remove_at(pos, 0.0);
         ++dead_lettered_;
         return true;
@@ -75,10 +82,16 @@ bool queue_scheduler_base::on_transfer_failed(std::uint64_t item_id,
     if (retry_.backoff_base_sec > 0.0) {
         // Exponential backoff: base * 2^(failures-1), capped.
         const int doublings =
-            static_cast<int>(std::min<std::uint32_t>(item.failed_attempts - 1, 40));
+            static_cast<int>(std::min<std::uint64_t>(item.failed_attempts - 1, 40));
         const double delay =
             std::min(retry_.backoff_cap_sec, std::ldexp(retry_.backoff_base_sec, doublings));
         item.retry_not_before = now + delay;
+    }
+    if (trace_ != nullptr) {
+        trace_->event(trace_user_, trace_round_, "retry_backoff")
+            .field("item", item.note.id)
+            .field("attempts", item.failed_attempts)
+            .field("not_before", item.retry_not_before);
     }
     return false;
 }
@@ -137,6 +150,9 @@ bool richnote_scheduler::allow_delivery(double rho_joules) const noexcept {
 }
 
 const std::vector<planned_delivery>& richnote_scheduler::plan(const round_context& ctx) {
+    RICHNOTE_PROFILE_SCOPE(obs::profile_slot::scheduler_plan);
+    trace_round_ = ctx.round;
+
     // Algorithm 2 step 2: replenish the energy credit at the round boundary.
     controller_.on_round(ctx.energy_replenishment);
 
@@ -238,6 +254,40 @@ const std::vector<planned_delivery>& richnote_scheduler::plan(const round_contex
                   if (a.utility != b.utility) return a.utility > b.utility;
                   return a.item_id < b.item_id;
               });
+
+    if (trace_ != nullptr) {
+        // One "plan" summary plus one "decision" per selected item, carrying
+        // the exact Eq. 7 terms the MCKP maximized: Q(t)*s(i) (item_qs),
+        // (P(t)-kappa)*rho(i,j) and V*U(i,j). The terms are recomputed with
+        // the same adjuster operations the instance build used, so they sum
+        // bit-exactly to the instance utility the solver saw.
+        trace_->event(trace_user_, ctx.round, "plan")
+            .field("candidates", n)
+            .field("selected", plan_.size())
+            .field("budget_bytes", budget)
+            .field("q_bytes", controller_.queue_backlog())
+            .field("p_joules", controller_.energy_credit())
+            .field("adjusted_total", solution.total_utility);
+        for (std::size_t i = 0; i < n; ++i) {
+            const level_t level = solution.levels[i];
+            if (level == 0) continue;
+            const sched_item& item = queue_[i];
+            const double item_qs =
+                adjuster.item_queue_term(item.presentations.total_size());
+            const double rho = rho_flat_[rho_offset_[i] + level - 1];
+            const double true_u = aged_uc_[i] * item.presentations.utility(level);
+            trace_->event(trace_user_, ctx.round, "decision")
+                .field("item", item.note.id)
+                .field("level", level)
+                .field("levels", item.presentations.level_count())
+                .field("size_bytes", item.presentations.size(level))
+                .field("term_queue", item_qs)
+                .field("term_energy", adjuster.p_scaled * (rho / adjuster.energy_unit_joules))
+                .field("term_value", adjuster.v * true_u)
+                .field("adjusted", instance_[i].utilities[level - 1])
+                .field("utility", true_u);
+        }
+    }
     return plan_;
 }
 
@@ -280,6 +330,9 @@ bool direct_scheduler::allow_delivery(double rho_joules) const noexcept {
 }
 
 const std::vector<planned_delivery>& direct_scheduler::plan(const round_context& ctx) {
+    RICHNOTE_PROFILE_SCOPE(obs::profile_slot::scheduler_plan);
+    trace_round_ = ctx.round;
+
     // Accrue this round's energy budget, banked up to the cap.
     energy_credit_ = std::min(energy_credit_ + params_.kappa_joules_per_round,
                               params_.kappa_joules_per_round * params_.energy_accrual_rounds);
@@ -362,6 +415,8 @@ fixed_level_scheduler::fixed_level_scheduler(level_t fixed_level,
 }
 
 const std::vector<planned_delivery>& fixed_level_scheduler::plan(const round_context& ctx) {
+    RICHNOTE_PROFILE_SCOPE(obs::profile_slot::scheduler_plan);
+    trace_round_ = ctx.round;
     plan_.clear();
     if (queue_.empty() || !richnote::sim::default_link_profile(ctx.network).connected)
         return plan_;

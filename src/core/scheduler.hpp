@@ -28,6 +28,10 @@
 #include "sim/time.hpp"
 #include "trace/notification.hpp"
 
+namespace richnote::obs {
+class trace_sink;
+}
+
 namespace richnote::core {
 
 /// One queued content item, with its generated presentations and content
@@ -41,8 +45,9 @@ struct sched_item {
     /// Retry bookkeeping (resilient delivery): how many transfers of this
     /// item were cut mid-flight, and until when the item backs off before
     /// the next attempt. Both travel with the item, so expiry, delivery and
-    /// checkpoint/restore handle them for free.
-    std::uint32_t failed_attempts = 0;
+    /// checkpoint/restore handle them for free. 64-bit like every other
+    /// fault counter (core/counters.hpp): soak runs overflow 32 bits.
+    std::uint64_t failed_attempts = 0;
     richnote::sim::sim_time retry_not_before = 0;
 
     /// Eq. 1 combined utility of level j.
@@ -55,7 +60,7 @@ struct retry_policy {
     /// Failed attempts before the item is dead-lettered (dropped with a
     /// counter) so a poisoned item cannot head-of-line-block FIFO forever;
     /// 0 = unlimited retries.
-    std::uint32_t max_attempts = 0;
+    std::uint64_t max_attempts = 0;
     /// First backoff delay after a failure; doubles with every further
     /// failure of the item (exponential backoff). 0 = retry next round.
     double backoff_base_sec = 0.0;
@@ -66,6 +71,7 @@ struct retry_policy {
 /// Everything a scheduler may react to at a round boundary.
 struct round_context {
     richnote::sim::sim_time now = 0;
+    std::uint64_t round = 0;         ///< round index (trace event keys)
     double data_budget_bytes = 0.0;  ///< B(t): accumulated metered budget
     richnote::sim::net_state network = richnote::sim::net_state::cell;
     bool metered = true;             ///< false on wifi: budget is not charged
@@ -159,6 +165,23 @@ public:
 
     virtual checkpoint_state checkpoint() const = 0;
     virtual void restore(const checkpoint_state& state) = 0;
+
+    // ----- structured tracing (obs) -----
+
+    /// Attaches a per-decision trace sink; the scheduler emits its MCKP
+    /// candidate sets, chosen levels and retry transitions for `user` into
+    /// it. Null detaches (the default — emission sites cost one branch).
+    void bind_trace(richnote::obs::trace_sink* sink, std::uint32_t user) noexcept {
+        trace_ = sink;
+        trace_user_ = user;
+    }
+
+protected:
+    richnote::obs::trace_sink* trace_ = nullptr;
+    std::uint32_t trace_user_ = 0;
+    /// Round of the most recent plan() call, so events emitted outside
+    /// plan() (retry/backoff, dead-letter) land on the right round.
+    std::uint64_t trace_round_ = 0;
 };
 
 /// Shared queue plumbing for all three schedulers.

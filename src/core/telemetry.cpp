@@ -43,8 +43,8 @@ void telemetry::write_csv(std::ostream& out) const {
         out << s.round << ',' << s.user << ',' << s.queue_items << ',' << s.queue_bytes
             << ',' << s.energy_credit << ',' << s.data_budget << ',' << s.battery_level
             << ',' << to_string(s.network) << ',' << s.delivered_so_far << ','
-            << s.faults_so_far << ',' << s.retries_so_far << ',' << s.dead_letters_so_far
-            << ',' << s.crash_restarts_so_far << '\n';
+            << s.faults.faults_injected << ',' << s.faults.transfer_retries << ','
+            << s.faults.dead_lettered << ',' << s.faults.crash_restarts << '\n';
     }
 }
 

@@ -10,6 +10,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "core/counters.hpp"
 #include "sim/network.hpp"
 #include "sim/time.hpp"
 
@@ -27,12 +28,10 @@ struct round_sample {
     double battery_level = 0.0;     ///< state of charge [0, 1]
     richnote::sim::net_state network = richnote::sim::net_state::off;
     std::uint64_t delivered_so_far = 0;
-    // Fault/recovery counters (cumulative per user up to this round) so the
-    // trajectory CSV shows recovery behaviour alongside Q(t)/P(t).
-    std::uint64_t faults_so_far = 0;        ///< blackout/brownout rounds hit
-    std::uint64_t retries_so_far = 0;       ///< transfers cut and retried
-    std::uint64_t dead_letters_so_far = 0;  ///< items dropped past the budget
-    std::uint64_t crash_restarts_so_far = 0;
+    /// Fault/recovery counters (cumulative per user up to this round) so the
+    /// trajectory CSV shows recovery behaviour alongside Q(t)/P(t). The same
+    /// shared block metrics_recorder tallies — copied, not re-derived.
+    fault_counters faults;
 };
 
 /// Collects samples for a fixed set of users. Thread-safe under user

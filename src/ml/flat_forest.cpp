@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "ml/random_forest.hpp"
+#include "obs/profile.hpp"
 
 namespace richnote::ml {
 
@@ -60,6 +61,7 @@ int flat_forest::predict(std::span<const double> features) const {
 
 void flat_forest::predict_proba(std::span<const double> matrix, std::size_t row_count,
                                 std::span<double> out) const {
+    RICHNOTE_PROFILE_SCOPE(richnote::obs::profile_slot::forest_predict);
     RICHNOTE_REQUIRE(trained(), "predict on an untrained flat forest");
     RICHNOTE_REQUIRE(out.size() == row_count, "output span must have one slot per row");
     if (row_count == 0) return;

@@ -9,10 +9,12 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/profile.hpp"
 
 namespace richnote::ml {
 
 void random_forest::fit(const dataset& data, const forest_params& params, std::uint64_t seed) {
+    RICHNOTE_PROFILE_SCOPE(richnote::obs::profile_slot::forest_fit);
     RICHNOTE_REQUIRE(params.tree_count > 0, "forest needs at least one tree");
     RICHNOTE_REQUIRE(!data.empty(), "cannot fit a forest on an empty dataset");
 

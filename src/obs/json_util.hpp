@@ -1,0 +1,72 @@
+// Deterministic JSON fragment formatting shared by the observability
+// layer (trace_sink NDJSON, metrics_registry / run_manifest exporters).
+//
+// Determinism is the design constraint: the same double value must always
+// produce the same bytes, so a fixed-seed run emits a byte-identical event
+// stream no matter when or on how many worker threads it executes. %.17g
+// round-trips every finite double exactly and is locale-independent via
+// snprintf with the "C" numeric formatting of the printf family.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace richnote::obs {
+
+/// Appends `s` JSON-escaped (quotes, backslash, control characters).
+inline void json_escape(std::string& out, std::string_view s) {
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+}
+
+/// Appends a quoted, escaped JSON string.
+inline void json_string(std::string& out, std::string_view s) {
+    out += '"';
+    json_escape(out, s);
+    out += '"';
+}
+
+/// Appends a double as a deterministic JSON number. Non-finite values have
+/// no JSON representation; they are emitted as null so a stray NaN cannot
+/// silently corrupt the stream (the schema validator flags it).
+inline void json_number(std::string& out, double v) {
+    if (v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+inline void json_number(std::string& out, std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out += buf;
+}
+
+inline void json_number(std::string& out, std::int64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    out += buf;
+}
+
+} // namespace richnote::obs

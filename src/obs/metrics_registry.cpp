@@ -1,0 +1,164 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "obs/json_util.hpp"
+
+namespace richnote::obs {
+
+histogram::histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+    RICHNOTE_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+    RICHNOTE_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+                     "histogram bounds must ascend");
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void histogram::observe(double value) {
+    RICHNOTE_REQUIRE(!counts_.empty(), "histogram was default-constructed");
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    ++total_;
+    sum_ += value;
+}
+
+void metrics_registry::count(std::string_view name, std::uint64_t delta) {
+    const auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        counters_.emplace(std::string(name), delta);
+    } else {
+        it->second += delta;
+    }
+}
+
+std::uint64_t metrics_registry::counter(std::string_view name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void metrics_registry::gauge_set(std::string_view name, double value) {
+    const auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        gauges_.emplace(std::string(name), value);
+    } else {
+        it->second = value;
+    }
+}
+
+double metrics_registry::gauge(std::string_view name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+histogram& metrics_registry::make_histogram(std::string_view name,
+                                            std::vector<double> upper_bounds) {
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+        RICHNOTE_REQUIRE(it->second.upper_bounds() == upper_bounds,
+                         "histogram re-registered with different buckets");
+        return it->second;
+    }
+    return histograms_.emplace(std::string(name), histogram(std::move(upper_bounds)))
+        .first->second;
+}
+
+void metrics_registry::observe(std::string_view name, double value) {
+    const auto it = histograms_.find(name);
+    RICHNOTE_REQUIRE(it != histograms_.end(),
+                     "observe() on an unregistered histogram: " + std::string(name));
+    it->second.observe(value);
+}
+
+const histogram& metrics_registry::get_histogram(std::string_view name) const {
+    const auto it = histograms_.find(name);
+    RICHNOTE_REQUIRE(it != histograms_.end(),
+                     "unknown histogram: " + std::string(name));
+    return it->second;
+}
+
+bool metrics_registry::has_histogram(std::string_view name) const noexcept {
+    return histograms_.find(name) != histograms_.end();
+}
+
+void metrics_registry::write_json(std::ostream& out) const {
+    std::string buf;
+    buf += "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : counters_) {
+        buf += first ? "\n    " : ",\n    ";
+        first = false;
+        json_string(buf, name);
+        buf += ": ";
+        json_number(buf, value);
+    }
+    buf += first ? "},\n" : "\n  },\n";
+    buf += "  \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : gauges_) {
+        buf += first ? "\n    " : ",\n    ";
+        first = false;
+        json_string(buf, name);
+        buf += ": ";
+        json_number(buf, value);
+    }
+    buf += first ? "},\n" : "\n  },\n";
+    buf += "  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+        buf += first ? "\n    " : ",\n    ";
+        first = false;
+        json_string(buf, name);
+        buf += ": {\"upper_bounds\": [";
+        for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
+            if (i > 0) buf += ", ";
+            json_number(buf, h.upper_bounds()[i]);
+        }
+        buf += "], \"counts\": [";
+        for (std::size_t i = 0; i < h.counts().size(); ++i) {
+            if (i > 0) buf += ", ";
+            json_number(buf, h.counts()[i]);
+        }
+        buf += "], \"total\": ";
+        json_number(buf, h.total_count());
+        buf += ", \"sum\": ";
+        json_number(buf, h.sum());
+        buf += "}";
+    }
+    buf += first ? "}\n" : "\n  }\n";
+    buf += "}\n";
+    out << buf;
+}
+
+void metrics_registry::write_csv(std::ostream& out) const {
+    std::string buf = "kind,name,field,value\n";
+    auto row = [&buf](std::string_view kind, std::string_view name,
+                      std::string_view field, auto value) {
+        buf += kind;
+        buf += ',';
+        buf += name;
+        buf += ',';
+        buf += field;
+        buf += ',';
+        json_number(buf, value);
+        buf += '\n';
+    };
+    for (const auto& [name, value] : counters_) row("counter", name, "value", value);
+    for (const auto& [name, value] : gauges_) row("gauge", name, "value", value);
+    for (const auto& [name, h] : histograms_) {
+        for (std::size_t i = 0; i < h.counts().size(); ++i) {
+            std::string field = "le_";
+            if (i < h.upper_bounds().size()) {
+                json_number(field, h.upper_bounds()[i]);
+            } else {
+                field += "inf";
+            }
+            row("histogram", name, field, h.counts()[i]);
+        }
+        row("histogram", name, "total", h.total_count());
+        row("histogram", name, "sum", h.sum());
+    }
+    out << buf;
+}
+
+} // namespace richnote::obs

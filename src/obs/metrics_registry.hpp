@@ -1,0 +1,99 @@
+// Named metrics registry (DESIGN.md §9): counters, gauges and fixed-bucket
+// histograms behind one canonical naming scheme, with deterministic JSON /
+// CSV exporters.
+//
+// The registry is the REPORTING surface, not the hot path: per-user tallies
+// stay in core::metrics_recorder's flat per-user structs (touched once per
+// event with no lookups), and a finished run exports its aggregates into a
+// registry under catalog names (core::export_metrics). Harnesses add their
+// own series (plan-latency histograms, rounds/sec gauges) under the same
+// scheme, so every tool reports through one vocabulary instead of the
+// previous per-tool ad-hoc counter plumbing.
+//
+// Naming convention: dot-separated lowercase paths, unit-suffixed leaves —
+//   richnote.delivery.delivered_total          (counter)
+//   richnote.delivery.bytes_total              (counter, bytes)
+//   richnote.faults.retries_total              (counter)
+//   richnote.run.delivery_ratio                (gauge)
+//   richnote.sched.plan_latency_us             (histogram)
+// Exports are ordered by name (std::map), so equal runs emit equal bytes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace richnote::obs {
+
+/// Fixed-bucket histogram: `upper_bounds` are the inclusive bucket ceilings
+/// in ascending order; one implicit overflow bucket catches the rest.
+class histogram {
+public:
+    histogram() = default;
+    explicit histogram(std::vector<double> upper_bounds);
+
+    void observe(double value);
+
+    const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
+    /// counts()[i] pairs with upper_bounds()[i]; counts().back() overflows.
+    const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+    std::uint64_t total_count() const noexcept { return total_; }
+    double sum() const noexcept { return sum_; }
+    double mean() const noexcept {
+        return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
+    }
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+class metrics_registry {
+public:
+    /// Adds `delta` to the named counter (created at zero on first touch).
+    void count(std::string_view name, std::uint64_t delta = 1);
+
+    /// Current counter value; 0 for a name never counted.
+    std::uint64_t counter(std::string_view name) const;
+
+    /// Sets the named gauge (last write wins).
+    void gauge_set(std::string_view name, double value);
+
+    /// Current gauge value; 0 for a name never set.
+    double gauge(std::string_view name) const;
+
+    /// Registers (or fetches) the named histogram. The bounds of an already
+    /// registered histogram must match — one name, one bucket layout.
+    histogram& make_histogram(std::string_view name, std::vector<double> upper_bounds);
+
+    /// Records into a histogram registered earlier; throws on unknown name
+    /// (bucket layout is part of the contract, not implied by the sample).
+    void observe(std::string_view name, double value);
+
+    const histogram& get_histogram(std::string_view name) const;
+    bool has_histogram(std::string_view name) const noexcept;
+
+    std::size_t counter_count() const noexcept { return counters_.size(); }
+    std::size_t gauge_count() const noexcept { return gauges_.size(); }
+    std::size_t histogram_count() const noexcept { return histograms_.size(); }
+
+    /// JSON document {"counters": {...}, "gauges": {...}, "histograms":
+    /// {...}} with names sorted — deterministic for equal contents.
+    void write_json(std::ostream& out) const;
+
+    /// Flat CSV: kind,name,field,value — one row per counter / gauge /
+    /// histogram bucket, sorted by name (spreadsheet- and diff-friendly).
+    void write_csv(std::ostream& out) const;
+
+private:
+    std::map<std::string, std::uint64_t, std::less<>> counters_;
+    std::map<std::string, double, std::less<>> gauges_;
+    std::map<std::string, histogram, std::less<>> histograms_;
+};
+
+} // namespace richnote::obs

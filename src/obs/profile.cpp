@@ -1,0 +1,80 @@
+#include "obs/profile.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+
+namespace richnote::obs {
+
+namespace {
+
+const char* const slot_names[profile_slot_count] = {
+    "richnote.profile.broker_round",  "richnote.profile.scheduler_plan",
+    "richnote.profile.mckp_solve",    "richnote.profile.forest_predict",
+    "richnote.profile.forest_fit",    "richnote.profile.sim_tick",
+};
+
+struct slot_cell {
+    std::atomic<std::uint64_t> calls{0};
+    std::atomic<std::uint64_t> nanos{0};
+};
+
+std::array<slot_cell, profile_slot_count>& cells() {
+    static std::array<slot_cell, profile_slot_count> instance;
+    return instance;
+}
+
+} // namespace
+
+const char* profile_slot_name(profile_slot slot) noexcept {
+    return slot_names[static_cast<std::size_t>(slot)];
+}
+
+profile_totals profile_read(profile_slot slot) noexcept {
+    const auto& cell = cells()[static_cast<std::size_t>(slot)];
+    return {cell.calls.load(std::memory_order_relaxed),
+            cell.nanos.load(std::memory_order_relaxed)};
+}
+
+void profile_reset() noexcept {
+    for (auto& cell : cells()) {
+        cell.calls.store(0, std::memory_order_relaxed);
+        cell.nanos.store(0, std::memory_order_relaxed);
+    }
+}
+
+void profile_export(metrics_registry& registry) {
+    for (std::size_t i = 0; i < profile_slot_count; ++i) {
+        const auto totals = profile_read(static_cast<profile_slot>(i));
+        if (totals.calls == 0) continue;
+        const std::string stem = slot_names[i];
+        registry.count(stem + ".calls_total", totals.calls);
+        registry.count(stem + ".nanos_total", totals.nanos);
+        registry.gauge_set(stem + ".mean_us",
+                           static_cast<double>(totals.nanos) /
+                               static_cast<double>(totals.calls) / 1000.0);
+    }
+}
+
+#ifdef RICHNOTE_TRACE
+
+namespace detail {
+
+void profile_record(profile_slot slot, std::uint64_t nanos) noexcept {
+    auto& cell = cells()[static_cast<std::size_t>(slot)];
+    cell.calls.fetch_add(1, std::memory_order_relaxed);
+    cell.nanos.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+std::uint64_t profile_now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace detail
+
+#endif // RICHNOTE_TRACE
+
+} // namespace richnote::obs

@@ -1,0 +1,101 @@
+// Scoped hot-path profiling (DESIGN.md §9).
+//
+// RICHNOTE_PROFILE_SCOPE(slot) drops an RAII timer into a hot function.
+// In a default build the macro expands to nothing — no timer, no atomic,
+// no branch — which is what keeps the scheduler/broker/forest hot paths at
+// their benchmarked zero-allocation throughput (BENCH_perf.json). Configure
+// with -DRICHNOTE_TRACE=ON and the same scopes accumulate call counts and
+// wall nanoseconds into per-slot atomics, readable via profile_read() and
+// exportable into a metrics_registry.
+//
+// The slot set is a fixed enum rather than string keys so an enabled scope
+// costs two relaxed atomic adds, never a hash lookup.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics_registry.hpp"
+
+namespace richnote::obs {
+
+enum class profile_slot : std::uint8_t {
+    broker_round = 0,   ///< core::broker::run_round
+    scheduler_plan,     ///< core::scheduler::plan (all policies)
+    mckp_solve,         ///< core::select_presentations
+    forest_predict,     ///< ml::flat_forest batch inference
+    forest_fit,         ///< ml::random_forest::fit
+    sim_tick,           ///< sim::simulator round advance
+    slot_count,
+};
+
+inline constexpr std::size_t profile_slot_count =
+    static_cast<std::size_t>(profile_slot::slot_count);
+
+/// Canonical metric name stem for a slot, e.g. "richnote.profile.mckp_solve".
+const char* profile_slot_name(profile_slot slot) noexcept;
+
+struct profile_totals {
+    std::uint64_t calls = 0;
+    std::uint64_t nanos = 0;
+};
+
+/// True when this binary was compiled with RICHNOTE_TRACE.
+constexpr bool profile_enabled() noexcept {
+#ifdef RICHNOTE_TRACE
+    return true;
+#else
+    return false;
+#endif
+}
+
+/// Accumulated totals for one slot (all zero when profiling is compiled out).
+profile_totals profile_read(profile_slot slot) noexcept;
+
+/// Zeroes every slot (benchmarks call this between phases).
+void profile_reset() noexcept;
+
+/// Exports every non-empty slot as <stem>.calls_total counters and
+/// <stem>.nanos_total counters plus a <stem>.mean_us gauge.
+void profile_export(metrics_registry& registry);
+
+#ifdef RICHNOTE_TRACE
+
+namespace detail {
+
+/// Per-slot accumulators; relaxed ordering is enough because readers only
+/// look after the timed work has been joined.
+void profile_record(profile_slot slot, std::uint64_t nanos) noexcept;
+std::uint64_t profile_now_ns() noexcept;
+
+class profile_scope {
+public:
+    explicit profile_scope(profile_slot slot) noexcept
+        : slot_(slot), start_(profile_now_ns()) {}
+    profile_scope(const profile_scope&) = delete;
+    profile_scope& operator=(const profile_scope&) = delete;
+    ~profile_scope() { profile_record(slot_, profile_now_ns() - start_); }
+
+private:
+    profile_slot slot_;
+    std::uint64_t start_;
+};
+
+} // namespace detail
+
+#define RICHNOTE_PROFILE_CAT2(a, b) a##b
+#define RICHNOTE_PROFILE_CAT(a, b) RICHNOTE_PROFILE_CAT2(a, b)
+#define RICHNOTE_PROFILE_SCOPE(slot)                      \
+    ::richnote::obs::detail::profile_scope RICHNOTE_PROFILE_CAT( \
+        richnote_profile_scope_, __LINE__) {              \
+        slot                                              \
+    }
+
+#else
+
+#define RICHNOTE_PROFILE_SCOPE(slot) \
+    do {                             \
+    } while (false)
+
+#endif // RICHNOTE_TRACE
+
+} // namespace richnote::obs

@@ -1,0 +1,88 @@
+#include "obs/run_manifest.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/build_info.hpp"
+#include "obs/json_util.hpp"
+
+namespace richnote::obs {
+
+run_manifest::run_manifest(std::string tool)
+    : tool_(std::move(tool)),
+      git_describe_(build_info::git_describe),
+      build_type_(build_info::build_type),
+      compiler_(build_info::compiler) {}
+
+void run_manifest::add_config(std::string_view key, std::string_view value) {
+    config_.emplace_back(std::string(key), std::string(value));
+}
+
+void run_manifest::add_config(std::string_view key, std::uint64_t value) {
+    std::string s;
+    json_number(s, value);
+    config_.emplace_back(std::string(key), std::move(s));
+}
+
+void run_manifest::add_config(std::string_view key, double value) {
+    std::string s;
+    json_number(s, value);
+    config_.emplace_back(std::string(key), std::move(s));
+}
+
+void run_manifest::add_timing(std::string_view name, double value) {
+    timings_.emplace_back(std::string(name), value);
+}
+
+void run_manifest::set_build(std::string git_describe, std::string build_type,
+                             std::string compiler) {
+    git_describe_ = std::move(git_describe);
+    build_type_ = std::move(build_type);
+    compiler_ = std::move(compiler);
+}
+
+void run_manifest::write_json(std::ostream& out) const {
+    std::string buf = "{\n  \"schema\": \"richnote-manifest-v1\",\n  \"tool\": ";
+    json_string(buf, tool_);
+    buf += ",\n  \"seed\": ";
+    json_number(buf, seed_);
+    buf += ",\n  \"build\": {\"git_describe\": ";
+    json_string(buf, git_describe_);
+    buf += ", \"build_type\": ";
+    json_string(buf, build_type_);
+    buf += ", \"compiler\": ";
+    json_string(buf, compiler_);
+    buf += "},\n  \"config\": {";
+    bool first = true;
+    for (const auto& [key, value] : config_) {
+        buf += first ? "\n    " : ",\n    ";
+        first = false;
+        json_string(buf, key);
+        buf += ": ";
+        json_string(buf, value);
+    }
+    buf += first ? "},\n" : "\n  },\n";
+    buf += "  \"timings\": {";
+    first = true;
+    for (const auto& [name, value] : timings_) {
+        buf += first ? "\n    " : ",\n    ";
+        first = false;
+        json_string(buf, name);
+        buf += ": ";
+        json_number(buf, value);
+    }
+    buf += first ? "}\n" : "\n  }\n";
+    buf += "}\n";
+    out << buf;
+}
+
+void run_manifest::write_file(const std::string& path) const {
+    std::ofstream out(path);
+    RICHNOTE_REQUIRE(out.good(), "cannot open manifest file: " + path);
+    write_json(out);
+    RICHNOTE_REQUIRE(out.good(), "failed writing manifest file: " + path);
+}
+
+} // namespace richnote::obs

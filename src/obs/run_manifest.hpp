@@ -1,0 +1,65 @@
+// Run manifests (DESIGN.md §9): one small JSON document per harness / CLI
+// run recording WHAT ran (tool, schema version), ON WHAT (config key=value
+// pairs, seed), FROM WHICH BUILD (git describe, build type, compiler) and
+// HOW IT WENT (BENCH-style named timings and result scalars). Every fig/
+// perf harness and the CLI write one, so two result CSVs can always be
+// compared by diffing their manifests (scripts/manifest_diff.py).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace richnote::obs {
+
+class run_manifest {
+public:
+    /// `tool` names the producing binary / subcommand (e.g.
+    /// "fig3_performance", "richnote simulate"). Build identity fields
+    /// default to the configure-time stamps in obs/build_info.hpp.
+    explicit run_manifest(std::string tool);
+
+    const std::string& tool() const noexcept { return tool_; }
+
+    void set_seed(std::uint64_t seed) { seed_ = seed; }
+    std::uint64_t seed() const noexcept { return seed_; }
+
+    /// Effective configuration, echoed in insertion order. All values are
+    /// stored as strings — the manifest records what the run was told, not
+    /// a typed re-interpretation of it.
+    void add_config(std::string_view key, std::string_view value);
+    void add_config(std::string_view key, std::uint64_t value);
+    void add_config(std::string_view key, double value);
+    const std::vector<std::pair<std::string, std::string>>& config() const noexcept {
+        return config_;
+    }
+
+    /// Named result scalar (wall seconds, rounds/sec, rows written, ...).
+    void add_timing(std::string_view name, double value);
+    const std::vector<std::pair<std::string, double>>& timings() const noexcept {
+        return timings_;
+    }
+
+    /// Overrides the configure-time build identity (tests).
+    void set_build(std::string git_describe, std::string build_type, std::string compiler);
+
+    /// JSON document with schema tag "richnote-manifest-v1".
+    void write_json(std::ostream& out) const;
+
+    /// Writes write_json() to `path`; throws on I/O failure.
+    void write_file(const std::string& path) const;
+
+private:
+    std::string tool_;
+    std::uint64_t seed_ = 0;
+    std::string git_describe_;
+    std::string build_type_;
+    std::string compiler_;
+    std::vector<std::pair<std::string, std::string>> config_;
+    std::vector<std::pair<std::string, double>> timings_;
+};
+
+} // namespace richnote::obs

@@ -1,0 +1,88 @@
+#include "obs/trace_sink.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace richnote::obs {
+
+trace_event::trace_event(trace_sink& sink, std::uint32_t user, std::uint64_t round,
+                         std::string_view type)
+    : sink_(&sink), user_(user), round_(round) {
+    line_ += "{\"type\":";
+    json_string(line_, type);
+    line_ += ",\"user\":";
+    json_number(line_, static_cast<std::uint64_t>(user));
+    line_ += ",\"round\":";
+    json_number(line_, round);
+}
+
+trace_event::trace_event(trace_event&& other) noexcept
+    : sink_(other.sink_),
+      user_(other.user_),
+      round_(other.round_),
+      line_(std::move(other.line_)) {
+    other.sink_ = nullptr;
+}
+
+trace_event::~trace_event() {
+    if (sink_ == nullptr) return;
+    line_ += '}';
+    sink_->store(user_, round_, std::move(line_));
+}
+
+trace_sink::trace_sink(std::size_t user_count) : buckets_(user_count) {
+    RICHNOTE_REQUIRE(user_count > 0, "trace sink needs at least one user bucket");
+}
+
+trace_event trace_sink::event(std::uint32_t user, std::uint64_t round,
+                              std::string_view type) {
+    RICHNOTE_REQUIRE(user < buckets_.size(), "trace event for an unknown user");
+    return trace_event(*this, user, round, type);
+}
+
+void trace_sink::store(std::uint32_t user, std::uint64_t round, std::string line) {
+    auto& bucket = buckets_[user];
+    stored_event ev;
+    ev.round = round;
+    ev.seq = static_cast<std::uint32_t>(bucket.size());
+    ev.json = std::move(line);
+    bucket.push_back(std::move(ev));
+}
+
+const std::vector<trace_sink::stored_event>& trace_sink::events_of(
+    std::uint32_t user) const {
+    RICHNOTE_REQUIRE(user < buckets_.size(), "unknown user");
+    return buckets_[user];
+}
+
+std::size_t trace_sink::event_count() const noexcept {
+    std::size_t total = 0;
+    for (const auto& bucket : buckets_) total += bucket.size();
+    return total;
+}
+
+void trace_sink::write_ndjson(std::ostream& out) const {
+    // Merge the per-user buckets by (round, user, seq). Each bucket is
+    // already round-ordered (a user's rounds are emitted in order), so a
+    // global sort of lightweight keys is simple and deterministic.
+    struct key {
+        std::uint64_t round;
+        std::uint32_t user;
+        std::uint32_t seq;
+    };
+    std::vector<key> keys;
+    keys.reserve(event_count());
+    for (std::uint32_t u = 0; u < buckets_.size(); ++u) {
+        for (const stored_event& ev : buckets_[u]) keys.push_back({ev.round, u, ev.seq});
+    }
+    std::sort(keys.begin(), keys.end(), [](const key& a, const key& b) {
+        if (a.round != b.round) return a.round < b.round;
+        if (a.user != b.user) return a.user < b.user;
+        return a.seq < b.seq;
+    });
+    for (const key& k : keys) out << buckets_[k.user][k.seq].json << '\n';
+}
+
+} // namespace richnote::obs

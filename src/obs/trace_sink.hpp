@@ -1,0 +1,116 @@
+// Structured per-decision tracing (DESIGN.md §9).
+//
+// A trace_sink collects newline-delimited JSON events — one object per
+// scheduler decision, delivery, fault, retry transition or round summary —
+// bucketed per user. The contract mirrors metrics_recorder: every emission
+// touches only the emitting user's bucket, so the sink is safe under the
+// experiment's user-sharded worker threads without a single lock, and the
+// merged stream (ordered by round, then user, then per-user sequence) is a
+// pure function of the run's seed: two runs at the same seed produce
+// byte-identical NDJSON no matter the thread count.
+//
+// Cost model: a null sink pointer is the off switch. Emitting call sites
+// guard with `if (sink != nullptr)`, so a run without tracing pays one
+// predictable branch per round and allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "obs/json_util.hpp"
+
+namespace richnote::obs {
+
+class trace_sink;
+
+/// Builds one event line in place. Obtained from trace_sink::event(); the
+/// line is finalized and stored when the builder goes out of scope (RAII),
+/// so an emitting site reads as one expression chain:
+///   sink->event(user, round, "decision").field("item", id).field("level", lvl);
+class trace_event {
+public:
+    trace_event(const trace_event&) = delete;
+    trace_event& operator=(const trace_event&) = delete;
+    trace_event(trace_event&& other) noexcept;
+    trace_event& operator=(trace_event&&) = delete;
+    ~trace_event();
+
+    /// Appends `"key": value`. Integral types map to JSON integers, floating
+    /// point to deterministic %.17g numbers, bool to true/false, everything
+    /// string-like to an escaped JSON string.
+    template <class T>
+    trace_event& field(std::string_view key, T v) & {
+        line_ += ',';
+        json_string(line_, key);
+        line_ += ':';
+        if constexpr (std::is_same_v<T, bool>) {
+            line_ += v ? "true" : "false";
+        } else if constexpr (std::is_floating_point_v<T>) {
+            json_number(line_, static_cast<double>(v));
+        } else if constexpr (std::is_integral_v<T> && std::is_unsigned_v<T>) {
+            json_number(line_, static_cast<std::uint64_t>(v));
+        } else if constexpr (std::is_integral_v<T>) {
+            json_number(line_, static_cast<std::int64_t>(v));
+        } else {
+            json_string(line_, std::string_view(v));
+        }
+        return *this;
+    }
+
+    template <class T>
+    trace_event&& field(std::string_view key, T v) && {
+        return std::move(field(key, v));
+    }
+
+private:
+    friend class trace_sink;
+    trace_event(trace_sink& sink, std::uint32_t user, std::uint64_t round,
+                std::string_view type);
+
+    trace_sink* sink_;
+    std::uint32_t user_;
+    std::uint64_t round_;
+    std::string line_;
+};
+
+class trace_sink {
+public:
+    /// One bucket per user; emissions for users >= user_count throw.
+    explicit trace_sink(std::size_t user_count);
+
+    std::size_t user_count() const noexcept { return buckets_.size(); }
+
+    /// Starts an event of `type` for (user, round). Common fields ("type",
+    /// "user", "round") are written up front; chain .field(...) for the rest.
+    trace_event event(std::uint32_t user, std::uint64_t round, std::string_view type);
+
+    /// One stored event line (no trailing newline) plus its merge key.
+    struct stored_event {
+        std::uint64_t round = 0;
+        std::uint32_t seq = 0; ///< per-user emission index
+        std::string json;
+    };
+
+    /// Events of one user in emission order (tests / in-process analysis).
+    const std::vector<stored_event>& events_of(std::uint32_t user) const;
+
+    /// Total events across all users.
+    std::size_t event_count() const noexcept;
+
+    /// Writes the merged NDJSON stream ordered by (round, user, seq) — the
+    /// deterministic order that makes fixed-seed runs byte-identical.
+    void write_ndjson(std::ostream& out) const;
+
+private:
+    friend class trace_event;
+    void store(std::uint32_t user, std::uint64_t round, std::string line);
+
+    std::vector<std::vector<stored_event>> buckets_;
+};
+
+} // namespace richnote::obs

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "common/error.hpp"
+#include "obs/profile.hpp"
 
 namespace richnote::sim {
 
@@ -33,6 +34,7 @@ void simulator::arm_periodic(std::uint64_t series_id, sim_time when) {
         const std::uint64_t tick = s.tick++;
         // Re-arm before invoking so the callback can cancel the series.
         arm_periodic(series_id, now_ + s.period);
+        RICHNOTE_PROFILE_SCOPE(richnote::obs::profile_slot::sim_tick);
         s.fn(tick);
     });
 }

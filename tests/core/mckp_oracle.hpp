@@ -1,0 +1,94 @@
+// Exact MCKP oracle for the test suite: exhaustive enumeration over every
+// level assignment, so it is correct for real-valued sizes with no
+// discretization error (unlike src/core's DP, which rounds sizes up to a
+// resolution). Exponential in the item count — keep instances tiny
+// (n <= 7 with the 7-level audio menu is ~2M states).
+//
+// Kept in tests/ on purpose: the production solver must never be validated
+// against itself, and the oracle's brute force is too slow to live next to
+// the hot-path code where someone might call it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mckp.hpp"
+#include "core/presentation.hpp"
+
+namespace richnote::testing {
+
+struct oracle_solution {
+    std::vector<core::level_t> levels; ///< chosen level per item (0 = skip)
+    double total_size = 0.0;
+    double total_utility = 0.0;
+};
+
+namespace detail {
+
+template <typename Item>
+double size_of(const Item& item, std::size_t level) {
+    return level == 0 ? 0.0 : item.sizes[level - 1];
+}
+
+template <typename Item>
+double utility_of(const Item& item, std::size_t level) {
+    return level == 0 ? 0.0 : item.utilities[level - 1];
+}
+
+/// Depth-first enumeration with budget pruning. `energy` is nullptr for the
+/// single-constraint problem.
+template <typename Item>
+void enumerate(const std::vector<Item>& items, std::size_t index, double size_used,
+               double energy_used, double utility, double data_budget,
+               const double* energy_budget, std::vector<core::level_t>& current,
+               oracle_solution& best) {
+    if (index == items.size()) {
+        if (utility > best.total_utility ||
+            (utility == best.total_utility && size_used < best.total_size)) {
+            best.levels = current;
+            best.total_size = size_used;
+            best.total_utility = utility;
+        }
+        return;
+    }
+    const Item& item = items[index];
+    for (std::size_t level = 0; level <= item.level_count(); ++level) {
+        const double next_size = size_used + size_of(item, level);
+        if (next_size > data_budget) break; // sizes strictly increase per level
+        double next_energy = energy_used;
+        if constexpr (requires { item.energies; }) {
+            if (level > 0) next_energy += item.energies[level - 1];
+            if (energy_budget != nullptr && next_energy > *energy_budget) continue;
+        }
+        current[index] = static_cast<core::level_t>(level);
+        enumerate(items, index + 1, next_size, next_energy,
+                  utility + utility_of(item, level), data_budget, energy_budget, current,
+                  best);
+    }
+    current[index] = 0;
+}
+
+} // namespace detail
+
+/// Exact optimum of the single-constraint MCKP by exhaustive enumeration.
+inline oracle_solution mckp_oracle(const std::vector<core::mckp_item>& items,
+                                   double budget) {
+    oracle_solution best;
+    best.levels.assign(items.size(), 0);
+    std::vector<core::level_t> current(items.size(), 0);
+    detail::enumerate(items, 0, 0.0, 0.0, 0.0, budget, nullptr, current, best);
+    return best;
+}
+
+/// Exact optimum of the two-constraint (data + energy) MCKP of Eq. 2.
+inline oracle_solution mckp_oracle_2d(const std::vector<core::mckp_item_2d>& items,
+                                      double data_budget, double energy_budget) {
+    oracle_solution best;
+    best.levels.assign(items.size(), 0);
+    std::vector<core::level_t> current(items.size(), 0);
+    detail::enumerate(items, 0, 0.0, 0.0, 0.0, data_budget, &energy_budget, current,
+                      best);
+    return best;
+}
+
+} // namespace richnote::testing

@@ -82,7 +82,7 @@ TEST_F(broker_resilience, duplicate_admissions_are_suppressed_and_counted) {
     EXPECT_EQ(b.sched().queue_size(), 1u);
     EXPECT_EQ(b.duplicates_suppressed(), 2u);
     EXPECT_DOUBLE_EQ(metrics.total_arrived(), 1.0);
-    EXPECT_EQ(metrics.user(0).duplicates_suppressed, 2u);
+    EXPECT_EQ(metrics.user(0).faults.duplicates_suppressed, 2u);
 
     // The item delivers exactly once despite the replays.
     b.run_round(0.0);
@@ -130,7 +130,7 @@ TEST_F(broker_resilience, interrupted_transfers_charge_only_moved_bytes) {
     EXPECT_EQ(b.sched().queue_size(), 1u);
     EXPECT_GT(b.failed_transfers(), 0u);
 
-    const double spent = metrics.user(0).partial_bytes;
+    const double spent = metrics.user(0).faults.partial_bytes;
     ASSERT_EQ(b.partial_progress().size(), 1u);
     const double high_water = b.partial_progress().begin()->second;
     // All interrupted attempts together moved exactly the high-water mark.
@@ -197,8 +197,8 @@ TEST_F(broker_resilience, resumed_transfer_completes_from_the_high_water_mark) {
     ASSERT_DOUBLE_EQ(metrics.total_delivered(), 1.0) << "did not complete in " << r
                                                      << " rounds";
     const auto& u = metrics.user(0);
-    EXPECT_GT(u.transfer_retries, 0u) << "seed should produce at least one cut";
-    EXPECT_NEAR(u.resumed_bytes, u.partial_bytes, 1e-9)
+    EXPECT_GT(u.faults.transfer_retries, 0u) << "seed should produce at least one cut";
+    EXPECT_NEAR(u.faults.resumed_bytes, u.faults.partial_bytes, 1e-9)
         << "every partial byte must be salvaged, none re-downloaded";
 
     // Total bytes across the link = exactly what a fault-free broker moves
@@ -208,7 +208,7 @@ TEST_F(broker_resilience, resumed_transfer_completes_from_the_high_water_mark) {
     ref.admit(make_note(1));
     ref.run_round(0.0);
     ASSERT_DOUBLE_EQ(ref_metrics.total_delivered(), 1.0);
-    const double total_moved = u.partial_bytes + u.bytes_delivered;
+    const double total_moved = u.faults.partial_bytes + u.bytes_delivered;
     EXPECT_NEAR(total_moved, ref_metrics.user(0).bytes_delivered, 1e-6);
     EXPECT_TRUE(b.partial_progress().empty());
     EXPECT_EQ(b.sched().queue_size(), 0u);

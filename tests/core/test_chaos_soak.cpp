@@ -157,11 +157,11 @@ TEST_F(chaos_soak, fifo_survives_600_rounds_of_mixed_faults) {
 
     // The chaos actually happened.
     const auto& u = metrics.user(0);
-    EXPECT_GT(u.faults_injected, 0u) << "blackouts/brownouts should fire";
-    EXPECT_GT(u.transfer_retries, 0u) << "partial transfers should fire";
-    EXPECT_GT(u.duplicates_suppressed, 0u);
-    EXPECT_GT(u.crash_restarts, 0u);
-    EXPECT_GT(u.resumed_bytes, 0.0) << "resume from the high-water mark";
+    EXPECT_GT(u.faults.faults_injected, 0u) << "blackouts/brownouts should fire";
+    EXPECT_GT(u.faults.transfer_retries, 0u) << "partial transfers should fire";
+    EXPECT_GT(u.faults.duplicates_suppressed, 0u);
+    EXPECT_GT(u.faults.crash_restarts, 0u);
+    EXPECT_GT(u.faults.resumed_bytes, 0.0) << "resume from the high-water mark";
 
     // Conservation: every admitted item is exactly one of delivered,
     // still queued, or dead-lettered (FIFO never expires or declines).
@@ -191,9 +191,9 @@ TEST_F(chaos_soak, richnote_survives_600_rounds_of_mixed_faults) {
     soak(b, metrics, rounds);
 
     const auto& u = metrics.user(0);
-    EXPECT_GT(u.faults_injected, 0u);
-    EXPECT_GT(u.transfer_retries, 0u);
-    EXPECT_GT(u.crash_restarts, 0u);
+    EXPECT_GT(u.faults.faults_injected, 0u);
+    EXPECT_GT(u.faults.transfer_retries, 0u);
+    EXPECT_GT(u.faults.crash_restarts, 0u);
 
     // Conservation with the RichNote drop paths included.
     EXPECT_EQ(static_cast<std::uint64_t>(metrics.total_arrived()),

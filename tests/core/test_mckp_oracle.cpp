@@ -1,0 +1,222 @@
+// Oracle-backed property tests for the MCKP solvers (DESIGN.md §9): the
+// greedy of Algorithm 1 and the DP of mckp_exact are both checked against
+// an independent exhaustive-enumeration oracle (tests/core/mckp_oracle.hpp)
+// on hundreds of seeded random instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/mckp.hpp"
+#include "core/presentation.hpp"
+#include "mckp_oracle.hpp"
+
+namespace {
+
+using richnote::rng;
+using richnote::core::audio_preview_generator;
+using richnote::core::make_mckp_item;
+using richnote::core::mckp_exact;
+using richnote::core::mckp_item;
+using richnote::core::mckp_item_2d;
+using richnote::core::mckp_options;
+using richnote::core::mckp_scratch;
+using richnote::core::mckp_solution;
+using richnote::core::select_presentations;
+using richnote::core::select_presentations_2d;
+using richnote::testing::mckp_oracle;
+using richnote::testing::mckp_oracle_2d;
+
+constexpr double eps = 1e-9;
+
+/// Small instance from the real presentation menus (the shapes the
+/// scheduler actually feeds the solver).
+std::vector<mckp_item> menu_instance(std::size_t n, std::uint64_t seed) {
+    static const audio_preview_generator generator{audio_preview_generator::params{}};
+    rng gen(seed);
+    std::vector<mckp_item> items;
+    items.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double track_sec = gen.bernoulli(0.3) ? gen.uniform(6.0, 35.0) : 276.0;
+        items.push_back(
+            make_mckp_item(generator.generate(track_sec), gen.uniform(0.05, 1.0)));
+    }
+    return items;
+}
+
+/// Instance with exact integer sizes so the DP's size rounding is lossless
+/// and it must match the enumeration oracle exactly.
+std::vector<mckp_item> integral_instance(std::size_t n, std::uint64_t seed) {
+    rng gen(seed);
+    std::vector<mckp_item> items;
+    items.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto levels = static_cast<std::size_t>(gen.uniform_int(1, 4));
+        mckp_item item;
+        double size = 0.0;
+        for (std::size_t j = 0; j < levels; ++j) {
+            size += static_cast<double>(gen.uniform_int(1, 9));
+            item.sizes.push_back(size);
+            item.utilities.push_back(gen.uniform(0.0, 10.0));
+        }
+        items.push_back(std::move(item));
+    }
+    return items;
+}
+
+double recomputed_size(const std::vector<mckp_item>& items,
+                       const std::vector<richnote::core::level_t>& levels) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (levels[i] > 0) total += items[i].sizes[levels[i] - 1];
+    }
+    return total;
+}
+
+// 1. The greedy never beats the exact optimum and never busts the budget —
+//    200 seeded menu instances spanning tight to slack budgets.
+TEST(mckp_oracle_suite, greedy_is_feasible_and_bounded_by_oracle) {
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        rng gen(seed * 7919);
+        const auto n = static_cast<std::size_t>(gen.uniform_int(1, 5));
+        const auto items = menu_instance(n, seed);
+        double menu_total = 0.0;
+        for (const auto& item : items) menu_total += item.sizes.back();
+        const double budget = gen.uniform(0.0, 1.2) * menu_total;
+
+        const auto greedy = select_presentations(items, budget);
+        const auto exact = mckp_oracle(items, budget);
+
+        ASSERT_LE(recomputed_size(items, greedy.levels), budget + eps)
+            << "seed " << seed;
+        ASSERT_LE(recomputed_size(items, exact.levels), budget + eps) << "seed " << seed;
+        EXPECT_LE(greedy.total_utility, exact.total_utility + eps) << "seed " << seed;
+        // The fractional relaxation bound reported by the greedy must cover
+        // its own integral value.
+        EXPECT_GE(greedy.fractional_bound, greedy.total_utility - eps)
+            << "seed " << seed;
+    }
+}
+
+// 2. When every item fits at max level the greedy IS optimal and must match
+//    the oracle exactly.
+TEST(mckp_oracle_suite, greedy_matches_oracle_when_everything_fits) {
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        const auto items = menu_instance(1 + seed % 5, seed);
+        double menu_total = 0.0;
+        for (const auto& item : items) menu_total += item.sizes.back();
+
+        const auto greedy = select_presentations(items, menu_total + 1.0);
+        const auto exact = mckp_oracle(items, menu_total + 1.0);
+        EXPECT_NEAR(greedy.total_utility, exact.total_utility, eps) << "seed " << seed;
+        EXPECT_FALSE(greedy.budget_exhausted) << "seed " << seed;
+    }
+}
+
+// 3. The production DP (rounds sizes up) agrees with the enumeration
+//    oracle bit-for-bit on instances whose sizes are already integral.
+TEST(mckp_oracle_suite, exact_dp_matches_oracle_on_integral_sizes) {
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        rng gen(seed * 104729);
+        const auto n = static_cast<std::size_t>(gen.uniform_int(1, 6));
+        const auto items = integral_instance(n, seed);
+        double menu_total = 0.0;
+        for (const auto& item : items) menu_total += item.sizes.back();
+        const double budget = std::floor(gen.uniform(0.0, 1.1) * menu_total);
+
+        const auto dp = mckp_exact(items, budget, 1.0);
+        const auto exact = mckp_oracle(items, budget);
+        ASSERT_LE(recomputed_size(items, dp.levels), budget + eps) << "seed " << seed;
+        EXPECT_NEAR(dp.total_utility, exact.total_utility, 1e-6) << "seed " << seed;
+    }
+}
+
+// 4. The scratch (allocation-free) overload and the fresh-allocation
+//    overload are the same algorithm; results must agree bit-for-bit.
+TEST(mckp_oracle_suite, scratch_and_fresh_overloads_agree) {
+    mckp_scratch scratch;
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        rng gen(seed * 31);
+        const auto n = static_cast<std::size_t>(gen.uniform_int(1, 40));
+        const auto items = menu_instance(n, seed + 1000);
+        double menu_total = 0.0;
+        for (const auto& item : items) menu_total += item.sizes.back();
+        const double budget = gen.uniform(0.0, 1.0) * menu_total;
+        mckp_options options;
+        options.skip_infeasible = (seed % 2 == 0);
+
+        const mckp_solution fresh = select_presentations(items, budget, options);
+        const mckp_solution& reused = select_presentations(items, budget, options, scratch);
+
+        ASSERT_EQ(fresh.levels, reused.levels) << "seed " << seed;
+        EXPECT_EQ(fresh.total_size, reused.total_size) << "seed " << seed;
+        EXPECT_EQ(fresh.total_utility, reused.total_utility) << "seed " << seed;
+        EXPECT_EQ(fresh.upgrades, reused.upgrades) << "seed " << seed;
+        EXPECT_EQ(fresh.budget_exhausted, reused.budget_exhausted) << "seed " << seed;
+        EXPECT_EQ(fresh.fractional_bound, reused.fractional_bound) << "seed " << seed;
+    }
+}
+
+// 5. Two-constraint greedy (Eq. 2) against the 2-d enumeration oracle:
+//    feasible in BOTH budgets, never above the exact optimum.
+TEST(mckp_oracle_suite, greedy_2d_is_feasible_and_bounded_by_oracle) {
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        rng gen(seed * 6151);
+        const auto n = static_cast<std::size_t>(gen.uniform_int(1, 4));
+        std::vector<mckp_item_2d> items;
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto levels = static_cast<std::size_t>(gen.uniform_int(1, 4));
+            mckp_item_2d item;
+            double size = 0.0;
+            double energy = 0.0;
+            for (std::size_t j = 0; j < levels; ++j) {
+                size += gen.uniform(0.5, 5.0);
+                energy += gen.uniform(0.0, 2.0);
+                item.sizes.push_back(size);
+                item.energies.push_back(energy);
+                item.utilities.push_back(gen.uniform(0.0, 1.0));
+            }
+            items.push_back(std::move(item));
+        }
+        double size_total = 0.0;
+        double energy_total = 0.0;
+        for (const auto& item : items) {
+            size_total += item.sizes.back();
+            energy_total += item.energies.back();
+        }
+        const double data_budget = gen.uniform(0.2, 1.1) * size_total;
+        const double energy_budget = gen.uniform(0.2, 1.1) * (energy_total + 1e-6);
+
+        const auto greedy = select_presentations_2d(items, data_budget, energy_budget);
+        const auto exact = mckp_oracle_2d(items, data_budget, energy_budget);
+
+        double used_size = 0.0;
+        double used_energy = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (greedy.levels[i] > 0) {
+                used_size += items[i].sizes[greedy.levels[i] - 1];
+                used_energy += items[i].energies[greedy.levels[i] - 1];
+            }
+        }
+        ASSERT_LE(used_size, data_budget + eps) << "seed " << seed;
+        ASSERT_LE(used_energy, energy_budget + eps) << "seed " << seed;
+        EXPECT_LE(greedy.total_utility, exact.total_utility + eps) << "seed " << seed;
+    }
+}
+
+// 6. The oracle itself sanity-checks on a hand-solvable instance.
+TEST(mckp_oracle_suite, oracle_solves_known_instance) {
+    // Two items; budget 10. Best is item0@L2 (size 6, u 5) + item1@L1
+    // (size 4, u 3) = 8; greedy by gradient would grab item1@L2 first.
+    std::vector<mckp_item> items(2);
+    items[0].sizes = {3, 6};
+    items[0].utilities = {2, 5};
+    items[1].sizes = {4, 8};
+    items[1].utilities = {3, 6};
+    const auto exact = mckp_oracle(items, 10.0);
+    EXPECT_DOUBLE_EQ(exact.total_utility, 8.0);
+    EXPECT_EQ(exact.levels, (std::vector<richnote::core::level_t>{2, 1}));
+    EXPECT_DOUBLE_EQ(exact.total_size, 10.0);
+}
+
+} // namespace

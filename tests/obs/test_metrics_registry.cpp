@@ -1,0 +1,129 @@
+// metrics_registry unit tests: counter/gauge semantics, fixed-bucket
+// histogram edges, the one-name-one-layout contract and deterministic
+// JSON/CSV export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/profile.hpp"
+
+namespace {
+
+using richnote::obs::histogram;
+using richnote::obs::metrics_registry;
+
+TEST(metrics_registry_suite, counters_accumulate_and_default_to_zero) {
+    metrics_registry registry;
+    EXPECT_EQ(registry.counter("richnote.delivery.delivered_total"), 0u);
+    registry.count("richnote.delivery.delivered_total");
+    registry.count("richnote.delivery.delivered_total", 41);
+    EXPECT_EQ(registry.counter("richnote.delivery.delivered_total"), 42u);
+    EXPECT_EQ(registry.counter_count(), 1u);
+}
+
+TEST(metrics_registry_suite, counters_hold_past_32_bits) {
+    metrics_registry registry;
+    registry.count("richnote.faults.retries_total", std::uint64_t{1} << 40);
+    registry.count("richnote.faults.retries_total", std::uint64_t{1} << 40);
+    EXPECT_EQ(registry.counter("richnote.faults.retries_total"), std::uint64_t{1} << 41);
+}
+
+TEST(metrics_registry_suite, gauges_last_write_wins) {
+    metrics_registry registry;
+    EXPECT_EQ(registry.gauge("richnote.run.delivery_ratio"), 0.0);
+    registry.gauge_set("richnote.run.delivery_ratio", 0.25);
+    registry.gauge_set("richnote.run.delivery_ratio", 0.75);
+    EXPECT_EQ(registry.gauge("richnote.run.delivery_ratio"), 0.75);
+}
+
+TEST(metrics_registry_suite, histogram_buckets_are_inclusive_upper_bounds) {
+    histogram h({1.0, 10.0, 100.0});
+    h.observe(0.5);   // <= 1
+    h.observe(1.0);   // <= 1 (inclusive edge)
+    h.observe(1.5);   // <= 10
+    h.observe(100.0); // <= 100 (inclusive edge)
+    h.observe(101.0); // overflow
+    EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{2, 1, 1, 1}));
+    EXPECT_EQ(h.total_count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 100.0 + 101.0);
+    EXPECT_DOUBLE_EQ(h.mean(), h.sum() / 5.0);
+}
+
+TEST(metrics_registry_suite, histogram_layout_is_part_of_the_name_contract) {
+    metrics_registry registry;
+    registry.make_histogram("richnote.sched.plan_latency_us", {1, 10, 100});
+    registry.observe("richnote.sched.plan_latency_us", 5.0);
+    // Re-registering with the SAME bounds fetches the existing histogram...
+    registry.make_histogram("richnote.sched.plan_latency_us", {1, 10, 100});
+    EXPECT_EQ(registry.get_histogram("richnote.sched.plan_latency_us").total_count(), 1u);
+    // ...but a different layout under the same name is a bug.
+    EXPECT_THROW(registry.make_histogram("richnote.sched.plan_latency_us", {1, 2}),
+                 std::exception);
+    // Observing into a histogram nobody registered is a bug too.
+    EXPECT_THROW(registry.observe("richnote.sched.unknown_us", 1.0), std::exception);
+    EXPECT_THROW(registry.get_histogram("nope"), std::exception);
+    EXPECT_THROW(histogram({3.0, 2.0, 1.0}), std::exception); // bounds must ascend
+}
+
+TEST(metrics_registry_suite, json_export_is_sorted_and_deterministic) {
+    // Insert in reverse-alphabetical order; export must still sort by name,
+    // so two registries with equal contents emit equal bytes.
+    metrics_registry a;
+    a.count("richnote.z_total", 2);
+    a.count("richnote.a_total", 1);
+    a.gauge_set("richnote.ratio", 0.5);
+    a.make_histogram("richnote.lat_us", {1.0, 2.0});
+    a.observe("richnote.lat_us", 1.5);
+
+    metrics_registry b;
+    b.make_histogram("richnote.lat_us", {1.0, 2.0});
+    b.observe("richnote.lat_us", 1.5);
+    b.gauge_set("richnote.ratio", 0.5);
+    b.count("richnote.a_total", 1);
+    b.count("richnote.z_total", 2);
+
+    std::ostringstream ja;
+    std::ostringstream jb;
+    a.write_json(ja);
+    b.write_json(jb);
+    EXPECT_EQ(ja.str(), jb.str());
+    EXPECT_LT(ja.str().find("richnote.a_total"), ja.str().find("richnote.z_total"));
+
+    std::ostringstream ca;
+    std::ostringstream cb;
+    a.write_csv(ca);
+    b.write_csv(cb);
+    EXPECT_EQ(ca.str(), cb.str());
+    EXPECT_NE(ca.str().find("counter,richnote.a_total,value,1"), std::string::npos);
+    EXPECT_NE(ca.str().find("histogram,richnote.lat_us,le_1,0"), std::string::npos);
+    EXPECT_NE(ca.str().find("histogram,richnote.lat_us,le_inf,0"), std::string::npos);
+}
+
+TEST(metrics_registry_suite, empty_registry_exports_valid_skeletons) {
+    metrics_registry registry;
+    std::ostringstream json;
+    registry.write_json(json);
+    EXPECT_NE(json.str().find("\"counters\": {}"), std::string::npos);
+    EXPECT_NE(json.str().find("\"gauges\": {}"), std::string::npos);
+    EXPECT_NE(json.str().find("\"histograms\": {}"), std::string::npos);
+    std::ostringstream csv;
+    registry.write_csv(csv);
+    EXPECT_EQ(csv.str(), "kind,name,field,value\n");
+}
+
+TEST(metrics_registry_suite, profile_export_uses_canonical_names) {
+    richnote::obs::profile_reset();
+    metrics_registry registry;
+    richnote::obs::profile_export(registry);
+    if (richnote::obs::profile_enabled()) {
+        // With RICHNOTE_TRACE on but no scopes entered since reset, all
+        // slots are empty and nothing is exported.
+        EXPECT_EQ(registry.counter("richnote.profile.mckp_solve.calls_total"), 0u);
+    } else {
+        EXPECT_EQ(registry.counter_count(), 0u);
+    }
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+// run_manifest unit tests: schema tag, insertion-ordered config echo,
+// build-identity stamping and file output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/build_info.hpp"
+#include "obs/run_manifest.hpp"
+
+namespace {
+
+using richnote::obs::run_manifest;
+
+TEST(run_manifest_suite, json_carries_schema_tool_seed_and_build) {
+    run_manifest manifest("fig3_performance");
+    manifest.set_seed(42);
+    manifest.set_build("v1.2.3-4-gabc", "Release", "GNU 13.2.0");
+    manifest.add_config("users", std::uint64_t{200});
+    manifest.add_config("budget_mb", 2.5);
+    manifest.add_config("csv", "out.csv");
+    manifest.add_timing("wall_sec", 1.5);
+    manifest.add_timing("rows_written", 21.0);
+
+    std::ostringstream out;
+    manifest.write_json(out);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"schema\": \"richnote-manifest-v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"tool\": \"fig3_performance\""), std::string::npos);
+    EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+    EXPECT_NE(json.find("\"git_describe\": \"v1.2.3-4-gabc\""), std::string::npos);
+    EXPECT_NE(json.find("\"build_type\": \"Release\""), std::string::npos);
+    EXPECT_NE(json.find("\"compiler\": \"GNU 13.2.0\""), std::string::npos);
+    EXPECT_NE(json.find("\"users\": \"200\""), std::string::npos);
+    EXPECT_NE(json.find("\"budget_mb\": \"2.5\""), std::string::npos);
+    EXPECT_NE(json.find("\"csv\": \"out.csv\""), std::string::npos);
+    EXPECT_NE(json.find("\"wall_sec\": 1.5"), std::string::npos);
+}
+
+TEST(run_manifest_suite, config_is_echoed_in_insertion_order) {
+    run_manifest manifest("t");
+    manifest.add_config("zeta", std::uint64_t{1});
+    manifest.add_config("alpha", std::uint64_t{2});
+    std::ostringstream out;
+    manifest.write_json(out);
+    // The manifest records what the run was told, in the order it was told —
+    // no re-sorting (unlike the metrics registry).
+    EXPECT_LT(out.str().find("zeta"), out.str().find("alpha"));
+    ASSERT_EQ(manifest.config().size(), 2u);
+    EXPECT_EQ(manifest.config()[0].first, "zeta");
+}
+
+TEST(run_manifest_suite, default_build_identity_comes_from_build_info) {
+    run_manifest manifest("t");
+    std::ostringstream out;
+    manifest.write_json(out);
+    EXPECT_NE(out.str().find(richnote::obs::build_info::git_describe),
+              std::string::npos);
+    EXPECT_NE(out.str().find(richnote::obs::build_info::compiler), std::string::npos);
+}
+
+TEST(run_manifest_suite, empty_sections_are_valid_json_objects) {
+    run_manifest manifest("t");
+    std::ostringstream out;
+    manifest.write_json(out);
+    EXPECT_NE(out.str().find("\"config\": {}"), std::string::npos);
+    EXPECT_NE(out.str().find("\"timings\": {}"), std::string::npos);
+}
+
+TEST(run_manifest_suite, write_file_round_trips_and_rejects_bad_paths) {
+    run_manifest manifest("t");
+    manifest.set_seed(7);
+    const std::string path = ::testing::TempDir() + "richnote_manifest_test.json";
+    manifest.write_file(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream loaded;
+    loaded << in.rdbuf();
+    std::ostringstream direct;
+    manifest.write_json(direct);
+    EXPECT_EQ(loaded.str(), direct.str());
+    std::remove(path.c_str());
+
+    EXPECT_THROW(manifest.write_file("/nonexistent-dir/nope/manifest.json"),
+                 std::exception);
+}
+
+} // namespace

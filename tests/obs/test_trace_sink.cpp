@@ -1,0 +1,103 @@
+// trace_sink unit tests: event construction, field formatting, per-user
+// bucketing and the deterministic (round, user, seq) merge order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "obs/trace_sink.hpp"
+
+namespace {
+
+using richnote::obs::trace_sink;
+
+TEST(trace_sink_suite, event_carries_common_fields_and_typed_values) {
+    trace_sink sink(2);
+    sink.event(1, 42, "decision")
+        .field("item", std::uint64_t{7})
+        .field("level", 3)
+        .field("utility", 0.5)
+        .field("metered", true)
+        .field("network", "wifi");
+    ASSERT_EQ(sink.event_count(), 1u);
+    const auto& events = sink.events_of(1);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].round, 42u);
+    EXPECT_EQ(events[0].seq, 0u);
+    EXPECT_EQ(events[0].json,
+              R"({"type":"decision","user":1,"round":42,"item":7,"level":3,)"
+              R"("utility":0.5,"metered":true,"network":"wifi"})");
+}
+
+TEST(trace_sink_suite, event_without_fields_is_stored_too) {
+    trace_sink sink(1);
+    sink.event(0, 5, "crash_restart");
+    ASSERT_EQ(sink.events_of(0).size(), 1u);
+    EXPECT_EQ(sink.events_of(0)[0].json,
+              R"({"type":"crash_restart","user":0,"round":5})");
+}
+
+TEST(trace_sink_suite, doubles_round_trip_and_strings_are_escaped) {
+    trace_sink sink(1);
+    const double v = 0.1 + 0.2; // not exactly 0.3
+    sink.event(0, 0, "x").field("v", v).field("s", "a\"b\\c\n");
+    const std::string& json = sink.events_of(0)[0].json;
+    // %.17g round-trips the exact double.
+    const auto pos = json.find("\"v\":");
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_EQ(std::strtod(json.c_str() + pos + 4, nullptr), v);
+    EXPECT_NE(json.find(R"("s":"a\"b\\c\n")"), std::string::npos) << json;
+}
+
+TEST(trace_sink_suite, merge_orders_by_round_then_user_then_sequence) {
+    trace_sink sink(3);
+    // Emit out of round order and across users, as sharded workers would.
+    sink.event(2, 1, "b");
+    sink.event(0, 0, "a");
+    sink.event(2, 0, "c");
+    sink.event(0, 0, "d"); // same (round, user) — sequence breaks the tie
+    sink.event(1, 1, "e");
+
+    std::ostringstream out;
+    sink.write_ndjson(out);
+    EXPECT_EQ(out.str(),
+              R"({"type":"a","user":0,"round":0})"
+              "\n"
+              R"({"type":"d","user":0,"round":0})"
+              "\n"
+              R"({"type":"c","user":2,"round":0})"
+              "\n"
+              R"({"type":"e","user":1,"round":1})"
+              "\n"
+              R"({"type":"b","user":2,"round":1})"
+              "\n");
+}
+
+TEST(trace_sink_suite, merged_stream_is_independent_of_emission_interleaving) {
+    // Two interleavings of the same per-user event sets — as different
+    // worker-thread schedules would produce — must serialize identically.
+    trace_sink a(2);
+    a.event(0, 0, "x").field("i", 1);
+    a.event(1, 0, "y").field("i", 2);
+    a.event(0, 1, "z").field("i", 3);
+
+    trace_sink b(2);
+    b.event(1, 0, "y").field("i", 2);
+    b.event(0, 0, "x").field("i", 1);
+    b.event(0, 1, "z").field("i", 3);
+
+    std::ostringstream sa;
+    std::ostringstream sb;
+    a.write_ndjson(sa);
+    b.write_ndjson(sb);
+    EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(trace_sink_suite, out_of_range_user_throws) {
+    trace_sink sink(2);
+    EXPECT_THROW(sink.event(2, 0, "x"), std::exception);
+    EXPECT_THROW(sink.events_of(5), std::exception);
+}
+
+} // namespace

@@ -16,13 +16,20 @@
 //       The Fig. 3/4 budget sweep across RichNote/FIFO/UTIL in one table.
 //
 // All arguments are key=value; `richnote help` prints this text.
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 #include "ml/metrics.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/profile.hpp"
+#include "obs/run_manifest.hpp"
+#include "obs/trace_sink.hpp"
 #include "trace/generator.hpp"
 #include "trace/stats.hpp"
 #include "trace/trace_io.hpp"
@@ -41,8 +48,9 @@ subcommands:
   simulate users=200 seed=1 scheduler=richnote|fifo|util|direct
            budget_mb=10 [fixed_level=3] [wifi=false] [model=model.forest]
            [fault_intensity=0..1] [fault_seed=7] [retry_max=8]
-           [retry_backoff_sec=0]
-  sweep    users=200 seed=1 budgets=1,5,20,100
+           [retry_backoff_sec=0] [threads=1]
+           [trace=run.ndjson] [metrics=metrics.json] [manifest=run.json]
+  sweep    users=200 seed=1 budgets=1,5,20,100 [manifest=run.json]
   inspect  trace=trace.csv users=200 [top=10]
   help
 )";
@@ -109,7 +117,8 @@ core::scheduler_kind parse_kind(const std::string& name) {
 int cmd_simulate(const config& cfg) {
     cfg.restrict_to({"users", "seed", "scheduler", "budget_mb", "fixed_level", "wifi",
                      "model", "trees", "fault_intensity", "fault_seed", "retry_max",
-                     "retry_backoff_sec"});
+                     "retry_backoff_sec", "threads", "trace", "metrics", "manifest"});
+    const auto started = std::chrono::steady_clock::now();
     core::experiment_setup::options opts;
     opts.workload = workload_params_from(cfg);
     opts.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
@@ -141,12 +150,60 @@ int cmd_simulate(const config& cfg) {
         params.retry.backoff_base_sec = 0.0;
     }
     params.retry.max_attempts =
-        static_cast<std::uint32_t>(cfg.get_int("retry_max",
+        static_cast<std::uint64_t>(cfg.get_int("retry_max",
                                                static_cast<int>(params.retry.max_attempts)));
     params.retry.backoff_base_sec =
         cfg.get_double("retry_backoff_sec", params.retry.backoff_base_sec);
+    params.worker_threads = static_cast<std::size_t>(cfg.get_int("threads", 1));
+
+    // Optional observability outputs: an NDJSON decision trace, a metrics
+    // snapshot, and a run manifest (DESIGN.md §9).
+    std::unique_ptr<obs::trace_sink> sink;
+    if (cfg.has("trace")) {
+        sink = std::make_unique<obs::trace_sink>(setup.world().user_count());
+        params.trace = sink.get();
+    }
+    obs::metrics_registry registry;
+    if (cfg.has("metrics")) params.registry = &registry;
 
     const auto r = core::run_experiment(setup, params);
+
+    if (sink) {
+        const std::string path = cfg.get_string("trace", "run.ndjson");
+        std::ofstream out(path);
+        RICHNOTE_REQUIRE(out.good(), "cannot open trace output: " + path);
+        sink->write_ndjson(out);
+        std::cerr << "[trace] wrote " << sink->event_count() << " events to " << path
+                  << '\n';
+    }
+    if (cfg.has("metrics")) {
+        const std::string path = cfg.get_string("metrics", "metrics.json");
+        std::ofstream out(path);
+        RICHNOTE_REQUIRE(out.good(), "cannot open metrics output: " + path);
+        // Hot-path timing slots ride along when the build has RICHNOTE_TRACE
+        // on; in default builds profile_export is a no-op.
+        obs::profile_export(registry);
+        registry.write_json(out);
+        std::cerr << "[metrics] wrote " << path << '\n';
+    }
+    if (cfg.has("manifest")) {
+        obs::run_manifest manifest("richnote_cli.simulate");
+        manifest.set_seed(opts.seed);
+        manifest.add_config("users", static_cast<std::uint64_t>(opts.workload.user_count));
+        manifest.add_config("scheduler", cfg.get_string("scheduler", "richnote"));
+        manifest.add_config("budget_mb", params.weekly_budget_mb);
+        manifest.add_config("trees", static_cast<std::uint64_t>(opts.forest.tree_count));
+        manifest.add_config("threads", static_cast<std::uint64_t>(params.worker_threads));
+        manifest.add_config("fault_intensity", fault_intensity);
+        manifest.add_timing("wall_sec",
+                            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                          started)
+                                .count());
+        manifest.add_timing("rounds_run", static_cast<double>(r.rounds_run));
+        const std::string path = cfg.get_string("manifest", "run.json");
+        manifest.write_file(path);
+        std::cerr << "[manifest] wrote " << path << '\n';
+    }
 
     table t({"metric", "value"});
     t.add_row({"scheduler", r.scheduler_name});
@@ -218,7 +275,8 @@ int cmd_inspect(const config& cfg) {
 }
 
 int cmd_sweep(const config& cfg) {
-    cfg.restrict_to({"users", "seed", "budgets", "trees", "csv"});
+    cfg.restrict_to({"users", "seed", "budgets", "trees", "csv", "manifest"});
+    const auto started = std::chrono::steady_clock::now();
     core::experiment_setup::options opts;
     opts.workload = workload_params_from(cfg);
     opts.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
@@ -257,6 +315,26 @@ int cmd_sweep(const config& cfg) {
         }
     }
     std::cout << t;
+
+    if (cfg.has("manifest")) {
+        obs::run_manifest manifest("richnote_cli.sweep");
+        manifest.set_seed(opts.seed);
+        manifest.add_config("users", static_cast<std::uint64_t>(opts.workload.user_count));
+        manifest.add_config("trees", static_cast<std::uint64_t>(opts.forest.tree_count));
+        std::string list;
+        for (double b : budgets) {
+            if (!list.empty()) list += ',';
+            list += std::to_string(b);
+        }
+        manifest.add_config("budgets_mb", list);
+        manifest.add_timing("wall_sec",
+                            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                          started)
+                                .count());
+        const std::string path = cfg.get_string("manifest", "run.json");
+        manifest.write_file(path);
+        std::cerr << "[manifest] wrote " << path << '\n';
+    }
     return 0;
 }
 
