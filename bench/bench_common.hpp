@@ -20,6 +20,7 @@
 #include "common/csv.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "obs/expo_server.hpp"
 #include "obs/run_manifest.hpp"
 
 namespace richnote::bench {
@@ -37,6 +38,9 @@ struct bench_options {
     std::size_t worker_threads = 1;
     /// Run-manifest output path (manifest= key); empty = no manifest.
     std::optional<std::string> manifest_path;
+    /// Live exposition server (expo_port= key; 0 = ephemeral). Shared so
+    /// bench_options stays copyable; every run_cell publishes into it.
+    std::shared_ptr<obs::expo_server> expo;
     /// Wall-clock start, so write_run_manifest records the harness runtime.
     std::chrono::steady_clock::time_point started = std::chrono::steady_clock::now();
 };
@@ -46,7 +50,7 @@ inline bench_options parse_options(int argc, char** argv,
                                    std::vector<std::string> extra_keys = {}) {
     const config cfg = config::from_args(argc, argv);
     std::vector<std::string> allowed = {"users", "seed", "trees", "csv", "budgets",
-                                        "threads", "manifest"};
+                                        "threads", "manifest", "expo_port"};
     allowed.insert(allowed.end(), extra_keys.begin(), extra_keys.end());
     cfg.restrict_to(allowed);
 
@@ -57,6 +61,12 @@ inline bench_options parse_options(int argc, char** argv,
     opts.worker_threads = static_cast<std::size_t>(cfg.get_int("threads", 1));
     if (cfg.has("csv")) opts.csv_path = cfg.get_string("csv", "");
     if (cfg.has("manifest")) opts.manifest_path = cfg.get_string("manifest", "");
+    if (cfg.has("expo_port")) {
+        opts.expo = std::make_shared<obs::expo_server>(
+            static_cast<std::uint16_t>(cfg.get_int("expo_port", 0)));
+        std::cerr << "[expo] serving http://127.0.0.1:" << opts.expo->port()
+                  << "/metrics during the run\n";
+    }
     if (cfg.has("budgets")) {
         // budgets=1,5,20 style override.
         opts.budgets_mb.clear();
@@ -97,6 +107,7 @@ inline core::experiment_result run_cell(const core::experiment_setup& setup,
     params.wifi_enabled = wifi;
     params.seed = opts.run_seed;
     params.worker_threads = opts.worker_threads;
+    params.progress = opts.expo.get();
     return core::run_experiment(setup, params);
 }
 

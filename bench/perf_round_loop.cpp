@@ -19,6 +19,12 @@
 // Usage: perf_round_loop [users=2000] [rounds=500] [seed=1] [trees=20]
 //                        [threads=1] [budget=20] [queue=64] [plan_iters=2000]
 //                        [baseline_rounds_per_sec=0] [json=PATH]
+//                        [profile=off] [profile_sample_every=16]
+//
+// profile=on enables the runtime sampling profiler for the timed phases, so
+// `perf_round_loop profile=off` vs `profile=on` measures the profiler's own
+// overhead (the numbers quoted in DESIGN.md §10). The JSON reports which
+// mode ran under params.profile.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -118,7 +124,7 @@ int main(int argc, char** argv) try {
     const config cfg = config::from_args(argc, argv);
     cfg.restrict_to({"users", "rounds", "seed", "trees", "threads", "budget", "queue",
                      "plan_iters", "baseline_rounds_per_sec", "json", "manifest",
-                     "metrics"});
+                     "metrics", "profile", "profile_sample_every"});
     const auto users = static_cast<std::size_t>(cfg.get_int("users", 2000));
     const auto rounds = static_cast<std::uint64_t>(cfg.get_int("rounds", 500));
     const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
@@ -128,6 +134,17 @@ int main(int argc, char** argv) try {
     const auto queue_depth = static_cast<std::size_t>(cfg.get_int("queue", 64));
     const auto plan_iters = static_cast<std::size_t>(cfg.get_int("plan_iters", 2000));
     const double baseline = cfg.get_double("baseline_rounds_per_sec", 0.0);
+    const bool profiling = cfg.get_bool("profile", false);
+    if (profiling) {
+        obs::profile_config pc;
+        pc.sample_every =
+            static_cast<std::uint32_t>(cfg.get_int("profile_sample_every", 16));
+        obs::profile_configure(pc);
+        obs::profile_reset();
+        obs::profile_set_enabled(true);
+        std::cerr << "[perf] sampling profiler ON (1 in " << pc.sample_every
+                  << " scope entries timed)\n";
+    }
 
     // Phase 1: the end-to-end experiment round loop. Setup (workload
     // generation + forest training + U_c precomputation) is NOT timed; the
@@ -210,7 +227,7 @@ int main(int argc, char** argv) try {
          << "  \"params\": {\"users\": " << users << ", \"rounds\": " << rounds
          << ", \"seed\": " << seed << ", \"trees\": " << trees
          << ", \"worker_threads\": " << threads << ", \"weekly_budget_mb\": " << budget_mb
-         << "},\n"
+         << ", \"profile\": " << (profiling ? "true" : "false") << "},\n"
          << "  \"round_loop\": {\"rounds_run\": " << result.rounds_run
          << ", \"wall_sec\": " << run_wall << ", \"rounds_per_sec\": " << rounds_per_sec
          << ", \"user_rounds_per_sec\": " << user_rounds_per_sec
@@ -236,9 +253,11 @@ int main(int argc, char** argv) try {
         std::cout << json.str();
     }
 
+    if (profiling) obs::profile_set_enabled(false);
+
     if (cfg.has("metrics")) {
         // Export the run's aggregates plus the kernel's plan-latency
-        // distribution (and, in RICHNOTE_TRACE builds, the profiling slots)
+        // distribution (and, when profile=on, the sampled hot-path totals)
         // through the obs registry under the canonical names.
         obs::metrics_registry registry;
         auto& latency_hist = registry.make_histogram(

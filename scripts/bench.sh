@@ -2,12 +2,18 @@
 # Perf gate: builds the perf harnesses in Release (-O3 -DNDEBUG, LTO) and
 # records the tracked trajectory BENCH_perf.json at the repo root.
 #
-# Usage: scripts/bench.sh [--quick]
+# Usage: scripts/bench.sh [--quick | --gate [REF]]
 #   --quick    small fixed sizes (CI smoke via scripts/check.sh --bench);
 #              writes to $BENCH_OUT (default BENCH_perf.json) like a full run.
+#   --gate     regression gate against a tracked reference (default
+#              BENCH_perf.json). Re-runs perf_round_loop at the reference's
+#              own users/rounds so the comparison is apples-to-apples, then
+#              exits non-zero if the best fresh run is >10% slower in
+#              rounds/sec or allocates more per round than the reference.
+#              Does not write BENCH_perf.json.
 #
 # Environment overrides: USERS, ROUNDS, REPEAT, BASELINE (the pre-optimization
-# rounds/sec this machine measured), BENCH_OUT.
+# rounds/sec this machine measured), BENCH_OUT, GATE_MAX_REGRESSION_PCT.
 #
 # The round-loop harness is run REPEAT times and the best run is recorded:
 # rounds/sec on a contended machine is noise-floored, and the fastest run is
@@ -29,6 +35,74 @@ if [ "${1:-}" = "--quick" ]; then
   ROUNDS=100
   REPEAT=2
   INFER_ROWS=5000
+fi
+
+if [ "${1:-}" = "--gate" ]; then
+  REF=${2:-BENCH_perf.json}
+  [ -f "$REF" ] || { echo "[bench] gate: reference $REF not found" >&2; exit 2; }
+  # The reference records the sizes it was measured at; reuse them so the
+  # gate never compares a 200-user smoke run against a 2000-user baseline.
+  read -r USERS ROUNDS REF_RPS REF_ALLOCS <<EOF
+$(python3 -c "
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rl = doc['round_loop']
+print(rl['params']['users'], rl['params']['rounds'],
+      rl['round_loop']['rounds_per_sec'],
+      rl['steady_state']['allocs_per_round'])
+" "$REF")
+EOF
+  MAX_PCT=${GATE_MAX_REGRESSION_PCT:-10}
+  BUILD_DIR=build-perf
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DRICHNOTE_LTO=ON >/dev/null
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target perf_round_loop
+  TMP_DIR="$BUILD_DIR/bench-runs"
+  mkdir -p "$TMP_DIR"
+  best_json=""
+  best_rps=0
+  for i in $(seq 1 "$REPEAT"); do
+    run_json="$TMP_DIR/gate_$i.json"
+    "$BUILD_DIR/bench/perf_round_loop" users="$USERS" rounds="$ROUNDS" \
+      json="$run_json" >/dev/null
+    rps=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['round_loop']['rounds_per_sec'])" "$run_json")
+    echo "[bench] gate run $i/$REPEAT: $rps rounds/sec" >&2
+    better=$(python3 -c "import sys; print(1 if float(sys.argv[1]) > float(sys.argv[2]) else 0)" "$rps" "$best_rps")
+    if [ "$better" = "1" ]; then
+      best_rps=$rps
+      best_json=$run_json
+    fi
+  done
+  python3 - "$best_json" "$REF_RPS" "$REF_ALLOCS" "$MAX_PCT" <<'EOF'
+import json, sys
+
+run = json.load(open(sys.argv[1]))
+ref_rps = float(sys.argv[2])
+ref_allocs = float(sys.argv[3])
+max_pct = float(sys.argv[4])
+
+rps = run["round_loop"]["rounds_per_sec"]
+allocs = run["steady_state"]["allocs_per_round"]
+floor = ref_rps * (1.0 - max_pct / 100.0)
+delta_pct = (rps - ref_rps) / ref_rps * 100.0
+
+failures = []
+if rps < floor:
+    failures.append(
+        f"rounds/sec regressed: {rps:.2f} < {floor:.2f} "
+        f"(reference {ref_rps:.2f}, {delta_pct:+.1f}%, limit -{max_pct:g}%)")
+if allocs > ref_allocs:
+    failures.append(
+        f"allocs/round grew: {allocs:g} > reference {ref_allocs:g}")
+
+print(f"[bench] gate: {rps:.2f} rounds/sec vs reference {ref_rps:.2f} "
+      f"({delta_pct:+.1f}%), allocs/round {allocs:g} (reference {ref_allocs:g})")
+if failures:
+    for f in failures:
+        print(f"[bench] gate FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+print("[bench] gate PASS")
+EOF
+  exit 0
 fi
 
 BUILD_DIR=build-perf

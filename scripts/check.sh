@@ -12,13 +12,17 @@
 #                (ThreadSanitizer). Runs the suites that exercise the
 #                worker-thread paths: parallel forest fitting (test_ml) and
 #                the sharded round loop + trace merge (test_integration).
-#   --bench      perf smoke: runs scripts/bench.sh --quick (small fixed
-#                sizes) and fails unless the emitted BENCH JSON parses and
-#                carries the expected sections.
+#   --bench      perf smoke + regression gate: runs scripts/bench.sh --quick
+#                (small fixed sizes), fails unless the emitted BENCH JSON
+#                parses and carries the expected sections, then runs
+#                scripts/bench.sh --gate against the tracked BENCH_perf.json
+#                (>10% rounds/sec regression or any alloc/round growth fails).
 #   --trace      observability smoke: runs the CLI twice at the same seed
 #                with trace/metrics/manifest outputs enabled, fails unless
-#                the two NDJSON streams are byte-identical and every line
-#                passes the event-schema validation.
+#                the two NDJSON streams are byte-identical, every line
+#                passes the event-schema validation, and manifest_diff
+#                classifies the manifest pair as identical or
+#                timing-jitter-only (exit 0 or 3).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -38,6 +42,18 @@ if [ "${1:-}" = "--trace" ]; then
     || { echo "[check] FAIL: same-seed traces differ" >&2; exit 1; }
   cmp "$OUT_DIR/metrics_a.json" "$OUT_DIR/metrics_b.json" \
     || { echo "[check] FAIL: same-seed metrics differ" >&2; exit 1; }
+  # The exit-code contract itself is pinned by its own test suite first.
+  python3 scripts/test_manifest_diff.py
+  # Same seed, same build: manifest_diff must see at most timing jitter
+  # (0 = fully identical, 3 = timings-only). Anything else is a real diff.
+  rc=0
+  python3 scripts/manifest_diff.py \
+    "$OUT_DIR/manifest_a.json" "$OUT_DIR/manifest_b.json" || rc=$?
+  case "$rc" in
+    0|3) ;;
+    *) echo "[check] FAIL: same-seed manifests differ beyond timings (exit $rc)" >&2
+       exit 1 ;;
+  esac
   python3 - "$OUT_DIR/run_a.ndjson" <<'EOF'
 import json, sys
 
@@ -48,7 +64,7 @@ REQUIRED = {
     "decision": {"item", "level", "levels", "size_bytes", "term_queue",
                  "term_energy", "term_value", "adjusted", "utility"},
     "deliver": {"item", "level", "bytes", "resumed_bytes", "rho_joules",
-                "utility"},
+                "utility", "delay_sec"},
     "round": {"planned", "sent_items", "sent_bytes", "data_budget", "network"},
     "fault": {"blackout", "brownout"},
     "duplicate": {"item"},
@@ -96,6 +112,7 @@ for section in ("round_loop", "inference"):
         sys.exit(f"BENCH JSON section {section} has wrong schema tag")
 print(f"[check] {sys.argv[1]} is well-formed")
 EOF
+  scripts/bench.sh --gate
   exit 0
 fi
 

@@ -6,9 +6,18 @@ recorded configuration, seed and build identity, and reporting timing
 deltas separately (timings are expected to vary run-to-run; config is
 not).
 
-Usage: scripts/manifest_diff.py A.json B.json
-Exit status: 0 when config/seed/build/tool all match (timings may still
-differ), 1 when any identity field differs, 2 on usage/parse errors.
+Usage: scripts/manifest_diff.py [-h|--help] A.json B.json
+
+Exit status (scriptable: each outcome is distinct):
+  0  fully identical — identity (tool/seed/build/config) AND timings match
+  3  timing jitter only — identity matches, wall-clock timings differ;
+     this is the expected outcome for two honest same-seed runs
+  1  identity diff — tool, seed, build or config differs; the runs are
+     not comparable
+  2  usage or parse errors (missing file, bad JSON, wrong schema tag)
+
+A reproducibility gate should therefore accept 0 or 3 and reject the
+rest; `scripts/check.sh --trace` does exactly that.
 """
 
 import json
@@ -20,9 +29,12 @@ def load(path):
         with open(path) as stream:
             doc = json.load(stream)
     except (OSError, json.JSONDecodeError) as err:
-        sys.exit(f"error: cannot read {path}: {err}")
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
     if doc.get("schema") != "richnote-manifest-v1":
-        sys.exit(f"error: {path} is not a richnote-manifest-v1 document")
+        print(f"error: {path} is not a richnote-manifest-v1 document",
+              file=sys.stderr)
+        sys.exit(2)
     return doc
 
 
@@ -38,6 +50,9 @@ def diff_section(name, left, right, lines):
 
 
 def main(argv):
+    if any(arg in ("-h", "--help") for arg in argv[1:]):
+        print(__doc__.strip())
+        return 0
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
@@ -75,7 +90,9 @@ def main(argv):
     if timing_lines:
         print("timing deltas (informational):")
         print("\n".join(timing_lines))
-    return 1 if differs else 0
+    if differs:
+        return 1
+    return 3 if timing_lines else 0
 
 
 if __name__ == "__main__":

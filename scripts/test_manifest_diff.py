@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Tests for scripts/manifest_diff.py's exit-code contract.
+
+Pytest-style test functions over synthesized manifests, pinned to the
+documented exit codes: 0 fully identical, 3 timing-jitter-only, 1
+identity diff, 2 usage/parse errors. Runs under pytest, but also as a
+plain script (`python3 scripts/test_manifest_diff.py`) so the check.sh
+gate has no dependency beyond the stdlib.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+DIFF = os.path.join(os.path.dirname(os.path.abspath(__file__)), "manifest_diff.py")
+
+
+def manifest(seed=7, wall=1.25):
+    return {
+        "schema": "richnote-manifest-v1",
+        "tool": "richnote simulate",
+        "seed": seed,
+        "build": {"compiler": "gcc-12", "flags": "-O2"},
+        "config": {"users": "50", "budget_mb": "5"},
+        "timings": {"wall_sec": wall, "setup_sec": 0.25},
+    }
+
+
+def run_diff(a, b, as_paths=False):
+    """Write the two docs to temp files and return (exit_code, output)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = []
+        for name, doc in (("a.json", a), ("b.json", b)):
+            path = os.path.join(tmp, name)
+            if as_paths:
+                path = doc  # caller passed a literal path, e.g. a missing file
+            else:
+                with open(path, "w") as out:
+                    json.dump(doc, out)
+            paths.append(path)
+        proc = subprocess.run(
+            [sys.executable, DIFF, *paths], capture_output=True, text=True
+        )
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+def test_identical_manifests_exit_0():
+    code, out = run_diff(manifest(), manifest())
+    assert code == 0, out
+    assert "manifests match" in out
+    assert "timing deltas" not in out
+
+
+def test_timing_jitter_only_exits_3():
+    code, out = run_diff(manifest(wall=1.25), manifest(wall=1.31))
+    assert code == 3, out
+    assert "manifests match" in out
+    assert "timing deltas" in out
+    assert "wall_sec" in out
+
+
+def test_identity_diff_exits_1():
+    code, out = run_diff(manifest(seed=7), manifest(seed=8))
+    assert code == 1, out
+    assert "manifests DIFFER" in out
+
+    changed = manifest()
+    changed["config"]["budget_mb"] = "20"
+    code, out = run_diff(manifest(), changed)
+    assert code == 1, out
+    assert "config.budget_mb" in out
+
+
+def test_identity_diff_wins_over_timing_jitter():
+    changed = manifest(seed=8, wall=9.0)
+    code, out = run_diff(manifest(), changed)
+    assert code == 1, out
+
+
+def test_missing_file_and_bad_schema_exit_2():
+    code, _ = run_diff("/nonexistent/a.json", "/nonexistent/b.json", as_paths=True)
+    assert code == 2
+
+    bogus = manifest()
+    bogus["schema"] = "something-else"
+    code, out = run_diff(bogus, manifest())
+    assert code == 2, out
+
+
+def test_usage_error_exits_2_and_help_exits_0():
+    proc = subprocess.run(
+        [sys.executable, DIFF], capture_output=True, text=True
+    )
+    assert proc.returncode == 2
+    proc = subprocess.run(
+        [sys.executable, DIFF, "--help"], capture_output=True, text=True
+    )
+    assert proc.returncode == 0
+    assert "Exit status" in proc.stdout
+    assert "timing jitter only" in proc.stdout
+
+
+def main():
+    tests = [
+        (name, fn)
+        for name, fn in sorted(globals().items())
+        if name.startswith("test_") and callable(fn)
+    ]
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"[manifest-diff-test] PASS {name}")
+        except AssertionError as err:
+            failed += 1
+            print(f"[manifest-diff-test] FAIL {name}: {err}", file=sys.stderr)
+    if failed:
+        sys.exit(f"[manifest-diff-test] {failed}/{len(tests)} tests failed")
+    print(f"[manifest-diff-test] all {len(tests)} tests passed")
+
+
+if __name__ == "__main__":
+    main()

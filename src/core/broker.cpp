@@ -268,7 +268,8 @@ void broker::run_round(sim_time now) {
                 .field("bytes", moved)
                 .field("resumed_bytes", already)
                 .field("rho_joules", rho_share)
-                .field("utility", d.utility);
+                .field("utility", d.utility)
+                .field("delay_sec", when - d.note.created_at);
         }
         metrics_->on_delivery(d, when, rho_share, ctx.metered, moved);
         scheduler_->on_delivered(d.item_id, rho_share);

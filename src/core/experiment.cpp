@@ -1,11 +1,14 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/simulator.hpp"
 
@@ -248,6 +251,40 @@ experiment_result run_experiment(const experiment_setup& setup,
     // vector per user per round. Per-user (not per-worker) keeps them
     // data-race-free under any sharding.
     std::vector<std::vector<std::size_t>> due_buffer(world.user_count());
+
+    // Live-progress publication (expo server / tests). Runs in the
+    // single-threaded between-rounds section; wall-clock throughput feeds
+    // only the live view, never a deterministic output.
+    const auto replay_start = std::chrono::steady_clock::now();
+    auto publish_progress = [&, replay_start](std::uint64_t completed, bool done) {
+        richnote::obs::progress_snapshot snap;
+        snap.round = completed;
+        snap.total_rounds = total_rounds;
+        snap.users = world.user_count();
+        snap.wall_sec = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                      replay_start)
+                            .count();
+        snap.rounds_per_sec =
+            snap.wall_sec > 0.0 ? static_cast<double>(completed) / snap.wall_sec : 0.0;
+        for (const auto& b : brokers) {
+            snap.queue_items_total += static_cast<double>(b.sched().queue_size());
+            snap.queue_bytes_total += b.sched().queue_bytes();
+            snap.energy_credit_joules_total += b.sched().energy_credit_joules();
+        }
+        snap.arrived_total = static_cast<std::uint64_t>(metrics.total_arrived());
+        snap.delivered_total = static_cast<std::uint64_t>(metrics.total_delivered());
+        const auto f = metrics.fault_summary();
+        snap.faults_injected = f.faults_injected;
+        snap.transfer_retries = f.transfer_retries;
+        snap.dead_lettered = f.dead_lettered;
+        snap.duplicates_suppressed = f.duplicates_suppressed;
+        snap.crash_restarts = f.crash_restarts;
+        snap.done = done;
+        richnote::obs::metrics_registry live;
+        export_metrics(metrics, live);
+        params.progress->on_round(snap, live);
+    };
+
     richnote::sim::simulator sim;
     std::uint64_t rounds_run = 0;
     sim.schedule_periodic(0.0, params.round, [&](std::uint64_t tick) {
@@ -340,9 +377,15 @@ experiment_result run_experiment(const experiment_setup& setup,
             online_model->on_round_end();
         }
         ++rounds_run;
+        // Make this round's trace lines durable before anything else can
+        // observe (or kill) the run at this round boundary.
+        if (params.trace != nullptr && params.trace->streaming())
+            params.trace->flush_through(tick);
+        if (params.progress != nullptr) publish_progress(rounds_run, false);
         if (tick + 1 >= total_rounds) sim.stop();
     });
     sim.run();
+    if (params.progress != nullptr) publish_progress(rounds_run, true);
 
     // Aggregate.
     experiment_result r;

@@ -21,6 +21,10 @@
 #include "ml/random_forest.hpp"
 #include "trace/generator.hpp"
 
+namespace richnote::obs {
+class progress_listener;
+}
+
 namespace richnote::core {
 
 enum class scheduler_kind {
@@ -108,6 +112,12 @@ struct experiment_params {
     /// counters are exported under the canonical richnote.* names after the
     /// replay finishes. Not owned; nullptr = off.
     richnote::obs::metrics_registry* registry = nullptr;
+    /// Optional live-progress listener (obs): called after every broker
+    /// round with aggregate queue gauges, throughput and fault counters,
+    /// plus a registry of the run-so-far metrics — this is how the expo
+    /// server's /metrics and /progress stay fresh mid-run. Not owned;
+    /// nullptr = off (the round loop pays one branch).
+    richnote::obs::progress_listener* progress = nullptr;
 };
 
 struct experiment_result {

@@ -1,0 +1,190 @@
+#include "obs/expo_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json_util.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/prom_text.hpp"
+
+namespace richnote::obs {
+
+namespace {
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+    std::string out = "HTTP/1.1 ";
+    out += status;
+    out += "\r\nContent-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: " + std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+void close_quietly(int fd) noexcept {
+    if (fd >= 0) ::close(fd);
+}
+
+} // namespace
+
+expo_server::expo_server(std::uint16_t port) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    RICHNOTE_REQUIRE(listen_fd_ >= 0, "expo_server: socket() failed");
+    const int enable = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        const int err = errno;
+        close_quietly(listen_fd_);
+        RICHNOTE_REQUIRE(false, std::string("expo_server: cannot bind port ") +
+                                    std::to_string(port) + ": " + std::strerror(err));
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    if (::listen(listen_fd_, 16) != 0) {
+        close_quietly(listen_fd_);
+        RICHNOTE_REQUIRE(false, "expo_server: listen() failed");
+    }
+
+    progress_json_ = "{\"round\":0,\"done\":false}\n";
+    thread_ = std::thread([this] { serve_loop(); });
+}
+
+expo_server::~expo_server() { stop(); }
+
+void expo_server::stop() {
+    if (stopping_.exchange(true)) return; // already stopped (or stopping)
+    if (thread_.joinable()) thread_.join();
+    close_quietly(listen_fd_);
+    listen_fd_ = -1;
+}
+
+void expo_server::publish_metrics(const metrics_registry& registry) {
+    // Derive the p50/p95/p99 summary gauges on a copy so publishing never
+    // mutates the caller's registry.
+    metrics_registry snapshot = registry;
+    snapshot.export_quantile_gauges();
+    std::ostringstream text;
+    write_prometheus_text(snapshot, text);
+    std::lock_guard<std::mutex> lock(content_mutex_);
+    metrics_text_ = text.str();
+}
+
+void expo_server::publish_progress(const progress_snapshot& p) {
+    std::string body = "{";
+    auto field_u64 = [&body](const char* key, std::uint64_t v, bool first = false) {
+        if (!first) body += ',';
+        json_string(body, key);
+        body += ':';
+        json_number(body, v);
+    };
+    auto field_dbl = [&body](const char* key, double v) {
+        body += ',';
+        json_string(body, key);
+        body += ':';
+        json_number(body, v);
+    };
+    field_u64("round", p.round, true);
+    field_u64("total_rounds", p.total_rounds);
+    field_u64("users", static_cast<std::uint64_t>(p.users));
+    field_dbl("wall_sec", p.wall_sec);
+    field_dbl("rounds_per_sec", p.rounds_per_sec);
+    field_dbl("queue_items_total", p.queue_items_total);
+    field_dbl("queue_bytes_total", p.queue_bytes_total);
+    field_dbl("energy_credit_joules_total", p.energy_credit_joules_total);
+    field_u64("arrived_total", p.arrived_total);
+    field_u64("delivered_total", p.delivered_total);
+    field_u64("faults_injected", p.faults_injected);
+    field_u64("transfer_retries", p.transfer_retries);
+    field_u64("dead_lettered", p.dead_lettered);
+    field_u64("duplicates_suppressed", p.duplicates_suppressed);
+    field_u64("crash_restarts", p.crash_restarts);
+    body += ",\"done\":";
+    body += p.done ? "true" : "false";
+    body += "}\n";
+    std::lock_guard<std::mutex> lock(content_mutex_);
+    progress_json_ = std::move(body);
+}
+
+void expo_server::on_round(const progress_snapshot& p, const metrics_registry& live) {
+    publish_progress(p);
+    publish_metrics(live);
+}
+
+std::string expo_server::respond(const std::string& request_line) const {
+    // "GET <path> HTTP/1.x" — anything else is a 400/404.
+    std::istringstream parse(request_line);
+    std::string method;
+    std::string path;
+    parse >> method >> path;
+    if (method != "GET") {
+        return http_response("405 Method Not Allowed", "text/plain",
+                             "only GET is supported\n");
+    }
+    // Strip any query string; scrapers sometimes append one.
+    if (const auto q = path.find('?'); q != std::string::npos) path.resize(q);
+    if (path == "/metrics") {
+        std::lock_guard<std::mutex> lock(content_mutex_);
+        return http_response("200 OK", "text/plain; version=0.0.4", metrics_text_);
+    }
+    if (path == "/progress") {
+        std::lock_guard<std::mutex> lock(content_mutex_);
+        return http_response("200 OK", "application/json", progress_json_);
+    }
+    if (path == "/healthz") {
+        return http_response("200 OK", "application/json", "{\"status\":\"ok\"}\n");
+    }
+    return http_response("404 Not Found", "text/plain",
+                         "see /metrics, /progress, /healthz\n");
+}
+
+void expo_server::serve_loop() {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+        if (ready <= 0) continue;
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) continue;
+        requests_.fetch_add(1, std::memory_order_relaxed);
+
+        // Read until the end of the request head (or a small cap) — the
+        // request line is all we use.
+        std::string request;
+        char chunk[1024];
+        while (request.size() < 8192) {
+            const ssize_t n = ::recv(client, chunk, sizeof chunk, 0);
+            if (n <= 0) break;
+            request.append(chunk, static_cast<std::size_t>(n));
+            if (request.find("\r\n\r\n") != std::string::npos) break;
+        }
+        const std::string reply =
+            respond(request.substr(0, request.find("\r\n")));
+        std::size_t sent = 0;
+        while (sent < reply.size()) {
+            const ssize_t n = ::send(client, reply.data() + sent, reply.size() - sent,
+                                     MSG_NOSIGNAL);
+            if (n <= 0) break;
+            sent += static_cast<std::size_t>(n);
+        }
+        close_quietly(client);
+    }
+}
+
+} // namespace richnote::obs

@@ -1,0 +1,81 @@
+// Embedded, dependency-free HTTP exposition server (DESIGN.md §10).
+//
+// Serves three read-only documents over HTTP/1.1 from a single background
+// thread, so a multi-hour sweep can be watched while it runs:
+//
+//   GET /metrics   Prometheus text rendering of the last published
+//                  metrics_registry (obs/prom_text.hpp)
+//   GET /progress  JSON progress_snapshot refreshed each broker round
+//   GET /healthz   {"status":"ok",...} liveness probe
+//
+// Publication and serving are decoupled: publish_* renders the document
+// into a string under a mutex; the serving thread only ever copies the
+// latest strings, so a slow scraper never blocks the round loop and the
+// round loop never blocks a scrape for longer than one string swap.
+//
+// The server binds 127.0.0.1 (scrapes are expected from the same host or
+// via a forwarder) and supports port 0 for an ephemeral port — tests bind
+// 0 and read the chosen port back with port(). Implemented on plain POSIX
+// sockets; no third-party dependency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/progress.hpp"
+
+namespace richnote::obs {
+
+class metrics_registry;
+
+class expo_server final : public progress_listener {
+public:
+    /// Binds and starts serving immediately; throws on bind failure.
+    /// `port` 0 picks an ephemeral port (see port()).
+    explicit expo_server(std::uint16_t port);
+    ~expo_server() override;
+
+    expo_server(const expo_server&) = delete;
+    expo_server& operator=(const expo_server&) = delete;
+
+    /// The actually bound port (== constructor arg unless that was 0).
+    std::uint16_t port() const noexcept { return port_; }
+
+    /// Renders and installs a new /metrics document (Prometheus text).
+    /// Quantile summary gauges are derived from the registry's histograms
+    /// on a copy, so the caller's registry is not mutated.
+    void publish_metrics(const metrics_registry& registry);
+
+    /// Renders and installs a new /progress document.
+    void publish_progress(const progress_snapshot& p);
+
+    /// progress_listener: refresh both documents from the live run.
+    void on_round(const progress_snapshot& p, const metrics_registry& live) override;
+
+    /// Requests served so far (all paths, including 404s) — test hook.
+    std::uint64_t requests_served() const noexcept {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    /// Stops the accept loop and joins the serving thread (idempotent;
+    /// the destructor calls it).
+    void stop();
+
+private:
+    void serve_loop();
+    std::string respond(const std::string& request_line) const;
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic_bool stopping_{false};
+    std::atomic<std::uint64_t> requests_{0};
+    mutable std::mutex content_mutex_;
+    std::string metrics_text_;  ///< latest Prometheus document
+    std::string progress_json_; ///< latest progress document
+    std::thread thread_;
+};
+
+} // namespace richnote::obs

@@ -23,6 +23,29 @@ void histogram::observe(double value) {
     sum_ += value;
 }
 
+double histogram::quantile(double q) const {
+    RICHNOTE_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+    if (total_ == 0) return 0.0;
+    // Target rank, 1-based: the smallest bucket whose cumulative count
+    // reaches it holds the quantile.
+    const double rank = q * static_cast<double>(total_);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::uint64_t in_bucket = counts_[i];
+        if (in_bucket == 0) continue;
+        const double below = static_cast<double>(cumulative);
+        cumulative += in_bucket;
+        if (static_cast<double>(cumulative) < rank) continue;
+        if (i >= bounds_.size()) return bounds_.back(); // overflow: clamp
+        const double upper = bounds_[i];
+        const double lower = i == 0 ? std::min(0.0, upper) : bounds_[i - 1];
+        const double position =
+            std::clamp((rank - below) / static_cast<double>(in_bucket), 0.0, 1.0);
+        return lower + position * (upper - lower);
+    }
+    return bounds_.back();
+}
+
 void metrics_registry::count(std::string_view name, std::uint64_t delta) {
     const auto it = counters_.find(name);
     if (it == counters_.end()) {
@@ -79,6 +102,15 @@ const histogram& metrics_registry::get_histogram(std::string_view name) const {
 
 bool metrics_registry::has_histogram(std::string_view name) const noexcept {
     return histograms_.find(name) != histograms_.end();
+}
+
+void metrics_registry::export_quantile_gauges() {
+    // gauge_set touches gauges_ only, so iterating histograms_ here is safe.
+    for (const auto& [name, h] : histograms_) {
+        gauge_set(name + ".p50", h.quantile(0.50));
+        gauge_set(name + ".p95", h.quantile(0.95));
+        gauge_set(name + ".p99", h.quantile(0.99));
+    }
 }
 
 void metrics_registry::write_json(std::ostream& out) const {

@@ -37,6 +37,15 @@ public:
 
     void observe(double value);
 
+    /// Quantile estimate from the bucket counts, q in [0, 1]: the target
+    /// rank is located in its bucket and interpolated linearly between the
+    /// bucket's bounds (the first bucket interpolates up from 0 for
+    /// positive-bounded layouts). The overflow bucket has no upper edge, so
+    /// ranks landing there clamp to the highest finite bound — the same
+    /// convention Prometheus' histogram_quantile uses. Returns 0 when the
+    /// histogram is empty.
+    double quantile(double q) const;
+
     const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
     /// counts()[i] pairs with upper_bounds()[i]; counts().back() overflows.
     const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
@@ -81,6 +90,23 @@ public:
     std::size_t counter_count() const noexcept { return counters_.size(); }
     std::size_t gauge_count() const noexcept { return gauges_.size(); }
     std::size_t histogram_count() const noexcept { return histograms_.size(); }
+
+    /// Name-sorted series, for exporters (Prometheus text, quantile gauges)
+    /// that need to iterate rather than look up.
+    const std::map<std::string, std::uint64_t, std::less<>>& counters() const noexcept {
+        return counters_;
+    }
+    const std::map<std::string, double, std::less<>>& gauges() const noexcept {
+        return gauges_;
+    }
+    const std::map<std::string, histogram, std::less<>>& histograms() const noexcept {
+        return histograms_;
+    }
+
+    /// Derives <name>.p50 / <name>.p95 / <name>.p99 summary gauges from
+    /// every registered histogram (histogram::quantile interpolation).
+    /// Last-write-wins like any gauge, so re-exporting refreshes them.
+    void export_quantile_gauges();
 
     /// JSON document {"counters": {...}, "gauges": {...}, "histograms":
     /// {...}} with names sorted — deterministic for equal contents.

@@ -1,18 +1,38 @@
-// Scoped hot-path profiling (DESIGN.md §9).
+// Runtime sampling profiler for the hot paths (DESIGN.md §10).
 //
-// RICHNOTE_PROFILE_SCOPE(slot) drops an RAII timer into a hot function.
-// In a default build the macro expands to nothing — no timer, no atomic,
-// no branch — which is what keeps the scheduler/broker/forest hot paths at
-// their benchmarked zero-allocation throughput (BENCH_perf.json). Configure
-// with -DRICHNOTE_TRACE=ON and the same scopes accumulate call counts and
-// wall nanoseconds into per-slot atomics, readable via profile_read() and
-// exportable into a metrics_registry.
+// RICHNOTE_PROFILE_SCOPE(slot) drops an RAII timer into a hot function. The
+// scopes are ALWAYS compiled — release binaries can profile themselves —
+// and gated at runtime by profile_set_enabled():
+//
+//   idle (the default): the scope constructor is one relaxed atomic load
+//   plus a predictable branch; no clock reads, no stores, no allocation.
+//   This is what keeps the benchmarked round loop at its tracked
+//   BENCH_perf.json throughput with the profiler compiled in.
+//
+//   enabled: every entry bumps a per-thread per-slot call counter, and one
+//   in every profile_config::sample_every entries is timed (two
+//   steady_clock reads) and recorded as a span into that thread's
+//   lock-free SPSC ring buffer. Totals are estimated from the sample
+//   (nanos = sampled_nanos * calls / sampled_calls), which keeps the
+//   enabled overhead in the low single-digit percent range (measured
+//   numbers in DESIGN.md §10).
+//
+// The exporter side drains the rings (profile_drain) into span records
+// (slot, lane, start/end ns) that obs/span_export.hpp turns into Chrome
+// trace-event JSON and collapsed-stack flamegraph text. Aggregate totals
+// remain readable via profile_read() and exportable into a
+// metrics_registry via profile_export().
 //
 // The slot set is a fixed enum rather than string keys so an enabled scope
-// costs two relaxed atomic adds, never a hash lookup.
+// costs array indexing, never a hash lookup. Threads are assigned small
+// dense "lane" indices; a lane freed by an exiting thread is reused by the
+// next one, so the worker pools respawned every round do not grow the
+// profiler's memory.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "obs/metrics_registry.hpp"
 
@@ -34,68 +54,110 @@ inline constexpr std::size_t profile_slot_count =
 /// Canonical metric name stem for a slot, e.g. "richnote.profile.mckp_solve".
 const char* profile_slot_name(profile_slot slot) noexcept;
 
+/// Short label for a slot (span/flamegraph frames), e.g. "mckp_solve".
+const char* profile_slot_label(profile_slot slot) noexcept;
+
+/// One timed scope entry, as drained from a thread's ring buffer.
+struct span_record {
+    std::uint64_t start_ns = 0; ///< steady_clock nanos at scope entry
+    std::uint64_t end_ns = 0;   ///< steady_clock nanos at scope exit
+    std::uint32_t lane = 0;     ///< dense thread lane index (reused across threads)
+    profile_slot slot = profile_slot::broker_round;
+};
+
 struct profile_totals {
-    std::uint64_t calls = 0;
+    std::uint64_t calls = 0;         ///< scope entries while enabled
+    std::uint64_t sampled_calls = 0; ///< entries that were actually timed
+    std::uint64_t sampled_nanos = 0; ///< wall nanos across the timed entries
+    /// Estimated total wall nanos: sampled_nanos scaled by calls /
+    /// sampled_calls (equal to sampled_nanos when every call is sampled).
     std::uint64_t nanos = 0;
 };
 
-/// True when this binary was compiled with RICHNOTE_TRACE.
-constexpr bool profile_enabled() noexcept {
-#ifdef RICHNOTE_TRACE
-    return true;
-#else
-    return false;
-#endif
-}
+struct profile_config {
+    /// Time one in every `sample_every` scope entries per thread (1 = time
+    /// every entry). Untimed entries still count calls.
+    std::uint32_t sample_every = 16;
+    /// Span-ring capacity per thread lane, rounded up to a power of two.
+    /// When a ring fills between drains, new spans are dropped (counted).
+    std::uint32_t ring_capacity = 1u << 13;
+};
 
-/// Accumulated totals for one slot (all zero when profiling is compiled out).
+/// Installs a new sampling configuration. Call while profiling is disabled;
+/// the ring capacity applies to lanes created afterwards.
+void profile_configure(const profile_config& cfg);
+profile_config profile_configuration();
+
+/// Turns sampling on/off at runtime. Scopes already on the stack when the
+/// flag flips finish under their entry-time decision.
+void profile_set_enabled(bool enabled);
+
+/// True when sampling is currently enabled (runtime state, not a build flag).
+bool profile_enabled() noexcept;
+
+/// Accumulated totals for one slot across all thread lanes.
 profile_totals profile_read(profile_slot slot) noexcept;
 
-/// Zeroes every slot (benchmarks call this between phases).
+/// Zeroes every slot's totals and discards buffered spans. Call while the
+/// profiled threads are quiescent (benchmarks call this between phases).
 void profile_reset() noexcept;
 
-/// Exports every non-empty slot as <stem>.calls_total counters and
-/// <stem>.nanos_total counters plus a <stem>.mean_us gauge.
-void profile_export(metrics_registry& registry);
+/// Drains buffered spans from every lane's ring into `out` (appended).
+/// Single-consumer: have one thread drain at a time. Returns the number of
+/// spans appended.
+std::size_t profile_drain(std::vector<span_record>& out);
 
-#ifdef RICHNOTE_TRACE
+/// Spans dropped because a lane's ring was full between drains.
+std::uint64_t profile_dropped() noexcept;
+
+/// Exports every non-empty slot as <stem>.calls_total / <stem>.nanos_total
+/// counters plus a <stem>.mean_us gauge, and the drop counter when nonzero.
+void profile_export(metrics_registry& registry);
 
 namespace detail {
 
-/// Per-slot accumulators; relaxed ordering is enough because readers only
-/// look after the timed work has been joined.
-void profile_record(profile_slot slot, std::uint64_t nanos) noexcept;
-std::uint64_t profile_now_ns() noexcept;
+/// The only cost of an idle scope: one relaxed load of this flag.
+extern std::atomic_bool g_profile_on;
 
-class profile_scope {
-public:
-    explicit profile_scope(profile_slot slot) noexcept
-        : slot_(slot), start_(profile_now_ns()) {}
-    profile_scope(const profile_scope&) = delete;
-    profile_scope& operator=(const profile_scope&) = delete;
-    ~profile_scope() { profile_record(slot_, profile_now_ns() - start_); }
+struct thread_state;
 
-private:
-    profile_slot slot_;
-    std::uint64_t start_;
-};
+/// Registers (or reuses) this thread's lane and counts one entry for
+/// `slot`. Sets `start_ns` to the entry timestamp when this entry was
+/// chosen for timing, 0 otherwise. Returns the lane state for the exit.
+thread_state& profile_enter(profile_slot slot, std::uint64_t& start_ns) noexcept;
+
+/// Records the timed span / totals for an entry that had start_ns != 0.
+void profile_leave(thread_state& state, profile_slot slot,
+                   std::uint64_t start_ns) noexcept;
 
 } // namespace detail
 
-#define RICHNOTE_PROFILE_CAT2(a, b) a##b
-#define RICHNOTE_PROFILE_CAT(a, b) RICHNOTE_PROFILE_CAT2(a, b)
-#define RICHNOTE_PROFILE_SCOPE(slot)                      \
-    ::richnote::obs::detail::profile_scope RICHNOTE_PROFILE_CAT( \
-        richnote_profile_scope_, __LINE__) {              \
-        slot                                              \
+class profile_scope {
+public:
+    explicit profile_scope(profile_slot slot) noexcept {
+        if (!detail::g_profile_on.load(std::memory_order_relaxed)) return;
+        slot_ = slot;
+        state_ = &detail::profile_enter(slot, start_);
+    }
+    profile_scope(const profile_scope&) = delete;
+    profile_scope& operator=(const profile_scope&) = delete;
+    ~profile_scope() {
+        if (state_ != nullptr && start_ != 0)
+            detail::profile_leave(*state_, slot_, start_);
     }
 
-#else
+private:
+    detail::thread_state* state_ = nullptr;
+    std::uint64_t start_ = 0;
+    profile_slot slot_ = profile_slot::broker_round;
+};
 
-#define RICHNOTE_PROFILE_SCOPE(slot) \
-    do {                             \
-    } while (false)
-
-#endif // RICHNOTE_TRACE
+#define RICHNOTE_PROFILE_CAT2(a, b) a##b
+#define RICHNOTE_PROFILE_CAT(a, b) RICHNOTE_PROFILE_CAT2(a, b)
+#define RICHNOTE_PROFILE_SCOPE(slot)                  \
+    ::richnote::obs::profile_scope RICHNOTE_PROFILE_CAT( \
+        richnote_profile_scope_, __LINE__) {          \
+        slot                                          \
+    }
 
 } // namespace richnote::obs

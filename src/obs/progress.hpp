@@ -1,0 +1,55 @@
+// Live run-progress plumbing between core::run_experiment and the
+// telemetry plane (DESIGN.md §10).
+//
+// The experiment driver fills one progress_snapshot per broker round —
+// aggregate Lyapunov queue state (Q/P sums over users), throughput, fault
+// counters — and hands it to an optional progress_listener together with a
+// registry holding the run's CURRENT aggregates under the canonical
+// richnote.* names. The expo_server implements the interface to refresh
+// its /progress and /metrics documents; tests implement it to observe (or
+// kill) a run mid-flight at an exact round.
+//
+// The hook runs in the driver's single-threaded between-rounds section, so
+// listeners see a consistent snapshot and need no locking against the
+// worker shards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace richnote::obs {
+
+class metrics_registry;
+
+struct progress_snapshot {
+    std::uint64_t round = 0;        ///< rounds completed so far
+    std::uint64_t total_rounds = 0; ///< planned rounds for the run
+    std::size_t users = 0;
+    double wall_sec = 0.0;        ///< wall time since the replay started
+    double rounds_per_sec = 0.0;  ///< round / wall_sec (0 in round 0)
+    double queue_items_total = 0; ///< scheduling-queue items summed over users
+    double queue_bytes_total = 0; ///< Lyapunov Q(t) (queued bytes) summed over users
+    double energy_credit_joules_total = 0; ///< Lyapunov P(t) energy credit, summed
+    std::uint64_t arrived_total = 0;
+    std::uint64_t delivered_total = 0;
+    // Fault / recovery counters so far (zero without a fault plan).
+    std::uint64_t faults_injected = 0;
+    std::uint64_t transfer_retries = 0;
+    std::uint64_t dead_lettered = 0;
+    std::uint64_t duplicates_suppressed = 0;
+    std::uint64_t crash_restarts = 0;
+    bool done = false; ///< true on the final call, after the last round
+};
+
+class progress_listener {
+public:
+    virtual ~progress_listener() = default;
+
+    /// Called after every completed broker round and once more with
+    /// `p.done == true` when the replay finishes. `live` holds the run's
+    /// current aggregate metrics (core::export_metrics naming); it is owned
+    /// by the caller and valid only for the duration of the call.
+    virtual void on_round(const progress_snapshot& p, const metrics_registry& live) = 0;
+};
+
+} // namespace richnote::obs

@@ -1,0 +1,72 @@
+#include "obs/prom_text.hpp"
+
+#include <ostream>
+
+#include "obs/json_util.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace richnote::obs {
+
+namespace {
+
+bool prom_name_char(char c) noexcept {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void append_number(std::string& out, double v) { json_number(out, v); }
+
+} // namespace
+
+std::string prometheus_name(std::string_view name) {
+    std::string out;
+    out.reserve(name.size() + 1);
+    if (!name.empty() && name.front() >= '0' && name.front() <= '9') out += '_';
+    for (const char c : name) out += prom_name_char(c) ? c : '_';
+    return out;
+}
+
+void write_prometheus_text(const metrics_registry& registry, std::ostream& out) {
+    std::string buf;
+    for (const auto& [name, value] : registry.counters()) {
+        const std::string prom = prometheus_name(name);
+        buf += "# TYPE " + prom + " counter\n";
+        buf += prom;
+        buf += ' ';
+        json_number(buf, value);
+        buf += '\n';
+    }
+    for (const auto& [name, value] : registry.gauges()) {
+        const std::string prom = prometheus_name(name);
+        buf += "# TYPE " + prom + " gauge\n";
+        buf += prom;
+        buf += ' ';
+        append_number(buf, value);
+        buf += '\n';
+    }
+    for (const auto& [name, h] : registry.histograms()) {
+        const std::string prom = prometheus_name(name);
+        buf += "# TYPE " + prom + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
+            cumulative += h.counts()[i];
+            buf += prom + "_bucket{le=\"";
+            append_number(buf, h.upper_bounds()[i]);
+            buf += "\"} ";
+            json_number(buf, cumulative);
+            buf += '\n';
+        }
+        buf += prom + "_bucket{le=\"+Inf\"} ";
+        json_number(buf, h.total_count());
+        buf += '\n';
+        buf += prom + "_sum ";
+        append_number(buf, h.sum());
+        buf += '\n';
+        buf += prom + "_count ";
+        json_number(buf, h.total_count());
+        buf += '\n';
+    }
+    out << buf;
+}
+
+} // namespace richnote::obs

@@ -1,0 +1,28 @@
+// Prometheus text exposition (format 0.0.4) for a metrics_registry — what
+// the embedded expo_server serves at /metrics.
+//
+// The registry's dot-separated catalog names are mapped onto the Prometheus
+// grammar by replacing every character outside [a-zA-Z0-9_:] with '_'
+// (richnote.delivery.bytes_total -> richnote_delivery_bytes_total). Fixed-
+// bucket histograms become the standard cumulative _bucket{le="..."} series
+// plus _sum and _count. Output is name-ordered (the registry's maps), so
+// equal registries render equal bytes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace richnote::obs {
+
+class metrics_registry;
+
+/// Registry name -> Prometheus metric name (invalid chars become '_'; a
+/// leading digit gets a '_' prefix).
+std::string prometheus_name(std::string_view name);
+
+/// Renders the whole registry in Prometheus text format, one # TYPE header
+/// per series.
+void write_prometheus_text(const metrics_registry& registry, std::ostream& out);
+
+} // namespace richnote::obs

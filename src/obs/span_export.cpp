@@ -1,0 +1,98 @@
+#include "obs/span_export.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "obs/json_util.hpp"
+
+namespace richnote::obs {
+
+namespace {
+
+/// Canonical span order: by rebased start, then lane, then longest first so
+/// a parent precedes its children at equal starts.
+std::vector<span_record> canonical_order(const std::vector<span_record>& spans) {
+    std::vector<span_record> sorted = spans;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const span_record& a, const span_record& b) {
+                  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                  if (a.lane != b.lane) return a.lane < b.lane;
+                  if (a.end_ns != b.end_ns) return a.end_ns > b.end_ns;
+                  return static_cast<int>(a.slot) < static_cast<int>(b.slot);
+              });
+    return sorted;
+}
+
+std::uint64_t min_start(const std::vector<span_record>& spans) {
+    std::uint64_t base = UINT64_MAX;
+    for (const span_record& s : spans) base = std::min(base, s.start_ns);
+    return base == UINT64_MAX ? 0 : base;
+}
+
+} // namespace
+
+void write_chrome_trace(const std::vector<span_record>& spans, std::ostream& out) {
+    const std::vector<span_record> sorted = canonical_order(spans);
+    const std::uint64_t base = min_start(sorted);
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    std::string line;
+    for (const span_record& s : sorted) {
+        line.clear();
+        if (!first) line += ',';
+        first = false;
+        // Complete ("X") events; ts/dur are microseconds. Nanosecond
+        // precision survives as fractional microseconds.
+        line += "\n{\"name\":";
+        json_string(line, profile_slot_label(s.slot));
+        line += ",\"cat\":\"richnote\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+        json_number(line, static_cast<std::uint64_t>(s.lane));
+        line += ",\"ts\":";
+        json_number(line, static_cast<double>(s.start_ns - base) / 1000.0);
+        line += ",\"dur\":";
+        json_number(line, static_cast<double>(s.end_ns - s.start_ns) / 1000.0);
+        line += '}';
+        out << line;
+    }
+    out << "\n]}\n";
+}
+
+void write_collapsed_stacks(const std::vector<span_record>& spans, std::ostream& out) {
+    const std::vector<span_record> sorted = canonical_order(spans);
+
+    // Reconstruct nesting per lane by containment: walking spans in start
+    // order, a span that starts before the lane's innermost open span ends
+    // is its child. Each span credits its full duration to its stack path,
+    // then debits it from the parent's path — what remains on every path is
+    // self-time. Children on a lane are sequential and contained, so the
+    // debits never exceed the parent's credit.
+    struct open_span {
+        std::uint64_t end_ns;
+        std::string path; ///< "parent;child;..." frames
+    };
+    std::map<std::uint32_t, std::vector<open_span>> lane_stacks;
+    std::map<std::string, std::uint64_t> self_ns; ///< sorted output for free
+
+    for (const span_record& s : sorted) {
+        auto& stack = lane_stacks[s.lane];
+        while (!stack.empty() && stack.back().end_ns <= s.start_ns) stack.pop_back();
+        const std::uint64_t duration = s.end_ns - s.start_ns;
+        std::string path;
+        if (!stack.empty()) {
+            self_ns[stack.back().path] -= std::min(self_ns[stack.back().path], duration);
+            path = stack.back().path + ";";
+        }
+        path += profile_slot_label(s.slot);
+        self_ns[path] += duration;
+        stack.push_back(open_span{s.end_ns, path});
+    }
+
+    for (const auto& [path, nanos] : self_ns) {
+        if (nanos == 0) continue;
+        out << path << ' ' << nanos << '\n';
+    }
+}
+
+} // namespace richnote::obs

@@ -1,0 +1,34 @@
+// Timeline exporters for profiler spans (DESIGN.md §10).
+//
+// Both exporters are pure functions of the span vector: timestamps are
+// rebased to the earliest span start, spans are sorted into a canonical
+// order, and numbers are printed deterministically — so a fixed input
+// produces byte-identical output (golden tests feed synthetic spans).
+//
+//   write_chrome_trace      Chrome trace-event JSON ("X" complete events,
+//                           one tid per profiler lane). Open the file at
+//                           chrome://tracing or https://ui.perfetto.dev.
+//   write_collapsed_stacks  Collapsed-stack flamegraph text (one line per
+//                           stack, "frame;frame <self_nanos>"), the input
+//                           format of Brendan Gregg's flamegraph.pl and of
+//                           speedscope. Nesting is reconstructed per lane
+//                           by span containment, so a sampled mckp_solve
+//                           span inside a sampled broker_round span shows
+//                           up as broker_round;mckp_solve.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/profile.hpp"
+
+namespace richnote::obs {
+
+/// Writes `spans` as a Chrome trace-event JSON document.
+void write_chrome_trace(const std::vector<span_record>& spans, std::ostream& out);
+
+/// Writes `spans` as collapsed flamegraph stacks weighted by self-time
+/// nanoseconds (a span's duration minus its contained child spans).
+void write_collapsed_stacks(const std::vector<span_record>& spans, std::ostream& out);
+
+} // namespace richnote::obs

@@ -1,0 +1,300 @@
+#include "obs/trace_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+namespace richnote::obs {
+
+namespace {
+
+void skip_spaces(std::string_view s, std::size_t& i) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+}
+
+bool parse_string(std::string_view s, std::size_t& i, std::string& out) {
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    out.clear();
+    while (i < s.size()) {
+        const char c = s[i++];
+        if (c == '"') return true;
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (i >= s.size()) return false;
+        const char esc = s[i++];
+        switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+            // The sink only escapes control characters; decode the code
+            // point as a raw byte (sub-0x80 in practice).
+            if (i + 4 > s.size()) return false;
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+                const char h = s[i++];
+                code <<= 4;
+                if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                else return false;
+            }
+            out += static_cast<char>(code & 0xff);
+            break;
+        }
+        default: return false;
+        }
+    }
+    return false;
+}
+
+bool parse_value(std::string_view s, std::size_t& i, trace_value& out) {
+    skip_spaces(s, i);
+    if (i >= s.size()) return false;
+    const char c = s[i];
+    if (c == '"') {
+        out.type = trace_value::kind::string;
+        return parse_string(s, i, out.str);
+    }
+    if (c == 't' && s.substr(i, 4) == "true") {
+        out.type = trace_value::kind::boolean;
+        out.flag = true;
+        i += 4;
+        return true;
+    }
+    if (c == 'f' && s.substr(i, 5) == "false") {
+        out.type = trace_value::kind::boolean;
+        out.flag = false;
+        i += 5;
+        return true;
+    }
+    // Number: consume the JSON number grammar's character set and let
+    // strtod validate.
+    const std::size_t begin = i;
+    while (i < s.size() &&
+           (s[i] == '-' || s[i] == '+' || s[i] == '.' || s[i] == 'e' ||
+            s[i] == 'E' || (s[i] >= '0' && s[i] <= '9')))
+        ++i;
+    if (i == begin) return false;
+    const std::string token(s.substr(begin, i - begin));
+    char* end = nullptr;
+    out.type = trace_value::kind::number;
+    out.num = std::strtod(token.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
+} // namespace
+
+bool parse_flat_json(std::string_view line,
+                     std::vector<std::pair<std::string, trace_value>>& out) {
+    out.clear();
+    std::size_t i = 0;
+    skip_spaces(line, i);
+    if (i >= line.size() || line[i] != '{') return false;
+    ++i;
+    skip_spaces(line, i);
+    if (i < line.size() && line[i] == '}') {
+        ++i;
+    } else {
+        while (true) {
+            skip_spaces(line, i);
+            std::string key;
+            if (!parse_string(line, i, key)) return false;
+            skip_spaces(line, i);
+            if (i >= line.size() || line[i] != ':') return false;
+            ++i;
+            trace_value value;
+            if (!parse_value(line, i, value)) return false;
+            out.emplace_back(std::move(key), std::move(value));
+            skip_spaces(line, i);
+            if (i >= line.size()) return false;
+            if (line[i] == ',') {
+                ++i;
+                continue;
+            }
+            if (line[i] == '}') {
+                ++i;
+                break;
+            }
+            return false;
+        }
+    }
+    skip_spaces(line, i);
+    return i == line.size();
+}
+
+namespace {
+
+double nearest_rank(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const std::size_t n = sorted.size();
+    std::size_t rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+    if (rank == 0) rank = 1;
+    if (rank > n) rank = n;
+    return sorted[rank - 1];
+}
+
+field_stats make_stats(std::vector<double>& samples) {
+    field_stats st;
+    st.count = samples.size();
+    if (samples.empty()) return st;
+    std::sort(samples.begin(), samples.end());
+    st.min = samples.front();
+    st.max = samples.back();
+    st.p50 = nearest_rank(samples, 0.50);
+    st.p95 = nearest_rank(samples, 0.95);
+    st.p99 = nearest_rank(samples, 0.99);
+    double sum = 0.0;
+    for (double v : samples) sum += v;
+    st.mean = sum / static_cast<double>(samples.size());
+    return st;
+}
+
+std::string format_number(double v) {
+    // Fixed human-readable precision (the report is for eyes, not replay;
+    // determinism comes from the deterministic inputs).
+    char buf[64];
+    if (v == static_cast<double>(static_cast<long long>(v)) && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+    }
+    return buf;
+}
+
+} // namespace
+
+trace_report build_trace_report(std::istream& ndjson, std::size_t top_n) {
+    trace_report report;
+    // samples[type][field] — kept out of the report struct so the report
+    // itself stays small.
+    std::map<std::string, std::map<std::string, std::vector<double>>> samples;
+    struct rollup_acc {
+        std::uint64_t events = 0;
+        std::uint64_t delivers = 0;
+        double utility = 0.0;
+        double delay_sum = 0.0;
+    };
+    std::map<std::uint32_t, rollup_acc> per_user;
+
+    std::string line;
+    std::vector<std::pair<std::string, trace_value>> fields;
+    while (std::getline(ndjson, line)) {
+        if (line.empty()) continue;
+        if (!parse_flat_json(line, fields)) {
+            ++report.skipped_lines;
+            continue;
+        }
+        std::string type = "?";
+        double user = -1.0, round = -1.0, utility = 0.0, delay = 0.0;
+        bool is_deliver = false;
+        for (const auto& [key, value] : fields) {
+            if (key == "type" && value.type == trace_value::kind::string) {
+                type = value.str;
+                is_deliver = type == "deliver";
+            } else if (key == "user" && value.type == trace_value::kind::number) {
+                user = value.num;
+            } else if (key == "round" && value.type == trace_value::kind::number) {
+                round = value.num;
+            } else if (key == "utility") {
+                utility = value.num;
+            } else if (key == "delay_sec") {
+                delay = value.num;
+            }
+        }
+        ++report.total_events;
+        auto& type_stats = report.by_type[type];
+        ++type_stats.count;
+        auto& type_samples = samples[type];
+        for (const auto& [key, value] : fields) {
+            if (value.type != trace_value::kind::number) continue;
+            if (key == "user" || key == "round" || key == "item") continue;
+            type_samples[key].push_back(value.num);
+        }
+        if (round >= 0.0)
+            report.rounds = std::max(report.rounds,
+                                     static_cast<std::uint64_t>(round) + 1);
+        if (user >= 0.0) {
+            rollup_acc& acc = per_user[static_cast<std::uint32_t>(user)];
+            ++acc.events;
+            if (is_deliver) {
+                ++acc.delivers;
+                acc.utility += utility;
+                acc.delay_sum += delay;
+            }
+        }
+    }
+
+    for (auto& [type, type_samples] : samples) {
+        for (auto& [field, values] : type_samples)
+            report.by_type[type].fields[field] = make_stats(values);
+    }
+
+    report.users = per_user.size();
+    report.top_users.reserve(per_user.size());
+    for (const auto& [user, acc] : per_user) {
+        user_rollup r;
+        r.user = user;
+        r.events = acc.events;
+        r.delivers = acc.delivers;
+        r.utility = acc.utility;
+        r.delay_sec = acc.delivers > 0
+                          ? acc.delay_sum / static_cast<double>(acc.delivers)
+                          : 0.0;
+        report.top_users.push_back(r);
+    }
+    std::sort(report.top_users.begin(), report.top_users.end(),
+              [](const user_rollup& a, const user_rollup& b) {
+                  if (a.events != b.events) return a.events > b.events;
+                  return a.user < b.user;
+              });
+    if (report.top_users.size() > top_n) report.top_users.resize(top_n);
+    return report;
+}
+
+void write_trace_report(const trace_report& report, std::ostream& out) {
+    out << "trace report: " << report.total_events << " events, "
+        << report.rounds << " rounds, " << report.users << " users";
+    if (report.skipped_lines > 0)
+        out << " (" << report.skipped_lines << " malformed lines skipped)";
+    out << "\n\n";
+
+    out << "== events by type ==\n";
+    for (const auto& [type, stats] : report.by_type)
+        out << "  " << type << "  " << stats.count << "\n";
+
+    for (const auto& [type, stats] : report.by_type) {
+        if (stats.fields.empty()) continue;
+        out << "\n== " << type << " (" << stats.count << " events) ==\n";
+        out << "  field  count  min  p50  p95  p99  max  mean\n";
+        for (const auto& [field, st] : stats.fields) {
+            out << "  " << field << "  " << st.count << "  "
+                << format_number(st.min) << "  " << format_number(st.p50) << "  "
+                << format_number(st.p95) << "  " << format_number(st.p99) << "  "
+                << format_number(st.max) << "  " << format_number(st.mean) << "\n";
+        }
+    }
+
+    if (!report.top_users.empty()) {
+        out << "\n== top users by events ==\n";
+        out << "  user  events  delivers  utility_sum  mean_delay_sec\n";
+        for (const user_rollup& r : report.top_users) {
+            out << "  " << r.user << "  " << r.events << "  " << r.delivers << "  "
+                << format_number(r.utility) << "  " << format_number(r.delay_sec)
+                << "\n";
+        }
+    }
+}
+
+} // namespace richnote::obs

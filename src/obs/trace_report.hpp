@@ -1,0 +1,73 @@
+// Offline analysis of decision-trace NDJSON (DESIGN.md §10).
+//
+// `richnote_cli trace-report` feeds a trace file (DESIGN.md §9 schema)
+// through build_trace_report() and prints the result: per-event-type
+// counts, percentile tables over every numeric field each type carries
+// (delay_sec / utility / bytes / attempts / ...), and a top-N per-user
+// rollup. The report is a pure function of the file bytes, and the trace
+// of a fixed-seed run is byte-identical across reruns and thread counts,
+// so the report is too — the CLI pipeline test pins that.
+//
+// The parser accepts exactly what trace_sink emits: one flat JSON object
+// per line, string/number/bool values, no nesting. A truncated final line
+// (a run killed mid-write) is skipped, not an error, so the report works
+// on crash-recovered prefixes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace richnote::obs {
+
+/// One parsed scalar off an NDJSON line.
+struct trace_value {
+    enum class kind { string, number, boolean } type = kind::number;
+    std::string str;
+    double num = 0.0;
+    bool flag = false;
+};
+
+/// Parses one flat JSON object line into (key, value) pairs in document
+/// order. Returns false on malformed input (e.g. a truncated line).
+bool parse_flat_json(std::string_view line,
+                     std::vector<std::pair<std::string, trace_value>>& out);
+
+/// Exact sample percentiles (nearest-rank) over one numeric field.
+struct field_stats {
+    std::uint64_t count = 0;
+    double min = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0, max = 0.0, mean = 0.0;
+};
+
+struct event_type_stats {
+    std::uint64_t count = 0;
+    std::map<std::string, field_stats> fields; ///< numeric fields only
+};
+
+struct user_rollup {
+    std::uint32_t user = 0;
+    std::uint64_t events = 0;
+    std::uint64_t delivers = 0;
+    double utility = 0.0;    ///< summed over this user's deliver events
+    double delay_sec = 0.0;  ///< mean delivery delay (0 when no delivers)
+};
+
+struct trace_report {
+    std::uint64_t total_events = 0;
+    std::uint64_t skipped_lines = 0; ///< malformed/truncated lines ignored
+    std::uint64_t rounds = 0;        ///< max round seen + 1
+    std::uint64_t users = 0;         ///< distinct users seen
+    std::map<std::string, event_type_stats> by_type;
+    std::vector<user_rollup> top_users; ///< by events desc, user asc
+};
+
+/// Aggregates an NDJSON stream. `top_n` caps the per-user rollup table.
+trace_report build_trace_report(std::istream& ndjson, std::size_t top_n = 10);
+
+/// Renders the report as aligned text tables.
+void write_trace_report(const trace_report& report, std::ostream& out);
+
+} // namespace richnote::obs

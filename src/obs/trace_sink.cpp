@@ -1,11 +1,57 @@
 #include "obs/trace_sink.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
 #include <ostream>
 
 #include "common/error.hpp"
 
 namespace richnote::obs {
+
+namespace {
+
+// Process-wide registry of sinks with an attached file, flushed from an
+// atexit handler so an exit() mid-sweep (e.g. a CLI error path) still
+// leaves everything emitted so far on disk. Destruction unregisters, so
+// the normal path never double-finalizes.
+std::mutex g_guard_mutex;
+std::vector<trace_sink*>& guarded_sinks() {
+    static std::vector<trace_sink*> sinks;
+    return sinks;
+}
+
+void flush_guarded_sinks() {
+    std::vector<trace_sink*> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(g_guard_mutex);
+        snapshot = guarded_sinks();
+    }
+    for (trace_sink* sink : snapshot) sink->finalize();
+}
+
+void guard_register(trace_sink* sink) {
+    std::lock_guard<std::mutex> lock(g_guard_mutex);
+    // Construct the registry vector BEFORE registering the atexit handler:
+    // exit-time teardown runs in reverse order, so the handler must come
+    // later than anything it touches or it would read a destroyed vector.
+    auto& sinks = guarded_sinks();
+    static bool atexit_installed = [] {
+        std::atexit(flush_guarded_sinks);
+        return true;
+    }();
+    (void)atexit_installed;
+    sinks.push_back(sink);
+}
+
+void guard_unregister(trace_sink* sink) noexcept {
+    std::lock_guard<std::mutex> lock(g_guard_mutex);
+    auto& sinks = guarded_sinks();
+    sinks.erase(std::remove(sinks.begin(), sinks.end(), sink), sinks.end());
+}
+
+} // namespace
 
 trace_event::trace_event(trace_sink& sink, std::uint32_t user, std::uint64_t round,
                          std::string_view type)
@@ -34,6 +80,10 @@ trace_event::~trace_event() {
 
 trace_sink::trace_sink(std::size_t user_count) : buckets_(user_count) {
     RICHNOTE_REQUIRE(user_count > 0, "trace sink needs at least one user bucket");
+}
+
+trace_sink::~trace_sink() {
+    if (streaming()) finalize();
 }
 
 trace_event trace_sink::event(std::uint32_t user, std::uint64_t round,
@@ -83,6 +133,54 @@ void trace_sink::write_ndjson(std::ostream& out) const {
         return a.seq < b.seq;
     });
     for (const key& k : keys) out << buckets_[k.user][k.seq].json << '\n';
+}
+
+void trace_sink::attach_file(const std::string& path) {
+    RICHNOTE_REQUIRE(out_ == nullptr, "trace sink already streaming to a file");
+    auto stream = std::make_unique<std::ofstream>(path, std::ios::trunc);
+    RICHNOTE_REQUIRE(stream->is_open(),
+                     "trace sink cannot open trace file: " + path);
+    out_ = std::move(stream);
+    written_.assign(buckets_.size(), 0);
+    guard_register(this);
+}
+
+void trace_sink::flush_through(std::uint64_t round) {
+    if (out_ == nullptr) return;
+    // Same merge order as write_ndjson, restricted to the not-yet-written
+    // suffix of each bucket with event.round <= round. Emission for those
+    // rounds has finished by contract, so the cut is stable: later flushes
+    // only ever append events with strictly greater rounds.
+    struct key {
+        std::uint64_t round;
+        std::uint32_t user;
+        std::uint32_t seq;
+    };
+    std::vector<key> keys;
+    for (std::uint32_t u = 0; u < buckets_.size(); ++u) {
+        const auto& bucket = buckets_[u];
+        std::size_t next = written_[u];
+        while (next < bucket.size() && bucket[next].round <= round) {
+            keys.push_back({bucket[next].round, u, bucket[next].seq});
+            ++next;
+        }
+        written_[u] = next;
+    }
+    std::sort(keys.begin(), keys.end(), [](const key& a, const key& b) {
+        if (a.round != b.round) return a.round < b.round;
+        if (a.user != b.user) return a.user < b.user;
+        return a.seq < b.seq;
+    });
+    for (const key& k : keys) *out_ << buckets_[k.user][k.seq].json << '\n';
+    out_->flush();
+}
+
+void trace_sink::finalize() {
+    if (out_ == nullptr) return;
+    flush_through(UINT64_MAX);
+    out_->close();
+    out_.reset();
+    guard_unregister(this);
 }
 
 } // namespace richnote::obs

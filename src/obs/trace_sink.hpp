@@ -12,10 +12,19 @@
 // Cost model: a null sink pointer is the off switch. Emitting call sites
 // guard with `if (sink != nullptr)`, so a run without tracing pays one
 // predictable branch per round and allocates nothing.
+//
+// Durability: attach_file() switches the sink to incremental streaming —
+// the driver calls flush_through(round) after each completed round, which
+// appends that round's lines (in the same merged order) and fsync-less
+// flushes the stream, so a run killed mid-sweep still leaves a valid
+// NDJSON prefix of whole rounds on disk. A destructor + atexit guard
+// flushes whatever is buffered on any orderly exit, including exit() from
+// the middle of a sweep.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -82,6 +91,10 @@ class trace_sink {
 public:
     /// One bucket per user; emissions for users >= user_count throw.
     explicit trace_sink(std::size_t user_count);
+    ~trace_sink();
+
+    trace_sink(const trace_sink&) = delete;
+    trace_sink& operator=(const trace_sink&) = delete;
 
     std::size_t user_count() const noexcept { return buckets_.size(); }
 
@@ -106,11 +119,34 @@ public:
     /// deterministic order that makes fixed-seed runs byte-identical.
     void write_ndjson(std::ostream& out) const;
 
+    // ----- incremental streaming (crash-durable NDJSON prefix) -----
+
+    /// Opens `path` for incremental streaming and registers the sink with
+    /// the process-wide atexit flush guard. Throws if the file cannot be
+    /// opened or a file is already attached.
+    void attach_file(const std::string& path);
+
+    /// True when a file is attached and not yet finalized.
+    bool streaming() const noexcept { return out_ != nullptr; }
+
+    /// Appends every not-yet-written event with event.round <= round, in
+    /// merged (round, user, seq) order, and flushes the stream. Correct as
+    /// long as all emissions for rounds <= `round` have happened — i.e.
+    /// call it from the driver after a round completes. The concatenation
+    /// of all flushes plus finalize() is byte-identical to write_ndjson().
+    void flush_through(std::uint64_t round);
+
+    /// Flushes all remaining buffered events and closes the attached file.
+    /// Idempotent; invoked by the destructor and by the atexit guard.
+    void finalize();
+
 private:
     friend class trace_event;
     void store(std::uint32_t user, std::uint64_t round, std::string line);
 
     std::vector<std::vector<stored_event>> buckets_;
+    std::unique_ptr<std::ofstream> out_; ///< non-null while streaming
+    std::vector<std::size_t> written_;   ///< per-user count of streamed events
 };
 
 } // namespace richnote::obs

@@ -13,3 +13,30 @@ run_step(${RICHNOTE} train trace=trace.csv users=30 trees=8 out=model.forest)
 run_step(${RICHNOTE} simulate users=30 seed=2 model=model.forest budget_mb=5 trees=8)
 run_step(${RICHNOTE} simulate users=30 seed=2 scheduler=direct budget_mb=5 trees=8)
 run_step(${RICHNOTE} sweep users=30 seed=2 budgets=2,10 trees=8)
+
+# Telemetry surface: trace + profiler exports from two same-seed runs, then
+# trace-report over each. Reports (and the traces they summarize) must be
+# byte-identical — the whole analysis pipeline is deterministic.
+foreach(run a b)
+  run_step(${RICHNOTE} simulate users=30 seed=2 budget_mb=5 trees=8
+           trace=run_${run}.ndjson profile=on
+           profile_trace=chrome_${run}.json profile_flame=flame_${run}.txt)
+  run_step(${RICHNOTE} trace-report trace=run_${run}.ndjson)
+  execute_process(COMMAND ${RICHNOTE} trace-report trace=run_${run}.ndjson
+                  WORKING_DIRECTORY ${WORK_DIR} RESULT_VARIABLE code
+                  OUTPUT_FILE ${WORK_DIR}/report_${run}.txt ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "trace-report failed (${code}): ${err}")
+  endif()
+endforeach()
+foreach(artifact run_a.ndjson|run_b.ndjson report_a.txt|report_b.txt)
+  string(REPLACE "|" ";" pair ${artifact})
+  list(GET pair 0 left)
+  list(GET pair 1 right)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${WORK_DIR}/${left} ${WORK_DIR}/${right}
+                  RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "same-seed artifacts differ: ${left} vs ${right}")
+  endif()
+endforeach()

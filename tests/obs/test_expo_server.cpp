@@ -1,0 +1,200 @@
+// Embedded exposition server tests: ephemeral-port bind, /metrics in valid
+// Prometheus text that reconciles with the published registry, /progress
+// and /healthz JSON, and the 404/405 error paths. The client is a plain
+// blocking POSIX socket — the same thing curl would do.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/expo_server.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/prom_text.hpp"
+
+namespace {
+
+using richnote::obs::expo_server;
+using richnote::obs::metrics_registry;
+using richnote::obs::progress_snapshot;
+
+/// One-shot HTTP request against 127.0.0.1:port; returns the raw response.
+std::string http_get(std::uint16_t port, const std::string& request) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string response;
+    char chunk[2048];
+    ssize_t n = 0;
+    while ((n = ::recv(fd, chunk, sizeof chunk, 0)) > 0)
+        response.append(chunk, static_cast<std::size_t>(n));
+    ::close(fd);
+    return response;
+}
+
+std::string get_path(std::uint16_t port, const std::string& path) {
+    return http_get(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+    const auto split = response.find("\r\n\r\n");
+    return split == std::string::npos ? std::string() : response.substr(split + 4);
+}
+
+bool valid_metric_name(const std::string& name) {
+    if (name.empty() || (std::isdigit(static_cast<unsigned char>(name[0])) != 0))
+        return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        if (!ok) return false;
+    }
+    return true;
+}
+
+/// Prometheus text-format 0.0.4 grammar: every line is a comment or
+/// `name[{labels}] value`, every sample's name is announced by a # TYPE.
+void expect_valid_prometheus(const std::string& text) {
+    std::istringstream lines(text);
+    std::string line;
+    std::set<std::string> typed;
+    std::size_t samples = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty()) continue;
+        if (line.rfind("# TYPE ", 0) == 0) {
+            std::istringstream fields(line.substr(7));
+            std::string name;
+            std::string kind;
+            fields >> name >> kind;
+            EXPECT_TRUE(valid_metric_name(name)) << line;
+            EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+                << line;
+            typed.insert(name);
+            continue;
+        }
+        if (line[0] == '#') continue; // HELP or other comment
+        // Sample line: name or name{labels}, one space, a float.
+        const std::size_t brace = line.find('{');
+        const std::size_t space = line.find(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        std::string name = line.substr(0, std::min(brace, space));
+        EXPECT_TRUE(valid_metric_name(name)) << line;
+        // Histogram series (_bucket/_sum/_count) are announced under the
+        // base name.
+        for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+            if (name.size() > std::strlen(suffix) &&
+                name.rfind(suffix) == name.size() - std::strlen(suffix) &&
+                typed.count(name.substr(0, name.size() - std::strlen(suffix))) > 0) {
+                name.resize(name.size() - std::strlen(suffix));
+                break;
+            }
+        }
+        EXPECT_EQ(typed.count(name), 1u) << "sample without # TYPE: " << line;
+        const std::string value = line.substr(line.rfind(' ') + 1);
+        char* end = nullptr;
+        std::strtod(value.c_str(), &end);
+        EXPECT_TRUE(end != nullptr && *end == '\0') << line;
+        ++samples;
+    }
+    EXPECT_GT(samples, 0u);
+}
+
+TEST(expo_server_suite, binds_an_ephemeral_port_and_serves_healthz) {
+    expo_server server(0);
+    ASSERT_GT(server.port(), 0);
+    const std::string response = get_path(server.port(), "/healthz");
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("application/json"), std::string::npos);
+    EXPECT_EQ(body_of(response), "{\"status\":\"ok\"}\n");
+    EXPECT_GE(server.requests_served(), 1u);
+}
+
+TEST(expo_server_suite, metrics_render_as_valid_prometheus_and_reconcile) {
+    expo_server server(0);
+    metrics_registry registry;
+    registry.count("richnote.delivery.delivered_total", 42);
+    registry.count("richnote.faults.retries_total", 7);
+    registry.gauge_set("richnote.run.delivery_ratio", 0.625);
+    registry.make_histogram("richnote.sched.plan_latency_us", {10.0, 100.0});
+    registry.observe("richnote.sched.plan_latency_us", 5.0);
+    registry.observe("richnote.sched.plan_latency_us", 50.0);
+    registry.observe("richnote.sched.plan_latency_us", 500.0);
+    server.publish_metrics(registry);
+
+    const std::string response = get_path(server.port(), "/metrics");
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+    const std::string body = body_of(response);
+    expect_valid_prometheus(body);
+
+    // The scrape carries the registry's exact values...
+    EXPECT_NE(body.find("richnote_delivery_delivered_total 42"), std::string::npos)
+        << body;
+    EXPECT_NE(body.find("richnote_faults_retries_total 7"), std::string::npos);
+    EXPECT_NE(body.find("richnote_run_delivery_ratio 0.625"), std::string::npos);
+    // ...cumulative histogram buckets with an +Inf terminator...
+    EXPECT_NE(body.find("richnote_sched_plan_latency_us_bucket{le=\"10\"} 1"),
+              std::string::npos);
+    EXPECT_NE(body.find("richnote_sched_plan_latency_us_bucket{le=\"100\"} 2"),
+              std::string::npos);
+    EXPECT_NE(body.find("richnote_sched_plan_latency_us_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(body.find("richnote_sched_plan_latency_us_count 3"), std::string::npos);
+    // ...and the derived quantile summary gauges (publishing must not have
+    // mutated the caller's registry to produce them).
+    EXPECT_NE(body.find("richnote_sched_plan_latency_us_p50"), std::string::npos);
+    EXPECT_EQ(registry.gauge_count(), 1u);
+}
+
+TEST(expo_server_suite, progress_updates_round_by_round) {
+    expo_server server(0);
+    progress_snapshot snap;
+    snap.round = 17;
+    snap.total_rounds = 168;
+    snap.users = 200;
+    snap.rounds_per_sec = 250.0;
+    snap.queue_items_total = 90.0;
+    server.publish_progress(snap);
+
+    std::string body = body_of(get_path(server.port(), "/progress"));
+    EXPECT_NE(body.find("\"round\":17"), std::string::npos) << body;
+    EXPECT_NE(body.find("\"total_rounds\":168"), std::string::npos);
+    EXPECT_NE(body.find("\"users\":200"), std::string::npos);
+    EXPECT_NE(body.find("\"done\":false"), std::string::npos);
+
+    snap.round = 168;
+    snap.done = true;
+    server.publish_progress(snap);
+    body = body_of(get_path(server.port(), "/progress"));
+    EXPECT_NE(body.find("\"round\":168"), std::string::npos);
+    EXPECT_NE(body.find("\"done\":true"), std::string::npos);
+}
+
+TEST(expo_server_suite, unknown_paths_and_methods_are_rejected) {
+    expo_server server(0);
+    EXPECT_NE(get_path(server.port(), "/nope").find("404"), std::string::npos);
+    EXPECT_NE(http_get(server.port(), "POST /metrics HTTP/1.1\r\n\r\n").find("405"),
+              std::string::npos);
+    // A query string is stripped, not 404ed.
+    EXPECT_NE(get_path(server.port(), "/healthz?x=1").find("200 OK"),
+              std::string::npos);
+    server.stop();
+    server.stop(); // idempotent
+}
+
+} // namespace

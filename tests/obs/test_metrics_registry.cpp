@@ -114,16 +114,76 @@ TEST(metrics_registry_suite, empty_registry_exports_valid_skeletons) {
 }
 
 TEST(metrics_registry_suite, profile_export_uses_canonical_names) {
+    richnote::obs::profile_set_enabled(false);
     richnote::obs::profile_reset();
-    metrics_registry registry;
-    richnote::obs::profile_export(registry);
-    if (richnote::obs::profile_enabled()) {
-        // With RICHNOTE_TRACE on but no scopes entered since reset, all
-        // slots are empty and nothing is exported.
-        EXPECT_EQ(registry.counter("richnote.profile.mckp_solve.calls_total"), 0u);
-    } else {
+    {
+        // Idle profiler: nothing recorded, nothing exported.
+        metrics_registry registry;
+        richnote::obs::profile_export(registry);
         EXPECT_EQ(registry.counter_count(), 0u);
     }
+    richnote::obs::profile_set_enabled(true);
+    { RICHNOTE_PROFILE_SCOPE(richnote::obs::profile_slot::mckp_solve); }
+    richnote::obs::profile_set_enabled(false);
+    metrics_registry registry;
+    richnote::obs::profile_export(registry);
+    EXPECT_EQ(registry.counter("richnote.profile.mckp_solve.calls_total"), 1u);
+    EXPECT_EQ(registry.counter("richnote.profile.broker_round.calls_total"), 0u);
+    richnote::obs::profile_reset();
+}
+
+// ---- quantile estimation (p50/p95/p99 summary gauges, DESIGN.md §10) ----
+
+TEST(metrics_registry_suite, quantile_interpolates_within_buckets) {
+    // 100 observations spread uniformly through (0, 100]: one per unit
+    // bucket-mass across {10, 20, ..., 100}. The interpolated quantiles of
+    // this distribution are exactly q * 100.
+    histogram h({10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0});
+    for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(h.quantile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.95), 95.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);   // first bucket's lower edge
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0); // last populated bucket's upper
+}
+
+TEST(metrics_registry_suite, quantile_pins_skewed_and_edge_distributions) {
+    // Everything in one bucket: quantiles interpolate across (10, 20].
+    histogram one({10.0, 20.0});
+    for (int i = 0; i < 10; ++i) one.observe(15.0);
+    EXPECT_DOUBLE_EQ(one.quantile(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(one.quantile(1.0), 20.0);
+
+    // Empty histogram reports 0 for every quantile.
+    histogram empty({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+    // Overflow observations clamp to the highest finite bound — the
+    // Prometheus histogram_quantile convention for the +Inf bucket.
+    histogram overflow({1.0, 2.0});
+    overflow.observe(50.0);
+    overflow.observe(60.0);
+    EXPECT_DOUBLE_EQ(overflow.quantile(0.99), 2.0);
+
+    // 9 fast + 1 slow: p50 sits in the first bucket, p99 in the slow one.
+    histogram skew({1.0, 10.0, 100.0});
+    for (int i = 0; i < 9; ++i) skew.observe(0.5);
+    skew.observe(60.0);
+    EXPECT_DOUBLE_EQ(skew.quantile(0.50), 1.0 * (5.0 / 9.0));
+    EXPECT_DOUBLE_EQ(skew.quantile(0.99), 10.0 + 0.9 * 90.0);
+
+    EXPECT_THROW(skew.quantile(-0.1), std::exception);
+    EXPECT_THROW(skew.quantile(1.5), std::exception);
+}
+
+TEST(metrics_registry_suite, export_quantile_gauges_derives_summary_gauges) {
+    metrics_registry registry;
+    registry.make_histogram("richnote.sched.plan_latency_us", {10.0, 20.0});
+    for (int i = 0; i < 10; ++i) registry.observe("richnote.sched.plan_latency_us", 5.0);
+    registry.export_quantile_gauges();
+    EXPECT_DOUBLE_EQ(registry.gauge("richnote.sched.plan_latency_us.p50"), 5.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("richnote.sched.plan_latency_us.p95"), 9.5);
+    EXPECT_DOUBLE_EQ(registry.gauge("richnote.sched.plan_latency_us.p99"), 9.9);
 }
 
 } // namespace

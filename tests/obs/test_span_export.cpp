@@ -1,0 +1,90 @@
+// Span exporter golden tests: fixed synthetic span sets must render to
+// byte-exact Chrome trace-event JSON and collapsed flamegraph stacks —
+// the exporters are pure functions of the span vector.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "obs/span_export.hpp"
+
+namespace {
+
+using richnote::obs::profile_slot;
+using richnote::obs::span_record;
+
+span_record span(std::uint64_t start, std::uint64_t end, std::uint32_t lane,
+                 profile_slot slot) {
+    span_record s;
+    s.start_ns = start;
+    s.end_ns = end;
+    s.lane = lane;
+    s.slot = slot;
+    return s;
+}
+
+TEST(span_export_suite, chrome_trace_rebases_and_orders_deterministically) {
+    // Out-of-order input with a big clock offset; output rebases the
+    // earliest span to ts=0 and sorts by (start, lane).
+    const std::vector<span_record> spans = {
+        span(1'000'003'000, 1'000'004'500, 1, profile_slot::mckp_solve),
+        span(1'000'000'000, 1'000'010'000, 0, profile_slot::broker_round),
+        span(1'000'002'000, 1'000'005'000, 0, profile_slot::scheduler_plan),
+    };
+    std::ostringstream out;
+    richnote::obs::write_chrome_trace(spans, out);
+    EXPECT_EQ(out.str(),
+              "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+              "{\"name\":\"broker_round\",\"cat\":\"richnote\",\"ph\":\"X\","
+              "\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":10},\n"
+              "{\"name\":\"scheduler_plan\",\"cat\":\"richnote\",\"ph\":\"X\","
+              "\"pid\":1,\"tid\":0,\"ts\":2,\"dur\":3},\n"
+              "{\"name\":\"mckp_solve\",\"cat\":\"richnote\",\"ph\":\"X\","
+              "\"pid\":1,\"tid\":1,\"ts\":3,\"dur\":1.5}\n"
+              "]}\n");
+}
+
+TEST(span_export_suite, chrome_trace_of_nothing_is_an_empty_document) {
+    std::ostringstream out;
+    richnote::obs::write_chrome_trace({}, out);
+    EXPECT_EQ(out.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+}
+
+TEST(span_export_suite, collapsed_stacks_reconstruct_nesting_by_containment) {
+    // Lane 0: a 10us broker_round containing a 3us scheduler_plan which
+    // contains a 1us mckp_solve; then a disjoint second broker_round.
+    // Lane 1: an independent forest_predict (must NOT nest under lane 0).
+    const std::vector<span_record> spans = {
+        span(0, 10'000, 0, profile_slot::broker_round),
+        span(2'000, 5'000, 0, profile_slot::scheduler_plan),
+        span(3'000, 4'000, 0, profile_slot::mckp_solve),
+        span(20'000, 26'000, 0, profile_slot::broker_round),
+        span(1'000, 9'000, 1, profile_slot::forest_predict),
+    };
+    std::ostringstream out;
+    richnote::obs::write_collapsed_stacks(spans, out);
+    // Self-times: outer broker_round 10000-3000=7000 plus the second one
+    // 6000 => 13000; scheduler_plan 3000-1000=2000; mckp 1000.
+    EXPECT_EQ(out.str(),
+              "broker_round 13000\n"
+              "broker_round;scheduler_plan 2000\n"
+              "broker_round;scheduler_plan;mckp_solve 1000\n"
+              "forest_predict 8000\n");
+}
+
+TEST(span_export_suite, collapsed_stacks_are_input_order_independent) {
+    const std::vector<span_record> forward = {
+        span(0, 8'000, 0, profile_slot::broker_round),
+        span(1'000, 2'000, 0, profile_slot::mckp_solve),
+        span(500, 7'000, 1, profile_slot::sim_tick),
+    };
+    std::vector<span_record> reversed(forward.rbegin(), forward.rend());
+    std::ostringstream a;
+    std::ostringstream b;
+    richnote::obs::write_collapsed_stacks(forward, a);
+    richnote::obs::write_collapsed_stacks(reversed, b);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find("broker_round;mckp_solve 1000"), std::string::npos);
+}
+
+} // namespace

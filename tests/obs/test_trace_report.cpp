@@ -1,0 +1,128 @@
+// trace-report tests: the flat-JSON line parser (including truncated-line
+// tolerance), the per-type/per-field percentile aggregation, per-user
+// rollups, and deterministic rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_report.hpp"
+
+namespace {
+
+using richnote::obs::build_trace_report;
+using richnote::obs::parse_flat_json;
+using richnote::obs::trace_value;
+
+using fields_t = std::vector<std::pair<std::string, trace_value>>;
+
+TEST(trace_report_suite, parses_flat_objects_with_typed_values) {
+    fields_t fields;
+    ASSERT_TRUE(parse_flat_json(
+        R"({"type":"deliver","user":3,"utility":0.5,"metered":true,"net":"wifi"})",
+        fields));
+    ASSERT_EQ(fields.size(), 5u);
+    EXPECT_EQ(fields[0].first, "type");
+    EXPECT_EQ(fields[0].second.str, "deliver");
+    EXPECT_EQ(fields[1].second.num, 3.0);
+    EXPECT_EQ(fields[2].second.num, 0.5);
+    EXPECT_TRUE(fields[3].second.flag);
+    EXPECT_EQ(fields[4].second.str, "wifi");
+    ASSERT_TRUE(parse_flat_json("{}", fields));
+    EXPECT_TRUE(fields.empty());
+    // Escapes and scientific notation round-trip.
+    ASSERT_TRUE(parse_flat_json(R"({"s":"a\"b\\c\n","v":1.5e-3})", fields));
+    EXPECT_EQ(fields[0].second.str, "a\"b\\c\n");
+    EXPECT_DOUBLE_EQ(fields[1].second.num, 1.5e-3);
+}
+
+TEST(trace_report_suite, rejects_truncated_and_malformed_lines) {
+    fields_t fields;
+    // The prefixes a SIGKILLed writer could leave behind.
+    EXPECT_FALSE(parse_flat_json(R"({"type":"deliver","uti)", fields));
+    EXPECT_FALSE(parse_flat_json(R"({"type":"deliver")", fields));
+    EXPECT_FALSE(parse_flat_json(R"({"type":)", fields));
+    EXPECT_FALSE(parse_flat_json("", fields));
+    EXPECT_FALSE(parse_flat_json("not json", fields));
+    EXPECT_FALSE(parse_flat_json(R"({"a":1} trailing)", fields));
+}
+
+std::string sample_trace() {
+    std::ostringstream t;
+    // Two users, three rounds: 10 delivers with utility 0.1..1.0 and
+    // delay_sec 1..10, plus plan summaries and one fault.
+    for (int i = 1; i <= 10; ++i) {
+        t << R"({"type":"deliver","user":)" << (i % 2) << R"(,"round":)" << (i % 3)
+          << R"(,"item":)" << i << R"(,"utility":)" << 0.1 * i
+          << R"(,"delay_sec":)" << i << "}\n";
+    }
+    t << R"({"type":"plan","user":0,"round":0,"candidates":5,"selected":2})" << "\n";
+    t << R"({"type":"fault","user":1,"round":2,"kind":"blackout"})" << "\n";
+    return t.str();
+}
+
+TEST(trace_report_suite, aggregates_types_fields_and_user_rollups) {
+    std::istringstream in(sample_trace());
+    const auto report = build_trace_report(in);
+
+    EXPECT_EQ(report.total_events, 12u);
+    EXPECT_EQ(report.skipped_lines, 0u);
+    EXPECT_EQ(report.rounds, 3u);
+    EXPECT_EQ(report.users, 2u);
+    ASSERT_EQ(report.by_type.count("deliver"), 1u);
+    const auto& deliver = report.by_type.at("deliver");
+    EXPECT_EQ(deliver.count, 10u);
+    // item/user/round are identities, not measurements.
+    EXPECT_EQ(deliver.fields.count("item"), 0u);
+    const auto& delay = deliver.fields.at("delay_sec");
+    EXPECT_EQ(delay.count, 10u);
+    EXPECT_DOUBLE_EQ(delay.min, 1.0);
+    EXPECT_DOUBLE_EQ(delay.p50, 5.0);  // nearest-rank: ceil(0.5*10) = 5th
+    EXPECT_DOUBLE_EQ(delay.p95, 10.0); // ceil(0.95*10) = 10th
+    EXPECT_DOUBLE_EQ(delay.p99, 10.0);
+    EXPECT_DOUBLE_EQ(delay.max, 10.0);
+    EXPECT_DOUBLE_EQ(delay.mean, 5.5);
+    EXPECT_NEAR(deliver.fields.at("utility").mean, 0.55, 1e-12);
+    EXPECT_EQ(report.by_type.at("plan").fields.at("candidates").count, 1u);
+    // The fault event has no numeric fields at all.
+    EXPECT_TRUE(report.by_type.at("fault").fields.empty());
+
+    // Rollups: user 1 got the odd items (utility 0.1+0.3+...+0.9 = 2.5).
+    ASSERT_EQ(report.top_users.size(), 2u);
+    EXPECT_EQ(report.top_users[0].user, 0u); // 5 delivers + plan = 6 events
+    EXPECT_EQ(report.top_users[0].events, 6u);
+    EXPECT_EQ(report.top_users[0].delivers, 5u);
+    EXPECT_EQ(report.top_users[1].user, 1u);
+    EXPECT_NEAR(report.top_users[1].utility, 2.5, 1e-12);
+    EXPECT_DOUBLE_EQ(report.top_users[1].delay_sec, 5.0); // (1+3+5+7+9)/5
+}
+
+TEST(trace_report_suite, skips_bad_lines_and_caps_top_users) {
+    std::istringstream in(sample_trace() + "{\"type\":\"deliver\",\"trunca");
+    const auto report = build_trace_report(in, /*top_n=*/1);
+    EXPECT_EQ(report.total_events, 12u);
+    EXPECT_EQ(report.skipped_lines, 1u);
+    EXPECT_EQ(report.users, 2u); // rollup counts everyone...
+    EXPECT_EQ(report.top_users.size(), 1u); // ...the table shows top_n
+}
+
+TEST(trace_report_suite, rendering_is_deterministic_and_complete) {
+    std::istringstream in1(sample_trace());
+    std::istringstream in2(sample_trace());
+    std::ostringstream out1;
+    std::ostringstream out2;
+    richnote::obs::write_trace_report(build_trace_report(in1), out1);
+    richnote::obs::write_trace_report(build_trace_report(in2), out2);
+    EXPECT_EQ(out1.str(), out2.str());
+    const std::string& text = out1.str();
+    EXPECT_NE(text.find("trace report: 12 events, 3 rounds, 2 users"),
+              std::string::npos) << text;
+    EXPECT_NE(text.find("== events by type =="), std::string::npos);
+    EXPECT_NE(text.find("deliver  10"), std::string::npos);
+    EXPECT_NE(text.find("delay_sec  10  1  5  10  10  10  5.5"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("== top users by events =="), std::string::npos);
+}
+
+} // namespace

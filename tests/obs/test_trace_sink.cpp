@@ -1,8 +1,15 @@
 // trace_sink unit tests: event construction, field formatting, per-user
-// bucketing and the deterministic (round, user, seq) merge order.
+// bucketing, the deterministic (round, user, seq) merge order, and the
+// incremental file streaming that keeps a killed run's trace valid.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -98,6 +105,145 @@ TEST(trace_sink_suite, out_of_range_user_throws) {
     trace_sink sink(2);
     EXPECT_THROW(sink.event(2, 0, "x"), std::exception);
     EXPECT_THROW(sink.events_of(5), std::exception);
+}
+
+// ---- incremental streaming + crash durability (DESIGN.md §10) ----
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+std::string temp_path(const char* tag) {
+    return testing::TempDir() + "trace_sink_" + tag + "_" +
+           std::to_string(::getpid()) + ".ndjson";
+}
+
+/// Emits the same little multi-user run into any sink.
+void emit_three_rounds(trace_sink& sink) {
+    sink.event(1, 0, "a").field("i", 1);
+    sink.event(0, 0, "b").field("i", 2);
+    sink.event(0, 1, "c").field("i", 3);
+    sink.event(2, 1, "d").field("i", 4);
+    sink.event(1, 2, "e").field("i", 5);
+}
+
+TEST(trace_sink_suite, streamed_file_matches_write_ndjson_byte_for_byte) {
+    trace_sink reference(3);
+    emit_three_rounds(reference);
+    std::ostringstream expected;
+    reference.write_ndjson(expected);
+
+    const std::string path = temp_path("stream");
+    {
+        trace_sink sink(3);
+        EXPECT_FALSE(sink.streaming());
+        sink.attach_file(path);
+        EXPECT_TRUE(sink.streaming());
+        // Interleave emission with per-round flushes like the driver does.
+        sink.event(1, 0, "a").field("i", 1);
+        sink.event(0, 0, "b").field("i", 2);
+        sink.flush_through(0);
+        sink.event(0, 1, "c").field("i", 3);
+        sink.event(2, 1, "d").field("i", 4);
+        sink.flush_through(1);
+        sink.event(1, 2, "e").field("i", 5);
+        sink.finalize();
+        EXPECT_FALSE(sink.streaming());
+    }
+    EXPECT_EQ(slurp(path), expected.str());
+    std::remove(path.c_str());
+}
+
+TEST(trace_sink_suite, destructor_finalizes_an_attached_file) {
+    const std::string path = temp_path("dtor");
+    {
+        trace_sink sink(3);
+        sink.attach_file(path);
+        emit_three_rounds(sink);
+        // No explicit finalize: the destructor must flush everything.
+    }
+    trace_sink reference(3);
+    emit_three_rounds(reference);
+    std::ostringstream expected;
+    reference.write_ndjson(expected);
+    EXPECT_EQ(slurp(path), expected.str());
+    std::remove(path.c_str());
+}
+
+TEST(trace_sink_suite, double_attach_throws_and_finalize_is_idempotent) {
+    const std::string path = temp_path("attach");
+    trace_sink sink(1);
+    sink.attach_file(path);
+    EXPECT_THROW(sink.attach_file(path), std::exception);
+    sink.finalize();
+    sink.finalize(); // second call is a no-op
+    EXPECT_THROW(sink.attach_file("/nonexistent-dir/x.ndjson"), std::exception);
+    std::remove(path.c_str());
+}
+
+TEST(trace_sink_suite, killed_writer_leaves_a_valid_flushed_prefix) {
+    // A child process streams two rounds, flushes them, buffers a third
+    // round WITHOUT flushing, then dies hard (SIGKILL — no destructors, no
+    // atexit). The file must hold exactly the flushed prefix, every line a
+    // complete JSON object.
+    const std::string path = temp_path("killed");
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        trace_sink sink(2);
+        sink.attach_file(path);
+        sink.event(0, 0, "a").field("i", 1);
+        sink.event(1, 0, "b").field("i", 2);
+        sink.flush_through(0);
+        sink.event(0, 1, "c").field("i", 3);
+        sink.flush_through(1);
+        sink.event(1, 2, "d").field("i", 4); // buffered, never flushed
+        ::kill(::getpid(), SIGKILL);
+        ::_exit(127); // unreachable
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+    EXPECT_EQ(slurp(path),
+              R"({"type":"a","user":0,"round":0,"i":1})"
+              "\n"
+              R"({"type":"b","user":1,"round":0,"i":2})"
+              "\n"
+              R"({"type":"c","user":0,"round":1,"i":3})"
+              "\n");
+    std::remove(path.c_str());
+}
+
+TEST(trace_sink_suite, atexit_guard_flushes_on_plain_exit) {
+    // A child that calls exit() mid-run (no finalize, no destructor — the
+    // sink is leaked on purpose) still gets its buffered events flushed by
+    // the atexit guard.
+    const std::string path = temp_path("atexit");
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        auto* sink = new trace_sink(2); // leaked: only atexit can flush it
+        sink->attach_file(path);
+        sink->event(0, 0, "a").field("i", 1);
+        sink->event(1, 1, "b").field("i", 2);
+        std::exit(0);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+
+    EXPECT_EQ(slurp(path),
+              R"({"type":"a","user":0,"round":0,"i":1})"
+              "\n"
+              R"({"type":"b","user":1,"round":1,"i":2})"
+              "\n");
+    std::remove(path.c_str());
 }
 
 } // namespace

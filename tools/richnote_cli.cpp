@@ -14,6 +14,14 @@
 //       the §V-C metrics (the model defaults to training on the fly).
 //   richnote sweep users=200 seed=1 budgets=1,5,20,100 [csv=out.csv]
 //       The Fig. 3/4 budget sweep across RichNote/FIFO/UTIL in one table.
+//   richnote trace-report trace=run.ndjson [top=10]
+//       Aggregate a simulate run's NDJSON decision trace into per-event-
+//       type percentile tables and per-user rollups.
+//
+// Live telemetry (DESIGN.md §10): simulate/sweep take expo_port=PORT to
+// serve /metrics, /progress and /healthz while the run executes, and
+// simulate takes profile=on (plus profile_trace= / profile_flame=) to
+// sample the hot paths and export a Chrome trace / flamegraph.
 //
 // All arguments are key=value; `richnote help` prints this text.
 #include <chrono>
@@ -26,9 +34,12 @@
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 #include "ml/metrics.hpp"
+#include "obs/expo_server.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/profile.hpp"
 #include "obs/run_manifest.hpp"
+#include "obs/span_export.hpp"
+#include "obs/trace_report.hpp"
 #include "obs/trace_sink.hpp"
 #include "trace/generator.hpp"
 #include "trace/stats.hpp"
@@ -50,9 +61,20 @@ subcommands:
            [fault_intensity=0..1] [fault_seed=7] [retry_max=8]
            [retry_backoff_sec=0] [threads=1]
            [trace=run.ndjson] [metrics=metrics.json] [manifest=run.json]
+           [expo_port=0] [profile=off] [profile_sample_every=16]
+           [profile_trace=trace.json] [profile_flame=flame.txt]
   sweep    users=200 seed=1 budgets=1,5,20,100 [manifest=run.json]
+           [expo_port=0]
+  trace-report trace=run.ndjson [top=10]
   inspect  trace=trace.csv users=200 [top=10]
   help
+
+live telemetry: expo_port starts an embedded HTTP server on 127.0.0.1
+(0 = ephemeral) serving /metrics (Prometheus text), /progress (JSON) and
+/healthz for the duration of the run. profile=on enables the runtime
+sampling profiler; profile_trace/profile_flame write a Chrome trace-event
+JSON / collapsed-stack flamegraph of the sampled spans (both imply
+profile=on).
 )";
 }
 
@@ -117,7 +139,9 @@ core::scheduler_kind parse_kind(const std::string& name) {
 int cmd_simulate(const config& cfg) {
     cfg.restrict_to({"users", "seed", "scheduler", "budget_mb", "fixed_level", "wifi",
                      "model", "trees", "fault_intensity", "fault_seed", "retry_max",
-                     "retry_backoff_sec", "threads", "trace", "metrics", "manifest"});
+                     "retry_backoff_sec", "threads", "trace", "metrics", "manifest",
+                     "expo_port", "profile", "profile_sample_every", "profile_trace",
+                     "profile_flame"});
     const auto started = std::chrono::steady_clock::now();
     core::experiment_setup::options opts;
     opts.workload = workload_params_from(cfg);
@@ -156,32 +180,77 @@ int cmd_simulate(const config& cfg) {
         cfg.get_double("retry_backoff_sec", params.retry.backoff_base_sec);
     params.worker_threads = static_cast<std::size_t>(cfg.get_int("threads", 1));
 
-    // Optional observability outputs: an NDJSON decision trace, a metrics
+    // Optional observability outputs: an NDJSON decision trace (streamed
+    // incrementally so a killed run keeps a valid prefix), a metrics
     // snapshot, and a run manifest (DESIGN.md §9).
     std::unique_ptr<obs::trace_sink> sink;
     if (cfg.has("trace")) {
         sink = std::make_unique<obs::trace_sink>(setup.world().user_count());
+        sink->attach_file(cfg.get_string("trace", "run.ndjson"));
         params.trace = sink.get();
     }
     obs::metrics_registry registry;
     if (cfg.has("metrics")) params.registry = &registry;
 
+    // Live exposition server: /metrics, /progress, /healthz during the run.
+    std::unique_ptr<obs::expo_server> expo;
+    if (cfg.has("expo_port")) {
+        expo = std::make_unique<obs::expo_server>(
+            static_cast<std::uint16_t>(cfg.get_int("expo_port", 0)));
+        params.progress = expo.get();
+        std::cerr << "[expo] serving http://127.0.0.1:" << expo->port()
+                  << "/metrics during the run\n";
+    }
+
+    // Runtime sampling profiler: profile=on, or implied by either export.
+    const bool profiling = cfg.get_bool("profile", false) ||
+                           cfg.has("profile_trace") || cfg.has("profile_flame");
+    if (profiling) {
+        obs::profile_config pc;
+        pc.sample_every =
+            static_cast<std::uint32_t>(cfg.get_int("profile_sample_every", 16));
+        obs::profile_configure(pc);
+        obs::profile_reset();
+        obs::profile_set_enabled(true);
+    }
+
     const auto r = core::run_experiment(setup, params);
 
-    if (sink) {
-        const std::string path = cfg.get_string("trace", "run.ndjson");
+    std::vector<obs::span_record> spans;
+    if (profiling) {
+        obs::profile_set_enabled(false);
+        obs::profile_drain(spans);
+        std::cerr << "[profile] " << spans.size() << " sampled spans";
+        if (const auto dropped = obs::profile_dropped(); dropped > 0)
+            std::cerr << " (" << dropped << " dropped)";
+        std::cerr << '\n';
+    }
+    if (cfg.has("profile_trace")) {
+        const std::string path = cfg.get_string("profile_trace", "profile_trace.json");
         std::ofstream out(path);
-        RICHNOTE_REQUIRE(out.good(), "cannot open trace output: " + path);
-        sink->write_ndjson(out);
-        std::cerr << "[trace] wrote " << sink->event_count() << " events to " << path
-                  << '\n';
+        RICHNOTE_REQUIRE(out.good(), "cannot open profile trace output: " + path);
+        obs::write_chrome_trace(spans, out);
+        std::cerr << "[profile] wrote Chrome trace to " << path << '\n';
+    }
+    if (cfg.has("profile_flame")) {
+        const std::string path = cfg.get_string("profile_flame", "profile_flame.txt");
+        std::ofstream out(path);
+        RICHNOTE_REQUIRE(out.good(), "cannot open flamegraph output: " + path);
+        obs::write_collapsed_stacks(spans, out);
+        std::cerr << "[profile] wrote collapsed stacks to " << path << '\n';
+    }
+
+    if (sink) {
+        sink->finalize();
+        std::cerr << "[trace] wrote " << sink->event_count() << " events to "
+                  << cfg.get_string("trace", "run.ndjson") << '\n';
     }
     if (cfg.has("metrics")) {
         const std::string path = cfg.get_string("metrics", "metrics.json");
         std::ofstream out(path);
         RICHNOTE_REQUIRE(out.good(), "cannot open metrics output: " + path);
-        // Hot-path timing slots ride along when the build has RICHNOTE_TRACE
-        // on; in default builds profile_export is a no-op.
+        // Hot-path timing totals ride along whenever the run profiled;
+        // with the profiler idle profile_export adds nothing.
         obs::profile_export(registry);
         registry.write_json(out);
         std::cerr << "[metrics] wrote " << path << '\n';
@@ -274,8 +343,20 @@ int cmd_inspect(const config& cfg) {
     return 0;
 }
 
+int cmd_trace_report(const config& cfg) {
+    cfg.restrict_to({"trace", "top"});
+    const std::string path = cfg.get_string("trace", "run.ndjson");
+    std::ifstream in(path);
+    RICHNOTE_REQUIRE(in.good(), "cannot open trace file: " + path);
+    const auto top = static_cast<std::size_t>(cfg.get_int("top", 10));
+    const obs::trace_report report = obs::build_trace_report(in, top);
+    obs::write_trace_report(report, std::cout);
+    return 0;
+}
+
 int cmd_sweep(const config& cfg) {
-    cfg.restrict_to({"users", "seed", "budgets", "trees", "csv", "manifest"});
+    cfg.restrict_to({"users", "seed", "budgets", "trees", "csv", "manifest",
+                     "expo_port"});
     const auto started = std::chrono::steady_clock::now();
     core::experiment_setup::options opts;
     opts.workload = workload_params_from(cfg);
@@ -296,6 +377,14 @@ int cmd_sweep(const config& cfg) {
         }
     }
 
+    std::unique_ptr<obs::expo_server> expo;
+    if (cfg.has("expo_port")) {
+        expo = std::make_unique<obs::expo_server>(
+            static_cast<std::uint16_t>(cfg.get_int("expo_port", 0)));
+        std::cerr << "[expo] serving http://127.0.0.1:" << expo->port()
+                  << "/metrics during the sweep\n";
+    }
+
     table t({"budget(MB)", "scheduler", "delivery%", "recall", "precision", "utility",
              "delay(min)"});
     for (double budget : budgets) {
@@ -306,6 +395,7 @@ int cmd_sweep(const config& cfg) {
             params.fixed_level = 3;
             params.weekly_budget_mb = budget;
             params.seed = opts.seed;
+            params.progress = expo.get();
             const auto r = core::run_experiment(setup, params);
             t.add_row({format_double(budget, 0), r.scheduler_name,
                        format_double(100.0 * r.delivery_ratio, 1),
@@ -351,6 +441,7 @@ int main(int argc, char** argv) try {
     if (command == "train") return cmd_train(cfg);
     if (command == "simulate") return cmd_simulate(cfg);
     if (command == "sweep") return cmd_sweep(cfg);
+    if (command == "trace-report") return cmd_trace_report(cfg);
     if (command == "inspect") return cmd_inspect(cfg);
     std::cerr << "unknown subcommand: " << command << "\n\n";
     print_usage();
