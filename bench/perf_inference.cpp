@@ -8,12 +8,18 @@
 //                  pointer-chasing node vectors) — the pre-flattening path;
 //  - flat_item:    flat_forest::predict_proba per row (one SoA arena);
 //  - flat_batch:   flat_forest batched predict over the whole matrix
-//                  (trees-outer, rows-inner) — the cached_content_utility
-//                  precompute path.
+//                  (cache-blocked, trees-outer / rows-inner) through the
+//                  runtime-dispatched SIMD kernel — the
+//                  cached_content_utility precompute path;
+//  - flat_batch_mt: the same batch sharded across worker threads.
 // Each scorer runs repeat= passes and reports its best items/sec (best-of-N
 // rides out scheduler noise). The harness also times random_forest::fit
 // sequentially and with fit_threads= threads, and verifies that every path
-// produces bit-identical probabilities before reporting anything.
+// — including the batch under BOTH dispatch targets (the active kernel and
+// the forced-scalar fallback) — produces bit-identical probabilities before
+// reporting anything. The detected ISA + chosen kernel is reported as the
+// `uarch` field so trajectory comparisons can tell a cross-machine run from
+// a regression.
 //
 // Output is machine-readable JSON on stdout (or json=PATH); scripts/bench.sh
 // folds it into BENCH_perf.json at the repo root.
@@ -24,6 +30,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +40,7 @@
 #include "common/rng.hpp"
 #include "ml/flat_forest.hpp"
 #include "ml/random_forest.hpp"
+#include "ml/simd_dispatch.hpp"
 #include "obs/run_manifest.hpp"
 
 namespace {
@@ -101,18 +109,34 @@ int main(int argc, char** argv) try {
         best_of(repeat, [&] { forest_parallel.fit(train, params, seed); });
 
     const ml::flat_forest flat(forest);
+    const std::string uarch =
+        std::string(ml::simd::arch_name()) + "/" + ml::simd::isa_name(ml::simd::active_isa());
 
-    // Correctness gate: all three scoring paths must agree bit-for-bit, and
-    // the parallel fit must reproduce the sequential forest exactly.
+    // Correctness gate: all scoring paths must agree bit-for-bit — the
+    // active dispatch target, the forced-scalar kernel, the threaded batch
+    // — and the parallel fit must reproduce the sequential forest exactly.
     std::vector<double> reference(rows);
     for (std::size_t r = 0; r < rows; ++r)
         reference[r] = forest.predict_proba(probe.row(r));
     const std::vector<double> batched = flat.predict_proba(probe);
+    const std::span<const double> matrix{probe.row(0).data(),
+                                         rows * probe.feature_count()};
+    std::vector<double> scalar_batched(rows);
+    {
+        ml::simd::scoped_isa_override force(ml::simd::isa::scalar);
+        flat.predict_proba(matrix, rows, scalar_batched);
+    }
+    std::vector<double> threaded_batched(rows);
+    flat.predict_proba(matrix, rows, threaded_batched, 0);
     for (std::size_t r = 0; r < rows; ++r) {
         RICHNOTE_CHECK(flat.predict_proba(probe.row(r)) == reference[r],
                        "flat single-row prediction diverged from the forest");
         RICHNOTE_CHECK(batched[r] == reference[r],
                        "flat batched prediction diverged from the forest");
+        RICHNOTE_CHECK(scalar_batched[r] == reference[r],
+                       "scalar-kernel batch diverged from the forest");
+        RICHNOTE_CHECK(threaded_batched[r] == reference[r],
+                       "threaded batch diverged from the forest");
         RICHNOTE_CHECK(forest_parallel.predict_proba(probe.row(r)) == reference[r],
                        "parallel fit diverged from the sequential forest");
     }
@@ -131,7 +155,11 @@ int main(int argc, char** argv) try {
     });
     std::vector<double> out(rows);
     const double flat_batch_sec = best_of(repeat, [&] {
-        flat.predict_proba({probe.row(0).data(), rows * probe.feature_count()}, rows, out);
+        flat.predict_proba(matrix, rows, out);
+        checksum = out[rows - 1];
+    });
+    const double flat_batch_mt_sec = best_of(repeat, [&] {
+        flat.predict_proba(matrix, rows, out, fit_threads);
         checksum = out[rows - 1];
     });
 
@@ -139,6 +167,7 @@ int main(int argc, char** argv) try {
     const double forest_rate = n / forest_item_sec;
     const double flat_item_rate = n / flat_item_sec;
     const double flat_batch_rate = n / flat_batch_sec;
+    const double flat_batch_mt_rate = n / flat_batch_mt_sec;
 
     std::ostringstream json;
     json.precision(6);
@@ -152,7 +181,9 @@ int main(int argc, char** argv) try {
          << "  \"scoring\": {\"forest_items_per_sec\": " << forest_rate
          << ", \"flat_items_per_sec\": " << flat_item_rate
          << ", \"flat_batch_items_per_sec\": " << flat_batch_rate
+         << ", \"flat_batch_mt_items_per_sec\": " << flat_batch_mt_rate
          << ", \"flat_batch_speedup\": " << flat_batch_rate / forest_rate
+         << ", \"uarch\": \"" << uarch << "\""
          << ", \"bit_identical\": true},\n"
          << "  \"fit\": {\"sequential_sec\": " << fit_sequential_sec
          << ", \"parallel_sec\": " << fit_parallel_sec
@@ -175,9 +206,11 @@ int main(int argc, char** argv) try {
         manifest.add_config("trees", static_cast<std::uint64_t>(trees));
         manifest.add_config("repeat", static_cast<std::uint64_t>(repeat));
         manifest.add_config("fit_threads", static_cast<std::uint64_t>(fit_threads));
+        manifest.add_config("uarch", uarch);
         manifest.add_timing("forest_items_per_sec", forest_rate);
         manifest.add_timing("flat_items_per_sec", flat_item_rate);
         manifest.add_timing("flat_batch_items_per_sec", flat_batch_rate);
+        manifest.add_timing("flat_batch_mt_items_per_sec", flat_batch_mt_rate);
         manifest.add_timing("fit_sequential_sec", fit_sequential_sec);
         manifest.add_timing("fit_parallel_sec", fit_parallel_sec);
         manifest.write_file(cfg.get_string("manifest", ""));

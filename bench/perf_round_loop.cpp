@@ -8,9 +8,12 @@
 //  2. Steady-state scheduler kernel: one richnote_scheduler with a loaded
 //     queue planning round after round with nothing delivered — the regime a
 //     backlogged user sits in. Reports p50/p99 plan latency, planned
-//     items/sec, and heap allocations per round measured by the instrumented
+//     items/sec, heap allocations per round measured by the instrumented
 //     global operator new below (must be zero once the scratch arenas are
-//     warm).
+//     warm), and the incremental-MCKP path counters (reuse / replay /
+//     repair / cold) so the trajectory shows WHICH re-solve path the kernel
+//     actually sat in. The detected ISA + chosen forest kernel is reported
+//     as the `uarch` field for cross-machine comparisons.
 //
 // Output is machine-readable JSON on stdout (or json=PATH); scripts/bench.sh
 // folds it into BENCH_perf.json at the repo root. Pass
@@ -42,6 +45,7 @@
 #include "core/presentation.hpp"
 #include "core/scheduler.hpp"
 #include "energy/model.hpp"
+#include "ml/simd_dispatch.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/profile.hpp"
 #include "obs/run_manifest.hpp"
@@ -217,6 +221,9 @@ int main(int argc, char** argv) try {
     const std::uint64_t kernel_allocs = allocations() - allocs_before;
     const double allocs_per_round =
         static_cast<double>(kernel_allocs) / static_cast<double>(plan_iters);
+    const core::mckp_incremental_scratch::stats& mckp = sched.mckp_stats();
+    const std::string uarch = std::string(ml::simd::arch_name()) + "/" +
+                              ml::simd::isa_name(ml::simd::active_isa());
 
     std::ostringstream json;
     json.precision(6);
@@ -227,7 +234,8 @@ int main(int argc, char** argv) try {
          << "  \"params\": {\"users\": " << users << ", \"rounds\": " << rounds
          << ", \"seed\": " << seed << ", \"trees\": " << trees
          << ", \"worker_threads\": " << threads << ", \"weekly_budget_mb\": " << budget_mb
-         << ", \"profile\": " << (profiling ? "true" : "false") << "},\n"
+         << ", \"profile\": " << (profiling ? "true" : "false")
+         << ", \"uarch\": \"" << uarch << "\"},\n"
          << "  \"round_loop\": {\"rounds_run\": " << result.rounds_run
          << ", \"wall_sec\": " << run_wall << ", \"rounds_per_sec\": " << rounds_per_sec
          << ", \"user_rounds_per_sec\": " << user_rounds_per_sec
@@ -241,6 +249,11 @@ int main(int argc, char** argv) try {
          << ", \"p99_round_us\": " << pct(latencies_us, 0.99)
          << ", \"planned_items_per_sec\": "
          << (kernel_wall > 0 ? static_cast<double>(planned_items) / kernel_wall : 0.0)
+         << ", \"mckp_rounds\": " << mckp.rounds
+         << ", \"mckp_reused\": " << mckp.reused
+         << ", \"mckp_replayed\": " << mckp.replayed
+         << ", \"mckp_repaired\": " << mckp.repaired
+         << ", \"mckp_cold\": " << mckp.cold
          << "}\n"
          << "}\n";
 
@@ -283,6 +296,7 @@ int main(int argc, char** argv) try {
         manifest.add_config("weekly_budget_mb", budget_mb);
         manifest.add_config("queue", static_cast<std::uint64_t>(queue_depth));
         manifest.add_config("plan_iters", static_cast<std::uint64_t>(plan_iters));
+        manifest.add_config("uarch", uarch);
         manifest.add_timing("round_loop_wall_sec", run_wall);
         manifest.add_timing("rounds_per_sec", rounds_per_sec);
         manifest.add_timing("user_rounds_per_sec", user_rounds_per_sec);

@@ -10,6 +10,13 @@
 #              own users/rounds so the comparison is apples-to-apples, then
 #              exits non-zero if the best fresh run is >10% slower in
 #              rounds/sec or allocates more per round than the reference.
+#              Also re-runs perf_inference at the reference's row count and
+#              applies the same floor to flat_batch_items_per_sec — but only
+#              when the reference records a matching uarch (ISA + kernel):
+#              a trajectory measured on an AVX2 host says nothing about a
+#              scalar-dispatch run, so cross-uarch comparisons are reported
+#              and skipped rather than failed. References that predate the
+#              uarch field gate the round loop only.
 #              Does not write BENCH_perf.json.
 #
 # Environment overrides: USERS, ROUNDS, REPEAT, BASELINE (the pre-optimization
@@ -42,20 +49,27 @@ if [ "${1:-}" = "--gate" ]; then
   [ -f "$REF" ] || { echo "[bench] gate: reference $REF not found" >&2; exit 2; }
   # The reference records the sizes it was measured at; reuse them so the
   # gate never compares a 200-user smoke run against a 2000-user baseline.
-  read -r USERS ROUNDS REF_RPS REF_ALLOCS <<EOF
+  # REF_BATCH/REF_UARCH come from the inference section when present ("-"
+  # marks an old reference without it, which gates the round loop only).
+  read -r USERS ROUNDS REF_RPS REF_ALLOCS REF_ROWS REF_BATCH REF_UARCH <<EOF
 $(python3 -c "
 import json, sys
 doc = json.load(open(sys.argv[1]))
 rl = doc['round_loop']
+inf = doc.get('inference', {})
+scoring = inf.get('scoring', {})
 print(rl['params']['users'], rl['params']['rounds'],
       rl['round_loop']['rounds_per_sec'],
-      rl['steady_state']['allocs_per_round'])
+      rl['steady_state']['allocs_per_round'],
+      inf.get('params', {}).get('rows', '-'),
+      scoring.get('flat_batch_items_per_sec', '-'),
+      scoring.get('uarch', '-'))
 " "$REF")
 EOF
   MAX_PCT=${GATE_MAX_REGRESSION_PCT:-10}
   BUILD_DIR=build-perf
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DRICHNOTE_LTO=ON >/dev/null
-  cmake --build "$BUILD_DIR" -j "$(nproc)" --target perf_round_loop
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target perf_round_loop perf_inference
   TMP_DIR="$BUILD_DIR/bench-runs"
   mkdir -p "$TMP_DIR"
   best_json=""
@@ -72,7 +86,24 @@ EOF
       best_json=$run_json
     fi
   done
-  python3 - "$best_json" "$REF_RPS" "$REF_ALLOCS" "$MAX_PCT" <<'EOF'
+  infer_json="-"
+  if [ "$REF_BATCH" != "-" ]; then
+    best_batch=0
+    for i in $(seq 1 "$REPEAT"); do
+      run_json="$TMP_DIR/gate_infer_$i.json"
+      "$BUILD_DIR/bench/perf_inference" rows="$REF_ROWS" json="$run_json" \
+        >/dev/null 2>&1
+      batch=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['scoring']['flat_batch_items_per_sec'])" "$run_json")
+      echo "[bench] gate inference run $i/$REPEAT: $batch flat-batch items/sec" >&2
+      better=$(python3 -c "import sys; print(1 if float(sys.argv[1]) > float(sys.argv[2]) else 0)" "$batch" "$best_batch")
+      if [ "$better" = "1" ]; then
+        best_batch=$batch
+        infer_json=$run_json
+      fi
+    done
+  fi
+  python3 - "$best_json" "$REF_RPS" "$REF_ALLOCS" "$MAX_PCT" \
+    "$infer_json" "$REF_BATCH" "$REF_UARCH" <<'EOF'
 import json, sys
 
 run = json.load(open(sys.argv[1]))
@@ -96,6 +127,34 @@ if allocs > ref_allocs:
 
 print(f"[bench] gate: {rps:.2f} rounds/sec vs reference {ref_rps:.2f} "
       f"({delta_pct:+.1f}%), allocs/round {allocs:g} (reference {ref_allocs:g})")
+
+if sys.argv[5] == "-":
+    print("[bench] gate: reference has no inference section; "
+          "flat_batch gate skipped")
+else:
+    infer = json.load(open(sys.argv[5]))
+    scoring = infer["scoring"]
+    batch = scoring["flat_batch_items_per_sec"]
+    uarch = scoring["uarch"]
+    ref_batch = float(sys.argv[6])
+    ref_uarch = sys.argv[7]
+    if ref_uarch not in ("-", uarch):
+        # A different ISA/kernel pairing is a different machine class, not a
+        # regression; report the numbers but do not fail on them.
+        print(f"[bench] gate: uarch changed ({ref_uarch} -> {uarch}); "
+              f"flat_batch {batch:.0f} vs reference {ref_batch:.0f} "
+              f"items/sec NOT gated")
+    else:
+        batch_floor = ref_batch * (1.0 - max_pct / 100.0)
+        batch_delta = (batch - ref_batch) / ref_batch * 100.0
+        print(f"[bench] gate: {batch:.0f} flat-batch items/sec vs reference "
+              f"{ref_batch:.0f} ({batch_delta:+.1f}%) on {uarch}")
+        if batch < batch_floor:
+            failures.append(
+                f"flat_batch_items_per_sec regressed: {batch:.0f} < "
+                f"{batch_floor:.0f} (reference {ref_batch:.0f}, "
+                f"{batch_delta:+.1f}%, limit -{max_pct:g}%)")
+
 if failures:
     for f in failures:
         print(f"[bench] gate FAIL: {f}", file=sys.stderr)

@@ -14,9 +14,13 @@
 #                the sharded round loop + trace merge (test_integration).
 #   --bench      perf smoke + regression gate: runs scripts/bench.sh --quick
 #                (small fixed sizes), fails unless the emitted BENCH JSON
-#                parses and carries the expected sections, then runs
-#                scripts/bench.sh --gate against the tracked BENCH_perf.json
-#                (>10% rounds/sec regression or any alloc/round growth fails).
+#                parses and carries the expected sections, re-runs the
+#                inference harness under BOTH dispatch paths (the detected
+#                kernel and RICHNOTE_FORCE_SCALAR=1) — each run's internal
+#                bit-identity gate must hold and the reported uarch must
+#                match the forced path — then runs scripts/bench.sh --gate
+#                against the tracked BENCH_perf.json (>10% rounds/sec or
+#                flat-batch regression, or any alloc/round growth, fails).
 #   --trace      observability smoke: runs the CLI twice at the same seed
 #                with trace/metrics/manifest outputs enabled, fails unless
 #                the two NDJSON streams are byte-identical, every line
@@ -112,6 +116,32 @@ for section in ("round_loop", "inference"):
         sys.exit(f"BENCH JSON section {section} has wrong schema tag")
 print(f"[check] {sys.argv[1]} is well-formed")
 EOF
+  # Exercise the runtime SIMD dispatch both ways: the detected kernel and
+  # the forced-scalar fallback. perf_inference aborts before emitting JSON
+  # if any scoring path diverges bitwise, so a parsed JSON with
+  # bit_identical=true IS the cross-kernel equivalence proof.
+  for mode in native scalar; do
+    out_json="build-perf/BENCH_dispatch_$mode.json"
+    if [ "$mode" = "scalar" ]; then
+      RICHNOTE_FORCE_SCALAR=1 build-perf/bench/perf_inference rows=5000 \
+        repeat=2 json="$out_json"
+    else
+      build-perf/bench/perf_inference rows=5000 repeat=2 json="$out_json"
+    fi
+    python3 - "$out_json" "$mode" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+scoring = doc["scoring"]
+if scoring.get("bit_identical") is not True:
+    sys.exit(f"{sys.argv[2]} dispatch run did not verify bit-identical")
+uarch = scoring.get("uarch", "")
+if sys.argv[2] == "scalar" and not uarch.endswith("/scalar"):
+    sys.exit(f"RICHNOTE_FORCE_SCALAR=1 run reported uarch {uarch!r}")
+print(f"[check] dispatch {sys.argv[2]}: uarch {uarch}, bit-identical across "
+      f"forest / flat / batch / scalar-batch / threaded-batch")
+EOF
+  done
   scripts/bench.sh --gate
   exit 0
 fi

@@ -230,7 +230,7 @@ const std::vector<planned_delivery>& richnote_scheduler::plan(const round_contex
     }
 
     const mckp_solution& solution =
-        select_presentations(instance_, budget, params_.mckp, mckp_scratch_);
+        select_presentations_incremental(instance_, budget, params_.mckp, mckp_scratch_);
 
     // Materialize the plan and sort by descending TRUE utility (Algorithm 2
     // step 1: "sort them in descending order of their utility values").

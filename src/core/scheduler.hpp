@@ -304,6 +304,12 @@ public:
     /// Item-rounds spent waiting for WiFi under the deferral policy.
     std::uint64_t deferred_item_rounds() const noexcept { return deferred_item_rounds_; }
 
+    /// Per-path call counters of the incremental MCKP re-solver (reuse /
+    /// replay / repair / cold mix; exported by bench/perf_round_loop).
+    const mckp_incremental_scratch::stats& mckp_stats() const noexcept {
+        return mckp_scratch_.counters;
+    }
+
     checkpoint_state checkpoint() const override;
     void restore(const checkpoint_state& state) override;
 
@@ -328,7 +334,9 @@ private:
     std::vector<double> rho_flat_;
     std::vector<std::size_t> rho_offset_;
     std::vector<double> aged_uc_;
-    mckp_scratch mckp_scratch_;
+    /// Incremental MCKP state: carries the previous round's solution and
+    /// canonical upgrade schedule across rounds (see mckp_incremental_scratch).
+    mckp_incremental_scratch mckp_scratch_;
 };
 
 /// The §III-C formulation solved directly, WITHOUT the Lyapunov

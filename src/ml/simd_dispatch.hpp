@@ -1,0 +1,86 @@
+// Runtime SIMD dispatch for the inference kernels (DESIGN.md §8).
+//
+// The batch scorer picks its traversal kernel once per process: AVX2 on
+// x86-64 hosts that report it, NEON on aarch64 (architecturally guaranteed),
+// scalar everywhere else. Setting RICHNOTE_FORCE_SCALAR=1 in the environment
+// pins the scalar kernel — scripts/check.sh --bench uses this to time and
+// cross-check both paths — and tests can force a target in-process with
+// scoped_isa_override. Every kernel is bit-identical by contract (same
+// comparisons on the same doubles, same accumulation order), so the choice
+// is invisible except in items/sec; the chosen kernel is still recorded in
+// the bench JSON / run manifests as the `uarch` field so
+// scripts/manifest_diff.py can tell a cross-machine run from a regression.
+#pragma once
+
+#include <cstdlib>
+
+namespace richnote::ml::simd {
+
+enum class isa { scalar, avx2, neon };
+
+inline const char* isa_name(isa kind) noexcept {
+    switch (kind) {
+        case isa::avx2: return "avx2";
+        case isa::neon: return "neon";
+        default: return "scalar";
+    }
+}
+
+inline const char* arch_name() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+    return "x86_64";
+#elif defined(__aarch64__)
+    return "aarch64";
+#else
+    return "generic";
+#endif
+}
+
+namespace detail {
+
+inline isa detect() noexcept {
+    const char* force = std::getenv("RICHNOTE_FORCE_SCALAR");
+    if (force != nullptr && force[0] == '1' && force[1] == '\0') return isa::scalar;
+#if defined(__x86_64__)
+    return __builtin_cpu_supports("avx2") ? isa::avx2 : isa::scalar;
+#elif defined(__aarch64__)
+    return isa::neon;
+#else
+    return isa::scalar;
+#endif
+}
+
+/// -1 = no override; otherwise the forced isa as an int.
+inline int& override_slot() noexcept {
+    static int value = -1;
+    return value;
+}
+
+} // namespace detail
+
+/// The kernel the batch scorer will use. Detection (including the
+/// RICHNOTE_FORCE_SCALAR read) is cached on first call.
+inline isa active_isa() noexcept {
+    static const isa detected = detail::detect();
+    const int forced = detail::override_slot();
+    return forced < 0 ? detected : static_cast<isa>(forced);
+}
+
+/// Test-only RAII override of the dispatch decision (the bit-identity
+/// suites compare kernels within one process). Not synchronized: install
+/// only while no other thread is scoring, and never force an isa the host
+/// cannot execute.
+class scoped_isa_override {
+public:
+    explicit scoped_isa_override(isa kind) noexcept : prev_(detail::override_slot()) {
+        detail::override_slot() = static_cast<int>(kind);
+    }
+    ~scoped_isa_override() { detail::override_slot() = prev_; }
+    scoped_isa_override(const scoped_isa_override&) = delete;
+    scoped_isa_override& operator=(const scoped_isa_override&) = delete;
+
+private:
+    int prev_;
+};
+
+} // namespace richnote::ml::simd

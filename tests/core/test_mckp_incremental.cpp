@@ -1,0 +1,229 @@
+// Property suite for the incremental MCKP re-solver: across randomized
+// add / remove / re-price churn sequences, every round's solution must be
+// byte-identical to a from-scratch cold solve, and on small instances the
+// usual oracle sandwich (greedy <= exact <= fractional bound) must hold.
+// One persistent scratch per sequence, so the reuse / replay / repair /
+// cold paths are all exercised against accumulated state.
+#include "core/mckp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mckp_oracle.hpp"
+
+namespace {
+
+using richnote::rng;
+using namespace richnote::core;
+using richnote::testing::mckp_oracle;
+
+constexpr double eps = 1e-9;
+
+mckp_item random_item(rng& gen) {
+    mckp_item item;
+    const std::size_t levels = 1 + gen.index(4);
+    double size = 0.0;
+    for (std::size_t j = 0; j < levels; ++j) {
+        size += gen.uniform(0.5, 20.0);
+        item.sizes.push_back(size);
+        // Adjusted utilities may be negative (Eq. 7); exercise that.
+        item.utilities.push_back(gen.uniform(-2.0, 10.0));
+    }
+    return item;
+}
+
+std::vector<mckp_item> random_instance(rng& gen, std::size_t max_items) {
+    std::vector<mckp_item> items(gen.index(max_items + 1));
+    for (mckp_item& item : items) item = random_item(gen);
+    return items;
+}
+
+/// One round of scheduler-like churn: mostly re-prices and menu clears
+/// (positional removals leave an empty slot, as the scheduler's grow-only
+/// instance does), occasionally a structural append.
+void mutate(std::vector<mckp_item>& items, rng& gen) {
+    const std::size_t ops = gen.index(4); // 0..3 mutations; 0 = stable round
+    for (std::size_t op = 0; op < ops; ++op) {
+        if (items.empty() || gen.index(12) == 0) {
+            items.push_back(random_item(gen)); // arrival (structural)
+            continue;
+        }
+        const std::size_t i = gen.index(items.size());
+        switch (gen.index(4)) {
+            case 0: // re-price: same level structure, new utilities
+                for (double& u : items[i].utilities) u = gen.uniform(-2.0, 10.0);
+                break;
+            case 1: // full menu replacement
+                items[i] = random_item(gen);
+                break;
+            case 2: // departure: cleared menu stays as an inert slot
+                items[i].sizes.clear();
+                items[i].utilities.clear();
+                break;
+            default: // re-arrival into a (possibly cleared) slot
+                items[i] = random_item(gen);
+                break;
+        }
+    }
+}
+
+void expect_same(const mckp_solution& fresh, const mckp_solution& incremental,
+                 std::uint64_t seed, int round) {
+    EXPECT_EQ(incremental.levels, fresh.levels) << "seed " << seed << " round " << round;
+    EXPECT_EQ(incremental.total_size, fresh.total_size)
+        << "seed " << seed << " round " << round;
+    EXPECT_EQ(incremental.total_utility, fresh.total_utility)
+        << "seed " << seed << " round " << round;
+    EXPECT_EQ(incremental.upgrades, fresh.upgrades)
+        << "seed " << seed << " round " << round;
+    EXPECT_EQ(incremental.budget_exhausted, fresh.budget_exhausted)
+        << "seed " << seed << " round " << round;
+    EXPECT_EQ(incremental.fractional_bound, fresh.fractional_bound)
+        << "seed " << seed << " round " << round;
+}
+
+// The core property: 200 seeded churn sequences, every round byte-identical
+// to the cold solver under both infeasible-upgrade policies, with budgets
+// that sometimes stay put (reuse), sometimes move (replay), while menus
+// churn a little (repair) or a lot (cold fallback).
+TEST(mckp_incremental, matches_cold_on_randomized_churn_sequences) {
+    mckp_incremental_scratch::stats totals;
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        rng gen(seed * 7919);
+        mckp_incremental_scratch scratch; // persists across the sequence
+        auto items = random_instance(gen, 12);
+        double budget = gen.uniform(0.0, 80.0);
+        mckp_options options;
+        options.skip_infeasible = seed % 2 == 1;
+        for (int round = 0; round < 25; ++round) {
+            mutate(items, gen);
+            if (gen.index(3) == 0) budget = gen.uniform(0.0, 80.0);
+            // Sticky policy that occasionally flips: stable rounds can hit
+            // the reuse path, flips exercise replay under both policies.
+            if (gen.index(5) == 0) options.skip_infeasible = !options.skip_infeasible;
+            const mckp_solution fresh = select_presentations(items, budget, options);
+            const mckp_solution& inc =
+                select_presentations_incremental(items, budget, options, scratch);
+            expect_same(fresh, inc, seed, round);
+        }
+        EXPECT_EQ(scratch.counters.rounds, 25u) << "seed " << seed;
+        EXPECT_EQ(scratch.counters.reused + scratch.counters.replayed +
+                      scratch.counters.repaired + scratch.counters.cold,
+                  scratch.counters.rounds)
+            << "seed " << seed;
+        totals.reused += scratch.counters.reused;
+        totals.replayed += scratch.counters.replayed;
+        totals.repaired += scratch.counters.repaired;
+        totals.cold += scratch.counters.cold;
+    }
+    // The sequences must actually exercise every path, or the equality
+    // checks above prove nothing about the fast paths.
+    EXPECT_GT(totals.reused, 0u);
+    EXPECT_GT(totals.replayed, 0u);
+    EXPECT_GT(totals.repaired, 0u);
+    EXPECT_GT(totals.cold, 0u);
+}
+
+// Small instances: incremental == cold byte-for-byte AND the oracle
+// sandwich holds every round (the greedy never beats the exact optimum,
+// and its fractional bound covers its own value).
+TEST(mckp_incremental, small_instances_respect_the_exhaustive_oracle) {
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        rng gen(seed * 104729);
+        mckp_incremental_scratch scratch;
+        auto items = random_instance(gen, 5);
+        for (int round = 0; round < 8; ++round) {
+            mutate(items, gen);
+            if (items.size() > 6) items.resize(6); // keep enumeration tractable
+            const double budget = gen.uniform(0.0, 60.0);
+            const mckp_solution fresh = select_presentations(items, budget);
+            const mckp_solution& inc =
+                select_presentations_incremental(items, budget, {}, scratch);
+            expect_same(fresh, inc, seed, round);
+
+            const auto exact = mckp_oracle(items, budget);
+            EXPECT_LE(inc.total_utility, exact.total_utility + eps)
+                << "seed " << seed << " round " << round;
+            EXPECT_GE(inc.fractional_bound, inc.total_utility - eps)
+                << "seed " << seed << " round " << round;
+        }
+    }
+}
+
+// Deterministic path coverage: a stable instance reuses, the first budget
+// change on a stable instance pays the recording pass (warmup hysteresis —
+// churny rounds take a plain cold solve and never record), the next budget
+// change replays the schedule, a single re-price repairs, and wholesale
+// churn or a size change falls back to a plain cold solve. Each step still
+// matches the cold solver.
+TEST(mckp_incremental, takes_the_expected_fast_path_per_round) {
+    rng gen(42);
+    mckp_incremental_scratch scratch;
+    auto items = random_instance(gen, 0); // force empty, then grow
+    items.clear();
+    for (int i = 0; i < 8; ++i) items.push_back(random_item(gen));
+    const mckp_options options;
+
+    auto solve_and_check = [&](double budget) {
+        const mckp_solution fresh = select_presentations(items, budget, options);
+        const mckp_solution& inc =
+            select_presentations_incremental(items, budget, options, scratch);
+        expect_same(fresh, inc, 42, -1);
+    };
+
+    solve_and_check(40.0); // first call: plain cold + baseline snapshot
+    EXPECT_EQ(scratch.counters.cold, 1u);
+
+    solve_and_check(40.0); // identical round: pure reuse, no schedule needed
+    EXPECT_EQ(scratch.counters.reused, 1u);
+
+    solve_and_check(25.0); // stable menus + new budget: record the schedule
+    EXPECT_EQ(scratch.counters.cold, 2u);
+
+    solve_and_check(30.0); // budget moved again: schedule replay
+    EXPECT_EQ(scratch.counters.replayed, 1u);
+
+    items[3].utilities[0] = 7.5; // one re-priced item: bounded repair
+    solve_and_check(30.0);
+    EXPECT_EQ(scratch.counters.repaired, 1u);
+
+    for (mckp_item& item : items) item = random_item(gen); // heavy churn
+    solve_and_check(30.0);
+    EXPECT_EQ(scratch.counters.cold, 3u);
+
+    items.push_back(random_item(gen)); // structural: instance grew
+    solve_and_check(30.0);
+    EXPECT_EQ(scratch.counters.cold, 4u);
+    EXPECT_EQ(scratch.counters.rounds, 7u);
+}
+
+// A repair must not poison later rounds: after repairing, going back to the
+// exact baseline menus must still produce the baseline solution (the
+// schedule is never mutated by replay/repair).
+TEST(mckp_incremental, repair_leaves_the_recorded_schedule_intact) {
+    rng gen(77);
+    mckp_incremental_scratch scratch;
+    std::vector<mckp_item> items;
+    for (int i = 0; i < 10; ++i) items.push_back(random_item(gen));
+    const std::vector<mckp_item> baseline = items;
+
+    const mckp_solution first = select_presentations_incremental(items, 50.0, {}, scratch);
+    const std::vector<richnote::core::level_t> first_levels = first.levels;
+
+    // A stable round with a new budget records the schedule (hysteresis).
+    select_presentations_incremental(items, 60.0, {}, scratch);
+    EXPECT_EQ(scratch.counters.cold, 2u);
+
+    items[2].utilities.back() = 9.0; // repair round against that schedule
+    select_presentations_incremental(items, 60.0, {}, scratch);
+    EXPECT_EQ(scratch.counters.repaired, 1u);
+
+    items = baseline; // back to the recorded menus, original budget: replay
+    const mckp_solution& again = select_presentations_incremental(items, 50.0, {}, scratch);
+    EXPECT_EQ(scratch.counters.replayed, 1u);
+    EXPECT_EQ(again.levels, first_levels);
+    const mckp_solution fresh = select_presentations(items, 50.0, {});
+    expect_same(fresh, again, 77, -1);
+}
+
+} // namespace

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "ml/random_forest.hpp"
+#include "ml/simd_dispatch.hpp"
 
 namespace {
 
@@ -92,6 +95,89 @@ TEST(flat_forest, rejects_malformed_batch_shapes) {
     EXPECT_THROW(flat.predict_proba(matrix, 3, out), richnote::precondition_error);
     out.resize(4);
     EXPECT_THROW(flat.predict_proba(matrix, 4, out), richnote::precondition_error);
+}
+
+TEST(flat_forest, simd_and_scalar_kernels_are_bit_identical) {
+    namespace simd = richnote::ml::simd;
+    const flat_forest flat(trained_forest());
+    const dataset probe = logistic_data(1200, 41); // > one 512-row block
+    const std::span<const double> matrix{probe.row(0).data(),
+                                         probe.size() * probe.feature_count()};
+
+    std::vector<double> scalar_out(probe.size());
+    {
+        simd::scoped_isa_override force(simd::isa::scalar);
+        ASSERT_EQ(simd::active_isa(), simd::isa::scalar);
+        flat.predict_proba(matrix, probe.size(), scalar_out);
+    }
+    // Default dispatch (AVX2 on this host if available, otherwise scalar
+    // again — the comparison is then trivially green but still valid).
+    std::vector<double> dispatched_out(probe.size());
+    flat.predict_proba(matrix, probe.size(), dispatched_out);
+    for (std::size_t r = 0; r < probe.size(); ++r) {
+        // Exact equality on purpose: every kernel must perform the same
+        // comparisons on the same doubles and accumulate in tree order.
+        ASSERT_EQ(dispatched_out[r], scalar_out[r]) << "row " << r;
+        ASSERT_EQ(scalar_out[r], flat.predict_proba(probe.row(r))) << "row " << r;
+    }
+}
+
+TEST(flat_forest, quantized_threshold_path_is_bit_identical) {
+    // Integer-valued features make every split threshold a midpoint x.0/x.5,
+    // which round-trips float exactly, so the builder keeps the 32-bit
+    // threshold copy and the SIMD kernel takes the quantized gather path.
+    dataset d({"a", "b", "c"});
+    rng gen(53);
+    for (int i = 0; i < 500; ++i) {
+        const double a = static_cast<double>(gen.uniform_int(-20, 20));
+        const double b = static_cast<double>(gen.uniform_int(-20, 20));
+        const double c = static_cast<double>(gen.uniform_int(-20, 20));
+        const double z = 3.0 * a - 2.0 * b + c + gen.normal(0, 4.0);
+        d.add_row(std::array{a, b, c}, z > 0 ? 1 : 0);
+    }
+    random_forest forest;
+    forest_params p;
+    p.tree_count = 11;
+    forest.fit(d, p, 17);
+    const flat_forest flat(forest);
+    EXPECT_TRUE(flat.thresholds_quantized());
+
+    // Continuous training data should NOT quantize (midpoints of random
+    // doubles virtually never round-trip float).
+    const flat_forest continuous(trained_forest(5));
+    EXPECT_FALSE(continuous.thresholds_quantized());
+
+    namespace simd = richnote::ml::simd;
+    const dataset probe = logistic_data(600, 59);
+    const std::span<const double> matrix{probe.row(0).data(),
+                                         probe.size() * probe.feature_count()};
+    std::vector<double> scalar_out(probe.size());
+    {
+        simd::scoped_isa_override force(simd::isa::scalar);
+        flat.predict_proba(matrix, probe.size(), scalar_out);
+    }
+    std::vector<double> dispatched_out(probe.size());
+    flat.predict_proba(matrix, probe.size(), dispatched_out);
+    for (std::size_t r = 0; r < probe.size(); ++r) {
+        ASSERT_EQ(dispatched_out[r], scalar_out[r]) << "row " << r;
+        ASSERT_EQ(scalar_out[r], forest.predict_proba(probe.row(r))) << "row " << r;
+    }
+}
+
+TEST(flat_forest, threaded_batch_is_bit_identical_for_any_thread_count) {
+    const flat_forest flat(trained_forest());
+    const dataset probe = logistic_data(700, 43);
+    const std::span<const double> matrix{probe.row(0).data(),
+                                         probe.size() * probe.feature_count()};
+    std::vector<double> sequential(probe.size());
+    flat.predict_proba(matrix, probe.size(), sequential, 1);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{16},
+                                      std::size_t{0} /* hardware_concurrency */}) {
+        std::vector<double> out(probe.size());
+        flat.predict_proba(matrix, probe.size(), out, threads);
+        for (std::size_t r = 0; r < probe.size(); ++r)
+            ASSERT_EQ(out[r], sequential[r]) << "threads=" << threads << " row=" << r;
+    }
 }
 
 TEST(random_forest, parallel_fit_is_bit_identical_for_any_thread_count) {
