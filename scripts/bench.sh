@@ -10,6 +10,10 @@
 #              own users/rounds so the comparison is apples-to-apples, then
 #              exits non-zero if the best fresh run is >10% slower in
 #              rounds/sec or allocates more per round than the reference.
+#              When the reference carries round_loop_mt4 / service sections
+#              (worker_threads=4 round loop; the 1M-user service round loop
+#              + wire ingest), those throughputs are re-measured and gated
+#              by the same floor; older references skip them.
 #              Also re-runs perf_inference at the reference's row count and
 #              applies the same floor to flat_batch_items_per_sec — but only
 #              when the reference records a matching uarch (ISA + kernel):
@@ -20,7 +24,8 @@
 #              Does not write BENCH_perf.json.
 #
 # Environment overrides: USERS, ROUNDS, REPEAT, BASELINE (the pre-optimization
-# rounds/sec this machine measured), BENCH_OUT, GATE_MAX_REGRESSION_PCT.
+# rounds/sec this machine measured), SERVICE_USERS, SERVICE_ROUNDS,
+# INGEST_MSGS, BENCH_OUT, GATE_MAX_REGRESSION_PCT.
 #
 # The round-loop harness is run REPEAT times and the best run is recorded:
 # rounds/sec on a contended machine is noise-floored, and the fastest run is
@@ -32,6 +37,10 @@ USERS=${USERS:-2000}
 ROUNDS=${ROUNDS:-500}
 REPEAT=${REPEAT:-5}
 INFER_ROWS=${INFER_ROWS:-50000}
+# Service-mode sizes: the tracked claim is ~1M simulated users per host.
+SERVICE_USERS=${SERVICE_USERS:-1000000}
+SERVICE_ROUNDS=${SERVICE_ROUNDS:-10}
+INGEST_MSGS=${INGEST_MSGS:-200000}
 # Pre-PR baseline measured on this machine at users=2000 rounds=500 (commit
 # a695b19, same Release+LTO build recipe).
 BASELINE=${BASELINE:-436.38}
@@ -42,6 +51,9 @@ if [ "${1:-}" = "--quick" ]; then
   ROUNDS=100
   REPEAT=2
   INFER_ROWS=5000
+  SERVICE_USERS=20000
+  SERVICE_ROUNDS=5
+  INGEST_MSGS=20000
 fi
 
 if [ "${1:-}" = "--gate" ]; then
@@ -51,25 +63,36 @@ if [ "${1:-}" = "--gate" ]; then
   # gate never compares a 200-user smoke run against a 2000-user baseline.
   # REF_BATCH/REF_UARCH come from the inference section when present ("-"
   # marks an old reference without it, which gates the round loop only).
-  read -r USERS ROUNDS REF_RPS REF_ALLOCS REF_ROWS REF_BATCH REF_UARCH <<EOF
+  read -r USERS ROUNDS REF_RPS REF_ALLOCS REF_ROWS REF_BATCH REF_UARCH \
+    REF_MT4_RPS REF_SVC_USERS REF_SVC_ROUNDS REF_SVC_MSGS REF_SVC_RPS \
+    REF_SVC_MPS <<EOF
 $(python3 -c "
 import json, sys
 doc = json.load(open(sys.argv[1]))
 rl = doc['round_loop']
 inf = doc.get('inference', {})
 scoring = inf.get('scoring', {})
+mt4 = doc.get('round_loop_mt4', {})
+svc = doc.get('service', {})
 print(rl['params']['users'], rl['params']['rounds'],
       rl['round_loop']['rounds_per_sec'],
       rl['steady_state']['allocs_per_round'],
       inf.get('params', {}).get('rows', '-'),
       scoring.get('flat_batch_items_per_sec', '-'),
-      scoring.get('uarch', '-'))
+      scoring.get('uarch', '-'),
+      mt4.get('round_loop', {}).get('rounds_per_sec', '-'),
+      svc.get('params', {}).get('users', '-'),
+      svc.get('params', {}).get('rounds', '-'),
+      svc.get('params', {}).get('ingest_msgs', '-'),
+      svc.get('service', {}).get('service_rounds_per_sec', '-'),
+      svc.get('ingest', {}).get('ingest_msgs_per_sec', '-'))
 " "$REF")
 EOF
   MAX_PCT=${GATE_MAX_REGRESSION_PCT:-10}
   BUILD_DIR=build-perf
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DRICHNOTE_LTO=ON >/dev/null
-  cmake --build "$BUILD_DIR" -j "$(nproc)" --target perf_round_loop perf_inference
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target perf_round_loop perf_inference \
+    perf_service
   TMP_DIR="$BUILD_DIR/bench-runs"
   mkdir -p "$TMP_DIR"
   best_json=""
@@ -102,8 +125,42 @@ EOF
       fi
     done
   fi
+  mt4_json="-"
+  if [ "$REF_MT4_RPS" != "-" ]; then
+    best_mt4=0
+    for i in $(seq 1 "$REPEAT"); do
+      run_json="$TMP_DIR/gate_mt4_$i.json"
+      "$BUILD_DIR/bench/perf_round_loop" users="$USERS" rounds="$ROUNDS" threads=4 \
+        json="$run_json" >/dev/null
+      rps=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['round_loop']['rounds_per_sec'])" "$run_json")
+      echo "[bench] gate mt4 run $i/$REPEAT: $rps rounds/sec" >&2
+      better=$(python3 -c "import sys; print(1 if float(sys.argv[1]) > float(sys.argv[2]) else 0)" "$rps" "$best_mt4")
+      if [ "$better" = "1" ]; then
+        best_mt4=$rps
+        mt4_json=$run_json
+      fi
+    done
+  fi
+  svc_json="-"
+  if [ "$REF_SVC_RPS" != "-" ]; then
+    best_svc=0
+    for i in $(seq 1 "$REPEAT"); do
+      run_json="$TMP_DIR/gate_service_$i.json"
+      "$BUILD_DIR/bench/perf_service" users="$REF_SVC_USERS" \
+        rounds="$REF_SVC_ROUNDS" ingest_msgs="$REF_SVC_MSGS" \
+        json="$run_json" 2>/dev/null
+      rps=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['service']['service_rounds_per_sec'])" "$run_json")
+      echo "[bench] gate service run $i/$REPEAT: $rps service rounds/sec" >&2
+      better=$(python3 -c "import sys; print(1 if float(sys.argv[1]) > float(sys.argv[2]) else 0)" "$rps" "$best_svc")
+      if [ "$better" = "1" ]; then
+        best_svc=$rps
+        svc_json=$run_json
+      fi
+    done
+  fi
   python3 - "$best_json" "$REF_RPS" "$REF_ALLOCS" "$MAX_PCT" \
-    "$infer_json" "$REF_BATCH" "$REF_UARCH" <<'EOF'
+    "$infer_json" "$REF_BATCH" "$REF_UARCH" \
+    "$mt4_json" "$REF_MT4_RPS" "$svc_json" "$REF_SVC_RPS" "$REF_SVC_MPS" <<'EOF'
 import json, sys
 
 run = json.load(open(sys.argv[1]))
@@ -155,6 +212,31 @@ else:
                 f"{batch_floor:.0f} (reference {ref_batch:.0f}, "
                 f"{batch_delta:+.1f}%, limit -{max_pct:g}%)")
 
+def gate_floor(name, fresh, ref):
+    floor = ref * (1.0 - max_pct / 100.0)
+    delta = (fresh - ref) / ref * 100.0
+    print(f"[bench] gate: {fresh:.2f} {name} vs reference {ref:.2f} ({delta:+.1f}%)")
+    if fresh < floor:
+        failures.append(
+            f"{name} regressed: {fresh:.2f} < {floor:.2f} "
+            f"(reference {ref:.2f}, {delta:+.1f}%, limit -{max_pct:g}%)")
+
+if sys.argv[8] == "-":
+    print("[bench] gate: reference has no round_loop_mt4 section; mt4 gate skipped")
+else:
+    mt4 = json.load(open(sys.argv[8]))
+    gate_floor("mt4 rounds/sec", mt4["round_loop"]["rounds_per_sec"],
+               float(sys.argv[9]))
+
+if sys.argv[10] == "-":
+    print("[bench] gate: reference has no service section; service gate skipped")
+else:
+    svc = json.load(open(sys.argv[10]))
+    gate_floor("service rounds/sec", svc["service"]["service_rounds_per_sec"],
+               float(sys.argv[11]))
+    gate_floor("ingest msgs/sec", svc["ingest"]["ingest_msgs_per_sec"],
+               float(sys.argv[12]))
+
 if failures:
     for f in failures:
         print(f"[bench] gate FAIL: {f}", file=sys.stderr)
@@ -168,7 +250,8 @@ BUILD_DIR=build-perf
 # Only the perf targets: the full Release build is not needed here, and the
 # test binaries are built by scripts/check.sh in the dev tree.
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DRICHNOTE_LTO=ON >/dev/null
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target perf_round_loop perf_inference
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target perf_round_loop perf_inference \
+  perf_service
 
 TMP_DIR="$BUILD_DIR/bench-runs"
 mkdir -p "$TMP_DIR"
@@ -188,21 +271,47 @@ for i in $(seq 1 "$REPEAT"); do
   fi
 done
 
+# The same round loop at worker_threads=4: records what the persistent
+# pool buys on this host (bit-identical outputs, so only speed may differ).
+best_mt4_json=""
+best_mt4_rps=0
+for i in $(seq 1 "$REPEAT"); do
+  run_json="$TMP_DIR/round_loop_mt4_$i.json"
+  "$BUILD_DIR/bench/perf_round_loop" users="$USERS" rounds="$ROUNDS" threads=4 \
+    json="$run_json" >/dev/null
+  rps=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['round_loop']['rounds_per_sec'])" "$run_json")
+  echo "[bench] round_loop mt4 run $i/$REPEAT: $rps rounds/sec" >&2
+  better=$(python3 -c "import sys; print(1 if float(sys.argv[1]) > float(sys.argv[2]) else 0)" "$rps" "$best_mt4_rps")
+  if [ "$better" = "1" ]; then
+    best_mt4_rps=$rps
+    best_mt4_json=$run_json
+  fi
+done
+
 infer_json="$TMP_DIR/inference.json"
 "$BUILD_DIR/bench/perf_inference" rows="$INFER_ROWS" json="$infer_json"
 
-python3 - "$best_json" "$infer_json" "$OUT" <<'EOF'
+# Service mode: the 1M-user fleet throughput + wire-ingest numbers.
+service_json="$TMP_DIR/service.json"
+"$BUILD_DIR/bench/perf_service" users="$SERVICE_USERS" rounds="$SERVICE_ROUNDS" \
+  ingest_msgs="$INGEST_MSGS" json="$service_json"
+
+python3 - "$best_json" "$infer_json" "$best_mt4_json" "$service_json" "$OUT" <<'EOF'
 import json, sys
 
 round_loop = json.load(open(sys.argv[1]))
 inference = json.load(open(sys.argv[2]))
+round_loop_mt4 = json.load(open(sys.argv[3]))
+service = json.load(open(sys.argv[4]))
 merged = {
     "schema": "richnote-bench-v1",
     "generated_by": "scripts/bench.sh",
     "round_loop": round_loop,
+    "round_loop_mt4": round_loop_mt4,
     "inference": inference,
+    "service": service,
 }
-with open(sys.argv[3], "w") as out:
+with open(sys.argv[5], "w") as out:
     json.dump(merged, out, indent=2)
     out.write("\n")
 
@@ -211,5 +320,13 @@ base = round_loop["baseline"]
 print(f"[bench] best: {rl['rounds_per_sec']:.2f} rounds/sec "
       f"(baseline {base['rounds_per_sec']:.2f}, speedup {base['speedup']:.2f}x), "
       f"allocs/round {round_loop['steady_state']['allocs_per_round']:.1f}")
-print(f"[bench] wrote {sys.argv[3]}")
+print(f"[bench] mt4: {round_loop_mt4['round_loop']['rounds_per_sec']:.2f} rounds/sec "
+      f"at worker_threads=4")
+svc = service["service"]
+ing = service["ingest"]
+print(f"[bench] service: {svc['service_rounds_per_sec']:.2f} rounds/sec over "
+      f"{service['params']['users']} users "
+      f"({svc['user_rounds_per_sec']:.0f} user-rounds/sec), "
+      f"ingest {ing['ingest_msgs_per_sec']:.0f} msgs/sec")
+print(f"[bench] wrote {sys.argv[5]}")
 EOF

@@ -2,7 +2,7 @@
 # Correctness gate: configure, build and run the full test suite — the same
 # sequence CI and reviewers use. Run before every push.
 #
-# Usage: scripts/check.sh [--sanitize | --tsan | --bench | --trace]
+# Usage: scripts/check.sh [--sanitize | --tsan | --bench | --trace | --serve]
 #   --sanitize   separate build-asan/ tree with -DRICHNOTE_SANITIZE=ON
 #                (AddressSanitizer + UBSan). This is how the chaos soak
 #                (tests/core/test_chaos_soak.cpp) is meant to be exercised:
@@ -21,6 +21,10 @@
 #                match the forced path — then runs scripts/bench.sh --gate
 #                against the tracked BENCH_perf.json (>10% rounds/sec or
 #                flat-batch regression, or any alloc/round growth, fails).
+#   --serve      service-mode smoke under ASan+UBSan AND TSan: boots
+#                `richnote serve`, drives /ingest (mixed-validity NDJSON),
+#                /round, /reshard, /metrics and /shutdown over real HTTP,
+#                and requires a clean exit with zero sanitizer reports.
 #   --trace      observability smoke: runs the CLI twice at the same seed
 #                with trace/metrics/manifest outputs enabled, fails unless
 #                the two NDJSON streams are byte-identical, every line
@@ -109,11 +113,16 @@ if [ "${1:-}" = "--bench" ]; then
 import json, sys
 
 doc = json.load(open(sys.argv[1]))  # malformed JSON raises here
-for section in ("round_loop", "inference"):
+for section in ("round_loop", "round_loop_mt4", "inference", "service"):
     if section not in doc:
         sys.exit(f"BENCH JSON missing section: {section}")
     if doc[section].get("schema") != "richnote-bench-v1":
         sys.exit(f"BENCH JSON section {section} has wrong schema tag")
+for field in ("service_rounds_per_sec",):
+    if doc["service"]["service"].get(field, 0) <= 0:
+        sys.exit(f"BENCH JSON service section has non-positive {field}")
+if doc["service"]["ingest"].get("ingest_msgs_per_sec", 0) <= 0:
+    sys.exit("BENCH JSON service section has non-positive ingest_msgs_per_sec")
 print(f"[check] {sys.argv[1]} is well-formed")
 EOF
   # Exercise the runtime SIMD dispatch both ways: the detected kernel and
@@ -143,6 +152,106 @@ print(f"[check] dispatch {sys.argv[2]}: uarch {uarch}, bit-identical across "
 EOF
   done
   scripts/bench.sh --gate
+  exit 0
+fi
+
+if [ "${1:-}" = "--serve" ]; then
+  # Service-mode smoke under BOTH ASan+UBSan and TSan: start `richnote
+  # serve`, drive every endpoint over real HTTP (mixed-validity NDJSON
+  # ingest, manual rounds, a live reshard, a /metrics scrape), then shut it
+  # down and require a clean exit. ASan checks the wire parser and fleet
+  # teardown; TSan checks handler threads vs the round driver vs the ring.
+  serve_smoke() {
+    local build_dir=$1 label=$2 flag=$3
+    cmake -B "$build_dir" -S . "$flag" >/dev/null
+    cmake --build "$build_dir" -j "$(nproc)" --target richnote
+    local out_dir="$build_dir/serve-smoke"
+    rm -rf "$out_dir"
+    mkdir -p "$out_dir"
+    "$build_dir/tools/richnote" serve users=20 seed=3 budget_mb=5 threads=2 \
+      oracle=1 port=0 port_file="$out_dir/port" >"$out_dir/serve.log" 2>&1 &
+    local pid=$!
+    for _ in $(seq 1 300); do
+      [ -s "$out_dir/port" ] && break
+      if ! kill -0 "$pid" 2>/dev/null; then
+        cat "$out_dir/serve.log" >&2
+        echo "[check] FAIL: serve ($label) died before binding" >&2
+        exit 1
+      fi
+      sleep 0.1
+    done
+    if [ ! -s "$out_dir/port" ]; then
+      kill "$pid" 2>/dev/null || true
+      echo "[check] FAIL: serve ($label) never wrote its port file" >&2
+      exit 1
+    fi
+    if ! python3 - "$(cat "$out_dir/port")" "$label" <<'EOF'
+import json, sys, urllib.error, urllib.request
+
+base = f"http://127.0.0.1:{sys.argv[1]}"
+
+def post(path, body):
+    req = urllib.request.Request(base + path, data=body.encode(), method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=30) as r:
+            return r.status, r.read().decode()
+    except urllib.error.HTTPError as e:
+        return e.code, e.read().decode()
+
+def get(path):
+    with urllib.request.urlopen(base + path, timeout=30) as r:
+        return r.status, r.read().decode()
+
+status, body = get("/healthz")
+assert status == 200, (status, body)
+
+lines = "\n".join(
+    json.dumps({"id": i, "user": i % 20, "type": "friend_feed", "track": 3,
+                "created_at": 0, "social_tie": 0.5, "track_pop": 50,
+                "album_pop": 50, "artist_pop": 50})
+    for i in range(1, 9))
+status, body = post("/ingest", lines + "\nthis is not json\n")
+reply = json.loads(body)
+assert status == 400, (status, body)          # the malformed line -> 400
+assert reply["accepted"] == 8, body
+assert reply["parse_errors"] == 1, body
+
+for _ in range(3):
+    status, body = post("/round", "")
+    assert status == 200, (status, body)
+
+status, body = post("/reshard", "3")
+assert status == 200 and json.loads(body)["worker_threads"] == 3, (status, body)
+status, body = post("/round", "")
+assert status == 200, (status, body)
+
+status, metrics = get("/metrics")
+assert status == 200
+for needle in ("richnote_service_ingest_accepted_total 8",
+               "richnote_service_ingest_rejected_parse_total 1",
+               "richnote_service_rounds_total 4",
+               "richnote_service_reshards_total 1"):
+    assert needle in metrics, f"missing from /metrics: {needle}"
+
+status, body = post("/shutdown", "")
+assert status == 200, (status, body)
+print(f"[check] serve smoke ({sys.argv[2]}): every endpoint OK")
+EOF
+    then
+      kill "$pid" 2>/dev/null || true
+      cat "$out_dir/serve.log" >&2
+      echo "[check] FAIL: serve smoke ($label) endpoint checks failed" >&2
+      exit 1
+    fi
+    if ! wait "$pid"; then
+      cat "$out_dir/serve.log" >&2
+      echo "[check] FAIL: serve ($label) did not exit cleanly after /shutdown" >&2
+      exit 1
+    fi
+    echo "[check] serve smoke ($label) passed: clean shutdown, no sanitizer reports"
+  }
+  serve_smoke build-asan asan -DRICHNOTE_SANITIZE=ON
+  serve_smoke build-tsan tsan -DRICHNOTE_TSAN=ON
   exit 0
 fi
 

@@ -1,0 +1,103 @@
+// Bounded lock-free admission queue between the wire and the round loop
+// (DESIGN.md §11).
+//
+// Ingest handler threads (expo_server's connection pool) push parsed
+// notifications concurrently; the round driver drains the queue single-
+// threaded at round boundaries. The implementation is Dmitry Vyukov's
+// bounded MPMC ring — each cell carries a sequence number that encodes
+// whose turn the cell is, so producers never touch the consumer cursor and
+// a push is one CAS plus one store on the uncontended path. We only need
+// MPSC, which the MPMC ring satisfies with the consumer side uncontended.
+//
+// The ring is the backpressure boundary: when it is full, try_push returns
+// false and the HTTP layer answers 503 so well-behaved load generators back
+// off. Nothing blocks, nothing allocates after construction, and a full
+// ring never stalls the round loop.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace richnote::core {
+
+template <typename T>
+class admission_queue {
+public:
+    /// `capacity` is rounded up to a power of two (sequence arithmetic
+    /// needs the mask form); the queue holds exactly that many items.
+    explicit admission_queue(std::size_t capacity) {
+        RICHNOTE_REQUIRE(capacity >= 2, "admission queue capacity must be >= 2");
+        std::size_t pow2 = 2;
+        while (pow2 < capacity) pow2 <<= 1;
+        cells_ = std::vector<cell>(pow2);
+        mask_ = pow2 - 1;
+        for (std::size_t i = 0; i < pow2; ++i)
+            cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const noexcept { return mask_ + 1; }
+
+    /// Producer side (any thread). False = ring full (backpressure).
+    bool try_push(const T& value) {
+        std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+        while (true) {
+            cell& c = cells_[pos & mask_];
+            const std::size_t seq = c.sequence.load(std::memory_order_acquire);
+            const auto diff = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+            if (diff == 0) {
+                if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                                       std::memory_order_relaxed))
+                    break;
+            } else if (diff < 0) {
+                return false; // the cell still holds an unconsumed item: full
+            } else {
+                pos = enqueue_pos_.load(std::memory_order_relaxed);
+            }
+        }
+        cell& c = cells_[pos & mask_];
+        c.value = value;
+        c.sequence.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side (the round driver only). False = empty.
+    bool try_pop(T& out) {
+        std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+        cell& c = cells_[pos & mask_];
+        const std::size_t seq = c.sequence.load(std::memory_order_acquire);
+        const auto diff =
+            static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+        if (diff < 0) return false; // producer has not published this cell yet
+        dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+        out = c.value;
+        c.sequence.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Items currently buffered (approximate under concurrent pushes; exact
+    /// when producers are quiescent — how the round driver uses it).
+    std::size_t size() const noexcept {
+        const std::size_t tail = enqueue_pos_.load(std::memory_order_acquire);
+        const std::size_t head = dequeue_pos_.load(std::memory_order_acquire);
+        return tail >= head ? tail - head : 0;
+    }
+
+private:
+    struct cell {
+        std::atomic<std::size_t> sequence{0};
+        T value{};
+    };
+
+    // The hot cursors live on their own cache lines so producer CASes never
+    // false-share with the consumer cursor.
+    alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+    alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+    std::vector<cell> cells_;
+    std::size_t mask_ = 0;
+};
+
+} // namespace richnote::core

@@ -4,9 +4,9 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
-#include <thread>
 
 #include "common/error.hpp"
+#include "core/worker_pool.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace_sink.hpp"
@@ -90,6 +90,85 @@ std::vector<std::uint64_t> experiment_setup::default_category_edges() const {
     return edges;
 }
 
+double round_budget_bytes(const experiment_params& params) noexcept {
+    const double rounds_per_week = richnote::sim::weeks / params.round;
+    return params.weekly_budget_mb * 1e6 / rounds_per_week;
+}
+
+std::unique_ptr<scheduler> make_scheduler(const experiment_params& params,
+                                          const energy::energy_model& energy) {
+    std::unique_ptr<scheduler> sched;
+    switch (params.kind) {
+        case scheduler_kind::richnote: {
+            richnote_scheduler::params rp;
+            rp.lyapunov = params.lyapunov;
+            rp.mckp = params.mckp;
+            rp.min_content_utility = params.min_content_utility;
+            rp.utility_half_life_sec = params.utility_half_life_sec;
+            rp.wifi_deferral_min_utility = params.wifi_deferral_min_utility;
+            rp.wifi_deferral_max_wait_sec = params.wifi_deferral_max_wait_sec;
+            sched = std::make_unique<richnote_scheduler>(rp, energy);
+            break;
+        }
+        case scheduler_kind::fifo:
+            sched = std::make_unique<fifo_scheduler>(params.fixed_level, energy);
+            break;
+        case scheduler_kind::util:
+            sched = std::make_unique<util_scheduler>(params.fixed_level, energy);
+            break;
+        case scheduler_kind::direct: {
+            direct_scheduler::params dp;
+            dp.kappa_joules_per_round = params.lyapunov.kappa;
+            dp.mckp = params.mckp;
+            sched = std::make_unique<direct_scheduler>(dp, energy);
+            break;
+        }
+    }
+    sched->set_retry_policy(params.retry);
+    return sched;
+}
+
+broker make_user_broker(const broker_build_context& ctx, trace::user_id u,
+                        std::size_t expected_admissions) {
+    const experiment_params& params = *ctx.params;
+    auto sched = make_scheduler(params, *ctx.energy);
+
+    broker_params bp;
+    bp.budget_per_round_bytes = ctx.theta;
+    bp.round = params.round;
+    bp.energy_policy = params.energy_policy;
+    bp.rollover_rounds = params.rollover_rounds;
+    bp.transfer_failure_prob = params.transfer_failure_prob;
+    bp.legacy_failure_accounting = params.legacy_failure_accounting;
+    bp.faults = ctx.faults;
+    bp.expected_admissions = expected_admissions;
+    bp.trace = params.trace;
+
+    auto network = params.wifi_enabled
+                       ? richnote::sim::markov_network_model::with_wifi()
+                       : richnote::sim::markov_network_model::cellular_with_coverage(
+                             params.cellular_coverage);
+    // Per-user seeds derived by hashing (run seed, user id): broker
+    // construction and stepping never touch shared randomness, the
+    // precondition for the sharded round loop.
+    const std::uint64_t user_seed = richnote::mix64(params.seed ^ (0x9e37ULL + u));
+    richnote::rng battery_gen(richnote::mix64(user_seed ^ 0xbeefULL));
+    std::unique_ptr<richnote::sim::battery_source> battery;
+    if (params.battery_traces) {
+        // Paper mode: replay a timestamped battery-status trace per user
+        // (here synthesized once, then treated as an exogenous recording).
+        battery = std::make_unique<richnote::sim::traced_battery>(
+            richnote::sim::battery_trace::synthesize(params.battery, ctx.battery_horizon,
+                                                     params.round, battery_gen));
+    } else {
+        battery = std::make_unique<richnote::sim::battery_model>(params.battery, battery_gen);
+    }
+
+    return broker(u, bp, std::move(sched), *ctx.generator, *ctx.utility, *ctx.energy,
+                  std::move(network), std::move(battery), *ctx.catalog, *ctx.metrics,
+                  user_seed);
+}
+
 experiment_result run_experiment(const experiment_setup& setup,
                                  const experiment_params& params) {
     RICHNOTE_REQUIRE(params.weekly_budget_mb > 0, "budget must be positive");
@@ -110,8 +189,7 @@ experiment_result run_experiment(const experiment_setup& setup,
 
     // theta: the per-round slice of the weekly budget (§V-C "budget per
     // week" with 1-hour rounds).
-    const double rounds_per_week = richnote::sim::weeks / params.round;
-    const double theta = params.weekly_budget_mb * 1e6 / rounds_per_week;
+    const double theta = round_budget_bytes(params);
 
     const std::size_t max_level = params.presentation.preview_durations_sec.size() + 1;
     metrics_recorder metrics(world.user_count(), max_level);
@@ -135,77 +213,22 @@ experiment_result run_experiment(const experiment_setup& setup,
     const richnote::faults::fault_plan* fplan =
         fault_schedule.enabled() ? &fault_schedule : nullptr;
 
-    // Build one broker per user.
+    // Build one broker per user (shared construction path with the service).
+    broker_build_context ctx;
+    ctx.params = &params;
+    ctx.generator = &generator;
+    ctx.utility = &utility_model;
+    ctx.energy = &energy;
+    ctx.catalog = &world.catalog();
+    ctx.metrics = &metrics;
+    ctx.faults = fplan;
+    ctx.theta = theta;
+    ctx.battery_horizon = world.params().horizon + params.round;
     std::vector<broker> brokers;
     brokers.reserve(world.user_count());
     for (trace::user_id u = 0; u < world.user_count(); ++u) {
-        std::unique_ptr<scheduler> sched;
-        switch (params.kind) {
-            case scheduler_kind::richnote: {
-                richnote_scheduler::params rp;
-                rp.lyapunov = params.lyapunov;
-                rp.mckp = params.mckp;
-                rp.min_content_utility = params.min_content_utility;
-                rp.utility_half_life_sec = params.utility_half_life_sec;
-                rp.wifi_deferral_min_utility = params.wifi_deferral_min_utility;
-                rp.wifi_deferral_max_wait_sec = params.wifi_deferral_max_wait_sec;
-                sched = std::make_unique<richnote_scheduler>(rp, energy);
-                break;
-            }
-            case scheduler_kind::fifo:
-                sched = std::make_unique<fifo_scheduler>(params.fixed_level, energy);
-                break;
-            case scheduler_kind::util:
-                sched = std::make_unique<util_scheduler>(params.fixed_level, energy);
-                break;
-            case scheduler_kind::direct: {
-                direct_scheduler::params dp;
-                dp.kappa_joules_per_round = params.lyapunov.kappa;
-                dp.mckp = params.mckp;
-                sched = std::make_unique<direct_scheduler>(dp, energy);
-                break;
-            }
-        }
-
-        sched->set_retry_policy(params.retry);
-
-        broker_params bp;
-        bp.budget_per_round_bytes = theta;
-        bp.round = params.round;
-        bp.energy_policy = params.energy_policy;
-        bp.rollover_rounds = params.rollover_rounds;
-        bp.transfer_failure_prob = params.transfer_failure_prob;
-        bp.legacy_failure_accounting = params.legacy_failure_accounting;
-        bp.faults = fplan;
-        bp.expected_admissions = world.notifications().per_user[u].size();
-        bp.trace = params.trace;
-
-        auto network =
-            params.wifi_enabled
-                ? richnote::sim::markov_network_model::with_wifi()
-                : richnote::sim::markov_network_model::cellular_with_coverage(
-                      params.cellular_coverage);
-        // Per-user seeds derived by hashing (run seed, user id): broker
-        // construction and stepping never touch shared randomness, the
-        // precondition for the sharded round loop below.
-        const std::uint64_t user_seed = richnote::mix64(params.seed ^ (0x9e37ULL + u));
-        richnote::rng battery_gen(richnote::mix64(user_seed ^ 0xbeefULL));
-        std::unique_ptr<richnote::sim::battery_source> battery;
-        if (params.battery_traces) {
-            // Paper mode: replay a timestamped battery-status trace per user
-            // (here synthesized once, then treated as an exogenous recording).
-            battery = std::make_unique<richnote::sim::traced_battery>(
-                richnote::sim::battery_trace::synthesize(
-                    params.battery, world.params().horizon + params.round, params.round,
-                    battery_gen));
-        } else {
-            battery =
-                std::make_unique<richnote::sim::battery_model>(params.battery, battery_gen);
-        }
-
-        brokers.emplace_back(u, bp, std::move(sched), generator, utility_model, energy,
-                             std::move(network), std::move(battery), world.catalog(),
-                             metrics, user_seed);
+        brokers.push_back(
+            make_user_broker(ctx, u, world.notifications().per_user[u].size()));
     }
 
     // Replay: periodic rounds on the event simulator; each tick admits the
@@ -285,6 +308,18 @@ experiment_result run_experiment(const experiment_setup& setup,
         params.progress->on_round(snap, live);
     };
 
+    // Persistent worker pool, created ONCE for the whole replay. The
+    // historical loop spawned and joined a std::vector<std::thread> every
+    // round; at thousands of rounds that thread churn dominates the round
+    // body. Worker w owns the same contiguous shard every round
+    // (worker_pool::shard_range == the historical n*w/W split), so outputs
+    // stay bit-identical and each shard's broker state stays hot in the
+    // core that served it last round. worker_threads == 1 degenerates to a
+    // plain inline loop with zero threads.
+    const std::size_t workers = std::max<std::size_t>(
+        1, std::min<std::size_t>(params.worker_threads, world.user_count()));
+    worker_pool pool(workers);
+
     richnote::sim::simulator sim;
     std::uint64_t rounds_run = 0;
     sim.schedule_periodic(0.0, params.round, [&](std::uint64_t tick) {
@@ -349,25 +384,12 @@ experiment_result run_experiment(const experiment_setup& setup,
             }
         };
 
-        const std::size_t workers =
-            std::min<std::size_t>(params.worker_threads, world.user_count());
-        if (workers <= 1) {
-            for (trace::user_id u = 0; u < world.user_count(); ++u) run_user(u);
-        } else {
-            // §V-C backend parallelism: shard users contiguously; each user
-            // is owned by exactly one worker for the whole round.
-            std::vector<std::thread> pool;
-            pool.reserve(workers);
-            const std::size_t n = world.user_count();
-            for (std::size_t w = 0; w < workers; ++w) {
-                const auto lo = static_cast<trace::user_id>(n * w / workers);
-                const auto hi = static_cast<trace::user_id>(n * (w + 1) / workers);
-                pool.emplace_back([&, lo, hi] {
-                    for (trace::user_id u = lo; u < hi; ++u) run_user(u);
-                });
-            }
-            for (auto& t : pool) t.join();
-        }
+        // §V-C backend parallelism: shard users contiguously; each user is
+        // owned by exactly one (persistent) worker for the whole run.
+        pool.run_sharded(world.user_count(), [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t u = lo; u < hi; ++u)
+                run_user(static_cast<trace::user_id>(u));
+        });
         if (online_model) {
             // Drain this round's engagement feedback and refit when due —
             // single-threaded, between the sharded sections.

@@ -173,6 +173,12 @@ public:
 
     const trace::workload& world() const noexcept { return *world_; }
     const content_utility_model& utility() const noexcept { return *cached_; }
+    /// The uncached model behind utility(). The cached wrapper is an
+    /// id-indexed table over the generated trace and REQUIREs ids in range;
+    /// service mode scores wire notifications with arbitrary ids, so it
+    /// must evaluate the raw model. Both return bit-identical values for
+    /// the same features (the cache is populated by this very model).
+    const content_utility_model& raw_model() const noexcept { return *model_; }
     const options& opts() const noexcept { return opts_; }
 
     /// Default Fig. 5(d) bucket edges scaled to this trace's item counts.
@@ -188,5 +194,39 @@ private:
 /// Runs one scheduler over the whole trace and aggregates metrics.
 experiment_result run_experiment(const experiment_setup& setup,
                                  const experiment_params& params);
+
+/// theta: the per-round slice of the weekly budget (§V-C "budget per week").
+double round_budget_bytes(const experiment_params& params) noexcept;
+
+/// Builds the scheduler configured by `params` (one per user).
+std::unique_ptr<scheduler> make_scheduler(const experiment_params& params,
+                                          const energy::energy_model& energy);
+
+/// Read-only context for constructing a fleet of per-user brokers. The
+/// batch runner and the service (core/service.hpp) both build brokers
+/// through make_user_broker, which is what makes service output
+/// bit-identical to the batch loop and elastic resharding lossless:
+/// broker `u` is a deterministic function of (params, u), so a fleet can
+/// be torn down and reconstructed, then restored from checkpoints, without
+/// drift.
+struct broker_build_context {
+    const experiment_params* params = nullptr;
+    const presentation_generator* generator = nullptr;
+    const content_utility_model* utility = nullptr;
+    const energy::energy_model* energy = nullptr;
+    const trace::catalog* catalog = nullptr;
+    metrics_recorder* metrics = nullptr;
+    const richnote::faults::fault_plan* faults = nullptr; ///< nullptr = inert
+    double theta = 0.0; ///< round_budget_bytes(*params)
+    /// Synthesis horizon for battery_traces mode (ignored otherwise).
+    richnote::sim::sim_time battery_horizon = 0.0;
+};
+
+/// Builds user `u`'s broker exactly as run_experiment historically did:
+/// same scheduler wiring, same per-user seed derivation, same network and
+/// battery synthesis. `expected_admissions` is only a dedup-set sizing
+/// hint and never affects outputs.
+broker make_user_broker(const broker_build_context& ctx, trace::user_id u,
+                        std::size_t expected_admissions);
 
 } // namespace richnote::core

@@ -1,0 +1,251 @@
+#include "core/service.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/wire.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace richnote::core {
+
+using richnote::sim::sim_time;
+
+notification_service::notification_service(const experiment_setup& setup,
+                                           const service_params& params)
+    : setup_(&setup),
+      params_(params),
+      metrics_(params.user_count == 0 ? setup.world().user_count() : params.user_count,
+               params.experiment.presentation.preview_durations_sec.size() + 1),
+      ring_(params.queue_capacity) {
+    const experiment_params& ep = params_.experiment;
+    RICHNOTE_REQUIRE(ep.weekly_budget_mb > 0, "budget must be positive");
+    RICHNOTE_REQUIRE(!ep.online_learning,
+                     "service mode does not support online learning");
+    RICHNOTE_REQUIRE(ep.batch_topic_round_multiplier == 1,
+                     "service mode requires a uniform topic cadence");
+    const richnote::faults::fault_plan probe(ep.faults);
+    RICHNOTE_REQUIRE(!probe.enabled(), "service mode does not support fault plans");
+
+    if (params_.user_count == 0) params_.user_count = setup.world().user_count();
+    RICHNOTE_REQUIRE(params_.user_count >= 1, "service needs at least one user");
+    RICHNOTE_REQUIRE(params_.worker_threads >= 1, "service needs at least one worker");
+    RICHNOTE_REQUIRE(ep.trace == nullptr ||
+                         ep.trace->user_count() >= params_.user_count,
+                     "trace sink is sized for fewer users than the fleet");
+
+    theta_ = round_budget_bytes(ep);
+
+    const trace::workload& world = setup.world();
+    const audio_preview_generator base_generator(ep.presentation);
+    std::vector<double> track_durations;
+    track_durations.reserve(world.catalog().track_count());
+    for (const auto& t : world.catalog().tracks()) track_durations.push_back(t.duration_sec);
+    generator_ =
+        std::make_unique<memoized_presentation_generator>(base_generator, track_durations);
+
+    pending_.resize(params_.user_count);
+    build_fleet();
+    pool_ = std::make_unique<worker_pool>(
+        std::max<std::size_t>(1, std::min(params_.worker_threads, params_.user_count)));
+}
+
+notification_service::~notification_service() = default;
+
+void notification_service::build_fleet() {
+    broker_build_context ctx;
+    ctx.params = &params_.experiment;
+    ctx.generator = generator_.get();
+    // The cached model is an id-indexed table over the generated trace;
+    // wire ids are arbitrary, so the service scores through the raw model
+    // (bit-identical values for equal features — the cache is populated by
+    // this very model).
+    ctx.utility = &setup_->raw_model();
+    ctx.energy = &energy_;
+    ctx.catalog = &setup_->world().catalog();
+    ctx.metrics = &metrics_;
+    ctx.faults = nullptr;
+    ctx.theta = theta_;
+    ctx.battery_horizon =
+        setup_->world().params().horizon + params_.experiment.round;
+    brokers_.reserve(params_.user_count);
+    for (trace::user_id u = 0; u < params_.user_count; ++u) {
+        brokers_.push_back(
+            make_user_broker(ctx, u, params_.expected_admissions_per_user));
+    }
+}
+
+notification_service::ingest_status
+notification_service::ingest_line(std::string_view line, std::string* error) {
+    trace::notification n;
+    if (!parse_wire_line(line, n, error)) {
+        ingest_rejected_parse_.fetch_add(1, std::memory_order_relaxed);
+        return ingest_status::parse_error;
+    }
+    return ingest(n);
+}
+
+notification_service::ingest_status
+notification_service::ingest(const trace::notification& n) {
+    if (n.recipient >= params_.user_count) {
+        ingest_rejected_user_.fetch_add(1, std::memory_order_relaxed);
+        return ingest_status::unknown_user;
+    }
+    if (!ring_.try_push(n)) {
+        ingest_rejected_backpressure_.fetch_add(1, std::memory_order_relaxed);
+        return ingest_status::backpressure;
+    }
+    ingest_accepted_.fetch_add(1, std::memory_order_relaxed);
+    return ingest_status::accepted;
+}
+
+bool notification_service::canonical_before(const trace::notification& a,
+                                            const trace::notification& b) noexcept {
+    // The batch loop admits each round's due fast-class (friend-feed)
+    // items before its due batch-class items, each half in stream order —
+    // and the generator assigns ids in per-user timestamp order, so stream
+    // order IS (created_at, id) order. Sorting due items by (class,
+    // created_at, id) therefore reproduces the batch admission sequence
+    // exactly; ties (duplicate ids) keep drain order via stable_sort.
+    const int ca = a.type == trace::notification_type::friend_feed ? 0 : 1;
+    const int cb = b.type == trace::notification_type::friend_feed ? 0 : 1;
+    if (ca != cb) return ca < cb;
+    if (a.created_at != b.created_at) return a.created_at < b.created_at;
+    return a.id < b.id;
+}
+
+void notification_service::drain_ring() {
+    trace::notification n;
+    while (ring_.try_pop(n)) {
+        pending_[n.recipient].push_back(n);
+        ++pending_count_;
+    }
+}
+
+void notification_service::run_round() {
+    drain_ring();
+    const sim_time now = now_;
+    std::atomic<std::uint64_t> admitted_now{0};
+    pool_->run_sharded(brokers_.size(), [&](std::size_t lo, std::size_t hi) {
+        std::uint64_t local = 0;
+        for (std::size_t u = lo; u < hi; ++u) {
+            std::vector<trace::notification>& pend = pending_[u];
+            if (!pend.empty()) {
+                // Due items to the front (stable: drain order preserved),
+                // then canonical admission order within the due prefix.
+                const auto mid = std::stable_partition(
+                    pend.begin(), pend.end(),
+                    [now](const trace::notification& n) { return n.created_at <= now; });
+                if (mid != pend.begin()) {
+                    std::stable_sort(pend.begin(), mid, canonical_before);
+                    for (auto it = pend.begin(); it != mid; ++it) brokers_[u].admit(*it);
+                    local += static_cast<std::uint64_t>(
+                        std::distance(pend.begin(), mid));
+                    pend.erase(pend.begin(), mid);
+                }
+            }
+            brokers_[u].run_round(now);
+        }
+        if (local != 0) admitted_now.fetch_add(local, std::memory_order_relaxed);
+    });
+    const std::uint64_t admitted = admitted_now.load(std::memory_order_relaxed);
+    admitted_ += admitted;
+    pending_count_ -= admitted;
+    // Make this round's trace lines durable at the boundary, exactly like
+    // the batch loop does per tick.
+    richnote::obs::trace_sink* trace = params_.experiment.trace;
+    if (trace != nullptr && trace->streaming()) trace->flush_through(rounds_run_);
+    ++rounds_run_;
+    // Accumulate (don't multiply): the event simulator re-arms periodic
+    // ticks with `now + period`, so only repeated addition reproduces the
+    // batch loop's timestamps bit-for-bit.
+    now_ += params_.experiment.round;
+}
+
+void notification_service::run_rounds(std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) run_round();
+}
+
+void notification_service::reshard(std::size_t worker_threads) {
+    RICHNOTE_REQUIRE(worker_threads >= 1, "reshard needs at least one worker");
+    // Checkpoint every broker, rebuild the fleet from scratch (broker u is
+    // a deterministic function of (params, u)), restore, resize the pool.
+    // Going through full checkpoint-restore — rather than moving the live
+    // brokers — is deliberate: it proves the round-trip is lossless, which
+    // is the same property that would carry a shard to another host.
+    std::vector<broker_checkpoint> checkpoints;
+    checkpoints.reserve(brokers_.size());
+    for (const broker& b : brokers_) checkpoints.push_back(b.checkpoint());
+    brokers_.clear();
+    build_fleet();
+    for (std::size_t u = 0; u < brokers_.size(); ++u) brokers_[u].restore(checkpoints[u]);
+    params_.worker_threads = worker_threads;
+    pool_ = std::make_unique<worker_pool>(
+        std::max<std::size_t>(1, std::min(worker_threads, params_.user_count)));
+    ++reshards_;
+}
+
+service_counters notification_service::counters() const {
+    service_counters c;
+    c.ingest_accepted = ingest_accepted_.load(std::memory_order_relaxed);
+    c.ingest_rejected_parse = ingest_rejected_parse_.load(std::memory_order_relaxed);
+    c.ingest_rejected_user = ingest_rejected_user_.load(std::memory_order_relaxed);
+    c.ingest_rejected_backpressure =
+        ingest_rejected_backpressure_.load(std::memory_order_relaxed);
+    c.admitted = admitted_;
+    c.pending = pending_count_ + ring_.size();
+    c.rounds_run = rounds_run_;
+    c.reshards = reshards_;
+    c.worker_threads = pool_->threads();
+    c.users = brokers_.size();
+    return c;
+}
+
+experiment_result notification_service::summarize() const {
+    experiment_result r;
+    const experiment_params& ep = params_.experiment;
+    r.scheduler_name = to_string(ep.kind);
+    if (ep.kind == scheduler_kind::fifo || ep.kind == scheduler_kind::util) {
+        r.scheduler_name += "(L" + std::to_string(ep.fixed_level) + ")";
+    }
+    r.weekly_budget_mb = ep.weekly_budget_mb;
+    r.delivery_ratio = metrics_.delivery_ratio();
+    r.delivered_mb = metrics_.total_bytes_delivered() / 1e6;
+    r.metered_mb = metrics_.total_metered_bytes() / 1e6;
+    r.recall = metrics_.recall();
+    r.precision = metrics_.precision();
+    r.total_utility = metrics_.total_utility();
+    r.utility_clicked = metrics_.total_utility_clicked();
+    r.avg_utility = metrics_.average_utility_per_delivery();
+    r.energy_kj = metrics_.total_energy_joules() / 1000.0;
+    r.mean_delay_min = metrics_.mean_queuing_delay_sec() / 60.0;
+    r.level_mix = metrics_.level_mix();
+    r.user_categories = metrics_.utility_by_user_category(setup_->default_category_edges());
+    r.rounds_run = rounds_run_;
+    r.faults = metrics_.fault_summary();
+    double queue_total = 0.0;
+    for (const broker& b : brokers_)
+        queue_total += static_cast<double>(b.sched().queue_size());
+    r.final_queue_items = queue_total / static_cast<double>(brokers_.size());
+    return r;
+}
+
+void notification_service::export_service_metrics(
+    richnote::obs::metrics_registry& registry) const {
+    const service_counters c = counters();
+    registry.count("richnote.service.ingest.accepted_total", c.ingest_accepted);
+    registry.count("richnote.service.ingest.rejected_parse_total", c.ingest_rejected_parse);
+    registry.count("richnote.service.ingest.rejected_user_total", c.ingest_rejected_user);
+    registry.count("richnote.service.ingest.rejected_backpressure_total",
+                   c.ingest_rejected_backpressure);
+    registry.count("richnote.service.admitted_total", c.admitted);
+    registry.count("richnote.service.rounds_total", c.rounds_run);
+    registry.count("richnote.service.reshards_total", c.reshards);
+    registry.gauge_set("richnote.service.pending_items", static_cast<double>(c.pending));
+    registry.gauge_set("richnote.service.worker_threads",
+                       static_cast<double>(c.worker_threads));
+    registry.gauge_set("richnote.service.users", static_cast<double>(c.users));
+    export_metrics(metrics_, registry);
+}
+
+} // namespace richnote::core

@@ -4,10 +4,14 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
+#include <string_view>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -19,10 +23,25 @@ namespace richnote::obs {
 
 namespace {
 
-std::string http_response(const char* status, const char* content_type,
-                          const std::string& body) {
+constexpr std::size_t max_head_bytes = 8192;
+
+const char* reason_phrase(int status) noexcept {
+    switch (status) {
+        case 200: return "200 OK";
+        case 202: return "202 Accepted";
+        case 400: return "400 Bad Request";
+        case 404: return "404 Not Found";
+        case 405: return "405 Method Not Allowed";
+        case 411: return "411 Length Required";
+        case 413: return "413 Payload Too Large";
+        case 503: return "503 Service Unavailable";
+        default: return "500 Internal Server Error";
+    }
+}
+
+std::string http_response(int status, const char* content_type, const std::string& body) {
     std::string out = "HTTP/1.1 ";
-    out += status;
+    out += reason_phrase(status);
     out += "\r\nContent-Type: ";
     out += content_type;
     out += "\r\nContent-Length: " + std::to_string(body.size());
@@ -35,9 +54,65 @@ void close_quietly(int fd) noexcept {
     if (fd >= 0) ::close(fd);
 }
 
+void send_all(int fd, const std::string& reply) noexcept {
+    std::size_t sent = 0;
+    while (sent < reply.size()) {
+        const ssize_t n =
+            ::send(fd, reply.data() + sent, reply.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+/// Case-insensitive Content-Length lookup over the raw head. Returns false
+/// when absent; `value` false-positive guards (non-numeric) map to 400 at
+/// the caller.
+bool find_content_length(const std::string& head, std::size_t& value, bool& malformed) {
+    malformed = false;
+    std::size_t pos = 0;
+    while (pos < head.size()) {
+        std::size_t eol = head.find("\r\n", pos);
+        if (eol == std::string::npos) eol = head.size();
+        const std::string_view line(head.data() + pos, eol - pos);
+        const std::size_t colon = line.find(':');
+        if (colon != std::string_view::npos) {
+            std::string name(line.substr(0, colon));
+            std::transform(name.begin(), name.end(), name.begin(),
+                           [](unsigned char c) { return std::tolower(c); });
+            if (name == "content-length") {
+                std::string_view v = line.substr(colon + 1);
+                while (!v.empty() && v.front() == ' ') v.remove_prefix(1);
+                while (!v.empty() && (v.back() == ' ' || v.back() == '\r'))
+                    v.remove_suffix(1);
+                value = 0;
+                if (v.empty()) {
+                    malformed = true;
+                    return false;
+                }
+                for (const char c : v) {
+                    if (c < '0' || c > '9') {
+                        malformed = true;
+                        return false;
+                    }
+                    if (value > (std::size_t(-1) - 9) / 10) { // overflow: huge
+                        value = std::size_t(-1);
+                        return true;
+                    }
+                    value = value * 10 + static_cast<std::size_t>(c - '0');
+                }
+                return true;
+            }
+        }
+        pos = eol + 2;
+        if (eol == head.size()) break;
+    }
+    return false;
+}
+
 } // namespace
 
-expo_server::expo_server(std::uint16_t port) {
+expo_server::expo_server(std::uint16_t port, std::size_t handler_threads) {
+    RICHNOTE_REQUIRE(handler_threads >= 1, "expo_server needs at least one handler");
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     RICHNOTE_REQUIRE(listen_fd_ >= 0, "expo_server: socket() failed");
     const int enable = 1;
@@ -56,22 +131,43 @@ expo_server::expo_server(std::uint16_t port) {
     socklen_t len = sizeof addr;
     ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
     port_ = ntohs(addr.sin_port);
-    if (::listen(listen_fd_, 16) != 0) {
+    if (::listen(listen_fd_, 64) != 0) {
         close_quietly(listen_fd_);
         RICHNOTE_REQUIRE(false, "expo_server: listen() failed");
     }
 
     progress_json_ = "{\"round\":0,\"done\":false}\n";
-    thread_ = std::thread([this] { serve_loop(); });
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    handler_threads_.reserve(handler_threads);
+    for (std::size_t i = 0; i < handler_threads; ++i) {
+        handler_threads_.emplace_back([this] { handler_loop(); });
+    }
 }
 
 expo_server::~expo_server() { stop(); }
 
 void expo_server::stop() {
     if (stopping_.exchange(true)) return; // already stopped (or stopping)
-    if (thread_.joinable()) thread_.join();
+    queue_cv_.notify_all();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (auto& t : handler_threads_) {
+        if (t.joinable()) t.join();
+    }
+    // Drain any fds accepted but never handled.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (const int fd : pending_fds_) close_quietly(fd);
+    pending_fds_.clear();
     close_quietly(listen_fd_);
     listen_fd_ = -1;
+}
+
+void expo_server::set_post_handler(const std::string& path, post_handler fn) {
+    std::lock_guard<std::mutex> lock(handlers_mutex_);
+    post_handlers_[path] = std::move(fn);
+}
+
+void expo_server::set_max_body_bytes(std::size_t bytes) {
+    max_body_bytes_.store(bytes, std::memory_order_relaxed);
 }
 
 void expo_server::publish_metrics(const metrics_registry& registry) {
@@ -126,34 +222,22 @@ void expo_server::on_round(const progress_snapshot& p, const metrics_registry& l
     publish_metrics(live);
 }
 
-std::string expo_server::respond(const std::string& request_line) const {
-    // "GET <path> HTTP/1.x" — anything else is a 400/404.
-    std::istringstream parse(request_line);
-    std::string method;
-    std::string path;
-    parse >> method >> path;
-    if (method != "GET") {
-        return http_response("405 Method Not Allowed", "text/plain",
-                             "only GET is supported\n");
-    }
-    // Strip any query string; scrapers sometimes append one.
-    if (const auto q = path.find('?'); q != std::string::npos) path.resize(q);
+std::string expo_server::respond_get(const std::string& path) const {
     if (path == "/metrics") {
         std::lock_guard<std::mutex> lock(content_mutex_);
-        return http_response("200 OK", "text/plain; version=0.0.4", metrics_text_);
+        return http_response(200, "text/plain; version=0.0.4", metrics_text_);
     }
     if (path == "/progress") {
         std::lock_guard<std::mutex> lock(content_mutex_);
-        return http_response("200 OK", "application/json", progress_json_);
+        return http_response(200, "application/json", progress_json_);
     }
     if (path == "/healthz") {
-        return http_response("200 OK", "application/json", "{\"status\":\"ok\"}\n");
+        return http_response(200, "application/json", "{\"status\":\"ok\"}\n");
     }
-    return http_response("404 Not Found", "text/plain",
-                         "see /metrics, /progress, /healthz\n");
+    return http_response(404, "text/plain", "see /metrics, /progress, /healthz\n");
 }
 
-void expo_server::serve_loop() {
+void expo_server::accept_loop() {
     while (!stopping_.load(std::memory_order_relaxed)) {
         pollfd pfd{};
         pfd.fd = listen_fd_;
@@ -162,29 +246,115 @@ void expo_server::serve_loop() {
         if (ready <= 0) continue;
         const int client = ::accept(listen_fd_, nullptr, nullptr);
         if (client < 0) continue;
-        requests_.fetch_add(1, std::memory_order_relaxed);
-
-        // Read until the end of the request head (or a small cap) — the
-        // request line is all we use.
-        std::string request;
-        char chunk[1024];
-        while (request.size() < 8192) {
-            const ssize_t n = ::recv(client, chunk, sizeof chunk, 0);
-            if (n <= 0) break;
-            request.append(chunk, static_cast<std::size_t>(n));
-            if (request.find("\r\n\r\n") != std::string::npos) break;
+        // A stalled client may block one handler for at most the recv
+        // timeout, never the accept loop or the other handlers.
+        timeval tv{};
+        tv.tv_sec = 2;
+        ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            pending_fds_.push_back(client);
         }
-        const std::string reply =
-            respond(request.substr(0, request.find("\r\n")));
-        std::size_t sent = 0;
-        while (sent < reply.size()) {
-            const ssize_t n = ::send(client, reply.data() + sent, reply.size() - sent,
-                                     MSG_NOSIGNAL);
-            if (n <= 0) break;
-            sent += static_cast<std::size_t>(n);
-        }
-        close_quietly(client);
+        queue_cv_.notify_one();
     }
+}
+
+void expo_server::handler_loop() {
+    while (true) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [&] {
+                return stopping_.load(std::memory_order_relaxed) || !pending_fds_.empty();
+            });
+            if (pending_fds_.empty()) return; // stopping and drained
+            fd = pending_fds_.front();
+            pending_fds_.pop_front();
+        }
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        handle_connection(fd);
+        close_quietly(fd);
+    }
+}
+
+void expo_server::handle_connection(int fd) {
+    // Read the request head, bounded. Anything that cannot fit its head in
+    // max_head_bytes is rejected outright — the documents and ingest lines
+    // this server deals in never need jumbo headers.
+    std::string buffer;
+    std::size_t head_end = std::string::npos;
+    char chunk[2048];
+    while (head_end == std::string::npos) {
+        if (buffer.size() >= max_head_bytes) {
+            send_all(fd, http_response(400, "text/plain", "request head too large\n"));
+            return;
+        }
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0) return; // disconnect or timeout mid-head: drop quietly
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        head_end = buffer.find("\r\n\r\n");
+    }
+
+    const std::string head = buffer.substr(0, head_end);
+    std::istringstream parse(head.substr(0, head.find("\r\n")));
+    std::string method;
+    std::string path;
+    parse >> method >> path;
+    if (method.empty() || path.empty() || path.front() != '/') {
+        send_all(fd, http_response(400, "text/plain", "malformed request line\n"));
+        return;
+    }
+    // Strip any query string; scrapers sometimes append one.
+    if (const auto q = path.find('?'); q != std::string::npos) path.resize(q);
+
+    if (method == "GET") {
+        send_all(fd, respond_get(path));
+        return;
+    }
+    if (method != "POST") {
+        send_all(fd,
+                 http_response(405, "text/plain", "only GET and POST are supported\n"));
+        return;
+    }
+
+    post_handler handler;
+    {
+        std::lock_guard<std::mutex> lock(handlers_mutex_);
+        if (const auto it = post_handlers_.find(path); it != post_handlers_.end())
+            handler = it->second;
+    }
+    if (!handler) {
+        send_all(fd, http_response(404, "text/plain", "no handler mounted here\n"));
+        return;
+    }
+
+    std::size_t content_length = 0;
+    bool malformed = false;
+    if (!find_content_length(head, content_length, malformed)) {
+        send_all(fd, malformed
+                         ? http_response(400, "text/plain", "bad Content-Length\n")
+                         : http_response(411, "text/plain", "Content-Length required\n"));
+        return;
+    }
+    const std::size_t max_body = max_body_bytes_.load(std::memory_order_relaxed);
+    if (content_length > max_body) {
+        send_all(fd, http_response(413, "text/plain",
+                                   "body exceeds " + std::to_string(max_body) +
+                                       " bytes\n"));
+        return;
+    }
+
+    std::string body = buffer.substr(head_end + 4);
+    while (body.size() < content_length) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0) return; // disconnect or timeout mid-body: drop quietly
+        body.append(chunk, static_cast<std::size_t>(n));
+    }
+    body.resize(content_length); // ignore pipelined bytes past the request
+
+    const post_result result = handler(body);
+    send_all(fd, http_response(result.status, "application/json", result.body));
 }
 
 } // namespace richnote::obs

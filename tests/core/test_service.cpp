@@ -1,0 +1,302 @@
+// Service-mode integration tests (core/service.hpp): the bit-identity
+// contract between `richnote serve` and the batch replay loop, plus the
+// operational behaviours a live wire needs — backpressure, idempotent
+// duplicate suppression, out-of-order ingest, elastic resharding — and a
+// many-seed ingest-vs-batch equivalence property.
+//
+// Lives in test_integration so scripts/check.sh --tsan covers the
+// persistent worker pool and the MPSC admission ring under TSan.
+#include "core/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "trace/notification.hpp"
+
+namespace {
+
+using richnote::core::experiment_params;
+using richnote::core::experiment_result;
+using richnote::core::experiment_setup;
+using richnote::core::notification_service;
+using richnote::core::run_experiment;
+using richnote::core::scheduler_kind;
+using richnote::core::service_params;
+using richnote::trace::notification;
+using ingest_status = notification_service::ingest_status;
+
+/// One shared setup (workload + trained forest) for the whole suite.
+class service_test : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        experiment_setup::options opts;
+        opts.workload.user_count = 24;
+        opts.workload.catalog.artist_count = 60;
+        opts.workload.playlist_count = 10;
+        opts.forest.tree_count = 8;
+        opts.seed = 33;
+        setup_ = new experiment_setup(opts);
+    }
+    static void TearDownTestSuite() {
+        delete setup_;
+        setup_ = nullptr;
+    }
+
+    static experiment_params batch_params() {
+        experiment_params p;
+        p.kind = scheduler_kind::richnote;
+        p.weekly_budget_mb = 5.0;
+        p.seed = 7;
+        return p;
+    }
+
+    static service_params serve_params(std::size_t threads) {
+        service_params sp;
+        sp.experiment = batch_params();
+        sp.worker_threads = threads;
+        return sp;
+    }
+
+    /// Replays the whole generated workload into `svc` over the NDJSON
+    /// wire, exactly as a producer would — every line goes through
+    /// format_wire_line + ingest_line.
+    static void ingest_workload(notification_service& svc) {
+        for (const auto& stream : setup_->world().notifications().per_user) {
+            for (const notification& n : stream) {
+                const auto status =
+                    svc.ingest_line(richnote::core::format_wire_line(n));
+                ASSERT_EQ(status, ingest_status::accepted);
+            }
+        }
+    }
+
+    /// The fields the bit-identity contract covers, compared exactly.
+    static void expect_identical(const experiment_result& a, const experiment_result& b) {
+        EXPECT_EQ(a.delivery_ratio, b.delivery_ratio);
+        EXPECT_EQ(a.delivered_mb, b.delivered_mb);
+        EXPECT_EQ(a.metered_mb, b.metered_mb);
+        EXPECT_EQ(a.recall, b.recall);
+        EXPECT_EQ(a.precision, b.precision);
+        EXPECT_EQ(a.total_utility, b.total_utility);
+        EXPECT_EQ(a.utility_clicked, b.utility_clicked);
+        EXPECT_EQ(a.energy_kj, b.energy_kj);
+        EXPECT_EQ(a.mean_delay_min, b.mean_delay_min);
+        EXPECT_EQ(a.level_mix, b.level_mix);
+        EXPECT_EQ(a.final_queue_items, b.final_queue_items);
+    }
+
+    static experiment_setup* setup_;
+};
+
+experiment_setup* service_test::setup_ = nullptr;
+
+TEST_F(service_test, wire_replay_matches_batch_run_bitwise) {
+    // The tentpole contract: the same stream admitted over the wire and
+    // run by the sharded service produces bit-identical aggregates to
+    // run_experiment's in-process replay.
+    const experiment_result batch = run_experiment(*setup_, batch_params());
+
+    notification_service svc(*setup_, serve_params(3));
+    ingest_workload(svc);
+    svc.run_rounds(batch.rounds_run);
+
+    const experiment_result served = svc.summarize();
+    EXPECT_EQ(served.rounds_run, batch.rounds_run);
+    expect_identical(served, batch);
+    const auto counters = svc.counters();
+    EXPECT_EQ(counters.ingest_accepted, setup_->world().notifications().total_count);
+    EXPECT_EQ(counters.admitted, counters.ingest_accepted);
+    EXPECT_EQ(counters.pending, 0u);
+}
+
+TEST_F(service_test, worker_count_never_changes_outputs) {
+    notification_service one(*setup_, serve_params(1));
+    notification_service four(*setup_, serve_params(4));
+    ingest_workload(one);
+    ingest_workload(four);
+    one.run_rounds(50);
+    four.run_rounds(50);
+    expect_identical(one.summarize(), four.summarize());
+    // Per-user agreement, not just totals: every user's delivered set has
+    // the same size, bytes and utility regardless of sharding.
+    for (std::size_t u = 0; u < setup_->world().user_count(); ++u) {
+        SCOPED_TRACE(u);
+        EXPECT_EQ(one.metrics().user(u).delivered, four.metrics().user(u).delivered);
+        EXPECT_EQ(one.metrics().user(u).bytes_delivered,
+                  four.metrics().user(u).bytes_delivered);
+        EXPECT_EQ(one.metrics().user(u).utility_delivered,
+                  four.metrics().user(u).utility_delivered);
+    }
+}
+
+TEST_F(service_test, midrun_reshard_is_lossless) {
+    notification_service straight(*setup_, serve_params(2));
+    ingest_workload(straight);
+    straight.run_rounds(60);
+
+    notification_service resharded(*setup_, serve_params(2));
+    ingest_workload(resharded);
+    resharded.run_rounds(20);
+    resharded.reshard(5);
+    EXPECT_EQ(resharded.worker_threads(), 5u);
+    resharded.run_rounds(25);
+    resharded.reshard(1);
+    resharded.run_rounds(15);
+
+    EXPECT_EQ(resharded.counters().reshards, 2u);
+    expect_identical(straight.summarize(), resharded.summarize());
+}
+
+TEST_F(service_test, full_ring_is_backpressure_not_loss) {
+    service_params sp = serve_params(1);
+    sp.queue_capacity = 4; // rounds to 4 slots
+    notification_service svc(*setup_, sp);
+
+    const auto& stream = setup_->world().notifications().per_user[0];
+    ASSERT_GE(stream.size(), 6u);
+    std::size_t accepted = 0, pushed_back = 0;
+    for (std::size_t i = 0; i < 6; ++i) {
+        const auto status = svc.ingest(stream[i]);
+        if (status == ingest_status::accepted) ++accepted;
+        else if (status == ingest_status::backpressure) ++pushed_back;
+    }
+    EXPECT_EQ(accepted, 4u);
+    EXPECT_EQ(pushed_back, 2u);
+    EXPECT_EQ(svc.counters().ingest_rejected_backpressure, 2u);
+
+    // A round drains the ring; the producer's retry then goes through, so
+    // backpressure never loses what the producer keeps offering.
+    svc.run_round();
+    for (std::size_t i = accepted; i < 6; ++i)
+        EXPECT_EQ(svc.ingest(stream[i]), ingest_status::accepted);
+    EXPECT_EQ(svc.counters().ingest_accepted, 6u);
+}
+
+TEST_F(service_test, duplicate_ids_are_suppressed_idempotently) {
+    notification_service svc(*setup_, serve_params(2));
+    const notification& n = setup_->world().notifications().per_user[3][0];
+    const std::string line = richnote::core::format_wire_line(n);
+    // An at-least-once wire redelivers: same line three times.
+    for (int i = 0; i < 3; ++i)
+        ASSERT_EQ(svc.ingest_line(line), ingest_status::accepted);
+    svc.run_rounds(200); // past a week, so created_at is certainly due
+
+    // All three were admitted, the brokers suppressed the two replays.
+    EXPECT_EQ(svc.counters().admitted, 3u);
+    EXPECT_EQ(svc.user_broker(3).duplicates_suppressed(), 2u);
+    EXPECT_EQ(svc.summarize().faults.duplicates_suppressed, 2u);
+    // And exactly one copy entered the pipeline.
+    EXPECT_EQ(svc.metrics().user(3).arrived, 1u);
+}
+
+TEST_F(service_test, ingest_order_within_a_round_does_not_matter) {
+    // Out-of-order timestamps on the wire: a whole workload delivered in
+    // reverse (and interleaved across users) is canonicalised at the round
+    // boundary, so outputs match the in-order replay bitwise.
+    notification_service in_order(*setup_, serve_params(2));
+    ingest_workload(in_order);
+    in_order.run_rounds(40);
+
+    notification_service reversed(*setup_, serve_params(2));
+    std::vector<notification> all;
+    for (const auto& stream : setup_->world().notifications().per_user)
+        all.insert(all.end(), stream.begin(), stream.end());
+    std::reverse(all.begin(), all.end());
+    for (const notification& n : all)
+        ASSERT_EQ(reversed.ingest(n), ingest_status::accepted);
+    reversed.run_rounds(40);
+
+    expect_identical(in_order.summarize(), reversed.summarize());
+}
+
+TEST_F(service_test, rejects_unknown_users_and_bad_lines) {
+    service_params sp = serve_params(1);
+    sp.user_count = 8; // smaller fleet than the trace
+    notification_service svc(*setup_, sp);
+
+    notification n = setup_->world().notifications().per_user[1][0];
+    n.recipient = 8; // first id outside the fleet
+    EXPECT_EQ(svc.ingest(n), ingest_status::unknown_user);
+    std::string error;
+    EXPECT_EQ(svc.ingest_line("{\"garbage\":", &error), ingest_status::parse_error);
+    EXPECT_EQ(error, "bad json");
+    const auto counters = svc.counters();
+    EXPECT_EQ(counters.ingest_rejected_user, 1u);
+    EXPECT_EQ(counters.ingest_rejected_parse, 1u);
+    EXPECT_EQ(counters.ingest_accepted, 0u);
+}
+
+TEST_F(service_test, concurrent_ingest_is_race_free) {
+    // Four producer threads hammer the MPSC ring while counters are read;
+    // under --tsan this is the data-race proof for the ingest plane.
+    notification_service svc(*setup_, serve_params(2));
+    const auto& per_user = setup_->world().notifications().per_user;
+    std::vector<std::thread> producers;
+    for (std::size_t t = 0; t < 4; ++t) {
+        producers.emplace_back([&, t] {
+            for (std::size_t u = t; u < per_user.size(); u += 4) {
+                for (const notification& n : per_user[u]) {
+                    // Spin on backpressure: the ring is sized generously,
+                    // but the test must not drop on a slow machine.
+                    while (svc.ingest_line(richnote::core::format_wire_line(n)) ==
+                           ingest_status::backpressure) {
+                        std::this_thread::yield();
+                    }
+                }
+            }
+        });
+    }
+    for (auto& p : producers) p.join();
+
+    EXPECT_EQ(svc.counters().ingest_accepted,
+              setup_->world().notifications().total_count);
+    svc.run_rounds(200); // past the trace horizon, so everything comes due
+    EXPECT_EQ(svc.counters().admitted, setup_->world().notifications().total_count);
+    EXPECT_EQ(svc.counters().pending, 0u);
+}
+
+TEST(service_property, wire_replay_matches_batch_across_many_seeds) {
+    // 200 seeds of tiny workloads, oracle utility (no forest training):
+    // for every one, total utility and delivery ratio of the wire replay
+    // must equal the batch run bit-for-bit.
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        experiment_setup::options opts;
+        opts.workload.user_count = 4;
+        opts.workload.catalog.artist_count = 20;
+        opts.workload.playlist_count = 4;
+        opts.workload.horizon = 24.0 * 3600.0; // one day
+        opts.oracle_utility = true;
+        opts.seed = seed;
+        const experiment_setup setup(opts);
+
+        experiment_params p;
+        p.kind = seed % 3 == 0 ? scheduler_kind::fifo : scheduler_kind::richnote;
+        p.weekly_budget_mb = seed % 2 == 0 ? 2.0 : 10.0;
+        p.seed = seed * 11;
+        const experiment_result batch = run_experiment(setup, p);
+
+        service_params sp;
+        sp.experiment = p;
+        sp.worker_threads = 1 + seed % 3;
+        notification_service svc(setup, sp);
+        for (const auto& stream : setup.world().notifications().per_user) {
+            for (const notification& n : stream) {
+                ASSERT_EQ(svc.ingest_line(richnote::core::format_wire_line(n)),
+                          ingest_status::accepted);
+            }
+        }
+        svc.run_rounds(batch.rounds_run);
+
+        const experiment_result served = svc.summarize();
+        ASSERT_EQ(served.total_utility, batch.total_utility) << "seed " << seed;
+        ASSERT_EQ(served.delivery_ratio, batch.delivery_ratio) << "seed " << seed;
+        ASSERT_EQ(served.mean_delay_min, batch.mean_delay_min) << "seed " << seed;
+    }
+}
+
+} // namespace

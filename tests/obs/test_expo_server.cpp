@@ -1,7 +1,8 @@
 // Embedded exposition server tests: ephemeral-port bind, /metrics in valid
 // Prometheus text that reconciles with the published registry, /progress
-// and /healthz JSON, and the 404/405 error paths. The client is a plain
-// blocking POSIX socket — the same thing curl would do.
+// and /healthz JSON, the 400/404/405/411/413 error paths, POST handler
+// mounting, and concurrent connections against the handler pool. The
+// client is a plain blocking POSIX socket — the same thing curl would do.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -10,12 +11,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/expo_server.hpp"
 #include "obs/metrics_registry.hpp"
@@ -49,6 +53,12 @@ std::string http_get(std::uint16_t port, const std::string& request) {
 
 std::string get_path(std::uint16_t port, const std::string& path) {
     return http_get(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+std::string http_post(std::uint16_t port, const std::string& path,
+                      const std::string& body) {
+    return http_get(port, "POST " + path + " HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                              std::to_string(body.size()) + "\r\n\r\n" + body);
 }
 
 std::string body_of(const std::string& response) {
@@ -188,13 +198,94 @@ TEST(expo_server_suite, progress_updates_round_by_round) {
 TEST(expo_server_suite, unknown_paths_and_methods_are_rejected) {
     expo_server server(0);
     EXPECT_NE(get_path(server.port(), "/nope").find("404"), std::string::npos);
-    EXPECT_NE(http_get(server.port(), "POST /metrics HTTP/1.1\r\n\r\n").find("405"),
+    // POST is a supported method now, but nothing is mounted at /metrics.
+    EXPECT_NE(http_post(server.port(), "/metrics", "x").find("404"), std::string::npos);
+    EXPECT_NE(http_get(server.port(), "PUT /metrics HTTP/1.1\r\n\r\n").find("405"),
               std::string::npos);
     // A query string is stripped, not 404ed.
     EXPECT_NE(get_path(server.port(), "/healthz?x=1").find("200 OK"),
               std::string::npos);
     server.stop();
     server.stop(); // idempotent
+}
+
+TEST(expo_server_suite, malformed_and_oversized_requests_are_bounded) {
+    expo_server server(0);
+    // Garbage request line.
+    EXPECT_NE(http_get(server.port(), "???\r\n\r\n").find("400"), std::string::npos);
+    // A head that can never fit the cap is cut off with 400, not buffered
+    // forever.
+    const std::string huge_header =
+        "GET / HTTP/1.1\r\nX-Filler: " + std::string(64 * 1024, 'a') + "\r\n\r\n";
+    EXPECT_NE(http_get(server.port(), huge_header).find("400"), std::string::npos);
+    // POST bodies require a Content-Length...
+    server.set_post_handler(
+        "/echo", [](const std::string& body) {
+            return expo_server::post_result{200, body};
+        });
+    EXPECT_NE(http_get(server.port(), "POST /echo HTTP/1.1\r\n\r\nhello").find("411"),
+              std::string::npos);
+    // ...a parsable one...
+    EXPECT_NE(http_get(server.port(),
+                       "POST /echo HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+                  .find("400"),
+              std::string::npos);
+    // ...and one under the configured cap.
+    server.set_max_body_bytes(16);
+    EXPECT_NE(http_post(server.port(), "/echo", std::string(17, 'x')).find("413"),
+              std::string::npos);
+    const std::string ok = http_post(server.port(), "/echo", "0123456789");
+    EXPECT_NE(ok.find("200 OK"), std::string::npos);
+    EXPECT_EQ(body_of(ok), "0123456789");
+}
+
+TEST(expo_server_suite, post_handler_status_is_passed_through) {
+    expo_server server(0);
+    server.set_post_handler("/ingest", [](const std::string& body) {
+        if (body == "full") return expo_server::post_result{503, "{\"backoff\":true}\n"};
+        return expo_server::post_result{202, "{\"accepted\":1}\n"};
+    });
+    EXPECT_NE(http_post(server.port(), "/ingest", "line").find("202"),
+              std::string::npos);
+    EXPECT_NE(http_post(server.port(), "/ingest", "full").find("503"),
+              std::string::npos);
+}
+
+TEST(expo_server_suite, serves_concurrent_connections) {
+    expo_server server(0, /*handler_threads=*/4);
+    metrics_registry registry;
+    registry.count("richnote.delivery.delivered_total", 1);
+    server.publish_metrics(registry);
+    server.set_post_handler("/echo", [](const std::string& body) {
+        return expo_server::post_result{200, body};
+    });
+
+    constexpr int clients = 8;
+    constexpr int requests_each = 5;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            for (int i = 0; i < requests_each; ++i) {
+                if (c % 2 == 0) {
+                    const std::string r = get_path(server.port(), "/metrics");
+                    if (r.find("200 OK") == std::string::npos) ++failures;
+                } else {
+                    const std::string payload =
+                        "c" + std::to_string(c) + "i" + std::to_string(i);
+                    const std::string r = http_post(server.port(), "/echo", payload);
+                    if (r.find("200 OK") == std::string::npos ||
+                        body_of(r) != payload)
+                        ++failures;
+                }
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_GE(server.requests_served(),
+              static_cast<std::uint64_t>(clients * requests_each));
 }
 
 } // namespace

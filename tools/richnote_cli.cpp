@@ -17,6 +17,12 @@
 //   richnote trace-report trace=run.ndjson [top=10]
 //       Aggregate a simulate run's NDJSON decision trace into per-event-
 //       type percentile tables and per-user rollups.
+//   richnote serve users=2000 fleet_users=100000 threads=4 port=8080
+//       Long-lived service mode (DESIGN.md §11): train the model on a small
+//       workload, stand up a broker fleet of fleet_users, and accept
+//       NDJSON notifications over POST /ingest; rounds run on a timer
+//       and/or via POST /round, POST /reshard resizes the worker pool
+//       live, POST /shutdown exits cleanly.
 //
 // Live telemetry (DESIGN.md §10): simulate/sweep take expo_port=PORT to
 // serve /metrics, /progress and /healthz while the run executes, and
@@ -24,15 +30,21 @@
 // sample the hot paths and export a Chrome trace / flamegraph.
 //
 // All arguments are key=value; `richnote help` prints this text.
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <thread>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/experiment.hpp"
+#include "core/service.hpp"
 #include "ml/metrics.hpp"
 #include "obs/expo_server.hpp"
 #include "obs/metrics_registry.hpp"
@@ -67,7 +79,19 @@ subcommands:
            [expo_port=0]
   trace-report trace=run.ndjson [top=10]
   inspect  trace=trace.csv users=200 [top=10]
+  serve    users=2000 seed=1 [fleet_users=0] [scheduler=richnote]
+           [budget_mb=10] [threads=1] [port=0] [port_file=path]
+           [queue_capacity=65536] [round_interval_ms=0] [max_rounds=0]
+           [oracle=false] [trees=30]
   help
+
+serve mode: POST /ingest accepts NDJSON notification lines (one JSON object
+per line; 503 = backpressure, retry later), POST /round runs one service
+round now, POST /reshard {"threads":K} checkpoints every broker and resizes
+the worker pool losslessly, POST /shutdown exits. GET /metrics, /progress
+and /healthz work as in simulate. fleet_users=0 serves the training
+workload's users; a larger value synthesizes that many brokers.
+round_interval_ms=0 runs rounds only on POST /round.
 
 live telemetry: expo_port starts an embedded HTTP server on 127.0.0.1
 (0 = ephemeral) serving /metrics (Prometheus text), /progress (JSON) and
@@ -428,6 +452,168 @@ int cmd_sweep(const config& cfg) {
     return 0;
 }
 
+int cmd_serve(const config& cfg) {
+    cfg.restrict_to({"users", "fleet_users", "seed", "scheduler", "budget_mb",
+                     "fixed_level", "wifi", "trees", "threads", "port", "port_file",
+                     "queue_capacity", "round_interval_ms", "max_rounds", "oracle"});
+    core::experiment_setup::options opts;
+    opts.workload = workload_params_from(cfg);
+    opts.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    opts.forest.tree_count = static_cast<std::size_t>(cfg.get_int("trees", 30));
+    opts.oracle_utility = cfg.get_bool("oracle", false);
+    const core::experiment_setup setup(opts);
+
+    core::service_params sp;
+    sp.experiment.kind = parse_kind(cfg.get_string("scheduler", "richnote"));
+    sp.experiment.fixed_level = static_cast<core::level_t>(cfg.get_int("fixed_level", 3));
+    sp.experiment.weekly_budget_mb = cfg.get_double("budget_mb", 10.0);
+    sp.experiment.wifi_enabled = cfg.get_bool("wifi", false);
+    sp.experiment.seed = opts.seed;
+    sp.user_count = static_cast<std::size_t>(cfg.get_int("fleet_users", 0));
+    sp.worker_threads = static_cast<std::size_t>(cfg.get_int("threads", 1));
+    sp.queue_capacity = static_cast<std::size_t>(cfg.get_int("queue_capacity", 65536));
+    core::notification_service service(setup, sp);
+
+    obs::expo_server expo(static_cast<std::uint16_t>(cfg.get_int("port", 0)));
+
+    // All service driving — timer rounds, POST /round, POST /reshard — is
+    // serialized by one mutex; the pool's slot 0 simply runs on whichever
+    // thread holds it.
+    std::mutex service_mutex;
+    std::atomic_bool shutdown{false};
+    const auto started = std::chrono::steady_clock::now();
+
+    auto publish = [&] {
+        const core::service_counters c = service.counters();
+        obs::metrics_registry registry;
+        service.export_service_metrics(registry);
+        expo.publish_metrics(registry);
+        obs::progress_snapshot snap;
+        snap.round = c.rounds_run;
+        snap.total_rounds = static_cast<std::uint64_t>(cfg.get_int("max_rounds", 0));
+        snap.users = c.users;
+        snap.wall_sec =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+                .count();
+        snap.rounds_per_sec =
+            snap.wall_sec > 0.0 ? static_cast<double>(c.rounds_run) / snap.wall_sec : 0.0;
+        snap.arrived_total = c.admitted;
+        snap.delivered_total =
+            static_cast<std::uint64_t>(service.metrics().total_delivered());
+        snap.duplicates_suppressed = service.metrics().fault_summary().duplicates_suppressed;
+        expo.publish_progress(snap);
+    };
+
+    expo.set_post_handler("/ingest", [&](const std::string& body) {
+        std::uint64_t accepted = 0, parse_errors = 0, unknown_user = 0, backpressure = 0;
+        std::size_t pos = 0;
+        while (pos < body.size()) {
+            std::size_t eol = body.find('\n', pos);
+            if (eol == std::string::npos) eol = body.size();
+            const std::string_view line(body.data() + pos, eol - pos);
+            pos = eol + 1;
+            if (line.empty()) continue;
+            switch (service.ingest_line(line)) {
+                case core::notification_service::ingest_status::accepted: ++accepted; break;
+                case core::notification_service::ingest_status::parse_error:
+                    ++parse_errors;
+                    break;
+                case core::notification_service::ingest_status::unknown_user:
+                    ++unknown_user;
+                    break;
+                case core::notification_service::ingest_status::backpressure:
+                    ++backpressure;
+                    break;
+            }
+        }
+        std::string reply = "{\"accepted\":" + std::to_string(accepted) +
+                            ",\"parse_errors\":" + std::to_string(parse_errors) +
+                            ",\"unknown_user\":" + std::to_string(unknown_user) +
+                            ",\"backpressure\":" + std::to_string(backpressure) + "}\n";
+        const int status = backpressure > 0              ? 503
+                           : parse_errors + unknown_user > 0 ? 400
+                                                             : 200;
+        return obs::expo_server::post_result{status, std::move(reply)};
+    });
+    expo.set_post_handler("/round", [&](const std::string&) {
+        std::lock_guard<std::mutex> lock(service_mutex);
+        service.run_round();
+        publish();
+        return obs::expo_server::post_result{
+            200, "{\"rounds_run\":" + std::to_string(service.rounds_run()) + "}\n"};
+    });
+    expo.set_post_handler("/reshard", [&](const std::string& body) {
+        // Accept either a bare integer or {"threads":K}.
+        std::size_t threads = 0;
+        const std::size_t digit = body.find_first_of("0123456789");
+        if (digit != std::string::npos) threads = std::strtoull(body.c_str() + digit, nullptr, 10);
+        if (threads < 1) {
+            return obs::expo_server::post_result{400, "{\"error\":\"need threads >= 1\"}\n"};
+        }
+        std::lock_guard<std::mutex> lock(service_mutex);
+        service.reshard(threads);
+        const core::service_counters c = service.counters();
+        return obs::expo_server::post_result{
+            200, "{\"worker_threads\":" + std::to_string(c.worker_threads) +
+                     ",\"reshards\":" + std::to_string(c.reshards) + "}\n"};
+    });
+    expo.set_post_handler("/shutdown", [&](const std::string&) {
+        shutdown.store(true);
+        return obs::expo_server::post_result{200, "{\"status\":\"shutting down\"}\n"};
+    });
+
+    {
+        std::lock_guard<std::mutex> lock(service_mutex);
+        publish(); // /metrics and /progress valid before the first round
+    }
+    std::cerr << "[serve] http://127.0.0.1:" << expo.port()
+              << " — POST /ingest /round /reshard /shutdown; GET /metrics /progress /healthz\n";
+    if (cfg.has("port_file")) {
+        std::ofstream pf(cfg.get_string("port_file", "serve.port"));
+        pf << expo.port() << '\n';
+    }
+
+    const auto interval_ms = cfg.get_int("round_interval_ms", 0);
+    const auto max_rounds = static_cast<std::uint64_t>(cfg.get_int("max_rounds", 0));
+    auto next_round = std::chrono::steady_clock::now() + std::chrono::milliseconds(interval_ms);
+    while (!shutdown.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        std::uint64_t rounds_now = 0;
+        if (interval_ms > 0 && std::chrono::steady_clock::now() >= next_round) {
+            std::lock_guard<std::mutex> lock(service_mutex);
+            service.run_round();
+            publish();
+            rounds_now = service.rounds_run();
+            next_round += std::chrono::milliseconds(interval_ms);
+        } else {
+            std::lock_guard<std::mutex> lock(service_mutex);
+            rounds_now = service.rounds_run();
+        }
+        if (max_rounds > 0 && rounds_now >= max_rounds) break;
+    }
+
+    std::lock_guard<std::mutex> lock(service_mutex);
+    publish();
+    const core::service_counters c = service.counters();
+    const auto r = service.summarize();
+    table t({"metric", "value"});
+    t.add_row({"rounds run", std::to_string(c.rounds_run)});
+    t.add_row({"users", std::to_string(c.users)});
+    t.add_row({"worker threads", std::to_string(c.worker_threads)});
+    t.add_row({"reshards", std::to_string(c.reshards)});
+    t.add_row({"ingest accepted", std::to_string(c.ingest_accepted)});
+    t.add_row({"ingest rejected (parse)", std::to_string(c.ingest_rejected_parse)});
+    t.add_row({"ingest rejected (user)", std::to_string(c.ingest_rejected_user)});
+    t.add_row({"ingest rejected (backpressure)",
+               std::to_string(c.ingest_rejected_backpressure)});
+    t.add_row({"admitted", std::to_string(c.admitted)});
+    t.add_row({"still pending", std::to_string(c.pending)});
+    t.add_row({"delivery ratio", format_double(r.delivery_ratio, 4)});
+    t.add_row({"total utility", format_double(r.total_utility, 1)});
+    std::cout << t;
+    return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) try {
@@ -443,6 +629,7 @@ int main(int argc, char** argv) try {
     if (command == "sweep") return cmd_sweep(cfg);
     if (command == "trace-report") return cmd_trace_report(cfg);
     if (command == "inspect") return cmd_inspect(cfg);
+    if (command == "serve") return cmd_serve(cfg);
     std::cerr << "unknown subcommand: " << command << "\n\n";
     print_usage();
     return 1;
