@@ -67,19 +67,9 @@ inline bench_options parse_options(int argc, char** argv,
         std::cerr << "[expo] serving http://127.0.0.1:" << opts.expo->port()
                   << "/metrics during the run\n";
     }
-    if (cfg.has("budgets")) {
-        // budgets=1,5,20 style override.
-        opts.budgets_mb.clear();
-        const std::string list = cfg.get_string("budgets", "");
-        std::size_t pos = 0;
-        while (pos < list.size()) {
-            const std::size_t comma = list.find(',', pos);
-            const std::string token = list.substr(pos, comma - pos);
-            opts.budgets_mb.push_back(std::stod(token));
-            if (comma == std::string::npos) break;
-            pos = comma + 1;
-        }
-    }
+    // budgets=1,5,20 style override; strict parse rejects items like "5x"
+    // that the old std::stod loop silently truncated.
+    opts.budgets_mb = cfg.get_double_list("budgets", default_budgets_mb);
     return opts;
 }
 

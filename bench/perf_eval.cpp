@@ -1,0 +1,109 @@
+// Perf harness for the Monte-Carlo evaluation plane (tracked trajectory:
+// BENCH_perf.json "eval" section).
+//
+// Measures replicas/sec through eval::run_evaluation: a fixed scenario pack
+// is resolved, the shared world is built (not timed), and every (arm, seed)
+// replica is executed across the evaluator's wave-parallel worker pool with
+// early stopping disabled so the workload is exactly arms x seeds replicas
+// regardless of how the arms happen to separate. That makes the number a
+// pure throughput measure of the fan-out machinery — scheduling, replica
+// runs, sequential fold — and scripts/bench.sh --gate can floor it.
+//
+// Usage: perf_eval [scenario=flash_crowd] [users=200] [trees=10] [seed=1]
+//                  [seeds=16] [threads=4] [wave=4] [json=PATH] [manifest=PATH]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/config.hpp"
+#include "eval/evaluator.hpp"
+#include "eval/scenario.hpp"
+#include "obs/run_manifest.hpp"
+
+int main(int argc, char** argv) try {
+    using namespace richnote;
+    using clock_type = std::chrono::steady_clock;
+
+    const config cfg = config::from_args(argc, argv);
+    cfg.restrict_to({"scenario", "users", "trees", "seed", "seeds", "threads", "wave",
+                     "json", "manifest"});
+    const std::string scenario = cfg.get_string("scenario", "flash_crowd");
+    eval::scenario_request req;
+    req.users = static_cast<std::size_t>(cfg.get_int("users", 200));
+    req.trees = static_cast<std::size_t>(cfg.get_int("trees", 10));
+    req.setup_seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    const auto seeds = static_cast<std::size_t>(cfg.get_int("seeds", 16));
+    const auto threads = static_cast<std::size_t>(cfg.get_int("threads", 4));
+    const auto wave = static_cast<std::size_t>(cfg.get_int("wave", 4));
+
+    const eval::scenario_pack pack = eval::make_scenario(scenario, req);
+    std::cerr << "[perf] building world: " << req.users << " users, " << req.trees
+              << " trees (" << scenario << ")...\n";
+    const core::experiment_setup setup(pack.setup);
+
+    eval::eval_params ep;
+    ep.arms = pack.arms;
+    ep.seeds = seeds;
+    ep.base_seed = 1000;
+    ep.early_stopping = false; // fixed workload: always arms x seeds replicas
+    ep.worker_threads = threads;
+    ep.seeds_per_wave = wave;
+
+    const std::size_t replicas = ep.arms.size() * seeds;
+    std::cerr << "[perf] timing " << replicas << " replicas (" << ep.arms.size()
+              << " arms x " << seeds << " seeds) on " << threads << " threads...\n";
+    const auto start = clock_type::now();
+    const eval::eval_result result = eval::run_evaluation(setup, ep);
+    const double wall_sec =
+        std::chrono::duration<double>(clock_type::now() - start).count();
+    const double replicas_per_sec =
+        wall_sec > 0.0 ? static_cast<double>(replicas) / wall_sec : 0.0;
+
+    std::ostringstream json;
+    json.precision(6);
+    json << std::fixed;
+    json << "{\n"
+         << "  \"bench\": \"perf_eval\",\n"
+         << "  \"schema\": \"richnote-bench-v1\",\n"
+         << "  \"params\": {\"scenario\": \"" << scenario << "\", \"users\": "
+         << req.users << ", \"trees\": " << req.trees << ", \"seeds\": " << seeds
+         << ", \"arms\": " << ep.arms.size() << ", \"worker_threads\": " << threads
+         << ", \"seeds_per_wave\": " << wave << ", \"seed\": " << req.setup_seed
+         << "},\n"
+         << "  \"eval\": {\"replicas\": " << result.replicas_executed
+         << ", \"wall_sec\": " << wall_sec
+         << ", \"replicas_per_sec\": " << replicas_per_sec << ", \"leader\": \""
+         << result.arms[result.leader].name << "\"}\n"
+         << "}\n";
+
+    if (cfg.has("json")) {
+        const std::string path = cfg.get_string("json", "");
+        std::ofstream out(path);
+        out << json.str();
+        std::cerr << "[perf] wrote " << path << '\n';
+    } else {
+        std::cout << json.str();
+    }
+
+    if (cfg.has("manifest")) {
+        obs::run_manifest manifest("perf_eval");
+        manifest.set_seed(req.setup_seed);
+        manifest.add_config("scenario", scenario);
+        manifest.add_config("users", static_cast<std::uint64_t>(req.users));
+        manifest.add_config("trees", static_cast<std::uint64_t>(req.trees));
+        manifest.add_config("seeds", static_cast<std::uint64_t>(seeds));
+        manifest.add_config("threads", static_cast<std::uint64_t>(threads));
+        manifest.add_config("seed_set_hash", eval::hex64(result.seed_set_hash));
+        manifest.add_timing("wall_sec", wall_sec);
+        manifest.add_timing("replicas_per_sec", replicas_per_sec);
+        manifest.write_file(cfg.get_string("manifest", ""));
+        std::cerr << "[perf] wrote manifest to " << cfg.get_string("manifest", "")
+                  << '\n';
+    }
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}

@@ -23,9 +23,14 @@
 #              uarch field gate the round loop only.
 #              Does not write BENCH_perf.json.
 #
+#              References that carry an eval section additionally gate the
+#              Monte-Carlo evaluator's replicas/sec (perf_eval) with the
+#              same floor; older references skip it.
+#
 # Environment overrides: USERS, ROUNDS, REPEAT, BASELINE (the pre-optimization
 # rounds/sec this machine measured), SERVICE_USERS, SERVICE_ROUNDS,
-# INGEST_MSGS, BENCH_OUT, GATE_MAX_REGRESSION_PCT.
+# INGEST_MSGS, EVAL_USERS, EVAL_SEEDS, EVAL_THREADS, BENCH_OUT,
+# GATE_MAX_REGRESSION_PCT.
 #
 # The round-loop harness is run REPEAT times and the best run is recorded:
 # rounds/sec on a contended machine is noise-floored, and the fastest run is
@@ -41,6 +46,10 @@ INFER_ROWS=${INFER_ROWS:-50000}
 SERVICE_USERS=${SERVICE_USERS:-1000000}
 SERVICE_ROUNDS=${SERVICE_ROUNDS:-10}
 INGEST_MSGS=${INGEST_MSGS:-200000}
+# Monte-Carlo evaluator sizes (perf_eval -> "eval" section).
+EVAL_USERS=${EVAL_USERS:-200}
+EVAL_SEEDS=${EVAL_SEEDS:-16}
+EVAL_THREADS=${EVAL_THREADS:-4}
 # Pre-PR baseline measured on this machine at users=2000 rounds=500 (commit
 # a695b19, same Release+LTO build recipe).
 BASELINE=${BASELINE:-436.38}
@@ -54,6 +63,8 @@ if [ "${1:-}" = "--quick" ]; then
   SERVICE_USERS=20000
   SERVICE_ROUNDS=5
   INGEST_MSGS=20000
+  EVAL_USERS=40
+  EVAL_SEEDS=6
 fi
 
 if [ "${1:-}" = "--gate" ]; then
@@ -65,7 +76,8 @@ if [ "${1:-}" = "--gate" ]; then
   # marks an old reference without it, which gates the round loop only).
   read -r USERS ROUNDS REF_RPS REF_ALLOCS REF_ROWS REF_BATCH REF_UARCH \
     REF_MT4_RPS REF_SVC_USERS REF_SVC_ROUNDS REF_SVC_MSGS REF_SVC_RPS \
-    REF_SVC_MPS <<EOF
+    REF_SVC_MPS REF_EVAL_USERS REF_EVAL_SEEDS REF_EVAL_THREADS \
+    REF_EVAL_SCENARIO REF_EVAL_RPS <<EOF
 $(python3 -c "
 import json, sys
 doc = json.load(open(sys.argv[1]))
@@ -74,6 +86,7 @@ inf = doc.get('inference', {})
 scoring = inf.get('scoring', {})
 mt4 = doc.get('round_loop_mt4', {})
 svc = doc.get('service', {})
+ev = doc.get('eval', {})
 print(rl['params']['users'], rl['params']['rounds'],
       rl['round_loop']['rounds_per_sec'],
       rl['steady_state']['allocs_per_round'],
@@ -85,14 +98,19 @@ print(rl['params']['users'], rl['params']['rounds'],
       svc.get('params', {}).get('rounds', '-'),
       svc.get('params', {}).get('ingest_msgs', '-'),
       svc.get('service', {}).get('service_rounds_per_sec', '-'),
-      svc.get('ingest', {}).get('ingest_msgs_per_sec', '-'))
+      svc.get('ingest', {}).get('ingest_msgs_per_sec', '-'),
+      ev.get('params', {}).get('users', '-'),
+      ev.get('params', {}).get('seeds', '-'),
+      ev.get('params', {}).get('worker_threads', '-'),
+      ev.get('params', {}).get('scenario', '-'),
+      ev.get('eval', {}).get('replicas_per_sec', '-'))
 " "$REF")
 EOF
   MAX_PCT=${GATE_MAX_REGRESSION_PCT:-10}
   BUILD_DIR=build-perf
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DRICHNOTE_LTO=ON >/dev/null
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target perf_round_loop perf_inference \
-    perf_service
+    perf_service perf_eval
   TMP_DIR="$BUILD_DIR/bench-runs"
   mkdir -p "$TMP_DIR"
   best_json=""
@@ -158,9 +176,27 @@ EOF
       fi
     done
   fi
+  eval_json="-"
+  if [ "$REF_EVAL_RPS" != "-" ]; then
+    best_eval=0
+    for i in $(seq 1 "$REPEAT"); do
+      run_json="$TMP_DIR/gate_eval_$i.json"
+      "$BUILD_DIR/bench/perf_eval" scenario="$REF_EVAL_SCENARIO" \
+        users="$REF_EVAL_USERS" seeds="$REF_EVAL_SEEDS" \
+        threads="$REF_EVAL_THREADS" json="$run_json" 2>/dev/null
+      rps=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['eval']['replicas_per_sec'])" "$run_json")
+      echo "[bench] gate eval run $i/$REPEAT: $rps replicas/sec" >&2
+      better=$(python3 -c "import sys; print(1 if float(sys.argv[1]) > float(sys.argv[2]) else 0)" "$rps" "$best_eval")
+      if [ "$better" = "1" ]; then
+        best_eval=$rps
+        eval_json=$run_json
+      fi
+    done
+  fi
   python3 - "$best_json" "$REF_RPS" "$REF_ALLOCS" "$MAX_PCT" \
     "$infer_json" "$REF_BATCH" "$REF_UARCH" \
-    "$mt4_json" "$REF_MT4_RPS" "$svc_json" "$REF_SVC_RPS" "$REF_SVC_MPS" <<'EOF'
+    "$mt4_json" "$REF_MT4_RPS" "$svc_json" "$REF_SVC_RPS" "$REF_SVC_MPS" \
+    "$eval_json" "$REF_EVAL_RPS" <<'EOF'
 import json, sys
 
 run = json.load(open(sys.argv[1]))
@@ -237,6 +273,13 @@ else:
     gate_floor("ingest msgs/sec", svc["ingest"]["ingest_msgs_per_sec"],
                float(sys.argv[12]))
 
+if sys.argv[13] == "-":
+    print("[bench] gate: reference has no eval section; eval gate skipped")
+else:
+    ev = json.load(open(sys.argv[13]))
+    gate_floor("eval replicas/sec", ev["eval"]["replicas_per_sec"],
+               float(sys.argv[14]))
+
 if failures:
     for f in failures:
         print(f"[bench] gate FAIL: {f}", file=sys.stderr)
@@ -251,7 +294,7 @@ BUILD_DIR=build-perf
 # test binaries are built by scripts/check.sh in the dev tree.
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DRICHNOTE_LTO=ON >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target perf_round_loop perf_inference \
-  perf_service
+  perf_service perf_eval
 
 TMP_DIR="$BUILD_DIR/bench-runs"
 mkdir -p "$TMP_DIR"
@@ -296,13 +339,20 @@ service_json="$TMP_DIR/service.json"
 "$BUILD_DIR/bench/perf_service" users="$SERVICE_USERS" rounds="$SERVICE_ROUNDS" \
   ingest_msgs="$INGEST_MSGS" json="$service_json"
 
-python3 - "$best_json" "$infer_json" "$best_mt4_json" "$service_json" "$OUT" <<'EOF'
+# Monte-Carlo evaluation plane: replicas/sec through the wave evaluator.
+eval_json="$TMP_DIR/eval.json"
+"$BUILD_DIR/bench/perf_eval" users="$EVAL_USERS" seeds="$EVAL_SEEDS" \
+  threads="$EVAL_THREADS" json="$eval_json"
+
+python3 - "$best_json" "$infer_json" "$best_mt4_json" "$service_json" \
+  "$eval_json" "$OUT" <<'EOF'
 import json, sys
 
 round_loop = json.load(open(sys.argv[1]))
 inference = json.load(open(sys.argv[2]))
 round_loop_mt4 = json.load(open(sys.argv[3]))
 service = json.load(open(sys.argv[4]))
+evaluation = json.load(open(sys.argv[5]))
 merged = {
     "schema": "richnote-bench-v1",
     "generated_by": "scripts/bench.sh",
@@ -310,8 +360,9 @@ merged = {
     "round_loop_mt4": round_loop_mt4,
     "inference": inference,
     "service": service,
+    "eval": evaluation,
 }
-with open(sys.argv[5], "w") as out:
+with open(sys.argv[6], "w") as out:
     json.dump(merged, out, indent=2)
     out.write("\n")
 
@@ -328,5 +379,9 @@ print(f"[bench] service: {svc['service_rounds_per_sec']:.2f} rounds/sec over "
       f"{service['params']['users']} users "
       f"({svc['user_rounds_per_sec']:.0f} user-rounds/sec), "
       f"ingest {ing['ingest_msgs_per_sec']:.0f} msgs/sec")
-print(f"[bench] wrote {sys.argv[5]}")
+ev = evaluation["eval"]
+print(f"[bench] eval: {ev['replicas_per_sec']:.2f} replicas/sec "
+      f"({ev['replicas']} replicas on "
+      f"{evaluation['params']['worker_threads']} threads)")
+print(f"[bench] wrote {sys.argv[6]}")
 EOF

@@ -2,7 +2,8 @@
 # Correctness gate: configure, build and run the full test suite — the same
 # sequence CI and reviewers use. Run before every push.
 #
-# Usage: scripts/check.sh [--sanitize | --tsan | --bench | --trace | --serve]
+# Usage: scripts/check.sh [--sanitize | --tsan | --bench | --trace | --serve
+#                          | --eval]
 #   --sanitize   separate build-asan/ tree with -DRICHNOTE_SANITIZE=ON
 #                (AddressSanitizer + UBSan). This is how the chaos soak
 #                (tests/core/test_chaos_soak.cpp) is meant to be exercised:
@@ -25,6 +26,11 @@
 #                `richnote serve`, drives /ingest (mixed-validity NDJSON),
 #                /round, /reshard, /metrics and /shutdown over real HTTP,
 #                and requires a clean exit with zero sanitizer reports.
+#   --eval       Monte-Carlo evaluation harness: runs the ctest `eval` label
+#                (estimator property tests, stopping-rule oracle, evaluator
+#                determinism) under BOTH ASan+UBSan and TSan, then smokes
+#                `richnote evaluate` end to end and requires byte-identical
+#                JSON/CSV reports across worker counts.
 #   --trace      observability smoke: runs the CLI twice at the same seed
 #                with trace/metrics/manifest outputs enabled, fails unless
 #                the two NDJSON streams are byte-identical, every line
@@ -113,7 +119,7 @@ if [ "${1:-}" = "--bench" ]; then
 import json, sys
 
 doc = json.load(open(sys.argv[1]))  # malformed JSON raises here
-for section in ("round_loop", "round_loop_mt4", "inference", "service"):
+for section in ("round_loop", "round_loop_mt4", "inference", "service", "eval"):
     if section not in doc:
         sys.exit(f"BENCH JSON missing section: {section}")
     if doc[section].get("schema") != "richnote-bench-v1":
@@ -123,6 +129,8 @@ for field in ("service_rounds_per_sec",):
         sys.exit(f"BENCH JSON service section has non-positive {field}")
 if doc["service"]["ingest"].get("ingest_msgs_per_sec", 0) <= 0:
     sys.exit("BENCH JSON service section has non-positive ingest_msgs_per_sec")
+if doc["eval"]["eval"].get("replicas_per_sec", 0) <= 0:
+    sys.exit("BENCH JSON eval section has non-positive replicas_per_sec")
 print(f"[check] {sys.argv[1]} is well-formed")
 EOF
   # Exercise the runtime SIMD dispatch both ways: the detected kernel and
@@ -252,6 +260,36 @@ EOF
   }
   serve_smoke build-asan asan -DRICHNOTE_SANITIZE=ON
   serve_smoke build-tsan tsan -DRICHNOTE_TSAN=ON
+  exit 0
+fi
+
+if [ "${1:-}" = "--eval" ]; then
+  # Evaluation-harness suite under both sanitizers: ASan+UBSan checks the
+  # statistics kernels and report writers, TSan checks the wave fan-out
+  # over the persistent worker pool against the sequential fold.
+  for pair in "build-asan:-DRICHNOTE_SANITIZE=ON" "build-tsan:-DRICHNOTE_TSAN=ON"; do
+    build_dir=${pair%%:*}
+    flag=${pair#*:}
+    cmake -B "$build_dir" -S . "$flag" >/dev/null
+    cmake --build "$build_dir" -j "$(nproc)" --target test_eval
+    ctest --test-dir "$build_dir" -L eval --output-on-failure -j "$(nproc)"
+  done
+  # CLI determinism smoke: the evaluate reports must be byte-identical for
+  # any worker count (the tests pin this in-process; this pins the binary).
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$(nproc)" --target richnote
+  OUT_DIR=build/eval-smoke
+  mkdir -p "$OUT_DIR"
+  for t in 1 4; do
+    build/tools/richnote evaluate scenario=flash_crowd users=12 trees=4 seeds=6 \
+      min_samples=3 threads="$t" json="$OUT_DIR/eval_t$t.json" \
+      csv="$OUT_DIR/eval_t$t.csv" >/dev/null
+  done
+  cmp "$OUT_DIR/eval_t1.json" "$OUT_DIR/eval_t4.json" \
+    || { echo "[check] FAIL: evaluate JSON differs across worker counts" >&2; exit 1; }
+  cmp "$OUT_DIR/eval_t1.csv" "$OUT_DIR/eval_t4.csv" \
+    || { echo "[check] FAIL: evaluate CSV differs across worker counts" >&2; exit 1; }
+  echo "[check] --eval passed: sanitizer-clean and byte-deterministic"
   exit 0
 fi
 

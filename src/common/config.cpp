@@ -62,6 +62,40 @@ bool config::get_bool(const std::string& key, bool fallback) const {
     return fallback; // unreachable
 }
 
+std::vector<std::string> config::get_string_list(const std::string& key,
+                                                 std::vector<std::string> fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    std::vector<std::string> items;
+    const std::string& list = it->second;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string item = list.substr(pos, comma - pos);
+        RICHNOTE_REQUIRE(!item.empty(),
+                         "config key '" + key + "' has an empty list item: " + list);
+        items.push_back(item);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+    }
+    return items;
+}
+
+std::vector<double> config::get_double_list(const std::string& key,
+                                            std::vector<double> fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    std::vector<double> values;
+    for (const std::string& item : get_string_list(key, {})) {
+        char* end = nullptr;
+        const double parsed = std::strtod(item.c_str(), &end);
+        RICHNOTE_REQUIRE(end && *end == '\0',
+                         "config key '" + key + "' has a non-numeric list item: " + item);
+        values.push_back(parsed);
+    }
+    return values;
+}
+
 void config::restrict_to(const std::vector<std::string>& allowed) const {
     for (const auto& key : order_) {
         const bool ok = std::find(allowed.begin(), allowed.end(), key) != allowed.end();

@@ -32,6 +32,18 @@ public:
     double get_double(const std::string& key, double fallback) const;
     bool get_bool(const std::string& key, bool fallback) const;
 
+    /// Comma-separated number list ("budgets=1,5,20"). Strict: every item
+    /// must be a complete number — "5x" or an empty item is a named error,
+    /// where the historical std::stod call sites silently swallowed the
+    /// trailing garbage. Returns `fallback` when the key is absent.
+    std::vector<double> get_double_list(const std::string& key,
+                                        std::vector<double> fallback) const;
+
+    /// Comma-separated string list ("arms=richnote,fifo"); empty items are
+    /// a named error. Returns `fallback` when the key is absent.
+    std::vector<std::string> get_string_list(const std::string& key,
+                                             std::vector<std::string> fallback) const;
+
     /// All keys in insertion order (for echoing the effective config).
     const std::vector<std::string>& keys() const noexcept { return order_; }
 

@@ -59,6 +59,12 @@ void worker_pool::run(const std::function<void(std::size_t)>& fn) {
     job_ = nullptr;
 }
 
+void worker_pool::run_tasks(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    run_sharded(n, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+}
+
 void worker_pool::run_sharded(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& fn) {
     const std::size_t slots = threads_;

@@ -60,6 +60,12 @@ public:
     /// stays bit-identical.
     void run_sharded(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
 
+    /// Convenience for independent task fan-out (the eval harness's replica
+    /// waves): runs `fn(i)` once for every i in [0, n), statically sharded
+    /// like run_sharded. Callers that store result i into slot i of a
+    /// pre-sized buffer get output independent of the thread count for free.
+    void run_tasks(std::size_t n, const std::function<void(std::size_t)>& fn);
+
     /// Slot w's contiguous half-open range of [0, n).
     static std::pair<std::size_t, std::size_t> shard_range(std::size_t n, std::size_t slot,
                                                            std::size_t slots) noexcept {

@@ -1,0 +1,37 @@
+// Byte-deterministic evaluation reports (DESIGN.md §12).
+//
+// Two export formats for one eval_result: a JSON document (schema
+// "richnote-eval-v1") and a flat CSV. Both are pure functions of the
+// eval_result — doubles are rendered with the observability layer's %.17g
+// convention, keys and rows follow fixed orders (arms in spec order,
+// metrics in metric_names() order) and nothing wall-clock-dependent is
+// written — so a fixed (setup, eval_params) pair produces byte-identical
+// reports for any worker count, on any rerun. Timings belong in the run
+// manifest, which manifest_diff already knows to treat as jitter.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "eval/evaluator.hpp"
+
+namespace richnote::eval {
+
+struct report_options {
+    /// Scenario-pack name echoed into the report ("" = ad-hoc arms).
+    std::string scenario;
+};
+
+/// JSON document: run identity (objective, alpha, seed budget, seed-set
+/// hash), totals, the leader, and per-arm per-metric statistics
+/// {samples, mean, stddev, ci_lo, ci_hi, min, max}. CIs of arms with fewer
+/// than two samples are emitted as null.
+void write_eval_json(const eval_result& result, const report_options& opts,
+                     std::ostream& out);
+
+/// Flat CSV: scenario,arm,metric,samples,mean,stddev,ci_lo,ci_hi,min,max —
+/// one row per (arm, metric), plus a leading comment-free header row.
+void write_eval_csv(const eval_result& result, const report_options& opts,
+                    std::ostream& out);
+
+} // namespace richnote::eval

@@ -1,0 +1,55 @@
+// First-class named scenario packs for the Monte-Carlo evaluator
+// (DESIGN.md §12). A pack bundles the three things a reproducible policy
+// A/B needs: the workload/model setup options, the shared experiment
+// baseline, and the default policy arms to race. `richnote evaluate
+// scenario=<name>` resolves one of these; the name is part of the report,
+// so two reports are comparable only when they stressed the same world.
+//
+//   baseline        — the paper's §V-C setting (sanity anchor).
+//   flash_crowd     — diurnal flash crowd: evening listening surges to ~4x
+//                     the daytime rate and notification fan-out doubles, so
+//                     the weekly budget collides with a nightly burst.
+//   regional_outage — correlated regional network outages via
+//                     faults::fault_plan (regions lose their links
+//                     together), plus flaky partial transfers; stresses
+//                     resume/retry under synchronized backlog drains.
+//   battery_trace   — replays per-user timestamped battery-status traces
+//                     (experiment_params::battery_traces), the paper's
+//                     actual input mode, instead of the closed-loop model.
+//   cold_start      — cold-start cohort: the "richnote_online" arm ignores
+//                     the offline-trained model and learns content utility
+//                     during the run from delivery feedback, racing the
+//                     pretrained arm and the UTIL baseline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.hpp"
+
+namespace richnote::eval {
+
+/// Caller-side knobs every pack scales to: fleet size, setup seed, forest
+/// size and the weekly data budget the arms compete under.
+struct scenario_request {
+    std::size_t users = 200;
+    std::uint64_t setup_seed = 1;
+    std::size_t trees = 30;
+    double budget_mb = 10.0;
+};
+
+struct scenario_pack {
+    std::string name;
+    std::string description;
+    core::experiment_setup::options setup; ///< workload + model options
+    std::vector<arm_spec> arms;            ///< default policy arms
+};
+
+/// All known pack names, in presentation order.
+const std::vector<std::string>& scenario_names();
+
+/// Resolves a pack by name; throws a named error listing the valid names
+/// on an unknown scenario (surfaced verbatim by the CLI).
+scenario_pack make_scenario(const std::string& name, const scenario_request& req);
+
+} // namespace richnote::eval

@@ -19,6 +19,7 @@ enum stream : std::uint64_t {
     stream_reorder = 0x4e0d3700,
     stream_brownout = 0x5b0e0e00,
     stream_crash = 0x6c0a5e00,
+    stream_regional = 0x7e010000,
 };
 
 std::uint64_t hash3(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
@@ -52,7 +53,8 @@ bool in_window(double prob, std::uint32_t length, std::uint64_t seed, std::uint6
 
 bool fault_plan_params::any() const noexcept {
     return blackout_prob > 0.0 || partial_transfer_prob > 0.0 || duplicate_prob > 0.0 ||
-           reorder_prob > 0.0 || brownout_prob > 0.0 || crash_restart_prob > 0.0;
+           reorder_prob > 0.0 || brownout_prob > 0.0 || crash_restart_prob > 0.0 ||
+           regional_outage_prob > 0.0;
 }
 
 fault_plan_params fault_plan_params::scaled(double intensity) const noexcept {
@@ -64,6 +66,7 @@ fault_plan_params fault_plan_params::scaled(double intensity) const noexcept {
     out.reorder_prob = scale(reorder_prob);
     out.brownout_prob = scale(brownout_prob);
     out.crash_restart_prob = scale(crash_restart_prob);
+    out.regional_outage_prob = scale(regional_outage_prob);
     return out;
 }
 
@@ -77,6 +80,9 @@ fault_plan::fault_plan(fault_plan_params params) : params_(params) {
     check_prob(params_.reorder_prob, "reorder_prob");
     check_prob(params_.brownout_prob, "brownout_prob");
     check_prob(params_.crash_restart_prob, "crash_restart_prob");
+    check_prob(params_.regional_outage_prob, "regional_outage_prob");
+    RICHNOTE_REQUIRE(params_.regional_outage_prob == 0.0 || params_.regions >= 1,
+                     "regional outages need regions >= 1");
     RICHNOTE_REQUIRE(params_.min_transfer_fraction >= 0.0 &&
                          params_.min_transfer_fraction < 1.0,
                      "min_transfer_fraction must be in [0,1)");
@@ -84,7 +90,20 @@ fault_plan::fault_plan(fault_plan_params params) : params_(params) {
 
 bool fault_plan::blackout(std::uint32_t user, std::uint64_t round) const noexcept {
     return in_window(params_.blackout_prob, params_.blackout_rounds, params_.seed,
-                     stream_blackout, user, round);
+                     stream_blackout, user, round) ||
+           regional_outage(user, round);
+}
+
+std::uint32_t fault_plan::region_of(std::uint32_t user) const noexcept {
+    return params_.regions > 0 ? user % params_.regions : 0;
+}
+
+bool fault_plan::regional_outage(std::uint32_t user, std::uint64_t round) const noexcept {
+    // Keyed on the REGION, not the user: every user in the region sees the
+    // same window, which is exactly the correlation the independent
+    // per-user blackout stream cannot produce.
+    return in_window(params_.regional_outage_prob, params_.regional_outage_rounds,
+                     params_.seed, stream_regional, region_of(user), round);
 }
 
 bool fault_plan::brownout(std::uint32_t user, std::uint64_t round) const noexcept {

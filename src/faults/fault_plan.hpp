@@ -50,6 +50,16 @@ struct fault_plan_params {
     /// the round and restarts from its last checkpoint.
     double crash_restart_prob = 0.0;
 
+    /// Correlated regional outages (the eval harness's "regional_outage"
+    /// scenario pack): users are partitioned into `regions` groups
+    /// (region = user % regions) and a per (region, round) probability
+    /// starts an outage window of `regional_outage_rounds` rounds during
+    /// which EVERY user in the region loses its link simultaneously —
+    /// unlike `blackout_prob`, whose windows are independent per user.
+    double regional_outage_prob = 0.0;
+    std::uint32_t regions = 8;
+    std::uint32_t regional_outage_rounds = 6;
+
     /// True when any fault can ever fire.
     bool any() const noexcept;
 
@@ -68,8 +78,17 @@ public:
     const fault_plan_params& params() const noexcept { return params_; }
     bool enabled() const noexcept { return params_.any(); }
 
-    /// Is `round` inside a blackout window for `user`?
+    /// Is `round` inside a blackout window for `user`? Covers both the
+    /// per-user independent windows and the correlated regional outages —
+    /// the broker treats them identically (link down).
     bool blackout(std::uint32_t user, std::uint64_t round) const noexcept;
+
+    /// Is `round` inside a correlated regional-outage window for `user`'s
+    /// region? (Subset of blackout(); exposed for tests and telemetry.)
+    bool regional_outage(std::uint32_t user, std::uint64_t round) const noexcept;
+
+    /// The region `user` belongs to (user % regions; 0 when regions == 0).
+    std::uint32_t region_of(std::uint32_t user) const noexcept;
 
     /// Is `round` inside a battery-brownout window for `user`?
     bool brownout(std::uint32_t user, std::uint64_t round) const noexcept;

@@ -1,11 +1,24 @@
-# Drives generate -> train -> simulate -> sweep through the CLI and fails on
-# any non-zero exit.
+# Drives generate -> train -> simulate -> sweep -> evaluate through the CLI
+# and fails on any non-zero exit.
 file(MAKE_DIRECTORY ${WORK_DIR})
 function(run_step)
   execute_process(COMMAND ${ARGN} WORKING_DIRECTORY ${WORK_DIR}
                   RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
   if(NOT code EQUAL 0)
     message(FATAL_ERROR "step failed (${code}): ${ARGN}\n${out}\n${err}")
+  endif()
+endfunction()
+
+# Error contract: bad invocations must exit non-zero with a named `error:`
+# diagnostic on stderr, never a silent success or a bare crash.
+function(run_step_expect_error)
+  execute_process(COMMAND ${ARGN} WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(code EQUAL 0)
+    message(FATAL_ERROR "expected failure but step succeeded: ${ARGN}\n${out}")
+  endif()
+  if(NOT err MATCHES "error:")
+    message(FATAL_ERROR "expected a named error: diagnostic from: ${ARGN}\n${err}")
   endif()
 endfunction()
 run_step(${RICHNOTE} generate users=30 seed=2 out=trace.csv)
@@ -40,3 +53,36 @@ foreach(artifact run_a.ndjson|run_b.ndjson report_a.txt|report_b.txt)
     message(FATAL_ERROR "same-seed artifacts differ: ${left} vs ${right}")
   endif()
 endforeach()
+
+# Monte-Carlo evaluation: the JSON/CSV reports are byte-identical for any
+# worker count and across reruns (the evaluator's determinism contract).
+foreach(threads 1 2 8)
+  run_step(${RICHNOTE} evaluate scenario=flash_crowd users=12 trees=4 seeds=6
+           min_samples=3 threads=${threads}
+           json=eval_t${threads}.json csv=eval_t${threads}.csv)
+endforeach()
+run_step(${RICHNOTE} evaluate scenario=flash_crowd users=12 trees=4 seeds=6
+         min_samples=3 threads=2 json=eval_rerun.json csv=eval_rerun.csv)
+foreach(artifact eval_t1.json|eval_t2.json eval_t1.json|eval_t8.json
+                 eval_t1.csv|eval_t8.csv eval_t2.json|eval_rerun.json
+                 eval_t2.csv|eval_rerun.csv)
+  string(REPLACE "|" ";" pair ${artifact})
+  list(GET pair 0 left)
+  list(GET pair 1 right)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${WORK_DIR}/${left} ${WORK_DIR}/${right}
+                  RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "evaluate artifacts differ: ${left} vs ${right}")
+  endif()
+endforeach()
+
+# Error contract: unknown subcommands, keys, scenarios, arms, metrics and
+# malformed list values all produce a named error and a non-zero exit.
+run_step_expect_error(${RICHNOTE} frobnicate)
+run_step_expect_error(${RICHNOTE} simulate users=30 bogus_key=1)
+run_step_expect_error(${RICHNOTE} sweep users=30 trees=8 budgets=5x)
+run_step_expect_error(${RICHNOTE} evaluate scenario=warp_core_breach)
+run_step_expect_error(${RICHNOTE} evaluate users=12 trees=4 objective=not_a_metric)
+run_step_expect_error(${RICHNOTE} evaluate users=12 trees=4 arms=richnote,nonexistent)
+run_step_expect_error(${RICHNOTE} evaluate users=12 trees=4 seeds=0)

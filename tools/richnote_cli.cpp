@@ -17,6 +17,11 @@
 //   richnote trace-report trace=run.ndjson [top=10]
 //       Aggregate a simulate run's NDJSON decision trace into per-event-
 //       type percentile tables and per-user rollups.
+//   richnote evaluate scenario=flash_crowd seeds=32 users=200 threads=4
+//       Multi-seed Monte-Carlo policy A/B (DESIGN.md §12): run every arm of
+//       a scenario pack over N seeded replicas, report mean ± t-CI per
+//       metric, and retire statistically dominated arms early. Reports are
+//       byte-identical for any thread count.
 //   richnote serve users=2000 fleet_users=100000 threads=4 port=8080
 //       Long-lived service mode (DESIGN.md §11): train the model on a small
 //       workload, stand up a broker fleet of fleet_users, and accept
@@ -45,6 +50,8 @@
 #include "common/table.hpp"
 #include "core/experiment.hpp"
 #include "core/service.hpp"
+#include "eval/report.hpp"
+#include "eval/scenario.hpp"
 #include "ml/metrics.hpp"
 #include "obs/expo_server.hpp"
 #include "obs/metrics_registry.hpp"
@@ -78,6 +85,12 @@ subcommands:
   sweep    users=200 seed=1 budgets=1,5,20,100 [manifest=run.json]
            [expo_port=0]
   trace-report trace=run.ndjson [top=10]
+  evaluate scenario=baseline|flash_crowd|regional_outage|battery_trace|cold_start
+           users=200 seed=1 seeds=32 [base_seed=1000] [budget_mb=10] [trees=30]
+           [arms=richnote,fifo,util] [objective=total_utility] [alpha=0.05]
+           [min_samples=8] [early_stop=true] [threads=1] [wave=4]
+           [json=report.json] [csv=report.csv] [trace=eval.ndjson]
+           [metrics=metrics.json] [manifest=run.json] [expo_port=0]
   inspect  trace=trace.csv users=200 [top=10]
   serve    users=2000 seed=1 [fleet_users=0] [scheduler=richnote]
            [budget_mb=10] [threads=1] [port=0] [port_file=path]
@@ -92,6 +105,14 @@ the worker pool losslessly, POST /shutdown exits. GET /metrics, /progress
 and /healthz work as in simulate. fleet_users=0 serves the training
 workload's users; a larger value synthesizes that many brokers.
 round_interval_ms=0 runs rounds only on POST /round.
+
+evaluate mode: one experiment_setup (workload + trained model) is shared by
+every arm; replica r of an arm runs at env seed base_seed+r, so arms are
+compared under common random numbers. An arm whose confidence interval
+falls below the leader's at level alpha is retired early (min_samples
+floor); every stop decision is traced and exported via /metrics. The JSON/
+CSV report carries the seed-set hash and is byte-identical for any
+threads= value and across reruns.
 
 live telemetry: expo_port starts an embedded HTTP server on 127.0.0.1
 (0 = ephemeral) serving /metrics (Prometheus text), /progress (JSON) and
@@ -388,18 +409,7 @@ int cmd_sweep(const config& cfg) {
     opts.forest.tree_count = static_cast<std::size_t>(cfg.get_int("trees", 30));
     const core::experiment_setup setup(opts);
 
-    std::vector<double> budgets = {1, 5, 20, 100};
-    if (cfg.has("budgets")) {
-        budgets.clear();
-        const std::string list = cfg.get_string("budgets", "");
-        std::size_t pos = 0;
-        while (pos < list.size()) {
-            const std::size_t comma = list.find(',', pos);
-            budgets.push_back(std::stod(list.substr(pos, comma - pos)));
-            if (comma == std::string::npos) break;
-            pos = comma + 1;
-        }
-    }
+    const std::vector<double> budgets = cfg.get_double_list("budgets", {1, 5, 20, 100});
 
     std::unique_ptr<obs::expo_server> expo;
     if (cfg.has("expo_port")) {
@@ -449,6 +459,165 @@ int cmd_sweep(const config& cfg) {
         manifest.write_file(path);
         std::cerr << "[manifest] wrote " << path << '\n';
     }
+    return 0;
+}
+
+int cmd_evaluate(const config& cfg) {
+    cfg.restrict_to({"scenario", "users", "seed", "trees", "budget_mb", "seeds",
+                     "base_seed", "alpha", "min_samples", "objective", "maximize",
+                     "early_stop", "threads", "wave", "arms", "json", "csv", "trace",
+                     "metrics", "manifest", "expo_port"});
+    const auto started = std::chrono::steady_clock::now();
+
+    eval::scenario_request req;
+    req.users = static_cast<std::size_t>(cfg.get_int("users", 200));
+    req.setup_seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    req.trees = static_cast<std::size_t>(cfg.get_int("trees", 30));
+    req.budget_mb = cfg.get_double("budget_mb", 10.0);
+    const std::string scenario = cfg.get_string("scenario", "baseline");
+    const eval::scenario_pack pack = eval::make_scenario(scenario, req);
+
+    eval::eval_params ep;
+    ep.arms = pack.arms;
+    if (cfg.has("arms")) {
+        // Subset/reorder the pack's arms; unknown names are a named error.
+        std::vector<eval::arm_spec> picked;
+        for (const std::string& name : cfg.get_string_list("arms", {})) {
+            bool found = false;
+            for (const auto& arm : pack.arms) {
+                if (arm.name == name) {
+                    picked.push_back(arm);
+                    found = true;
+                    break;
+                }
+            }
+            std::string known;
+            for (const auto& arm : pack.arms) {
+                if (!known.empty()) known += ", ";
+                known += arm.name;
+            }
+            RICHNOTE_REQUIRE(found, "unknown arm '" + name + "' for scenario " +
+                                        scenario + " (known: " + known + ")");
+        }
+        ep.arms = std::move(picked);
+    }
+    ep.seeds = static_cast<std::size_t>(cfg.get_int("seeds", 32));
+    ep.base_seed = static_cast<std::uint64_t>(cfg.get_int("base_seed", 1000));
+    ep.objective = cfg.get_string("objective", "total_utility");
+    // Energy and delay objectives race downward unless told otherwise.
+    const bool minimize_default =
+        ep.objective == "energy_kj" || ep.objective == "mean_delay_min";
+    ep.maximize = cfg.get_bool("maximize", !minimize_default);
+    ep.alpha = cfg.get_double("alpha", 0.05);
+    ep.min_samples = static_cast<std::size_t>(cfg.get_int("min_samples", 8));
+    ep.early_stopping = cfg.get_bool("early_stop", true);
+    ep.worker_threads = static_cast<std::size_t>(cfg.get_int("threads", 1));
+    ep.seeds_per_wave = static_cast<std::size_t>(cfg.get_int("wave", 4));
+
+    std::cerr << "[evaluate] scenario " << pack.name << ": " << pack.description
+              << "\n[evaluate] " << ep.arms.size() << " arms x " << ep.seeds
+              << " seeds, alpha " << ep.alpha << ", objective " << ep.objective
+              << (ep.maximize ? " (max)" : " (min)") << ", threads "
+              << ep.worker_threads << '\n';
+    const core::experiment_setup setup(pack.setup);
+
+    std::unique_ptr<obs::trace_sink> sink;
+    if (cfg.has("trace")) {
+        sink = std::make_unique<obs::trace_sink>(ep.arms.size());
+        sink->attach_file(cfg.get_string("trace", "eval.ndjson"));
+        ep.trace = sink.get();
+    }
+    obs::metrics_registry registry;
+    ep.registry = &registry;
+    std::unique_ptr<obs::expo_server> expo;
+    if (cfg.has("expo_port")) {
+        expo = std::make_unique<obs::expo_server>(
+            static_cast<std::uint16_t>(cfg.get_int("expo_port", 0)));
+        ep.progress = expo.get();
+        std::cerr << "[expo] serving http://127.0.0.1:" << expo->port()
+                  << "/metrics during the evaluation\n";
+    }
+
+    const eval::eval_result result = eval::run_evaluation(setup, ep);
+
+    eval::report_options ropts;
+    ropts.scenario = pack.name;
+    if (cfg.has("json")) {
+        const std::string path = cfg.get_string("json", "report.json");
+        std::ofstream out(path);
+        RICHNOTE_REQUIRE(out.good(), "cannot open report output: " + path);
+        eval::write_eval_json(result, ropts, out);
+        std::cerr << "[evaluate] wrote JSON report to " << path << '\n';
+    }
+    if (cfg.has("csv")) {
+        const std::string path = cfg.get_string("csv", "report.csv");
+        std::ofstream out(path);
+        RICHNOTE_REQUIRE(out.good(), "cannot open report output: " + path);
+        eval::write_eval_csv(result, ropts, out);
+        std::cerr << "[evaluate] wrote CSV report to " << path << '\n';
+    }
+    if (sink) {
+        sink->finalize();
+        std::cerr << "[trace] wrote " << sink->event_count() << " events to "
+                  << cfg.get_string("trace", "eval.ndjson") << '\n';
+    }
+    if (cfg.has("metrics")) {
+        const std::string path = cfg.get_string("metrics", "metrics.json");
+        std::ofstream out(path);
+        RICHNOTE_REQUIRE(out.good(), "cannot open metrics output: " + path);
+        registry.write_json(out);
+        std::cerr << "[metrics] wrote " << path << '\n';
+    }
+    if (cfg.has("manifest")) {
+        obs::run_manifest manifest("richnote_cli.evaluate");
+        manifest.set_seed(req.setup_seed);
+        manifest.add_config("scenario", pack.name);
+        manifest.add_config("users", static_cast<std::uint64_t>(req.users));
+        manifest.add_config("trees", static_cast<std::uint64_t>(req.trees));
+        manifest.add_config("budget_mb", req.budget_mb);
+        manifest.add_config("seeds", static_cast<std::uint64_t>(ep.seeds));
+        manifest.add_config("base_seed", ep.base_seed);
+        manifest.add_config("alpha", ep.alpha);
+        manifest.add_config("min_samples", static_cast<std::uint64_t>(ep.min_samples));
+        manifest.add_config("objective", ep.objective);
+        manifest.add_config("threads", static_cast<std::uint64_t>(ep.worker_threads));
+        manifest.add_config("seed_set_hash", eval::hex64(result.seed_set_hash));
+        manifest.add_timing("wall_sec",
+                            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                          started)
+                                .count());
+        manifest.add_timing("replicas_executed",
+                            static_cast<double>(result.replicas_executed));
+        const std::string path = cfg.get_string("manifest", "run.json");
+        manifest.write_file(path);
+        std::cerr << "[manifest] wrote " << path << '\n';
+    }
+
+    table t({"arm", "n", ep.objective,
+             format_double(100.0 * (1.0 - ep.alpha), 0) + "% CI", "status"});
+    for (std::size_t k = 0; k < result.arms.size(); ++k) {
+        const auto& arm = result.arms[k];
+        const auto& acc = arm.metrics[eval::metric_index(ep.objective)];
+        const auto ci = result.objective_ci(k);
+        std::string status;
+        if (k == result.leader) {
+            status = "leader";
+        } else if (arm.retired) {
+            status = "retired@" + std::to_string(arm.retired_after) + " by " +
+                     result.arms[arm.retired_by].name;
+        }
+        const std::string interval =
+            acc.count() >= 2 ? "[" + format_double(ci.lo, 1) + ", " +
+                                   format_double(ci.hi, 1) + "]"
+                             : "-";
+        t.add_row({arm.name, std::to_string(acc.count()),
+                   format_double(acc.mean(), 1), interval, status});
+    }
+    std::cout << t;
+    std::cout << "replicas: " << result.replicas_used << " used / "
+              << result.replicas_executed << " executed of "
+              << ep.arms.size() * ep.seeds << " budgeted; seed set "
+              << eval::hex64(result.seed_set_hash) << '\n';
     return 0;
 }
 
@@ -569,8 +738,11 @@ int cmd_serve(const config& cfg) {
     std::cerr << "[serve] http://127.0.0.1:" << expo.port()
               << " — POST /ingest /round /reshard /shutdown; GET /metrics /progress /healthz\n";
     if (cfg.has("port_file")) {
-        std::ofstream pf(cfg.get_string("port_file", "serve.port"));
+        const std::string path = cfg.get_string("port_file", "serve.port");
+        std::ofstream pf(path);
+        RICHNOTE_REQUIRE(pf.good(), "cannot open port file: " + path);
         pf << expo.port() << '\n';
+        RICHNOTE_REQUIRE(pf.good(), "cannot write port file: " + path);
     }
 
     const auto interval_ms = cfg.get_int("round_interval_ms", 0);
@@ -628,10 +800,11 @@ int main(int argc, char** argv) try {
     if (command == "simulate") return cmd_simulate(cfg);
     if (command == "sweep") return cmd_sweep(cfg);
     if (command == "trace-report") return cmd_trace_report(cfg);
+    if (command == "evaluate") return cmd_evaluate(cfg);
     if (command == "inspect") return cmd_inspect(cfg);
     if (command == "serve") return cmd_serve(cfg);
-    std::cerr << "unknown subcommand: " << command << "\n\n";
-    print_usage();
+    std::cerr << "error: unknown subcommand: " << command
+              << " (run `richnote help` for the command list)\n";
     return 1;
 } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
