@@ -1,0 +1,239 @@
+// Perf harness for lifecycle tracing overhead (BENCH_perf.json "lifecycle").
+//
+// The DESIGN.md §13 contract: the lifecycle_tracker (stage stamps,
+// histograms, exemplar ring) may cost at most 2% of service round
+// throughput when attached, and exactly nothing when it is not (every hook
+// is one nullable-pointer branch). This harness measures three passes over
+// identical fleets:
+//
+//  1. disabled: lifecycle == nullptr and trace == nullptr — the zero-cost
+//     baseline (rounds_per_sec_disabled).
+//
+//  2. enabled: a lifecycle_tracker attached, no trace sink — the wall-clock
+//     plane alone, which is what the ≤2% ceiling governs
+//     (rounds_per_sec_enabled, overhead_pct).
+//
+//  3. traced: tracker AND a file-streaming trace_sink — the full
+//     observability stack including the deterministic NDJSON plane
+//     (lc_ingest/lc_admit + every §9 decision event). Reported as
+//     rounds_per_sec_traced for sizing, NOT gated: the NDJSON plane's cost
+//     is the §9 tracing opt-in, scaling with events written, not a
+//     lifecycle regression.
+//
+// overhead_pct = (disabled - enabled) / disabled * 100. scripts/bench.sh
+// folds the JSON into BENCH_perf.json as the "lifecycle" section; the gate
+// fails when overhead_pct exceeds the 2% ceiling or rounds_per_sec_enabled
+// falls below the reference floor.
+//
+// Passes 1 and 2 alternate reps= times (disabled, enabled, disabled, ...)
+// and each mode keeps its BEST (minimum) wall time: interleaving cancels
+// slow machine drift (thermal, co-tenant load) and the minimum discards
+// scheduler-interference spikes, so the comparison converges on the code's
+// intrinsic cost rather than the noise floor of a shared box. The disabled
+// pass still runs first within every pair, biasing warm-cache effects
+// against the claim.
+//
+// Usage: perf_lifecycle [train_users=200] [users=20000] [rounds=20]
+//                       [threads=1] [seed=1] [trees=10] [budget=20]
+//                       [queue=524288] [reps=3]
+//                       [trace=perf_lifecycle.trace.ndjson]
+//                       [keep_trace=0] [json=PATH] [manifest=PATH]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "core/experiment.hpp"
+#include "core/service.hpp"
+#include "ml/simd_dispatch.hpp"
+#include "obs/lifecycle.hpp"
+#include "obs/run_manifest.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+struct pass_result {
+    double wall_sec = 0.0;
+    double rounds_per_sec = 0.0;
+};
+
+pass_result run_pass(const richnote::core::experiment_setup& setup,
+                     richnote::core::service_params sp, std::uint64_t rounds,
+                     const char* label) {
+    using namespace richnote;
+    core::notification_service svc(setup, sp);
+    for (const auto& stream : setup.world().notifications().per_user) {
+        for (const auto& n : stream) {
+            if (svc.ingest(n) != core::notification_service::ingest_status::accepted) {
+                throw richnote::precondition_error(
+                    "warmup ingest rejected (queue= too small?)");
+            }
+        }
+    }
+    // Two untimed warm-up rounds absorb the one-shot ingest burst: the ring
+    // drains (and the whole backlog admits) in the first round after
+    // ingest, so timing from round 1 would charge the per-notification
+    // ingest/admit cost — amortized over an item's whole life in a real
+    // service — to the round loop. The ceiling governs steady-state rounds.
+    svc.run_rounds(2);
+    std::cerr << "[perf] timing " << rounds << " rounds (" << label << ")...\n";
+    const auto start = clock_type::now();
+    svc.run_rounds(rounds);
+    pass_result r;
+    r.wall_sec = seconds_since(start);
+    r.rounds_per_sec = static_cast<double>(rounds) / r.wall_sec;
+    return r;
+}
+
+} // namespace
+
+int main(int argc, char** argv) try {
+    using namespace richnote;
+
+    const config cfg = config::from_args(argc, argv);
+    cfg.restrict_to({"train_users", "users", "rounds", "threads", "seed", "trees",
+                     "budget", "queue", "reps", "trace", "keep_trace", "json",
+                     "manifest"});
+    const auto train_users = static_cast<std::size_t>(cfg.get_int("train_users", 200));
+    const auto users = static_cast<std::size_t>(cfg.get_int("users", 20'000));
+    const auto rounds = static_cast<std::uint64_t>(cfg.get_int("rounds", 20));
+    const auto threads = static_cast<std::size_t>(cfg.get_int("threads", 1));
+    const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+    const auto trees = static_cast<std::size_t>(cfg.get_int("trees", 10));
+    const double budget_mb = cfg.get_double("budget", 20.0);
+    const auto queue = static_cast<std::size_t>(cfg.get_int("queue", 1 << 19));
+    const int reps = static_cast<int>(cfg.get_int("reps", 3));
+    const std::string trace_path =
+        cfg.get_string("trace", "perf_lifecycle.trace.ndjson");
+    const bool keep_trace = cfg.get_bool("keep_trace", false);
+
+    core::experiment_setup::options setup_opts;
+    setup_opts.workload.user_count = train_users;
+    setup_opts.forest.tree_count = trees;
+    setup_opts.seed = seed;
+    std::cerr << "[perf] training setup: " << train_users << " users, " << trees
+              << " trees...\n";
+    const core::experiment_setup setup(setup_opts);
+
+    core::service_params sp;
+    sp.experiment.kind = core::scheduler_kind::richnote;
+    sp.experiment.weekly_budget_mb = budget_mb;
+    sp.experiment.seed = seed;
+    sp.user_count = users;
+    sp.worker_threads = threads;
+    sp.queue_capacity = queue;
+
+    // Passes 1 and 2, interleaved reps= times: the zero-cost baseline vs
+    // the tracker-only wall-clock plane the ≤2% ceiling governs. Each mode
+    // keeps its best wall time (see the header comment).
+    std::optional<obs::lifecycle_tracker> lifecycle;
+    pass_result off;
+    pass_result on;
+    for (int rep = 0; rep < std::max(1, reps); ++rep) {
+        // Alternate which mode goes first within the pair so any
+        // directional drift (frequency scaling, heating) penalizes both
+        // modes equally across reps instead of always taxing the second.
+        for (int half = 0; half < 2; ++half) {
+            const bool enabled = (half == 0) == (rep % 2 == 1);
+            if (enabled) {
+                lifecycle.emplace(); // fresh tracker: counts are one pass's
+                sp.experiment.lifecycle = &*lifecycle;
+                const pass_result r = run_pass(setup, sp, rounds, "lifecycle on");
+                if (on.wall_sec == 0.0 || r.wall_sec < on.wall_sec) on = r;
+            } else {
+                sp.experiment.lifecycle = nullptr;
+                const pass_result r = run_pass(setup, sp, rounds, "lifecycle off");
+                if (off.wall_sec == 0.0 || r.wall_sec < off.wall_sec) off = r;
+            }
+        }
+    }
+
+    // Pass 3: tracker + streaming NDJSON sink, the full stack a production
+    // `richnote serve trace=...` run pays. Informational only.
+    obs::lifecycle_tracker traced_lifecycle;
+    obs::trace_sink sink(users);
+    sink.attach_file(trace_path);
+    sp.experiment.lifecycle = &traced_lifecycle;
+    sp.experiment.trace = &sink;
+    const pass_result traced = run_pass(setup, sp, rounds, "lifecycle + trace");
+    sink.finalize();
+    if (!keep_trace) std::remove(trace_path.c_str());
+
+    const double overhead_pct =
+        off.rounds_per_sec > 0.0
+            ? (off.rounds_per_sec - on.rounds_per_sec) / off.rounds_per_sec * 100.0
+            : 0.0;
+    std::cerr << "[perf] lifecycle overhead: " << overhead_pct << "% ("
+              << off.rounds_per_sec << " -> " << on.rounds_per_sec
+              << " rounds/s; with NDJSON sink " << traced.rounds_per_sec
+              << " rounds/s, " << sink.event_count() << " trace events; "
+              << lifecycle->tracked() << " tracked, " << lifecycle->delivered()
+              << " delivered)\n";
+
+    const std::string uarch = std::string(ml::simd::arch_name()) + "/" +
+                              ml::simd::isa_name(ml::simd::active_isa());
+
+    std::ostringstream json;
+    json.precision(6);
+    json << std::fixed;
+    json << "{\n"
+         << "  \"bench\": \"perf_lifecycle\",\n"
+         << "  \"schema\": \"richnote-bench-v1\",\n"
+         << "  \"params\": {\"train_users\": " << train_users
+         << ", \"users\": " << users << ", \"rounds\": " << rounds
+         << ", \"worker_threads\": " << threads << ", \"seed\": " << seed
+         << ", \"trees\": " << trees << ", \"weekly_budget_mb\": " << budget_mb
+         << ", \"uarch\": \"" << uarch << "\"},\n"
+         << "  \"lifecycle\": {\"rounds_run\": " << rounds
+         << ", \"wall_sec_disabled\": " << off.wall_sec
+         << ", \"wall_sec_enabled\": " << on.wall_sec
+         << ", \"wall_sec_traced\": " << traced.wall_sec
+         << ", \"rounds_per_sec_disabled\": " << off.rounds_per_sec
+         << ", \"rounds_per_sec_enabled\": " << on.rounds_per_sec
+         << ", \"rounds_per_sec_traced\": " << traced.rounds_per_sec
+         << ", \"overhead_pct\": " << overhead_pct
+         << ", \"tracked\": " << lifecycle->tracked()
+         << ", \"delivered\": " << lifecycle->delivered()
+         << ", \"trace_events\": " << sink.event_count() << "}\n"
+         << "}\n";
+
+    if (cfg.has("json")) {
+        const std::string path = cfg.get_string("json", "");
+        std::ofstream out(path);
+        out << json.str();
+        std::cerr << "[perf] wrote " << path << '\n';
+    } else {
+        std::cout << json.str();
+    }
+
+    if (cfg.has("manifest")) {
+        obs::run_manifest manifest("perf_lifecycle");
+        manifest.set_seed(seed);
+        manifest.add_config("train_users", static_cast<std::uint64_t>(train_users));
+        manifest.add_config("users", static_cast<std::uint64_t>(users));
+        manifest.add_config("rounds", rounds);
+        manifest.add_config("threads", static_cast<std::uint64_t>(threads));
+        manifest.add_config("uarch", uarch);
+        manifest.add_timing("rounds_per_sec_disabled", off.rounds_per_sec);
+        manifest.add_timing("rounds_per_sec_enabled", on.rounds_per_sec);
+        manifest.add_timing("overhead_pct", overhead_pct);
+        manifest.write_file(cfg.get_string("manifest", ""));
+        std::cerr << "[perf] wrote manifest to " << cfg.get_string("manifest", "")
+                  << '\n';
+    }
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+}

@@ -86,6 +86,10 @@ REQUIRED = {
     "retry_backoff": {"item", "attempts", "not_before"},
     "dead_letter": {"item", "attempts"},
     "crash_restart": set(),
+    # Service-mode lifecycle stages (DESIGN.md §13); absent from batch
+    # traces but part of the schema.
+    "lc_ingest": {"item", "created_at"},
+    "lc_admit": {"item", "wait_rounds"},
 }
 
 counts = {}
@@ -119,7 +123,8 @@ if [ "${1:-}" = "--bench" ]; then
 import json, sys
 
 doc = json.load(open(sys.argv[1]))  # malformed JSON raises here
-for section in ("round_loop", "round_loop_mt4", "inference", "service", "eval"):
+for section in ("round_loop", "round_loop_mt4", "inference", "service", "eval",
+                "lifecycle"):
     if section not in doc:
         sys.exit(f"BENCH JSON missing section: {section}")
     if doc[section].get("schema") != "richnote-bench-v1":
@@ -131,6 +136,12 @@ if doc["service"]["ingest"].get("ingest_msgs_per_sec", 0) <= 0:
     sys.exit("BENCH JSON service section has non-positive ingest_msgs_per_sec")
 if doc["eval"]["eval"].get("replicas_per_sec", 0) <= 0:
     sys.exit("BENCH JSON eval section has non-positive replicas_per_sec")
+lifecycle = doc["lifecycle"]["lifecycle"]
+for field in ("rounds_per_sec_disabled", "rounds_per_sec_enabled"):
+    if lifecycle.get(field, 0) <= 0:
+        sys.exit(f"BENCH JSON lifecycle section has non-positive {field}")
+if "overhead_pct" not in lifecycle:
+    sys.exit("BENCH JSON lifecycle section missing overhead_pct")
 print(f"[check] {sys.argv[1]} is well-formed")
 EOF
   # Exercise the runtime SIMD dispatch both ways: the detected kernel and
@@ -177,7 +188,8 @@ if [ "${1:-}" = "--serve" ]; then
     rm -rf "$out_dir"
     mkdir -p "$out_dir"
     "$build_dir/tools/richnote" serve users=20 seed=3 budget_mb=5 threads=2 \
-      oracle=1 port=0 port_file="$out_dir/port" >"$out_dir/serve.log" 2>&1 &
+      oracle=1 port=0 port_file="$out_dir/port" trace="$out_dir/serve.ndjson" \
+      >"$out_dir/serve.log" 2>&1 &
     local pid=$!
     for _ in $(seq 1 300); do
       [ -s "$out_dir/port" ] && break
@@ -212,6 +224,19 @@ def get(path):
 
 status, body = get("/healthz")
 assert status == 200, (status, body)
+health = json.loads(body)
+assert health["status"] == "ok", body
+for key in ("git_describe", "build_type", "compiler", "uarch"):
+    assert key in health, f"/healthz missing {key}: {body}"
+
+# Unknown paths list everything that is mounted, /exemplars included.
+try:
+    get("/definitely-not-a-path")
+    assert False, "404 expected"
+except urllib.error.HTTPError as e:
+    listing = e.read().decode()
+    for path in ("/healthz", "/metrics", "/progress", "/exemplars", "/ingest"):
+        assert path in listing, f"404 listing missing {path}: {listing}"
 
 lines = "\n".join(
     json.dumps({"id": i, "user": i % 20, "type": "friend_feed", "track": 3,
@@ -238,8 +263,23 @@ assert status == 200
 for needle in ("richnote_service_ingest_accepted_total 8",
                "richnote_service_ingest_rejected_parse_total 1",
                "richnote_service_rounds_total 4",
-               "richnote_service_reshards_total 1"):
+               "richnote_service_reshards_total 1",
+               # Lifecycle-era vocabulary (DESIGN.md §13): svc counters,
+               # stage-latency histograms and per-endpoint RED labels.
+               "richnote_svc_ingest_rejected_backpressure 0",
+               "richnote_svc_e2e_us_bucket",
+               "richnote_svc_ingest_to_admit_us_count",
+               'richnote_svc_http_requests_total{endpoint="ingest"} 1',
+               'richnote_svc_http_duration_us_bucket{endpoint="round"',
+               "# HELP richnote_svc_ingest_rejected_backpressure"):
     assert needle in metrics, f"missing from /metrics: {needle}"
+
+status, body = get("/exemplars")
+assert status == 200, (status, body)
+exemplars = json.loads(body)["exemplars"]
+assert isinstance(exemplars, list), body
+if exemplars:  # worst e2e first; empty until the first completed delivery
+    assert exemplars[0]["e2e_us"] >= exemplars[-1]["e2e_us"], body
 
 status, body = post("/shutdown", "")
 assert status == 200, (status, body)
@@ -256,10 +296,94 @@ EOF
       echo "[check] FAIL: serve ($label) did not exit cleanly after /shutdown" >&2
       exit 1
     fi
+
+    # `richnote explain` is a pure function of the trace bytes: two runs
+    # over the lifecycle NDJSON the server just streamed must emit
+    # identical output (and actually reconstruct a causal chain).
+    [ -s "$out_dir/serve.ndjson" ] \
+      || { echo "[check] FAIL: serve ($label) wrote no lifecycle trace" >&2; exit 1; }
+    "$build_dir/tools/richnote" explain "$out_dir/serve.ndjson" id=1 \
+      >"$out_dir/explain_a.txt"
+    "$build_dir/tools/richnote" explain "$out_dir/serve.ndjson" id=1 \
+      >"$out_dir/explain_b.txt"
+    cmp "$out_dir/explain_a.txt" "$out_dir/explain_b.txt" \
+      || { echo "[check] FAIL: explain output differs across reruns ($label)" >&2
+           exit 1; }
+    grep -q "ingested" "$out_dir/explain_a.txt" \
+      || { echo "[check] FAIL: explain found no ingest stage ($label)" >&2; exit 1; }
     echo "[check] serve smoke ($label) passed: clean shutdown, no sanitizer reports"
   }
+
+  # A deliberately tiny admission ring turns into 503s, never losses: 8
+  # ingests against 4 slots must report exactly 4 backpressure rejections,
+  # in the reply and in the richnote.svc.* counter.
+  serve_backpressure() {
+    local build_dir=$1 label=$2
+    local out_dir="$build_dir/serve-smoke-bp"
+    rm -rf "$out_dir"
+    mkdir -p "$out_dir"
+    "$build_dir/tools/richnote" serve users=20 seed=3 budget_mb=5 threads=1 \
+      oracle=1 port=0 queue_capacity=4 port_file="$out_dir/port" \
+      >"$out_dir/serve.log" 2>&1 &
+    local pid=$!
+    for _ in $(seq 1 300); do
+      [ -s "$out_dir/port" ] && break
+      kill -0 "$pid" 2>/dev/null \
+        || { cat "$out_dir/serve.log" >&2
+             echo "[check] FAIL: serve ($label, bp) died before binding" >&2
+             exit 1; }
+      sleep 0.1
+    done
+    if ! python3 - "$(cat "$out_dir/port")" "$label" <<'EOF'
+import json, sys, urllib.error, urllib.request
+
+base = f"http://127.0.0.1:{sys.argv[1]}"
+
+def post(path, body):
+    req = urllib.request.Request(base + path, data=body.encode(), method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=30) as r:
+            return r.status, r.read().decode()
+    except urllib.error.HTTPError as e:
+        return e.code, e.read().decode()
+
+lines = "\n".join(
+    json.dumps({"id": i, "user": i % 20, "type": "friend_feed", "track": 3,
+                "created_at": 0, "social_tie": 0.5, "track_pop": 50,
+                "album_pop": 50, "artist_pop": 50})
+    for i in range(1, 9))
+status, body = post("/ingest", lines)
+reply = json.loads(body)
+assert status == 503, (status, body)  # a full ring is backpressure
+assert reply["accepted"] == 4, body
+assert reply["backpressure"] == 4, body
+
+status, body = post("/round", "")
+assert status == 200, (status, body)
+with urllib.request.urlopen(base + "/metrics", timeout=30) as r:
+    metrics = r.read().decode()
+assert "richnote_svc_ingest_rejected_backpressure 4" in metrics, metrics
+assert "richnote_service_ingest_accepted_total 4" in metrics
+
+status, body = post("/shutdown", "")
+assert status == 200, (status, body)
+print(f"[check] serve backpressure ({sys.argv[2]}): 503 + exact rejected count")
+EOF
+    then
+      kill "$pid" 2>/dev/null || true
+      cat "$out_dir/serve.log" >&2
+      echo "[check] FAIL: serve backpressure smoke ($label) failed" >&2
+      exit 1
+    fi
+    wait "$pid" \
+      || { cat "$out_dir/serve.log" >&2
+           echo "[check] FAIL: serve ($label, bp) unclean exit" >&2; exit 1; }
+  }
+
   serve_smoke build-asan asan -DRICHNOTE_SANITIZE=ON
+  serve_backpressure build-asan asan
   serve_smoke build-tsan tsan -DRICHNOTE_TSAN=ON
+  serve_backpressure build-tsan tsan
   exit 0
 fi
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/lifecycle.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace_sink.hpp"
 
@@ -40,6 +41,7 @@ broker::broker(trace::user_id user, broker_params params, std::unique_ptr<schedu
                      "legacy all-or-nothing accounting cannot be combined with a fault plan");
     if (params_.expected_admissions > 0) seen_ids_.reserve(params_.expected_admissions);
     if (params_.trace != nullptr) scheduler_->bind_trace(params_.trace, user_);
+    if (params_.lifecycle != nullptr) scheduler_->bind_lifecycle(params_.lifecycle);
 }
 
 std::vector<trace::notification> broker::take_feedback() {
@@ -206,6 +208,8 @@ void broker::run_round(sim_time now) {
             ++failed_transfers_;
             metrics_->on_session_overhead(user_, d.rho_joules);
             battery_->drain(d.rho_joules);
+            if (params_.lifecycle != nullptr)
+                params_.lifecycle->on_attempt(d.item_id, round);
             if (scheduler_->on_transfer_failed(d.item_id, now))
                 metrics_->on_dead_letter(user_);
             continue;
@@ -243,6 +247,8 @@ void broker::run_round(sim_time now) {
             }
             partial_progress_[d.item_id] = already + moved;
             ++failed_transfers_;
+            if (params_.lifecycle != nullptr)
+                params_.lifecycle->on_attempt(d.item_id, round);
             metrics_->on_transfer_interrupted(user_, moved);
             metrics_->on_session_overhead(user_, rho_share);
             scheduler_->on_session_overhead(rho_share);
@@ -273,6 +279,8 @@ void broker::run_round(sim_time now) {
         }
         metrics_->on_delivery(d, when, rho_share, ctx.metered, moved);
         scheduler_->on_delivered(d.item_id, rho_share);
+        if (params_.lifecycle != nullptr)
+            params_.lifecycle->on_delivered(d.item_id, round);
         // Engagement feedback becomes observable once the user sees the
         // notification; unattended deliveries produce no signal.
         if (d.note.attended) pending_feedback_.push_back(d.note);

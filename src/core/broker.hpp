@@ -70,6 +70,11 @@ struct broker_params {
     /// default) keeps every emission site to a single null check. The
     /// broker also binds it to the scheduler for decision-level events.
     richnote::obs::trace_sink* trace = nullptr;
+    /// Optional service-mode lifecycle tracker (obs/lifecycle.hpp). Not
+    /// owned; nullptr (the default) keeps every hook to one null check.
+    /// The broker reports attempt/delivered transitions and binds it to
+    /// the scheduler for plan/dead-letter ones.
+    richnote::obs::lifecycle_tracker* lifecycle = nullptr;
 };
 
 /// Snapshot of everything a broker mutates over time. Move-only (owns a

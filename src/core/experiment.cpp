@@ -143,6 +143,7 @@ broker make_user_broker(const broker_build_context& ctx, trace::user_id u,
     bp.faults = ctx.faults;
     bp.expected_admissions = expected_admissions;
     bp.trace = params.trace;
+    bp.lifecycle = params.lifecycle;
 
     auto network = params.wifi_enabled
                        ? richnote::sim::markov_network_model::with_wifi()

@@ -22,6 +22,7 @@
 #include "trace/generator.hpp"
 
 namespace richnote::obs {
+class lifecycle_tracker;
 class progress_listener;
 }
 
@@ -108,6 +109,12 @@ struct experiment_params {
     /// sink buckets per user, so it composes with worker_threads > 1 and
     /// the merged stream stays byte-identical for a fixed seed.
     richnote::obs::trace_sink* trace = nullptr;
+    /// Optional service-mode lifecycle tracker (obs/lifecycle.hpp): brokers
+    /// and schedulers report per-notification stage transitions (planned /
+    /// attempt / delivered / dead-lettered) into it. The ingest-side stages
+    /// only exist in service mode, so batch runs normally leave this null.
+    /// Not owned; nullptr = off (each hook pays one branch).
+    richnote::obs::lifecycle_tracker* lifecycle = nullptr;
     /// Optional metrics registry (obs): the run's aggregates and fault
     /// counters are exported under the canonical richnote.* names after the
     /// replay finishes. Not owned; nullptr = off.

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "obs/lifecycle.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace_sink.hpp"
 
@@ -13,6 +14,13 @@ namespace richnote::core {
 using richnote::sim::net_state;
 
 // ---------------------------------------------------------------- base ----
+
+void queue_scheduler_base::note_planned_item(sched_item& item, level_t level) {
+    if (lifecycle_ == nullptr || item.lifecycle_noted) return;
+    item.lifecycle_noted = true;
+    lifecycle_->on_planned(item.note.id, trace_round_,
+                           static_cast<std::uint32_t>(level));
+}
 
 std::size_t queue_scheduler_base::find_position(std::uint64_t item_id) const noexcept {
     // Linear scan, on purpose: per-user queues are short (a handful of
@@ -74,8 +82,10 @@ bool queue_scheduler_base::on_transfer_failed(std::uint64_t item_id,
                 .field("item", item.note.id)
                 .field("attempts", item.failed_attempts);
         }
+        const std::uint64_t dead_id = item.note.id; // remove_at invalidates item
         remove_at(pos, 0.0);
         ++dead_lettered_;
+        if (lifecycle_ != nullptr) lifecycle_->on_dead_lettered(dead_id, trace_round_);
         return true;
     }
     ++retries_;
@@ -237,7 +247,8 @@ const std::vector<planned_delivery>& richnote_scheduler::plan(const round_contex
     for (std::size_t i = 0; i < n; ++i) {
         const level_t level = solution.levels[i];
         if (level == 0) continue;
-        const sched_item& item = queue_[i];
+        sched_item& item = queue_[i];
+        note_planned_item(item, level);
         planned_delivery d;
         d.item_id = item.note.id;
         d.level = level;
@@ -376,7 +387,8 @@ const std::vector<planned_delivery>& direct_scheduler::plan(const round_context&
     for (std::size_t i = 0; i < n; ++i) {
         const level_t level = solution.levels[i];
         if (level == 0) continue;
-        const sched_item& item = queue_[i];
+        sched_item& item = queue_[i];
+        note_planned_item(item, level);
         planned_delivery d;
         d.item_id = item.note.id;
         d.level = level;
@@ -427,7 +439,7 @@ const std::vector<planned_delivery>& fixed_level_scheduler::plan(const round_con
 
     double planned_bytes = 0.0;
     for (std::size_t pos : delivery_order()) {
-        const sched_item& item = queue_[pos];
+        sched_item& item = queue_[pos];
         // Backing-off items are skipped, not head-of-line blocking — even
         // under FIFO: the whole point of the backoff is that a flaky item
         // must not starve the queue behind it between its retries.
@@ -439,6 +451,7 @@ const std::vector<planned_delivery>& fixed_level_scheduler::plan(const round_con
             if (head_of_line_blocking()) break;
             continue;
         }
+        note_planned_item(item, level);
         planned_delivery d;
         d.item_id = item.note.id;
         d.level = level;

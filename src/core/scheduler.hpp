@@ -29,6 +29,7 @@
 #include "trace/notification.hpp"
 
 namespace richnote::obs {
+class lifecycle_tracker;
 class trace_sink;
 }
 
@@ -49,6 +50,11 @@ struct sched_item {
     /// fault counter (core/counters.hpp): soak runs overflow 32 bits.
     std::uint64_t failed_attempts = 0;
     richnote::sim::sim_time retry_not_before = 0;
+    /// Already reported to the lifecycle tracker as planned (see
+    /// queue_scheduler_base::note_planned_item). Pure observability bookkeeping:
+    /// never checkpointed — after a restore the tracker's own first-plan
+    /// dedup absorbs the one redundant re-report.
+    bool lifecycle_noted = false;
 
     /// Eq. 1 combined utility of level j.
     double utility(level_t j) const { return content_utility * presentations.utility(j); }
@@ -176,8 +182,16 @@ public:
         trace_user_ = user;
     }
 
+    /// Attaches the service-mode lifecycle tracker (obs/lifecycle.hpp); the
+    /// scheduler reports first-plan and dead-letter stage transitions into
+    /// it. Null detaches (the default — each site costs one branch).
+    void bind_lifecycle(richnote::obs::lifecycle_tracker* lifecycle) noexcept {
+        lifecycle_ = lifecycle;
+    }
+
 protected:
     richnote::obs::trace_sink* trace_ = nullptr;
+    richnote::obs::lifecycle_tracker* lifecycle_ = nullptr;
     std::uint32_t trace_user_ = 0;
     /// Round of the most recent plan() call, so events emitted outside
     /// plan() (retry/backoff, dead-letter) land on the right round.
@@ -218,6 +232,14 @@ protected:
     bool retry_eligible(const sched_item& item, richnote::sim::sim_time now) const noexcept {
         return item.retry_not_before <= now;
     }
+
+    /// Reports an item's first appearance in a delivery plan to the
+    /// lifecycle tracker. Call at plan-entry construction, where the
+    /// (mutable) item is in hand: plans are rebuilt every round, so the
+    /// steady-state cost must be this one flag branch per selected entry —
+    /// any end-of-plan reconciliation over ids pays O(queue) per round on
+    /// a backlog, which measurably drags the round loop.
+    void note_planned_item(sched_item& item, level_t level);
 
     /// Hooks for subclasses that track queue state (Lyapunov).
     virtual void on_enqueued(const sched_item& item) { (void)item; }

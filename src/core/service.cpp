@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "core/wire.hpp"
+#include "obs/lifecycle.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace_sink.hpp"
 
@@ -91,7 +92,13 @@ notification_service::ingest(const trace::notification& n) {
         ingest_rejected_user_.fetch_add(1, std::memory_order_relaxed);
         return ingest_status::unknown_user;
     }
+    // Stamp BEFORE the push: once the item is on the ring the driver may
+    // drain, admit and even deliver it concurrently, and every later stage
+    // hook ignores ids it has no record for.
+    richnote::obs::lifecycle_tracker* lifecycle = params_.experiment.lifecycle;
+    if (lifecycle != nullptr) lifecycle->on_ingested(n.id, n.recipient);
     if (!ring_.try_push(n)) {
+        if (lifecycle != nullptr) lifecycle->abandon(n.id);
         ingest_rejected_backpressure_.fetch_add(1, std::memory_order_relaxed);
         return ingest_status::backpressure;
     }
@@ -116,8 +123,18 @@ bool notification_service::canonical_before(const trace::notification& a,
 
 void notification_service::drain_ring() {
     trace::notification n;
+    richnote::obs::trace_sink* trace = params_.experiment.trace;
     while (ring_.try_pop(n)) {
-        pending_[n.recipient].push_back(n);
+        // Deterministic-plane ingest event: the round the driver drained
+        // the item, never a wall-clock stamp (DESIGN.md §13). Emitted here
+        // — single-threaded, before the worker shards run — so the per-user
+        // sequence is identical for every worker count.
+        if (trace != nullptr) {
+            trace->event(n.recipient, rounds_run_, "lc_ingest")
+                .field("item", n.id)
+                .field("created_at", n.created_at);
+        }
+        pending_[n.recipient].push_back({n, rounds_run_});
         ++pending_count_;
     }
 }
@@ -125,20 +142,39 @@ void notification_service::drain_ring() {
 void notification_service::run_round() {
     drain_ring();
     const sim_time now = now_;
+    const std::uint64_t round = rounds_run_;
+    richnote::obs::trace_sink* trace = params_.experiment.trace;
+    richnote::obs::lifecycle_tracker* lifecycle = params_.experiment.lifecycle;
     std::atomic<std::uint64_t> admitted_now{0};
     pool_->run_sharded(brokers_.size(), [&](std::size_t lo, std::size_t hi) {
         std::uint64_t local = 0;
         for (std::size_t u = lo; u < hi; ++u) {
-            std::vector<trace::notification>& pend = pending_[u];
+            std::vector<pending_item>& pend = pending_[u];
             if (!pend.empty()) {
                 // Due items to the front (stable: drain order preserved),
                 // then canonical admission order within the due prefix.
                 const auto mid = std::stable_partition(
-                    pend.begin(), pend.end(),
-                    [now](const trace::notification& n) { return n.created_at <= now; });
+                    pend.begin(), pend.end(), [now](const pending_item& p) {
+                        return p.note.created_at <= now;
+                    });
                 if (mid != pend.begin()) {
-                    std::stable_sort(pend.begin(), mid, canonical_before);
-                    for (auto it = pend.begin(); it != mid; ++it) brokers_[u].admit(*it);
+                    std::stable_sort(pend.begin(), mid,
+                                     [](const pending_item& a, const pending_item& b) {
+                                         return canonical_before(a.note, b.note);
+                                     });
+                    for (auto it = pend.begin(); it != mid; ++it) {
+                        // Admission event on the owning shard: one user's
+                        // events are sequential here, so the per-user byte
+                        // stream is identical for every worker count.
+                        if (trace != nullptr) {
+                            trace->event(u, round, "lc_admit")
+                                .field("item", it->note.id)
+                                .field("wait_rounds", round - it->ingest_round);
+                        }
+                        if (lifecycle != nullptr)
+                            lifecycle->on_admitted(it->note.id, round);
+                        brokers_[u].admit(it->note);
+                    }
                     local += static_cast<std::uint64_t>(
                         std::distance(pend.begin(), mid));
                     pend.erase(pend.begin(), mid);
@@ -153,7 +189,6 @@ void notification_service::run_round() {
     pending_count_ -= admitted;
     // Make this round's trace lines durable at the boundary, exactly like
     // the batch loop does per tick.
-    richnote::obs::trace_sink* trace = params_.experiment.trace;
     if (trace != nullptr && trace->streaming()) trace->flush_through(rounds_run_);
     ++rounds_run_;
     // Accumulate (don't multiply): the event simulator re-arms periodic
@@ -245,6 +280,21 @@ void notification_service::export_service_metrics(
     registry.gauge_set("richnote.service.worker_threads",
                        static_cast<double>(c.worker_threads));
     registry.gauge_set("richnote.service.users", static_cast<double>(c.users));
+    // richnote.svc.* is the lifecycle-era vocabulary (DESIGN.md §13): the
+    // ingest counters again under the new prefix (dashboards standardize on
+    // it), alongside the stage-latency histograms below. The legacy
+    // richnote.service.* names above stay — existing scrapes keep working.
+    registry.count("richnote.svc.ingest_accepted", c.ingest_accepted);
+    registry.count("richnote.svc.ingest_rejected_parse", c.ingest_rejected_parse);
+    registry.count("richnote.svc.ingest_rejected_user", c.ingest_rejected_user);
+    registry.count("richnote.svc.ingest_rejected_backpressure",
+                   c.ingest_rejected_backpressure);
+    registry.set_help("richnote.svc.ingest_rejected_backpressure",
+                      "Wire publishes rejected with 503 because the admission "
+                      "ring was full");
+    if (params_.experiment.lifecycle != nullptr) {
+        params_.experiment.lifecycle->export_metrics(registry);
+    }
     export_metrics(metrics_, registry);
 }
 

@@ -143,6 +143,14 @@ private:
     static bool canonical_before(const trace::notification& a,
                                  const trace::notification& b) noexcept;
 
+    /// A drained-but-not-yet-due notification plus the round the driver
+    /// drained it off the ring — the lc_admit event reports the difference
+    /// (wait_rounds) when the item finally goes to its broker.
+    struct pending_item {
+        trace::notification note;
+        std::uint64_t ingest_round = 0;
+    };
+
     const experiment_setup* setup_;
     service_params params_;
     double theta_ = 0.0;
@@ -156,7 +164,7 @@ private:
     /// Per-user held notifications whose created_at is still ahead of the
     /// round clock — the service analogue of the batch loop's stream
     /// cursors. Reused across rounds (per-shard scratch).
-    std::vector<std::vector<trace::notification>> pending_;
+    std::vector<std::vector<pending_item>> pending_;
     std::uint64_t pending_count_ = 0;
 
     admission_queue<trace::notification> ring_;

@@ -15,6 +15,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/build_info.hpp"
 #include "obs/json_util.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/prom_text.hpp"
@@ -222,6 +223,22 @@ void expo_server::on_round(const progress_snapshot& p, const metrics_registry& l
     publish_metrics(live);
 }
 
+void expo_server::publish_document(const std::string& path,
+                                   const std::string& content_type,
+                                   std::string body) {
+    RICHNOTE_REQUIRE(!path.empty() && path.front() == '/',
+                     "publish_document paths start with '/'");
+    RICHNOTE_REQUIRE(path != "/metrics" && path != "/progress" && path != "/healthz",
+                     "publish_document cannot shadow a built-in path");
+    std::lock_guard<std::mutex> lock(content_mutex_);
+    documents_[path] = {content_type, std::move(body)};
+}
+
+void expo_server::set_uarch(std::string uarch) {
+    std::lock_guard<std::mutex> lock(content_mutex_);
+    uarch_ = std::move(uarch);
+}
+
 std::string expo_server::respond_get(const std::string& path) const {
     if (path == "/metrics") {
         std::lock_guard<std::mutex> lock(content_mutex_);
@@ -232,9 +249,49 @@ std::string expo_server::respond_get(const std::string& path) const {
         return http_response(200, "application/json", progress_json_);
     }
     if (path == "/healthz") {
-        return http_response(200, "application/json", "{\"status\":\"ok\"}\n");
+        // Build identity from the run manifest's source of truth, so a
+        // probe can tell WHICH build answered, not just that one did.
+        std::string body = "{\"status\":\"ok\",\"git_describe\":";
+        json_string(body, build_info::git_describe);
+        body += ",\"build_type\":";
+        json_string(body, build_info::build_type);
+        body += ",\"compiler\":";
+        json_string(body, build_info::compiler);
+        body += ",\"uarch\":";
+        {
+            std::lock_guard<std::mutex> lock(content_mutex_);
+            json_string(body, uarch_);
+        }
+        body += "}\n";
+        return http_response(200, "application/json", body);
     }
-    return http_response(404, "text/plain", "see /metrics, /progress, /healthz\n");
+    {
+        std::lock_guard<std::mutex> lock(content_mutex_);
+        if (const auto it = documents_.find(path); it != documents_.end()) {
+            return http_response(200, it->second.first.c_str(), it->second.second);
+        }
+    }
+    // 404 lists every path actually served right now, GET and POST alike.
+    std::string listing = "see /healthz, /metrics, /progress";
+    {
+        std::lock_guard<std::mutex> lock(content_mutex_);
+        for (const auto& [doc_path, unused] : documents_) {
+            (void)unused;
+            listing += ", " + doc_path;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(handlers_mutex_);
+        bool first = true;
+        for (const auto& [post_path, unused] : post_handlers_) {
+            (void)unused;
+            listing += first ? "; POST " : ", POST ";
+            first = false;
+            listing += post_path;
+        }
+    }
+    listing += '\n';
+    return http_response(404, "text/plain", listing);
 }
 
 void expo_server::accept_loop() {

@@ -90,6 +90,18 @@ public:
     /// Renders and installs a new /progress document.
     void publish_progress(const progress_snapshot& p);
 
+    /// Installs (or replaces) an extra read-only document served at
+    /// `GET <path>` — `richnote serve` mounts its slow-exemplar timelines
+    /// at /exemplars this way. The path joins the 404 listing. Built-in
+    /// paths (/metrics, /progress, /healthz) cannot be shadowed.
+    void publish_document(const std::string& path, const std::string& content_type,
+                          std::string body);
+
+    /// Records the dispatch microarchitecture reported by /healthz (the
+    /// server itself cannot see ml::simd — obs links only richnote_common,
+    /// so the embedding tool passes the resolved name in).
+    void set_uarch(std::string uarch);
+
     /// progress_listener: refresh both documents from the live run.
     void on_round(const progress_snapshot& p, const metrics_registry& live) override;
 
@@ -117,6 +129,9 @@ private:
     mutable std::mutex content_mutex_;
     std::string metrics_text_;  ///< latest Prometheus document
     std::string progress_json_; ///< latest progress document
+    std::string uarch_ = "unknown"; ///< /healthz uarch field
+    /// Extra GET documents: path -> (content type, body).
+    std::map<std::string, std::pair<std::string, std::string>> documents_;
 
     mutable std::mutex handlers_mutex_;
     std::map<std::string, post_handler> post_handlers_;

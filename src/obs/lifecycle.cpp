@@ -1,0 +1,522 @@
+#include "obs/lifecycle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "obs/json_util.hpp"
+#include "obs/trace_report.hpp"
+
+namespace richnote::obs {
+
+namespace {
+
+/// Bucket ceilings (microseconds) shared by the four stage-latency
+/// histograms: 50us .. 5min, roughly geometric. Stage gaps in a live
+/// service span sub-millisecond (same-round admission) to whole timer
+/// intervals, so the layout covers both ends.
+std::vector<double> stage_bounds_us() {
+    return {50.0,     100.0,    250.0,    500.0,  1000.0, 2500.0, 5000.0,
+            10000.0,  25000.0,  50000.0,  1e5,    2.5e5,  5e5,    1e6,
+            2.5e6,    5e6,      1e7,      3e7,    6e7,    3e8};
+}
+
+/// HTTP handler durations: 100us .. 10s.
+std::vector<double> red_bounds_us() {
+    return {100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+            25000.0, 50000.0, 1e5, 5e5, 1e6, 5e6, 1e7};
+}
+
+double micros_between(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+    return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+std::uint64_t hash_id(std::uint64_t id) noexcept {
+    // Fibonacci multiplicative hash; the top bits pick the stripe so
+    // sequential wire ids spread across shards.
+    return (id * 0x9e3779b97f4a7c15ULL) >> 52;
+}
+
+} // namespace
+
+lifecycle_tracker::lifecycle_tracker(std::size_t exemplar_capacity)
+    : exemplar_capacity_(std::max<std::size_t>(1, exemplar_capacity)),
+      ingest_to_admit_(stage_bounds_us()),
+      admit_to_plan_(stage_bounds_us()),
+      plan_to_deliver_(stage_bounds_us()),
+      e2e_(stage_bounds_us()) {}
+
+lifecycle_tracker::shard& lifecycle_tracker::shard_of(
+    std::uint64_t id) const noexcept {
+    return shards_[hash_id(id) % shard_count];
+}
+
+// ----- hot path: hooks are buffered appends, never map probes -----
+
+void lifecycle_tracker::append(std::uint64_t id, stage_event::kind what,
+                               std::uint64_t round, std::uint32_t extra,
+                               bool stamp) {
+    stage_event e;
+    e.id = id;
+    e.round = round;
+    e.extra = extra;
+    e.what = what;
+    // One clock read per transition that needs a latency stamp; terminal
+    // and bookkeeping events replay fine without one.
+    if (stamp) e.at = clock::now();
+    shard& s = shard_of(id);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.pending.push_back(e);
+    if (s.pending.size() >= fold_backstop) fold_shard_locked(s);
+}
+
+void lifecycle_tracker::on_ingested(std::uint64_t id, std::uint32_t user) {
+    append(id, stage_event::kind::ingest, 0, user, /*stamp=*/true);
+}
+
+void lifecycle_tracker::abandon(std::uint64_t id) {
+    append(id, stage_event::kind::abandon, 0, 0, /*stamp=*/false);
+}
+
+void lifecycle_tracker::on_admitted(std::uint64_t id, std::uint64_t round) {
+    append(id, stage_event::kind::admit, round, 0, /*stamp=*/true);
+}
+
+void lifecycle_tracker::on_planned(std::uint64_t id, std::uint64_t round,
+                                   std::uint32_t level) {
+    append(id, stage_event::kind::plan, round, level, /*stamp=*/true);
+}
+
+void lifecycle_tracker::on_attempt(std::uint64_t id, std::uint64_t round) {
+    append(id, stage_event::kind::attempt, round, 0, /*stamp=*/false);
+}
+
+void lifecycle_tracker::on_delivered(std::uint64_t id, std::uint64_t round) {
+    append(id, stage_event::kind::deliver, round, 0, /*stamp=*/true);
+}
+
+void lifecycle_tracker::on_dead_lettered(std::uint64_t id, std::uint64_t round) {
+    append(id, stage_event::kind::dead_letter, round, 0, /*stamp=*/false);
+}
+
+// ----- fold: replay buffered transitions into the aggregated view -----
+
+void lifecycle_tracker::apply(shard& s, const stage_event& e) const {
+    switch (e.what) {
+    case stage_event::kind::ingest: {
+        record& r = s.live[e.id];
+        if (r.ingested == clock::time_point{}) {
+            // A re-published id keeps the first stamp: the original is
+            // still the in-flight timeline; the duplicate is suppressed
+            // downstream.
+            r.user = e.extra;
+            r.ingested = e.at;
+        }
+        return;
+    }
+    case stage_event::kind::abandon:
+        s.live.erase(e.id);
+        return;
+    case stage_event::kind::admit: {
+        const auto it = s.live.find(e.id);
+        if (it == s.live.end() || it->second.admitted) return;
+        it->second.admitted = true;
+        it->second.admit_round = e.round;
+        it->second.admitted_at = e.at;
+        return;
+    }
+    case stage_event::kind::plan: {
+        const auto it = s.live.find(e.id);
+        if (it == s.live.end() || it->second.planned) return;
+        it->second.planned = true;
+        it->second.plan_round = e.round;
+        it->second.level = e.extra;
+        it->second.planned_at = e.at;
+        return;
+    }
+    case stage_event::kind::attempt: {
+        const auto it = s.live.find(e.id);
+        if (it != s.live.end()) ++it->second.attempts;
+        return;
+    }
+    case stage_event::kind::deliver:
+    case stage_event::kind::dead_letter: {
+        const auto it = s.live.find(e.id);
+        if (it == s.live.end()) return;
+        record r = it->second;
+        s.live.erase(it);
+        finish(std::move(r), e);
+        return;
+    }
+    }
+}
+
+void lifecycle_tracker::finish(record r, const stage_event& e) const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (e.what == stage_event::kind::dead_letter) {
+        ++dead_lettered_;
+        return;
+    }
+    ++delivered_;
+    // Stages a timeline never reached collapse onto the previous stamp, so
+    // the four latencies always telescope to e2e.
+    const clock::time_point admit_t = r.admitted ? r.admitted_at : r.ingested;
+    const clock::time_point plan_t = r.planned ? r.planned_at : admit_t;
+    const double i2a = micros_between(r.ingested, admit_t);
+    const double a2p = micros_between(admit_t, plan_t);
+    const double p2d = micros_between(plan_t, e.at);
+    const double e2e = micros_between(r.ingested, e.at);
+    ingest_to_admit_.observe(i2a);
+    admit_to_plan_.observe(a2p);
+    plan_to_deliver_.observe(p2d);
+    e2e_.observe(e2e);
+
+    exemplar ex;
+    ex.id = e.id;
+    ex.user = r.user;
+    ex.admit_round = r.admit_round;
+    ex.plan_round = r.plan_round;
+    ex.final_round = e.round;
+    ex.level = r.level;
+    ex.attempts = r.attempts;
+    ex.ingest_to_admit_us = i2a;
+    ex.admit_to_plan_us = a2p;
+    ex.plan_to_deliver_us = p2d;
+    ex.e2e_us = e2e;
+    if (exemplars_.size() < exemplar_capacity_) {
+        exemplars_.push_back(ex);
+        return;
+    }
+    // Full ring: displace the least-bad kept timeline if this one is worse.
+    std::size_t weakest = 0;
+    for (std::size_t i = 1; i < exemplars_.size(); ++i) {
+        if (exemplars_[i].e2e_us < exemplars_[weakest].e2e_us) weakest = i;
+    }
+    if (ex.e2e_us > exemplars_[weakest].e2e_us) exemplars_[weakest] = ex;
+}
+
+void lifecycle_tracker::fold_shard_locked(shard& s) const {
+    // Replay in append order: per id that IS causal order (single owner
+    // thread per id, ring handoff orders ingest before the rest). clear()
+    // keeps capacity, so steady-state appends never reallocate.
+    for (const stage_event& e : s.pending) apply(s, e);
+    s.pending.clear();
+}
+
+void lifecycle_tracker::fold() const {
+    for (shard& s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (!s.pending.empty()) fold_shard_locked(s);
+    }
+}
+
+std::uint64_t lifecycle_tracker::tracked() const {
+    fold();
+    std::uint64_t total = 0;
+    for (const shard& s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        total += s.live.size();
+    }
+    return total;
+}
+
+std::uint64_t lifecycle_tracker::delivered() const {
+    fold();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return delivered_;
+}
+
+std::uint64_t lifecycle_tracker::dead_lettered() const {
+    fold();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return dead_lettered_;
+}
+
+void lifecycle_tracker::export_metrics(metrics_registry& registry) const {
+    const std::uint64_t in_flight = tracked(); // folds pending events first
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    registry.set_histogram("richnote.svc.ingest_to_admit_us", ingest_to_admit_);
+    registry.set_histogram("richnote.svc.admit_to_plan_us", admit_to_plan_);
+    registry.set_histogram("richnote.svc.plan_to_deliver_us", plan_to_deliver_);
+    registry.set_histogram("richnote.svc.e2e_us", e2e_);
+    registry.count("richnote.svc.lifecycle.delivered_total", delivered_);
+    registry.count("richnote.svc.lifecycle.dead_lettered_total", dead_lettered_);
+    registry.gauge_set("richnote.svc.lifecycle.in_flight",
+                       static_cast<double>(in_flight));
+    registry.count("richnote.svc.stage_observations_total{stage=ingest_to_admit}",
+                   ingest_to_admit_.total_count());
+    registry.count("richnote.svc.stage_observations_total{stage=admit_to_plan}",
+                   admit_to_plan_.total_count());
+    registry.count("richnote.svc.stage_observations_total{stage=plan_to_deliver}",
+                   plan_to_deliver_.total_count());
+    registry.count("richnote.svc.stage_observations_total{stage=e2e}",
+                   e2e_.total_count());
+    registry.set_help("richnote.svc.ingest_to_admit_us",
+                      "Wall-clock latency from wire ingest to broker admission "
+                      "(microseconds)");
+    registry.set_help("richnote.svc.admit_to_plan_us",
+                      "Wall-clock latency from admission to first delivery plan "
+                      "(microseconds)");
+    registry.set_help("richnote.svc.plan_to_deliver_us",
+                      "Wall-clock latency from first plan to completed delivery "
+                      "(microseconds)");
+    registry.set_help("richnote.svc.e2e_us",
+                      "End-to-end wall-clock latency, ingest to delivery "
+                      "(microseconds)");
+    registry.set_help("richnote.svc.stage_observations_total",
+                      "Completed-delivery samples folded into each lifecycle "
+                      "stage histogram");
+    registry.set_help("richnote.svc.lifecycle.in_flight",
+                      "Notifications ingested but not yet delivered or "
+                      "dead-lettered");
+}
+
+std::vector<lifecycle_tracker::exemplar> lifecycle_tracker::exemplars() const {
+    fold();
+    std::vector<exemplar> out;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        out = exemplars_;
+    }
+    std::sort(out.begin(), out.end(), [](const exemplar& a, const exemplar& b) {
+        if (a.e2e_us != b.e2e_us) return a.e2e_us > b.e2e_us;
+        return a.id < b.id;
+    });
+    return out;
+}
+
+std::string lifecycle_tracker::exemplars_json() const {
+    const std::vector<exemplar> worst = exemplars();
+    std::string out = "{\"exemplars\":[";
+    bool first = true;
+    for (const exemplar& ex : worst) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"id\":";
+        json_number(out, ex.id);
+        out += ",\"user\":";
+        json_number(out, static_cast<std::uint64_t>(ex.user));
+        out += ",\"admit_round\":";
+        json_number(out, ex.admit_round);
+        out += ",\"plan_round\":";
+        json_number(out, ex.plan_round);
+        out += ",\"final_round\":";
+        json_number(out, ex.final_round);
+        out += ",\"level\":";
+        json_number(out, static_cast<std::uint64_t>(ex.level));
+        out += ",\"attempts\":";
+        json_number(out, ex.attempts);
+        out += ",\"ingest_to_admit_us\":";
+        json_number(out, ex.ingest_to_admit_us);
+        out += ",\"admit_to_plan_us\":";
+        json_number(out, ex.admit_to_plan_us);
+        out += ",\"plan_to_deliver_us\":";
+        json_number(out, ex.plan_to_deliver_us);
+        out += ",\"e2e_us\":";
+        json_number(out, ex.e2e_us);
+        out += '}';
+    }
+    out += "]}\n";
+    return out;
+}
+
+// ------------------------------------------------------------------ RED ----
+
+void red_recorder::observe(std::string_view endpoint, int status,
+                           double duration_us) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = series_.find(endpoint);
+    if (it == series_.end()) {
+        series s;
+        s.duration = histogram(red_bounds_us());
+        it = series_.emplace(std::string(endpoint), std::move(s)).first;
+    }
+    ++it->second.requests;
+    if (status >= 500) ++it->second.errors;
+    it->second.duration.observe(duration_us);
+}
+
+void red_recorder::export_metrics(metrics_registry& registry) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [endpoint, s] : series_) {
+        const std::string label = "{endpoint=" + endpoint + "}";
+        registry.count("richnote.svc.http.requests_total" + label, s.requests);
+        registry.count("richnote.svc.http.errors_total" + label, s.errors);
+        registry.set_histogram("richnote.svc.http.duration_us" + label, s.duration);
+    }
+    if (!series_.empty()) {
+        registry.set_help("richnote.svc.http.requests_total",
+                          "HTTP requests handled, by service endpoint");
+        registry.set_help("richnote.svc.http.errors_total",
+                          "HTTP 5xx responses, by service endpoint");
+        registry.set_help("richnote.svc.http.duration_us",
+                          "HTTP handler duration by service endpoint "
+                          "(microseconds)");
+    }
+}
+
+// -------------------------------------------------------------- explain ----
+
+namespace {
+
+const trace_value* find_field(
+    const std::vector<std::pair<std::string, trace_value>>& fields,
+    std::string_view key) {
+    for (const auto& [name, value] : fields) {
+        if (name == key) return &value;
+    }
+    return nullptr;
+}
+
+/// Deterministic human-friendly number: integers print exactly, the rest
+/// at %.6g. Pure function of the parsed double, so explain output is as
+/// byte-stable as the trace it reads.
+std::string fmt_num(double v) {
+    char buf[40];
+    if (std::floor(v) == v && std::fabs(v) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+    }
+    return buf;
+}
+
+/// " key=value" when the field exists, "" otherwise (truncation-tolerant:
+/// a crash-recovered trace prefix may lack fields).
+std::string num_kv(const std::vector<std::pair<std::string, trace_value>>& fields,
+                   std::string_view key) {
+    const trace_value* v = find_field(fields, key);
+    if (v == nullptr || v->type != trace_value::kind::number) return "";
+    std::string out = " ";
+    out += key;
+    out += '=';
+    out += fmt_num(v->num);
+    return out;
+}
+
+std::string stage_row(std::string_view stage, double round, std::string detail) {
+    std::string row = "  ";
+    row += stage;
+    if (stage.size() < 14) row.append(14 - stage.size(), ' ');
+    row += "round ";
+    row += fmt_num(round);
+    if (!detail.empty()) {
+        row += "  ";
+        row += detail;
+    }
+    return row;
+}
+
+} // namespace
+
+bool write_explain(std::istream& ndjson, std::uint64_t id, std::ostream& out) {
+    std::string line;
+    std::vector<std::pair<std::string, trace_value>> fields;
+    std::vector<std::string> rows;
+    bool have_user = false;
+    double user = 0.0;
+    std::uint64_t attempts = 0;
+    std::string outcome = "in_flight";
+    double outcome_round = 0.0;
+
+    while (std::getline(ndjson, line)) {
+        if (line.empty()) continue;
+        fields.clear();
+        if (!parse_flat_json(line, fields)) continue; // truncated tail etc.
+        const trace_value* type = find_field(fields, "type");
+        const trace_value* round = find_field(fields, "round");
+        const trace_value* item = find_field(fields, "item");
+        if (type == nullptr || type->type != trace_value::kind::string) continue;
+        if (round == nullptr || round->type != trace_value::kind::number) continue;
+        if (item == nullptr || item->type != trace_value::kind::number ||
+            item->num != static_cast<double>(id)) {
+            continue;
+        }
+        if (const trace_value* u = find_field(fields, "user");
+            u != nullptr && u->type == trace_value::kind::number && !have_user) {
+            have_user = true;
+            user = u->num;
+        }
+        const double r = round->num;
+        const std::string& kind = type->str;
+        if (kind == "lc_ingest") {
+            rows.push_back(stage_row("ingested", r,
+                                     num_kv(fields, "created_at").substr(1)));
+        } else if (kind == "lc_admit") {
+            rows.push_back(stage_row("admitted", r,
+                                     num_kv(fields, "wait_rounds").substr(1)));
+        } else if (kind == "decision") {
+            std::string detail = "level";
+            detail += num_kv(fields, "level").substr(6); // "=N" -> value only
+            if (const trace_value* lv = find_field(fields, "levels");
+                lv != nullptr && lv->type == trace_value::kind::number) {
+                detail += '/';
+                detail += fmt_num(lv->num);
+            }
+            detail += num_kv(fields, "size_bytes");
+            rows.push_back(stage_row("planned", r, detail));
+            std::string eq7 = "  "; // continuation line under the stage row
+            eq7.append(14, ' ');
+            eq7 += "eq7:";
+            eq7 += num_kv(fields, "term_queue");
+            eq7 += num_kv(fields, "term_energy");
+            eq7 += num_kv(fields, "term_value");
+            eq7 += num_kv(fields, "adjusted");
+            eq7 += num_kv(fields, "utility");
+            rows.push_back(std::move(eq7));
+        } else if (kind == "transfer_cut") {
+            ++attempts;
+            std::string detail = "cut mid-flight:";
+            detail += num_kv(fields, "moved_bytes");
+            detail += num_kv(fields, "high_water_bytes");
+            detail += num_kv(fields, "fraction");
+            rows.push_back(stage_row("attempt " + fmt_num(static_cast<double>(attempts)),
+                                     r, std::move(detail)));
+        } else if (kind == "retry_backoff") {
+            std::string detail;
+            detail += num_kv(fields, "attempts").substr(1);
+            detail += num_kv(fields, "not_before");
+            rows.push_back(stage_row("retry", r, std::move(detail)));
+        } else if (kind == "dead_letter") {
+            outcome = "dead_lettered";
+            outcome_round = r;
+            rows.push_back(stage_row("dead_lettered", r,
+                                     num_kv(fields, "attempts").substr(1)));
+        } else if (kind == "deliver") {
+            outcome = "delivered";
+            outcome_round = r;
+            std::string detail = "level";
+            detail += num_kv(fields, "level").substr(6);
+            detail += num_kv(fields, "bytes");
+            detail += num_kv(fields, "resumed_bytes");
+            detail += num_kv(fields, "rho_joules");
+            detail += num_kv(fields, "utility");
+            detail += num_kv(fields, "delay_sec");
+            rows.push_back(stage_row("delivered", r, std::move(detail)));
+        } else if (kind == "duplicate") {
+            rows.push_back(
+                stage_row("duplicate", r, "suppressed by idempotent admission"));
+        } else {
+            // Unknown item-bearing event type: keep the chain complete.
+            rows.push_back(stage_row(kind, r, ""));
+        }
+        if (outcome == "in_flight") outcome_round = r;
+    }
+
+    if (rows.empty()) {
+        out << "notification " << id << ": no events in trace\n";
+        return false;
+    }
+    out << "notification " << id;
+    if (have_user) out << " (user " << fmt_num(user) << ")";
+    out << '\n';
+    for (const std::string& row : rows) out << row << '\n';
+    out << "  outcome: " << outcome << " (round " << fmt_num(outcome_round) << ", "
+        << rows.size() << " trace rows)\n";
+    return true;
+}
+
+} // namespace richnote::obs

@@ -104,6 +104,26 @@ bool metrics_registry::has_histogram(std::string_view name) const noexcept {
     return histograms_.find(name) != histograms_.end();
 }
 
+void metrics_registry::set_histogram(std::string_view name, histogram h) {
+    RICHNOTE_REQUIRE(!h.upper_bounds().empty(),
+                     "set_histogram needs a bucketed histogram");
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        histograms_.emplace(std::string(name), std::move(h));
+    } else {
+        it->second = std::move(h);
+    }
+}
+
+void metrics_registry::set_help(std::string_view name, std::string_view text) {
+    const auto it = helps_.find(name);
+    if (it == helps_.end()) {
+        helps_.emplace(std::string(name), std::string(text));
+    } else {
+        it->second = std::string(text);
+    }
+}
+
 void metrics_registry::export_quantile_gauges() {
     // gauge_set touches gauges_ only, so iterating histograms_ here is safe.
     for (const auto& [name, h] : histograms_) {

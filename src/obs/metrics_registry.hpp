@@ -87,6 +87,20 @@ public:
     const histogram& get_histogram(std::string_view name) const;
     bool has_histogram(std::string_view name) const noexcept;
 
+    /// Installs (or replaces) a histogram snapshot under `name` — for
+    /// aggregators that maintain their own histograms off the hot path
+    /// (lifecycle_tracker, red_recorder) and export a copy at publish time.
+    void set_histogram(std::string_view name, histogram h);
+
+    /// Registers a HELP text for the Prometheus render. Keyed by the
+    /// label-free base name; prom_text emits it (escaped) above the
+    /// series' # TYPE header. Purely presentational — JSON/CSV exports
+    /// ignore it.
+    void set_help(std::string_view name, std::string_view text);
+    const std::map<std::string, std::string, std::less<>>& helps() const noexcept {
+        return helps_;
+    }
+
     std::size_t counter_count() const noexcept { return counters_.size(); }
     std::size_t gauge_count() const noexcept { return gauges_.size(); }
     std::size_t histogram_count() const noexcept { return histograms_.size(); }
@@ -120,6 +134,7 @@ private:
     std::map<std::string, std::uint64_t, std::less<>> counters_;
     std::map<std::string, double, std::less<>> gauges_;
     std::map<std::string, histogram, std::less<>> histograms_;
+    std::map<std::string, std::string, std::less<>> helps_;
 };
 
 } // namespace richnote::obs

@@ -1,6 +1,8 @@
 #include "obs/prom_text.hpp"
 
 #include <ostream>
+#include <set>
+#include <string>
 
 #include "obs/json_util.hpp"
 #include "obs/metrics_registry.hpp"
@@ -16,6 +18,116 @@ bool prom_name_char(char c) noexcept {
 
 void append_number(std::string& out, double v) { json_number(out, v); }
 
+/// Label values per the 0.0.4 text format: backslash, double-quote and
+/// newline are the only escapes.
+void escape_label_value(std::string& out, std::string_view value) {
+    for (const char c : value) {
+        if (c == '\\') {
+            out += "\\\\";
+        } else if (c == '"') {
+            out += "\\\"";
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+}
+
+/// HELP text: backslash and newline escape; quotes pass through unescaped.
+void escape_help_text(std::string& out, std::string_view text) {
+    for (const char c : text) {
+        if (c == '\\') {
+            out += "\\\\";
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+}
+
+/// Label-name grammar is [a-zA-Z_][a-zA-Z0-9_]* — like metric names minus
+/// the colon.
+std::string prometheus_label_name(std::string_view key) {
+    std::string out;
+    out.reserve(key.size() + 1);
+    if (!key.empty() && key.front() >= '0' && key.front() <= '9') out += '_';
+    for (const char c : key) {
+        out += (prom_name_char(c) && c != ':') ? c : '_';
+    }
+    return out;
+}
+
+/// A registry series name, split on the `base{key=value,...}suffix`
+/// convention (DESIGN.md §13). `dotted_base` is the label-free registry
+/// name with any post-brace suffix folded back on (quantile gauges derive
+/// `name{k=v}.p50`, whose base is `name.p50`); `labels` is the rendered
+/// `key="escaped",...` body, empty for plain names.
+struct series_name {
+    std::string dotted_base;
+    std::string labels;
+};
+
+series_name split_series(std::string_view raw) {
+    const std::size_t open = raw.find('{');
+    if (open == std::string_view::npos) return {std::string(raw), {}};
+    const std::size_t close = raw.rfind('}');
+    if (close == std::string_view::npos || close < open) {
+        return {std::string(raw), {}};
+    }
+    series_name out;
+    out.dotted_base = std::string(raw.substr(0, open));
+    out.dotted_base += raw.substr(close + 1); // quantile-gauge suffix, if any
+    std::string_view body = raw.substr(open + 1, close - open - 1);
+    while (!body.empty()) {
+        const std::size_t comma = body.find(',');
+        const std::string_view pair = body.substr(0, comma);
+        const std::size_t eq = pair.find('=');
+        const std::string_view key = eq == std::string_view::npos
+                                         ? pair
+                                         : pair.substr(0, eq);
+        const std::string_view value =
+            eq == std::string_view::npos ? std::string_view{} : pair.substr(eq + 1);
+        if (!out.labels.empty()) out.labels += ',';
+        out.labels += prometheus_label_name(key);
+        out.labels += "=\"";
+        escape_label_value(out.labels, value);
+        out.labels += '"';
+        body = comma == std::string_view::npos ? std::string_view{}
+                                               : body.substr(comma + 1);
+    }
+    return out;
+}
+
+/// Emits `# HELP` (when registered) and `# TYPE` for `prom`, once per base
+/// name — labeled variants of one metric share a single header pair.
+void announce(std::string& buf, std::set<std::string>& announced,
+              const metrics_registry& registry, const series_name& series,
+              const std::string& prom, std::string_view type) {
+    if (!announced.insert(prom).second) return;
+    const auto& helps = registry.helps();
+    if (const auto it = helps.find(series.dotted_base); it != helps.end()) {
+        buf += "# HELP " + prom + ' ';
+        escape_help_text(buf, it->second);
+        buf += '\n';
+    }
+    buf += "# TYPE " + prom + ' ';
+    buf += type;
+    buf += '\n';
+}
+
+/// `prom` plus the rendered label body (if any): `name{k="v"}`.
+void append_sample_name(std::string& buf, const std::string& prom,
+                        const series_name& series) {
+    buf += prom;
+    if (!series.labels.empty()) {
+        buf += '{';
+        buf += series.labels;
+        buf += '}';
+    }
+}
+
 } // namespace
 
 std::string prometheus_name(std::string_view name) {
@@ -28,41 +140,53 @@ std::string prometheus_name(std::string_view name) {
 
 void write_prometheus_text(const metrics_registry& registry, std::ostream& out) {
     std::string buf;
+    std::set<std::string> announced;
     for (const auto& [name, value] : registry.counters()) {
-        const std::string prom = prometheus_name(name);
-        buf += "# TYPE " + prom + " counter\n";
-        buf += prom;
+        const series_name series = split_series(name);
+        const std::string prom = prometheus_name(series.dotted_base);
+        announce(buf, announced, registry, series, prom, "counter");
+        append_sample_name(buf, prom, series);
         buf += ' ';
         json_number(buf, value);
         buf += '\n';
     }
     for (const auto& [name, value] : registry.gauges()) {
-        const std::string prom = prometheus_name(name);
-        buf += "# TYPE " + prom + " gauge\n";
-        buf += prom;
+        const series_name series = split_series(name);
+        const std::string prom = prometheus_name(series.dotted_base);
+        announce(buf, announced, registry, series, prom, "gauge");
+        append_sample_name(buf, prom, series);
         buf += ' ';
         append_number(buf, value);
         buf += '\n';
     }
     for (const auto& [name, h] : registry.histograms()) {
-        const std::string prom = prometheus_name(name);
-        buf += "# TYPE " + prom + " histogram\n";
+        const series_name series = split_series(name);
+        const std::string prom = prometheus_name(series.dotted_base);
+        announce(buf, announced, registry, series, prom, "histogram");
+        // The le label joins the series' own labels inside one brace pair.
+        const std::string bucket_prefix =
+            prom + "_bucket{" +
+            (series.labels.empty() ? std::string() : series.labels + ',') +
+            "le=\"";
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
             cumulative += h.counts()[i];
-            buf += prom + "_bucket{le=\"";
+            buf += bucket_prefix;
             append_number(buf, h.upper_bounds()[i]);
             buf += "\"} ";
             json_number(buf, cumulative);
             buf += '\n';
         }
-        buf += prom + "_bucket{le=\"+Inf\"} ";
+        buf += bucket_prefix;
+        buf += "+Inf\"} ";
         json_number(buf, h.total_count());
         buf += '\n';
-        buf += prom + "_sum ";
+        append_sample_name(buf, prom + "_sum", series);
+        buf += ' ';
         append_number(buf, h.sum());
         buf += '\n';
-        buf += prom + "_count ";
+        append_sample_name(buf, prom + "_count", series);
+        buf += ' ';
         json_number(buf, h.total_count());
         buf += '\n';
     }

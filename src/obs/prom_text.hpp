@@ -7,6 +7,16 @@
 // bucket histograms become the standard cumulative _bucket{le="..."} series
 // plus _sum and _count. Output is name-ordered (the registry's maps), so
 // equal registries render equal bytes.
+//
+// Labels: a registry name of the form `base{key=value,...}` renders as the
+// labeled series `base{key="value",...}` — one shared # TYPE (and # HELP,
+// when registered via metrics_registry::set_help) header per base name.
+// Label values are escaped per the 0.0.4 text format (backslash, newline,
+// double-quote); HELP text escapes backslash and newline. Text after the
+// closing brace folds back onto the base (`name{k=v}.p50` is the labeled
+// `name_p50` gauge), which is what export_quantile_gauges produces for
+// labeled histograms. Raw label values must not contain ',' or '}' — the
+// registry-name convention has no quoting layer.
 #pragma once
 
 #include <iosfwd>

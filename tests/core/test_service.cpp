@@ -11,11 +11,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/wire.hpp"
+#include "obs/lifecycle.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_sink.hpp"
 #include "trace/notification.hpp"
 
 namespace {
@@ -258,6 +262,92 @@ TEST_F(service_test, concurrent_ingest_is_race_free) {
     svc.run_rounds(200); // past the trace horizon, so everything comes due
     EXPECT_EQ(svc.counters().admitted, setup_->world().notifications().total_count);
     EXPECT_EQ(svc.counters().pending, 0u);
+}
+
+TEST_F(service_test, lifecycle_tracking_never_changes_outputs) {
+    // The zero-interference contract: attaching a lifecycle tracker (and a
+    // trace sink) must leave every simulation output bit-identical.
+    notification_service plain(*setup_, serve_params(2));
+    ingest_workload(plain);
+    plain.run_rounds(50);
+
+    richnote::obs::lifecycle_tracker lifecycle;
+    richnote::obs::trace_sink sink(setup_->world().user_count());
+    service_params sp = serve_params(2);
+    sp.experiment.lifecycle = &lifecycle;
+    sp.experiment.trace = &sink;
+    notification_service traced(*setup_, sp);
+    ingest_workload(traced);
+    traced.run_rounds(50);
+
+    expect_identical(plain.summarize(), traced.summarize());
+
+    // The tracker saw every accepted notification and accounted for each
+    // one exactly once: still in flight, delivered, or dead-lettered.
+    const auto c = traced.counters();
+    EXPECT_GT(lifecycle.delivered(), 0u);
+    EXPECT_EQ(lifecycle.tracked() + lifecycle.delivered() + lifecycle.dead_lettered(),
+              c.ingest_accepted);
+
+    richnote::obs::metrics_registry registry;
+    traced.export_service_metrics(registry);
+    EXPECT_EQ(registry.get_histogram("richnote.svc.e2e_us").total_count(),
+              lifecycle.delivered());
+    EXPECT_EQ(registry.counter("richnote.svc.ingest_accepted"), c.ingest_accepted);
+}
+
+TEST_F(service_test, lifecycle_trace_is_byte_identical_across_worker_counts) {
+    // The deterministic plane: lc_ingest/lc_admit ride the trace sink's
+    // merged stream, which must not depend on sharding or reruns.
+    const auto trace_of = [&](std::size_t threads) {
+        richnote::obs::trace_sink sink(setup_->world().user_count());
+        service_params sp = serve_params(threads);
+        sp.experiment.trace = &sink;
+        notification_service svc(*setup_, sp);
+        ingest_workload(svc);
+        svc.run_rounds(40);
+        std::ostringstream out;
+        sink.write_ndjson(out);
+        return out.str();
+    };
+
+    const std::string one = trace_of(1);
+    EXPECT_NE(one.find("\"type\":\"lc_ingest\""), std::string::npos);
+    EXPECT_NE(one.find("\"type\":\"lc_admit\""), std::string::npos);
+    EXPECT_EQ(one, trace_of(2));
+    EXPECT_EQ(one, trace_of(8));
+    EXPECT_EQ(one, trace_of(2)); // rerun at the same count, same bytes
+
+    // ...and so is the explain reconstruction built from it.
+    const std::uint64_t id = setup_->world().notifications().per_user[0][0].id;
+    std::ostringstream first;
+    std::ostringstream second;
+    {
+        std::istringstream in(one);
+        ASSERT_TRUE(richnote::obs::write_explain(in, id, first));
+    }
+    {
+        std::istringstream in(trace_of(8));
+        ASSERT_TRUE(richnote::obs::write_explain(in, id, second));
+    }
+    EXPECT_EQ(first.str(), second.str());
+    EXPECT_NE(first.str().find("ingested"), std::string::npos) << first.str();
+    EXPECT_NE(first.str().find("admitted"), std::string::npos);
+}
+
+TEST_F(service_test, backpressure_abandons_the_lifecycle_stamp) {
+    richnote::obs::lifecycle_tracker lifecycle;
+    service_params sp = serve_params(1);
+    sp.queue_capacity = 4;
+    sp.experiment.lifecycle = &lifecycle;
+    notification_service svc(*setup_, sp);
+
+    const auto& stream = setup_->world().notifications().per_user[0];
+    ASSERT_GE(stream.size(), 6u);
+    for (std::size_t i = 0; i < 6; ++i) svc.ingest(stream[i]);
+    // 4 slots: the two rejected pushes must not linger as in-flight ghosts.
+    EXPECT_EQ(svc.counters().ingest_rejected_backpressure, 2u);
+    EXPECT_EQ(lifecycle.tracked(), 4u);
 }
 
 TEST(service_property, wire_replay_matches_batch_across_many_seeds) {

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "obs/expo_server.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/prom_text.hpp"
@@ -130,8 +131,53 @@ TEST(expo_server_suite, binds_an_ephemeral_port_and_serves_healthz) {
     const std::string response = get_path(server.port(), "/healthz");
     EXPECT_NE(response.find("200 OK"), std::string::npos);
     EXPECT_NE(response.find("application/json"), std::string::npos);
-    EXPECT_EQ(body_of(response), "{\"status\":\"ok\"}\n");
+    // Build identity rides along with liveness (ISSUE 10 satellite):
+    // git describe, build type and compiler from the configure-time
+    // manifest, plus the runtime-settable uarch.
+    const std::string body = body_of(response);
+    EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos) << body;
+    EXPECT_NE(body.find("\"git_describe\":"), std::string::npos) << body;
+    EXPECT_NE(body.find("\"build_type\":"), std::string::npos) << body;
+    EXPECT_NE(body.find("\"compiler\":"), std::string::npos) << body;
+    EXPECT_NE(body.find("\"uarch\":\"unknown\""), std::string::npos) << body;
+    EXPECT_EQ(body.back(), '\n');
     EXPECT_GE(server.requests_served(), 1u);
+
+    server.set_uarch("x86-64/avx2");
+    EXPECT_NE(body_of(get_path(server.port(), "/healthz")).find("\"uarch\":\"x86-64/avx2\""),
+              std::string::npos);
+}
+
+TEST(expo_server_suite, published_documents_are_served_and_listed_in_404) {
+    expo_server server(0);
+    server.publish_document("/exemplars", "application/json", "{\"exemplars\":[]}\n");
+    const std::string response = get_path(server.port(), "/exemplars");
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    EXPECT_NE(response.find("application/json"), std::string::npos);
+    EXPECT_EQ(body_of(response), "{\"exemplars\":[]}\n");
+
+    // Republishing replaces the body atomically.
+    server.publish_document("/exemplars", "application/json", "{\"exemplars\":[1]}\n");
+    EXPECT_EQ(body_of(get_path(server.port(), "/exemplars")), "{\"exemplars\":[1]}\n");
+
+    // The 404 listing names every served path, documents and POST mounts
+    // included.
+    server.set_post_handler("/ingest", [](const std::string&) {
+        return expo_server::post_result{200, "{}\n"};
+    });
+    const std::string miss = body_of(get_path(server.port(), "/nope"));
+    EXPECT_NE(miss.find("/healthz"), std::string::npos) << miss;
+    EXPECT_NE(miss.find("/metrics"), std::string::npos) << miss;
+    EXPECT_NE(miss.find("/progress"), std::string::npos) << miss;
+    EXPECT_NE(miss.find("/exemplars"), std::string::npos) << miss;
+    EXPECT_NE(miss.find("POST"), std::string::npos) << miss;
+    EXPECT_NE(miss.find("/ingest"), std::string::npos) << miss;
+
+    // Builtins cannot be shadowed by a document.
+    EXPECT_THROW(server.publish_document("/metrics", "text/plain", "x"),
+                 richnote::precondition_error);
+    EXPECT_THROW(server.publish_document("no-slash", "text/plain", "x"),
+                 richnote::precondition_error);
 }
 
 TEST(expo_server_suite, metrics_render_as_valid_prometheus_and_reconcile) {

@@ -1,0 +1,309 @@
+// Lifecycle observability tests (DESIGN.md §13): the wall-clock stage
+// tracker (stage histograms, exemplar ring, telescoping latencies), the
+// per-endpoint RED recorder, the Prometheus label/HELP rendering they rely
+// on, and `richnote explain`'s deterministic causal-chain reconstruction.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/lifecycle.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/prom_text.hpp"
+
+namespace {
+
+using richnote::obs::histogram;
+using richnote::obs::lifecycle_tracker;
+using richnote::obs::metrics_registry;
+using richnote::obs::red_recorder;
+using richnote::obs::write_explain;
+
+std::string prom_render(const metrics_registry& registry) {
+    std::ostringstream out;
+    richnote::obs::write_prometheus_text(registry, out);
+    return out.str();
+}
+
+TEST(lifecycle_suite, full_stage_chain_folds_into_histograms_and_counters) {
+    lifecycle_tracker t;
+    t.on_ingested(7, /*user=*/3);
+    EXPECT_EQ(t.tracked(), 1u);
+    t.on_admitted(7, /*round=*/2);
+    t.on_planned(7, /*round=*/2, /*level=*/4);
+    t.on_attempt(7, 2);
+    t.on_delivered(7, /*round=*/3);
+    EXPECT_EQ(t.tracked(), 0u);
+    EXPECT_EQ(t.delivered(), 1u);
+    EXPECT_EQ(t.dead_lettered(), 0u);
+
+    metrics_registry registry;
+    t.export_metrics(registry);
+    EXPECT_EQ(registry.get_histogram("richnote.svc.ingest_to_admit_us").total_count(),
+              1u);
+    EXPECT_EQ(registry.get_histogram("richnote.svc.admit_to_plan_us").total_count(), 1u);
+    EXPECT_EQ(registry.get_histogram("richnote.svc.plan_to_deliver_us").total_count(),
+              1u);
+    EXPECT_EQ(registry.get_histogram("richnote.svc.e2e_us").total_count(), 1u);
+    EXPECT_EQ(registry.counter("richnote.svc.lifecycle.delivered_total"), 1u);
+    EXPECT_EQ(registry.counter("richnote.svc.lifecycle.dead_lettered_total"), 0u);
+    EXPECT_EQ(registry.gauge("richnote.svc.lifecycle.in_flight"), 0.0);
+    EXPECT_EQ(registry.counter("richnote.svc.stage_observations_total{stage=e2e}"), 1u);
+    EXPECT_EQ(
+        registry.counter("richnote.svc.stage_observations_total{stage=ingest_to_admit}"),
+        1u);
+    EXPECT_EQ(registry.helps().count("richnote.svc.e2e_us"), 1u);
+
+    const auto worst = t.exemplars();
+    ASSERT_EQ(worst.size(), 1u);
+    EXPECT_EQ(worst[0].id, 7u);
+    EXPECT_EQ(worst[0].user, 3u);
+    EXPECT_EQ(worst[0].admit_round, 2u);
+    EXPECT_EQ(worst[0].plan_round, 2u);
+    EXPECT_EQ(worst[0].final_round, 3u);
+    EXPECT_EQ(worst[0].level, 4u);
+    EXPECT_EQ(worst[0].attempts, 1u);
+    // Stage latencies telescope: the three gaps sum to e2e exactly.
+    EXPECT_DOUBLE_EQ(worst[0].ingest_to_admit_us + worst[0].admit_to_plan_us +
+                         worst[0].plan_to_deliver_us,
+                     worst[0].e2e_us);
+    EXPECT_GE(worst[0].e2e_us, 0.0);
+}
+
+TEST(lifecycle_suite, unknown_ids_are_ignored_and_abandon_forgets) {
+    lifecycle_tracker t;
+    // Stage hooks never create records: only on_ingested does.
+    t.on_admitted(1, 0);
+    t.on_planned(1, 0, 2);
+    t.on_attempt(1, 0);
+    t.on_delivered(1, 0);
+    t.on_dead_lettered(1, 0);
+    EXPECT_EQ(t.tracked(), 0u);
+    EXPECT_EQ(t.delivered(), 0u);
+    EXPECT_EQ(t.dead_lettered(), 0u);
+
+    // Backpressure: the ring push failed, the stamp is dropped.
+    t.on_ingested(2, 0);
+    t.abandon(2);
+    EXPECT_EQ(t.tracked(), 0u);
+    t.on_delivered(2, 1);
+    EXPECT_EQ(t.delivered(), 0u);
+}
+
+TEST(lifecycle_suite, dead_letters_count_but_do_not_pollute_latency_histograms) {
+    lifecycle_tracker t;
+    t.on_ingested(5, 1);
+    t.on_admitted(5, 1);
+    t.on_dead_lettered(5, 9);
+    EXPECT_EQ(t.dead_lettered(), 1u);
+    EXPECT_EQ(t.delivered(), 0u);
+    EXPECT_EQ(t.tracked(), 0u);
+    metrics_registry registry;
+    t.export_metrics(registry);
+    EXPECT_EQ(registry.get_histogram("richnote.svc.e2e_us").total_count(), 0u);
+    EXPECT_EQ(registry.counter("richnote.svc.lifecycle.dead_lettered_total"), 1u);
+    EXPECT_TRUE(t.exemplars().empty());
+}
+
+TEST(lifecycle_suite, skipped_stages_collapse_onto_the_previous_stamp) {
+    lifecycle_tracker t;
+    // Delivered without ever being admitted or planned (e.g. a timeline
+    // the service only partially observed): the latencies still telescope.
+    t.on_ingested(11, 0);
+    t.on_delivered(11, 4);
+    const auto worst = t.exemplars();
+    ASSERT_EQ(worst.size(), 1u);
+    EXPECT_DOUBLE_EQ(worst[0].ingest_to_admit_us, 0.0);
+    EXPECT_DOUBLE_EQ(worst[0].admit_to_plan_us, 0.0);
+    EXPECT_DOUBLE_EQ(worst[0].plan_to_deliver_us, worst[0].e2e_us);
+}
+
+TEST(lifecycle_suite, duplicate_ingest_keeps_the_first_timeline) {
+    lifecycle_tracker t;
+    t.on_ingested(9, 2);
+    t.on_ingested(9, 6); // at-least-once wire: same id republished
+    EXPECT_EQ(t.tracked(), 1u);
+    t.on_delivered(9, 1);
+    EXPECT_EQ(t.delivered(), 1u);
+    const auto worst = t.exemplars();
+    ASSERT_EQ(worst.size(), 1u);
+    EXPECT_EQ(worst[0].user, 2u); // the first publish's user stamp survives
+}
+
+TEST(lifecycle_suite, exemplar_ring_keeps_the_worst_k_sorted) {
+    lifecycle_tracker t(/*exemplar_capacity=*/2);
+    for (std::uint64_t id = 1; id <= 4; ++id) {
+        t.on_ingested(id, 0);
+        t.on_delivered(id, id);
+    }
+    const auto worst = t.exemplars();
+    ASSERT_EQ(worst.size(), 2u);
+    EXPECT_GE(worst[0].e2e_us, worst[1].e2e_us);
+
+    const std::string json = t.exemplars_json();
+    EXPECT_EQ(json.rfind("{\"exemplars\":[", 0), 0u) << json;
+    EXPECT_EQ(json.back(), '\n');
+    EXPECT_NE(json.find("\"e2e_us\":"), std::string::npos);
+    EXPECT_NE(json.find("\"final_round\":"), std::string::npos);
+
+    lifecycle_tracker empty;
+    EXPECT_EQ(empty.exemplars_json(), "{\"exemplars\":[]}\n");
+}
+
+TEST(lifecycle_suite, red_recorder_exports_labeled_series) {
+    red_recorder red;
+    red.observe("ingest", 200, 120.0);
+    red.observe("ingest", 503, 80.0);
+    red.observe("round", 200, 50000.0);
+
+    metrics_registry registry;
+    red.export_metrics(registry);
+    EXPECT_EQ(registry.counter("richnote.svc.http.requests_total{endpoint=ingest}"),
+              2u);
+    EXPECT_EQ(registry.counter("richnote.svc.http.errors_total{endpoint=ingest}"), 1u);
+    EXPECT_EQ(registry.counter("richnote.svc.http.requests_total{endpoint=round}"), 1u);
+    EXPECT_EQ(registry.counter("richnote.svc.http.errors_total{endpoint=round}"), 0u);
+    EXPECT_EQ(
+        registry.get_histogram("richnote.svc.http.duration_us{endpoint=ingest}")
+            .total_count(),
+        2u);
+
+    const std::string text = prom_render(registry);
+    EXPECT_NE(text.find("richnote_svc_http_requests_total{endpoint=\"ingest\"} 2"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("richnote_svc_http_errors_total{endpoint=\"ingest\"} 1"),
+              std::string::npos);
+    // One shared TYPE header for both endpoint series.
+    EXPECT_EQ(text.find("# TYPE richnote_svc_http_requests_total counter"),
+              text.rfind("# TYPE richnote_svc_http_requests_total counter"));
+    // Labeled histogram buckets merge `le` into the endpoint's brace pair.
+    EXPECT_NE(
+        text.find("richnote_svc_http_duration_us_bucket{endpoint=\"ingest\",le=\"100\"}"),
+        std::string::npos)
+        << text;
+    EXPECT_NE(text.find("richnote_svc_http_duration_us_count{endpoint=\"ingest\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("# HELP richnote_svc_http_requests_total"), std::string::npos);
+}
+
+TEST(lifecycle_suite, prom_text_escapes_label_values_and_help) {
+    metrics_registry registry;
+    registry.count("app.req_total{path=/a\"b\\c}", 4);
+    registry.set_help("app.req_total", "line one\nback\\slash");
+    const std::string text = prom_render(registry);
+    EXPECT_NE(text.find("app_req_total{path=\"/a\\\"b\\\\c\"} 4"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# HELP app_req_total line one\\nback\\\\slash"),
+              std::string::npos)
+        << text;
+}
+
+TEST(lifecycle_suite, labeled_quantile_gauges_fold_back_onto_the_base) {
+    metrics_registry registry;
+    histogram h({10.0, 100.0});
+    h.observe(5.0);
+    h.observe(50.0);
+    registry.set_histogram("svc.latency_us{endpoint=round}", h);
+    registry.export_quantile_gauges();
+    const std::string text = prom_render(registry);
+    // `svc.latency_us{endpoint=round}.p50` renders as the labeled _p50 gauge.
+    EXPECT_NE(text.find("svc_latency_us_p50{endpoint=\"round\"}"), std::string::npos)
+        << text;
+
+    // set_histogram replaces a previous snapshot wholesale.
+    histogram h2({10.0, 100.0});
+    h2.observe(1.0);
+    registry.set_histogram("svc.latency_us{endpoint=round}", h2);
+    EXPECT_EQ(registry.get_histogram("svc.latency_us{endpoint=round}").total_count(),
+              1u);
+    EXPECT_THROW(registry.set_histogram("svc.bad", histogram()),
+                 richnote::precondition_error);
+}
+
+// ----------------------------------------------------------- explain ----
+
+std::string sample_trace() {
+    return
+        R"({"type":"lc_ingest","user":3,"round":1,"item":42,"created_at":3600})" "\n"
+        R"({"type":"lc_ingest","user":9,"round":1,"item":77,"created_at":10})" "\n"
+        R"({"type":"lc_admit","user":3,"round":2,"item":42,"wait_rounds":1})" "\n"
+        "this line is not json and must be skipped\n"
+        R"({"type":"decision","user":3,"round":2,"item":42,"level":3,"levels":5,"size_bytes":2048,"term_queue":1.5,"term_energy":-0.25,"term_value":2,"adjusted":3.25,"utility":0.875})" "\n"
+        R"({"type":"transfer_cut","user":3,"round":2,"item":42,"moved_bytes":512,"high_water_bytes":512,"fraction":0.25})" "\n"
+        R"({"type":"retry_backoff","user":3,"round":2,"item":42,"attempts":1,"not_before":7200})" "\n"
+        R"({"type":"deliver","user":3,"round":3,"item":42,"level":3,"bytes":2048,"utility":0.875,"delay_sec":120})" "\n";
+}
+
+TEST(explain_suite, reconstructs_one_notifications_causal_chain) {
+    std::istringstream in(sample_trace());
+    std::ostringstream out;
+    EXPECT_TRUE(write_explain(in, 42, out));
+    const std::string text = out.str();
+    EXPECT_NE(text.find("notification 42 (user 3)"), std::string::npos) << text;
+    EXPECT_NE(text.find("ingested      round 1  created_at=3600"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("admitted      round 2  wait_rounds=1"), std::string::npos);
+    EXPECT_NE(text.find("planned       round 2  level=3/5 size_bytes=2048"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("eq7: term_queue=1.5 term_energy=-0.25 term_value=2"
+                        " adjusted=3.25 utility=0.875"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("attempt 1     round 2  cut mid-flight: moved_bytes=512"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("retry         round 2  attempts=1 not_before=7200"),
+              std::string::npos);
+    EXPECT_NE(text.find("delivered     round 3  level=3 bytes=2048"),
+              std::string::npos);
+    EXPECT_NE(text.find("outcome: delivered (round 3, 7 trace rows)"),
+              std::string::npos)
+        << text;
+    // The other notification's events never leak into this chain.
+    EXPECT_EQ(text.find("77"), std::string::npos);
+}
+
+TEST(explain_suite, is_a_pure_function_of_the_trace_bytes) {
+    std::string first;
+    std::string second;
+    {
+        std::istringstream in(sample_trace());
+        std::ostringstream out;
+        write_explain(in, 42, out);
+        first = out.str();
+    }
+    {
+        std::istringstream in(sample_trace());
+        std::ostringstream out;
+        write_explain(in, 42, out);
+        second = out.str();
+    }
+    EXPECT_EQ(first, second);
+}
+
+TEST(explain_suite, unknown_id_reports_and_returns_false) {
+    std::istringstream in(sample_trace());
+    std::ostringstream out;
+    EXPECT_FALSE(write_explain(in, 12345, out));
+    EXPECT_EQ(out.str(), "notification 12345: no events in trace\n");
+}
+
+TEST(explain_suite, dead_letter_outcome_and_unknown_event_types) {
+    const std::string trace =
+        R"({"type":"lc_ingest","user":0,"round":0,"item":8,"created_at":0})" "\n"
+        R"({"type":"mystery_event","user":0,"round":1,"item":8})" "\n"
+        R"({"type":"dead_letter","user":0,"round":5,"item":8,"attempts":4})" "\n";
+    std::istringstream in(trace);
+    std::ostringstream out;
+    EXPECT_TRUE(write_explain(in, 8, out));
+    const std::string text = out.str();
+    EXPECT_NE(text.find("mystery_event round 1"), std::string::npos) << text;
+    EXPECT_NE(text.find("dead_lettered round 5  attempts=4"), std::string::npos);
+    EXPECT_NE(text.find("outcome: dead_lettered (round 5"), std::string::npos);
+}
+
+} // namespace

@@ -17,6 +17,11 @@
 //   richnote trace-report trace=run.ndjson [top=10]
 //       Aggregate a simulate run's NDJSON decision trace into per-event-
 //       type percentile tables and per-user rollups.
+//   richnote explain run.ndjson id=1234
+//       Reconstruct one notification's full causal chain from a decision
+//       trace — ingest, admission, every planned fidelity with its Eq. 7
+//       term breakdown, every retry, the terminal outcome — deterministic
+//       given the same trace bytes.
 //   richnote evaluate scenario=flash_crowd seeds=32 users=200 threads=4
 //       Multi-seed Monte-Carlo policy A/B (DESIGN.md §12): run every arm of
 //       a scenario pack over N seeded replicas, report mean ± t-CI per
@@ -53,7 +58,9 @@
 #include "eval/report.hpp"
 #include "eval/scenario.hpp"
 #include "ml/metrics.hpp"
+#include "ml/simd_dispatch.hpp"
 #include "obs/expo_server.hpp"
+#include "obs/lifecycle.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/profile.hpp"
 #include "obs/run_manifest.hpp"
@@ -85,6 +92,7 @@ subcommands:
   sweep    users=200 seed=1 budgets=1,5,20,100 [manifest=run.json]
            [expo_port=0]
   trace-report trace=run.ndjson [top=10]
+  explain  <trace.ndjson> id=1234   (also: trace=run.ndjson id=1234)
   evaluate scenario=baseline|flash_crowd|regional_outage|battery_trace|cold_start
            users=200 seed=1 seeds=32 [base_seed=1000] [budget_mb=10] [trees=30]
            [arms=richnote,fifo,util] [objective=total_utility] [alpha=0.05]
@@ -95,16 +103,20 @@ subcommands:
   serve    users=2000 seed=1 [fleet_users=0] [scheduler=richnote]
            [budget_mb=10] [threads=1] [port=0] [port_file=path]
            [queue_capacity=65536] [round_interval_ms=0] [max_rounds=0]
-           [oracle=false] [trees=30]
+           [oracle=false] [trees=30] [trace=serve.ndjson]
   help
 
 serve mode: POST /ingest accepts NDJSON notification lines (one JSON object
 per line; 503 = backpressure, retry later), POST /round runs one service
 round now, POST /reshard {"threads":K} checkpoints every broker and resizes
 the worker pool losslessly, POST /shutdown exits. GET /metrics, /progress
-and /healthz work as in simulate. fleet_users=0 serves the training
+and /healthz work as in simulate; GET /exemplars returns the top-K worst
+end-to-end notification timelines (JSON). fleet_users=0 serves the training
 workload's users; a larger value synthesizes that many brokers.
-round_interval_ms=0 runs rounds only on POST /round.
+round_interval_ms=0 runs rounds only on POST /round. trace= streams the
+per-notification lifecycle + decision NDJSON (feed it to `richnote
+explain`); /metrics carries richnote.svc.* stage-latency histograms and
+per-endpoint RED series either way.
 
 evaluate mode: one experiment_setup (workload + trained model) is shared by
 every arm; replica r of an arm runs at env seed base_seed+r, so arms are
@@ -399,6 +411,16 @@ int cmd_trace_report(const config& cfg) {
     return 0;
 }
 
+int cmd_explain(const config& cfg) {
+    cfg.restrict_to({"trace", "id"});
+    RICHNOTE_REQUIRE(cfg.has("id"), "explain needs id=<notification id>");
+    const std::string path = cfg.get_string("trace", "run.ndjson");
+    const auto id = static_cast<std::uint64_t>(cfg.get_int("id", 0));
+    std::ifstream in(path);
+    RICHNOTE_REQUIRE(in.good(), "cannot open trace file: " + path);
+    return obs::write_explain(in, id, std::cout) ? 0 : 1;
+}
+
 int cmd_sweep(const config& cfg) {
     cfg.restrict_to({"users", "seed", "budgets", "trees", "csv", "manifest",
                      "expo_port"});
@@ -624,7 +646,8 @@ int cmd_evaluate(const config& cfg) {
 int cmd_serve(const config& cfg) {
     cfg.restrict_to({"users", "fleet_users", "seed", "scheduler", "budget_mb",
                      "fixed_level", "wifi", "trees", "threads", "port", "port_file",
-                     "queue_capacity", "round_interval_ms", "max_rounds", "oracle"});
+                     "queue_capacity", "round_interval_ms", "max_rounds", "oracle",
+                     "trace"});
     core::experiment_setup::options opts;
     opts.workload = workload_params_from(cfg);
     opts.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
@@ -641,9 +664,26 @@ int cmd_serve(const config& cfg) {
     sp.user_count = static_cast<std::size_t>(cfg.get_int("fleet_users", 0));
     sp.worker_threads = static_cast<std::size_t>(cfg.get_int("threads", 1));
     sp.queue_capacity = static_cast<std::size_t>(cfg.get_int("queue_capacity", 65536));
+
+    // Lifecycle observability (DESIGN.md §13): the wall-clock tracker (stage
+    // histograms + slow exemplars) is always on in service mode; the
+    // deterministic NDJSON plane streams only when trace= names a file.
+    const std::size_t fleet_users =
+        sp.user_count == 0 ? setup.world().user_count() : sp.user_count;
+    std::unique_ptr<obs::trace_sink> sink;
+    if (cfg.has("trace")) {
+        sink = std::make_unique<obs::trace_sink>(fleet_users);
+        sink->attach_file(cfg.get_string("trace", "serve.ndjson"));
+        sp.experiment.trace = sink.get();
+    }
+    obs::lifecycle_tracker lifecycle;
+    obs::red_recorder red;
+    sp.experiment.lifecycle = &lifecycle;
     core::notification_service service(setup, sp);
 
     obs::expo_server expo(static_cast<std::uint16_t>(cfg.get_int("port", 0)));
+    expo.set_uarch(std::string(ml::simd::arch_name()) + "/" +
+                   ml::simd::isa_name(ml::simd::active_isa()));
 
     // All service driving — timer rounds, POST /round, POST /reshard — is
     // serialized by one mutex; the pool's slot 0 simply runs on whichever
@@ -656,7 +696,10 @@ int cmd_serve(const config& cfg) {
         const core::service_counters c = service.counters();
         obs::metrics_registry registry;
         service.export_service_metrics(registry);
+        red.export_metrics(registry);
         expo.publish_metrics(registry);
+        expo.publish_document("/exemplars", "application/json",
+                              lifecycle.exemplars_json());
         obs::progress_snapshot snap;
         snap.round = c.rounds_run;
         snap.total_rounds = static_cast<std::uint64_t>(cfg.get_int("max_rounds", 0));
@@ -673,7 +716,23 @@ int cmd_serve(const config& cfg) {
         expo.publish_progress(snap);
     };
 
-    expo.set_post_handler("/ingest", [&](const std::string& body) {
+    // RED instrumentation: every mounted endpoint reports rate / errors
+    // (5xx) / duration into the {endpoint=...}-labeled richnote.svc.http.*
+    // series. Timing wraps the handler itself, not the socket I/O.
+    auto timed = [&red](const char* endpoint, obs::expo_server::post_handler fn) {
+        return [&red, endpoint,
+                fn = std::move(fn)](const std::string& body) -> obs::expo_server::post_result {
+            const auto t0 = std::chrono::steady_clock::now();
+            obs::expo_server::post_result result = fn(body);
+            red.observe(endpoint, result.status,
+                        std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+            return result;
+        };
+    };
+
+    expo.set_post_handler("/ingest", timed("ingest", [&](const std::string& body) {
         std::uint64_t accepted = 0, parse_errors = 0, unknown_user = 0, backpressure = 0;
         std::size_t pos = 0;
         while (pos < body.size()) {
@@ -703,15 +762,15 @@ int cmd_serve(const config& cfg) {
                            : parse_errors + unknown_user > 0 ? 400
                                                              : 200;
         return obs::expo_server::post_result{status, std::move(reply)};
-    });
-    expo.set_post_handler("/round", [&](const std::string&) {
+    }));
+    expo.set_post_handler("/round", timed("round", [&](const std::string&) {
         std::lock_guard<std::mutex> lock(service_mutex);
         service.run_round();
         publish();
         return obs::expo_server::post_result{
             200, "{\"rounds_run\":" + std::to_string(service.rounds_run()) + "}\n"};
-    });
-    expo.set_post_handler("/reshard", [&](const std::string& body) {
+    }));
+    expo.set_post_handler("/reshard", timed("reshard", [&](const std::string& body) {
         // Accept either a bare integer or {"threads":K}.
         std::size_t threads = 0;
         const std::size_t digit = body.find_first_of("0123456789");
@@ -725,7 +784,7 @@ int cmd_serve(const config& cfg) {
         return obs::expo_server::post_result{
             200, "{\"worker_threads\":" + std::to_string(c.worker_threads) +
                      ",\"reshards\":" + std::to_string(c.reshards) + "}\n"};
-    });
+    }));
     expo.set_post_handler("/shutdown", [&](const std::string&) {
         shutdown.store(true);
         return obs::expo_server::post_result{200, "{\"status\":\"shutting down\"}\n"};
@@ -736,7 +795,8 @@ int cmd_serve(const config& cfg) {
         publish(); // /metrics and /progress valid before the first round
     }
     std::cerr << "[serve] http://127.0.0.1:" << expo.port()
-              << " — POST /ingest /round /reshard /shutdown; GET /metrics /progress /healthz\n";
+              << " — POST /ingest /round /reshard /shutdown; GET /metrics /progress"
+                 " /healthz /exemplars\n";
     if (cfg.has("port_file")) {
         const std::string path = cfg.get_string("port_file", "serve.port");
         std::ofstream pf(path);
@@ -766,6 +826,11 @@ int cmd_serve(const config& cfg) {
 
     std::lock_guard<std::mutex> lock(service_mutex);
     publish();
+    if (sink) {
+        sink->finalize();
+        std::cerr << "[trace] wrote " << sink->event_count() << " events to "
+                  << cfg.get_string("trace", "serve.ndjson") << '\n';
+    }
     const core::service_counters c = service.counters();
     const auto r = service.summarize();
     table t({"metric", "value"});
@@ -794,6 +859,22 @@ int main(int argc, char** argv) try {
         return argc < 2 ? 1 : 0;
     }
     const std::string command = argv[1];
+    if (command == "explain") {
+        // `explain` takes the trace path as a bare positional argument
+        // (richnote explain run.ndjson id=7); fold it into trace= before
+        // the key=value parser sees it.
+        config ecfg;
+        for (int i = 2; i < argc; ++i) {
+            const std::string token = argv[i];
+            const auto eq = token.find('=');
+            if (eq == std::string::npos) {
+                ecfg.set("trace", token);
+            } else {
+                ecfg.set(token.substr(0, eq), token.substr(eq + 1));
+            }
+        }
+        return cmd_explain(ecfg);
+    }
     const config cfg = config::from_args(argc - 1, argv + 1);
     if (command == "generate") return cmd_generate(cfg);
     if (command == "train") return cmd_train(cfg);
